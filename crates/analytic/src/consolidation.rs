@@ -1,0 +1,274 @@
+//! Server-consolidation provisioning models (Equations 20–24).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::AnalyticError;
+
+/// The original system being consolidated: `n_orig` machines, each able to do
+/// `w_machine` units of work, running at an average utilization `u_orig`,
+/// drawing `p_load` watts when loaded and `p_idle` watts when idle.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConsolidationModel {
+    n_orig: usize,
+    w_machine: f64,
+    u_orig: f64,
+    p_load: f64,
+    p_idle: f64,
+}
+
+/// The outcome of consolidating with a speedup `S(QoS)` available at the QoS
+/// bound.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConsolidationPlan {
+    /// Machines in the original system (`N_orig`).
+    pub original_machines: usize,
+    /// Machines needed after consolidation (`N_new`, Equation 21).
+    pub consolidated_machines: usize,
+    /// Average utilization of the original system.
+    pub original_utilization: f64,
+    /// Average utilization of the consolidated system.
+    pub consolidated_utilization: f64,
+    /// Average power of the original system in watts (Equation 22).
+    pub original_power_watts: f64,
+    /// Average power of the consolidated system in watts (Equation 23).
+    pub consolidated_power_watts: f64,
+    /// Average power saved in watts (Equation 24).
+    pub power_savings_watts: f64,
+}
+
+impl ConsolidationPlan {
+    /// The fractional power reduction (savings divided by original power).
+    pub fn relative_savings(&self) -> f64 {
+        if self.original_power_watts == 0.0 {
+            0.0
+        } else {
+            self.power_savings_watts / self.original_power_watts
+        }
+    }
+
+    /// The fractional reduction in machine count.
+    pub fn machine_reduction(&self) -> f64 {
+        1.0 - self.consolidated_machines as f64 / self.original_machines as f64
+    }
+}
+
+impl ConsolidationModel {
+    /// Creates a model.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the machine count is zero, the per-machine work
+    /// or powers are invalid, or the utilization is outside `[0, 1]`.
+    pub fn new(
+        n_orig: usize,
+        w_machine: f64,
+        u_orig: f64,
+        p_load: f64,
+        p_idle: f64,
+    ) -> Result<Self, AnalyticError> {
+        if n_orig == 0 {
+            return Err(AnalyticError::ZeroMachines);
+        }
+        if !w_machine.is_finite() || w_machine <= 0.0 {
+            return Err(AnalyticError::InvalidTime {
+                parameter: "w_machine",
+                value: w_machine,
+            });
+        }
+        if !(0.0..=1.0).contains(&u_orig) || !u_orig.is_finite() {
+            return Err(AnalyticError::InvalidUtilization {
+                utilization: u_orig,
+            });
+        }
+        for (name, value) in [("p_load", p_load), ("p_idle", p_idle)] {
+            if !value.is_finite() || value < 0.0 {
+                return Err(AnalyticError::InvalidPower {
+                    parameter: name,
+                    value,
+                });
+            }
+        }
+        if p_idle > p_load {
+            return Err(AnalyticError::InvalidPower {
+                parameter: "p_idle exceeds p_load",
+                value: p_idle,
+            });
+        }
+        Ok(ConsolidationModel {
+            n_orig,
+            w_machine,
+            u_orig,
+            p_load,
+            p_idle,
+        })
+    }
+
+    /// Total work the system is provisioned for (`W_total`, Equation 20).
+    pub fn total_work(&self) -> f64 {
+        self.w_machine * self.n_orig as f64
+    }
+
+    /// Number of machines needed to meet peak load with speedup `s`
+    /// (`N_new`, Equation 21).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalyticError::InvalidSpeedup`] when `s < 1` or not finite.
+    pub fn machines_needed(&self, s: f64) -> Result<usize, AnalyticError> {
+        if !s.is_finite() || s < 1.0 {
+            return Err(AnalyticError::InvalidSpeedup { speedup: s });
+        }
+        let n_new = (self.total_work() / s / self.w_machine).ceil() as usize;
+        Ok(n_new.max(1))
+    }
+
+    /// Average power of a system of `machines` machines whose average
+    /// utilization is `utilization` (Equations 22–23): loaded machines draw
+    /// `p_load`, the idle remainder draws `p_idle`.
+    pub fn average_power(&self, machines: usize, utilization: f64) -> f64 {
+        let u = utilization.clamp(0.0, 1.0);
+        machines as f64 * (u * self.p_load + (1.0 - u) * self.p_idle)
+    }
+
+    /// Evaluates the full consolidation plan for a speedup `s`.
+    ///
+    /// The consolidated system serves the same average offered load with
+    /// fewer machines, so its average utilization rises by the ratio
+    /// `N_orig / N_new` (capped at 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s < 1`; use [`ConsolidationModel::try_consolidate`] for a
+    /// fallible variant.
+    pub fn consolidate(&self, s: f64) -> ConsolidationPlan {
+        self.try_consolidate(s)
+            .expect("speedup must be at least 1")
+    }
+
+    /// Fallible variant of [`ConsolidationModel::consolidate`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalyticError::InvalidSpeedup`] when `s < 1` or not finite.
+    pub fn try_consolidate(&self, s: f64) -> Result<ConsolidationPlan, AnalyticError> {
+        let n_new = self.machines_needed(s)?;
+        let u_new = (self.u_orig * self.n_orig as f64 / n_new as f64).min(1.0);
+        let p_orig = self.average_power(self.n_orig, self.u_orig);
+        let p_new = self.average_power(n_new, u_new);
+        Ok(ConsolidationPlan {
+            original_machines: self.n_orig,
+            consolidated_machines: n_new,
+            original_utilization: self.u_orig,
+            consolidated_utilization: u_new,
+            original_power_watts: p_orig,
+            consolidated_power_watts: p_new,
+            power_savings_watts: p_orig - p_new,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's PARSEC provisioning: four machines, 25 % average
+    /// utilization, ~220 W loaded / ~90 W idle.
+    fn parsec_model() -> ConsolidationModel {
+        ConsolidationModel::new(4, 1.0, 0.25, 220.0, 90.0).unwrap()
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(ConsolidationModel::new(0, 1.0, 0.2, 220.0, 90.0).is_err());
+        assert!(ConsolidationModel::new(4, 0.0, 0.2, 220.0, 90.0).is_err());
+        assert!(ConsolidationModel::new(4, 1.0, 1.2, 220.0, 90.0).is_err());
+        assert!(ConsolidationModel::new(4, 1.0, 0.2, 90.0, 220.0).is_err());
+        assert!(ConsolidationModel::new(4, 1.0, 0.2, 220.0, -1.0).is_err());
+        assert!(parsec_model().machines_needed(0.9).is_err());
+        assert!(parsec_model().try_consolidate(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn four_to_one_consolidation_with_4x_speedup() {
+        // The paper consolidates the PARSEC benchmarks from four machines to
+        // one, enabled by speedups of at least 4 within the 5 % QoS bound.
+        let model = parsec_model();
+        assert_eq!(model.total_work(), 4.0);
+        assert_eq!(model.machines_needed(4.0).unwrap(), 1);
+        let plan = model.consolidate(4.0);
+        assert_eq!(plan.consolidated_machines, 1);
+        assert!((plan.machine_reduction() - 0.75).abs() < 1e-12);
+        // Original: 4·(0.25·220 + 0.75·90) = 490 W. Consolidated: 1·220 W.
+        assert!((plan.original_power_watts - 490.0).abs() < 1e-9);
+        assert!((plan.consolidated_power_watts - 220.0).abs() < 1e-9);
+        assert!((plan.power_savings_watts - 270.0).abs() < 1e-9);
+        assert!(plan.relative_savings() > 0.5);
+        assert_eq!(plan.consolidated_utilization, 1.0);
+    }
+
+    #[test]
+    fn three_to_two_consolidation_with_1_5x_speedup() {
+        // swish++: three machines consolidated to two with the ~1.5x speedup
+        // available at the 30 % QoS bound.
+        let model = ConsolidationModel::new(3, 1.0, 0.2, 220.0, 90.0).unwrap();
+        assert_eq!(model.machines_needed(1.5).unwrap(), 2);
+        let plan = model.consolidate(1.5);
+        assert_eq!(plan.consolidated_machines, 2);
+        assert!((plan.machine_reduction() - 1.0 / 3.0).abs() < 1e-12);
+        assert!(plan.power_savings_watts > 0.0);
+    }
+
+    #[test]
+    fn unit_speedup_changes_nothing() {
+        let model = parsec_model();
+        let plan = model.consolidate(1.0);
+        assert_eq!(plan.consolidated_machines, 4);
+        assert_eq!(plan.power_savings_watts, 0.0);
+        assert_eq!(plan.machine_reduction(), 0.0);
+        assert_eq!(plan.consolidated_utilization, plan.original_utilization);
+    }
+
+    #[test]
+    fn machines_needed_rounds_up() {
+        let model = parsec_model();
+        // Speedup 3: 4/3 = 1.33 machines -> 2.
+        assert_eq!(model.machines_needed(3.0).unwrap(), 2);
+        // Speedup 8: still at least one machine.
+        assert_eq!(model.machines_needed(8.0).unwrap(), 1);
+    }
+
+    #[test]
+    fn average_power_interpolates_between_idle_and_load() {
+        let model = parsec_model();
+        assert_eq!(model.average_power(4, 0.0), 360.0);
+        assert_eq!(model.average_power(4, 1.0), 880.0);
+        assert_eq!(model.average_power(2, 0.5), 310.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Consolidation never increases machine count or power, and a larger
+        /// speedup never needs more machines.
+        #[test]
+        fn consolidation_is_monotone(
+            n_orig in 1usize..64,
+            u_orig in 0.0f64..1.0,
+            s_small in 1.0f64..8.0,
+            s_extra in 0.0f64..8.0,
+        ) {
+            let model = ConsolidationModel::new(n_orig, 1.0, u_orig, 220.0, 90.0).unwrap();
+            let small = model.consolidate(s_small);
+            let large = model.consolidate(s_small + s_extra);
+            prop_assert!(small.consolidated_machines <= n_orig);
+            prop_assert!(large.consolidated_machines <= small.consolidated_machines);
+            prop_assert!(small.power_savings_watts >= -1e-9);
+            prop_assert!(small.consolidated_power_watts <= small.original_power_watts + 1e-9);
+            prop_assert!(small.consolidated_utilization <= 1.0 + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! DVFS energy models with and without dynamic knobs (Equations 12–19).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::AnalyticError;
+
+/// The task and platform parameters of Figure 3: a task that takes `t1`
+/// seconds at the high power state and has `t_delay` seconds of slack before
+/// its deadline, on a platform drawing `p_nodvfs` watts in the high state,
+/// `p_dvfs` watts in the low state, and `p_idle` watts when idle.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DvfsScenario {
+    p_nodvfs: f64,
+    p_dvfs: f64,
+    p_idle: f64,
+    t1: f64,
+    t_delay: f64,
+}
+
+/// The energy outcomes of one scenario, with and without dynamic knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DvfsEnergyBreakdown {
+    /// Energy of the better non-knob strategy (Equation 18): the minimum of
+    /// running fast then idling and running slow for the full window.
+    pub baseline_energy: f64,
+    /// Energy of running fast then idling, without knobs.
+    pub race_to_idle_energy: f64,
+    /// Energy of running at the DVFS-lowered state for the full window,
+    /// without knobs (Equation 12's right-hand term).
+    pub dvfs_energy: f64,
+    /// Energy of the knob-augmented race-to-idle strategy (Equation 14).
+    pub elastic_race_to_idle_energy: f64,
+    /// Energy of the knob-augmented DVFS strategy (Equation 16).
+    pub elastic_dvfs_energy: f64,
+    /// Energy of the better knob-augmented strategy (Equation 17).
+    pub elastic_energy: f64,
+    /// The savings dynamic knobs add over the best non-knob strategy
+    /// (Equation 19).
+    pub savings: f64,
+}
+
+impl DvfsScenario {
+    /// Creates a scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when a power is negative/not finite or violates
+    /// `p_idle ≤ p_dvfs ≤ p_nodvfs`, or when a time is negative/not finite.
+    pub fn new(
+        p_nodvfs: f64,
+        p_dvfs: f64,
+        p_idle: f64,
+        t1: f64,
+        t_delay: f64,
+    ) -> Result<Self, AnalyticError> {
+        for (name, value) in [
+            ("p_nodvfs", p_nodvfs),
+            ("p_dvfs", p_dvfs),
+            ("p_idle", p_idle),
+        ] {
+            if !value.is_finite() || value < 0.0 {
+                return Err(AnalyticError::InvalidPower {
+                    parameter: name,
+                    value,
+                });
+            }
+        }
+        if p_idle > p_dvfs || p_dvfs > p_nodvfs {
+            return Err(AnalyticError::InvalidPower {
+                parameter: "ordering p_idle <= p_dvfs <= p_nodvfs",
+                value: p_dvfs,
+            });
+        }
+        for (name, value) in [("t1", t1), ("t_delay", t_delay)] {
+            if !value.is_finite() || value < 0.0 {
+                return Err(AnalyticError::InvalidTime {
+                    parameter: name,
+                    value,
+                });
+            }
+        }
+        if t1 == 0.0 {
+            return Err(AnalyticError::InvalidTime {
+                parameter: "t1",
+                value: t1,
+            });
+        }
+        Ok(DvfsScenario {
+            p_nodvfs,
+            p_dvfs,
+            p_idle,
+            t1,
+            t_delay,
+        })
+    }
+
+    /// The slowdown factor the DVFS state imposes on CPU-bound work
+    /// (`t2 / t1 = f_nodvfs / f_dvfs`), derived from the total window.
+    pub fn t2(&self) -> f64 {
+        self.t1 + self.t_delay
+    }
+
+    /// Energy of running the task fast and idling for the rest of the window
+    /// (no knobs): `P_nodvfs·t1 + P_idle·t_delay`.
+    pub fn race_to_idle_energy(&self) -> f64 {
+        self.p_nodvfs * self.t1 + self.p_idle * self.t_delay
+    }
+
+    /// Energy of running at the DVFS-lowered state for the full window (no
+    /// knobs): `P_dvfs·t2`.
+    pub fn dvfs_energy(&self) -> f64 {
+        self.p_dvfs * self.t2()
+    }
+
+    /// The DVFS energy savings of Equation 12 (positive when DVFS beats
+    /// race-to-idle).
+    pub fn dvfs_savings(&self) -> f64 {
+        self.race_to_idle_energy() - self.dvfs_energy()
+    }
+
+    /// Evaluates the knob-augmented strategies of Equations 13–19 for a
+    /// speedup `s` available at an acceptable QoS loss.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalyticError::InvalidSpeedup`] when `s < 1` or not finite.
+    pub fn with_knobs(&self, s: f64) -> Result<DvfsEnergyBreakdown, AnalyticError> {
+        if !s.is_finite() || s < 1.0 {
+            return Err(AnalyticError::InvalidSpeedup { speedup: s });
+        }
+        let t2 = self.t2();
+
+        // Equations 13–14: knob-accelerated task in the high power state,
+        // idling for the remainder of the window.
+        let t1_prime = self.t1 / s;
+        let t_delay_prime = self.t_delay + self.t1 - t1_prime;
+        let e1 = self.p_nodvfs * t1_prime + self.p_idle * t_delay_prime;
+
+        // Equations 15–16: knob-accelerated task in the DVFS-lowered state.
+        let t2_prime = t2 / s;
+        let t_delay_double_prime = t2 - t2_prime;
+        let e2 = self.p_dvfs * t2_prime + self.p_idle * t_delay_double_prime;
+
+        let elastic = e1.min(e2);
+        let baseline = self.race_to_idle_energy().min(self.dvfs_energy());
+        Ok(DvfsEnergyBreakdown {
+            baseline_energy: baseline,
+            race_to_idle_energy: self.race_to_idle_energy(),
+            dvfs_energy: self.dvfs_energy(),
+            elastic_race_to_idle_energy: e1,
+            elastic_dvfs_energy: e2,
+            elastic_energy: elastic,
+            savings: baseline - elastic,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Parameters roughly matching the paper's platform: 220 W loaded at
+    /// 2.4 GHz, ~165 W loaded at 1.6 GHz, 90 W idle, a 60-second task with a
+    /// 30-second slack window (1.5x slowdown allowed, matching the frequency
+    /// ratio).
+    fn server_scenario() -> DvfsScenario {
+        DvfsScenario::new(220.0, 165.0, 90.0, 60.0, 30.0).unwrap()
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(DvfsScenario::new(-1.0, 100.0, 50.0, 10.0, 0.0).is_err());
+        assert!(DvfsScenario::new(220.0, 230.0, 90.0, 10.0, 0.0).is_err());
+        assert!(DvfsScenario::new(220.0, 165.0, 170.0, 10.0, 0.0).is_err());
+        assert!(DvfsScenario::new(220.0, 165.0, 90.0, 0.0, 0.0).is_err());
+        assert!(DvfsScenario::new(220.0, 165.0, 90.0, 10.0, -5.0).is_err());
+        assert!(server_scenario().with_knobs(0.5).is_err());
+    }
+
+    #[test]
+    fn dvfs_beats_race_to_idle_on_high_idle_servers() {
+        let scenario = server_scenario();
+        // Race-to-idle: 220·60 + 90·30 = 15 900 J.
+        assert!((scenario.race_to_idle_energy() - 15_900.0).abs() < 1e-9);
+        // DVFS: 165·90 = 14 850 J.
+        assert!((scenario.dvfs_energy() - 14_850.0).abs() < 1e-9);
+        assert!(scenario.dvfs_savings() > 0.0);
+        assert_eq!(scenario.t2(), 90.0);
+    }
+
+    #[test]
+    fn knobs_add_savings_on_top_of_dvfs() {
+        let scenario = server_scenario();
+        let breakdown = scenario.with_knobs(2.0).unwrap();
+        // E2 = 165·45 + 90·45 = 11 475 J, better than both non-knob options.
+        assert!((breakdown.elastic_dvfs_energy - 11_475.0).abs() < 1e-9);
+        assert!(breakdown.elastic_energy <= breakdown.baseline_energy);
+        assert!(breakdown.savings > 0.0);
+        assert!((breakdown.savings - (14_850.0 - 11_475.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unit_speedup_changes_nothing() {
+        let scenario = server_scenario();
+        let breakdown = scenario.with_knobs(1.0).unwrap();
+        assert!((breakdown.elastic_race_to_idle_energy - scenario.race_to_idle_energy()).abs() < 1e-9);
+        assert!((breakdown.elastic_dvfs_energy - scenario.dvfs_energy()).abs() < 1e-9);
+        assert!(breakdown.savings.abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_slack_matches_power_cap_scenario() {
+        // In the power-cap scenario t_delay = 0: the knob's job is to keep
+        // performance, and the energy comparison degenerates to running the
+        // reduced computation in the low power state.
+        let scenario = DvfsScenario::new(220.0, 165.0, 90.0, 60.0, 0.0).unwrap();
+        let breakdown = scenario.with_knobs(1.5).unwrap();
+        // t2' = 60/1.5 = 40 s at 165 W plus 20 s idle.
+        assert!((breakdown.elastic_dvfs_energy - (165.0 * 40.0 + 90.0 * 20.0)).abs() < 1e-9);
+        assert!(breakdown.savings > 0.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Dynamic knobs never increase energy: the elastic strategy is at
+        /// most the baseline for any valid speedup, and savings grow
+        /// monotonically with the speedup.
+        #[test]
+        fn knob_savings_are_nonnegative_and_monotone(
+            p_idle in 1.0f64..120.0,
+            dvfs_extra in 1.0f64..80.0,
+            nodvfs_extra in 1.0f64..80.0,
+            t1 in 1.0f64..1000.0,
+            t_delay in 0.0f64..1000.0,
+            s_small in 1.0f64..4.0,
+            s_extra in 0.0f64..6.0,
+        ) {
+            let p_dvfs = p_idle + dvfs_extra;
+            let p_nodvfs = p_dvfs + nodvfs_extra;
+            let scenario = DvfsScenario::new(p_nodvfs, p_dvfs, p_idle, t1, t_delay).unwrap();
+            let small = scenario.with_knobs(s_small).unwrap();
+            let large = scenario.with_knobs(s_small + s_extra).unwrap();
+            prop_assert!(small.savings >= -1e-9);
+            prop_assert!(large.savings + 1e-9 >= small.savings);
+            prop_assert!(small.elastic_energy <= small.baseline_energy + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Error type for the analytical models.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing analytical models with invalid
+/// parameters.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AnalyticError {
+    /// A power value is negative or not finite, or the ordering
+    /// `idle ≤ dvfs ≤ nodvfs` is violated.
+    InvalidPower {
+        /// Description of the offending parameter.
+        parameter: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A time value is negative or not finite.
+    InvalidTime {
+        /// Description of the offending parameter.
+        parameter: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A speedup is less than 1 or not finite.
+    InvalidSpeedup {
+        /// The offending speedup.
+        speedup: f64,
+    },
+    /// A utilization is outside `[0, 1]`.
+    InvalidUtilization {
+        /// The offending utilization.
+        utilization: f64,
+    },
+    /// The machine count is zero.
+    ZeroMachines,
+}
+
+impl fmt::Display for AnalyticError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalyticError::InvalidPower { parameter, value } => {
+                write!(f, "power parameter `{parameter}` is invalid: {value}")
+            }
+            AnalyticError::InvalidTime { parameter, value } => {
+                write!(f, "time parameter `{parameter}` is invalid: {value}")
+            }
+            AnalyticError::InvalidSpeedup { speedup } => {
+                write!(f, "speedup must be at least 1, got {speedup}")
+            }
+            AnalyticError::InvalidUtilization { utilization } => {
+                write!(f, "utilization must be in [0, 1], got {utilization}")
+            }
+            AnalyticError::ZeroMachines => write!(f, "the original system needs at least one machine"),
+        }
+    }
+}
+
+impl Error for AnalyticError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_nonempty() {
+        let errors = [
+            AnalyticError::InvalidPower {
+                parameter: "p_idle",
+                value: -1.0,
+            },
+            AnalyticError::InvalidTime {
+                parameter: "t1",
+                value: f64::NAN,
+            },
+            AnalyticError::InvalidSpeedup { speedup: 0.5 },
+            AnalyticError::InvalidUtilization { utilization: 2.0 },
+            AnalyticError::ZeroMachines,
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<AnalyticError>();
+    }
+}

@@ -1,0 +1,34 @@
+//! Analytical models from Section 3 of the PowerDial paper.
+//!
+//! Two families of closed-form models quantify what dynamic knobs buy:
+//!
+//! * [`dvfs`] — energy consumed by a task under DVFS with and without dynamic
+//!   knobs (Equations 12–19): given the power draw in the high and low power
+//!   states, the idle power, the task's execution time, and the speedup
+//!   `S(QoS)` available at an acceptable QoS loss, compute the energy of the
+//!   race-to-idle and DVFS strategies and the savings knobs add;
+//! * [`consolidation`] — server-consolidation provisioning (Equations
+//!   20–24): how many machines a knob-enabled cluster needs to serve peak
+//!   load, and how much average power the consolidation saves.
+//!
+//! # Example
+//!
+//! ```
+//! use powerdial_analytic::consolidation::ConsolidationModel;
+//!
+//! // Four machines at 25 % average utilization, consolidated with a 4x
+//! // speedup available at the QoS bound.
+//! let model = ConsolidationModel::new(4, 1.0, 0.25, 220.0, 90.0).unwrap();
+//! let plan = model.consolidate(4.0);
+//! assert_eq!(plan.consolidated_machines, 1);
+//! assert!(plan.power_savings_watts > 250.0);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod consolidation;
+pub mod dvfs;
+mod error;
+
+pub use error::AnalyticError;

@@ -1,0 +1,457 @@
+//! Annealed-particle-filter body tracking (the PARSEC `bodytrack` benchmark).
+//!
+//! The application tracks an articulated body through a synthetic multi-camera
+//! sequence with an annealed particle filter. The two knobs are the number of
+//! annealing layers and the number of particles — more of either improves the
+//! tracked pose vectors and costs proportionally more computation, mirroring
+//! the PARSEC benchmark's positional parameters `argv[5]` and `argv[4]`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use powerdial_knobs::{ConfigParameter, ParameterSetting, ParameterSpace, QosComparator};
+use powerdial_qos::OutputAbstraction;
+
+use crate::comparators::MagnitudeWeightedDistortion;
+use crate::traits::{InputSet, KnobbedApplication, WorkUnitResult};
+
+/// Name of the annealing-layers knob.
+pub const LAYERS_KNOB: &str = "layers";
+/// Name of the particle-count knob.
+pub const PARTICLES_KNOB: &str = "particles";
+
+/// Dimensionality of the tracked pose vector: torso (x, y), head (x, y), and
+/// the angles of four limbs.
+pub const POSE_DIMENSIONS: usize = 8;
+
+/// Number of simulated calibrated cameras observing the scene.
+pub const CAMERA_COUNT: usize = 4;
+
+/// Sizing configuration of the tracker.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BodytrackConfig {
+    /// Frames in the training sequence.
+    pub training_frames: usize,
+    /// Frames in the production sequence.
+    pub production_frames: usize,
+    /// Values explored for the layers knob.
+    pub layer_values: Vec<f64>,
+    /// Values explored for the particles knob.
+    pub particle_values: Vec<f64>,
+    /// Standard deviation of the per-camera observation noise.
+    pub observation_noise: f64,
+}
+
+impl BodytrackConfig {
+    /// A configuration mirroring the paper's knob ranges (layers 1–5,
+    /// particles 100–4000) on sequences scaled to run everywhere.
+    pub fn parsec_like() -> Self {
+        BodytrackConfig {
+            training_frames: 25,
+            production_frames: 60,
+            layer_values: vec![1.0, 2.0, 3.0, 4.0, 5.0],
+            particle_values: vec![100.0, 500.0, 1000.0, 2000.0, 4000.0],
+            observation_noise: 0.4,
+        }
+    }
+
+    /// A tiny configuration for unit tests and debug builds.
+    pub fn tiny() -> Self {
+        BodytrackConfig {
+            training_frames: 8,
+            production_frames: 12,
+            layer_values: vec![1.0, 3.0, 5.0],
+            particle_values: vec![50.0, 200.0, 800.0],
+            observation_noise: 0.4,
+        }
+    }
+}
+
+/// The body-tracking application.
+///
+/// Each *input* is a complete camera sequence (the training sequence or the
+/// production sequence, possibly offset to create several distinct inputs);
+/// running it produces the concatenated pose vectors for every frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BodytrackApp {
+    seed: u64,
+    config: BodytrackConfig,
+}
+
+impl BodytrackApp {
+    /// Creates a tracker with the paper-like configuration.
+    pub fn parsec_scale(seed: u64) -> Self {
+        BodytrackApp::with_config(seed, BodytrackConfig::parsec_like())
+    }
+
+    /// Creates a tracker with the tiny test configuration.
+    pub fn test_scale(seed: u64) -> Self {
+        BodytrackApp::with_config(seed, BodytrackConfig::tiny())
+    }
+
+    /// Creates a tracker with a custom configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration has no frames or empty knob ranges.
+    pub fn with_config(seed: u64, config: BodytrackConfig) -> Self {
+        assert!(config.training_frames > 1 && config.production_frames > 1);
+        assert!(!config.layer_values.is_empty() && !config.particle_values.is_empty());
+        BodytrackApp { seed, config }
+    }
+
+    /// The tracker's configuration.
+    pub fn config(&self) -> &BodytrackConfig {
+        &self.config
+    }
+
+    /// The ground-truth pose at frame `t` of the given sequence: a smooth
+    /// walking motion with sequence-specific phase and amplitude.
+    fn ground_truth_pose(&self, set: InputSet, index: usize, t: usize) -> [f64; POSE_DIMENSIONS] {
+        let set_tag = match set {
+            InputSet::Training => 1u64,
+            InputSet::Production => 2u64,
+        };
+        let mut rng = StdRng::seed_from_u64(
+            self.seed
+                .wrapping_mul(0xA24B_AED4_963E_E407)
+                .wrapping_add(set_tag << 48)
+                .wrapping_add(index as u64),
+        );
+        let phase: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+        let stride: f64 = rng.gen_range(0.05..0.15);
+        let amplitude: f64 = rng.gen_range(0.5..1.5);
+        let time = t as f64;
+        [
+            2.0 + stride * time,                                   // torso x
+            1.0 + 0.1 * (time * 0.7 + phase).sin(),                // torso y (bob)
+            2.0 + stride * time,                                   // head x
+            2.6 + 0.1 * (time * 0.7 + phase).sin(),                // head y
+            amplitude * (time * 0.6 + phase).sin(),                // left arm angle
+            amplitude * (time * 0.6 + phase + std::f64::consts::PI).sin(), // right arm angle
+            amplitude * (time * 0.6 + phase + std::f64::consts::PI).sin(), // left leg angle
+            amplitude * (time * 0.6 + phase).sin(),                // right leg angle
+        ]
+    }
+
+    fn frame_count(&self, set: InputSet) -> usize {
+        match set {
+            InputSet::Training => self.config.training_frames,
+            InputSet::Production => self.config.production_frames,
+        }
+    }
+
+    /// Generates the per-camera observations for frame `t`.
+    fn observe(
+        &self,
+        truth: &[f64; POSE_DIMENSIONS],
+        rng: &mut StdRng,
+    ) -> [[f64; POSE_DIMENSIONS]; CAMERA_COUNT] {
+        let mut observations = [[0.0; POSE_DIMENSIONS]; CAMERA_COUNT];
+        for camera in observations.iter_mut() {
+            for (slot, &value) in camera.iter_mut().zip(truth.iter()) {
+                *slot = value + gaussian(rng) * self.config.observation_noise;
+            }
+        }
+        observations
+    }
+
+    /// Runs the annealed particle filter over one sequence, returning the
+    /// estimated pose vectors (one per frame) and the work performed.
+    pub fn track(&self, set: InputSet, index: usize, layers: u32, particles: u32) -> (Vec<[f64; POSE_DIMENSIONS]>, f64) {
+        let frames = self.frame_count(set);
+        let particles = particles.max(1) as usize;
+        let layers = layers.max(1);
+
+        // The observation stream is independent of the knob settings: the
+        // same noisy measurements are fed to every configuration.
+        let mut observation_rng = StdRng::seed_from_u64(
+            self.seed
+                .wrapping_mul(0xD1B5_4A32_D192_ED03)
+                .wrapping_add(index as u64)
+                .wrapping_add(match set {
+                    InputSet::Training => 0x10,
+                    InputSet::Production => 0x20,
+                }),
+        );
+        // The filter's own randomness depends on the particle count so that
+        // different settings explore genuinely different particle sets.
+        let mut filter_rng = StdRng::seed_from_u64(
+            self.seed
+                .wrapping_mul(0x94D0_49BB_1331_11EB)
+                .wrapping_add((particles as u64) << 20)
+                .wrapping_add(layers as u64),
+        );
+
+        let initial_truth = self.ground_truth_pose(set, index, 0);
+        let mut particle_states: Vec<[f64; POSE_DIMENSIONS]> = (0..particles)
+            .map(|_| {
+                let mut p = initial_truth;
+                for value in p.iter_mut() {
+                    *value += gaussian(&mut filter_rng) * 0.2;
+                }
+                p
+            })
+            .collect();
+
+        let mut estimates = Vec::with_capacity(frames);
+        let mut work = 0.0;
+
+        for t in 0..frames {
+            let truth = self.ground_truth_pose(set, index, t);
+            let observations = self.observe(&truth, &mut observation_rng);
+
+            // Prediction: diffuse the particles.
+            for particle in &mut particle_states {
+                for value in particle.iter_mut() {
+                    *value += gaussian(&mut filter_rng) * 0.15;
+                }
+            }
+
+            // Annealing layers: progressively sharper likelihoods with
+            // progressively smaller diffusion.
+            for layer in 0..layers {
+                let beta = (layer + 1) as f64 / layers as f64;
+                let mut weights = Vec::with_capacity(particle_states.len());
+                for particle in &particle_states {
+                    let mut error = 0.0;
+                    for camera in &observations {
+                        for (p, o) in particle.iter().zip(camera.iter()) {
+                            error += (p - o).powi(2);
+                        }
+                    }
+                    work += (CAMERA_COUNT * POSE_DIMENSIONS) as f64;
+                    weights.push((-beta * error / (2.0 * self.config.observation_noise.powi(2))).exp());
+                }
+                let total: f64 = weights.iter().sum();
+                if total <= f64::MIN_POSITIVE {
+                    // Degenerate weights: keep the particles as they are.
+                    continue;
+                }
+
+                // Systematic resampling.
+                let mut resampled = Vec::with_capacity(particle_states.len());
+                let step = total / particle_states.len() as f64;
+                let mut target = filter_rng.gen_range(0.0..step);
+                let mut cumulative = 0.0;
+                let mut source = 0usize;
+                for _ in 0..particle_states.len() {
+                    while cumulative + weights[source] < target && source + 1 < particle_states.len() {
+                        cumulative += weights[source];
+                        source += 1;
+                    }
+                    resampled.push(particle_states[source]);
+                    target += step;
+                }
+                particle_states = resampled;
+
+                // Layer-dependent jitter keeps diversity while annealing.
+                let jitter = 0.1 * (1.0 - beta) + 0.02;
+                for particle in &mut particle_states {
+                    for value in particle.iter_mut() {
+                        *value += gaussian(&mut filter_rng) * jitter;
+                    }
+                }
+            }
+
+            // The frame's estimate is the particle mean.
+            let mut estimate = [0.0; POSE_DIMENSIONS];
+            for particle in &particle_states {
+                for (slot, value) in estimate.iter_mut().zip(particle.iter()) {
+                    *slot += value;
+                }
+            }
+            for slot in estimate.iter_mut() {
+                *slot /= particle_states.len() as f64;
+            }
+            estimates.push(estimate);
+            let _ = t;
+        }
+
+        (estimates, work)
+    }
+
+    /// Mean absolute tracking error against the ground truth (used by tests
+    /// and the calibration sanity checks; the paper's QoS metric compares
+    /// against the baseline configuration instead).
+    pub fn tracking_error(&self, set: InputSet, index: usize, estimates: &[[f64; POSE_DIMENSIONS]]) -> f64 {
+        let mut error = 0.0;
+        let mut count = 0usize;
+        for (t, estimate) in estimates.iter().enumerate() {
+            let truth = self.ground_truth_pose(set, index, t);
+            for (e, g) in estimate.iter().zip(truth.iter()) {
+                error += (e - g).abs();
+                count += 1;
+            }
+        }
+        error / count as f64
+    }
+}
+
+/// Draws one standard normal variate via Box–Muller.
+fn gaussian(rng: &mut StdRng) -> f64 {
+    loop {
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let value = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        if value.is_finite() {
+            return value;
+        }
+    }
+}
+
+impl KnobbedApplication for BodytrackApp {
+    fn name(&self) -> &str {
+        "bodytrack"
+    }
+
+    fn parameter_space(&self) -> ParameterSpace {
+        let default_of = |values: &[f64]| *values.last().expect("knob ranges are non-empty");
+        ParameterSpace::builder()
+            .parameter(
+                ConfigParameter::new(
+                    LAYERS_KNOB,
+                    self.config.layer_values.clone(),
+                    default_of(&self.config.layer_values),
+                )
+                .expect("layer values are valid"),
+            )
+            .parameter(
+                ConfigParameter::new(
+                    PARTICLES_KNOB,
+                    self.config.particle_values.clone(),
+                    default_of(&self.config.particle_values),
+                )
+                .expect("particle values are valid"),
+            )
+            .build()
+            .expect("the space has two distinct parameters")
+    }
+
+    fn qos_comparator(&self) -> Box<dyn QosComparator> {
+        Box::new(MagnitudeWeightedDistortion::new())
+    }
+
+    fn input_count(&self, set: InputSet) -> usize {
+        // One camera sequence per set, as in the paper (Table 1), but the
+        // production sequence is longer.
+        match set {
+            InputSet::Training => 2,
+            InputSet::Production => 2,
+        }
+    }
+
+    fn run_input(&self, set: InputSet, index: usize, setting: &ParameterSetting) -> WorkUnitResult {
+        assert!(
+            index < self.input_count(set),
+            "sequence index {index} out of range for the {set} set"
+        );
+        let layers = setting.value(LAYERS_KNOB).expect("setting assigns layers") as u32;
+        let particles = setting
+            .value(PARTICLES_KNOB)
+            .expect("setting assigns particles") as u32;
+        let (estimates, work) = self.track(set, index, layers, particles);
+        let components: Vec<f64> = estimates.iter().flat_map(|pose| pose.iter().copied()).collect();
+        WorkUnitResult {
+            work,
+            output: OutputAbstraction::from_components(components),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_app() -> BodytrackApp {
+        BodytrackApp::test_scale(23)
+    }
+
+    #[test]
+    fn configuration_presets_are_valid() {
+        let tiny = tiny_app();
+        assert_eq!(tiny.parameter_space().setting_count(), 9);
+        assert_eq!(tiny.name(), "bodytrack");
+        let paper = BodytrackApp::parsec_scale(0);
+        assert_eq!(paper.parameter_space().setting_count(), 25);
+        assert_eq!(paper.config().particle_values.last(), Some(&4000.0));
+        assert_eq!(paper.input_count(InputSet::Training), 2);
+    }
+
+    #[test]
+    fn work_scales_with_particles_and_layers() {
+        let app = tiny_app();
+        let (_, work_small) = app.track(InputSet::Training, 0, 1, 50);
+        let (_, work_large) = app.track(InputSet::Training, 0, 5, 800);
+        assert!(
+            work_large > 10.0 * work_small,
+            "work {work_large} should dwarf {work_small}"
+        );
+    }
+
+    #[test]
+    fn more_particles_track_more_accurately() {
+        let app = tiny_app();
+        let (cheap, _) = app.track(InputSet::Training, 0, 1, 50);
+        let (expensive, _) = app.track(InputSet::Training, 0, 5, 800);
+        let cheap_error = app.tracking_error(InputSet::Training, 0, &cheap);
+        let expensive_error = app.tracking_error(InputSet::Training, 0, &expensive);
+        assert!(
+            expensive_error < cheap_error,
+            "default-setting error {expensive_error} should beat cheap error {cheap_error}"
+        );
+        // The default configuration tracks the body reasonably well.
+        assert!(expensive_error < 0.3, "error {expensive_error} should be small");
+    }
+
+    #[test]
+    fn tracking_is_deterministic() {
+        let app = tiny_app();
+        let setting = app.parameter_space().default_setting();
+        let a = app.run_input(InputSet::Production, 0, &setting);
+        let b = app.run_input(InputSet::Production, 0, &setting);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn output_abstraction_covers_every_frame() {
+        let app = tiny_app();
+        let setting = app.parameter_space().default_setting();
+        let result = app.run_input(InputSet::Training, 0, &setting);
+        assert_eq!(
+            result.output.len(),
+            app.config().training_frames * POSE_DIMENSIONS
+        );
+    }
+
+    #[test]
+    fn qos_comparator_penalizes_sloppy_tracking() {
+        let app = tiny_app();
+        let space = app.parameter_space();
+        let baseline = app.run_input(InputSet::Training, 0, &space.default_setting());
+        let cheap = app.run_input(InputSet::Training, 0, &space.setting(0).unwrap());
+        let comparator = app.qos_comparator();
+        let loss = comparator.qos_loss(&baseline.output, &cheap.output).unwrap();
+        assert!(loss.value() > 0.0);
+        let self_loss = comparator.qos_loss(&baseline.output, &baseline.output).unwrap();
+        assert_eq!(self_loss.value(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_sequence_panics() {
+        let app = tiny_app();
+        let setting = app.parameter_space().default_setting();
+        app.run_input(InputSet::Training, 5, &setting);
+    }
+
+    #[test]
+    fn ground_truth_is_smooth() {
+        let app = tiny_app();
+        let a = app.ground_truth_pose(InputSet::Training, 0, 3);
+        let b = app.ground_truth_pose(InputSet::Training, 0, 4);
+        let jump: f64 = a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).sum();
+        assert!(jump < 2.0, "consecutive poses should differ smoothly, got {jump}");
+    }
+}

@@ -1,0 +1,171 @@
+//! Application-specific QoS comparators.
+
+use powerdial_knobs::QosComparator;
+use powerdial_qos::{retrieval::RetrievalScore, weighted_distortion, OutputAbstraction, QosError, QosLoss};
+
+/// Distortion with weights proportional to the magnitude of the baseline
+/// components.
+///
+/// The bodytrack benchmark weights each body-part vector component by its
+/// magnitude, so large components (the torso) influence the QoS metric more
+/// than small ones (forearms). Weights are normalized so that a uniform
+/// relative error `e` on every component produces a QoS loss of `e`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MagnitudeWeightedDistortion;
+
+impl MagnitudeWeightedDistortion {
+    /// Creates the comparator.
+    pub fn new() -> Self {
+        MagnitudeWeightedDistortion
+    }
+}
+
+impl QosComparator for MagnitudeWeightedDistortion {
+    fn name(&self) -> &str {
+        "magnitude-weighted distortion"
+    }
+
+    fn qos_loss(
+        &self,
+        baseline: &OutputAbstraction,
+        candidate: &OutputAbstraction,
+    ) -> Result<QosLoss, QosError> {
+        baseline.validate()?;
+        let total: f64 = baseline.components().iter().map(|c| c.abs()).sum();
+        let m = baseline.len() as f64;
+        let weights: Vec<f64> = if total == 0.0 {
+            vec![1.0; baseline.len()]
+        } else {
+            baseline
+                .components()
+                .iter()
+                .map(|c| c.abs() / total * m)
+                .collect()
+        };
+        weighted_distortion(baseline, candidate, &weights)
+    }
+}
+
+/// F-measure over ranked result lists, evaluated at an optional cutoff
+/// (`P@N` in the paper's notation).
+///
+/// The output abstraction of the search benchmark is the ranked list of
+/// returned document identifiers. The baseline (default `max-results`)
+/// configuration defines the relevant set; the candidate's QoS loss is
+/// `1 − F` where `F` is the harmonic mean of precision and recall.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RankedListFMeasure {
+    cutoff: Option<usize>,
+}
+
+impl RankedListFMeasure {
+    /// F-measure over the full result lists.
+    pub fn new() -> Self {
+        RankedListFMeasure { cutoff: None }
+    }
+
+    /// F-measure evaluated at `P@n`: both lists are truncated to their top
+    /// `n` entries before scoring.
+    pub fn at(n: usize) -> Self {
+        RankedListFMeasure { cutoff: Some(n) }
+    }
+
+    /// The configured cutoff, if any.
+    pub fn cutoff(&self) -> Option<usize> {
+        self.cutoff
+    }
+}
+
+impl QosComparator for RankedListFMeasure {
+    fn name(&self) -> &str {
+        "ranked-list F-measure"
+    }
+
+    fn qos_loss(
+        &self,
+        baseline: &OutputAbstraction,
+        candidate: &OutputAbstraction,
+    ) -> Result<QosLoss, QosError> {
+        baseline.validate()?;
+        candidate.validate()?;
+        let relevant: Vec<u64> = baseline.components().iter().map(|&c| c as u64).collect();
+        let retrieved: Vec<u64> = candidate.components().iter().map(|&c| c as u64).collect();
+        let score = match self.cutoff {
+            Some(n) => RetrievalScore::evaluate_at(&retrieved, &relevant, n),
+            None => RetrievalScore::evaluate(&retrieved, &relevant),
+        };
+        Ok(QosLoss::new(score.qos_loss()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn magnitude_weighting_emphasizes_large_components() {
+        let comparator = MagnitudeWeightedDistortion::new();
+        let baseline = OutputAbstraction::from_components([100.0, 1.0]);
+        // 10 % error on the large component vs 10 % error on the small one.
+        let large_err = OutputAbstraction::from_components([110.0, 1.0]);
+        let small_err = OutputAbstraction::from_components([100.0, 1.1]);
+        let loss_large = comparator.qos_loss(&baseline, &large_err).unwrap();
+        let loss_small = comparator.qos_loss(&baseline, &small_err).unwrap();
+        assert!(loss_large.value() > loss_small.value());
+        assert_eq!(comparator.name(), "magnitude-weighted distortion");
+    }
+
+    #[test]
+    fn uniform_relative_error_gives_that_error() {
+        let comparator = MagnitudeWeightedDistortion::new();
+        let baseline = OutputAbstraction::from_components([10.0, 200.0, 5.0]);
+        let candidate = OutputAbstraction::from_components([10.5, 210.0, 5.25]);
+        let loss = comparator.qos_loss(&baseline, &candidate).unwrap();
+        assert!((loss.value() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_baseline_falls_back_to_uniform_weights() {
+        let comparator = MagnitudeWeightedDistortion::new();
+        let baseline = OutputAbstraction::from_components([0.0, 0.0]);
+        let candidate = OutputAbstraction::from_components([0.1, 0.0]);
+        let loss = comparator.qos_loss(&baseline, &candidate).unwrap();
+        assert!(loss.value() > 0.0);
+    }
+
+    #[test]
+    fn fmeasure_of_identical_lists_is_zero_loss() {
+        let comparator = RankedListFMeasure::new();
+        let list = OutputAbstraction::from_components([3.0, 1.0, 7.0]);
+        assert_eq!(comparator.qos_loss(&list, &list).unwrap(), QosLoss::ZERO);
+        assert_eq!(comparator.name(), "ranked-list F-measure");
+        assert_eq!(comparator.cutoff(), None);
+    }
+
+    #[test]
+    fn truncated_list_loses_recall_not_precision() {
+        let comparator = RankedListFMeasure::new();
+        let baseline = OutputAbstraction::from_components((0..100).map(|i| i as f64));
+        let truncated = OutputAbstraction::from_components((0..5).map(|i| i as f64));
+        let loss = comparator.qos_loss(&baseline, &truncated).unwrap();
+        // Precision 1, recall 0.05 -> F ≈ 0.095, loss ≈ 0.905.
+        assert!(loss.value() > 0.85 && loss.value() < 0.95);
+    }
+
+    #[test]
+    fn p_at_n_ignores_truncation_beyond_the_cutoff() {
+        let comparator = RankedListFMeasure::at(5);
+        assert_eq!(comparator.cutoff(), Some(5));
+        let baseline = OutputAbstraction::from_components((0..100).map(|i| i as f64));
+        let truncated = OutputAbstraction::from_components((0..5).map(|i| i as f64));
+        // The top five results are identical, so at P@5 there is no loss.
+        assert_eq!(
+            comparator.qos_loss(&baseline, &truncated).unwrap(),
+            QosLoss::ZERO
+        );
+
+        let at_ten = RankedListFMeasure::at(10);
+        let loss = at_ten.qos_loss(&baseline, &truncated).unwrap();
+        assert!(loss.value() > 0.0);
+    }
+}

@@ -1,0 +1,52 @@
+//! Benchmark applications with performance-versus-QoS knobs.
+//!
+//! The PowerDial paper evaluates on three PARSEC benchmarks and one
+//! open-source search engine. This crate reimplements the computational core
+//! of each as a self-contained, deterministic Rust application exposing the
+//! same knobs and the same QoS structure:
+//!
+//! | Module | Paper benchmark | Knobs | QoS metric |
+//! |---|---|---|---|
+//! | [`swaptions`] | PARSEC swaptions (Monte Carlo swaption pricing) | `sm` — trials per swaption | distortion of swaption prices |
+//! | [`video`] | PARSEC x264 (H.264 encoding) | `subme`, `merange`, `ref` | distortion of PSNR and bitrate |
+//! | [`bodytrack`] | PARSEC bodytrack (annealed particle filter) | annealing layers, particles | magnitude-weighted distortion of body-part vectors |
+//! | [`search`] | swish++ (document search engine) | `max_results` | F-measure of ranked result lists |
+//!
+//! All four implement [`KnobbedApplication`]: given an input index (from the
+//! training or production set) and a parameter setting, they perform the real
+//! computation, report the *work* it required (abstract work units that the
+//! platform simulator converts into time), and produce the output abstraction
+//! PowerDial's calibrator compares against the baseline.
+//!
+//! Every application is seeded and fully deterministic: the same
+//! `(seed, input, setting)` triple always produces the same work and output.
+//!
+//! # Example
+//!
+//! ```
+//! use powerdial_apps::{InputSet, KnobbedApplication, SwaptionsApp};
+//!
+//! let app = SwaptionsApp::test_scale(7);
+//! let space = app.parameter_space();
+//! let baseline = space.default_setting();
+//! let result = app.run_input(InputSet::Training, 0, &baseline);
+//! assert!(result.work > 0.0);
+//! assert_eq!(result.output.len(), 1); // one swaption price
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod bodytrack;
+mod comparators;
+pub mod search;
+pub mod swaptions;
+mod traits;
+pub mod video;
+
+pub use bodytrack::BodytrackApp;
+pub use comparators::{MagnitudeWeightedDistortion, RankedListFMeasure};
+pub use search::SearchApp;
+pub use swaptions::SwaptionsApp;
+pub use traits::{InputSet, KnobbedApplication, WorkUnitResult};
+pub use video::VideoEncoderApp;

@@ -1,0 +1,456 @@
+//! A document search engine (the `swish++` benchmark).
+//!
+//! The engine indexes a synthetic corpus whose word frequencies follow a Zipf
+//! distribution (standing in for the Project Gutenberg books the paper uses),
+//! generates queries by sampling words from a power-law distribution
+//! (following the Middleton & Baeza-Yates methodology the paper cites), and
+//! answers each query from an inverted index with tf–idf ranking. The single
+//! knob is `max-results`: returning fewer results skips the per-result
+//! processing of low-ranked hits, trading recall for throughput exactly as
+//! swish++'s `-m` flag does.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use powerdial_knobs::{ConfigParameter, ParameterSetting, ParameterSpace, QosComparator};
+use powerdial_qos::OutputAbstraction;
+
+use crate::comparators::RankedListFMeasure;
+use crate::traits::{InputSet, KnobbedApplication, WorkUnitResult};
+
+/// Name of the maximum-results knob (swish++'s `-m` / `max-results` option).
+pub const MAX_RESULTS_KNOB: &str = "max_results";
+
+/// Sizing configuration of the search engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchConfig {
+    /// Number of documents in the corpus.
+    pub documents: usize,
+    /// Vocabulary size.
+    pub vocabulary: usize,
+    /// Words per document.
+    pub words_per_document: usize,
+    /// Values explored for the `max_results` knob.
+    pub max_results_values: Vec<f64>,
+    /// Number of training queries.
+    pub training_queries: usize,
+    /// Number of production queries.
+    pub production_queries: usize,
+    /// Minimum and maximum number of terms per query.
+    pub query_terms: (usize, usize),
+}
+
+impl SearchConfig {
+    /// A configuration mirroring the paper's setup (2000 documents, the
+    /// default `max-results` ladder 5–100) at a corpus size that indexes
+    /// quickly.
+    pub fn swish_like() -> Self {
+        SearchConfig {
+            documents: 2000,
+            vocabulary: 4000,
+            words_per_document: 200,
+            max_results_values: vec![5.0, 10.0, 25.0, 50.0, 75.0, 100.0],
+            training_queries: 40,
+            production_queries: 60,
+            query_terms: (1, 3),
+        }
+    }
+
+    /// A tiny configuration for unit tests and debug builds.
+    pub fn tiny() -> Self {
+        SearchConfig {
+            documents: 250,
+            vocabulary: 600,
+            words_per_document: 60,
+            max_results_values: vec![5.0, 10.0, 25.0, 50.0, 100.0],
+            training_queries: 8,
+            production_queries: 12,
+            query_terms: (1, 3),
+        }
+    }
+}
+
+/// One parsed query: the distinct term identifiers to search for.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Query {
+    /// Term identifiers, most significant first.
+    pub terms: Vec<u32>,
+}
+
+/// One ranked search result.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SearchHit {
+    /// Document identifier.
+    pub document: u32,
+    /// tf–idf relevance score.
+    pub score: f64,
+}
+
+/// The outcome of answering one query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryOutcome {
+    /// The returned hits, best first, truncated to `max_results`.
+    pub hits: Vec<SearchHit>,
+    /// Total matching documents before truncation.
+    pub matched: usize,
+    /// Abstract work units the query consumed.
+    pub work: f64,
+}
+
+/// The document search application.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchApp {
+    seed: u64,
+    config: SearchConfig,
+    /// Inverted index: term id -> postings of `(document, term frequency)`.
+    index: HashMap<u32, Vec<(u32, u32)>>,
+    training_queries: Vec<Query>,
+    production_queries: Vec<Query>,
+}
+
+impl SearchApp {
+    /// Creates a search engine with the paper-like configuration.
+    pub fn swish_scale(seed: u64) -> Self {
+        SearchApp::with_config(seed, SearchConfig::swish_like())
+    }
+
+    /// Creates a search engine with the tiny test configuration.
+    pub fn test_scale(seed: u64) -> Self {
+        SearchApp::with_config(seed, SearchConfig::tiny())
+    }
+
+    /// Creates a search engine with a custom configuration, generating and
+    /// indexing the corpus and the query sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration is degenerate (no documents, empty
+    /// vocabulary, no knob values, or no queries).
+    pub fn with_config(seed: u64, config: SearchConfig) -> Self {
+        assert!(config.documents > 0 && config.vocabulary > 0 && config.words_per_document > 0);
+        assert!(!config.max_results_values.is_empty());
+        assert!(config.training_queries > 0 && config.production_queries > 0);
+        assert!(config.query_terms.0 >= 1 && config.query_terms.0 <= config.query_terms.1);
+
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
+
+        // Zipf-distributed word sampler: cumulative weights 1/rank.
+        let zipf = ZipfSampler::new(config.vocabulary, 1.0);
+
+        // Build the corpus and the inverted index in one pass.
+        let mut index: HashMap<u32, Vec<(u32, u32)>> = HashMap::new();
+        for document in 0..config.documents as u32 {
+            let mut term_frequencies: HashMap<u32, u32> = HashMap::new();
+            for _ in 0..config.words_per_document {
+                let word = zipf.sample(&mut rng);
+                *term_frequencies.entry(word).or_insert(0) += 1;
+            }
+            for (word, tf) in term_frequencies {
+                index.entry(word).or_default().push((document, tf));
+            }
+        }
+        for postings in index.values_mut() {
+            postings.sort_by_key(|(document, _)| *document);
+        }
+
+        // Queries: words sampled from a steeper power law (frequent words are
+        // queried more often), excluding the most common "stop words".
+        let query_sampler = ZipfSampler::new(config.vocabulary, 1.2);
+        let stop_words = (config.vocabulary / 100).max(3) as u32;
+        let make_queries = |count: usize, rng: &mut StdRng| -> Vec<Query> {
+            (0..count)
+                .map(|_| {
+                    let terms_wanted = rng.gen_range(config.query_terms.0..=config.query_terms.1);
+                    let mut terms = Vec::with_capacity(terms_wanted);
+                    while terms.len() < terms_wanted {
+                        let word = query_sampler.sample(rng) + stop_words;
+                        let word = word.min(config.vocabulary as u32 - 1);
+                        if !terms.contains(&word) {
+                            terms.push(word);
+                        }
+                    }
+                    Query { terms }
+                })
+                .collect()
+        };
+        let training_queries = make_queries(config.training_queries, &mut rng);
+        let production_queries = make_queries(config.production_queries, &mut rng);
+
+        SearchApp {
+            seed,
+            config,
+            index,
+            training_queries,
+            production_queries,
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &SearchConfig {
+        &self.config
+    }
+
+    /// The queries of the given input set.
+    pub fn queries(&self, set: InputSet) -> &[Query] {
+        match set {
+            InputSet::Training => &self.training_queries,
+            InputSet::Production => &self.production_queries,
+        }
+    }
+
+    /// Answers one query, returning at most `max_results` ranked hits.
+    pub fn answer(&self, query: &Query, max_results: usize) -> QueryOutcome {
+        let documents = self.config.documents as f64;
+        let mut scores: HashMap<u32, f64> = HashMap::new();
+        let mut postings_scanned = 0usize;
+
+        for term in &query.terms {
+            if let Some(postings) = self.index.get(term) {
+                let document_frequency = postings.len() as f64;
+                let idf = (documents / (1.0 + document_frequency)).ln().max(0.0);
+                for &(document, tf) in postings {
+                    *scores.entry(document).or_insert(0.0) += tf as f64 * idf;
+                    postings_scanned += 1;
+                }
+            }
+        }
+
+        let mut hits: Vec<SearchHit> = scores
+            .into_iter()
+            .map(|(document, score)| SearchHit { document, score })
+            .collect();
+        // Rank by score, breaking ties by document id for determinism.
+        hits.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .expect("scores are finite")
+                .then(a.document.cmp(&b.document))
+        });
+        let matched = hits.len();
+        let returned = matched.min(max_results);
+        hits.truncate(returned);
+
+        // Work: scanning and scoring the postings dominates, but every
+        // returned result also pays a retrieval cost (swish++ loads and
+        // formats each hit). The per-result cost is calibrated so that the
+        // default 100-result configuration does roughly 1.5x the work of the
+        // truncated configurations, matching the paper's observed speedup.
+        let scan_work = postings_scanned as f64;
+        let rank_work = matched as f64 * ((matched as f64) + 1.0).log2();
+        let per_result_work = (scan_work + rank_work) / 150.0;
+        let work = scan_work + rank_work + per_result_work * returned as f64;
+
+        QueryOutcome {
+            hits,
+            matched,
+            work,
+        }
+    }
+
+    /// A QoS comparator evaluating precision/recall at `P@n`, as reported in
+    /// the paper's figures for P@10 and P@100.
+    pub fn qos_comparator_at(&self, n: usize) -> Box<dyn QosComparator> {
+        Box::new(RankedListFMeasure::at(n))
+    }
+}
+
+/// Samples ranks 0..n with probability proportional to `1 / (rank+1)^exponent`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ZipfSampler {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
+    fn new(n: usize, exponent: f64) -> Self {
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 0..n {
+            total += 1.0 / ((rank + 1) as f64).powf(exponent);
+            cumulative.push(total);
+        }
+        ZipfSampler { cumulative }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> u32 {
+        let total = *self.cumulative.last().expect("sampler is non-empty");
+        let target = rng.gen_range(0.0..total);
+        match self
+            .cumulative
+            .binary_search_by(|probe| probe.partial_cmp(&target).expect("finite weights"))
+        {
+            Ok(index) | Err(index) => index.min(self.cumulative.len() - 1) as u32,
+        }
+    }
+}
+
+impl KnobbedApplication for SearchApp {
+    fn name(&self) -> &str {
+        "swish++"
+    }
+
+    fn parameter_space(&self) -> ParameterSpace {
+        let default = *self
+            .config
+            .max_results_values
+            .last()
+            .expect("knob values are non-empty");
+        ParameterSpace::builder()
+            .parameter(
+                ConfigParameter::new(MAX_RESULTS_KNOB, self.config.max_results_values.clone(), default)
+                    .expect("max-results values are valid"),
+            )
+            .build()
+            .expect("the space has one parameter")
+    }
+
+    fn qos_comparator(&self) -> Box<dyn QosComparator> {
+        // The paper's headline swish++ numbers (Figures 6d and 8d) evaluate
+        // precision and recall at a cutoff of ten results; use P@10 as the
+        // default metric and expose other cutoffs through
+        // [`SearchApp::qos_comparator_at`].
+        Box::new(RankedListFMeasure::at(10))
+    }
+
+    fn input_count(&self, set: InputSet) -> usize {
+        self.queries(set).len()
+    }
+
+    fn run_input(&self, set: InputSet, index: usize, setting: &ParameterSetting) -> WorkUnitResult {
+        let query = &self.queries(set)[index];
+        let max_results = setting
+            .value(MAX_RESULTS_KNOB)
+            .expect("setting assigns max_results")
+            .round()
+            .max(1.0) as usize;
+        let outcome = self.answer(query, max_results);
+        WorkUnitResult {
+            work: outcome.work,
+            output: OutputAbstraction::from_components(
+                outcome.hits.iter().map(|hit| hit.document as f64),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_app() -> SearchApp {
+        SearchApp::test_scale(31)
+    }
+
+    #[test]
+    fn configuration_presets_are_valid() {
+        let app = tiny_app();
+        assert_eq!(app.name(), "swish++");
+        assert_eq!(app.parameter_space().setting_count(), 5);
+        assert_eq!(app.input_count(InputSet::Training), 8);
+        assert_eq!(app.input_count(InputSet::Production), 12);
+        assert_eq!(
+            app.parameter_space().default_setting().value(MAX_RESULTS_KNOB),
+            Some(100.0)
+        );
+    }
+
+    #[test]
+    fn zipf_sampler_prefers_low_ranks() {
+        let sampler = ZipfSampler::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            counts[sampler.sample(&mut rng) as usize] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[90]);
+    }
+
+    #[test]
+    fn common_words_appear_in_many_documents() {
+        let app = tiny_app();
+        let common = app.index.get(&0).map(|p| p.len()).unwrap_or(0);
+        let rare = app.index.get(&(app.config.vocabulary as u32 - 1)).map(|p| p.len()).unwrap_or(0);
+        assert!(common > rare, "word 0 should be in more documents ({common} vs {rare})");
+        assert!(common > app.config.documents / 2);
+    }
+
+    #[test]
+    fn truncation_keeps_top_ranked_hits() {
+        let app = tiny_app();
+        let query = &app.queries(InputSet::Training)[0];
+        let full = app.answer(query, 100);
+        let truncated = app.answer(query, 5);
+        assert!(truncated.hits.len() <= 5);
+        assert_eq!(truncated.matched, full.matched);
+        for (a, b) in truncated.hits.iter().zip(full.hits.iter()) {
+            assert_eq!(a.document, b.document, "top results must be preserved in order");
+        }
+        // Scores are sorted descending.
+        for pair in full.hits.windows(2) {
+            assert!(pair[0].score >= pair[1].score);
+        }
+    }
+
+    #[test]
+    fn returning_fewer_results_costs_less_work() {
+        let app = tiny_app();
+        let mut total_full = 0.0;
+        let mut total_truncated = 0.0;
+        for query in app.queries(InputSet::Training) {
+            total_full += app.answer(query, 100).work;
+            total_truncated += app.answer(query, 5).work;
+        }
+        let speedup = total_full / total_truncated;
+        assert!(
+            speedup > 1.2 && speedup < 1.8,
+            "speedup {speedup} should be roughly the paper's 1.5x"
+        );
+    }
+
+    #[test]
+    fn qos_loss_comes_from_recall_not_precision() {
+        use powerdial_qos::retrieval::RetrievalScore;
+        let app = tiny_app();
+        let query = &app.queries(InputSet::Production)[0];
+        let baseline: Vec<u32> = app.answer(query, 100).hits.iter().map(|h| h.document).collect();
+        let truncated: Vec<u32> = app.answer(query, 5).hits.iter().map(|h| h.document).collect();
+        let score = RetrievalScore::evaluate(&truncated, &baseline);
+        assert_eq!(score.precision(), 1.0, "every returned result is still relevant");
+        assert!(score.recall() < 1.0, "recall drops because results are dropped");
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let app = tiny_app();
+        let setting = app.parameter_space().default_setting();
+        let a = app.run_input(InputSet::Training, 3, &setting);
+        let b = app.run_input(InputSet::Training, 3, &setting);
+        assert_eq!(a, b);
+        let rebuilt = SearchApp::test_scale(31);
+        let c = rebuilt.run_input(InputSet::Training, 3, &setting);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn comparator_at_cutoff_is_available() {
+        let app = tiny_app();
+        let comparator = app.qos_comparator_at(10);
+        assert_eq!(comparator.name(), "ranked-list F-measure");
+        let default_comparator = app.qos_comparator();
+        assert_eq!(default_comparator.name(), "ranked-list F-measure");
+    }
+
+    #[test]
+    fn queries_respect_term_count_bounds() {
+        let app = tiny_app();
+        for query in app.queries(InputSet::Training).iter().chain(app.queries(InputSet::Production)) {
+            assert!(!query.terms.is_empty() && query.terms.len() <= 3);
+            let mut unique = query.terms.clone();
+            unique.dedup();
+            assert_eq!(unique.len(), query.terms.len(), "terms are distinct");
+        }
+    }
+}

@@ -1,0 +1,380 @@
+//! Monte Carlo swaption pricing (the PARSEC `swaptions` benchmark).
+//!
+//! Each input is one European payer swaption. The application prices it with
+//! a Monte Carlo simulation of the terminal forward swap rate under a
+//! lognormal (Black) model: accuracy approaches an asymptote as the number of
+//! simulation trials grows, while execution time grows linearly — exactly the
+//! trade-off the paper's `-sm` knob exposes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr_free::standard_normal;
+use serde::{Deserialize, Serialize};
+
+use powerdial_knobs::{ConfigParameter, DistortionComparator, ParameterSetting, ParameterSpace, QosComparator};
+use powerdial_qos::OutputAbstraction;
+
+use crate::traits::{InputSet, KnobbedApplication, WorkUnitResult};
+
+/// Name of the trial-count knob (the benchmark's `-sm` command-line flag).
+pub const TRIALS_KNOB: &str = "sm";
+
+/// One swaption to price.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Swaption {
+    /// Current forward swap rate.
+    pub forward_rate: f64,
+    /// Strike rate.
+    pub strike: f64,
+    /// Lognormal volatility of the forward swap rate.
+    pub volatility: f64,
+    /// Option maturity in years.
+    pub maturity_years: f64,
+    /// Tenor of the underlying swap in years (determines the annuity).
+    pub tenor_years: f64,
+    /// Flat discount rate used for the annuity.
+    pub discount_rate: f64,
+}
+
+impl Swaption {
+    /// The annuity (present value of a unit coupon stream over the swap's
+    /// tenor, paid annually, discounted from the option maturity).
+    pub fn annuity(&self) -> f64 {
+        let payments = self.tenor_years.round().max(1.0) as usize;
+        (1..=payments)
+            .map(|k| (-(self.maturity_years + k as f64) * self.discount_rate).exp())
+            .sum()
+    }
+
+    /// The closed-form Black price of the swaption (used as the reference in
+    /// convergence tests).
+    pub fn black_price(&self) -> f64 {
+        let sigma_sqrt_t = self.volatility * self.maturity_years.sqrt();
+        if sigma_sqrt_t <= 0.0 {
+            return self.annuity() * (self.forward_rate - self.strike).max(0.0);
+        }
+        let d1 = ((self.forward_rate / self.strike).ln() + 0.5 * sigma_sqrt_t * sigma_sqrt_t)
+            / sigma_sqrt_t;
+        let d2 = d1 - sigma_sqrt_t;
+        self.annuity() * (self.forward_rate * normal_cdf(d1) - self.strike * normal_cdf(d2))
+    }
+
+    /// Prices the swaption with `trials` Monte Carlo paths using the given
+    /// random stream.
+    pub fn monte_carlo_price(&self, trials: u64, rng: &mut StdRng) -> f64 {
+        let sigma_sqrt_t = self.volatility * self.maturity_years.sqrt();
+        let drift = -0.5 * sigma_sqrt_t * sigma_sqrt_t;
+        let annuity = self.annuity();
+        let mut total = 0.0;
+        for _ in 0..trials {
+            let z = standard_normal(rng);
+            let terminal_rate = self.forward_rate * (drift + sigma_sqrt_t * z).exp();
+            total += (terminal_rate - self.strike).max(0.0);
+        }
+        annuity * total / trials as f64
+    }
+}
+
+/// Standard normal cumulative distribution function (Abramowitz–Stegun
+/// approximation, accurate to ~1e-7).
+fn normal_cdf(x: f64) -> f64 {
+    let t = 1.0 / (1.0 + 0.2316419 * x.abs());
+    let poly = t
+        * (0.319381530
+            + t * (-0.356563782 + t * (1.781477937 + t * (-1.821255978 + t * 1.330274429))));
+    let pdf = (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt();
+    let tail = pdf * poly;
+    if x >= 0.0 {
+        1.0 - tail
+    } else {
+        tail
+    }
+}
+
+/// Minimal inline standard-normal sampler (Box–Muller) so the crate only
+/// depends on `rand`'s uniform generator.
+mod rand_distr_free {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Draws one standard normal variate.
+    pub fn standard_normal(rng: &mut StdRng) -> f64 {
+        loop {
+            let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let value = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            if value.is_finite() {
+                return value;
+            }
+        }
+    }
+}
+
+/// The Monte Carlo swaption-pricing application.
+///
+/// See the crate-level documentation for an example.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SwaptionsApp {
+    seed: u64,
+    trial_values: Vec<f64>,
+    training: Vec<Swaption>,
+    production: Vec<Swaption>,
+}
+
+impl SwaptionsApp {
+    /// The configuration used for the paper-scale experiments: trial counts
+    /// from 10 000 up to the PARSEC native default of 1 000 000, with 64
+    /// training and 512 production swaptions.
+    pub fn parsec_scale(seed: u64) -> Self {
+        SwaptionsApp::with_configuration(
+            seed,
+            vec![
+                10_000.0, 25_000.0, 50_000.0, 100_000.0, 250_000.0, 500_000.0, 1_000_000.0,
+            ],
+            64,
+            512,
+        )
+    }
+
+    /// A scaled-down configuration suitable for unit tests and debug builds:
+    /// the same structure with far fewer trials and inputs.
+    pub fn test_scale(seed: u64) -> Self {
+        SwaptionsApp::with_configuration(
+            seed,
+            vec![200.0, 500.0, 1_000.0, 2_000.0, 5_000.0, 20_000.0],
+            6,
+            12,
+        )
+    }
+
+    /// Fully custom configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trial_values` is empty or the input counts are zero.
+    pub fn with_configuration(
+        seed: u64,
+        trial_values: Vec<f64>,
+        training_inputs: usize,
+        production_inputs: usize,
+    ) -> Self {
+        assert!(!trial_values.is_empty(), "at least one trial count is required");
+        assert!(
+            training_inputs > 0 && production_inputs > 0,
+            "input counts must be positive"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let training = (0..training_inputs)
+            .map(|_| SwaptionsApp::random_swaption(&mut rng))
+            .collect();
+        let production = (0..production_inputs)
+            .map(|_| SwaptionsApp::random_swaption(&mut rng))
+            .collect();
+        SwaptionsApp {
+            seed,
+            trial_values,
+            training,
+            production,
+        }
+    }
+
+    fn random_swaption(rng: &mut StdRng) -> Swaption {
+        let forward_rate = rng.gen_range(0.01..0.08);
+        Swaption {
+            forward_rate,
+            strike: forward_rate * rng.gen_range(0.8..1.2),
+            volatility: rng.gen_range(0.1..0.5),
+            maturity_years: rng.gen_range(1.0..10.0),
+            tenor_years: rng.gen_range(1.0..10.0),
+            discount_rate: rng.gen_range(0.005..0.05),
+        }
+    }
+
+    /// The swaptions in the given input set.
+    pub fn inputs(&self, set: InputSet) -> &[Swaption] {
+        match set {
+            InputSet::Training => &self.training,
+            InputSet::Production => &self.production,
+        }
+    }
+
+    fn rng_for(&self, set: InputSet, index: usize, trials: u64) -> StdRng {
+        let set_tag = match set {
+            InputSet::Training => 1u64,
+            InputSet::Production => 2u64,
+        };
+        StdRng::seed_from_u64(
+            self.seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(set_tag << 32)
+                .wrapping_add((index as u64) << 8)
+                .wrapping_add(trials),
+        )
+    }
+}
+
+impl KnobbedApplication for SwaptionsApp {
+    fn name(&self) -> &str {
+        "swaptions"
+    }
+
+    fn parameter_space(&self) -> ParameterSpace {
+        let default = *self
+            .trial_values
+            .last()
+            .expect("trial values are validated to be non-empty");
+        ParameterSpace::builder()
+            .parameter(
+                ConfigParameter::new(TRIALS_KNOB, self.trial_values.clone(), default)
+                    .expect("trial values are finite and include the default"),
+            )
+            .build()
+            .expect("the space has exactly one parameter")
+    }
+
+    fn qos_comparator(&self) -> Box<dyn QosComparator> {
+        // Prices are weighted equally, so plain distortion is the paper's
+        // metric.
+        Box::new(DistortionComparator::new())
+    }
+
+    fn input_count(&self, set: InputSet) -> usize {
+        self.inputs(set).len()
+    }
+
+    fn run_input(&self, set: InputSet, index: usize, setting: &ParameterSetting) -> WorkUnitResult {
+        let swaption = self.inputs(set)[index];
+        let trials = setting
+            .value(TRIALS_KNOB)
+            .expect("setting must assign the trial-count knob")
+            .round()
+            .max(1.0) as u64;
+        let mut rng = self.rng_for(set, index, trials);
+        let price = swaption.monte_carlo_price(trials, &mut rng);
+        WorkUnitResult {
+            work: trials as f64,
+            output: OutputAbstraction::builder().component("price", price).build(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn annuity_discounts_each_payment() {
+        let swaption = Swaption {
+            forward_rate: 0.05,
+            strike: 0.05,
+            volatility: 0.2,
+            maturity_years: 1.0,
+            tenor_years: 2.0,
+            discount_rate: 0.0,
+        };
+        // Zero discount rate: annuity is just the number of payments.
+        assert!((swaption.annuity() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normal_cdf_matches_known_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+        assert!(normal_cdf(6.0) > 0.999_999);
+    }
+
+    #[test]
+    fn monte_carlo_converges_to_black_price() {
+        let swaption = Swaption {
+            forward_rate: 0.05,
+            strike: 0.05,
+            volatility: 0.25,
+            maturity_years: 3.0,
+            tenor_years: 5.0,
+            discount_rate: 0.02,
+        };
+        let reference = swaption.black_price();
+        let mut rng = StdRng::seed_from_u64(17);
+        let estimate = swaption.monte_carlo_price(200_000, &mut rng);
+        let relative_error = ((estimate - reference) / reference).abs();
+        assert!(
+            relative_error < 0.02,
+            "mc price {estimate} vs black {reference} (relative error {relative_error})"
+        );
+    }
+
+    #[test]
+    fn more_trials_means_more_accurate_prices_on_average() {
+        let app = SwaptionsApp::test_scale(3);
+        let space = app.parameter_space();
+        let cheap_setting = space.setting(0).unwrap();
+        let default_setting = space.default_setting();
+
+        let mut cheap_error = 0.0;
+        let mut default_error = 0.0;
+        for (index, swaption) in app.inputs(InputSet::Training).iter().enumerate() {
+            let reference = swaption.black_price();
+            let cheap = app.run_input(InputSet::Training, index, &cheap_setting);
+            let default = app.run_input(InputSet::Training, index, &default_setting);
+            cheap_error += ((cheap.output.component(0).unwrap() - reference) / reference).abs();
+            default_error += ((default.output.component(0).unwrap() - reference) / reference).abs();
+        }
+        assert!(
+            default_error < cheap_error,
+            "default-trial error {default_error} should beat cheap-trial error {cheap_error}"
+        );
+    }
+
+    #[test]
+    fn work_equals_trial_count() {
+        let app = SwaptionsApp::test_scale(1);
+        let space = app.parameter_space();
+        for setting in space.settings() {
+            let result = app.run_input(InputSet::Production, 0, &setting);
+            assert_eq!(result.work, setting.value(TRIALS_KNOB).unwrap());
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let app = SwaptionsApp::test_scale(5);
+        let setting = app.parameter_space().default_setting();
+        let a = app.run_input(InputSet::Training, 2, &setting);
+        let b = app.run_input(InputSet::Training, 2, &setting);
+        assert_eq!(a, b);
+        let other_app = SwaptionsApp::test_scale(5);
+        let c = other_app.run_input(InputSet::Training, 2, &setting);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn input_counts_match_configuration() {
+        let app = SwaptionsApp::test_scale(0);
+        assert_eq!(app.input_count(InputSet::Training), 6);
+        assert_eq!(app.input_count(InputSet::Production), 12);
+        assert_eq!(app.name(), "swaptions");
+        let paper = SwaptionsApp::parsec_scale(0);
+        assert_eq!(paper.input_count(InputSet::Training), 64);
+        assert_eq!(paper.input_count(InputSet::Production), 512);
+        assert_eq!(paper.parameter_space().setting_count(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial count")]
+    fn empty_trial_values_panic() {
+        SwaptionsApp::with_configuration(0, vec![], 1, 1);
+    }
+
+    #[test]
+    fn trace_run_yields_one_control_variable() {
+        use powerdial_influence::{ControlVariableAnalysis, ParamId};
+        let app = SwaptionsApp::test_scale(9);
+        let space = app.parameter_space();
+        let traces: Vec<_> = space.settings().map(|s| app.trace_run(&s)).collect();
+        let set = ControlVariableAnalysis::new([ParamId::new(0)])
+            .analyze(&traces)
+            .unwrap();
+        assert_eq!(set.variable_names(), vec!["sm_control"]);
+    }
+}

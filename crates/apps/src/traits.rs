@@ -1,0 +1,190 @@
+//! The common interface every benchmark application implements.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use powerdial_influence::{TraceLog, Tracer};
+use powerdial_knobs::{ParameterSetting, ParameterSpace, QosComparator};
+use powerdial_qos::OutputAbstraction;
+
+/// Which input set a run draws from.
+///
+/// The paper randomly partitions each benchmark's inputs into a *training*
+/// set (used to calibrate the dynamic knobs) and a *production* set (used to
+/// evaluate how well the calibration generalizes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InputSet {
+    /// Inputs used during knob calibration.
+    Training,
+    /// Previously unseen inputs used during evaluation.
+    Production,
+}
+
+impl fmt::Display for InputSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InputSet::Training => write!(f, "training"),
+            InputSet::Production => write!(f, "production"),
+        }
+    }
+}
+
+/// The result of processing one input unit: the computational work it cost
+/// and the output abstraction it produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkUnitResult {
+    /// Abstract work units consumed (proportional to execution time on a
+    /// machine of constant speed).
+    pub work: f64,
+    /// The numeric abstraction of the unit's output.
+    pub output: OutputAbstraction,
+}
+
+/// A benchmark application whose configuration parameters PowerDial can turn
+/// into dynamic knobs.
+///
+/// Implementations are deterministic pure functions of
+/// `(seed, input set, input index, setting)`, which makes calibration,
+/// experiments, and tests reproducible.
+pub trait KnobbedApplication {
+    /// The application's name (as used in the paper's tables and figures).
+    fn name(&self) -> &str;
+
+    /// The configuration parameters and value ranges exposed as knobs.
+    fn parameter_space(&self) -> ParameterSpace;
+
+    /// The QoS comparator used to score outputs against the baseline
+    /// (distortion by default; applications override when the paper uses a
+    /// different metric).
+    fn qos_comparator(&self) -> Box<dyn QosComparator>;
+
+    /// Number of inputs in the given set.
+    fn input_count(&self, set: InputSet) -> usize;
+
+    /// Processes input `index` of `set` under `setting`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic when `index` is out of range for the set or when
+    /// the setting does not assign every parameter of
+    /// [`KnobbedApplication::parameter_space`].
+    fn run_input(&self, set: InputSet, index: usize, setting: &ParameterSetting) -> WorkUnitResult;
+
+    /// Runs a dynamic influence trace of one execution under `setting`,
+    /// producing the [`TraceLog`] the control-variable analysis consumes.
+    ///
+    /// The default implementation reflects the structure shared by all four
+    /// benchmarks: during initialization each configuration parameter's value
+    /// is parsed and stored in one control variable, and the main control
+    /// loop (one iteration per input unit, one heartbeat per iteration) reads
+    /// those variables without writing them.
+    fn trace_run(&self, setting: &ParameterSetting) -> TraceLog {
+        let mut tracer = Tracer::new(self.name());
+        let mut variables = Vec::new();
+        for (name, value) in setting.iter() {
+            let param = tracer.register_parameter(name);
+            let traced = tracer.parameter_value(param, value);
+            let variable = tracer.declare_variable(format!("{name}_control"));
+            tracer
+                .write_variable(variable, traced, "parse_configuration")
+                .expect("variable was just declared");
+            variables.push(variable);
+        }
+        tracer.first_heartbeat();
+        let iterations = self.input_count(InputSet::Training).clamp(1, 8);
+        for _ in 0..iterations {
+            for &variable in &variables {
+                tracer
+                    .read_variable(variable, "main_loop")
+                    .expect("control variables are written during initialization");
+            }
+            tracer.heartbeat();
+        }
+        tracer.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powerdial_influence::ControlVariableAnalysis;
+    use powerdial_knobs::{ConfigParameter, DistortionComparator};
+
+    /// A minimal application used to exercise the trait's default methods.
+    struct ToyApp;
+
+    impl KnobbedApplication for ToyApp {
+        fn name(&self) -> &str {
+            "toy"
+        }
+
+        fn parameter_space(&self) -> ParameterSpace {
+            ParameterSpace::builder()
+                .parameter(ConfigParameter::new("effort", vec![1.0, 2.0, 4.0], 4.0).unwrap())
+                .build()
+                .unwrap()
+        }
+
+        fn qos_comparator(&self) -> Box<dyn QosComparator> {
+            Box::new(DistortionComparator::new())
+        }
+
+        fn input_count(&self, set: InputSet) -> usize {
+            match set {
+                InputSet::Training => 3,
+                InputSet::Production => 5,
+            }
+        }
+
+        fn run_input(
+            &self,
+            _set: InputSet,
+            index: usize,
+            setting: &ParameterSetting,
+        ) -> WorkUnitResult {
+            let effort = setting.value("effort").unwrap();
+            WorkUnitResult {
+                work: effort * 10.0,
+                output: OutputAbstraction::from_components([index as f64 + 1.0 / effort]),
+            }
+        }
+    }
+
+    #[test]
+    fn input_set_display() {
+        assert_eq!(InputSet::Training.to_string(), "training");
+        assert_eq!(InputSet::Production.to_string(), "production");
+    }
+
+    #[test]
+    fn default_trace_produces_valid_control_variables() {
+        let app = ToyApp;
+        let space = app.parameter_space();
+        let traces: Vec<TraceLog> = space
+            .settings()
+            .map(|setting| app.trace_run(&setting))
+            .collect();
+        let params: Vec<_> = (0..space.parameter_count())
+            .map(|i| {
+                // Parameter ids are assigned in registration order, which
+                // matches the setting's declaration order.
+                powerdial_influence::ParamId::from(i)
+            })
+            .collect();
+        let analysis = ControlVariableAnalysis::new(params);
+        let set = analysis.analyze(&traces).unwrap();
+        assert_eq!(set.variable_names(), vec!["effort_control"]);
+        assert_eq!(set.setting_count(), 3);
+    }
+
+    #[test]
+    fn toy_app_work_scales_with_effort() {
+        let app = ToyApp;
+        let space = app.parameter_space();
+        let cheap = app.run_input(InputSet::Training, 0, &space.setting(0).unwrap());
+        let expensive = app.run_input(InputSet::Training, 0, &space.default_setting());
+        assert!(expensive.work > cheap.work);
+        assert_ne!(cheap.output, expensive.output);
+    }
+}

@@ -1,0 +1,591 @@
+//! A block-based motion-compensated video encoder (the PARSEC `x264`
+//! benchmark).
+//!
+//! The encoder reproduces the computational structure that gives x264 its
+//! performance-versus-quality knobs: motion estimation searches previous
+//! reconstructed frames for the best-matching block (`merange` bounds the
+//! search window, `ref` the number of reference frames searched), optional
+//! sub-pixel refinement improves the match (`subme` levels), and the residual
+//! is quantized and entropy-coded. Larger knob values find better predictions
+//! — fewer residual bits at similar quality — at the cost of more search
+//! work, exactly the trade-off the paper exploits.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use powerdial_knobs::{ConfigParameter, DistortionComparator, ParameterSetting, ParameterSpace, QosComparator};
+use powerdial_qos::{OutputAbstraction, Psnr};
+
+use crate::traits::{InputSet, KnobbedApplication, WorkUnitResult};
+
+/// Name of the sub-pixel motion-estimation knob.
+pub const SUBME_KNOB: &str = "subme";
+/// Name of the motion-search-range knob.
+pub const MERANGE_KNOB: &str = "merange";
+/// Name of the reference-frame-count knob.
+pub const REF_KNOB: &str = "ref";
+
+/// Sizing and knob-range configuration of the encoder.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VideoConfig {
+    /// Frame width in pixels.
+    pub frame_width: usize,
+    /// Frame height in pixels.
+    pub frame_height: usize,
+    /// Macroblock edge length in pixels.
+    pub block_size: usize,
+    /// Frames per input video.
+    pub frames_per_video: usize,
+    /// Quantizer step for residual coding.
+    pub quantizer_step: f64,
+    /// Values explored for the `subme` knob.
+    pub subme_values: Vec<f64>,
+    /// Values explored for the `merange` knob.
+    pub merange_values: Vec<f64>,
+    /// Values explored for the `ref` knob.
+    pub ref_values: Vec<f64>,
+    /// Number of training videos.
+    pub training_videos: usize,
+    /// Number of production videos.
+    pub production_videos: usize,
+}
+
+impl VideoConfig {
+    /// A configuration mirroring the paper's knob ranges (subme 1–7,
+    /// merange 1–16, ref 1–5) on synthetic video scaled to run everywhere.
+    pub fn parsec_like() -> Self {
+        VideoConfig {
+            frame_width: 64,
+            frame_height: 64,
+            block_size: 8,
+            frames_per_video: 8,
+            quantizer_step: 8.0,
+            subme_values: vec![1.0, 3.0, 5.0, 7.0],
+            merange_values: vec![1.0, 4.0, 8.0, 16.0],
+            ref_values: vec![1.0, 3.0, 5.0],
+            training_videos: 4,
+            production_videos: 12,
+        }
+    }
+
+    /// A tiny configuration for unit tests and debug builds.
+    pub fn tiny() -> Self {
+        VideoConfig {
+            frame_width: 32,
+            frame_height: 32,
+            block_size: 8,
+            frames_per_video: 4,
+            quantizer_step: 8.0,
+            subme_values: vec![1.0, 4.0, 7.0],
+            merange_values: vec![1.0, 4.0, 8.0],
+            ref_values: vec![1.0, 2.0, 3.0],
+            training_videos: 2,
+            production_videos: 3,
+        }
+    }
+}
+
+/// A frame of luma samples.
+#[derive(Debug, Clone, PartialEq)]
+struct Frame {
+    width: usize,
+    height: usize,
+    samples: Vec<f64>,
+}
+
+impl Frame {
+    fn new(width: usize, height: usize, value: f64) -> Self {
+        Frame {
+            width,
+            height,
+            samples: vec![value; width * height],
+        }
+    }
+
+    fn at(&self, x: isize, y: isize) -> f64 {
+        let x = x.clamp(0, self.width as isize - 1) as usize;
+        let y = y.clamp(0, self.height as isize - 1) as usize;
+        self.samples[y * self.width + x]
+    }
+
+    fn set(&mut self, x: usize, y: usize, value: f64) {
+        self.samples[y * self.width + x] = value;
+    }
+
+    /// Samples the frame at a fractional position with bilinear
+    /// interpolation (used for sub-pixel motion estimation).
+    fn sample(&self, x: f64, y: f64) -> f64 {
+        let x0 = x.floor();
+        let y0 = y.floor();
+        let fx = x - x0;
+        let fy = y - y0;
+        let x0 = x0 as isize;
+        let y0 = y0 as isize;
+        let a = self.at(x0, y0);
+        let b = self.at(x0 + 1, y0);
+        let c = self.at(x0, y0 + 1);
+        let d = self.at(x0 + 1, y0 + 1);
+        a * (1.0 - fx) * (1.0 - fy) + b * fx * (1.0 - fy) + c * (1.0 - fx) * fy + d * fx * fy
+    }
+}
+
+/// Statistics of one encoded video.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EncodeStats {
+    /// Peak signal-to-noise ratio of the reconstruction, in decibels.
+    pub psnr_db: f64,
+    /// Total size of the encoded stream, in (estimated) bits.
+    pub bits: f64,
+    /// Abstract work units the encode consumed (pixel operations).
+    pub work: f64,
+}
+
+/// The video-encoding application.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VideoEncoderApp {
+    seed: u64,
+    config: VideoConfig,
+}
+
+impl VideoEncoderApp {
+    /// Creates an encoder with the paper-like configuration.
+    pub fn parsec_scale(seed: u64) -> Self {
+        VideoEncoderApp::with_config(seed, VideoConfig::parsec_like())
+    }
+
+    /// Creates an encoder with the tiny test configuration.
+    pub fn test_scale(seed: u64) -> Self {
+        VideoEncoderApp::with_config(seed, VideoConfig::tiny())
+    }
+
+    /// Creates an encoder with a custom configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration is degenerate (zero-sized frames or
+    /// blocks, no frames, empty knob ranges, or zero inputs).
+    pub fn with_config(seed: u64, config: VideoConfig) -> Self {
+        assert!(config.frame_width >= config.block_size && config.frame_height >= config.block_size);
+        assert!(config.block_size > 0 && config.frames_per_video > 1);
+        assert!(
+            !config.subme_values.is_empty()
+                && !config.merange_values.is_empty()
+                && !config.ref_values.is_empty()
+        );
+        assert!(config.training_videos > 0 && config.production_videos > 0);
+        VideoEncoderApp { seed, config }
+    }
+
+    /// The encoder's configuration.
+    pub fn config(&self) -> &VideoConfig {
+        &self.config
+    }
+
+    /// Generates the synthetic source video for one input.
+    fn generate_video(&self, set: InputSet, index: usize) -> Vec<Frame> {
+        let set_tag = match set {
+            InputSet::Training => 1u64,
+            InputSet::Production => 2u64,
+        };
+        let mut rng = StdRng::seed_from_u64(
+            self.seed
+                .wrapping_mul(0x517C_C1B7_2722_0A95)
+                .wrapping_add(set_tag << 40)
+                .wrapping_add(index as u64),
+        );
+        let width = self.config.frame_width;
+        let height = self.config.frame_height;
+
+        // Moving rectangular objects over a static gradient background.
+        let object_count = rng.gen_range(2..5);
+        let objects: Vec<(f64, f64, f64, f64, usize, f64)> = (0..object_count)
+            .map(|_| {
+                (
+                    rng.gen_range(0.0..width as f64),   // x
+                    rng.gen_range(0.0..height as f64),  // y
+                    rng.gen_range(-2.0..2.0),           // vx
+                    rng.gen_range(-2.0..2.0),           // vy
+                    rng.gen_range(4..10),               // size
+                    rng.gen_range(40.0..215.0),         // intensity
+                )
+            })
+            .collect();
+        let noise_amplitude = rng.gen_range(1.0..4.0);
+
+        (0..self.config.frames_per_video)
+            .map(|t| {
+                let mut frame = Frame::new(width, height, 0.0);
+                for y in 0..height {
+                    for x in 0..width {
+                        let background =
+                            64.0 + 96.0 * (x as f64 / width as f64) + 32.0 * (y as f64 / height as f64);
+                        let mut value = background;
+                        for &(ox, oy, vx, vy, size, intensity) in &objects {
+                            let cx = ox + vx * t as f64;
+                            let cy = oy + vy * t as f64;
+                            if (x as f64 - cx).abs() < size as f64 && (y as f64 - cy).abs() < size as f64 {
+                                value = intensity;
+                            }
+                        }
+                        value += rng.gen_range(-noise_amplitude..noise_amplitude);
+                        frame.set(x, y, value.clamp(0.0, 255.0));
+                    }
+                }
+                frame
+            })
+            .collect()
+    }
+
+    /// Encodes one video with the given knob values, returning quality,
+    /// bitrate, and work statistics.
+    pub fn encode(&self, set: InputSet, index: usize, subme: u32, merange: u32, refs: u32) -> EncodeStats {
+        let source = self.generate_video(set, index);
+        let block = self.config.block_size;
+        let q = self.config.quantizer_step;
+
+        let mut reconstructed: Vec<Frame> = Vec::with_capacity(source.len());
+        let mut total_bits = 0.0;
+        let mut work = 0.0;
+        let mut sum_squared_error = 0.0;
+        let mut sample_count = 0usize;
+
+        for (t, original) in source.iter().enumerate() {
+            let mut recon = Frame::new(original.width, original.height, 0.0);
+            for by in (0..original.height).step_by(block) {
+                for bx in (0..original.width).step_by(block) {
+                    let (prediction, search_work) = if t == 0 {
+                        // Intra frame: flat mid-gray prediction.
+                        (vec![128.0; block * block], 0.0)
+                    } else {
+                        self.motion_search(
+                            original,
+                            &reconstructed,
+                            bx,
+                            by,
+                            subme,
+                            merange,
+                            refs,
+                        )
+                    };
+                    work += search_work;
+
+                    // Residual coding.
+                    let mut block_bits = 0.0;
+                    for dy in 0..block {
+                        for dx in 0..block {
+                            let orig = original.at((bx + dx) as isize, (by + dy) as isize);
+                            let pred = prediction[dy * block + dx];
+                            let residual = orig - pred;
+                            let quantized = (residual / q).round();
+                            block_bits += if quantized == 0.0 {
+                                0.1
+                            } else {
+                                1.0 + 2.0 * (quantized.abs() + 1.0).log2().ceil()
+                            };
+                            let value = (pred + quantized * q).clamp(0.0, 255.0);
+                            recon.set(bx + dx, by + dy, value);
+                            sum_squared_error += (orig - value).powi(2);
+                            sample_count += 1;
+                        }
+                    }
+                    work += (block * block) as f64;
+                    total_bits += block_bits;
+                }
+            }
+            reconstructed.push(recon);
+        }
+
+        let mse = sum_squared_error / sample_count as f64;
+        EncodeStats {
+            psnr_db: Psnr::from_mse(mse, 255.0).decibels(),
+            bits: total_bits,
+            work,
+        }
+    }
+
+    /// Searches the reference frames for the best prediction of the block at
+    /// `(bx, by)` of `original`. Returns the predicted samples and the work
+    /// spent searching.
+    #[allow(clippy::too_many_arguments)]
+    fn motion_search(
+        &self,
+        original: &Frame,
+        reconstructed: &[Frame],
+        bx: usize,
+        by: usize,
+        subme: u32,
+        merange: u32,
+        refs: u32,
+    ) -> (Vec<f64>, f64) {
+        let block = self.config.block_size;
+        let block_area = (block * block) as f64;
+        let merange = merange as isize;
+        let mut work = 0.0;
+
+        let mut best_sad = f64::INFINITY;
+        let mut best: (usize, f64, f64) = (reconstructed.len() - 1, 0.0, 0.0);
+
+        let first_ref = reconstructed.len().saturating_sub(refs as usize);
+        for (ref_index, reference) in reconstructed.iter().enumerate().skip(first_ref) {
+            // Coarse integer search on a step-4 grid, then a step-1
+            // refinement around the best coarse position.
+            let coarse_step = 4isize.min(merange.max(1));
+            let mut ref_best_sad = f64::INFINITY;
+            let mut ref_best = (0.0f64, 0.0f64);
+            let mut dy = -merange;
+            while dy <= merange {
+                let mut dx = -merange;
+                while dx <= merange {
+                    let sad = self.block_sad(original, reference, bx, by, dx as f64, dy as f64);
+                    work += block_area;
+                    if sad < ref_best_sad {
+                        ref_best_sad = sad;
+                        ref_best = (dx as f64, dy as f64);
+                    }
+                    dx += coarse_step;
+                }
+                dy += coarse_step;
+            }
+            for dy in -2isize..=2 {
+                for dx in -2isize..=2 {
+                    let mx = (ref_best.0 + dx as f64).clamp(-(merange as f64), merange as f64);
+                    let my = (ref_best.1 + dy as f64).clamp(-(merange as f64), merange as f64);
+                    let sad = self.block_sad(original, reference, bx, by, mx, my);
+                    work += block_area;
+                    if sad < ref_best_sad {
+                        ref_best_sad = sad;
+                        ref_best = (mx, my);
+                    }
+                }
+            }
+
+            // Sub-pixel refinement: each subme level above 1 evaluates the
+            // eight half-pel (then quarter-pel) neighbors of the current
+            // best.
+            let refinement_passes = subme.saturating_sub(1).min(6);
+            let mut precision = 0.5;
+            for pass in 0..refinement_passes {
+                for dy in [-1.0, 0.0, 1.0] {
+                    for dx in [-1.0f64, 0.0, 1.0] {
+                        if dx == 0.0 && dy == 0.0 {
+                            continue;
+                        }
+                        let mx = ref_best.0 + dx * precision;
+                        let my = ref_best.1 + dy * precision;
+                        let sad = self.block_sad(original, reference, bx, by, mx, my);
+                        work += block_area;
+                        if sad < ref_best_sad {
+                            ref_best_sad = sad;
+                            ref_best = (mx, my);
+                        }
+                    }
+                }
+                if pass % 2 == 1 {
+                    precision /= 2.0;
+                }
+            }
+
+            if ref_best_sad < best_sad {
+                best_sad = ref_best_sad;
+                best = (ref_index, ref_best.0, ref_best.1);
+            }
+        }
+
+        let (ref_index, mx, my) = best;
+        let reference = &reconstructed[ref_index];
+        let mut prediction = vec![0.0; block * block];
+        for dy in 0..block {
+            for dx in 0..block {
+                prediction[dy * block + dx] =
+                    reference.sample(bx as f64 + dx as f64 + mx, by as f64 + dy as f64 + my);
+            }
+        }
+        (prediction, work)
+    }
+
+    fn block_sad(
+        &self,
+        original: &Frame,
+        reference: &Frame,
+        bx: usize,
+        by: usize,
+        mx: f64,
+        my: f64,
+    ) -> f64 {
+        let block = self.config.block_size;
+        let mut sad = 0.0;
+        for dy in 0..block {
+            for dx in 0..block {
+                let orig = original.at((bx + dx) as isize, (by + dy) as isize);
+                let pred = reference.sample(bx as f64 + dx as f64 + mx, by as f64 + dy as f64 + my);
+                sad += (orig - pred).abs();
+            }
+        }
+        sad
+    }
+}
+
+impl KnobbedApplication for VideoEncoderApp {
+    fn name(&self) -> &str {
+        "x264"
+    }
+
+    fn parameter_space(&self) -> ParameterSpace {
+        let default_of = |values: &[f64]| *values.last().expect("knob ranges are non-empty");
+        ParameterSpace::builder()
+            .parameter(
+                ConfigParameter::new(
+                    SUBME_KNOB,
+                    self.config.subme_values.clone(),
+                    default_of(&self.config.subme_values),
+                )
+                .expect("subme values are valid"),
+            )
+            .parameter(
+                ConfigParameter::new(
+                    MERANGE_KNOB,
+                    self.config.merange_values.clone(),
+                    default_of(&self.config.merange_values),
+                )
+                .expect("merange values are valid"),
+            )
+            .parameter(
+                ConfigParameter::new(
+                    REF_KNOB,
+                    self.config.ref_values.clone(),
+                    default_of(&self.config.ref_values),
+                )
+                .expect("ref values are valid"),
+            )
+            .build()
+            .expect("the space has three distinct parameters")
+    }
+
+    fn qos_comparator(&self) -> Box<dyn QosComparator> {
+        // PSNR and bitrate weighted equally, as in the paper.
+        Box::new(DistortionComparator::new())
+    }
+
+    fn input_count(&self, set: InputSet) -> usize {
+        match set {
+            InputSet::Training => self.config.training_videos,
+            InputSet::Production => self.config.production_videos,
+        }
+    }
+
+    fn run_input(&self, set: InputSet, index: usize, setting: &ParameterSetting) -> WorkUnitResult {
+        assert!(
+            index < self.input_count(set),
+            "video index {index} out of range for the {set} set"
+        );
+        let subme = setting.value(SUBME_KNOB).expect("setting assigns subme") as u32;
+        let merange = setting.value(MERANGE_KNOB).expect("setting assigns merange") as u32;
+        let refs = setting.value(REF_KNOB).expect("setting assigns ref") as u32;
+        let stats = self.encode(set, index, subme, merange, refs);
+        WorkUnitResult {
+            work: stats.work,
+            output: OutputAbstraction::builder()
+                .component("psnr", stats.psnr_db)
+                .component("bitrate", stats.bits)
+                .build(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_app() -> VideoEncoderApp {
+        VideoEncoderApp::test_scale(11)
+    }
+
+    #[test]
+    fn configuration_presets_are_valid() {
+        let tiny = VideoEncoderApp::test_scale(0);
+        assert_eq!(tiny.parameter_space().parameter_count(), 3);
+        assert_eq!(tiny.parameter_space().setting_count(), 27);
+        let paper = VideoEncoderApp::parsec_scale(0);
+        assert_eq!(paper.parameter_space().setting_count(), 48);
+        assert_eq!(paper.name(), "x264");
+        assert_eq!(paper.config().frame_width, 64);
+        assert_eq!(paper.input_count(InputSet::Training), 4);
+        assert_eq!(paper.input_count(InputSet::Production), 12);
+    }
+
+    #[test]
+    fn default_setting_does_more_work_than_fastest() {
+        let app = tiny_app();
+        let space = app.parameter_space();
+        let fastest = app.run_input(InputSet::Training, 0, &space.setting(0).unwrap());
+        let default = app.run_input(InputSet::Training, 0, &space.default_setting());
+        assert!(
+            default.work > 2.0 * fastest.work,
+            "default work {} should clearly exceed fastest work {}",
+            default.work,
+            fastest.work
+        );
+    }
+
+    #[test]
+    fn default_setting_produces_no_worse_quality_and_fewer_bits() {
+        let app = tiny_app();
+        let default = app.encode(InputSet::Training, 0, 7, 8, 3);
+        let fastest = app.encode(InputSet::Training, 0, 1, 1, 1);
+        // Better motion search cannot hurt the reconstruction quality and
+        // should find cheaper residuals.
+        assert!(default.psnr_db >= fastest.psnr_db - 0.5);
+        assert!(default.bits <= fastest.bits);
+        assert!(default.psnr_db > 25.0, "psnr {} should be reasonable", default.psnr_db);
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let app = tiny_app();
+        let setting = app.parameter_space().default_setting();
+        let a = app.run_input(InputSet::Production, 1, &setting);
+        let b = app.run_input(InputSet::Production, 1, &setting);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_inputs_produce_different_outputs() {
+        let app = tiny_app();
+        let setting = app.parameter_space().default_setting();
+        let a = app.run_input(InputSet::Training, 0, &setting);
+        let b = app.run_input(InputSet::Training, 1, &setting);
+        assert_ne!(a.output, b.output);
+    }
+
+    #[test]
+    fn output_abstraction_has_psnr_and_bitrate() {
+        let app = tiny_app();
+        let setting = app.parameter_space().default_setting();
+        let result = app.run_input(InputSet::Training, 0, &setting);
+        assert_eq!(result.output.label(0), Some("psnr"));
+        assert_eq!(result.output.label(1), Some("bitrate"));
+        assert!(result.output.component(0).unwrap() > 20.0);
+        assert!(result.output.component(1).unwrap() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_input_panics() {
+        let app = tiny_app();
+        let setting = app.parameter_space().default_setting();
+        app.run_input(InputSet::Training, 99, &setting);
+    }
+
+    #[test]
+    fn frame_sampling_interpolates() {
+        let mut frame = Frame::new(4, 4, 0.0);
+        frame.set(1, 1, 100.0);
+        frame.set(2, 1, 200.0);
+        assert_eq!(frame.sample(1.0, 1.0), 100.0);
+        assert_eq!(frame.sample(2.0, 1.0), 200.0);
+        assert!((frame.sample(1.5, 1.0) - 150.0).abs() < 1e-9);
+        // Clamped access outside the frame.
+        assert_eq!(frame.at(-5, -5), frame.at(0, 0));
+    }
+}

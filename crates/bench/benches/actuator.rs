@@ -1,0 +1,95 @@
+//! Benchmarks and ablation of the actuation policies (Section 2.3.3): the
+//! planning cost of race-to-idle versus minimal-speedup, the expected QoS
+//! loss of each policy, and the effect of the time-quantum length.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use powerdial::control::{ActuationPolicy, Actuator};
+use powerdial::knobs::{Calibrator, ConfigParameter, KnobTable, Measurement, ParameterSpace};
+use powerdial::qos::{OutputAbstraction, QosLossBound};
+
+fn knob_table(settings: usize) -> KnobTable {
+    let values: Vec<f64> = (1..=settings).map(|i| (i * 100) as f64).collect();
+    let default = *values.last().unwrap();
+    let space = ParameterSpace::builder()
+        .parameter(ConfigParameter::new("k", values, default).unwrap())
+        .build()
+        .unwrap();
+    let mut calibrator = Calibrator::new(&space);
+    for (i, setting) in space.settings().enumerate() {
+        let k = setting.value("k").unwrap();
+        calibrator
+            .record(Measurement {
+                setting_index: i,
+                input_index: 0,
+                work: k,
+                output: OutputAbstraction::from_components([1.0 + (default - k) * 1e-5]),
+            })
+            .unwrap();
+    }
+    calibrator
+        .build()
+        .unwrap()
+        .knob_table(QosLossBound::UNBOUNDED)
+        .unwrap()
+}
+
+fn bench_plan_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("actuator_plan");
+    for settings in [4usize, 16, 64] {
+        let table = knob_table(settings);
+        for policy in [ActuationPolicy::MinimalSpeedup, ActuationPolicy::RaceToIdle] {
+            let actuator = Actuator::new(policy);
+            group.bench_with_input(
+                BenchmarkId::new(format!("{policy}"), settings),
+                &settings,
+                |b, _| {
+                    b.iter(|| {
+                        let schedule = actuator.plan(&table, black_box(1.7));
+                        black_box(schedule.achieved_speedup)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_policy_qos_ablation(c: &mut Criterion) {
+    // Ablation (reported via benchmark labels): the QoS loss the two policies
+    // pay for the same requested speedup.
+    let table = knob_table(8);
+    let minimal = Actuator::new(ActuationPolicy::MinimalSpeedup).plan(&table, 2.5);
+    let race = Actuator::new(ActuationPolicy::RaceToIdle).plan(&table, 2.5);
+    println!(
+        "ablation: requested speedup 2.5 -> expected QoS loss {:.5} (minimal-speedup) vs {:.5} (race-to-idle)",
+        minimal.expected_qos_loss(),
+        race.expected_qos_loss()
+    );
+
+    let mut group = c.benchmark_group("actuator_quantum_expansion");
+    for quantum in [5u32, 20, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(quantum), &quantum, |b, &q| {
+            b.iter(|| black_box(minimal.beats_per_segment(black_box(q))))
+        });
+    }
+    group.finish();
+}
+
+
+/// Criterion configuration keeping the whole suite fast: short warm-up and
+/// measurement windows are plenty for the nanosecond-to-millisecond
+/// operations measured here.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_plan_cost, bench_policy_qos_ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Benchmarks of the four benchmark applications themselves: the cost of one
+//! work unit at the fastest knob setting versus the default setting. The
+//! ratio of the two is the speedup PowerDial's knobs make available.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use powerdial::apps::{
+    BodytrackApp, InputSet, KnobbedApplication, SearchApp, SwaptionsApp, VideoEncoderApp,
+};
+
+fn bench_app(c: &mut Criterion, app: &dyn KnobbedApplication) {
+    let space = app.parameter_space();
+    let fastest = space.setting(0).unwrap();
+    let default = space.default_setting();
+    let mut group = c.benchmark_group(app.name().replace("+", "plus"));
+    group.sample_size(10);
+    for (label, setting) in [("fastest_setting", &fastest), ("default_setting", &default)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), setting, |b, setting| {
+            b.iter(|| {
+                let result = app.run_input(InputSet::Training, 0, black_box(setting));
+                black_box(result.work)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_all_applications(c: &mut Criterion) {
+    bench_app(c, &SwaptionsApp::test_scale(2011));
+    bench_app(c, &VideoEncoderApp::test_scale(2011));
+    bench_app(c, &BodytrackApp::test_scale(2011));
+    bench_app(c, &SearchApp::test_scale(2011));
+}
+
+
+/// Criterion configuration keeping the whole suite fast: short warm-up and
+/// measurement windows are plenty for the nanosecond-to-millisecond
+/// operations measured here.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_all_applications
+}
+criterion_main!(benches);

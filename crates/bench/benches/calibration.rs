@@ -1,0 +1,70 @@
+//! Benchmarks of the offline PowerDial pipeline: influence tracing,
+//! control-variable analysis, calibration, and Pareto filtering.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use powerdial::apps::{KnobbedApplication, SearchApp, SwaptionsApp};
+use powerdial::influence::{ControlVariableAnalysis, ParamId};
+use powerdial::knobs::pareto_frontier;
+use powerdial::{PowerDialConfig, PowerDialSystem};
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let app = SwaptionsApp::test_scale(2011);
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("swaptions_build_system", |b| {
+        b.iter(|| {
+            let system = PowerDialSystem::build(&app, PowerDialConfig::default()).unwrap();
+            black_box(system.knob_table().max_speedup())
+        })
+    });
+    let search = SearchApp::test_scale(2011);
+    group.bench_function("search_build_system", |b| {
+        b.iter(|| {
+            let system = PowerDialSystem::build(&search, PowerDialConfig::default()).unwrap();
+            black_box(system.knob_table().max_speedup())
+        })
+    });
+    group.finish();
+}
+
+fn bench_influence_analysis(c: &mut Criterion) {
+    let app = SwaptionsApp::test_scale(7);
+    let space = app.parameter_space();
+    let traces: Vec<_> = space.settings().map(|s| app.trace_run(&s)).collect();
+    let analysis = ControlVariableAnalysis::new([ParamId::new(0)]);
+    c.bench_function("control_variable_analysis", |b| {
+        b.iter(|| black_box(analysis.analyze(black_box(&traces)).unwrap()))
+    });
+}
+
+fn bench_pareto_frontier(c: &mut Criterion) {
+    let app = SwaptionsApp::test_scale(3);
+    let system = PowerDialSystem::build(&app, PowerDialConfig::default()).unwrap();
+    let points = system.calibration().points().to_vec();
+    c.bench_function("pareto_frontier", |b| {
+        b.iter(|| black_box(pareto_frontier(black_box(&points))))
+    });
+}
+
+
+/// Criterion configuration keeping the whole suite fast: short warm-up and
+/// measurement windows are plenty for the nanosecond-to-millisecond
+/// operations measured here.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets =
+    bench_full_pipeline,
+    bench_influence_analysis,
+    bench_pareto_frontier
+
+}
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Micro-benchmarks of the PowerDial control system: the per-heartbeat cost
+//! of the controller and runtime. The paper reports that this overhead is
+//! insignificant compared to run-to-run variation; these benches quantify it
+//! (it is tens of nanoseconds to a few microseconds per heartbeat).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use powerdial::control::{ControllerConfig, HeartRateController, PowerDialRuntime, RuntimeConfig};
+use powerdial::control::ztransform::analyze_closed_loop;
+use powerdial::knobs::{Calibrator, ConfigParameter, Measurement, ParameterSpace};
+use powerdial::qos::{OutputAbstraction, QosLossBound};
+
+fn knob_table() -> powerdial::knobs::KnobTable {
+    let space = ParameterSpace::builder()
+        .parameter(ConfigParameter::new("k", vec![100.0, 400.0, 1000.0, 4000.0], 4000.0).unwrap())
+        .build()
+        .unwrap();
+    let mut calibrator = Calibrator::new(&space);
+    for (i, setting) in space.settings().enumerate() {
+        let k = setting.value("k").unwrap();
+        calibrator
+            .record(Measurement {
+                setting_index: i,
+                input_index: 0,
+                work: k,
+                output: OutputAbstraction::from_components([1.0 + (4000.0 - k) * 1e-5]),
+            })
+            .unwrap();
+    }
+    calibrator
+        .build()
+        .unwrap()
+        .knob_table(QosLossBound::UNBOUNDED)
+        .unwrap()
+}
+
+fn bench_controller_update(c: &mut Criterion) {
+    let config = ControllerConfig::new(30.0, 30.0).unwrap();
+    let mut controller = HeartRateController::new(config);
+    let mut observed = 20.0;
+    c.bench_function("controller_update", |b| {
+        b.iter(|| {
+            let speedup = controller.update(black_box(observed));
+            observed = 30.0 * 0.9 + speedup * 0.001;
+            black_box(speedup)
+        })
+    });
+}
+
+fn bench_runtime_heartbeat(c: &mut Criterion) {
+    let config = RuntimeConfig::new(ControllerConfig::new(30.0, 30.0).unwrap());
+    let mut runtime = PowerDialRuntime::new(config, knob_table()).unwrap();
+    c.bench_function("runtime_on_heartbeat", |b| {
+        b.iter(|| {
+            let decision = runtime.on_heartbeat(black_box(Some(20.0)));
+            black_box(decision.gain)
+        })
+    });
+}
+
+fn bench_closed_loop_analysis(c: &mut Criterion) {
+    c.bench_function("ztransform_closed_loop_analysis", |b| {
+        b.iter(|| black_box(analyze_closed_loop(black_box(30.0))))
+    });
+}
+
+
+/// Criterion configuration keeping the whole suite fast: short warm-up and
+/// measurement windows are plenty for the nanosecond-to-millisecond
+/// operations measured here.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets =
+    bench_controller_update,
+    bench_runtime_heartbeat,
+    bench_closed_loop_analysis
+
+}
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Benchmarks of the Application Heartbeats framework: the cost of emitting a
+//! heartbeat and of querying the derived rates. The heartbeat call sits on
+//! the application's critical path, so it must be cheap.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use powerdial::heartbeats::{HeartbeatMonitor, MonitorConfig, Timestamp};
+
+fn bench_heartbeat_emission(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heartbeat_emission");
+    for window in [20usize, 100, 1000] {
+        let config = MonitorConfig::new("bench")
+            .with_window_size(window)
+            .with_history_capacity(Some(window));
+        let mut monitor = HeartbeatMonitor::new(config);
+        let mut now = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(window), &window, |b, _| {
+            b.iter(|| {
+                now += 1_000_000;
+                black_box(monitor.heartbeat(Timestamp::from_nanos(now)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_rate_queries(c: &mut Criterion) {
+    let mut monitor = HeartbeatMonitor::new(
+        MonitorConfig::new("bench")
+            .with_window_size(20)
+            .with_history_capacity(Some(64)),
+    );
+    for i in 0..1000u64 {
+        monitor.heartbeat(Timestamp::from_millis(i * 33));
+    }
+    c.bench_function("window_rate_query", |b| {
+        b.iter(|| black_box(monitor.window_rate()))
+    });
+    c.bench_function("window_statistics_query", |b| {
+        b.iter(|| black_box(monitor.window_statistics()))
+    });
+}
+
+
+/// Criterion configuration keeping the whole suite fast: short warm-up and
+/// measurement windows are plenty for the nanosecond-to-millisecond
+/// operations measured here.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_heartbeat_emission, bench_rate_queries
+}
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Evaluates the Section 3 analytical models (Equations 12–24) on the
+//! paper-platform parameters: DVFS energy with and without dynamic knobs, and
+//! server-consolidation provisioning.
+//!
+//! Run with `cargo run -p powerdial-bench --bin analytic_models`.
+
+use powerdial::analytic::consolidation::ConsolidationModel;
+use powerdial::analytic::dvfs::DvfsScenario;
+use powerdial_bench::{fmt, print_table};
+
+fn main() {
+    println!("PowerDial reproduction — Section 3 analytical models");
+
+    // DVFS + dynamic knobs energy (Figure 3 / 4 parameters: the evaluation
+    // server at full load and idle, a 60 s task with a 30 s slack window).
+    let scenario = DvfsScenario::new(220.0, 165.0, 90.0, 60.0, 30.0)
+        .expect("the paper-platform scenario is valid");
+    let mut rows = Vec::new();
+    for speedup in [1.0, 1.5, 2.0, 3.0, 4.0, 6.0] {
+        let breakdown = scenario
+            .with_knobs(speedup)
+            .expect("speedups of at least 1 are valid");
+        rows.push(vec![
+            fmt(speedup, 1),
+            fmt(breakdown.race_to_idle_energy, 0),
+            fmt(breakdown.dvfs_energy, 0),
+            fmt(breakdown.elastic_race_to_idle_energy, 0),
+            fmt(breakdown.elastic_dvfs_energy, 0),
+            fmt(breakdown.elastic_energy, 0),
+            fmt(breakdown.savings, 0),
+        ]);
+    }
+    print_table(
+        "Equations 12-19: task energy (J) vs available knob speedup S(QoS)",
+        &[
+            "S(QoS)",
+            "race-to-idle",
+            "dvfs",
+            "knobs+race",
+            "knobs+dvfs",
+            "elastic best",
+            "savings",
+        ],
+        &rows,
+    );
+
+    // Server consolidation (Equations 20-24) for the paper's two cluster
+    // sizes at typical data-center utilization.
+    let mut rows = Vec::new();
+    for (label, machines, utilization, speedup) in [
+        ("PARSEC-style", 4usize, 0.25, 4.0),
+        ("PARSEC-style", 4, 0.25, 6.0),
+        ("swish++-style", 3, 0.20, 1.5),
+    ] {
+        let model = ConsolidationModel::new(machines, 1.0, utilization, 220.0, 90.0)
+            .expect("the paper-platform parameters are valid");
+        let plan = model.consolidate(speedup);
+        rows.push(vec![
+            label.to_string(),
+            machines.to_string(),
+            fmt(speedup, 1),
+            plan.consolidated_machines.to_string(),
+            fmt(plan.original_power_watts, 0),
+            fmt(plan.consolidated_power_watts, 0),
+            fmt(plan.power_savings_watts, 0),
+            fmt(plan.relative_savings() * 100.0, 1),
+        ]);
+    }
+    print_table(
+        "Equations 20-24: consolidation provisioning and average power",
+        &[
+            "scenario",
+            "N_orig",
+            "S(QoS)",
+            "N_new",
+            "P_orig W",
+            "P_new W",
+            "savings W",
+            "savings %",
+        ],
+        &rows,
+    );
+}

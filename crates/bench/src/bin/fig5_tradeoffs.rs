@@ -1,0 +1,72 @@
+//! Regenerates Figure 5: the speedup versus QoS-loss trade-off space of every
+//! benchmark (all knob settings, Pareto-optimal settings on training inputs,
+//! and the same settings re-measured on production inputs).
+//!
+//! Run with `cargo run -p powerdial-bench --bin fig5_tradeoffs [--quick|--paper]`.
+
+use powerdial::experiments::tradeoff_analysis;
+use powerdial_bench::{benchmark_suite, fmt, print_table, Scale};
+
+fn main() {
+    let scale = Scale::from_environment();
+    println!("PowerDial reproduction — Figure 5 (scale: {scale:?})");
+    println!("Paper expectation: speedups up to ~100x (swaptions), ~4.5x (x264), ~7x (bodytrack),");
+    println!("~1.5x (swish++), with small QoS losses along the Pareto frontier.");
+
+    for case in benchmark_suite(scale) {
+        let system = case.build_system();
+        let analysis = tradeoff_analysis(case.app.as_ref(), &system)
+            .expect("trade-off analysis always succeeds for the benchmark suite");
+
+        let all_rows: Vec<Vec<String>> = analysis
+            .training_points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.setting.clone(),
+                    fmt(p.speedup, 3),
+                    fmt(p.qos_loss_percent, 3),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("Figure 5 ({}) — all knob settings, training inputs", case.name()),
+            &["setting", "speedup", "qos loss %"],
+            &all_rows,
+        );
+
+        let frontier_rows: Vec<Vec<String>> = analysis
+            .pareto_training
+            .iter()
+            .zip(&analysis.pareto_production)
+            .map(|(train, prod)| {
+                vec![
+                    train.setting.clone(),
+                    fmt(train.speedup, 3),
+                    fmt(train.qos_loss_percent, 3),
+                    fmt(prod.speedup, 3),
+                    fmt(prod.qos_loss_percent, 3),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!(
+                "Figure 5 ({}) — Pareto-optimal settings: training vs production",
+                case.name()
+            ),
+            &[
+                "setting",
+                "speedup (train)",
+                "qos loss % (train)",
+                "speedup (prod)",
+                "qos loss % (prod)",
+            ],
+            &frontier_rows,
+        );
+        println!(
+            "max speedup {:.2}x at <= {:.2}% QoS loss along the frontier",
+            analysis.max_training_speedup(),
+            analysis.max_pareto_qos_loss_percent()
+        );
+    }
+}

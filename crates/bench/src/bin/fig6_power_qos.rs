@@ -1,0 +1,48 @@
+//! Regenerates Figure 6: mean power and QoS loss as a function of the
+//! processor frequency while PowerDial holds the application at its baseline
+//! performance.
+//!
+//! Run with `cargo run -p powerdial-bench --bin fig6_power_qos [--quick|--paper]`.
+
+use powerdial::experiments::frequency_sweep;
+use powerdial_bench::{benchmark_suite, fmt, print_table, simulation_options, Scale};
+
+fn main() {
+    let scale = Scale::from_environment();
+    let options = simulation_options(scale);
+    println!("PowerDial reproduction — Figure 6 (scale: {scale:?})");
+    println!("Paper expectation: 16-21% system power reduction at the lowest frequency for");
+    println!("small QoS losses (<0.5% x264, <2.3% bodytrack, <0.05% swaptions, <32% swish++),");
+    println!("with performance held within ~5% of the target at every frequency.");
+
+    for case in benchmark_suite(scale) {
+        let system = case.build_system();
+        let points = frequency_sweep(case.app.as_ref(), &system, options)
+            .expect("frequency sweep always succeeds for the benchmark suite");
+
+        let rows: Vec<Vec<String>> = points
+            .iter()
+            .map(|p| {
+                vec![
+                    fmt(p.frequency_ghz, 2),
+                    fmt(p.mean_power_watts, 1),
+                    fmt(p.mean_qos_loss_percent, 3),
+                    fmt(p.tail_normalized_performance, 3),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("Figure 6 ({}) — power and QoS loss vs frequency", case.name()),
+            &["frequency GHz", "mean power W", "qos loss %", "normalized perf"],
+            &rows,
+        );
+        if let (Some(first), Some(last)) = (points.first(), points.last()) {
+            let reduction = 100.0 * (first.mean_power_watts - last.mean_power_watts)
+                / first.mean_power_watts;
+            println!(
+                "power reduction at {:.2} GHz: {:.1}% for {:.3}% QoS loss",
+                last.frequency_ghz, reduction, last.mean_qos_loss_percent
+            );
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Regenerates Figure 8: power consumption of the original and consolidated
+//! systems, and the QoS loss the consolidated system pays, as a function of
+//! system utilization.
+//!
+//! Run with `cargo run -p powerdial-bench --bin fig8_consolidation [--quick|--paper]`.
+
+use powerdial::experiments::consolidation_study;
+use powerdial_bench::{benchmark_suite, fmt, print_table, Scale};
+
+fn main() {
+    let scale = Scale::from_environment();
+    println!("PowerDial reproduction — Figure 8 (scale: {scale:?})");
+    println!("Paper expectation: the PARSEC benchmarks consolidate 4 machines to 1 (75% fewer),");
+    println!("saving ~400W (~66%) at 25% utilization and ~75% power at peak load; swish++");
+    println!("consolidates 3 machines to 2, saving ~25% power, with QoS loss bounded by the");
+    println!("provisioning bound (5% PARSEC, 30% swish++).");
+
+    for case in benchmark_suite(scale) {
+        let system = case.build_system();
+        let study = consolidation_study(&system, case.original_machines, case.consolidation_bound(), 21)
+            .expect("consolidation study always succeeds for the benchmark suite");
+
+        let rows: Vec<Vec<String>> = study
+            .points
+            .iter()
+            .map(|p| {
+                vec![
+                    fmt(p.utilization, 2),
+                    fmt(p.original_power_watts, 1),
+                    fmt(p.consolidated_power_watts, 1),
+                    fmt(p.original_power_watts - p.consolidated_power_watts, 1),
+                    fmt(p.qos_loss_percent, 3),
+                ]
+            })
+            .collect();
+
+        print_table(
+            &format!(
+                "Figure 8 ({}) — {} machines consolidated to {} (bound {:.0}%, speedup {:.2}x)",
+                case.name(),
+                study.original_machines,
+                study.consolidated_machines,
+                study.qos_bound_percent,
+                study.provisioning_speedup
+            ),
+            &[
+                "utilization",
+                "original W",
+                "consolidated W",
+                "savings W",
+                "qos loss %",
+            ],
+            &rows,
+        );
+
+        println!(
+            "savings at 25% utilization: {:.0} W; peak-load power reduction: {:.0}%; max QoS loss: {:.2}%",
+            study.savings_at(0.25).unwrap_or(0.0),
+            study.peak_load_power_savings() * 100.0,
+            study.max_qos_loss_percent()
+        );
+    }
+}

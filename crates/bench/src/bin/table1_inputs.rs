@@ -1,0 +1,44 @@
+//! Regenerates Table 1: training and production inputs for each benchmark.
+//!
+//! Run with `cargo run -p powerdial-bench --bin table1_inputs [--quick|--paper]`.
+
+use powerdial::apps::KnobbedApplication;
+use powerdial::experiments::input_summary;
+use powerdial_bench::{benchmark_suite, print_table, Scale};
+
+fn main() {
+    let scale = Scale::from_environment();
+    let suite = benchmark_suite(scale);
+    let apps: Vec<&dyn KnobbedApplication> = suite.iter().map(|case| case.app.as_ref()).collect();
+    let rows = input_summary(&apps);
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|row| {
+            vec![
+                row.benchmark.clone(),
+                row.training_inputs.to_string(),
+                row.production_inputs.to_string(),
+                row.paper_training.to_string(),
+                row.paper_production.to_string(),
+                row.paper_source.to_string(),
+                row.reproduction_source.to_string(),
+            ]
+        })
+        .collect();
+
+    println!("PowerDial reproduction — Table 1 (scale: {scale:?})");
+    print_table(
+        "Table 1: training and production inputs per benchmark",
+        &[
+            "benchmark",
+            "training (here)",
+            "production (here)",
+            "training (paper)",
+            "production (paper)",
+            "source (paper)",
+            "source (here)",
+        ],
+        &table,
+    );
+}

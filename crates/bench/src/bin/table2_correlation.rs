@@ -1,0 +1,58 @@
+//! Regenerates Table 2: correlation of training-observed speedup and QoS loss
+//! with production-measured values, per benchmark.
+//!
+//! Run with `cargo run -p powerdial-bench --bin table2_correlation [--quick|--paper]`.
+
+use powerdial::experiments::tradeoff_analysis;
+use powerdial_bench::{benchmark_suite, fmt, print_table, Scale};
+
+fn main() {
+    let scale = Scale::from_environment();
+    println!("PowerDial reproduction — Table 2 (scale: {scale:?})");
+
+    // Paper Table 2 values for reference.
+    let paper: &[(&str, f64, f64)] = &[
+        ("x264", 0.995, 0.975),
+        ("bodytrack", 0.999, 0.839),
+        ("swaptions", 1.000, 0.999),
+        ("swish++", 0.996, 0.999),
+    ];
+
+    let mut rows = Vec::new();
+    for case in benchmark_suite(scale) {
+        let system = case.build_system();
+        let analysis = tradeoff_analysis(case.app.as_ref(), &system)
+            .expect("trade-off analysis always succeeds for the benchmark suite");
+        let (paper_speedup, paper_qos) = paper
+            .iter()
+            .find(|(name, _, _)| *name == case.name())
+            .map(|(_, s, q)| (*s, *q))
+            .unwrap_or((f64::NAN, f64::NAN));
+        rows.push(vec![
+            case.name().to_string(),
+            analysis
+                .speedup_correlation
+                .map(|c| fmt(c, 3))
+                .unwrap_or_else(|| "n/a".to_string()),
+            analysis
+                .qos_correlation
+                .map(|c| fmt(c, 3))
+                .unwrap_or_else(|| "n/a".to_string()),
+            fmt(paper_speedup, 3),
+            fmt(paper_qos, 3),
+        ]);
+    }
+
+    print_table(
+        "Table 2: correlation of training vs production behaviour (Pareto-optimal settings)",
+        &[
+            "benchmark",
+            "speedup corr (here)",
+            "qos corr (here)",
+            "speedup corr (paper)",
+            "qos corr (paper)",
+        ],
+        &rows,
+    );
+    println!("\nA correlation near 1 means behaviour on training inputs predicts production inputs.");
+}

@@ -1,0 +1,341 @@
+//! The heart-rate feedback controller (Equations 2–4 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ControlError;
+
+/// Configuration of the [`HeartRateController`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ControllerConfig {
+    target_rate: f64,
+    base_speed: f64,
+    min_speedup: f64,
+    max_speedup: f64,
+}
+
+impl ControllerConfig {
+    /// Creates a configuration with a target heart rate `g` and a baseline
+    /// speed `b` (the heart rate the application achieves with all knobs at
+    /// their default values), both in beats per second. The speedup is
+    /// clamped to `[1, 1000]` by default; use
+    /// [`ControllerConfig::with_speedup_range`] to change it.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when either rate is non-positive or not finite.
+    pub fn new(target_rate: f64, base_speed: f64) -> Result<Self, ControlError> {
+        if !target_rate.is_finite() || target_rate <= 0.0 {
+            return Err(ControlError::InvalidTargetRate { rate: target_rate });
+        }
+        if !base_speed.is_finite() || base_speed <= 0.0 {
+            return Err(ControlError::InvalidBaseSpeed { speed: base_speed });
+        }
+        Ok(ControllerConfig {
+            target_rate,
+            base_speed,
+            min_speedup: 1.0,
+            max_speedup: 1000.0,
+        })
+    }
+
+    /// Restricts the speedup the controller may request.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `min` is non-positive, not finite, or above
+    /// `max`.
+    pub fn with_speedup_range(mut self, min: f64, max: f64) -> Result<Self, ControlError> {
+        if !min.is_finite() || !max.is_finite() || min <= 0.0 || min > max {
+            return Err(ControlError::InvalidSpeedupRange { min, max });
+        }
+        self.min_speedup = min;
+        self.max_speedup = max;
+        Ok(self)
+    }
+
+    /// The target heart rate `g`.
+    pub fn target_rate(&self) -> f64 {
+        self.target_rate
+    }
+
+    /// The baseline speed `b`.
+    pub fn base_speed(&self) -> f64 {
+        self.base_speed
+    }
+
+    /// The smallest speedup the controller will request.
+    pub fn min_speedup(&self) -> f64 {
+        self.min_speedup
+    }
+
+    /// The largest speedup the controller will request.
+    pub fn max_speedup(&self) -> f64 {
+        self.max_speedup
+    }
+}
+
+/// The integral heart-rate controller of the paper.
+///
+/// The controller models the application as `h(t+1) = b·s(t)` (Equation 2)
+/// and computes the speedup to apply as
+///
+/// ```text
+/// e(t) = g − h(t)                (Equation 3)
+/// s(t) = s(t−1) + e(t) / b       (Equation 4)
+/// ```
+///
+/// The closed loop has transfer function `1/z`: it converges to the target
+/// in one step, with no oscillation (see [`crate::ztransform`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeartRateController {
+    config: ControllerConfig,
+    speedup: f64,
+    last_error: f64,
+    updates: u64,
+}
+
+impl HeartRateController {
+    /// Creates a controller starting at a speedup of 1 (all knobs at their
+    /// default values).
+    pub fn new(config: ControllerConfig) -> Self {
+        HeartRateController {
+            config,
+            speedup: 1.0,
+            last_error: 0.0,
+            updates: 0,
+        }
+    }
+
+    /// The controller's configuration.
+    pub fn config(&self) -> &ControllerConfig {
+        &self.config
+    }
+
+    /// The speedup currently being requested.
+    pub fn speedup(&self) -> f64 {
+        self.speedup
+    }
+
+    /// The error `e(t)` from the most recent update.
+    pub fn last_error(&self) -> f64 {
+        self.last_error
+    }
+
+    /// Number of updates performed.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// Feeds one observation of the heart rate `h(t)` and returns the new
+    /// speedup `s(t)` to apply, clamped to the configured range.
+    pub fn update(&mut self, observed_rate: f64) -> f64 {
+        let error = self.config.target_rate - observed_rate;
+        self.last_error = error;
+        self.speedup += error / self.config.base_speed;
+        self.speedup = self
+            .speedup
+            .clamp(self.config.min_speedup, self.config.max_speedup);
+        self.updates += 1;
+        self.speedup
+    }
+
+    /// Changes the target heart rate without resetting the accumulated
+    /// speedup (used when an operator re-targets a running application).
+    pub fn set_target_rate(&mut self, target_rate: f64) -> Result<(), ControlError> {
+        if !target_rate.is_finite() || target_rate <= 0.0 {
+            return Err(ControlError::InvalidTargetRate { rate: target_rate });
+        }
+        self.config.target_rate = target_rate;
+        Ok(())
+    }
+
+    /// Resets the controller to its initial state (speedup 1, no error).
+    pub fn reset(&mut self) {
+        self.speedup = 1.0;
+        self.last_error = 0.0;
+        self.updates = 0;
+    }
+
+    /// Simulates the closed loop for `steps` iterations assuming the
+    /// application responds exactly as the model predicts (`h(t+1) = b·s(t)`
+    /// scaled by `capacity`), returning the observed heart rates. `capacity`
+    /// models a platform delivering only a fraction of the baseline speed
+    /// (0.67 for a 2.4 GHz machine capped to 1.6 GHz).
+    pub fn simulate_response(&mut self, capacity: f64, steps: usize) -> Vec<f64> {
+        let mut rates = Vec::with_capacity(steps);
+        let mut observed = self.config.base_speed * capacity * self.speedup;
+        for _ in 0..steps {
+            rates.push(observed);
+            let speedup = self.update(observed);
+            observed = self.config.base_speed * capacity * speedup;
+        }
+        rates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller(target: f64, base: f64) -> HeartRateController {
+        HeartRateController::new(ControllerConfig::new(target, base).unwrap())
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(ControllerConfig::new(0.0, 1.0).is_err());
+        assert!(ControllerConfig::new(1.0, -1.0).is_err());
+        assert!(ControllerConfig::new(f64::NAN, 1.0).is_err());
+        let config = ControllerConfig::new(30.0, 25.0).unwrap();
+        assert_eq!(config.target_rate(), 30.0);
+        assert_eq!(config.base_speed(), 25.0);
+        assert!(config.with_speedup_range(2.0, 1.0).is_err());
+        let clamped = ControllerConfig::new(30.0, 25.0)
+            .unwrap()
+            .with_speedup_range(1.0, 4.0)
+            .unwrap();
+        assert_eq!(clamped.max_speedup(), 4.0);
+        assert_eq!(clamped.min_speedup(), 1.0);
+    }
+
+    #[test]
+    fn on_target_observation_keeps_speedup_constant() {
+        let mut c = controller(30.0, 30.0);
+        let s = c.update(30.0);
+        assert!((s - 1.0).abs() < 1e-12);
+        assert_eq!(c.last_error(), 0.0);
+        assert_eq!(c.updates(), 1);
+    }
+
+    #[test]
+    fn slow_observation_increases_speedup() {
+        let mut c = controller(30.0, 30.0);
+        let s = c.update(20.0);
+        // e = 10, s = 1 + 10/30 = 1.333…
+        assert!((s - (1.0 + 10.0 / 30.0)).abs() < 1e-12);
+        assert!((c.last_error() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fast_observation_decreases_speedup_but_not_below_minimum() {
+        let mut c = controller(30.0, 30.0);
+        c.update(20.0);
+        let s = c.update(60.0);
+        assert!(s >= 1.0, "speedup is clamped at the configured minimum");
+    }
+
+    #[test]
+    fn speedup_is_clamped_to_configured_maximum() {
+        let config = ControllerConfig::new(30.0, 30.0)
+            .unwrap()
+            .with_speedup_range(1.0, 2.0)
+            .unwrap();
+        let mut c = HeartRateController::new(config);
+        for _ in 0..100 {
+            c.update(1.0);
+        }
+        assert_eq!(c.speedup(), 2.0);
+    }
+
+    #[test]
+    fn converges_geometrically_after_capacity_drop() {
+        // When the platform delivers only a fraction `c` of the modeled
+        // capacity, the closed-loop error contracts by (1 − c) each control
+        // period: h(t+1) − g = (1 − c)(h(t) − g). With the model exact
+        // (c = 1) this is the paper's one-step convergence.
+        let capacity = 2.0 / 3.0;
+        let mut c = controller(30.0, 30.0);
+        let rates = c.simulate_response(capacity, 40);
+        // First observation shows the dip...
+        assert!(rates[0] < 30.0 * 0.7);
+        // ...and the error contracts by the predicted ratio each step.
+        for window in rates.windows(2) {
+            let before = (window[0] - 30.0).abs();
+            let after = (window[1] - 30.0).abs();
+            assert!(after <= (1.0 - capacity) * before + 1e-9);
+        }
+        // After 40 periods the rate is back on target and the steady-state
+        // speedup compensates exactly for the lost capacity.
+        assert!((rates.last().unwrap() - 30.0).abs() < 1e-3);
+        assert!((c.speedup() - 1.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn converges_in_one_step_when_model_is_exact() {
+        // Paper claim: with h(t+1) = b·s(t) (capacity 1) the closed loop has
+        // a single pole at the origin and converges immediately.
+        let mut c = controller(30.0, 30.0);
+        let rates = c.simulate_response(1.0, 5);
+        for rate in &rates {
+            assert!((rate - 30.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn convergence_holds_for_mismatched_base_speed_estimate() {
+        // Even when b is over-estimated by 2x the integral controller still
+        // converges (more slowly), a robustness property of the design.
+        let mut c = HeartRateController::new(ControllerConfig::new(30.0, 60.0).unwrap());
+        let rates = c.simulate_response(0.5, 60);
+        let last = rates.last().unwrap();
+        assert!((last - 30.0).abs() < 0.5, "rate {last} should approach the target");
+    }
+
+    #[test]
+    fn retargeting_and_reset() {
+        let mut c = controller(30.0, 30.0);
+        c.update(10.0);
+        assert!(c.speedup() > 1.0);
+        c.set_target_rate(15.0).unwrap();
+        assert!(c.set_target_rate(-1.0).is_err());
+        assert_eq!(c.config().target_rate(), 15.0);
+        c.reset();
+        assert_eq!(c.speedup(), 1.0);
+        assert_eq!(c.updates(), 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Under the paper's application model, the controller contracts the
+        /// heart-rate error by (1 − capacity) each period, so after k periods
+        /// the residual error is bounded by (1 − capacity)^k times the
+        /// initial error.
+        #[test]
+        fn always_converges_under_model(
+            target in 1.0f64..100.0,
+            capacity in 0.05f64..1.0,
+        ) {
+            let steps = 50usize;
+            let config = ControllerConfig::new(target, target).unwrap();
+            let mut c = HeartRateController::new(config);
+            let rates = c.simulate_response(capacity, steps);
+            let initial_error = (rates[0] - target).abs();
+            let final_error = (rates.last().unwrap() - target).abs();
+            let bound = (1.0 - capacity).powi(steps as i32 - 1) * initial_error;
+            prop_assert!(final_error <= bound + 1e-9 * target);
+        }
+
+        /// The speedup never leaves the configured clamp range.
+        #[test]
+        fn speedup_respects_clamps(
+            observations in proptest::collection::vec(0.0f64..200.0, 1..100),
+            max in 1.5f64..16.0,
+        ) {
+            let config = ControllerConfig::new(50.0, 50.0)
+                .unwrap()
+                .with_speedup_range(1.0, max)
+                .unwrap();
+            let mut c = HeartRateController::new(config);
+            for h in observations {
+                let s = c.update(h);
+                prop_assert!(s >= 1.0 - 1e-12);
+                prop_assert!(s <= max + 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Error type for the control system.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while configuring the controller, actuator, or runtime.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ControlError {
+    /// The target heart rate is zero, negative, or not finite.
+    InvalidTargetRate {
+        /// The offending target rate in beats per second.
+        rate: f64,
+    },
+    /// The baseline speed is zero, negative, or not finite.
+    InvalidBaseSpeed {
+        /// The offending baseline speed in beats per second.
+        speed: f64,
+    },
+    /// The speedup clamp range is invalid (minimum above maximum or
+    /// non-positive values).
+    InvalidSpeedupRange {
+        /// Requested minimum speedup.
+        min: f64,
+        /// Requested maximum speedup.
+        max: f64,
+    },
+    /// The time quantum is zero heartbeats.
+    ZeroQuantum,
+    /// The knob table cannot deliver the requested speedup even at its
+    /// fastest setting; the schedule saturates at maximum speedup.
+    SpeedupUnattainable {
+        /// The speedup the controller requested.
+        requested: f64,
+        /// The fastest speedup the knob table offers.
+        available: f64,
+    },
+}
+
+impl fmt::Display for ControlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ControlError::InvalidTargetRate { rate } => {
+                write!(f, "target heart rate must be positive and finite, got {rate}")
+            }
+            ControlError::InvalidBaseSpeed { speed } => {
+                write!(f, "baseline speed must be positive and finite, got {speed}")
+            }
+            ControlError::InvalidSpeedupRange { min, max } => {
+                write!(f, "invalid speedup range [{min}, {max}]")
+            }
+            ControlError::ZeroQuantum => write!(f, "time quantum must be at least one heartbeat"),
+            ControlError::SpeedupUnattainable {
+                requested,
+                available,
+            } => write!(
+                f,
+                "requested speedup {requested:.3} exceeds the fastest available knob speedup {available:.3}"
+            ),
+        }
+    }
+}
+
+impl Error for ControlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_nonempty() {
+        let errors = [
+            ControlError::InvalidTargetRate { rate: -1.0 },
+            ControlError::InvalidBaseSpeed { speed: 0.0 },
+            ControlError::InvalidSpeedupRange { min: 2.0, max: 1.0 },
+            ControlError::ZeroQuantum,
+            ControlError::SpeedupUnattainable {
+                requested: 5.0,
+                available: 2.0,
+            },
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<ControlError>();
+    }
+}

@@ -1,0 +1,53 @@
+//! The PowerDial control system: feedback controller, Z-domain analysis,
+//! actuator, and runtime.
+//!
+//! PowerDial keeps an application at its target heart rate by closing a
+//! feedback loop around the Application Heartbeats signal:
+//!
+//! 1. the [`HeartRateController`] implements the integral control law of the
+//!    paper (Equations 2–4): `e(t) = g − h(t)`, `s(t) = s(t−1) + e(t)/b`,
+//!    where `g` is the target heart rate, `h(t)` the observed rate, and `b`
+//!    the application's baseline speed;
+//! 2. the [`ztransform`] module reproduces the paper's Z-domain analysis of
+//!    the closed loop (unit steady-state gain, single pole at the origin,
+//!    near-instant convergence);
+//! 3. the [`Actuator`] converts the continuous speedup signal into a schedule
+//!    of discrete knob settings over a time quantum (Equations 9–11), with
+//!    either the race-to-idle or the minimal-speedup policy;
+//! 4. the [`PowerDialRuntime`] ties the pieces together: feed it one call per
+//!    heartbeat and apply the knob setting it returns.
+//!
+//! # Example
+//!
+//! ```
+//! use powerdial_control::{ControllerConfig, HeartRateController};
+//!
+//! # fn main() -> Result<(), powerdial_control::ControlError> {
+//! // Target 30 beats/s on an application whose baseline speed is 30 beats/s.
+//! let config = ControllerConfig::new(30.0, 30.0)?;
+//! let mut controller = HeartRateController::new(config);
+//!
+//! // The platform slows down: observed rate drops to 20 beats/s. The
+//! // controller asks for more speedup.
+//! let s1 = controller.update(20.0);
+//! assert!(s1 > 1.0);
+//! // Once the application is back on target the speedup stabilizes.
+//! let s2 = controller.update(30.0);
+//! assert!((s2 - s1).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod actuator;
+mod controller;
+mod error;
+mod runtime;
+pub mod ztransform;
+
+pub use actuator::{ActuationPolicy, Actuator, Schedule, ScheduleSegment};
+pub use controller::{ControllerConfig, HeartRateController};
+pub use error::ControlError;
+pub use runtime::{PowerDialRuntime, RuntimeConfig, RuntimeDecision, DEFAULT_QUANTUM_HEARTBEATS};

@@ -1,0 +1,435 @@
+//! The PowerDial runtime: controller + actuator driven once per heartbeat.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use powerdial_knobs::{CalibrationPoint, KnobTable, ParameterSetting};
+
+use crate::actuator::{ActuationPolicy, Actuator, Schedule};
+use crate::controller::{ControllerConfig, HeartRateController};
+use crate::error::ControlError;
+
+/// The number of heartbeats in one actuation time quantum (the paper's
+/// heuristic).
+pub const DEFAULT_QUANTUM_HEARTBEATS: u32 = 20;
+
+/// Configuration of the [`PowerDialRuntime`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeConfig {
+    /// Configuration of the feedback controller.
+    pub controller: ControllerConfig,
+    /// The actuation policy used to realize the controller's speedup.
+    pub policy: ActuationPolicy,
+    /// Number of heartbeats per actuation quantum.
+    pub quantum_heartbeats: u32,
+}
+
+impl RuntimeConfig {
+    /// Creates a runtime configuration with the default policy
+    /// (minimal-speedup) and the default 20-heartbeat quantum.
+    pub fn new(controller: ControllerConfig) -> Self {
+        RuntimeConfig {
+            controller,
+            policy: ActuationPolicy::default(),
+            quantum_heartbeats: DEFAULT_QUANTUM_HEARTBEATS,
+        }
+    }
+
+    /// Sets the actuation policy.
+    pub fn with_policy(mut self, policy: ActuationPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the quantum length in heartbeats.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::ZeroQuantum`] when `heartbeats` is zero.
+    pub fn with_quantum_heartbeats(mut self, heartbeats: u32) -> Result<Self, ControlError> {
+        if heartbeats == 0 {
+            return Err(ControlError::ZeroQuantum);
+        }
+        self.quantum_heartbeats = heartbeats;
+        Ok(self)
+    }
+}
+
+/// The runtime's decision for the next unit of work.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeDecision {
+    /// The calibrated knob setting to apply before processing the next unit.
+    pub point: CalibrationPoint,
+    /// The instantaneous speedup of that setting — the "knob gain" plotted in
+    /// the paper's power-cap figures.
+    pub gain: f64,
+    /// The fraction of the current quantum the platform may idle
+    /// (race-to-idle only; zero otherwise).
+    pub planned_idle_fraction: f64,
+    /// The continuous speedup the controller requested for this quantum.
+    pub requested_speedup: f64,
+}
+
+impl RuntimeDecision {
+    /// The parameter setting to apply.
+    pub fn setting(&self) -> &ParameterSetting {
+        &self.point.setting
+    }
+}
+
+impl fmt::Display for RuntimeDecision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "apply {} (gain {:.2}, requested {:.2})",
+            self.point.setting, self.gain, self.requested_speedup
+        )
+    }
+}
+
+/// The PowerDial runtime: call [`PowerDialRuntime::on_heartbeat`] once per
+/// application heartbeat with the observed windowed heart rate, and apply the
+/// returned knob setting before processing the next unit of work.
+///
+/// # Example
+///
+/// ```
+/// use powerdial_control::{ControllerConfig, PowerDialRuntime, RuntimeConfig};
+/// use powerdial_knobs::{Calibrator, ConfigParameter, Measurement, ParameterSpace};
+/// use powerdial_qos::{OutputAbstraction, QosLossBound};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Calibrate a single knob whose smaller values run proportionally faster.
+/// let space = ParameterSpace::builder()
+///     .parameter(ConfigParameter::new("sims", vec![250.0, 500.0, 1000.0], 1000.0)?)
+///     .build()?;
+/// let mut calibrator = Calibrator::new(&space);
+/// for (i, setting) in space.settings().enumerate() {
+///     let sims = setting.value("sims").unwrap();
+///     calibrator.record(Measurement {
+///         setting_index: i,
+///         input_index: 0,
+///         work: sims,
+///         output: OutputAbstraction::from_components([1.0 + (1000.0 - sims) * 1e-5]),
+///     })?;
+/// }
+/// let table = calibrator.build()?.knob_table(QosLossBound::UNBOUNDED)?;
+///
+/// // Target 30 beats/s; the platform only delivers 20 beats/s at baseline.
+/// let config = RuntimeConfig::new(ControllerConfig::new(30.0, 30.0)?);
+/// let mut runtime = PowerDialRuntime::new(config, table)?;
+/// let decision = runtime.on_heartbeat(Some(20.0));
+/// assert!(decision.requested_speedup > 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PowerDialRuntime {
+    controller: HeartRateController,
+    actuator: Actuator,
+    table: KnobTable,
+    quantum: u32,
+    beat_in_quantum: u32,
+    per_beat_points: Vec<CalibrationPoint>,
+    current_schedule: Option<Schedule>,
+    quanta_planned: u64,
+}
+
+impl PowerDialRuntime {
+    /// Creates a runtime from its configuration and a calibrated knob table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::ZeroQuantum`] when the configured quantum is
+    /// zero heartbeats.
+    pub fn new(config: RuntimeConfig, table: KnobTable) -> Result<Self, ControlError> {
+        if config.quantum_heartbeats == 0 {
+            return Err(ControlError::ZeroQuantum);
+        }
+        Ok(PowerDialRuntime {
+            controller: HeartRateController::new(config.controller),
+            actuator: Actuator::new(config.policy),
+            table,
+            quantum: config.quantum_heartbeats,
+            beat_in_quantum: 0,
+            per_beat_points: Vec::new(),
+            current_schedule: None,
+            quanta_planned: 0,
+        })
+    }
+
+    /// The feedback controller (read-only).
+    pub fn controller(&self) -> &HeartRateController {
+        &self.controller
+    }
+
+    /// The knob table the runtime actuates over.
+    pub fn table(&self) -> &KnobTable {
+        &self.table
+    }
+
+    /// The schedule planned for the current quantum, if one exists.
+    pub fn current_schedule(&self) -> Option<&Schedule> {
+        self.current_schedule.as_ref()
+    }
+
+    /// Number of quanta planned so far.
+    pub fn quanta_planned(&self) -> u64 {
+        self.quanta_planned
+    }
+
+    /// The quantum length in heartbeats.
+    pub fn quantum_heartbeats(&self) -> u32 {
+        self.quantum
+    }
+
+    /// Feeds one heartbeat observation (the windowed heart rate in beats per
+    /// second, or `None` before enough beats exist) and returns the knob
+    /// setting to apply for the next unit of work.
+    ///
+    /// A new schedule is planned at the start of every quantum; within a
+    /// quantum the runtime walks the planned per-heartbeat settings.
+    pub fn on_heartbeat(&mut self, observed_rate: Option<f64>) -> RuntimeDecision {
+        if self.beat_in_quantum == 0 {
+            self.plan_quantum(observed_rate);
+        }
+        let index = self.beat_in_quantum as usize;
+        let point = self
+            .per_beat_points
+            .get(index)
+            .cloned()
+            .unwrap_or_else(|| self.table.baseline().clone());
+
+        self.beat_in_quantum += 1;
+        if self.beat_in_quantum >= self.quantum {
+            self.beat_in_quantum = 0;
+        }
+
+        let schedule = self
+            .current_schedule
+            .as_ref()
+            .expect("schedule exists after planning");
+        RuntimeDecision {
+            gain: point.speedup,
+            planned_idle_fraction: schedule.idle_fraction,
+            requested_speedup: schedule.requested_speedup,
+            point,
+        }
+    }
+
+    fn plan_quantum(&mut self, observed_rate: Option<f64>) {
+        let observed = observed_rate.unwrap_or_else(|| self.controller.config().target_rate());
+        let requested = self.controller.update(observed);
+        let schedule = self.actuator.plan(&self.table, requested);
+
+        // Expand the schedule into one knob setting per heartbeat of the
+        // quantum. Segments are interleaved (largest-deficit first) rather
+        // than run back to back so the windowed heart rate observed anywhere
+        // in the quantum reflects the quantum's average speedup. Idle time
+        // (race-to-idle) does not change the setting; the application simply
+        // finishes its work early, so the remaining beats reuse the first
+        // (fastest) segment's setting.
+        let beats_per_segment = schedule.beats_per_segment(self.quantum);
+        let mut remaining: Vec<(CalibrationPoint, u32)> = beats_per_segment
+            .iter()
+            .map(|(point, beats)| ((*point).clone(), *beats))
+            .collect();
+        let totals: Vec<f64> = remaining.iter().map(|(_, beats)| f64::from(*beats)).collect();
+        let busy_beats: u32 = remaining.iter().map(|(_, beats)| *beats).sum();
+
+        let mut per_beat: Vec<CalibrationPoint> = Vec::with_capacity(self.quantum as usize);
+        let mut assigned: Vec<f64> = vec![0.0; remaining.len()];
+        for beat in 0..busy_beats {
+            // Pick the segment whose assignment lags its target share most.
+            let progress = f64::from(beat + 1) / f64::from(busy_beats.max(1));
+            let mut best = None;
+            let mut best_deficit = f64::NEG_INFINITY;
+            for (index, (_, left)) in remaining.iter().enumerate() {
+                if *left == 0 {
+                    continue;
+                }
+                let deficit = totals[index] * progress - assigned[index];
+                if deficit > best_deficit {
+                    best_deficit = deficit;
+                    best = Some(index);
+                }
+            }
+            let index = best.expect("at least one segment has beats left");
+            per_beat.push(remaining[index].0.clone());
+            assigned[index] += 1.0;
+            remaining[index].1 -= 1;
+        }
+        let filler = per_beat
+            .first()
+            .cloned()
+            .unwrap_or_else(|| self.table.fastest().clone());
+        while per_beat.len() < self.quantum as usize {
+            per_beat.push(filler.clone());
+        }
+
+        self.per_beat_points = per_beat;
+        self.current_schedule = Some(schedule);
+        self.quanta_planned += 1;
+    }
+
+    /// Resets the controller and discards the current schedule, keeping the
+    /// knob table.
+    pub fn reset(&mut self) {
+        self.controller.reset();
+        self.beat_in_quantum = 0;
+        self.per_beat_points.clear();
+        self.current_schedule = None;
+        self.quanta_planned = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powerdial_knobs::{ConfigParameter, ParameterSpace};
+    use powerdial_qos::{QosLoss, QosLossBound};
+
+    fn test_table() -> KnobTable {
+        let space = ParameterSpace::builder()
+            .parameter(ConfigParameter::new("k", vec![0.0, 1.0, 2.0], 0.0).unwrap())
+            .build()
+            .unwrap();
+        let specs = [(0usize, 1.0, 0.0), (1, 2.0, 0.05), (2, 4.0, 0.10)];
+        let points = specs
+            .iter()
+            .map(|(i, speedup, loss)| CalibrationPoint {
+                setting_index: *i,
+                setting: space.setting(*i).unwrap(),
+                speedup: *speedup,
+                qos_loss: QosLoss::new(*loss),
+            })
+            .collect();
+        KnobTable::from_points(points, 0, QosLossBound::UNBOUNDED).unwrap()
+    }
+
+    fn runtime(quantum: u32) -> PowerDialRuntime {
+        let config = RuntimeConfig::new(ControllerConfig::new(30.0, 30.0).unwrap())
+            .with_quantum_heartbeats(quantum)
+            .unwrap();
+        PowerDialRuntime::new(config, test_table()).unwrap()
+    }
+
+    #[test]
+    fn zero_quantum_is_rejected() {
+        let config = RuntimeConfig::new(ControllerConfig::new(30.0, 30.0).unwrap());
+        assert!(config.with_quantum_heartbeats(0).is_err());
+        let mut bad = RuntimeConfig::new(ControllerConfig::new(30.0, 30.0).unwrap());
+        bad.quantum_heartbeats = 0;
+        assert!(matches!(
+            PowerDialRuntime::new(bad, test_table()),
+            Err(ControlError::ZeroQuantum)
+        ));
+    }
+
+    #[test]
+    fn on_target_rate_keeps_baseline_setting() {
+        let mut rt = runtime(4);
+        for _ in 0..8 {
+            let decision = rt.on_heartbeat(Some(30.0));
+            assert!((decision.gain - 1.0).abs() < 1e-12);
+            assert_eq!(decision.setting().values(), &[0.0]);
+        }
+        assert_eq!(rt.quanta_planned(), 2);
+    }
+
+    #[test]
+    fn slow_rate_triggers_faster_settings() {
+        let mut rt = runtime(4);
+        // Observed rate is half the target: controller asks for ~1.33 then
+        // more; the quantum should mix the speedup-2 setting with baseline.
+        let mut gains = Vec::new();
+        for _ in 0..8 {
+            gains.push(rt.on_heartbeat(Some(15.0)).gain);
+        }
+        assert!(gains.iter().any(|&g| g > 1.0), "gains {gains:?} should include a boosted setting");
+        assert!(rt.current_schedule().is_some());
+        assert!(rt.controller().speedup() > 1.0);
+    }
+
+    #[test]
+    fn quantum_boundary_replans() {
+        let mut rt = runtime(2);
+        rt.on_heartbeat(Some(30.0));
+        rt.on_heartbeat(Some(30.0));
+        assert_eq!(rt.quanta_planned(), 1);
+        rt.on_heartbeat(Some(10.0));
+        assert_eq!(rt.quanta_planned(), 2);
+        // The second plan reacts to the slow observation.
+        assert!(rt.current_schedule().unwrap().requested_speedup > 1.0);
+    }
+
+    #[test]
+    fn missing_observation_uses_target_rate() {
+        let mut rt = runtime(4);
+        let decision = rt.on_heartbeat(None);
+        assert!((decision.requested_speedup - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn race_to_idle_reports_idle_fraction() {
+        let config = RuntimeConfig::new(ControllerConfig::new(30.0, 30.0).unwrap())
+            .with_policy(ActuationPolicy::RaceToIdle)
+            .with_quantum_heartbeats(4)
+            .unwrap();
+        let mut rt = PowerDialRuntime::new(config, test_table()).unwrap();
+        // On-target: requested speedup 1, fastest is 4 -> idle 3/4.
+        let decision = rt.on_heartbeat(Some(30.0));
+        assert!((decision.planned_idle_fraction - 0.75).abs() < 1e-12);
+        assert!((decision.gain - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut rt = runtime(4);
+        rt.on_heartbeat(Some(10.0));
+        rt.reset();
+        assert_eq!(rt.quanta_planned(), 0);
+        assert!(rt.current_schedule().is_none());
+        assert_eq!(rt.controller().speedup(), 1.0);
+        assert_eq!(rt.quantum_heartbeats(), 4);
+        assert_eq!(rt.table().len(), 3);
+    }
+
+    #[test]
+    fn closed_loop_with_capacity_drop_recovers_target() {
+        // Simulate the power-cap scenario end to end: each work unit takes
+        // 1 / (baseline · capacity · gain) seconds, and the controller sees
+        // the windowed heart rate over the last 20 units — the same feedback
+        // the real heartbeat monitor provides.
+        let mut rt = runtime(5);
+        let capacity = 0.5;
+        let mut latencies: Vec<f64> = Vec::new();
+        let mut rates = Vec::new();
+        for _ in 0..200 {
+            let window: Vec<f64> = latencies.iter().rev().take(20).copied().collect();
+            let observed = if window.is_empty() {
+                None
+            } else {
+                Some(window.len() as f64 / window.iter().sum::<f64>())
+            };
+            let decision = rt.on_heartbeat(observed);
+            latencies.push(1.0 / (30.0 * capacity * decision.gain));
+            if let Some(rate) = observed {
+                rates.push(rate);
+            }
+        }
+        let tail_mean: f64 = rates[rates.len() - 50..].iter().sum::<f64>() / 50.0;
+        assert!(
+            (tail_mean - 30.0).abs() < 3.0,
+            "mean rate {tail_mean} should recover close to the 30 beats/s target"
+        );
+    }
+
+    #[test]
+    fn decision_display_mentions_gain() {
+        let mut rt = runtime(4);
+        let decision = rt.on_heartbeat(Some(30.0));
+        assert!(decision.to_string().contains("gain"));
+    }
+}

@@ -1,0 +1,423 @@
+//! Z-domain analysis of the PowerDial control loop.
+//!
+//! The paper demonstrates three properties of the closed loop formed by the
+//! controller `F(z) = z / (b(z−1))` and the application model `G(z) = b/z`:
+//! the loop converges (unit steady-state gain), it is stable and does not
+//! oscillate (all poles strictly inside the unit circle), and it converges
+//! quickly (the convergence time estimate `t_c ≈ −4 / log|p_d|` is minimal
+//! because the dominant pole is at the origin). This module provides the
+//! small rational-function toolkit needed to reproduce that analysis for any
+//! baseline speed `b`.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A polynomial in `z` with real coefficients, stored lowest degree first
+/// (`coefficients[k]` multiplies `z^k`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Polynomial {
+    coefficients: Vec<f64>,
+}
+
+impl Polynomial {
+    /// Creates a polynomial from coefficients, lowest degree first. Trailing
+    /// zero coefficients are trimmed.
+    pub fn new(coefficients: Vec<f64>) -> Self {
+        let mut coefficients = coefficients;
+        while coefficients.len() > 1 && coefficients.last() == Some(&0.0) {
+            coefficients.pop();
+        }
+        if coefficients.is_empty() {
+            coefficients.push(0.0);
+        }
+        Polynomial { coefficients }
+    }
+
+    /// The polynomial's degree (0 for constants).
+    pub fn degree(&self) -> usize {
+        self.coefficients.len() - 1
+    }
+
+    /// The coefficients, lowest degree first.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// Evaluates the polynomial at `z`.
+    pub fn evaluate(&self, z: f64) -> f64 {
+        self.coefficients
+            .iter()
+            .rev()
+            .fold(0.0, |acc, &c| acc * z + c)
+    }
+
+    /// Multiplies two polynomials.
+    pub fn multiply(&self, other: &Polynomial) -> Polynomial {
+        let mut result = vec![0.0; self.coefficients.len() + other.coefficients.len() - 1];
+        for (i, &a) in self.coefficients.iter().enumerate() {
+            for (j, &b) in other.coefficients.iter().enumerate() {
+                result[i + j] += a * b;
+            }
+        }
+        Polynomial::new(result)
+    }
+
+    /// Adds two polynomials.
+    pub fn add(&self, other: &Polynomial) -> Polynomial {
+        let len = self.coefficients.len().max(other.coefficients.len());
+        let mut result = vec![0.0; len];
+        for (i, slot) in result.iter_mut().enumerate() {
+            *slot = self.coefficients.get(i).copied().unwrap_or(0.0)
+                + other.coefficients.get(i).copied().unwrap_or(0.0);
+        }
+        Polynomial::new(result)
+    }
+
+    /// The real roots of the polynomial, for degrees up to 2. Complex roots
+    /// of quadratics are returned by magnitude (both entries equal to the
+    /// modulus), which is what stability analysis needs.
+    ///
+    /// # Panics
+    ///
+    /// Panics for polynomials of degree 3 or higher.
+    pub fn root_magnitudes(&self) -> Vec<f64> {
+        match self.degree() {
+            0 => Vec::new(),
+            1 => {
+                // c0 + c1 z = 0  =>  z = -c0/c1
+                vec![(-self.coefficients[0] / self.coefficients[1]).abs()]
+            }
+            2 => {
+                let c = self.coefficients[0];
+                let b = self.coefficients[1];
+                let a = self.coefficients[2];
+                let discriminant = b * b - 4.0 * a * c;
+                if discriminant >= 0.0 {
+                    let sqrt_d = discriminant.sqrt();
+                    vec![
+                        ((-b + sqrt_d) / (2.0 * a)).abs(),
+                        ((-b - sqrt_d) / (2.0 * a)).abs(),
+                    ]
+                } else {
+                    // Complex conjugate pair: |z| = sqrt(c/a).
+                    let modulus = (c / a).abs().sqrt();
+                    vec![modulus, modulus]
+                }
+            }
+            d => panic!("root finding is only implemented for degree <= 2, got {d}"),
+        }
+    }
+}
+
+impl fmt::Display for Polynomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, c) in self.coefficients.iter().enumerate().rev() {
+            if i < self.coefficients.len() - 1 {
+                write!(f, " + ")?;
+            }
+            write!(f, "{c}·z^{i}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A rational transfer function `numerator(z) / denominator(z)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransferFunction {
+    numerator: Polynomial,
+    denominator: Polynomial,
+}
+
+impl TransferFunction {
+    /// Creates a transfer function from numerator and denominator
+    /// polynomials.
+    pub fn new(numerator: Polynomial, denominator: Polynomial) -> Self {
+        TransferFunction {
+            numerator,
+            denominator,
+        }
+    }
+
+    /// The controller transfer function `F(z) = z / (b(z − 1))` (Equation 5).
+    pub fn powerdial_controller(base_speed: f64) -> Self {
+        TransferFunction::new(
+            Polynomial::new(vec![0.0, 1.0]),
+            Polynomial::new(vec![-base_speed, base_speed]),
+        )
+    }
+
+    /// The application model transfer function `G(z) = b / z` (Equation 6).
+    pub fn application_model(base_speed: f64) -> Self {
+        TransferFunction::new(
+            Polynomial::new(vec![base_speed]),
+            Polynomial::new(vec![0.0, 1.0]),
+        )
+    }
+
+    /// The numerator polynomial.
+    pub fn numerator(&self) -> &Polynomial {
+        &self.numerator
+    }
+
+    /// The denominator polynomial.
+    pub fn denominator(&self) -> &Polynomial {
+        &self.denominator
+    }
+
+    /// Evaluates the transfer function at a real `z`. Returns `None` when the
+    /// denominator vanishes there.
+    pub fn evaluate(&self, z: f64) -> Option<f64> {
+        let den = self.denominator.evaluate(z);
+        if den == 0.0 {
+            None
+        } else {
+            Some(self.numerator.evaluate(z) / den)
+        }
+    }
+
+    /// The closed loop `F·G / (1 + F·G)` formed with `plant` (Equation 7).
+    pub fn closed_loop_with(&self, plant: &TransferFunction) -> TransferFunction {
+        let open_num = self.numerator.multiply(&plant.numerator);
+        let open_den = self.denominator.multiply(&plant.denominator);
+        TransferFunction::new(open_num.clone(), open_den.add(&open_num))
+    }
+
+    /// The steady-state gain `H(1)`; a unit gain means the loop converges to
+    /// the target with zero steady-state error. Returns `None` for a pole at
+    /// `z = 1`.
+    pub fn steady_state_gain(&self) -> Option<f64> {
+        self.evaluate(1.0)
+    }
+
+    /// Magnitudes of the poles (roots of the denominator).
+    pub fn pole_magnitudes(&self) -> Vec<f64> {
+        self.denominator.root_magnitudes()
+    }
+
+    /// True when every pole lies strictly inside the unit circle.
+    pub fn is_stable(&self) -> bool {
+        self.pole_magnitudes().iter().all(|&m| m < 1.0)
+    }
+
+    /// The paper's convergence-time estimate `t_c ≈ −4 / log|p_d|`, in
+    /// control periods, where `p_d` is the dominant pole. Returns 0 when the
+    /// dominant pole is at the origin (instant convergence) and `None` for an
+    /// unstable system.
+    pub fn convergence_time(&self) -> Option<f64> {
+        let dominant = self
+            .pole_magnitudes()
+            .into_iter()
+            .fold(0.0f64, f64::max);
+        if dominant >= 1.0 {
+            None
+        } else if dominant == 0.0 {
+            Some(0.0)
+        } else {
+            Some(-4.0 / dominant.log10())
+        }
+    }
+}
+
+impl fmt::Display for TransferFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}) / ({})", self.numerator, self.denominator)
+    }
+}
+
+/// The complete closed-loop analysis for a PowerDial controller with baseline
+/// speed `b`, as performed in Section 2.3.2 of the paper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClosedLoopAnalysis {
+    /// The baseline speed the loop was analyzed for.
+    pub base_speed: f64,
+    /// The closed-loop transfer function.
+    pub closed_loop: TransferFunction,
+    /// Steady-state gain (should be exactly 1).
+    pub steady_state_gain: f64,
+    /// Pole magnitudes (should all be 0).
+    pub pole_magnitudes: Vec<f64>,
+    /// Whether the loop is stable.
+    pub stable: bool,
+    /// Convergence time estimate in control periods.
+    pub convergence_time: f64,
+}
+
+/// Analyzes the PowerDial closed loop for a given baseline speed.
+///
+/// # Example
+///
+/// ```
+/// use powerdial_control::ztransform::analyze_closed_loop;
+///
+/// let analysis = analyze_closed_loop(30.0);
+/// assert!((analysis.steady_state_gain - 1.0).abs() < 1e-9);
+/// assert!(analysis.stable);
+/// assert_eq!(analysis.convergence_time, 0.0);
+/// ```
+pub fn analyze_closed_loop(base_speed: f64) -> ClosedLoopAnalysis {
+    let controller = TransferFunction::powerdial_controller(base_speed);
+    let plant = TransferFunction::application_model(base_speed);
+    let closed_loop = controller.closed_loop_with(&plant);
+    let steady_state_gain = closed_loop
+        .steady_state_gain()
+        .expect("closed loop has no pole at z = 1");
+    let pole_magnitudes = closed_loop.pole_magnitudes();
+    let stable = closed_loop.is_stable();
+    let convergence_time = closed_loop.convergence_time().unwrap_or(f64::INFINITY);
+    ClosedLoopAnalysis {
+        base_speed,
+        closed_loop,
+        steady_state_gain,
+        pole_magnitudes,
+        stable,
+        convergence_time,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polynomial_evaluation_and_arithmetic() {
+        // p(z) = 1 + 2z + 3z^2
+        let p = Polynomial::new(vec![1.0, 2.0, 3.0]);
+        assert_eq!(p.degree(), 2);
+        assert_eq!(p.evaluate(0.0), 1.0);
+        assert_eq!(p.evaluate(1.0), 6.0);
+        assert_eq!(p.evaluate(2.0), 17.0);
+
+        let q = Polynomial::new(vec![0.0, 1.0]); // z
+        let product = p.multiply(&q); // z + 2z^2 + 3z^3
+        assert_eq!(product.coefficients(), &[0.0, 1.0, 2.0, 3.0]);
+        let sum = p.add(&q); // 1 + 3z + 3z^2
+        assert_eq!(sum.coefficients(), &[1.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn trailing_zeros_are_trimmed() {
+        let p = Polynomial::new(vec![1.0, 0.0, 0.0]);
+        assert_eq!(p.degree(), 0);
+        let zero = Polynomial::new(vec![]);
+        assert_eq!(zero.coefficients(), &[0.0]);
+    }
+
+    #[test]
+    fn linear_and_quadratic_roots() {
+        // z - 0.5 = 0 -> root magnitude 0.5
+        let linear = Polynomial::new(vec![-0.5, 1.0]);
+        assert_eq!(linear.root_magnitudes(), vec![0.5]);
+
+        // z^2 - 1 = 0 -> roots ±1
+        let quadratic = Polynomial::new(vec![-1.0, 0.0, 1.0]);
+        let mut roots = quadratic.root_magnitudes();
+        roots.sort_by(f64::total_cmp);
+        assert_eq!(roots, vec![1.0, 1.0]);
+
+        // z^2 + 0.25 = 0 -> complex pair with modulus 0.5
+        let complex = Polynomial::new(vec![0.25, 0.0, 1.0]);
+        assert_eq!(complex.root_magnitudes(), vec![0.5, 0.5]);
+
+        // Constants have no roots.
+        assert!(Polynomial::new(vec![3.0]).root_magnitudes().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "degree <= 2")]
+    fn cubic_roots_are_unsupported() {
+        Polynomial::new(vec![1.0, 0.0, 0.0, 1.0]).root_magnitudes();
+    }
+
+    #[test]
+    fn controller_and_plant_transfer_functions_match_paper() {
+        let b = 25.0;
+        let controller = TransferFunction::powerdial_controller(b);
+        // F(z) = z / (b(z-1)); at z = 2: 2 / (25 * 1) = 0.08.
+        assert!((controller.evaluate(2.0).unwrap() - 0.08).abs() < 1e-12);
+        // Pole at z = 1.
+        assert_eq!(controller.pole_magnitudes(), vec![1.0]);
+
+        let plant = TransferFunction::application_model(b);
+        // G(z) = b/z; at z = 5: 5.
+        assert!((plant.evaluate(5.0).unwrap() - 5.0).abs() < 1e-12);
+        assert!(plant.evaluate(0.0).is_none());
+    }
+
+    #[test]
+    fn closed_loop_is_one_over_z() {
+        // Equation 8: Floop(z) = 1/z independent of b.
+        for &b in &[1.0, 10.0, 30.0, 250.0] {
+            let analysis = analyze_closed_loop(b);
+            // H(2) should be 0.5, H(4) should be 0.25.
+            assert!((analysis.closed_loop.evaluate(2.0).unwrap() - 0.5).abs() < 1e-9);
+            assert!((analysis.closed_loop.evaluate(4.0).unwrap() - 0.25).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn closed_loop_has_paper_properties() {
+        let analysis = analyze_closed_loop(30.0);
+        assert!((analysis.steady_state_gain - 1.0).abs() < 1e-9);
+        assert!(analysis.stable);
+        assert!(analysis.pole_magnitudes.iter().all(|&p| p.abs() < 1e-9));
+        assert_eq!(analysis.convergence_time, 0.0);
+        assert_eq!(analysis.base_speed, 30.0);
+        assert!(analysis.closed_loop.to_string().contains('/'));
+    }
+
+    #[test]
+    fn convergence_time_for_nonzero_dominant_pole() {
+        // A first-order lag with pole at 0.5: tc = -4 / log10(0.5) ≈ 13.3.
+        let tf = TransferFunction::new(
+            Polynomial::new(vec![0.5]),
+            Polynomial::new(vec![-0.5, 1.0]),
+        );
+        let tc = tf.convergence_time().unwrap();
+        assert!((tc - (-4.0 / 0.5f64.log10())).abs() < 1e-9);
+        assert!(tf.is_stable());
+
+        // Unstable system: pole outside the unit circle.
+        let unstable = TransferFunction::new(
+            Polynomial::new(vec![1.0]),
+            Polynomial::new(vec![-2.0, 1.0]),
+        );
+        assert!(!unstable.is_stable());
+        assert!(unstable.convergence_time().is_none());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The paper's closed-loop properties hold for any positive baseline
+        /// speed: unit gain, poles at the origin, stability.
+        #[test]
+        fn closed_loop_properties_hold_for_any_base_speed(b in 0.01f64..10_000.0) {
+            let analysis = analyze_closed_loop(b);
+            prop_assert!((analysis.steady_state_gain - 1.0).abs() < 1e-6);
+            prop_assert!(analysis.stable);
+            for p in &analysis.pole_magnitudes {
+                prop_assert!(p.abs() < 1e-6);
+            }
+        }
+
+        /// Polynomial evaluation of a product equals the product of
+        /// evaluations.
+        #[test]
+        fn multiplication_is_pointwise(
+            a in proptest::collection::vec(-5.0f64..5.0, 1..4),
+            b in proptest::collection::vec(-5.0f64..5.0, 1..4),
+            z in -3.0f64..3.0,
+        ) {
+            let pa = Polynomial::new(a);
+            let pb = Polynomial::new(b);
+            let product = pa.multiply(&pb);
+            let expected = pa.evaluate(z) * pb.evaluate(z);
+            prop_assert!((product.evaluate(z) - expected).abs() < 1e-6 * (1.0 + expected.abs()));
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! The top-level error type.
+
+use std::error::Error;
+use std::fmt;
+
+use powerdial_analytic::AnalyticError;
+use powerdial_control::ControlError;
+use powerdial_heartbeats::HeartbeatError;
+use powerdial_influence::InfluenceError;
+use powerdial_knobs::KnobError;
+use powerdial_platform::PlatformError;
+use powerdial_qos::QosError;
+
+/// Errors produced while building or driving a PowerDial system.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PowerDialError {
+    /// Dynamic knob identification (influence tracing / control-variable
+    /// checks) failed.
+    Influence(InfluenceError),
+    /// Dynamic knob calibration failed.
+    Knobs(KnobError),
+    /// A QoS computation failed.
+    Qos(QosError),
+    /// The control system rejected its configuration.
+    Control(ControlError),
+    /// The heartbeat framework rejected its configuration.
+    Heartbeats(HeartbeatError),
+    /// The platform simulator rejected its configuration.
+    Platform(PlatformError),
+    /// An analytical model rejected its parameters.
+    Analytic(AnalyticError),
+    /// The application exposes no training inputs, so calibration cannot run.
+    NoTrainingInputs {
+        /// Name of the offending application.
+        application: String,
+    },
+}
+
+impl fmt::Display for PowerDialError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PowerDialError::Influence(e) => write!(f, "dynamic knob identification failed: {e}"),
+            PowerDialError::Knobs(e) => write!(f, "dynamic knob calibration failed: {e}"),
+            PowerDialError::Qos(e) => write!(f, "qos computation failed: {e}"),
+            PowerDialError::Control(e) => write!(f, "control system configuration failed: {e}"),
+            PowerDialError::Heartbeats(e) => write!(f, "heartbeat configuration failed: {e}"),
+            PowerDialError::Platform(e) => write!(f, "platform configuration failed: {e}"),
+            PowerDialError::Analytic(e) => write!(f, "analytical model rejected its parameters: {e}"),
+            PowerDialError::NoTrainingInputs { application } => {
+                write!(f, "application `{application}` exposes no training inputs")
+            }
+        }
+    }
+}
+
+impl Error for PowerDialError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PowerDialError::Influence(e) => Some(e),
+            PowerDialError::Knobs(e) => Some(e),
+            PowerDialError::Qos(e) => Some(e),
+            PowerDialError::Control(e) => Some(e),
+            PowerDialError::Heartbeats(e) => Some(e),
+            PowerDialError::Platform(e) => Some(e),
+            PowerDialError::Analytic(e) => Some(e),
+            PowerDialError::NoTrainingInputs { .. } => None,
+        }
+    }
+}
+
+macro_rules! impl_from_error {
+    ($source:ty, $variant:ident) => {
+        impl From<$source> for PowerDialError {
+            fn from(e: $source) -> Self {
+                PowerDialError::$variant(e)
+            }
+        }
+    };
+}
+
+impl_from_error!(InfluenceError, Influence);
+impl_from_error!(KnobError, Knobs);
+impl_from_error!(QosError, Qos);
+impl_from_error!(ControlError, Control);
+impl_from_error!(HeartbeatError, Heartbeats);
+impl_from_error!(PlatformError, Platform);
+impl_from_error!(AnalyticError, Analytic);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_preserve_sources() {
+        let err: PowerDialError = InfluenceError::NoTraces.into();
+        assert!(matches!(err, PowerDialError::Influence(_)));
+        assert!(err.source().is_some());
+
+        let err: PowerDialError = KnobError::NoMeasurements.into();
+        assert!(err.to_string().contains("calibration"));
+
+        let err: PowerDialError = QosError::EmptyAbstraction.into();
+        assert!(err.source().is_some());
+
+        let err: PowerDialError = ControlError::ZeroQuantum.into();
+        assert!(err.to_string().contains("control"));
+
+        let err: PowerDialError = HeartbeatError::ZeroWindowSize.into();
+        assert!(err.source().is_some());
+
+        let err: PowerDialError = PlatformError::EmptyCluster.into();
+        assert!(err.source().is_some());
+
+        let err = PowerDialError::NoTrainingInputs {
+            application: "x264".into(),
+        };
+        assert!(err.source().is_none());
+        assert!(err.to_string().contains("x264"));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<PowerDialError>();
+    }
+}

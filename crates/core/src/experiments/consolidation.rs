@@ -1,0 +1,231 @@
+//! Server consolidation across utilization levels (Figure 8).
+
+use serde::{Deserialize, Serialize};
+
+use powerdial_analytic::consolidation::ConsolidationModel;
+use powerdial_control::{ActuationPolicy, Actuator};
+use powerdial_platform::{Cluster, FrequencyState, PowerModel};
+use powerdial_qos::QosLossBound;
+
+use crate::error::PowerDialError;
+use crate::system::PowerDialSystem;
+
+/// One utilization point of the Figure 8 sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConsolidationPoint {
+    /// System utilization relative to the original, fully provisioned system
+    /// (1.0 = the peak load it was provisioned for).
+    pub utilization: f64,
+    /// Mean power of the original system at this utilization, in watts.
+    pub original_power_watts: f64,
+    /// Mean power of the consolidated system at this utilization, in watts.
+    pub consolidated_power_watts: f64,
+    /// Mean QoS loss the consolidated system incurs to keep up, as a
+    /// percentage.
+    pub qos_loss_percent: f64,
+}
+
+/// The complete Figure 8 study for one application.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConsolidationStudy {
+    /// The application's name.
+    pub application: String,
+    /// Machines in the original system.
+    pub original_machines: usize,
+    /// Machines in the consolidated system.
+    pub consolidated_machines: usize,
+    /// The QoS-loss bound used to provision the consolidated system.
+    pub qos_bound_percent: f64,
+    /// The speedup available within the bound (used for provisioning).
+    pub provisioning_speedup: f64,
+    /// The sweep over utilization.
+    pub points: Vec<ConsolidationPoint>,
+}
+
+impl ConsolidationStudy {
+    /// The largest QoS loss incurred anywhere in the sweep.
+    pub fn max_qos_loss_percent(&self) -> f64 {
+        self.points
+            .iter()
+            .map(|p| p.qos_loss_percent)
+            .fold(0.0, f64::max)
+    }
+
+    /// The power saved at full utilization, as a fraction of the original
+    /// system's power.
+    pub fn peak_load_power_savings(&self) -> f64 {
+        match self.points.last() {
+            Some(point) if point.original_power_watts > 0.0 => {
+                (point.original_power_watts - point.consolidated_power_watts)
+                    / point.original_power_watts
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// The power saved at the given utilization (interpolating between sweep
+    /// points is not needed: the sweep is dense).
+    pub fn savings_at(&self, utilization: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .min_by(|a, b| {
+                (a.utilization - utilization)
+                    .abs()
+                    .partial_cmp(&(b.utilization - utilization).abs())
+                    .expect("utilizations are finite")
+            })
+            .map(|p| p.original_power_watts - p.consolidated_power_watts)
+    }
+}
+
+/// Runs the Figure 8 experiment.
+///
+/// The original system has `original_machines` machines serving the peak load
+/// with the baseline configuration. The consolidated system is provisioned
+/// with Equation 21 using the largest speedup available within `qos_bound`,
+/// then the offered load is swept from 0 to the original system's peak; at
+/// each level the consolidated system uses the PowerDial actuator to pick the
+/// cheapest knob setting that keeps up.
+///
+/// # Errors
+///
+/// Returns an error when no knob setting satisfies the QoS bound or the
+/// cluster parameters are invalid.
+pub fn consolidation_study(
+    system: &PowerDialSystem,
+    original_machines: usize,
+    qos_bound: QosLossBound,
+    utilization_steps: usize,
+) -> Result<ConsolidationStudy, PowerDialError> {
+    let bounded_table = system.calibration().knob_table(qos_bound)?;
+    let provisioning_speedup = bounded_table.max_speedup();
+
+    // Equation 21: machines needed after consolidation. The average
+    // utilization parameter only affects the power bookkeeping of the
+    // analytic model, not the provisioning, so the data-center typical 25 %
+    // is used.
+    let model = ConsolidationModel::new(
+        original_machines,
+        1.0,
+        0.25,
+        PowerModel::poweredge_r410().max_watts(),
+        PowerModel::poweredge_r410().idle_watts(),
+    )?;
+    let consolidated_machines = model.machines_needed(provisioning_speedup)?;
+
+    let original = Cluster::new("original", original_machines, PowerModel::poweredge_r410())?;
+    let consolidated = Cluster::new(
+        "consolidated",
+        consolidated_machines,
+        PowerModel::poweredge_r410(),
+    )?;
+    let actuator = Actuator::new(ActuationPolicy::MinimalSpeedup);
+
+    let steps = utilization_steps.max(2);
+    let mut points = Vec::with_capacity(steps);
+    for step in 0..steps {
+        let utilization = step as f64 / (steps - 1) as f64;
+        let offered_load = utilization * original_machines as f64;
+
+        let original_power = original
+            .power_at_load(offered_load, FrequencyState::highest())?
+            .total_watts;
+
+        // The consolidated system must absorb the same offered load with
+        // fewer machines: the required speedup is the ratio of offered load
+        // to available capacity (at least 1).
+        let required_speedup = (offered_load / consolidated_machines as f64).max(1.0);
+        let schedule = actuator.plan(&bounded_table, required_speedup);
+        let achieved = schedule.achieved_speedup.max(1.0);
+        let qos_loss_percent = schedule.expected_qos_loss() * 100.0;
+
+        let consolidated_load = offered_load / achieved;
+        let consolidated_power = consolidated
+            .power_at_load(consolidated_load, FrequencyState::highest())?
+            .total_watts;
+
+        points.push(ConsolidationPoint {
+            utilization,
+            original_power_watts: original_power,
+            consolidated_power_watts: consolidated_power,
+            qos_loss_percent,
+        });
+    }
+
+    Ok(ConsolidationStudy {
+        application: system.application().to_string(),
+        original_machines,
+        consolidated_machines,
+        qos_bound_percent: qos_bound.percent(),
+        provisioning_speedup,
+        points,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::{PowerDialConfig, PowerDialSystem};
+    use powerdial_apps::{SearchApp, SwaptionsApp};
+
+    #[test]
+    fn parsec_style_consolidation_reproduces_figure_8() {
+        let app = SwaptionsApp::test_scale(37);
+        let system = PowerDialSystem::build(&app, PowerDialConfig::default()).unwrap();
+        let study = consolidation_study(
+            &system,
+            4,
+            QosLossBound::from_percent(5.0).unwrap(),
+            21,
+        )
+        .unwrap();
+
+        // The paper consolidates the PARSEC benchmarks from 4 machines to 1.
+        assert_eq!(study.original_machines, 4);
+        assert_eq!(study.consolidated_machines, 1);
+        assert!(study.provisioning_speedup >= 4.0);
+
+        // At 25 % utilization the consolidated system saves roughly 400 W
+        // (about two thirds of the original power).
+        let savings_at_quarter = study.savings_at(0.25).unwrap();
+        assert!(
+            savings_at_quarter > 250.0,
+            "savings at 25% utilization {savings_at_quarter:.0} W"
+        );
+
+        // At peak load the consolidated system consumes ~75 % less power.
+        let peak_savings = study.peak_load_power_savings();
+        assert!(
+            (peak_savings - 0.75).abs() < 0.05,
+            "peak-load savings fraction {peak_savings}"
+        );
+
+        // QoS loss stays within the provisioning bound and is zero at low
+        // utilization.
+        assert!(study.points[0].qos_loss_percent < 1e-9);
+        assert!(study.max_qos_loss_percent() <= 5.0 + 1e-6);
+
+        // QoS loss rises monotonically with utilization.
+        for pair in study.points.windows(2) {
+            assert!(pair[1].qos_loss_percent + 1e-9 >= pair[0].qos_loss_percent);
+        }
+    }
+
+    #[test]
+    fn search_consolidation_drops_one_of_three_machines() {
+        let app = SearchApp::test_scale(41);
+        let system = PowerDialSystem::build(&app, PowerDialConfig::default()).unwrap();
+        let study = consolidation_study(
+            &system,
+            3,
+            QosLossBound::from_percent(30.0).unwrap(),
+            11,
+        )
+        .unwrap();
+        // swish++'s ~1.5x speedup lets the paper drop one of three machines.
+        assert_eq!(study.original_machines, 3);
+        assert_eq!(study.consolidated_machines, 2);
+        assert!(study.peak_load_power_savings() > 0.2);
+        assert!(study.max_qos_loss_percent() <= 30.0 + 1e-6);
+    }
+}

@@ -1,0 +1,109 @@
+//! Training and production input summary (Table 1).
+
+use serde::{Deserialize, Serialize};
+
+use powerdial_apps::{InputSet, KnobbedApplication};
+
+/// One row of Table 1: the inputs used for a benchmark, both in this
+/// reproduction and in the paper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InputSummaryRow {
+    /// The benchmark's name.
+    pub benchmark: String,
+    /// Training inputs in this reproduction.
+    pub training_inputs: usize,
+    /// Production inputs in this reproduction.
+    pub production_inputs: usize,
+    /// The paper's training inputs, verbatim.
+    pub paper_training: &'static str,
+    /// The paper's production inputs, verbatim.
+    pub paper_production: &'static str,
+    /// The paper's input source, verbatim.
+    pub paper_source: &'static str,
+    /// The synthetic substitute used here.
+    pub reproduction_source: &'static str,
+}
+
+/// The paper's Table 1 rows, keyed by benchmark name.
+fn paper_row(benchmark: &str) -> (&'static str, &'static str, &'static str, &'static str) {
+    match benchmark {
+        "swaptions" => (
+            "64 swaptions",
+            "512 swaptions",
+            "PARSEC & randomly generated swaptions",
+            "seeded randomly generated swaption parameters",
+        ),
+        "x264" => (
+            "4 HD videos of 200+ frames",
+            "12 HD videos of 200+ frames",
+            "PARSEC & xiph.org",
+            "seeded synthetic video sequences (moving objects over a gradient)",
+        ),
+        "bodytrack" => (
+            "sequence of 100 frames",
+            "sequence of 261 frames",
+            "PARSEC & additional input from PARSEC authors",
+            "seeded synthetic multi-camera pose sequences",
+        ),
+        "swish++" => (
+            "2000 books",
+            "2000 books",
+            "Project Gutenberg",
+            "seeded Zipf-distributed synthetic corpus with power-law queries",
+        ),
+        _ => ("-", "-", "-", "synthetic"),
+    }
+}
+
+/// Builds the Table 1 summary for the given applications.
+pub fn input_summary(apps: &[&dyn KnobbedApplication]) -> Vec<InputSummaryRow> {
+    apps.iter()
+        .map(|app| {
+            let (paper_training, paper_production, paper_source, reproduction_source) =
+                paper_row(app.name());
+            InputSummaryRow {
+                benchmark: app.name().to_string(),
+                training_inputs: app.input_count(InputSet::Training),
+                production_inputs: app.input_count(InputSet::Production),
+                paper_training,
+                paper_production,
+                paper_source,
+                reproduction_source,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powerdial_apps::{BodytrackApp, SearchApp, SwaptionsApp, VideoEncoderApp};
+
+    #[test]
+    fn summary_covers_all_four_benchmarks() {
+        let swaptions = SwaptionsApp::test_scale(0);
+        let video = VideoEncoderApp::test_scale(0);
+        let bodytrack = BodytrackApp::test_scale(0);
+        let search = SearchApp::test_scale(0);
+        let apps: Vec<&dyn KnobbedApplication> = vec![&swaptions, &video, &bodytrack, &search];
+        let rows = input_summary(&apps);
+        assert_eq!(rows.len(), 4);
+        let names: Vec<&str> = rows.iter().map(|r| r.benchmark.as_str()).collect();
+        assert_eq!(names, vec!["swaptions", "x264", "bodytrack", "swish++"]);
+        for row in &rows {
+            assert!(row.training_inputs > 0);
+            assert!(row.production_inputs > 0);
+            assert!(!row.paper_source.is_empty());
+            assert_ne!(row.paper_training, "-", "paper row must be known for {}", row.benchmark);
+        }
+    }
+
+    #[test]
+    fn unknown_benchmarks_get_placeholder_rows() {
+        let (a, b, c, d) = paper_row("unknown");
+        assert_eq!(a, "-");
+        assert_eq!(b, "-");
+        assert_eq!(c, "-");
+        assert_eq!(d, "synthetic");
+    }
+}

@@ -1,0 +1,83 @@
+//! Experiment drivers reproducing the paper's evaluation (Section 5).
+//!
+//! Each submodule regenerates one table or figure:
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`inputs`] | Table 1 — training and production inputs per benchmark |
+//! | [`tradeoff`] | Figure 5 and Table 2 — speedup versus QoS-loss trade-off spaces and training/production correlation |
+//! | [`frequency`] | Figure 6 — power and QoS loss versus processor frequency with PowerDial holding baseline performance |
+//! | [`power_cap`] | Figure 7 — dynamic response to a power cap imposed and lifted mid-run |
+//! | [`consolidation`] | Figure 8 — power and QoS loss of original versus consolidated systems across utilization |
+//!
+//! The shared closed-loop simulator lives in [`sim`].
+
+pub mod consolidation;
+pub mod frequency;
+pub mod inputs;
+pub mod power_cap;
+pub mod sim;
+pub mod tradeoff;
+
+pub use consolidation::{consolidation_study, ConsolidationPoint, ConsolidationStudy};
+pub use frequency::{frequency_sweep, FrequencySweepPoint};
+pub use inputs::{input_summary, InputSummaryRow};
+pub use power_cap::{power_cap_response, PowerCapSeries};
+pub use sim::{simulate_closed_loop, ClosedLoopOutcome, ClosedLoopStep, SimulationOptions};
+pub use tradeoff::{tradeoff_analysis, TradeoffAnalysis, TradeoffPoint};
+
+/// Pearson correlation coefficient between two equally long samples.
+/// Returns `None` when fewer than two points are available or either sample
+/// has zero variance.
+pub fn pearson_correlation(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mean_x = xs.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let mut covariance = 0.0;
+    let mut variance_x = 0.0;
+    let mut variance_y = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        covariance += (x - mean_x) * (y - mean_y);
+        variance_x += (x - mean_x).powi(2);
+        variance_y += (y - mean_y).powi(2);
+    }
+    if variance_x == 0.0 || variance_y == 0.0 {
+        return None;
+    }
+    Some(covariance / (variance_x * variance_y).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correlation_of_identical_samples_is_one() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((pearson_correlation(&xs, &xs).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_of_inverted_samples_is_minus_one() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [3.0, 2.0, 1.0];
+        assert!((pearson_correlation(&xs, &ys).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_give_none() {
+        assert!(pearson_correlation(&[1.0], &[1.0]).is_none());
+        assert!(pearson_correlation(&[1.0, 2.0], &[1.0]).is_none());
+        assert!(pearson_correlation(&[1.0, 1.0], &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn linear_relationship_is_detected() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x + 7.0).collect();
+        assert!((pearson_correlation(&xs, &ys).unwrap() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,150 @@
+//! Dynamic response to a power cap imposed and lifted mid-run (Figure 7).
+
+use serde::{Deserialize, Serialize};
+
+use powerdial_apps::KnobbedApplication;
+use powerdial_heartbeats::Timestamp;
+use powerdial_platform::PowerCapSchedule;
+
+use crate::error::PowerDialError;
+use crate::experiments::sim::{simulate_closed_loop, ClosedLoopStep, SimulationOptions};
+use crate::system::PowerDialSystem;
+
+/// The Figure 7 time series: the same power-capped run executed with and
+/// without dynamic knobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerCapSeries {
+    /// The application's name.
+    pub application: String,
+    /// The target heart rate both runs aim for, in beats per second.
+    pub target_rate: f64,
+    /// Per-heartbeat records of the PowerDial-controlled run.
+    pub with_knobs: Vec<ClosedLoopStep>,
+    /// Per-heartbeat records of the uncontrolled run.
+    pub without_knobs: Vec<ClosedLoopStep>,
+    /// The time at which the power cap is imposed, in seconds.
+    pub cap_imposed_at_secs: f64,
+    /// The time at which the power cap is lifted, in seconds.
+    pub cap_lifted_at_secs: f64,
+}
+
+impl PowerCapSeries {
+    /// Mean normalized performance of the controlled run during the capped
+    /// interval.
+    pub fn capped_performance_with_knobs(&self) -> Option<f64> {
+        mean_performance_between(&self.with_knobs, self.cap_imposed_at_secs, self.cap_lifted_at_secs)
+    }
+
+    /// Mean normalized performance of the uncontrolled run during the capped
+    /// interval.
+    pub fn capped_performance_without_knobs(&self) -> Option<f64> {
+        mean_performance_between(
+            &self.without_knobs,
+            self.cap_imposed_at_secs,
+            self.cap_lifted_at_secs,
+        )
+    }
+
+    /// The largest knob gain the runtime applied during the capped interval.
+    pub fn peak_knob_gain(&self) -> f64 {
+        self.with_knobs
+            .iter()
+            .map(|s| s.knob_gain)
+            .fold(1.0, f64::max)
+    }
+}
+
+fn mean_performance_between(steps: &[ClosedLoopStep], from_secs: f64, to_secs: f64) -> Option<f64> {
+    let values: Vec<f64> = steps
+        .iter()
+        .filter(|s| s.time_secs >= from_secs && s.time_secs <= to_secs)
+        .filter_map(|s| s.normalized_performance)
+        .collect();
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+/// Runs the Figure 7 experiment: the machine starts uncapped at 2.4 GHz, is
+/// capped to 1.6 GHz a quarter of the way through the run, and the cap is
+/// lifted at three quarters. The same schedule is replayed once with the
+/// PowerDial runtime active and once without.
+///
+/// # Errors
+///
+/// Returns an error when a simulation cannot be configured.
+pub fn power_cap_response(
+    app: &dyn KnobbedApplication,
+    system: &PowerDialSystem,
+    options: SimulationOptions,
+) -> Result<PowerCapSeries, PowerDialError> {
+    // At the baseline, one work unit takes one simulated second, so the
+    // nominal run length in seconds equals the number of work units.
+    let nominal_duration = Timestamp::from_secs(options.work_units as u64);
+    let schedule = PowerCapSchedule::paper_power_cap(nominal_duration);
+    let cap_imposed_at_secs = nominal_duration.as_secs_f64() * 0.25;
+    let cap_lifted_at_secs = nominal_duration.as_secs_f64() * 0.75;
+
+    let with_knobs = simulate_closed_loop(app, system, &schedule, options)?;
+    let without_knobs = simulate_closed_loop(
+        app,
+        system,
+        &schedule,
+        SimulationOptions {
+            use_dynamic_knobs: false,
+            ..options
+        },
+    )?;
+
+    Ok(PowerCapSeries {
+        application: app.name().to_string(),
+        target_rate: with_knobs.target_rate,
+        with_knobs: with_knobs.steps,
+        without_knobs: without_knobs.steps,
+        cap_imposed_at_secs,
+        cap_lifted_at_secs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::PowerDialConfig;
+    use powerdial_apps::SwaptionsApp;
+
+    #[test]
+    fn knobs_preserve_performance_under_the_cap() {
+        let app = SwaptionsApp::test_scale(29);
+        let system = PowerDialSystem::build(&app, PowerDialConfig::default()).unwrap();
+        let options = SimulationOptions {
+            work_units: 120,
+            window_size: 10,
+            use_dynamic_knobs: true,
+        };
+        let series = power_cap_response(&app, &system, options).unwrap();
+
+        assert_eq!(series.application, "swaptions");
+        assert_eq!(series.with_knobs.len(), 120);
+        assert_eq!(series.without_knobs.len(), 120);
+        assert!(series.cap_imposed_at_secs < series.cap_lifted_at_secs);
+
+        // During the cap, the controlled run recovers toward the target
+        // (after the initial dip the paper's figures also show) while the
+        // uncontrolled run stays near the frequency ratio (2/3).
+        let with = series.capped_performance_with_knobs().unwrap();
+        let without = series.capped_performance_without_knobs().unwrap();
+        assert!(with > 0.85, "controlled capped performance {with}");
+        assert!(without < 0.8, "uncontrolled capped performance {without}");
+        assert!(with > without + 0.1, "knobs should clearly improve capped performance");
+
+        // The runtime raised the knob gain above 1 to compensate.
+        assert!(series.peak_knob_gain() > 1.2);
+
+        // After the cap lifts, the controlled run returns to baseline-quality
+        // settings (gain back to ~1 at the end).
+        let final_gain = series.with_knobs.last().unwrap().knob_gain;
+        assert!(final_gain <= 1.5, "final knob gain {final_gain}");
+    }
+}

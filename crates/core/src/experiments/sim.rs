@@ -1,0 +1,266 @@
+//! The closed-loop simulator shared by the dynamic experiments.
+//!
+//! One simulation step corresponds to one main-loop iteration of the
+//! application: the PowerDial runtime picks a knob setting, the application
+//! processes one production input under that setting, the simulated machine
+//! advances its clock by the time the work takes at its current frequency,
+//! and the application emits a heartbeat. The heartbeat stream closes the
+//! loop: its windowed rate is what the controller sees at the next step.
+
+use serde::{Deserialize, Serialize};
+
+use powerdial_apps::{InputSet, KnobbedApplication};
+use powerdial_heartbeats::{HeartbeatMonitor, MonitorConfig};
+use powerdial_platform::{PowerCapSchedule, PowerModel, SimMachine};
+use powerdial_qos::QosLoss;
+
+use crate::error::PowerDialError;
+use crate::system::PowerDialSystem;
+
+/// Options controlling a closed-loop simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimulationOptions {
+    /// Number of work units (heartbeats) to simulate.
+    pub work_units: usize,
+    /// Sliding-window size used for the observed heart rate.
+    pub window_size: usize,
+    /// Whether the PowerDial runtime adjusts the knobs (false reproduces the
+    /// paper's "without dynamic knobs" baseline).
+    pub use_dynamic_knobs: bool,
+}
+
+impl Default for SimulationOptions {
+    fn default() -> Self {
+        SimulationOptions {
+            work_units: 200,
+            window_size: 20,
+            use_dynamic_knobs: true,
+        }
+    }
+}
+
+/// One step (heartbeat) of a closed-loop simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClosedLoopStep {
+    /// Simulated time at the heartbeat, in seconds.
+    pub time_secs: f64,
+    /// Time this work unit took, in seconds.
+    pub latency_secs: f64,
+    /// Sliding-window heart rate normalized to the target (1.0 = on target),
+    /// when enough beats exist.
+    pub normalized_performance: Option<f64>,
+    /// The instantaneous speedup of the knob setting used for this unit (the
+    /// paper's "knob gain").
+    pub knob_gain: f64,
+    /// QoS loss of this unit's output relative to the baseline setting.
+    pub qos_loss: f64,
+    /// The machine's clock frequency during this unit, in GHz.
+    pub frequency_ghz: f64,
+}
+
+/// The result of a closed-loop simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClosedLoopOutcome {
+    /// Per-heartbeat records.
+    pub steps: Vec<ClosedLoopStep>,
+    /// The target heart rate the controller drove toward, in beats per
+    /// second.
+    pub target_rate: f64,
+    /// Mean full-system power over the run, in watts.
+    pub mean_power_watts: f64,
+    /// Mean QoS loss over the run's work units.
+    pub mean_qos_loss: f64,
+    /// Total energy of the run, in joules.
+    pub total_energy_joules: f64,
+    /// Total simulated duration, in seconds.
+    pub duration_secs: f64,
+}
+
+impl ClosedLoopOutcome {
+    /// Mean normalized performance over the last `tail` steps (used to check
+    /// that the controller recovered the target after a disturbance).
+    pub fn tail_normalized_performance(&self, tail: usize) -> Option<f64> {
+        let values: Vec<f64> = self
+            .steps
+            .iter()
+            .rev()
+            .take(tail)
+            .filter_map(|s| s.normalized_performance)
+            .collect();
+        if values.is_empty() {
+            None
+        } else {
+            Some(values.iter().sum::<f64>() / values.len() as f64)
+        }
+    }
+
+    /// Mean QoS loss as a percentage.
+    pub fn mean_qos_loss_percent(&self) -> f64 {
+        self.mean_qos_loss * 100.0
+    }
+}
+
+/// Runs one closed-loop simulation of `app` under `system`'s knob table with
+/// the machine following the given power-cap schedule.
+///
+/// # Errors
+///
+/// Returns an error when the application has no production inputs, when the
+/// runtime cannot be configured, or when a QoS comparison fails.
+pub fn simulate_closed_loop(
+    app: &dyn KnobbedApplication,
+    system: &PowerDialSystem,
+    schedule: &PowerCapSchedule,
+    options: SimulationOptions,
+) -> Result<ClosedLoopOutcome, PowerDialError> {
+    let production_inputs = app.input_count(InputSet::Production);
+    if production_inputs == 0 {
+        return Err(PowerDialError::NoTrainingInputs {
+            application: app.name().to_string(),
+        });
+    }
+
+    // Baseline outputs and work for every production input at the default
+    // setting: the reference both for QoS and for the target heart rate.
+    let baseline_setting = system.knob_table().baseline_setting().clone();
+    let baseline: Vec<_> = (0..production_inputs)
+        .map(|index| app.run_input(InputSet::Production, index, &baseline_setting))
+        .collect();
+    let mean_baseline_work =
+        baseline.iter().map(|r| r.work).sum::<f64>() / production_inputs as f64;
+
+    // The machine processes exactly one baseline work unit per second at its
+    // highest frequency, so the baseline heart rate (and the target) is
+    // 1 beat per second.
+    let mut machine = SimMachine::new(app.name(), PowerModel::poweredge_r410(), mean_baseline_work);
+    let target_rate = machine.base_work_rate() / mean_baseline_work;
+
+    let monitor_config = MonitorConfig::new(app.name())
+        .with_window_size(options.window_size)
+        .with_target_rate_range(target_rate, target_rate)?;
+    let mut monitor = HeartbeatMonitor::new(monitor_config);
+
+    let mut runtime = if options.use_dynamic_knobs {
+        Some(system.runtime(target_rate, target_rate)?)
+    } else {
+        None
+    };
+
+    let comparator = app.qos_comparator();
+    let baseline_point = system.knob_table().baseline().clone();
+
+    let mut steps = Vec::with_capacity(options.work_units);
+    let mut total_qos_loss = 0.0;
+
+    for unit in 0..options.work_units {
+        machine.set_frequency(schedule.state_at(machine.now()));
+
+        let observed_rate = monitor.window_rate().map(|r| r.beats_per_second());
+        let (point, gain) = match runtime.as_mut() {
+            Some(runtime) => {
+                let decision = runtime.on_heartbeat(observed_rate);
+                (decision.point, decision.gain)
+            }
+            None => (baseline_point.clone(), 1.0),
+        };
+
+        let input_index = unit % production_inputs;
+        let result = app.run_input(InputSet::Production, input_index, &point.setting);
+        let latency = machine.execute_work(result.work);
+        let record = monitor.heartbeat(machine.now());
+
+        let qos_loss = comparator
+            .qos_loss(&baseline[input_index].output, &result.output)
+            .unwrap_or(QosLoss::ZERO)
+            .value();
+        total_qos_loss += qos_loss;
+
+        steps.push(ClosedLoopStep {
+            time_secs: machine.now().as_secs_f64(),
+            latency_secs: latency.as_secs_f64(),
+            normalized_performance: record
+                .window_rate
+                .map(|rate| rate.beats_per_second() / target_rate),
+            knob_gain: gain,
+            qos_loss,
+            frequency_ghz: machine.frequency().ghz(),
+        });
+    }
+
+    let duration_secs = machine.now().as_secs_f64();
+    Ok(ClosedLoopOutcome {
+        target_rate,
+        mean_power_watts: machine
+            .energy()
+            .mean_watts()
+            .unwrap_or_else(|| machine.power_model().idle_watts()),
+        mean_qos_loss: total_qos_loss / options.work_units.max(1) as f64,
+        total_energy_joules: machine.energy().total_joules(),
+        duration_secs,
+        steps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::{PowerDialConfig, PowerDialSystem};
+    use powerdial_apps::SwaptionsApp;
+    use powerdial_platform::FrequencyState;
+
+    fn small_options(units: usize) -> SimulationOptions {
+        SimulationOptions {
+            work_units: units,
+            window_size: 10,
+            use_dynamic_knobs: true,
+        }
+    }
+
+    #[test]
+    fn uncapped_run_stays_at_baseline_quality() {
+        let app = SwaptionsApp::test_scale(8);
+        let system = PowerDialSystem::build(&app, PowerDialConfig::default()).unwrap();
+        let schedule = PowerCapSchedule::constant(FrequencyState::highest());
+        let outcome =
+            simulate_closed_loop(&app, &system, &schedule, small_options(40)).unwrap();
+        assert_eq!(outcome.steps.len(), 40);
+        // On an uncapped machine the controller never needs extra speedup, so
+        // QoS loss stays at (essentially) zero and performance sits at the
+        // target.
+        assert!(outcome.mean_qos_loss < 1e-6, "loss {}", outcome.mean_qos_loss);
+        let tail = outcome.tail_normalized_performance(10).unwrap();
+        assert!((tail - 1.0).abs() < 0.2, "tail performance {tail}");
+        assert!(outcome.mean_power_watts > 100.0);
+        assert!(outcome.total_energy_joules > 0.0);
+        assert!(outcome.duration_secs > 0.0);
+    }
+
+    #[test]
+    fn capped_run_trades_qos_for_performance() {
+        let app = SwaptionsApp::test_scale(8);
+        let system = PowerDialSystem::build(&app, PowerDialConfig::default()).unwrap();
+        let schedule = PowerCapSchedule::constant(FrequencyState::lowest());
+
+        let with_knobs =
+            simulate_closed_loop(&app, &system, &schedule, small_options(60)).unwrap();
+        let without_knobs = simulate_closed_loop(
+            &app,
+            &system,
+            &schedule,
+            SimulationOptions {
+                use_dynamic_knobs: false,
+                ..small_options(60)
+            },
+        )
+        .unwrap();
+
+        // With knobs, the controller recovers most of the lost performance at
+        // the cost of some QoS; without knobs performance stays ~2/3.
+        let with_tail = with_knobs.tail_normalized_performance(20).unwrap();
+        let without_tail = without_knobs.tail_normalized_performance(20).unwrap();
+        assert!(with_tail > 0.9, "with knobs tail performance {with_tail}");
+        assert!(without_tail < 0.75, "without knobs tail performance {without_tail}");
+        assert!(with_knobs.mean_qos_loss > without_knobs.mean_qos_loss);
+        assert!(with_knobs.mean_qos_loss_percent() < 20.0);
+    }
+}

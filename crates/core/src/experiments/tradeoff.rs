@@ -1,0 +1,178 @@
+//! The speedup-versus-QoS trade-off space (Figure 5) and the
+//! training/production correlation (Table 2).
+
+use serde::{Deserialize, Serialize};
+
+use powerdial_apps::{InputSet, KnobbedApplication};
+use powerdial_qos::QosLoss;
+
+use crate::error::PowerDialError;
+use crate::experiments::pearson_correlation;
+use crate::system::PowerDialSystem;
+
+/// One point of the trade-off space: a knob setting's mean speedup and QoS
+/// loss over an input set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TradeoffPoint {
+    /// Index of the setting in the parameter space.
+    pub setting_index: usize,
+    /// Human-readable description of the setting.
+    pub setting: String,
+    /// Mean speedup relative to the baseline setting.
+    pub speedup: f64,
+    /// Mean QoS loss as a percentage.
+    pub qos_loss_percent: f64,
+}
+
+/// The complete trade-off analysis for one application.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TradeoffAnalysis {
+    /// The application's name.
+    pub application: String,
+    /// Every calibrated setting, measured on the training inputs (the gray
+    /// dots of Figure 5).
+    pub training_points: Vec<TradeoffPoint>,
+    /// The Pareto-optimal settings on the training inputs (the black squares
+    /// of Figure 5).
+    pub pareto_training: Vec<TradeoffPoint>,
+    /// The same Pareto-optimal settings evaluated on the production inputs
+    /// (the white squares of Figure 5).
+    pub pareto_production: Vec<TradeoffPoint>,
+    /// Pearson correlation between training and production speedups across
+    /// the Pareto-optimal settings (Table 2).
+    pub speedup_correlation: Option<f64>,
+    /// Pearson correlation between training and production QoS losses across
+    /// the Pareto-optimal settings (Table 2).
+    pub qos_correlation: Option<f64>,
+}
+
+impl TradeoffAnalysis {
+    /// The largest speedup observed on the training inputs.
+    pub fn max_training_speedup(&self) -> f64 {
+        self.pareto_training
+            .iter()
+            .map(|p| p.speedup)
+            .fold(1.0, f64::max)
+    }
+
+    /// The largest QoS loss (in percent) among Pareto-optimal training
+    /// points.
+    pub fn max_pareto_qos_loss_percent(&self) -> f64 {
+        self.pareto_training
+            .iter()
+            .map(|p| p.qos_loss_percent)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Runs the Figure 5 / Table 2 analysis: the training-side numbers come from
+/// the system's calibration, and the Pareto-optimal settings are re-measured
+/// on the production inputs.
+///
+/// # Errors
+///
+/// Returns an error when a QoS comparison fails.
+pub fn tradeoff_analysis(
+    app: &dyn KnobbedApplication,
+    system: &PowerDialSystem,
+) -> Result<TradeoffAnalysis, PowerDialError> {
+    let calibration = system.calibration();
+    let comparator = app.qos_comparator();
+    let production_inputs = app.input_count(InputSet::Production);
+
+    let to_point = |p: &powerdial_knobs::CalibrationPoint| TradeoffPoint {
+        setting_index: p.setting_index,
+        setting: p.setting.to_string(),
+        speedup: p.speedup,
+        qos_loss_percent: p.qos_loss.percent(),
+    };
+
+    let training_points: Vec<TradeoffPoint> = calibration.points().iter().map(to_point).collect();
+    let pareto: Vec<_> = calibration.pareto_points();
+    let pareto_training: Vec<TradeoffPoint> = pareto.iter().map(|p| to_point(p)).collect();
+
+    // Re-measure the Pareto settings on the production inputs.
+    let baseline_setting = calibration.baseline().setting.clone();
+    let production_baseline: Vec<_> = (0..production_inputs)
+        .map(|index| app.run_input(InputSet::Production, index, &baseline_setting))
+        .collect();
+
+    let mut pareto_production = Vec::with_capacity(pareto.len());
+    for point in &pareto {
+        let mut speedups = Vec::with_capacity(production_inputs);
+        let mut losses = Vec::with_capacity(production_inputs);
+        for (index, baseline) in production_baseline.iter().enumerate() {
+            let result = app.run_input(InputSet::Production, index, &point.setting);
+            speedups.push(baseline.work / result.work);
+            losses.push(comparator.qos_loss(&baseline.output, &result.output)?);
+        }
+        let speedup = speedups.iter().sum::<f64>() / speedups.len().max(1) as f64;
+        let qos_loss = QosLoss::mean(losses).unwrap_or(QosLoss::ZERO);
+        pareto_production.push(TradeoffPoint {
+            setting_index: point.setting_index,
+            setting: point.setting.to_string(),
+            speedup,
+            qos_loss_percent: qos_loss.percent(),
+        });
+    }
+
+    let training_speedups: Vec<f64> = pareto_training.iter().map(|p| p.speedup).collect();
+    let production_speedups: Vec<f64> = pareto_production.iter().map(|p| p.speedup).collect();
+    let training_losses: Vec<f64> = pareto_training.iter().map(|p| p.qos_loss_percent).collect();
+    let production_losses: Vec<f64> = pareto_production.iter().map(|p| p.qos_loss_percent).collect();
+
+    Ok(TradeoffAnalysis {
+        application: app.name().to_string(),
+        training_points,
+        pareto_training,
+        pareto_production,
+        speedup_correlation: pearson_correlation(&training_speedups, &production_speedups),
+        qos_correlation: pearson_correlation(&training_losses, &production_losses),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::PowerDialConfig;
+    use powerdial_apps::{SearchApp, SwaptionsApp};
+
+    #[test]
+    fn swaptions_tradeoff_space_has_the_paper_shape() {
+        let app = SwaptionsApp::test_scale(13);
+        let system = PowerDialSystem::build(&app, PowerDialConfig::default()).unwrap();
+        let analysis = tradeoff_analysis(&app, &system).unwrap();
+
+        assert_eq!(analysis.application, "swaptions");
+        assert_eq!(analysis.training_points.len(), 6);
+        assert!(!analysis.pareto_training.is_empty());
+        assert_eq!(analysis.pareto_training.len(), analysis.pareto_production.len());
+
+        // Large speedups at small QoS loss, as in Figure 5a.
+        assert!(analysis.max_training_speedup() > 10.0);
+        assert!(analysis.max_pareto_qos_loss_percent() < 20.0);
+
+        // Training predicts production (Table 2): correlations near 1.
+        let speedup_corr = analysis.speedup_correlation.unwrap();
+        assert!(speedup_corr > 0.95, "speedup correlation {speedup_corr}");
+    }
+
+    #[test]
+    fn search_tradeoff_is_modest_and_monotone() {
+        let app = SearchApp::test_scale(19);
+        let system = PowerDialSystem::build(&app, PowerDialConfig::default()).unwrap();
+        let analysis = tradeoff_analysis(&app, &system).unwrap();
+
+        // swish++ tops out around 1.5x, with QoS loss rising as results are
+        // dropped (Figure 5d).
+        let max_speedup = analysis.max_training_speedup();
+        assert!(max_speedup > 1.2 && max_speedup < 2.0, "speedup {max_speedup}");
+
+        // Along the Pareto frontier, more speedup costs more QoS.
+        let frontier = &analysis.pareto_training;
+        for pair in frontier.windows(2) {
+            assert!(pair[0].speedup <= pair[1].speedup + 1e-12);
+            assert!(pair[0].qos_loss_percent <= pair[1].qos_loss_percent + 1e-9);
+        }
+    }
+}

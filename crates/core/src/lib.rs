@@ -1,0 +1,62 @@
+//! PowerDial: dynamic knobs for responsive power-aware computing.
+//!
+//! This crate is the top of the PowerDial reproduction stack. It wires the
+//! individual subsystems together into the workflow of the paper's Figure 1
+//! and provides the experiment drivers that regenerate its evaluation:
+//!
+//! 1. **Parameter identification** — the application (anything implementing
+//!    [`powerdial_apps::KnobbedApplication`]) names its configuration
+//!    parameters and value ranges.
+//! 2. **Dynamic knob identification** — [`PowerDialSystem::build`] runs the
+//!    dynamic influence trace for every knob setting and applies the
+//!    control-variable checks.
+//! 3. **Dynamic knob calibration** — every setting is run on every training
+//!    input; speedups and QoS losses are measured against the default
+//!    (highest-QoS) setting and the Pareto-optimal settings are kept.
+//! 4. **Runtime control** — [`PowerDialSystem::runtime`] instantiates the
+//!    heart-rate controller and actuator over the calibrated knob table.
+//!
+//! The [`experiments`] module reproduces each figure and table of the paper's
+//! evaluation on the simulated platform; the `powerdial-bench` crate prints
+//! them in the paper's format.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use powerdial::{PowerDialConfig, PowerDialSystem};
+//! use powerdial_apps::SwaptionsApp;
+//! use powerdial_qos::QosLossBound;
+//!
+//! # fn main() -> Result<(), powerdial::PowerDialError> {
+//! let app = SwaptionsApp::test_scale(42);
+//! let system = PowerDialSystem::build(&app, PowerDialConfig::default())?;
+//!
+//! // The calibrated trade-off space: speedups available per QoS loss.
+//! assert!(system.knob_table().max_speedup() > 1.0);
+//!
+//! // A runtime that will keep the application at 10 heartbeats per second.
+//! let runtime = system.runtime(10.0, 10.0)?;
+//! assert_eq!(runtime.quantum_heartbeats(), 20);
+//! # let _ = QosLossBound::UNBOUNDED;
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod error;
+pub mod experiments;
+mod system;
+
+pub use error::PowerDialError;
+pub use system::{PowerDialConfig, PowerDialSystem};
+
+pub use powerdial_analytic as analytic;
+pub use powerdial_apps as apps;
+pub use powerdial_control as control;
+pub use powerdial_heartbeats as heartbeats;
+pub use powerdial_influence as influence;
+pub use powerdial_knobs as knobs;
+pub use powerdial_platform as platform;
+pub use powerdial_qos as qos;

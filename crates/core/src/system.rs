@@ -1,0 +1,284 @@
+//! The PowerDial system façade: identify, trace, calibrate, control.
+
+use std::fmt;
+
+use powerdial_apps::{InputSet, KnobbedApplication};
+use powerdial_control::{
+    ActuationPolicy, ControllerConfig, PowerDialRuntime, RuntimeConfig, DEFAULT_QUANTUM_HEARTBEATS,
+};
+use powerdial_influence::{ControlVariableAnalysis, ControlVariableSet, ParamId};
+use powerdial_knobs::{
+    CalibrationTable, Calibrator, ControlVariableStore, KnobTable, Measurement, ParameterSpace,
+};
+use powerdial_qos::QosLossBound;
+
+use crate::error::PowerDialError;
+
+/// Options controlling how a [`PowerDialSystem`] is built.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerDialConfig {
+    /// Knob settings whose QoS loss exceeds this bound are excluded from the
+    /// runtime knob table (the baseline setting is always retained).
+    pub qos_bound: QosLossBound,
+    /// The actuation policy used by runtimes created from the system.
+    pub policy: ActuationPolicy,
+    /// The actuation time quantum in heartbeats.
+    pub quantum_heartbeats: u32,
+    /// Whether to run the dynamic influence trace and control-variable checks
+    /// (disable only for micro-benchmarks of calibration alone).
+    pub verify_control_variables: bool,
+}
+
+impl Default for PowerDialConfig {
+    fn default() -> Self {
+        PowerDialConfig {
+            qos_bound: QosLossBound::UNBOUNDED,
+            policy: ActuationPolicy::MinimalSpeedup,
+            quantum_heartbeats: DEFAULT_QUANTUM_HEARTBEATS,
+            verify_control_variables: true,
+        }
+    }
+}
+
+impl PowerDialConfig {
+    /// Sets the QoS-loss bound used to filter knob settings.
+    pub fn with_qos_bound(mut self, bound: QosLossBound) -> Self {
+        self.qos_bound = bound;
+        self
+    }
+
+    /// Sets the actuation policy.
+    pub fn with_policy(mut self, policy: ActuationPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the actuation quantum in heartbeats.
+    pub fn with_quantum_heartbeats(mut self, heartbeats: u32) -> Self {
+        self.quantum_heartbeats = heartbeats;
+        self
+    }
+
+    /// Enables or disables the influence-tracing verification step.
+    pub fn with_control_variable_verification(mut self, enabled: bool) -> Self {
+        self.verify_control_variables = enabled;
+        self
+    }
+}
+
+/// A fully built PowerDial system for one application: the identified control
+/// variables, the calibrated trade-off space, and the runtime knob table.
+pub struct PowerDialSystem {
+    application: String,
+    space: ParameterSpace,
+    control_variables: Option<ControlVariableSet>,
+    calibration: CalibrationTable,
+    knob_table: KnobTable,
+    store: ControlVariableStore,
+    config: PowerDialConfig,
+}
+
+impl fmt::Debug for PowerDialSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PowerDialSystem")
+            .field("application", &self.application)
+            .field("settings", &self.space.setting_count())
+            .field("knob_table_len", &self.knob_table.len())
+            .field("max_speedup", &self.knob_table.max_speedup())
+            .finish()
+    }
+}
+
+impl PowerDialSystem {
+    /// Runs the full PowerDial workflow for an application: influence-trace
+    /// every knob setting, verify the control variables, calibrate every
+    /// setting on every training input, and build the Pareto-filtered knob
+    /// table.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the application has no training inputs, when the
+    /// control-variable checks fail, or when calibration fails.
+    pub fn build(
+        app: &dyn KnobbedApplication,
+        config: PowerDialConfig,
+    ) -> Result<Self, PowerDialError> {
+        let space = app.parameter_space();
+        if app.input_count(InputSet::Training) == 0 {
+            return Err(PowerDialError::NoTrainingInputs {
+                application: app.name().to_string(),
+            });
+        }
+
+        // Dynamic knob identification: trace one run per setting and apply
+        // the complete/pure, relevance, constant, and consistency checks.
+        let control_variables = if config.verify_control_variables {
+            let traces: Vec<_> = space.settings().map(|setting| app.trace_run(&setting)).collect();
+            let params: Vec<ParamId> = (0..space.parameter_count()).map(ParamId::new).collect();
+            let analysis = ControlVariableAnalysis::new(params);
+            Some(analysis.analyze(&traces)?)
+        } else {
+            None
+        };
+
+        // Dynamic knob calibration: every setting on every training input.
+        let mut calibrator = Calibrator::new(&space).with_comparator(app.qos_comparator());
+        for (setting_index, setting) in space.settings().enumerate() {
+            for input_index in 0..app.input_count(InputSet::Training) {
+                let result = app.run_input(InputSet::Training, input_index, &setting);
+                calibrator.record(Measurement {
+                    setting_index,
+                    input_index,
+                    work: result.work,
+                    output: result.output,
+                })?;
+            }
+        }
+        let calibration = calibrator.build()?;
+        let knob_table = calibration.knob_table(config.qos_bound)?;
+
+        // The runtime control-variable store starts at the baseline setting.
+        let mut store = ControlVariableStore::new();
+        store.apply_setting(knob_table.baseline_setting());
+
+        Ok(PowerDialSystem {
+            application: app.name().to_string(),
+            space,
+            control_variables,
+            calibration,
+            knob_table,
+            store,
+            config,
+        })
+    }
+
+    /// The application's name.
+    pub fn application(&self) -> &str {
+        &self.application
+    }
+
+    /// The explored parameter space.
+    pub fn parameter_space(&self) -> &ParameterSpace {
+        &self.space
+    }
+
+    /// The identified control variables, when verification was enabled.
+    pub fn control_variables(&self) -> Option<&ControlVariableSet> {
+        self.control_variables.as_ref()
+    }
+
+    /// The full calibration table (all measured settings).
+    pub fn calibration(&self) -> &CalibrationTable {
+        &self.calibration
+    }
+
+    /// The Pareto-filtered runtime knob table.
+    pub fn knob_table(&self) -> &KnobTable {
+        &self.knob_table
+    }
+
+    /// The runtime control-variable store (current knob values).
+    pub fn store(&self) -> &ControlVariableStore {
+        &self.store
+    }
+
+    /// Exclusive access to the control-variable store for applying runtime
+    /// decisions.
+    pub fn store_mut(&mut self) -> &mut ControlVariableStore {
+        &mut self.store
+    }
+
+    /// The configuration the system was built with.
+    pub fn config(&self) -> &PowerDialConfig {
+        &self.config
+    }
+
+    /// Creates a runtime that holds the application at `target_rate`
+    /// heartbeats per second, given its measured baseline speed (the heart
+    /// rate at the default setting on an unloaded machine).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the rates are invalid or the quantum is zero.
+    pub fn runtime(&self, target_rate: f64, base_speed: f64) -> Result<PowerDialRuntime, PowerDialError> {
+        let controller = ControllerConfig::new(target_rate, base_speed)?
+            .with_speedup_range(1.0, self.knob_table.max_speedup().max(1.0))?;
+        let runtime_config = RuntimeConfig::new(controller)
+            .with_policy(self.config.policy)
+            .with_quantum_heartbeats(self.config.quantum_heartbeats)?;
+        Ok(PowerDialRuntime::new(runtime_config, self.knob_table.clone())?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powerdial_apps::{SearchApp, SwaptionsApp};
+
+    #[test]
+    fn build_runs_the_full_workflow() {
+        let app = SwaptionsApp::test_scale(1);
+        let system = PowerDialSystem::build(&app, PowerDialConfig::default()).unwrap();
+        assert_eq!(system.application(), "swaptions");
+        assert_eq!(system.parameter_space().parameter_count(), 1);
+        // Control variables were identified for the single knob.
+        let variables = system.control_variables().unwrap();
+        assert_eq!(variables.variable_names(), vec!["sm_control"]);
+        // Calibration covered every setting.
+        assert_eq!(system.calibration().len(), 6);
+        // The knob table offers real speedups.
+        assert!(system.knob_table().max_speedup() > 5.0);
+        // The store starts at the baseline setting.
+        assert_eq!(system.store().get("sm").unwrap(), 20_000.0);
+        assert!(format!("{system:?}").contains("swaptions"));
+    }
+
+    #[test]
+    fn qos_bound_filters_the_knob_table() {
+        let app = SearchApp::test_scale(3);
+        let unbounded = PowerDialSystem::build(&app, PowerDialConfig::default()).unwrap();
+        let bounded = PowerDialSystem::build(
+            &app,
+            PowerDialConfig::default().with_qos_bound(QosLossBound::from_percent(30.0).unwrap()),
+        )
+        .unwrap();
+        assert!(bounded.knob_table().len() <= unbounded.knob_table().len());
+        // The baseline always survives.
+        assert!(bounded.knob_table().len() >= 1);
+    }
+
+    #[test]
+    fn verification_can_be_disabled() {
+        let app = SwaptionsApp::test_scale(2);
+        let config = PowerDialConfig::default().with_control_variable_verification(false);
+        let system = PowerDialSystem::build(&app, config).unwrap();
+        assert!(system.control_variables().is_none());
+    }
+
+    #[test]
+    fn runtime_uses_the_configured_policy_and_quantum() {
+        let app = SwaptionsApp::test_scale(4);
+        let config = PowerDialConfig::default()
+            .with_policy(ActuationPolicy::RaceToIdle)
+            .with_quantum_heartbeats(5);
+        let system = PowerDialSystem::build(&app, config).unwrap();
+        let runtime = system.runtime(10.0, 10.0).unwrap();
+        assert_eq!(runtime.quantum_heartbeats(), 5);
+        assert!(system.runtime(-1.0, 10.0).is_err());
+        assert_eq!(system.config().quantum_heartbeats, 5);
+    }
+
+    #[test]
+    fn store_can_apply_runtime_decisions() {
+        let app = SwaptionsApp::test_scale(6);
+        let mut system = PowerDialSystem::build(&app, PowerDialConfig::default()).unwrap();
+        let mut runtime = system.runtime(100.0, 100.0).unwrap();
+        // Report a very slow rate: the runtime picks a faster setting.
+        let decision = runtime.on_heartbeat(Some(10.0));
+        system.store_mut().apply_setting(decision.setting());
+        assert_eq!(
+            system.store().get("sm").unwrap(),
+            decision.setting().value("sm").unwrap()
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! Error type for the heartbeat framework.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while configuring or driving heartbeat monitors.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum HeartbeatError {
+    /// The requested target heart-rate range is invalid (for example the
+    /// minimum exceeds the maximum, or a bound is not finite).
+    InvalidTargetRange {
+        /// Requested minimum rate in beats per second.
+        min: f64,
+        /// Requested maximum rate in beats per second.
+        max: f64,
+    },
+    /// The requested sliding-window size is zero.
+    ZeroWindowSize,
+    /// A heartbeat was emitted with a timestamp earlier than the previous
+    /// heartbeat; heartbeat time must be monotone.
+    NonMonotonicTimestamp {
+        /// Timestamp of the previous heartbeat, in nanoseconds.
+        previous_nanos: u64,
+        /// Timestamp of the offending heartbeat, in nanoseconds.
+        current_nanos: u64,
+    },
+    /// The referenced monitor is not registered in the registry.
+    UnknownMonitor {
+        /// The identifier that failed to resolve.
+        id: u64,
+    },
+    /// A monitor with the same name is already registered.
+    DuplicateMonitorName {
+        /// The conflicting monitor name.
+        name: String,
+    },
+}
+
+impl fmt::Display for HeartbeatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeartbeatError::InvalidTargetRange { min, max } => {
+                write!(f, "invalid target heart-rate range [{min}, {max}]")
+            }
+            HeartbeatError::ZeroWindowSize => write!(f, "sliding-window size must be at least 1"),
+            HeartbeatError::NonMonotonicTimestamp {
+                previous_nanos,
+                current_nanos,
+            } => write!(
+                f,
+                "heartbeat timestamp {current_nanos}ns precedes previous heartbeat at {previous_nanos}ns"
+            ),
+            HeartbeatError::UnknownMonitor { id } => write!(f, "no monitor registered with id {id}"),
+            HeartbeatError::DuplicateMonitorName { name } => {
+                write!(f, "a monitor named `{name}` is already registered")
+            }
+        }
+    }
+}
+
+impl Error for HeartbeatError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let messages = [
+            HeartbeatError::InvalidTargetRange { min: 5.0, max: 1.0 }.to_string(),
+            HeartbeatError::ZeroWindowSize.to_string(),
+            HeartbeatError::NonMonotonicTimestamp {
+                previous_nanos: 10,
+                current_nanos: 5,
+            }
+            .to_string(),
+            HeartbeatError::UnknownMonitor { id: 42 }.to_string(),
+            HeartbeatError::DuplicateMonitorName {
+                name: "x264".to_string(),
+            }
+            .to_string(),
+        ];
+        for message in messages {
+            assert!(!message.is_empty());
+            assert!(message.chars().next().unwrap().is_lowercase() || message.starts_with('a'));
+            assert!(!message.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<HeartbeatError>();
+    }
+}

@@ -1,0 +1,245 @@
+//! Heartbeat records and heart-rate values.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::monitor::TargetRate;
+use crate::time::{Timestamp, TimestampDelta};
+
+/// A monotonically increasing sequence number identifying one heartbeat
+/// emitted by a monitor.
+///
+/// The first heartbeat of a monitor has tag `0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct HeartbeatTag(pub u64);
+
+impl HeartbeatTag {
+    /// Returns the next tag in sequence.
+    pub const fn next(self) -> HeartbeatTag {
+        HeartbeatTag(self.0 + 1)
+    }
+
+    /// Returns the raw sequence number.
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for HeartbeatTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A heart rate, in heartbeats per second.
+///
+/// Heart rate is the reciprocal of the time between results; PowerDial's
+/// performance goal is expressed as a target heart-rate range.
+///
+/// # Example
+///
+/// ```
+/// use powerdial_heartbeats::{HeartRate, TimestampDelta};
+///
+/// let rate = HeartRate::from_latency(TimestampDelta::from_millis(40)).unwrap();
+/// assert!((rate.beats_per_second() - 25.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct HeartRate(f64);
+
+impl HeartRate {
+    /// Creates a heart rate from beats per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beats_per_second` is negative, NaN, or infinite.
+    pub fn from_bps(beats_per_second: f64) -> Self {
+        assert!(
+            beats_per_second.is_finite() && beats_per_second >= 0.0,
+            "heart rate must be finite and non-negative, got {beats_per_second}"
+        );
+        HeartRate(beats_per_second)
+    }
+
+    /// Creates a heart rate from the latency between two consecutive
+    /// heartbeats. Returns `None` for a zero latency (infinite rate).
+    pub fn from_latency(latency: TimestampDelta) -> Option<Self> {
+        if latency.is_zero() {
+            None
+        } else {
+            Some(HeartRate(1.0 / latency.as_secs_f64()))
+        }
+    }
+
+    /// Creates a heart rate from a number of beats observed over an elapsed
+    /// duration. Returns `None` if the duration is zero.
+    pub fn from_beats_over(beats: u64, elapsed: TimestampDelta) -> Option<Self> {
+        if elapsed.is_zero() {
+            None
+        } else {
+            Some(HeartRate(beats as f64 / elapsed.as_secs_f64()))
+        }
+    }
+
+    /// Returns the rate in beats per second.
+    pub const fn beats_per_second(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the mean latency between beats implied by this rate, or `None`
+    /// for a zero rate.
+    pub fn mean_latency(self) -> Option<TimestampDelta> {
+        if self.0 == 0.0 {
+            None
+        } else {
+            Some(TimestampDelta::from_secs_f64(1.0 / self.0))
+        }
+    }
+
+    /// Returns this rate normalized to a target rate (1.0 means exactly on
+    /// target, below 1.0 means too slow).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is zero.
+    pub fn normalized_to(self, target: HeartRate) -> f64 {
+        assert!(target.0 > 0.0, "cannot normalize to a zero target heart rate");
+        self.0 / target.0
+    }
+
+    /// Returns true when this rate falls within the inclusive target range.
+    pub fn is_within_target(self, target: TargetRate) -> bool {
+        self.0 >= target.min().beats_per_second() && self.0 <= target.max().beats_per_second()
+    }
+}
+
+impl fmt::Display for HeartRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} beats/s", self.0)
+    }
+}
+
+/// One heartbeat as recorded by a [`crate::HeartbeatMonitor`].
+///
+/// Mirrors the record produced by the Application Heartbeats API: the beat's
+/// sequence tag, its timestamp, the latency since the previous beat, and the
+/// instantaneous / windowed / global heart rates at the time of the beat.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HeartbeatRecord {
+    /// Sequence number of this heartbeat.
+    pub tag: HeartbeatTag,
+    /// Time at which the heartbeat was emitted.
+    pub timestamp: Timestamp,
+    /// Time since the previous heartbeat (zero for the first beat).
+    pub latency: TimestampDelta,
+    /// Rate computed from this beat's latency alone, if defined.
+    pub instant_rate: Option<HeartRate>,
+    /// Rate computed over the monitor's sliding window, if defined.
+    pub window_rate: Option<HeartRate>,
+    /// Rate computed over the whole execution, if defined.
+    pub global_rate: Option<HeartRate>,
+}
+
+impl HeartbeatRecord {
+    /// Returns the most specific rate available: instant, falling back to
+    /// window, falling back to global.
+    pub fn best_rate(&self) -> Option<HeartRate> {
+        self.instant_rate.or(self.window_rate).or(self.global_rate)
+    }
+}
+
+impl fmt::Display for HeartbeatRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "beat {} at {} (latency {})",
+            self.tag, self.timestamp, self.latency
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_sequence_increments() {
+        let t = HeartbeatTag::default();
+        assert_eq!(t.value(), 0);
+        assert_eq!(t.next().value(), 1);
+        assert_eq!(t.next().next(), HeartbeatTag(2));
+    }
+
+    #[test]
+    fn rate_from_latency_is_reciprocal() {
+        let r = HeartRate::from_latency(TimestampDelta::from_millis(100)).unwrap();
+        assert!((r.beats_per_second() - 10.0).abs() < 1e-9);
+        assert_eq!(
+            r.mean_latency().unwrap(),
+            TimestampDelta::from_millis(100)
+        );
+    }
+
+    #[test]
+    fn rate_from_zero_latency_is_none() {
+        assert!(HeartRate::from_latency(TimestampDelta::ZERO).is_none());
+    }
+
+    #[test]
+    fn rate_from_beats_over_duration() {
+        let r = HeartRate::from_beats_over(30, TimestampDelta::from_secs(2)).unwrap();
+        assert!((r.beats_per_second() - 15.0).abs() < 1e-9);
+        assert!(HeartRate::from_beats_over(30, TimestampDelta::ZERO).is_none());
+    }
+
+    #[test]
+    fn normalization_against_target() {
+        let r = HeartRate::from_bps(20.0);
+        let target = HeartRate::from_bps(40.0);
+        assert!((r.normalized_to(target) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero target")]
+    fn normalization_against_zero_target_panics() {
+        HeartRate::from_bps(1.0).normalized_to(HeartRate::from_bps(0.0));
+    }
+
+    #[test]
+    fn zero_rate_has_no_mean_latency() {
+        assert!(HeartRate::from_bps(0.0).mean_latency().is_none());
+    }
+
+    #[test]
+    fn best_rate_prefers_instant() {
+        let record = HeartbeatRecord {
+            tag: HeartbeatTag(3),
+            timestamp: Timestamp::from_millis(10),
+            latency: TimestampDelta::from_millis(5),
+            instant_rate: Some(HeartRate::from_bps(200.0)),
+            window_rate: Some(HeartRate::from_bps(100.0)),
+            global_rate: Some(HeartRate::from_bps(50.0)),
+        };
+        assert_eq!(record.best_rate(), Some(HeartRate::from_bps(200.0)));
+    }
+
+    #[test]
+    fn best_rate_falls_back_to_global() {
+        let record = HeartbeatRecord {
+            tag: HeartbeatTag(0),
+            timestamp: Timestamp::ZERO,
+            latency: TimestampDelta::ZERO,
+            instant_rate: None,
+            window_rate: None,
+            global_rate: Some(HeartRate::from_bps(7.0)),
+        };
+        assert_eq!(record.best_rate(), Some(HeartRate::from_bps(7.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rate_rejects_nan() {
+        HeartRate::from_bps(f64::NAN);
+    }
+}

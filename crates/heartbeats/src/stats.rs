@@ -1,0 +1,297 @@
+//! Sliding-window statistics over heartbeat latencies.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::record::HeartRate;
+use crate::time::TimestampDelta;
+
+/// A fixed-capacity sliding window of heartbeat latencies.
+///
+/// The window keeps the most recent `capacity` latencies and exposes the
+/// aggregate statistics PowerDial's controller consumes: the windowed heart
+/// rate (beats divided by the summed latency), the mean latency, and the
+/// latency variance.
+///
+/// # Example
+///
+/// ```
+/// use powerdial_heartbeats::{SlidingWindow, TimestampDelta};
+///
+/// let mut window = SlidingWindow::new(3);
+/// for _ in 0..5 {
+///     window.push(TimestampDelta::from_millis(50));
+/// }
+/// assert_eq!(window.len(), 3);
+/// assert!((window.rate().unwrap().beats_per_second() - 20.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlidingWindow {
+    capacity: usize,
+    latencies: VecDeque<TimestampDelta>,
+}
+
+impl SlidingWindow {
+    /// Creates a window holding at most `capacity` latencies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "sliding window capacity must be at least 1");
+        SlidingWindow {
+            capacity,
+            latencies: VecDeque::with_capacity(capacity),
+        }
+    }
+
+    /// Returns the maximum number of latencies retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Returns the number of latencies currently stored.
+    pub fn len(&self) -> usize {
+        self.latencies.len()
+    }
+
+    /// Returns true when the window holds no latencies.
+    pub fn is_empty(&self) -> bool {
+        self.latencies.is_empty()
+    }
+
+    /// Returns true when the window holds `capacity` latencies.
+    pub fn is_full(&self) -> bool {
+        self.latencies.len() == self.capacity
+    }
+
+    /// Pushes a new latency, evicting the oldest if the window is full.
+    pub fn push(&mut self, latency: TimestampDelta) {
+        if self.latencies.len() == self.capacity {
+            self.latencies.pop_front();
+        }
+        self.latencies.push_back(latency);
+    }
+
+    /// Removes all stored latencies.
+    pub fn clear(&mut self) {
+        self.latencies.clear();
+    }
+
+    /// Iterates over the stored latencies from oldest to newest.
+    pub fn iter(&self) -> impl Iterator<Item = TimestampDelta> + '_ {
+        self.latencies.iter().copied()
+    }
+
+    /// Returns the total time spanned by the stored latencies.
+    pub fn total(&self) -> TimestampDelta {
+        self.latencies
+            .iter()
+            .fold(TimestampDelta::ZERO, |acc, &l| acc + l)
+    }
+
+    /// Returns the windowed heart rate: stored beats divided by their summed
+    /// latency. `None` if the window is empty or the summed latency is zero.
+    pub fn rate(&self) -> Option<HeartRate> {
+        HeartRate::from_beats_over(self.latencies.len() as u64, self.total())
+    }
+
+    /// Returns summary statistics for the stored latencies, or `None` when
+    /// the window is empty.
+    pub fn statistics(&self) -> Option<RateStatistics> {
+        if self.latencies.is_empty() {
+            return None;
+        }
+        let n = self.latencies.len() as f64;
+        let secs: Vec<f64> = self.latencies.iter().map(|l| l.as_secs_f64()).collect();
+        let mean = secs.iter().sum::<f64>() / n;
+        let variance = secs.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n;
+        let min = secs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = secs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Some(RateStatistics {
+            count: self.latencies.len(),
+            mean_latency_secs: mean,
+            latency_variance: variance,
+            min_latency_secs: min,
+            max_latency_secs: max,
+        })
+    }
+}
+
+/// Summary statistics over a window of heartbeat latencies.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RateStatistics {
+    /// Number of latencies in the window.
+    pub count: usize,
+    /// Mean latency in seconds.
+    pub mean_latency_secs: f64,
+    /// Population variance of the latency in seconds squared.
+    pub latency_variance: f64,
+    /// Smallest latency in seconds.
+    pub min_latency_secs: f64,
+    /// Largest latency in seconds.
+    pub max_latency_secs: f64,
+}
+
+impl RateStatistics {
+    /// Returns the standard deviation of the latency, in seconds.
+    pub fn latency_std_dev(&self) -> f64 {
+        self.latency_variance.sqrt()
+    }
+
+    /// Returns the heart rate implied by the mean latency, or `None` if the
+    /// mean latency is zero.
+    pub fn mean_rate(&self) -> Option<HeartRate> {
+        if self.mean_latency_secs == 0.0 {
+            None
+        } else {
+            Some(HeartRate::from_bps(1.0 / self.mean_latency_secs))
+        }
+    }
+
+    /// Returns the coefficient of variation (standard deviation divided by
+    /// mean), a unit-free measure of how noisy the heartbeat stream is.
+    /// Returns `None` when the mean latency is zero.
+    pub fn coefficient_of_variation(&self) -> Option<f64> {
+        if self.mean_latency_secs == 0.0 {
+            None
+        } else {
+            Some(self.latency_std_dev() / self.mean_latency_secs)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> TimestampDelta {
+        TimestampDelta::from_millis(v)
+    }
+
+    #[test]
+    fn window_evicts_oldest_entries() {
+        let mut w = SlidingWindow::new(2);
+        w.push(ms(10));
+        w.push(ms(20));
+        w.push(ms(30));
+        let stored: Vec<_> = w.iter().collect();
+        assert_eq!(stored, vec![ms(20), ms(30)]);
+        assert!(w.is_full());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_capacity_panics() {
+        SlidingWindow::new(0);
+    }
+
+    #[test]
+    fn rate_counts_beats_over_total_time() {
+        let mut w = SlidingWindow::new(4);
+        w.push(ms(100));
+        w.push(ms(100));
+        w.push(ms(200));
+        // 3 beats over 0.4 seconds = 7.5 beats/s.
+        assert!((w.rate().unwrap().beats_per_second() - 7.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_window_has_no_rate_or_statistics() {
+        let w = SlidingWindow::new(3);
+        assert!(w.rate().is_none());
+        assert!(w.statistics().is_none());
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn statistics_report_mean_and_variance() {
+        let mut w = SlidingWindow::new(10);
+        w.push(ms(100));
+        w.push(ms(300));
+        let stats = w.statistics().unwrap();
+        assert_eq!(stats.count, 2);
+        assert!((stats.mean_latency_secs - 0.2).abs() < 1e-9);
+        assert!((stats.latency_variance - 0.01).abs() < 1e-9);
+        assert!((stats.min_latency_secs - 0.1).abs() < 1e-9);
+        assert!((stats.max_latency_secs - 0.3).abs() < 1e-9);
+        assert!((stats.latency_std_dev() - 0.1).abs() < 1e-9);
+        assert!((stats.mean_rate().unwrap().beats_per_second() - 5.0).abs() < 1e-9);
+        assert!((stats.coefficient_of_variation().unwrap() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clear_empties_the_window() {
+        let mut w = SlidingWindow::new(3);
+        w.push(ms(10));
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.capacity(), 3);
+    }
+
+    #[test]
+    fn zero_mean_latency_gives_no_rate() {
+        let stats = RateStatistics {
+            count: 1,
+            mean_latency_secs: 0.0,
+            latency_variance: 0.0,
+            min_latency_secs: 0.0,
+            max_latency_secs: 0.0,
+        };
+        assert!(stats.mean_rate().is_none());
+        assert!(stats.coefficient_of_variation().is_none());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The window never stores more than its capacity.
+        #[test]
+        fn window_length_bounded_by_capacity(
+            capacity in 1usize..32,
+            latencies in proptest::collection::vec(1u64..1_000_000, 0..100),
+        ) {
+            let mut w = SlidingWindow::new(capacity);
+            for l in &latencies {
+                w.push(TimestampDelta::from_nanos(*l));
+                prop_assert!(w.len() <= capacity);
+            }
+            prop_assert_eq!(w.len(), latencies.len().min(capacity));
+        }
+
+        /// The windowed rate always equals count / total for non-empty windows.
+        #[test]
+        fn rate_matches_definition(
+            capacity in 1usize..16,
+            latencies in proptest::collection::vec(1u64..10_000_000, 1..50),
+        ) {
+            let mut w = SlidingWindow::new(capacity);
+            for l in &latencies {
+                w.push(TimestampDelta::from_nanos(*l));
+            }
+            let rate = w.rate().unwrap().beats_per_second();
+            let expected = w.len() as f64 / w.total().as_secs_f64();
+            prop_assert!((rate - expected).abs() <= 1e-9 * expected.max(1.0));
+        }
+
+        /// Latency statistics stay within the observed min/max bounds.
+        #[test]
+        fn statistics_bounds_hold(
+            latencies in proptest::collection::vec(1u64..10_000_000, 1..50),
+        ) {
+            let mut w = SlidingWindow::new(latencies.len());
+            for l in &latencies {
+                w.push(TimestampDelta::from_nanos(*l));
+            }
+            let stats = w.statistics().unwrap();
+            prop_assert!(stats.mean_latency_secs >= stats.min_latency_secs - 1e-12);
+            prop_assert!(stats.mean_latency_secs <= stats.max_latency_secs + 1e-12);
+            prop_assert!(stats.latency_variance >= 0.0);
+        }
+    }
+}

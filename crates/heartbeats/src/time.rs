@@ -1,0 +1,275 @@
+//! Virtual time used by the heartbeat framework.
+//!
+//! All heartbeat APIs take explicit timestamps instead of reading a system
+//! clock, so the framework works identically on wall-clock time and on the
+//! simulated clock used by the PowerDial platform simulator.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// Nanoseconds per second.
+const NANOS_PER_SEC: u64 = 1_000_000_000;
+
+/// A point in (possibly simulated) time, measured in nanoseconds from an
+/// arbitrary epoch.
+///
+/// `Timestamp` is a monotone counter: the framework only ever compares and
+/// subtracts timestamps, so the epoch does not matter as long as it is
+/// consistent within one run.
+///
+/// # Example
+///
+/// ```
+/// use powerdial_heartbeats::Timestamp;
+///
+/// let start = Timestamp::from_millis(10);
+/// let end = Timestamp::from_millis(25);
+/// assert_eq!((end - start).as_secs_f64(), 0.015);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Timestamp(u64);
+
+impl Timestamp {
+    /// The zero timestamp (the epoch).
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// Creates a timestamp from raw nanoseconds since the epoch.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        Timestamp(nanos)
+    }
+
+    /// Creates a timestamp from microseconds since the epoch.
+    pub const fn from_micros(micros: u64) -> Self {
+        Timestamp(micros * 1_000)
+    }
+
+    /// Creates a timestamp from milliseconds since the epoch.
+    pub const fn from_millis(millis: u64) -> Self {
+        Timestamp(millis * 1_000_000)
+    }
+
+    /// Creates a timestamp from whole seconds since the epoch.
+    pub const fn from_secs(secs: u64) -> Self {
+        Timestamp(secs * NANOS_PER_SEC)
+    }
+
+    /// Creates a timestamp from fractional seconds since the epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "timestamp seconds must be finite and non-negative, got {secs}"
+        );
+        Timestamp((secs * NANOS_PER_SEC as f64).round() as u64)
+    }
+
+    /// Returns the raw nanoseconds since the epoch.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the timestamp as fractional seconds since the epoch.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / NANOS_PER_SEC as f64
+    }
+
+    /// Returns the later of two timestamps.
+    pub fn max(self, other: Timestamp) -> Timestamp {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the duration elapsed since `earlier`, saturating to zero if
+    /// `earlier` is in the future.
+    pub fn saturating_since(self, earlier: Timestamp) -> TimestampDelta {
+        TimestampDelta(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+/// The difference between two [`Timestamp`]s, in nanoseconds.
+///
+/// # Example
+///
+/// ```
+/// use powerdial_heartbeats::{Timestamp, TimestampDelta};
+///
+/// let delta = Timestamp::from_secs(2) - Timestamp::from_secs(1);
+/// assert_eq!(delta, TimestampDelta::from_secs(1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct TimestampDelta(u64);
+
+impl TimestampDelta {
+    /// A zero-length delta.
+    pub const ZERO: TimestampDelta = TimestampDelta(0);
+
+    /// Creates a delta from raw nanoseconds.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        TimestampDelta(nanos)
+    }
+
+    /// Creates a delta from milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        TimestampDelta(millis * 1_000_000)
+    }
+
+    /// Creates a delta from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        TimestampDelta(secs * NANOS_PER_SEC)
+    }
+
+    /// Creates a delta from fractional seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "delta seconds must be finite and non-negative, got {secs}"
+        );
+        TimestampDelta((secs * NANOS_PER_SEC as f64).round() as u64)
+    }
+
+    /// Returns the raw nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the delta as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / NANOS_PER_SEC as f64
+    }
+
+    /// Returns true when the delta is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for TimestampDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl Sub for Timestamp {
+    type Output = TimestampDelta;
+
+    fn sub(self, rhs: Timestamp) -> TimestampDelta {
+        TimestampDelta(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("timestamp subtraction underflow: rhs is later than lhs"),
+        )
+    }
+}
+
+impl Add<TimestampDelta> for Timestamp {
+    type Output = Timestamp;
+
+    fn add(self, rhs: TimestampDelta) -> Timestamp {
+        Timestamp(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<TimestampDelta> for Timestamp {
+    fn add_assign(&mut self, rhs: TimestampDelta) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Add for TimestampDelta {
+    type Output = TimestampDelta;
+
+    fn add(self, rhs: TimestampDelta) -> TimestampDelta {
+        TimestampDelta(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for TimestampDelta {
+    fn add_assign(&mut self, rhs: TimestampDelta) {
+        self.0 += rhs.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamp_round_trips_through_seconds() {
+        let t = Timestamp::from_secs_f64(1.25);
+        assert_eq!(t.as_nanos(), 1_250_000_000);
+        assert!((t.as_secs_f64() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timestamp_constructors_agree() {
+        assert_eq!(Timestamp::from_secs(3), Timestamp::from_millis(3_000));
+        assert_eq!(Timestamp::from_millis(5), Timestamp::from_micros(5_000));
+        assert_eq!(Timestamp::from_micros(7), Timestamp::from_nanos(7_000));
+    }
+
+    #[test]
+    fn subtraction_yields_delta() {
+        let a = Timestamp::from_millis(100);
+        let b = Timestamp::from_millis(175);
+        assert_eq!(b - a, TimestampDelta::from_millis(75));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn subtraction_panics_on_negative_result() {
+        let _ = Timestamp::from_millis(1) - Timestamp::from_millis(2);
+    }
+
+    #[test]
+    fn saturating_since_clamps_to_zero() {
+        let a = Timestamp::from_millis(1);
+        let b = Timestamp::from_millis(2);
+        assert_eq!(a.saturating_since(b), TimestampDelta::ZERO);
+        assert_eq!(b.saturating_since(a), TimestampDelta::from_millis(1));
+    }
+
+    #[test]
+    fn addition_is_consistent_with_subtraction() {
+        let start = Timestamp::from_secs(10);
+        let delta = TimestampDelta::from_millis(500);
+        let end = start + delta;
+        assert_eq!(end - start, delta);
+    }
+
+    #[test]
+    fn delta_display_is_seconds() {
+        assert_eq!(TimestampDelta::from_millis(1500).to_string(), "1.500000s");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn from_secs_f64_rejects_nan() {
+        let _ = Timestamp::from_secs_f64(f64::NAN);
+    }
+
+    #[test]
+    fn max_returns_later_timestamp() {
+        let a = Timestamp::from_secs(1);
+        let b = Timestamp::from_secs(2);
+        assert_eq!(a.max(b), b);
+        assert_eq!(b.max(a), b);
+    }
+}

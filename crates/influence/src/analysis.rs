@@ -1,0 +1,431 @@
+//! Control-variable analysis: the complete/pure, relevance, constant, and
+//! consistency checks of Section 2.1.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::InfluenceError;
+use crate::influence_set::{InfluenceSet, ParamId};
+use crate::tracer::{AccessKind, Phase, TraceLog, VarId, VariableValue};
+
+/// The control-variable analysis over a set of traces (one trace per
+/// combination of configuration-parameter settings).
+///
+/// See the crate-level documentation for a complete example.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControlVariableAnalysis {
+    specified: InfluenceSet,
+    specified_params: Vec<ParamId>,
+    require_all_parameters_used: bool,
+}
+
+impl ControlVariableAnalysis {
+    /// Creates an analysis for the specified configuration parameters.
+    pub fn new(specified: impl IntoIterator<Item = ParamId>) -> Self {
+        let specified_params: Vec<ParamId> = specified.into_iter().collect();
+        let specified = specified_params.iter().copied().collect();
+        ControlVariableAnalysis {
+            specified,
+            specified_params,
+            require_all_parameters_used: false,
+        }
+    }
+
+    /// Requires every specified parameter to influence at least one control
+    /// variable; otherwise the analysis fails with
+    /// [`InfluenceError::UnusedParameter`].
+    pub fn require_all_parameters_used(mut self, required: bool) -> Self {
+        self.require_all_parameters_used = required;
+        self
+    }
+
+    /// The specified parameters, in the order given.
+    pub fn specified_parameters(&self) -> &[ParamId] {
+        &self.specified_params
+    }
+
+    /// Runs the checks over one trace per knob setting and produces the
+    /// control-variable set.
+    ///
+    /// # Errors
+    ///
+    /// * [`InfluenceError::NoTraces`] — the slice is empty.
+    /// * [`InfluenceError::ImpureVariable`] — a candidate variable is
+    ///   influenced by a parameter outside the specified set.
+    /// * [`InfluenceError::NonConstantVariable`] — a candidate variable is
+    ///   written after the first heartbeat.
+    /// * [`InfluenceError::InconsistentVariableSets`] — different settings
+    ///   produce different control-variable sets.
+    /// * [`InfluenceError::NoControlVariables`] — no variable passes every
+    ///   check.
+    /// * [`InfluenceError::UnusedParameter`] — (only when enabled) a
+    ///   specified parameter influences nothing.
+    pub fn analyze(&self, traces: &[TraceLog]) -> Result<ControlVariableSet, InfluenceError> {
+        if traces.is_empty() {
+            return Err(InfluenceError::NoTraces);
+        }
+
+        let mut per_trace_names: Vec<Vec<String>> = Vec::with_capacity(traces.len());
+        let mut per_trace_values: Vec<BTreeMap<String, VariableValue>> = Vec::with_capacity(traces.len());
+        let mut report_entries: BTreeMap<String, ReportEntry> = BTreeMap::new();
+
+        for trace in traces {
+            let mut names = Vec::new();
+            let mut values = BTreeMap::new();
+
+            for (index, variable) in trace.variables.iter().enumerate() {
+                let var_id = VarId::from_index(index);
+                // Candidate: influenced by at least one specified parameter.
+                if !variable.influence.intersects(self.specified) {
+                    continue;
+                }
+                // Pure check: influenced *only* by specified parameters.
+                if !variable.influence.is_subset_of(self.specified) {
+                    return Err(InfluenceError::ImpureVariable {
+                        name: variable.name.clone(),
+                    });
+                }
+                // Relevance check: read after the first heartbeat.
+                if !trace.read_in_main_loop(var_id) {
+                    continue;
+                }
+                // Constant check: never written after the first heartbeat.
+                if let Some(write) = trace.main_loop_write(var_id) {
+                    return Err(InfluenceError::NonConstantVariable {
+                        name: variable.name.clone(),
+                        site: write.site.clone(),
+                    });
+                }
+
+                let value = variable
+                    .value_at_first_heartbeat
+                    .clone()
+                    .unwrap_or(VariableValue::Scalar(0.0));
+                names.push(variable.name.clone());
+                values.insert(variable.name.clone(), value);
+
+                let entry = report_entries
+                    .entry(variable.name.clone())
+                    .or_insert_with(|| ReportEntry {
+                        variable: variable.name.clone(),
+                        parameters: Vec::new(),
+                        read_sites: Vec::new(),
+                        write_sites: Vec::new(),
+                    });
+                for param in variable.influence.iter() {
+                    let name = trace
+                        .parameter_name(param)
+                        .unwrap_or("<unknown>")
+                        .to_string();
+                    if !entry.parameters.contains(&name) {
+                        entry.parameters.push(name);
+                    }
+                }
+                for access in trace.accesses_of(var_id) {
+                    let sites = match access.kind {
+                        AccessKind::Read => &mut entry.read_sites,
+                        AccessKind::Write => &mut entry.write_sites,
+                    };
+                    if !sites.contains(&access.site) {
+                        sites.push(access.site.clone());
+                    }
+                }
+            }
+
+            names.sort();
+            per_trace_names.push(names);
+            per_trace_values.push(values);
+        }
+
+        // Consistency check: every trace produces the same variable set.
+        let expected = &per_trace_names[0];
+        for (trace_index, names) in per_trace_names.iter().enumerate().skip(1) {
+            if names != expected {
+                return Err(InfluenceError::InconsistentVariableSets {
+                    expected: expected.clone(),
+                    found: names.clone(),
+                    trace_index,
+                });
+            }
+        }
+
+        if expected.is_empty() {
+            return Err(InfluenceError::NoControlVariables);
+        }
+
+        if self.require_all_parameters_used {
+            for &param in &self.specified_params {
+                let used = traces.iter().any(|trace| {
+                    trace
+                        .variables
+                        .iter()
+                        .any(|v| v.influence.contains(param) && expected.contains(&v.name))
+                });
+                if !used {
+                    let name = traces[0]
+                        .parameter_name(param)
+                        .unwrap_or("<unknown>")
+                        .to_string();
+                    return Err(InfluenceError::UnusedParameter { name });
+                }
+            }
+        }
+
+        Ok(ControlVariableSet {
+            variable_names: expected.clone(),
+            recorded_values: per_trace_values,
+            report: ControlVariableReport {
+                application: traces[0].application.clone(),
+                entries: report_entries.into_values().collect(),
+            },
+        })
+    }
+}
+
+/// The outcome of a successful control-variable analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ControlVariableSet {
+    variable_names: Vec<String>,
+    recorded_values: Vec<BTreeMap<String, VariableValue>>,
+    report: ControlVariableReport,
+}
+
+impl ControlVariableSet {
+    /// The names of the identified control variables, sorted.
+    pub fn variable_names(&self) -> Vec<&str> {
+        self.variable_names.iter().map(String::as_str).collect()
+    }
+
+    /// Number of traces (knob settings) the values were recorded for.
+    pub fn setting_count(&self) -> usize {
+        self.recorded_values.len()
+    }
+
+    /// The recorded value of `variable` under the setting that produced
+    /// trace `setting_index`.
+    pub fn value(&self, setting_index: usize, variable: &str) -> Option<&VariableValue> {
+        self.recorded_values.get(setting_index)?.get(variable)
+    }
+
+    /// All recorded values for one setting, keyed by variable name.
+    pub fn values_for_setting(&self, setting_index: usize) -> Option<&BTreeMap<String, VariableValue>> {
+        self.recorded_values.get(setting_index)
+    }
+
+    /// The human-readable control-variable report.
+    pub fn report(&self) -> &ControlVariableReport {
+        &self.report
+    }
+}
+
+/// One entry of the control-variable report: a variable, the parameters that
+/// influence it, and the program sites that access it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReportEntry {
+    /// The control variable's name.
+    pub variable: String,
+    /// Names of the configuration parameters that influence it.
+    pub parameters: Vec<String>,
+    /// Program sites that read the variable.
+    pub read_sites: Vec<String>,
+    /// Program sites that write the variable.
+    pub write_sites: Vec<String>,
+}
+
+/// The control-variable report the paper produces for developer review.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ControlVariableReport {
+    /// Name of the analyzed application.
+    pub application: String,
+    /// One entry per control variable.
+    pub entries: Vec<ReportEntry>,
+}
+
+impl fmt::Display for ControlVariableReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "control variable report for `{}`", self.application)?;
+        for entry in &self.entries {
+            writeln!(
+                f,
+                "  {} <- parameters {:?}; reads at {:?}; writes at {:?}",
+                entry.variable, entry.parameters, entry.read_sites, entry.write_sites
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Returns true when the access is a main-loop read (exposed for tests and
+/// downstream diagnostics).
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) fn is_main_loop_read(kind: AccessKind, phase: Phase) -> bool {
+    kind == AccessKind::Read && phase == Phase::MainLoop
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::Tracer;
+    use crate::Traced;
+
+    /// Builds a trace of a small application with `quality` and `extra`
+    /// parameters. `quality` influences `trip_count` (a valid control
+    /// variable); `unrelated` is not influenced by any parameter.
+    fn trace_for(quality: f64, mutate_in_loop: bool, impure: bool) -> (TraceLog, ParamId, ParamId) {
+        let mut tracer = Tracer::new("toy");
+        let quality_param = tracer.register_parameter("quality");
+        let extra_param = tracer.register_parameter("extra");
+
+        let q = tracer.parameter_value(quality_param, quality);
+        let e = tracer.parameter_value(extra_param, 1.0);
+
+        let trip_count = tracer.declare_variable("trip_count");
+        let derived = if impure { q * 10.0 + e } else { q * 10.0 };
+        tracer.write_variable(trip_count, derived, "parse_args").unwrap();
+
+        let unrelated = tracer.declare_variable("unrelated");
+        tracer
+            .write_variable(unrelated, Traced::constant(42.0), "parse_args")
+            .unwrap();
+
+        tracer.first_heartbeat();
+        for i in 0..3 {
+            tracer.read_variable(trip_count, "main_loop").unwrap();
+            tracer.read_variable(unrelated, "main_loop").unwrap();
+            if mutate_in_loop && i == 1 {
+                tracer
+                    .write_variable(trip_count, Traced::constant(5.0), "main_loop_mutation")
+                    .unwrap();
+            }
+            tracer.heartbeat();
+        }
+        (tracer.finish(), quality_param, extra_param)
+    }
+
+    #[test]
+    fn identifies_control_variables_and_records_values() {
+        let (t1, quality, _) = trace_for(1.0, false, false);
+        let (t2, _, _) = trace_for(2.0, false, false);
+        let analysis = ControlVariableAnalysis::new([quality]);
+        let set = analysis.analyze(&[t1, t2]).unwrap();
+        assert_eq!(set.variable_names(), vec!["trip_count"]);
+        assert_eq!(set.setting_count(), 2);
+        assert_eq!(
+            set.value(0, "trip_count"),
+            Some(&VariableValue::Scalar(10.0))
+        );
+        assert_eq!(
+            set.value(1, "trip_count"),
+            Some(&VariableValue::Scalar(20.0))
+        );
+        assert!(set.value(0, "unrelated").is_none());
+    }
+
+    #[test]
+    fn report_lists_parameters_and_sites() {
+        let (trace, quality, _) = trace_for(3.0, false, false);
+        let analysis = ControlVariableAnalysis::new([quality]);
+        let set = analysis.analyze(&[trace]).unwrap();
+        let report = set.report();
+        assert_eq!(report.application, "toy");
+        assert_eq!(report.entries.len(), 1);
+        let entry = &report.entries[0];
+        assert_eq!(entry.variable, "trip_count");
+        assert_eq!(entry.parameters, vec!["quality"]);
+        assert_eq!(entry.write_sites, vec!["parse_args"]);
+        assert_eq!(entry.read_sites, vec!["main_loop"]);
+        assert!(report.to_string().contains("trip_count"));
+    }
+
+    #[test]
+    fn impure_variables_are_rejected() {
+        let (trace, quality, _) = trace_for(1.0, false, true);
+        let analysis = ControlVariableAnalysis::new([quality]);
+        assert!(matches!(
+            analysis.analyze(&[trace]),
+            Err(InfluenceError::ImpureVariable { .. })
+        ));
+    }
+
+    #[test]
+    fn impure_variables_accepted_when_all_parameters_specified() {
+        let (trace, quality, extra) = trace_for(1.0, false, true);
+        let analysis = ControlVariableAnalysis::new([quality, extra]);
+        let set = analysis.analyze(&[trace]).unwrap();
+        assert_eq!(set.variable_names(), vec!["trip_count"]);
+    }
+
+    #[test]
+    fn main_loop_writes_are_rejected() {
+        let (trace, quality, _) = trace_for(1.0, true, false);
+        let analysis = ControlVariableAnalysis::new([quality]);
+        let err = analysis.analyze(&[trace]).unwrap_err();
+        assert!(matches!(err, InfluenceError::NonConstantVariable { ref site, .. } if site == "main_loop_mutation"));
+    }
+
+    #[test]
+    fn unread_variables_are_filtered_out() {
+        let mut tracer = Tracer::new("toy");
+        let p = tracer.register_parameter("p");
+        let v = tracer.declare_variable("configured_but_ignored");
+        let value = tracer.parameter_value(p, 1.0);
+        tracer.write_variable(v, value, "init").unwrap();
+        tracer.first_heartbeat();
+        tracer.heartbeat();
+        let trace = tracer.finish();
+        let analysis = ControlVariableAnalysis::new([p]);
+        assert_eq!(
+            analysis.analyze(&[trace]),
+            Err(InfluenceError::NoControlVariables)
+        );
+    }
+
+    #[test]
+    fn inconsistent_traces_are_rejected() {
+        let (t1, quality, _) = trace_for(1.0, false, false);
+        // Second trace where trip_count is never read in the main loop.
+        let mut tracer = Tracer::new("toy");
+        let q = tracer.register_parameter("quality");
+        let _extra = tracer.register_parameter("extra");
+        let v = tracer.declare_variable("trip_count");
+        let value = tracer.parameter_value(q, 9.0);
+        tracer.write_variable(v, value, "parse_args").unwrap();
+        tracer.first_heartbeat();
+        tracer.heartbeat();
+        let t2 = tracer.finish();
+
+        let analysis = ControlVariableAnalysis::new([quality]);
+        let err = analysis.analyze(&[t1, t2]).unwrap_err();
+        assert!(matches!(err, InfluenceError::InconsistentVariableSets { trace_index: 1, .. }));
+    }
+
+    #[test]
+    fn empty_trace_list_is_rejected() {
+        let analysis = ControlVariableAnalysis::new([ParamId(0)]);
+        assert_eq!(analysis.analyze(&[]), Err(InfluenceError::NoTraces));
+    }
+
+    #[test]
+    fn unused_parameters_detected_when_required() {
+        let (trace, quality, _) = trace_for(1.0, false, false);
+        // `extra` does not influence any control variable.
+        let extra = ParamId(1);
+        let strict = ControlVariableAnalysis::new([quality, extra]).require_all_parameters_used(true);
+        assert!(matches!(
+            strict.analyze(std::slice::from_ref(&trace)),
+            Err(InfluenceError::UnusedParameter { .. })
+        ));
+        let lenient = ControlVariableAnalysis::new([quality, extra]);
+        assert!(lenient.analyze(&[trace]).is_ok());
+        assert_eq!(lenient.specified_parameters().len(), 2);
+    }
+
+    #[test]
+    fn main_loop_read_helper() {
+        assert!(is_main_loop_read(AccessKind::Read, Phase::MainLoop));
+        assert!(!is_main_loop_read(AccessKind::Write, Phase::MainLoop));
+        assert!(!is_main_loop_read(AccessKind::Read, Phase::Initialization));
+    }
+}

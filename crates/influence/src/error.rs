@@ -1,0 +1,130 @@
+//! Error type for influence tracing and control-variable analysis.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the influence tracer and the control-variable checks.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum InfluenceError {
+    /// A variable handle does not belong to this tracer.
+    UnknownVariable {
+        /// The raw variable index that failed to resolve.
+        index: usize,
+    },
+    /// A variable was read before it was ever written.
+    ReadBeforeWrite {
+        /// Name of the offending variable.
+        name: String,
+    },
+    /// The analysis was given no traces.
+    NoTraces,
+    /// A candidate control variable is influenced by parameters outside the
+    /// specified set, violating the *pure* condition.
+    ImpureVariable {
+        /// Name of the offending variable.
+        name: String,
+    },
+    /// A candidate control variable is written after the first heartbeat,
+    /// violating the *constant* condition.
+    NonConstantVariable {
+        /// Name of the offending variable.
+        name: String,
+        /// Label of the program site that performed the write.
+        site: String,
+    },
+    /// Different knob settings produced different control-variable sets,
+    /// violating the *consistent* condition.
+    InconsistentVariableSets {
+        /// Control variables found in the first trace.
+        expected: Vec<String>,
+        /// Control variables found in the offending trace.
+        found: Vec<String>,
+        /// Index of the offending trace.
+        trace_index: usize,
+    },
+    /// No control variables survived the checks; the specified parameters do
+    /// not influence the main control loop.
+    NoControlVariables,
+    /// A specified parameter never influenced any value in the trace.
+    UnusedParameter {
+        /// Name of the parameter that had no influence.
+        name: String,
+    },
+}
+
+impl fmt::Display for InfluenceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InfluenceError::UnknownVariable { index } => {
+                write!(f, "variable handle {index} is not registered with this tracer")
+            }
+            InfluenceError::ReadBeforeWrite { name } => {
+                write!(f, "variable `{name}` was read before any write")
+            }
+            InfluenceError::NoTraces => write!(f, "control-variable analysis requires at least one trace"),
+            InfluenceError::ImpureVariable { name } => write!(
+                f,
+                "variable `{name}` is influenced by parameters outside the specified set"
+            ),
+            InfluenceError::NonConstantVariable { name, site } => write!(
+                f,
+                "variable `{name}` is written after the first heartbeat at `{site}`"
+            ),
+            InfluenceError::InconsistentVariableSets {
+                expected,
+                found,
+                trace_index,
+            } => write!(
+                f,
+                "trace {trace_index} produced control variables {found:?} but earlier traces produced {expected:?}"
+            ),
+            InfluenceError::NoControlVariables => write!(
+                f,
+                "no control variables found: the specified parameters do not influence the main loop"
+            ),
+            InfluenceError::UnusedParameter { name } => {
+                write!(f, "parameter `{name}` influenced no traced value")
+            }
+        }
+    }
+}
+
+impl Error for InfluenceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_nonempty_and_unterminated() {
+        let errors = [
+            InfluenceError::UnknownVariable { index: 3 },
+            InfluenceError::ReadBeforeWrite { name: "x".into() },
+            InfluenceError::NoTraces,
+            InfluenceError::ImpureVariable { name: "x".into() },
+            InfluenceError::NonConstantVariable {
+                name: "x".into(),
+                site: "loop".into(),
+            },
+            InfluenceError::InconsistentVariableSets {
+                expected: vec!["a".into()],
+                found: vec!["b".into()],
+                trace_index: 1,
+            },
+            InfluenceError::NoControlVariables,
+            InfluenceError::UnusedParameter { name: "p".into() },
+        ];
+        for e in errors {
+            let text = e.to_string();
+            assert!(!text.is_empty());
+            assert!(!text.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<InfluenceError>();
+    }
+}

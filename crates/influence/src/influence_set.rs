@@ -1,0 +1,261 @@
+//! Influence sets: which configuration parameters influenced a value.
+
+use std::fmt;
+use std::ops::{BitOr, BitOrAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a configuration parameter registered with a
+/// [`Tracer`](crate::Tracer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ParamId(pub(crate) usize);
+
+impl ParamId {
+    /// Creates a parameter id from its registration index (parameters are
+    /// numbered in the order they are registered with a
+    /// [`Tracer`](crate::Tracer), starting from zero).
+    pub const fn new(index: usize) -> Self {
+        ParamId(index)
+    }
+
+    /// Returns the raw index of the parameter.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl From<usize> for ParamId {
+    fn from(index: usize) -> Self {
+        ParamId(index)
+    }
+}
+
+impl fmt::Display for ParamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "param#{}", self.0)
+    }
+}
+
+/// The set of configuration parameters that influenced a value.
+///
+/// Influence sets propagate through arithmetic on [`Traced`](crate::Traced)
+/// values: the result of combining two values is influenced by the union of
+/// their influence sets. The implementation is a bitset supporting up to 128
+/// parameters, far more than any application in the paper needs (x264, the
+/// richest, has three).
+///
+/// # Example
+///
+/// ```
+/// use powerdial_influence::{InfluenceSet, ParamId};
+///
+/// let mut set = InfluenceSet::empty();
+/// assert!(set.is_empty());
+/// // Influence sets are normally produced by a `Tracer`; unions compose.
+/// let combined = set | InfluenceSet::empty();
+/// assert!(combined.is_empty());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct InfluenceSet {
+    bits: u128,
+}
+
+/// Maximum number of distinct parameters an influence set can track.
+pub(crate) const MAX_PARAMS: usize = 128;
+
+impl InfluenceSet {
+    /// The empty influence set (a constant value influenced by nothing).
+    pub const fn empty() -> Self {
+        InfluenceSet { bits: 0 }
+    }
+
+    /// Creates a set containing a single parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter index is 128 or larger.
+    pub fn singleton(param: ParamId) -> Self {
+        assert!(
+            param.0 < MAX_PARAMS,
+            "influence sets support at most {MAX_PARAMS} parameters"
+        );
+        InfluenceSet {
+            bits: 1u128 << param.0,
+        }
+    }
+
+    /// Returns true when no parameter influences the value.
+    pub const fn is_empty(self) -> bool {
+        self.bits == 0
+    }
+
+    /// Returns true when `param` is in the set.
+    pub fn contains(self, param: ParamId) -> bool {
+        param.0 < MAX_PARAMS && (self.bits >> param.0) & 1 == 1
+    }
+
+    /// Returns true when every parameter in this set is also in `other`.
+    pub const fn is_subset_of(self, other: InfluenceSet) -> bool {
+        self.bits & !other.bits == 0
+    }
+
+    /// Returns true when the two sets share at least one parameter.
+    pub const fn intersects(self, other: InfluenceSet) -> bool {
+        self.bits & other.bits != 0
+    }
+
+    /// Number of parameters in the set.
+    pub const fn len(self) -> usize {
+        self.bits.count_ones() as usize
+    }
+
+    /// Iterates over the parameters in the set in increasing index order.
+    pub fn iter(self) -> impl Iterator<Item = ParamId> {
+        (0..MAX_PARAMS).filter_map(move |i| {
+            if (self.bits >> i) & 1 == 1 {
+                Some(ParamId(i))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Union with another set.
+    pub const fn union(self, other: InfluenceSet) -> InfluenceSet {
+        InfluenceSet {
+            bits: self.bits | other.bits,
+        }
+    }
+}
+
+impl BitOr for InfluenceSet {
+    type Output = InfluenceSet;
+
+    fn bitor(self, rhs: InfluenceSet) -> InfluenceSet {
+        self.union(rhs)
+    }
+}
+
+impl BitOrAssign for InfluenceSet {
+    fn bitor_assign(&mut self, rhs: InfluenceSet) {
+        self.bits |= rhs.bits;
+    }
+}
+
+impl FromIterator<ParamId> for InfluenceSet {
+    fn from_iter<T: IntoIterator<Item = ParamId>>(iter: T) -> Self {
+        let mut set = InfluenceSet::empty();
+        for param in iter {
+            set |= InfluenceSet::singleton(param);
+        }
+        set
+    }
+}
+
+impl fmt::Display for InfluenceSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, param) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{param}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set_contains_nothing() {
+        let set = InfluenceSet::empty();
+        assert!(set.is_empty());
+        assert_eq!(set.len(), 0);
+        assert!(!set.contains(ParamId(0)));
+    }
+
+    #[test]
+    fn singleton_contains_only_its_parameter() {
+        let set = InfluenceSet::singleton(ParamId(3));
+        assert!(set.contains(ParamId(3)));
+        assert!(!set.contains(ParamId(2)));
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn union_combines_parameters() {
+        let a = InfluenceSet::singleton(ParamId(0));
+        let b = InfluenceSet::singleton(ParamId(5));
+        let both = a | b;
+        assert!(both.contains(ParamId(0)));
+        assert!(both.contains(ParamId(5)));
+        assert_eq!(both.len(), 2);
+        assert!(a.is_subset_of(both));
+        assert!(b.is_subset_of(both));
+        assert!(!both.is_subset_of(a));
+        assert!(a.intersects(both));
+        assert!(!a.intersects(b));
+    }
+
+    #[test]
+    fn collect_from_param_ids() {
+        let set: InfluenceSet = [ParamId(1), ParamId(2), ParamId(1)].into_iter().collect();
+        assert_eq!(set.len(), 2);
+        let params: Vec<_> = set.iter().collect();
+        assert_eq!(params, vec![ParamId(1), ParamId(2)]);
+    }
+
+    #[test]
+    fn display_lists_parameters() {
+        let set: InfluenceSet = [ParamId(0), ParamId(7)].into_iter().collect();
+        assert_eq!(set.to_string(), "{param#0, param#7}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn singleton_rejects_out_of_range_parameters() {
+        InfluenceSet::singleton(ParamId(128));
+    }
+
+    #[test]
+    fn high_index_parameters_are_supported() {
+        let set = InfluenceSet::singleton(ParamId(127));
+        assert!(set.contains(ParamId(127)));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Union is commutative, associative, and idempotent.
+        #[test]
+        fn union_is_a_semilattice(
+            a in proptest::collection::vec(0usize..128, 0..20),
+            b in proptest::collection::vec(0usize..128, 0..20),
+            c in proptest::collection::vec(0usize..128, 0..20),
+        ) {
+            let sa: InfluenceSet = a.iter().map(|&i| ParamId(i)).collect();
+            let sb: InfluenceSet = b.iter().map(|&i| ParamId(i)).collect();
+            let sc: InfluenceSet = c.iter().map(|&i| ParamId(i)).collect();
+            prop_assert_eq!(sa | sb, sb | sa);
+            prop_assert_eq!((sa | sb) | sc, sa | (sb | sc));
+            prop_assert_eq!(sa | sa, sa);
+            prop_assert!(sa.is_subset_of(sa | sb));
+        }
+
+        /// Membership after collect matches the input list.
+        #[test]
+        fn membership_matches_inputs(indices in proptest::collection::vec(0usize..128, 0..64)) {
+            let set: InfluenceSet = indices.iter().map(|&i| ParamId(i)).collect();
+            for i in 0..128 {
+                prop_assert_eq!(set.contains(ParamId(i)), indices.contains(&i));
+            }
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Dynamic influence tracing for identifying control variables.
+//!
+//! PowerDial finds the *control variables* backing a set of configuration
+//! parameters by running an instrumented version of the application and
+//! tracing how the parameters influence the values it computes (Section 2.1
+//! of the paper). The original implementation instruments C/C++ with LLVM;
+//! this crate provides the equivalent runtime for applications written
+//! against its API:
+//!
+//! * [`Tracer`] — the per-run tracing session. Configuration parameters are
+//!   registered as influence sources; program values are [`Traced`] values
+//!   that propagate influence through arithmetic; named variables record
+//!   every read and write along with the execution phase (before or after the
+//!   first heartbeat).
+//! * [`TraceLog`] — the result of one traced run.
+//! * [`ControlVariableAnalysis`] — applies the paper's checks to one trace
+//!   per knob setting: **complete and pure** (values derived only from the
+//!   specified parameters), **relevant** (read after the first heartbeat),
+//!   **constant** (never written after the first heartbeat), and
+//!   **consistent** (all settings produce the same variable set). The result
+//!   is a [`ControlVariableSet`] with the recorded value of every control
+//!   variable for every setting, plus a human-readable
+//!   [`ControlVariableReport`].
+//!
+//! # Example
+//!
+//! ```
+//! use powerdial_influence::{ControlVariableAnalysis, Tracer};
+//!
+//! # fn main() -> Result<(), powerdial_influence::InfluenceError> {
+//! // Trace one run of a tiny "application" whose `iterations` variable is
+//! // derived from the `quality` parameter during initialization.
+//! let mut tracer = Tracer::new("toy");
+//! let quality = tracer.register_parameter("quality");
+//! let q = tracer.parameter_value(quality, 8.0);
+//! let iterations = tracer.declare_variable("iterations");
+//! tracer.write_variable(iterations, q * 100.0, "init")?;
+//! tracer.first_heartbeat();
+//! for _ in 0..3 {
+//!     let _n = tracer.read_variable(iterations, "main_loop")?;
+//!     tracer.heartbeat();
+//! }
+//! let log = tracer.finish();
+//!
+//! let analysis = ControlVariableAnalysis::new([quality]);
+//! let control_variables = analysis.analyze(&[log])?;
+//! assert_eq!(control_variables.variable_names(), vec!["iterations"]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod analysis;
+mod error;
+mod influence_set;
+mod traced;
+mod tracer;
+
+pub use analysis::{
+    ControlVariableAnalysis, ControlVariableReport, ControlVariableSet, ReportEntry,
+};
+pub use error::InfluenceError;
+pub use influence_set::{InfluenceSet, ParamId};
+pub use traced::Traced;
+pub use tracer::{AccessKind, AccessRecord, Phase, TraceLog, Tracer, VarId, VariableValue};

@@ -1,0 +1,258 @@
+//! Traced values: numbers that carry the set of parameters that influenced
+//! them.
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+use serde::{Deserialize, Serialize};
+
+use crate::influence_set::InfluenceSet;
+
+/// A floating-point value tagged with the configuration parameters that
+/// influenced it.
+///
+/// Arithmetic between traced values unions their influence sets, mirroring
+/// the data-flow instrumentation the paper's LLVM pass inserts. Constants
+/// (created with [`Traced::constant`] or via `From<f64>`) carry an empty
+/// influence set.
+///
+/// # Example
+///
+/// ```
+/// use powerdial_influence::Tracer;
+///
+/// let mut tracer = Tracer::new("example");
+/// let p = tracer.register_parameter("n_sims");
+/// let n = tracer.parameter_value(p, 1000.0);
+/// let per_item = n / 4.0;            // still influenced by `n_sims`
+/// let unrelated = powerdial_influence::Traced::constant(7.0);
+/// assert!(per_item.influence().contains(p));
+/// assert!(unrelated.influence().is_empty());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Traced {
+    value: f64,
+    influence: InfluenceSet,
+}
+
+impl Traced {
+    /// Creates a constant value with no parameter influence.
+    pub const fn constant(value: f64) -> Self {
+        Traced {
+            value,
+            influence: InfluenceSet::empty(),
+        }
+    }
+
+    /// Creates a value with an explicit influence set. Used by the tracer
+    /// when materializing parameter values and variable reads.
+    pub const fn with_influence(value: f64, influence: InfluenceSet) -> Self {
+        Traced { value, influence }
+    }
+
+    /// The numeric value.
+    pub const fn value(self) -> f64 {
+        self.value
+    }
+
+    /// The parameters that influenced this value.
+    pub const fn influence(self) -> InfluenceSet {
+        self.influence
+    }
+
+    /// Applies a unary function to the value, preserving the influence set
+    /// (the traced analogue of calling a math function).
+    pub fn map(self, f: impl FnOnce(f64) -> f64) -> Traced {
+        Traced {
+            value: f(self.value),
+            influence: self.influence,
+        }
+    }
+
+    /// Combines two traced values with a binary function, unioning their
+    /// influence sets.
+    pub fn combine(self, other: Traced, f: impl FnOnce(f64, f64) -> f64) -> Traced {
+        Traced {
+            value: f(self.value, other.value),
+            influence: self.influence | other.influence,
+        }
+    }
+
+    /// Rounds to the nearest integer, preserving influence. Mirrors the
+    /// integer control variables (e.g. loop trip counts) in the paper's
+    /// applications.
+    pub fn round(self) -> Traced {
+        self.map(f64::round)
+    }
+}
+
+impl From<f64> for Traced {
+    fn from(value: f64) -> Self {
+        Traced::constant(value)
+    }
+}
+
+impl fmt::Display for Traced {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.value, self.influence)
+    }
+}
+
+macro_rules! impl_traced_binop {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl $trait for Traced {
+            type Output = Traced;
+
+            fn $method(self, rhs: Traced) -> Traced {
+                Traced {
+                    value: self.value $op rhs.value,
+                    influence: self.influence | rhs.influence,
+                }
+            }
+        }
+
+        impl $trait<f64> for Traced {
+            type Output = Traced;
+
+            fn $method(self, rhs: f64) -> Traced {
+                Traced {
+                    value: self.value $op rhs,
+                    influence: self.influence,
+                }
+            }
+        }
+
+        impl $trait<Traced> for f64 {
+            type Output = Traced;
+
+            fn $method(self, rhs: Traced) -> Traced {
+                Traced {
+                    value: self $op rhs.value,
+                    influence: rhs.influence,
+                }
+            }
+        }
+    };
+}
+
+impl_traced_binop!(Add, add, +);
+impl_traced_binop!(Sub, sub, -);
+impl_traced_binop!(Mul, mul, *);
+impl_traced_binop!(Div, div, /);
+
+impl Neg for Traced {
+    type Output = Traced;
+
+    fn neg(self) -> Traced {
+        Traced {
+            value: -self.value,
+            influence: self.influence,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::influence_set::ParamId;
+
+    fn traced(value: f64, param: usize) -> Traced {
+        Traced::with_influence(value, InfluenceSet::singleton(ParamId(param)))
+    }
+
+    #[test]
+    fn constants_have_no_influence() {
+        let c = Traced::constant(3.5);
+        assert_eq!(c.value(), 3.5);
+        assert!(c.influence().is_empty());
+        let from: Traced = 2.0.into();
+        assert!(from.influence().is_empty());
+    }
+
+    #[test]
+    fn arithmetic_propagates_influence() {
+        let a = traced(2.0, 0);
+        let b = traced(3.0, 1);
+        let sum = a + b;
+        assert_eq!(sum.value(), 5.0);
+        assert!(sum.influence().contains(ParamId(0)));
+        assert!(sum.influence().contains(ParamId(1)));
+
+        let product = a * 4.0;
+        assert_eq!(product.value(), 8.0);
+        assert_eq!(product.influence(), a.influence());
+
+        let quotient = 10.0 / b;
+        assert!((quotient.value() - 10.0 / 3.0).abs() < 1e-12);
+        assert_eq!(quotient.influence(), b.influence());
+
+        let negated = -a;
+        assert_eq!(negated.value(), -2.0);
+        assert_eq!(negated.influence(), a.influence());
+
+        let difference = a - b;
+        assert_eq!(difference.value(), -1.0);
+        assert_eq!(difference.influence().len(), 2);
+    }
+
+    #[test]
+    fn map_and_combine_preserve_influence() {
+        let a = traced(4.0, 2);
+        let sqrt = a.map(f64::sqrt);
+        assert_eq!(sqrt.value(), 2.0);
+        assert_eq!(sqrt.influence(), a.influence());
+
+        let b = traced(5.0, 3);
+        let max = a.combine(b, f64::max);
+        assert_eq!(max.value(), 5.0);
+        assert_eq!(max.influence().len(), 2);
+    }
+
+    #[test]
+    fn round_produces_integer_value() {
+        let a = traced(2.7, 0);
+        assert_eq!(a.round().value(), 3.0);
+        assert_eq!(a.round().influence(), a.influence());
+    }
+
+    #[test]
+    fn display_shows_value_and_influence() {
+        let a = traced(1.5, 4);
+        assert_eq!(a.to_string(), "1.5 {param#4}");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::influence_set::ParamId;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The influence of any arithmetic combination is exactly the union
+        /// of the operand influences, regardless of the values involved.
+        #[test]
+        fn influence_is_union_of_operands(
+            a in -1e6f64..1e6,
+            b in -1e6f64..1e6,
+            pa in 0usize..64,
+            pb in 0usize..64,
+        ) {
+            let ta = Traced::with_influence(a, InfluenceSet::singleton(ParamId(pa)));
+            let tb = Traced::with_influence(b, InfluenceSet::singleton(ParamId(pb)));
+            let expected = ta.influence() | tb.influence();
+            prop_assert_eq!((ta + tb).influence(), expected);
+            prop_assert_eq!((ta - tb).influence(), expected);
+            prop_assert_eq!((ta * tb).influence(), expected);
+            prop_assert_eq!((ta / tb).influence(), expected);
+        }
+
+        /// Scalar operations never add influence.
+        #[test]
+        fn scalars_add_no_influence(a in -1e6f64..1e6, s in -1e3f64..1e3, p in 0usize..64) {
+            let ta = Traced::with_influence(a, InfluenceSet::singleton(ParamId(p)));
+            prop_assert_eq!((ta + s).influence(), ta.influence());
+            prop_assert_eq!((s * ta).influence(), ta.influence());
+        }
+    }
+}

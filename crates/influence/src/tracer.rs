@@ -1,0 +1,562 @@
+//! The tracing session: parameters, variables, accesses, and phases.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::InfluenceError;
+use crate::influence_set::{InfluenceSet, ParamId, MAX_PARAMS};
+use crate::traced::Traced;
+
+/// Handle to a named variable declared with a [`Tracer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VarId(usize);
+
+impl VarId {
+    /// Returns the raw index of the variable.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+
+    /// Reconstructs a handle from a raw index. Only used by the analysis,
+    /// which walks `TraceLog::variables` in declaration order.
+    pub(crate) const fn from_index(index: usize) -> VarId {
+        VarId(index)
+    }
+}
+
+/// Execution phase relative to the first heartbeat.
+///
+/// PowerDial's checks are phrased in terms of this boundary: control
+/// variables are written during [`Phase::Initialization`] and only read
+/// during [`Phase::MainLoop`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Phase {
+    /// Before the application's first heartbeat (startup / configuration
+    /// parsing).
+    Initialization,
+    /// After the first heartbeat (the main control loop).
+    MainLoop,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Phase::Initialization => write!(f, "initialization"),
+            Phase::MainLoop => write!(f, "main loop"),
+        }
+    }
+}
+
+/// Whether an access read or wrote a variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// The variable's value was read.
+    Read,
+    /// The variable's value was written.
+    Write,
+}
+
+/// One recorded access to a traced variable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccessRecord {
+    /// The accessed variable.
+    pub variable: VarId,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// The phase in which the access happened.
+    pub phase: Phase,
+    /// A label identifying the program site of the access (the analogue of
+    /// the source statement in the paper's control-variable report).
+    pub site: String,
+}
+
+/// The value of a traced variable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum VariableValue {
+    /// A scalar value (`int`, `long`, `float`, `double` in the paper).
+    Scalar(f64),
+    /// A vector value (`STL vector` in the paper).
+    Vector(Vec<f64>),
+}
+
+impl VariableValue {
+    /// Returns the scalar value, or the first element of a vector.
+    pub fn as_scalar(&self) -> Option<f64> {
+        match self {
+            VariableValue::Scalar(v) => Some(*v),
+            VariableValue::Vector(v) => v.first().copied(),
+        }
+    }
+
+    /// Returns the value as a vector (a scalar becomes a one-element vector).
+    pub fn to_vector(&self) -> Vec<f64> {
+        match self {
+            VariableValue::Scalar(v) => vec![*v],
+            VariableValue::Vector(v) => v.clone(),
+        }
+    }
+}
+
+impl fmt::Display for VariableValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VariableValue::Scalar(v) => write!(f, "{v}"),
+            VariableValue::Vector(v) => write!(f, "{v:?}"),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct VariableState {
+    name: String,
+    value: Option<VariableValue>,
+    influence: InfluenceSet,
+    value_at_first_heartbeat: Option<VariableValue>,
+    influence_at_first_heartbeat: InfluenceSet,
+}
+
+/// A dynamic influence-tracing session over one run of an application.
+///
+/// The tracer plays the role of the paper's LLVM instrumentation: it tracks
+/// which configuration parameters influence which named variables and records
+/// every variable access together with the phase (before or after the first
+/// heartbeat) in which it occurred. See the crate-level documentation for a
+/// complete example.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tracer {
+    application: String,
+    parameters: Vec<String>,
+    variables: Vec<VariableState>,
+    accesses: Vec<AccessRecord>,
+    phase: Phase,
+    heartbeats: u64,
+}
+
+impl Tracer {
+    /// Starts a tracing session for the named application.
+    pub fn new(application: impl Into<String>) -> Self {
+        Tracer {
+            application: application.into(),
+            parameters: Vec::new(),
+            variables: Vec::new(),
+            accesses: Vec::new(),
+            phase: Phase::Initialization,
+            heartbeats: 0,
+        }
+    }
+
+    /// Registers a configuration parameter as an influence source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 128 parameters are registered.
+    pub fn register_parameter(&mut self, name: impl Into<String>) -> ParamId {
+        assert!(
+            self.parameters.len() < MAX_PARAMS,
+            "a tracer supports at most {MAX_PARAMS} parameters"
+        );
+        let id = ParamId(self.parameters.len());
+        self.parameters.push(name.into());
+        id
+    }
+
+    /// Materializes the runtime value of a parameter as a traced value
+    /// influenced by that parameter.
+    pub fn parameter_value(&self, param: ParamId, value: f64) -> Traced {
+        Traced::with_influence(value, InfluenceSet::singleton(param))
+    }
+
+    /// Declares a named variable whose accesses will be traced.
+    pub fn declare_variable(&mut self, name: impl Into<String>) -> VarId {
+        let id = VarId(self.variables.len());
+        self.variables.push(VariableState {
+            name: name.into(),
+            value: None,
+            influence: InfluenceSet::empty(),
+            value_at_first_heartbeat: None,
+            influence_at_first_heartbeat: InfluenceSet::empty(),
+        });
+        id
+    }
+
+    /// Writes a scalar value to a variable, recording the access.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InfluenceError::UnknownVariable`] for a foreign handle.
+    pub fn write_variable(
+        &mut self,
+        var: VarId,
+        value: Traced,
+        site: impl Into<String>,
+    ) -> Result<(), InfluenceError> {
+        let phase = self.phase;
+        let state = self.variable_mut(var)?;
+        state.value = Some(VariableValue::Scalar(value.value()));
+        state.influence = value.influence();
+        self.accesses.push(AccessRecord {
+            variable: var,
+            kind: AccessKind::Write,
+            phase,
+            site: site.into(),
+        });
+        Ok(())
+    }
+
+    /// Writes a vector value to a variable; the variable's influence is the
+    /// union of the elements' influences.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InfluenceError::UnknownVariable`] for a foreign handle.
+    pub fn write_vector_variable(
+        &mut self,
+        var: VarId,
+        values: &[Traced],
+        site: impl Into<String>,
+    ) -> Result<(), InfluenceError> {
+        let phase = self.phase;
+        let influence = values
+            .iter()
+            .fold(InfluenceSet::empty(), |acc, v| acc | v.influence());
+        let state = self.variable_mut(var)?;
+        state.value = Some(VariableValue::Vector(
+            values.iter().map(|v| v.value()).collect(),
+        ));
+        state.influence = influence;
+        self.accesses.push(AccessRecord {
+            variable: var,
+            kind: AccessKind::Write,
+            phase,
+            site: site.into(),
+        });
+        Ok(())
+    }
+
+    /// Reads a variable's scalar value (the first element for vector
+    /// variables), recording the access.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InfluenceError::UnknownVariable`] for a foreign handle or
+    /// [`InfluenceError::ReadBeforeWrite`] if the variable was never written.
+    pub fn read_variable(
+        &mut self,
+        var: VarId,
+        site: impl Into<String>,
+    ) -> Result<Traced, InfluenceError> {
+        let phase = self.phase;
+        let state = self.variable(var)?;
+        let value = state
+            .value
+            .as_ref()
+            .and_then(VariableValue::as_scalar)
+            .ok_or_else(|| InfluenceError::ReadBeforeWrite {
+                name: state.name.clone(),
+            })?;
+        let influence = state.influence;
+        self.accesses.push(AccessRecord {
+            variable: var,
+            kind: AccessKind::Read,
+            phase,
+            site: site.into(),
+        });
+        Ok(Traced::with_influence(value, influence))
+    }
+
+    /// Reads a variable's value as a vector of traced values, recording the
+    /// access.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InfluenceError::UnknownVariable`] for a foreign handle or
+    /// [`InfluenceError::ReadBeforeWrite`] if the variable was never written.
+    pub fn read_vector_variable(
+        &mut self,
+        var: VarId,
+        site: impl Into<String>,
+    ) -> Result<Vec<Traced>, InfluenceError> {
+        let phase = self.phase;
+        let state = self.variable(var)?;
+        let value = state
+            .value
+            .as_ref()
+            .ok_or_else(|| InfluenceError::ReadBeforeWrite {
+                name: state.name.clone(),
+            })?
+            .to_vector();
+        let influence = state.influence;
+        self.accesses.push(AccessRecord {
+            variable: var,
+            kind: AccessKind::Read,
+            phase,
+            site: site.into(),
+        });
+        Ok(value
+            .into_iter()
+            .map(|v| Traced::with_influence(v, influence))
+            .collect())
+    }
+
+    /// Marks the application's first heartbeat, switching the phase from
+    /// initialization to the main control loop. Subsequent calls count as
+    /// ordinary heartbeats.
+    pub fn first_heartbeat(&mut self) {
+        if self.phase == Phase::Initialization {
+            // Snapshot every variable: the paper identifies control variables
+            // by the values they hold when the first heartbeat is emitted.
+            for variable in &mut self.variables {
+                variable.value_at_first_heartbeat = variable.value.clone();
+                variable.influence_at_first_heartbeat = variable.influence;
+            }
+        }
+        self.phase = Phase::MainLoop;
+        self.heartbeats += 1;
+    }
+
+    /// Records a heartbeat in the main loop. The first call behaves like
+    /// [`Tracer::first_heartbeat`].
+    pub fn heartbeat(&mut self) {
+        if self.heartbeats == 0 {
+            self.first_heartbeat();
+        } else {
+            self.heartbeats += 1;
+        }
+    }
+
+    /// The current execution phase.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// Number of heartbeats recorded so far.
+    pub fn heartbeats(&self) -> u64 {
+        self.heartbeats
+    }
+
+    /// The registered parameter names, in registration order.
+    pub fn parameter_names(&self) -> Vec<&str> {
+        self.parameters.iter().map(String::as_str).collect()
+    }
+
+    /// Finishes the session and produces the trace log.
+    pub fn finish(self) -> TraceLog {
+        TraceLog {
+            application: self.application,
+            parameters: self.parameters,
+            variables: self
+                .variables
+                .into_iter()
+                .map(|v| TracedVariable {
+                    name: v.name,
+                    value_at_first_heartbeat: v.value_at_first_heartbeat,
+                    influence: v.influence_at_first_heartbeat,
+                    final_value: v.value,
+                    final_influence: v.influence,
+                })
+                .collect(),
+            accesses: self.accesses,
+            heartbeats: self.heartbeats,
+        }
+    }
+
+    fn variable(&self, var: VarId) -> Result<&VariableState, InfluenceError> {
+        self.variables
+            .get(var.0)
+            .ok_or(InfluenceError::UnknownVariable { index: var.0 })
+    }
+
+    fn variable_mut(&mut self, var: VarId) -> Result<&mut VariableState, InfluenceError> {
+        self.variables
+            .get_mut(var.0)
+            .ok_or(InfluenceError::UnknownVariable { index: var.0 })
+    }
+}
+
+/// A variable as it appears in a finished [`TraceLog`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TracedVariable {
+    /// The variable's declared name.
+    pub name: String,
+    /// The value the variable held when the first heartbeat was emitted —
+    /// the value PowerDial records for each dynamic-knob setting.
+    pub value_at_first_heartbeat: Option<VariableValue>,
+    /// The parameters that influenced the value held at the first heartbeat.
+    pub influence: InfluenceSet,
+    /// Its last written value, if any write occurred.
+    pub final_value: Option<VariableValue>,
+    /// The parameters that influenced its last written value.
+    pub final_influence: InfluenceSet,
+}
+
+/// The complete record of one traced run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceLog {
+    /// Name of the traced application.
+    pub application: String,
+    /// Registered parameter names, indexed by [`ParamId`].
+    pub parameters: Vec<String>,
+    /// Declared variables, indexed by [`VarId`].
+    pub variables: Vec<TracedVariable>,
+    /// Every recorded variable access in program order.
+    pub accesses: Vec<AccessRecord>,
+    /// Number of heartbeats the run emitted.
+    pub heartbeats: u64,
+}
+
+impl TraceLog {
+    /// The name of the parameter with the given id, if registered.
+    pub fn parameter_name(&self, param: ParamId) -> Option<&str> {
+        self.parameters.get(param.index()).map(String::as_str)
+    }
+
+    /// The variable with the given id, if declared.
+    pub fn variable(&self, var: VarId) -> Option<&TracedVariable> {
+        self.variables.get(var.index())
+    }
+
+    /// Iterates over accesses of a given variable.
+    pub fn accesses_of(&self, var: VarId) -> impl Iterator<Item = &AccessRecord> {
+        self.accesses.iter().filter(move |a| a.variable == var)
+    }
+
+    /// Returns true when the variable was read in the main loop.
+    pub fn read_in_main_loop(&self, var: VarId) -> bool {
+        self.accesses_of(var)
+            .any(|a| a.kind == AccessKind::Read && a.phase == Phase::MainLoop)
+    }
+
+    /// Returns the first main-loop write to the variable, if any.
+    pub fn main_loop_write(&self, var: VarId) -> Option<&AccessRecord> {
+        self.accesses_of(var)
+            .find(|a| a.kind == AccessKind::Write && a.phase == Phase::MainLoop)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_values_carry_their_parameter() {
+        let mut tracer = Tracer::new("app");
+        let p = tracer.register_parameter("p");
+        let value = tracer.parameter_value(p, 5.0);
+        assert_eq!(value.value(), 5.0);
+        assert!(value.influence().contains(p));
+        assert_eq!(tracer.parameter_names(), vec!["p"]);
+    }
+
+    #[test]
+    fn variable_round_trip_preserves_value_and_influence() {
+        let mut tracer = Tracer::new("app");
+        let p = tracer.register_parameter("quality");
+        let v = tracer.declare_variable("trip_count");
+        let derived = tracer.parameter_value(p, 3.0) * 10.0 + 1.0;
+        tracer.write_variable(v, derived, "init").unwrap();
+        let read = tracer.read_variable(v, "loop").unwrap();
+        assert_eq!(read.value(), 31.0);
+        assert!(read.influence().contains(p));
+    }
+
+    #[test]
+    fn read_before_write_is_an_error() {
+        let mut tracer = Tracer::new("app");
+        let v = tracer.declare_variable("uninitialized");
+        let err = tracer.read_variable(v, "loop").unwrap_err();
+        assert!(matches!(err, InfluenceError::ReadBeforeWrite { .. }));
+    }
+
+    #[test]
+    fn foreign_variable_handles_are_rejected() {
+        let mut tracer = Tracer::new("app");
+        let mut other = Tracer::new("other");
+        let foreign = other.declare_variable("foreign");
+        let _local = tracer.declare_variable("local");
+        // `foreign` has index 0 which exists here, so create one more to get
+        // an out-of-range handle.
+        let out_of_range = VarId(99);
+        assert!(matches!(
+            tracer.read_variable(out_of_range, "x"),
+            Err(InfluenceError::UnknownVariable { index: 99 })
+        ));
+        // An in-range foreign handle is indistinguishable by design (the
+        // tracer is per-run); it resolves to the local variable.
+        assert!(tracer.write_variable(foreign, Traced::constant(1.0), "x").is_ok());
+    }
+
+    #[test]
+    fn phases_switch_at_first_heartbeat() {
+        let mut tracer = Tracer::new("app");
+        assert_eq!(tracer.phase(), Phase::Initialization);
+        tracer.heartbeat();
+        assert_eq!(tracer.phase(), Phase::MainLoop);
+        assert_eq!(tracer.heartbeats(), 1);
+        tracer.heartbeat();
+        assert_eq!(tracer.heartbeats(), 2);
+    }
+
+    #[test]
+    fn accesses_record_phase_and_site() {
+        let mut tracer = Tracer::new("app");
+        let p = tracer.register_parameter("n");
+        let v = tracer.declare_variable("n_var");
+        let value = tracer.parameter_value(p, 2.0);
+        tracer.write_variable(v, value, "startup").unwrap();
+        tracer.first_heartbeat();
+        tracer.read_variable(v, "iteration").unwrap();
+        let log = tracer.finish();
+
+        assert_eq!(log.accesses.len(), 2);
+        assert_eq!(log.accesses[0].kind, AccessKind::Write);
+        assert_eq!(log.accesses[0].phase, Phase::Initialization);
+        assert_eq!(log.accesses[0].site, "startup");
+        assert_eq!(log.accesses[1].kind, AccessKind::Read);
+        assert_eq!(log.accesses[1].phase, Phase::MainLoop);
+        assert!(log.read_in_main_loop(v));
+        assert!(log.main_loop_write(v).is_none());
+        assert_eq!(log.parameter_name(p), Some("n"));
+        assert_eq!(log.variable(v).unwrap().name, "n_var");
+    }
+
+    #[test]
+    fn vector_variables_union_element_influence() {
+        let mut tracer = Tracer::new("app");
+        let p0 = tracer.register_parameter("a");
+        let p1 = tracer.register_parameter("b");
+        let v = tracer.declare_variable("weights");
+        let elements = vec![tracer.parameter_value(p0, 1.0), tracer.parameter_value(p1, 2.0)];
+        tracer.write_vector_variable(v, &elements, "init").unwrap();
+        let read = tracer.read_vector_variable(v, "loop").unwrap();
+        assert_eq!(read.len(), 2);
+        assert!(read[0].influence().contains(p0));
+        assert!(read[0].influence().contains(p1));
+        assert_eq!(read[1].value(), 2.0);
+        // Scalar read of a vector variable returns its first element.
+        let scalar = tracer.read_variable(v, "loop2").unwrap();
+        assert_eq!(scalar.value(), 1.0);
+    }
+
+    #[test]
+    fn main_loop_writes_are_visible_in_the_log() {
+        let mut tracer = Tracer::new("app");
+        let v = tracer.declare_variable("counter");
+        tracer.write_variable(v, Traced::constant(0.0), "init").unwrap();
+        tracer.first_heartbeat();
+        tracer.write_variable(v, Traced::constant(1.0), "loop_body").unwrap();
+        let log = tracer.finish();
+        let write = log.main_loop_write(v).unwrap();
+        assert_eq!(write.site, "loop_body");
+    }
+
+    #[test]
+    fn variable_value_conversions() {
+        assert_eq!(VariableValue::Scalar(2.0).as_scalar(), Some(2.0));
+        assert_eq!(VariableValue::Vector(vec![3.0, 4.0]).as_scalar(), Some(3.0));
+        assert_eq!(VariableValue::Vector(vec![]).as_scalar(), None);
+        assert_eq!(VariableValue::Scalar(5.0).to_vector(), vec![5.0]);
+        assert_eq!(VariableValue::Scalar(5.0).to_string(), "5");
+        assert_eq!(VariableValue::Vector(vec![1.0]).to_string(), "[1.0]");
+    }
+}

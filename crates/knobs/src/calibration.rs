@@ -1,0 +1,445 @@
+//! Dynamic-knob calibration: measuring speedup and QoS loss per setting.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use powerdial_qos::{distortion, weighted_distortion, OutputAbstraction, QosError, QosLoss, QosLossBound};
+
+use crate::error::KnobError;
+use crate::parameter::{ParameterSetting, ParameterSpace};
+use crate::pareto::pareto_frontier;
+use crate::table::KnobTable;
+
+/// Compares a candidate output abstraction against the baseline abstraction
+/// and produces a QoS loss.
+///
+/// The default comparator is the paper's distortion metric
+/// ([`DistortionComparator`]); applications with structured outputs (such as
+/// the search engine, which uses F-measure over result lists) provide their
+/// own implementation.
+pub trait QosComparator {
+    /// A short name identifying the comparator in reports.
+    fn name(&self) -> &str {
+        "custom"
+    }
+
+    /// Computes the QoS loss of `candidate` relative to `baseline`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`QosError`] when the abstractions cannot be compared.
+    fn qos_loss(
+        &self,
+        baseline: &OutputAbstraction,
+        candidate: &OutputAbstraction,
+    ) -> Result<QosLoss, QosError>;
+}
+
+/// The paper's distortion metric (Equation 1), optionally weighted.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DistortionComparator {
+    weights: Option<Vec<f64>>,
+}
+
+impl DistortionComparator {
+    /// Unweighted distortion.
+    pub fn new() -> Self {
+        DistortionComparator { weights: None }
+    }
+
+    /// Distortion with per-component weights.
+    pub fn weighted(weights: Vec<f64>) -> Self {
+        DistortionComparator {
+            weights: Some(weights),
+        }
+    }
+}
+
+impl QosComparator for DistortionComparator {
+    fn name(&self) -> &str {
+        "distortion"
+    }
+
+    fn qos_loss(
+        &self,
+        baseline: &OutputAbstraction,
+        candidate: &OutputAbstraction,
+    ) -> Result<QosLoss, QosError> {
+        match &self.weights {
+            Some(weights) => weighted_distortion(baseline, candidate, weights),
+            None => distortion(baseline, candidate),
+        }
+    }
+}
+
+/// One calibration measurement: the work performed and the output produced by
+/// one run of the application under one setting on one training input.
+///
+/// `work` is the execution cost of the run in abstract work units (on a
+/// machine with constant speed it is proportional to execution time, which is
+/// what the paper measures).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Measurement {
+    /// Index of the parameter setting in the [`ParameterSpace`].
+    pub setting_index: usize,
+    /// Index of the training input.
+    pub input_index: usize,
+    /// Execution cost of the run, in abstract work units (must be positive).
+    pub work: f64,
+    /// The output abstraction produced by the run.
+    pub output: OutputAbstraction,
+}
+
+/// The calibrated behaviour of one knob setting: mean speedup and mean QoS
+/// loss relative to the baseline setting, averaged over training inputs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationPoint {
+    /// Index of the setting in the parameter space.
+    pub setting_index: usize,
+    /// The setting itself.
+    pub setting: ParameterSetting,
+    /// Mean speedup relative to the baseline setting (baseline work divided
+    /// by this setting's work). The baseline's speedup is exactly 1.
+    pub speedup: f64,
+    /// Mean QoS loss relative to the baseline setting.
+    pub qos_loss: QosLoss,
+}
+
+impl fmt::Display for CalibrationPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: speedup {:.3}, qos loss {}",
+            self.setting, self.speedup, self.qos_loss
+        )
+    }
+}
+
+/// The complete calibration result: one [`CalibrationPoint`] per measured
+/// setting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationTable {
+    points: Vec<CalibrationPoint>,
+    baseline_index: usize,
+}
+
+impl CalibrationTable {
+    /// All calibrated points, in setting-index order.
+    pub fn points(&self) -> &[CalibrationPoint] {
+        &self.points
+    }
+
+    /// The point for the baseline (default, highest-QoS) setting.
+    pub fn baseline(&self) -> &CalibrationPoint {
+        self.points
+            .iter()
+            .find(|p| p.setting_index == self.baseline_index)
+            .expect("baseline point is always present")
+    }
+
+    /// The point for a specific setting index, if it was measured.
+    pub fn point(&self, setting_index: usize) -> Option<&CalibrationPoint> {
+        self.points.iter().find(|p| p.setting_index == setting_index)
+    }
+
+    /// Number of calibrated points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns true when no point was calibrated.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The Pareto-optimal subset of points (maximal speedup for minimal QoS
+    /// loss).
+    pub fn pareto_points(&self) -> Vec<&CalibrationPoint> {
+        pareto_frontier(&self.points)
+    }
+
+    /// Builds the runtime knob table from the Pareto-optimal points whose QoS
+    /// loss is admitted by `bound`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KnobError::EmptyKnobTable`] if no point survives the bound.
+    pub fn knob_table(&self, bound: QosLossBound) -> Result<KnobTable, KnobError> {
+        KnobTable::from_points(
+            self.pareto_points().into_iter().cloned().collect(),
+            self.baseline_index,
+            bound,
+        )
+    }
+}
+
+/// Accumulates calibration measurements and produces a [`CalibrationTable`].
+///
+/// See the crate-level documentation for a complete example.
+pub struct Calibrator<'a> {
+    space: &'a ParameterSpace,
+    comparator: Box<dyn QosComparator>,
+    measurements: Vec<Measurement>,
+}
+
+impl fmt::Debug for Calibrator<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Calibrator")
+            .field("settings", &self.space.setting_count())
+            .field("comparator", &self.comparator.name())
+            .field("measurements", &self.measurements.len())
+            .finish()
+    }
+}
+
+impl<'a> Calibrator<'a> {
+    /// Creates a calibrator using the unweighted distortion metric.
+    pub fn new(space: &'a ParameterSpace) -> Self {
+        Calibrator {
+            space,
+            comparator: Box::new(DistortionComparator::new()),
+            measurements: Vec::new(),
+        }
+    }
+
+    /// Replaces the QoS comparator (for example with an F-measure comparator
+    /// for search workloads).
+    pub fn with_comparator(mut self, comparator: Box<dyn QosComparator>) -> Self {
+        self.comparator = comparator;
+        self
+    }
+
+    /// Records one measurement.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the setting index is out of range or the work is
+    /// not positive and finite.
+    pub fn record(&mut self, measurement: Measurement) -> Result<(), KnobError> {
+        if measurement.setting_index >= self.space.setting_count() {
+            return Err(KnobError::SettingOutOfRange {
+                setting_index: measurement.setting_index,
+                settings: self.space.setting_count(),
+            });
+        }
+        if !measurement.work.is_finite() || measurement.work <= 0.0 {
+            return Err(KnobError::InvalidWork {
+                work: measurement.work,
+            });
+        }
+        self.measurements.push(measurement);
+        Ok(())
+    }
+
+    /// Number of recorded measurements.
+    pub fn measurement_count(&self) -> usize {
+        self.measurements.len()
+    }
+
+    /// Produces the calibration table from the recorded measurements.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when no measurement was recorded, when an input lacks
+    /// a baseline measurement, or when a QoS comparison fails.
+    pub fn build(&self) -> Result<CalibrationTable, KnobError> {
+        if self.measurements.is_empty() {
+            return Err(KnobError::NoMeasurements);
+        }
+        let baseline_index = self.space.default_setting_index();
+
+        // Baseline measurement per input.
+        let mut baseline_by_input: BTreeMap<usize, &Measurement> = BTreeMap::new();
+        for measurement in &self.measurements {
+            if measurement.setting_index == baseline_index {
+                baseline_by_input.insert(measurement.input_index, measurement);
+            }
+        }
+
+        // Group the rest by setting.
+        let mut by_setting: BTreeMap<usize, Vec<&Measurement>> = BTreeMap::new();
+        for measurement in &self.measurements {
+            by_setting
+                .entry(measurement.setting_index)
+                .or_default()
+                .push(measurement);
+        }
+
+        let mut points = Vec::with_capacity(by_setting.len());
+        for (setting_index, measurements) in by_setting {
+            let mut speedups = Vec::with_capacity(measurements.len());
+            let mut losses = Vec::with_capacity(measurements.len());
+            for measurement in measurements {
+                let baseline = baseline_by_input
+                    .get(&measurement.input_index)
+                    .ok_or(KnobError::MissingBaselineMeasurement {
+                        input_index: measurement.input_index,
+                    })?;
+                speedups.push(baseline.work / measurement.work);
+                losses.push(
+                    self.comparator
+                        .qos_loss(&baseline.output, &measurement.output)?,
+                );
+            }
+            let speedup = speedups.iter().sum::<f64>() / speedups.len() as f64;
+            let qos_loss = QosLoss::mean(losses).expect("at least one measurement per setting");
+            points.push(CalibrationPoint {
+                setting_index,
+                setting: self
+                    .space
+                    .setting(setting_index)
+                    .expect("setting index validated on record"),
+                speedup,
+                qos_loss,
+            });
+        }
+
+        Ok(CalibrationTable {
+            points,
+            baseline_index,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parameter::ConfigParameter;
+
+    fn single_knob_space() -> ParameterSpace {
+        ParameterSpace::builder()
+            .parameter(ConfigParameter::new("sims", vec![100.0, 500.0, 1000.0], 1000.0).unwrap())
+            .build()
+            .unwrap()
+    }
+
+    fn record_synthetic(calibrator: &mut Calibrator<'_>, space: &ParameterSpace, inputs: usize) {
+        for input_index in 0..inputs {
+            for (setting_index, setting) in space.settings().enumerate() {
+                let sims = setting.value("sims").unwrap();
+                // Work proportional to the trial count; output drifts as the
+                // trial count shrinks.
+                calibrator
+                    .record(Measurement {
+                        setting_index,
+                        input_index,
+                        work: sims,
+                        output: OutputAbstraction::from_components([
+                            100.0 + (1000.0 - sims) * 0.01,
+                        ]),
+                    })
+                    .unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn calibration_computes_speedup_and_qos_loss() {
+        let space = single_knob_space();
+        let mut calibrator = Calibrator::new(&space);
+        record_synthetic(&mut calibrator, &space, 3);
+        assert_eq!(calibrator.measurement_count(), 9);
+        let table = calibrator.build().unwrap();
+        assert_eq!(table.len(), 3);
+
+        let baseline = table.baseline();
+        assert!((baseline.speedup - 1.0).abs() < 1e-12);
+        assert_eq!(baseline.qos_loss, QosLoss::ZERO);
+
+        let fastest = table.point(0).unwrap();
+        assert!((fastest.speedup - 10.0).abs() < 1e-12);
+        assert!(fastest.qos_loss.value() > 0.0);
+        assert!(fastest.to_string().contains("speedup"));
+    }
+
+    #[test]
+    fn pareto_points_dominate_the_rest() {
+        let space = single_knob_space();
+        let mut calibrator = Calibrator::new(&space);
+        record_synthetic(&mut calibrator, &space, 1);
+        let table = calibrator.build().unwrap();
+        let pareto = table.pareto_points();
+        // All three points are Pareto-optimal here (monotone trade-off).
+        assert_eq!(pareto.len(), 3);
+    }
+
+    #[test]
+    fn knob_table_respects_qos_bound() {
+        let space = single_knob_space();
+        let mut calibrator = Calibrator::new(&space);
+        record_synthetic(&mut calibrator, &space, 1);
+        let table = calibrator.build().unwrap();
+        // The fastest setting has loss (1000-100)*0.01/100 = 0.09 = 9%.
+        let tight = table.knob_table(QosLossBound::from_percent(5.0).unwrap()).unwrap();
+        assert!(tight.len() < 3);
+        let loose = table.knob_table(QosLossBound::UNBOUNDED).unwrap();
+        assert_eq!(loose.len(), 3);
+    }
+
+    #[test]
+    fn invalid_measurements_are_rejected() {
+        let space = single_knob_space();
+        let mut calibrator = Calibrator::new(&space);
+        assert!(matches!(
+            calibrator.record(Measurement {
+                setting_index: 99,
+                input_index: 0,
+                work: 1.0,
+                output: OutputAbstraction::from_components([1.0]),
+            }),
+            Err(KnobError::SettingOutOfRange { .. })
+        ));
+        assert!(matches!(
+            calibrator.record(Measurement {
+                setting_index: 0,
+                input_index: 0,
+                work: 0.0,
+                output: OutputAbstraction::from_components([1.0]),
+            }),
+            Err(KnobError::InvalidWork { .. })
+        ));
+        assert!(matches!(calibrator.build(), Err(KnobError::NoMeasurements)));
+    }
+
+    #[test]
+    fn missing_baseline_measurement_is_detected() {
+        let space = single_knob_space();
+        let mut calibrator = Calibrator::new(&space);
+        calibrator
+            .record(Measurement {
+                setting_index: 0,
+                input_index: 7,
+                work: 10.0,
+                output: OutputAbstraction::from_components([1.0]),
+            })
+            .unwrap();
+        assert!(matches!(
+            calibrator.build(),
+            Err(KnobError::MissingBaselineMeasurement { input_index: 7 })
+        ));
+    }
+
+    #[test]
+    fn weighted_comparator_changes_losses() {
+        let space = single_knob_space();
+        let mut unweighted = Calibrator::new(&space);
+        record_synthetic(&mut unweighted, &space, 1);
+        let base_loss = unweighted.build().unwrap().point(0).unwrap().qos_loss;
+
+        let mut weighted = Calibrator::new(&space)
+            .with_comparator(Box::new(DistortionComparator::weighted(vec![2.0])));
+        record_synthetic(&mut weighted, &space, 1);
+        let weighted_loss = weighted.build().unwrap().point(0).unwrap().qos_loss;
+        assert!((weighted_loss.value() - 2.0 * base_loss.value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn debug_output_mentions_comparator() {
+        let space = single_knob_space();
+        let calibrator = Calibrator::new(&space);
+        let text = format!("{calibrator:?}");
+        assert!(text.contains("distortion"));
+    }
+}

@@ -1,0 +1,173 @@
+//! Error type for dynamic-knob construction and calibration.
+
+use std::error::Error;
+use std::fmt;
+
+use powerdial_qos::QosError;
+
+/// Errors produced while defining parameter spaces, calibrating knobs, or
+/// building knob tables.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum KnobError {
+    /// A configuration parameter has an empty value range.
+    EmptyValueRange {
+        /// Name of the offending parameter.
+        parameter: String,
+    },
+    /// The parameter's default value is not one of its listed values.
+    DefaultNotInRange {
+        /// Name of the offending parameter.
+        parameter: String,
+        /// The default value that was not found in the range.
+        default: f64,
+    },
+    /// A parameter value is not finite.
+    NonFiniteValue {
+        /// Name of the offending parameter.
+        parameter: String,
+    },
+    /// The parameter space has no parameters.
+    EmptyParameterSpace,
+    /// Two parameters share the same name.
+    DuplicateParameter {
+        /// The duplicated name.
+        name: String,
+    },
+    /// A measurement referenced a setting index outside the parameter space.
+    SettingOutOfRange {
+        /// The offending setting index.
+        setting_index: usize,
+        /// Number of settings in the space.
+        settings: usize,
+    },
+    /// A measurement reported non-positive work; speedups would be undefined.
+    InvalidWork {
+        /// The offending work value.
+        work: f64,
+    },
+    /// Calibration cannot proceed because no measurement was recorded for the
+    /// baseline (default) setting on some input.
+    MissingBaselineMeasurement {
+        /// The input index lacking a baseline measurement.
+        input_index: usize,
+    },
+    /// No measurements were recorded at all.
+    NoMeasurements,
+    /// A QoS computation failed while calibrating.
+    Qos(QosError),
+    /// The knob table is empty after applying the QoS-loss bound.
+    EmptyKnobTable,
+    /// The requested control variable is not registered in the store.
+    UnknownControlVariable {
+        /// Name of the missing variable.
+        name: String,
+    },
+}
+
+impl fmt::Display for KnobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KnobError::EmptyValueRange { parameter } => {
+                write!(f, "parameter `{parameter}` has an empty value range")
+            }
+            KnobError::DefaultNotInRange { parameter, default } => write!(
+                f,
+                "default value {default} of parameter `{parameter}` is not in its value range"
+            ),
+            KnobError::NonFiniteValue { parameter } => {
+                write!(f, "parameter `{parameter}` contains a non-finite value")
+            }
+            KnobError::EmptyParameterSpace => write!(f, "parameter space contains no parameters"),
+            KnobError::DuplicateParameter { name } => {
+                write!(f, "parameter `{name}` is defined more than once")
+            }
+            KnobError::SettingOutOfRange {
+                setting_index,
+                settings,
+            } => write!(
+                f,
+                "setting index {setting_index} is out of range for a space with {settings} settings"
+            ),
+            KnobError::InvalidWork { work } => {
+                write!(f, "measurement work must be positive, got {work}")
+            }
+            KnobError::MissingBaselineMeasurement { input_index } => write!(
+                f,
+                "no baseline (default setting) measurement recorded for input {input_index}"
+            ),
+            KnobError::NoMeasurements => write!(f, "no calibration measurements recorded"),
+            KnobError::Qos(e) => write!(f, "qos computation failed: {e}"),
+            KnobError::EmptyKnobTable => {
+                write!(f, "no knob settings remain after applying the qos-loss bound")
+            }
+            KnobError::UnknownControlVariable { name } => {
+                write!(f, "control variable `{name}` is not registered")
+            }
+        }
+    }
+}
+
+impl Error for KnobError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            KnobError::Qos(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<QosError> for KnobError {
+    fn from(e: QosError) -> Self {
+        KnobError::Qos(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let errors: Vec<KnobError> = vec![
+            KnobError::EmptyValueRange {
+                parameter: "sims".into(),
+            },
+            KnobError::DefaultNotInRange {
+                parameter: "sims".into(),
+                default: 7.0,
+            },
+            KnobError::NonFiniteValue {
+                parameter: "sims".into(),
+            },
+            KnobError::EmptyParameterSpace,
+            KnobError::DuplicateParameter { name: "ref".into() },
+            KnobError::SettingOutOfRange {
+                setting_index: 9,
+                settings: 3,
+            },
+            KnobError::InvalidWork { work: -1.0 },
+            KnobError::MissingBaselineMeasurement { input_index: 2 },
+            KnobError::NoMeasurements,
+            KnobError::Qos(QosError::EmptyAbstraction),
+            KnobError::EmptyKnobTable,
+            KnobError::UnknownControlVariable { name: "x".into() },
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn qos_errors_convert_and_chain() {
+        let err: KnobError = QosError::EmptyAbstraction.into();
+        assert!(matches!(err, KnobError::Qos(_)));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<KnobError>();
+    }
+}

@@ -1,0 +1,69 @@
+//! Dynamic knobs: configuration parameters, calibration, and Pareto-optimal
+//! knob tables.
+//!
+//! A *dynamic knob* is a configuration parameter whose backing control
+//! variables can be changed while the application runs. This crate provides
+//! the data model PowerDial builds around them:
+//!
+//! * [`ConfigParameter`] and [`ParameterSpace`] — the user-identified
+//!   parameters, their value ranges, and the cartesian product of settings
+//!   explored during calibration;
+//! * [`ControlVariableStore`] — the runtime store of control-variable values
+//!   the actuator writes and the application reads each main-loop iteration;
+//! * [`Calibrator`] and [`CalibrationTable`] — speedup and QoS-loss
+//!   measurement for every setting relative to the highest-QoS (default)
+//!   setting, averaged over training inputs (Section 2.2);
+//! * [`pareto_frontier`] — the Pareto-optimal subset of calibrated settings;
+//! * [`KnobTable`] — the calibrated, Pareto-filtered table the PowerDial
+//!   actuator consults to translate a required speedup into a knob setting.
+//!
+//! # Example
+//!
+//! ```
+//! use powerdial_knobs::{Calibrator, ConfigParameter, Measurement, ParameterSpace};
+//! use powerdial_qos::OutputAbstraction;
+//!
+//! # fn main() -> Result<(), powerdial_knobs::KnobError> {
+//! // One parameter controlling a Monte Carlo trial count.
+//! let space = ParameterSpace::builder()
+//!     .parameter(ConfigParameter::new("sims", vec![100.0, 1000.0], 1000.0)?)
+//!     .build()?;
+//!
+//! // Pretend measurements: fewer simulations run 10x faster but perturb the
+//! // output slightly.
+//! let mut calibrator = Calibrator::new(&space);
+//! for (setting_index, setting) in space.settings().enumerate() {
+//!     let sims = setting.value("sims").unwrap();
+//!     calibrator.record(Measurement {
+//!         setting_index,
+//!         input_index: 0,
+//!         work: sims,
+//!         output: OutputAbstraction::from_components([1.0 + 0.001 * (1000.0 - sims)]),
+//!     })?;
+//! }
+//! let table = calibrator.build()?;
+//! assert_eq!(table.len(), 2);
+//! assert!(table.point(0).unwrap().speedup > 5.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod calibration;
+mod error;
+mod parameter;
+mod pareto;
+mod store;
+mod table;
+
+pub use calibration::{
+    CalibrationPoint, CalibrationTable, Calibrator, DistortionComparator, Measurement,
+    QosComparator,
+};
+pub use error::KnobError;
+pub use parameter::{ConfigParameter, ParameterSetting, ParameterSpace, ParameterSpaceBuilder, SettingIter};
+pub use pareto::pareto_frontier;
+pub use store::ControlVariableStore;
+pub use table::KnobTable;

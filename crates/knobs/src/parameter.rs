@@ -1,0 +1,446 @@
+//! Configuration parameters and the cartesian space of their settings.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::KnobError;
+
+/// A user-identified configuration parameter and the range of values to
+/// explore for it.
+///
+/// Values are represented as `f64` regardless of the parameter's native type
+/// (all knobs in the paper's benchmarks are integers; the x264 `subme` knob,
+/// for example, ranges over 1–7).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfigParameter {
+    name: String,
+    values: Vec<f64>,
+    default: f64,
+}
+
+impl ConfigParameter {
+    /// Creates a parameter with an explicit list of values and a default
+    /// (highest-QoS) value.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the value list is empty, contains a non-finite
+    /// value, or does not contain the default.
+    pub fn new(name: impl Into<String>, values: Vec<f64>, default: f64) -> Result<Self, KnobError> {
+        let name = name.into();
+        if values.is_empty() {
+            return Err(KnobError::EmptyValueRange { parameter: name });
+        }
+        if values.iter().any(|v| !v.is_finite()) || !default.is_finite() {
+            return Err(KnobError::NonFiniteValue { parameter: name });
+        }
+        if !values.iter().any(|v| v == &default) {
+            return Err(KnobError::DefaultNotInRange {
+                parameter: name,
+                default,
+            });
+        }
+        Ok(ConfigParameter {
+            name,
+            values,
+            default,
+        })
+    }
+
+    /// Creates an integer-stepped parameter covering `start..=end` in steps
+    /// of `step`, with the default equal to `end` (the paper's knobs default
+    /// to their highest-quality value).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the resulting range is empty or invalid.
+    pub fn stepped(
+        name: impl Into<String>,
+        start: u64,
+        end: u64,
+        step: u64,
+    ) -> Result<Self, KnobError> {
+        let name = name.into();
+        if step == 0 || start > end {
+            return Err(KnobError::EmptyValueRange { parameter: name });
+        }
+        let mut values: Vec<f64> = (start..=end).step_by(step as usize).map(|v| v as f64).collect();
+        let default = end as f64;
+        if values.last() != Some(&default) {
+            values.push(default);
+        }
+        ConfigParameter::new(name, values, default)
+    }
+
+    /// The parameter's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The values explored for this parameter.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The default (highest-QoS) value.
+    pub fn default_value(&self) -> f64 {
+        self.default
+    }
+
+    /// Index of the default value within [`ConfigParameter::values`].
+    pub fn default_index(&self) -> usize {
+        self.values
+            .iter()
+            .position(|v| v == &self.default)
+            .expect("default is validated to be in the value range")
+    }
+}
+
+impl fmt::Display for ConfigParameter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} values, default {})",
+            self.name,
+            self.values.len(),
+            self.default
+        )
+    }
+}
+
+/// One concrete assignment of a value to every parameter in a
+/// [`ParameterSpace`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParameterSetting {
+    names: Vec<String>,
+    values: Vec<f64>,
+}
+
+impl ParameterSetting {
+    /// The value assigned to the named parameter, if present.
+    pub fn value(&self, name: &str) -> Option<f64> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| self.values[i])
+    }
+
+    /// The assigned values in parameter-declaration order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Iterates over `(name, value)` pairs in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> + '_ {
+        self.names
+            .iter()
+            .map(String::as_str)
+            .zip(self.values.iter().copied())
+    }
+
+    /// Number of parameters in the setting.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns true when the setting assigns no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+impl fmt::Display for ParameterSetting {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (name, value)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{name}={value}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// The cartesian product of the explored values of every parameter.
+///
+/// Setting index 0 assigns every parameter its first listed value; the
+/// ordering is row-major with the **last** parameter varying fastest, so the
+/// index of a setting is stable under appending parameters' values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParameterSpace {
+    parameters: Vec<ConfigParameter>,
+}
+
+impl ParameterSpace {
+    /// Starts building a parameter space.
+    pub fn builder() -> ParameterSpaceBuilder {
+        ParameterSpaceBuilder::default()
+    }
+
+    /// The parameters, in declaration order.
+    pub fn parameters(&self) -> &[ConfigParameter] {
+        &self.parameters
+    }
+
+    /// Number of parameters.
+    pub fn parameter_count(&self) -> usize {
+        self.parameters.len()
+    }
+
+    /// Total number of settings (the product of the per-parameter value
+    /// counts).
+    pub fn setting_count(&self) -> usize {
+        self.parameters.iter().map(|p| p.values().len()).product()
+    }
+
+    /// The setting at `index`, if it is in range.
+    pub fn setting(&self, index: usize) -> Option<ParameterSetting> {
+        if index >= self.setting_count() {
+            return None;
+        }
+        let mut remainder = index;
+        let mut values = vec![0.0; self.parameters.len()];
+        for (slot, parameter) in self.parameters.iter().enumerate().rev() {
+            let count = parameter.values().len();
+            values[slot] = parameter.values()[remainder % count];
+            remainder /= count;
+        }
+        Some(ParameterSetting {
+            names: self.parameters.iter().map(|p| p.name().to_string()).collect(),
+            values,
+        })
+    }
+
+    /// Index of the default setting (every parameter at its default value).
+    pub fn default_setting_index(&self) -> usize {
+        let mut index = 0usize;
+        for parameter in &self.parameters {
+            index = index * parameter.values().len() + parameter.default_index();
+        }
+        index
+    }
+
+    /// The default setting itself.
+    pub fn default_setting(&self) -> ParameterSetting {
+        self.setting(self.default_setting_index())
+            .expect("default setting index is always in range")
+    }
+
+    /// Iterates over every setting in index order.
+    pub fn settings(&self) -> SettingIter<'_> {
+        SettingIter {
+            space: self,
+            next: 0,
+        }
+    }
+}
+
+/// Iterator over the settings of a [`ParameterSpace`].
+#[derive(Debug, Clone)]
+pub struct SettingIter<'a> {
+    space: &'a ParameterSpace,
+    next: usize,
+}
+
+impl Iterator for SettingIter<'_> {
+    type Item = ParameterSetting;
+
+    fn next(&mut self) -> Option<ParameterSetting> {
+        let setting = self.space.setting(self.next)?;
+        self.next += 1;
+        Some(setting)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.space.setting_count().saturating_sub(self.next);
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for SettingIter<'_> {}
+
+/// Builder for [`ParameterSpace`].
+#[derive(Debug, Clone, Default)]
+pub struct ParameterSpaceBuilder {
+    parameters: Vec<ConfigParameter>,
+}
+
+impl ParameterSpaceBuilder {
+    /// Adds a parameter to the space.
+    pub fn parameter(mut self, parameter: ConfigParameter) -> Self {
+        self.parameters.push(parameter);
+        self
+    }
+
+    /// Finishes the space.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when no parameters were added or two parameters share
+    /// a name.
+    pub fn build(self) -> Result<ParameterSpace, KnobError> {
+        if self.parameters.is_empty() {
+            return Err(KnobError::EmptyParameterSpace);
+        }
+        for (i, a) in self.parameters.iter().enumerate() {
+            for b in &self.parameters[i + 1..] {
+                if a.name() == b.name() {
+                    return Err(KnobError::DuplicateParameter {
+                        name: a.name().to_string(),
+                    });
+                }
+            }
+        }
+        Ok(ParameterSpace {
+            parameters: self.parameters,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x264_like_space() -> ParameterSpace {
+        ParameterSpace::builder()
+            .parameter(ConfigParameter::stepped("subme", 1, 7, 1).unwrap())
+            .parameter(ConfigParameter::stepped("merange", 1, 16, 5).unwrap())
+            .parameter(ConfigParameter::stepped("ref", 1, 5, 1).unwrap())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(matches!(
+            ConfigParameter::new("p", vec![], 1.0),
+            Err(KnobError::EmptyValueRange { .. })
+        ));
+        assert!(matches!(
+            ConfigParameter::new("p", vec![1.0, 2.0], 3.0),
+            Err(KnobError::DefaultNotInRange { .. })
+        ));
+        assert!(matches!(
+            ConfigParameter::new("p", vec![1.0, f64::NAN], 1.0),
+            Err(KnobError::NonFiniteValue { .. })
+        ));
+        let p = ConfigParameter::new("p", vec![1.0, 2.0, 3.0], 3.0).unwrap();
+        assert_eq!(p.default_index(), 2);
+        assert_eq!(p.name(), "p");
+        assert!(p.to_string().contains("3 values"));
+    }
+
+    #[test]
+    fn stepped_parameter_includes_endpoint_default() {
+        let p = ConfigParameter::stepped("merange", 1, 16, 5).unwrap();
+        assert_eq!(p.values(), &[1.0, 6.0, 11.0, 16.0]);
+        assert_eq!(p.default_value(), 16.0);
+        assert!(ConfigParameter::stepped("bad", 5, 1, 1).is_err());
+        assert!(ConfigParameter::stepped("bad", 1, 5, 0).is_err());
+    }
+
+    #[test]
+    fn setting_count_is_product_of_ranges() {
+        let space = x264_like_space();
+        assert_eq!(space.parameter_count(), 3);
+        assert_eq!(space.setting_count(), 7 * 4 * 5);
+        assert_eq!(space.settings().len(), 140);
+    }
+
+    #[test]
+    fn settings_enumerate_cartesian_product() {
+        let space = ParameterSpace::builder()
+            .parameter(ConfigParameter::new("a", vec![1.0, 2.0], 2.0).unwrap())
+            .parameter(ConfigParameter::new("b", vec![10.0, 20.0, 30.0], 30.0).unwrap())
+            .build()
+            .unwrap();
+        let all: Vec<Vec<f64>> = space.settings().map(|s| s.values().to_vec()).collect();
+        assert_eq!(
+            all,
+            vec![
+                vec![1.0, 10.0],
+                vec![1.0, 20.0],
+                vec![1.0, 30.0],
+                vec![2.0, 10.0],
+                vec![2.0, 20.0],
+                vec![2.0, 30.0],
+            ]
+        );
+        assert!(space.setting(6).is_none());
+    }
+
+    #[test]
+    fn default_setting_assigns_every_default() {
+        let space = x264_like_space();
+        let default = space.default_setting();
+        assert_eq!(default.value("subme"), Some(7.0));
+        assert_eq!(default.value("merange"), Some(16.0));
+        assert_eq!(default.value("ref"), Some(5.0));
+        assert_eq!(
+            space.setting(space.default_setting_index()).unwrap(),
+            default
+        );
+    }
+
+    #[test]
+    fn setting_lookup_by_name() {
+        let space = x264_like_space();
+        let setting = space.setting(0).unwrap();
+        assert_eq!(setting.value("subme"), Some(1.0));
+        assert_eq!(setting.value("missing"), None);
+        assert_eq!(setting.len(), 3);
+        assert!(!setting.is_empty());
+        assert!(setting.to_string().starts_with('{'));
+    }
+
+    #[test]
+    fn builder_rejects_empty_and_duplicate_spaces() {
+        assert!(matches!(
+            ParameterSpace::builder().build(),
+            Err(KnobError::EmptyParameterSpace)
+        ));
+        let dup = ParameterSpace::builder()
+            .parameter(ConfigParameter::new("x", vec![1.0], 1.0).unwrap())
+            .parameter(ConfigParameter::new("x", vec![2.0], 2.0).unwrap())
+            .build();
+        assert!(matches!(dup, Err(KnobError::DuplicateParameter { .. })));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Every index in range maps to a unique setting and the default
+        /// setting index round-trips.
+        #[test]
+        fn settings_are_unique_and_complete(
+            counts in proptest::collection::vec(1usize..5, 1..4),
+        ) {
+            let mut builder = ParameterSpace::builder();
+            for (i, count) in counts.iter().enumerate() {
+                let values: Vec<f64> = (0..*count).map(|v| v as f64).collect();
+                let default = values[*count - 1];
+                builder = builder.parameter(
+                    ConfigParameter::new(format!("p{i}"), values, default).unwrap(),
+                );
+            }
+            let space = builder.build().unwrap();
+            let total = space.setting_count();
+            let mut seen = std::collections::HashSet::new();
+            for setting in space.settings() {
+                let key: Vec<u64> = setting.values().iter().map(|v| v.to_bits()).collect();
+                prop_assert!(seen.insert(key));
+            }
+            prop_assert_eq!(seen.len(), total);
+            let default = space.default_setting();
+            for (i, parameter) in space.parameters().iter().enumerate() {
+                prop_assert_eq!(default.values()[i], parameter.default_value());
+            }
+        }
+    }
+}

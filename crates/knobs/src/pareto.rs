@@ -1,0 +1,180 @@
+//! Pareto-frontier computation over calibrated knob settings.
+
+use crate::calibration::CalibrationPoint;
+
+/// Returns the Pareto-optimal subset of calibration points.
+///
+/// A point is Pareto-optimal when no other point has both a speedup at least
+/// as large and a QoS loss at least as small, with at least one of the two
+/// strictly better. Ties (identical speedup and loss) keep the first point in
+/// input order, matching the calibrator's deterministic setting order.
+///
+/// The returned references are sorted by increasing speedup (and therefore,
+/// along the frontier, by increasing QoS loss).
+///
+/// # Example
+///
+/// ```
+/// use powerdial_knobs::{pareto_frontier, CalibrationPoint, ConfigParameter, ParameterSpace};
+/// use powerdial_qos::QosLoss;
+///
+/// # fn main() -> Result<(), powerdial_knobs::KnobError> {
+/// let space = ParameterSpace::builder()
+///     .parameter(ConfigParameter::new("k", vec![1.0, 2.0, 3.0], 3.0)?)
+///     .build()?;
+/// let points: Vec<CalibrationPoint> = vec![
+///     CalibrationPoint { setting_index: 0, setting: space.setting(0).unwrap(), speedup: 2.0, qos_loss: QosLoss::new(0.10) },
+///     CalibrationPoint { setting_index: 1, setting: space.setting(1).unwrap(), speedup: 1.5, qos_loss: QosLoss::new(0.20) },
+///     CalibrationPoint { setting_index: 2, setting: space.setting(2).unwrap(), speedup: 1.0, qos_loss: QosLoss::ZERO },
+/// ];
+/// let frontier = pareto_frontier(&points);
+/// // The middle point is dominated (slower *and* less accurate than point 0).
+/// assert_eq!(frontier.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn pareto_frontier(points: &[CalibrationPoint]) -> Vec<&CalibrationPoint> {
+    let mut frontier: Vec<&CalibrationPoint> = Vec::new();
+    for (i, candidate) in points.iter().enumerate() {
+        let dominated = points.iter().enumerate().any(|(j, other)| {
+            if i == j {
+                return false;
+            }
+            let as_fast = other.speedup >= candidate.speedup;
+            let as_accurate = other.qos_loss.value() <= candidate.qos_loss.value();
+            let strictly_better = other.speedup > candidate.speedup
+                || other.qos_loss.value() < candidate.qos_loss.value();
+            let tie = other.speedup == candidate.speedup
+                && other.qos_loss.value() == candidate.qos_loss.value();
+            (as_fast && as_accurate && strictly_better) || (tie && j < i)
+        });
+        if !dominated {
+            frontier.push(candidate);
+        }
+    }
+    frontier.sort_by(|a, b| {
+        a.speedup
+            .partial_cmp(&b.speedup)
+            .expect("speedups are finite")
+    });
+    frontier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parameter::{ConfigParameter, ParameterSpace};
+    use powerdial_qos::QosLoss;
+
+    fn points_from(specs: &[(f64, f64)]) -> Vec<CalibrationPoint> {
+        let values: Vec<f64> = (0..specs.len()).map(|i| i as f64).collect();
+        let default = values[specs.len() - 1];
+        let space = ParameterSpace::builder()
+            .parameter(ConfigParameter::new("k", values, default).unwrap())
+            .build()
+            .unwrap();
+        specs
+            .iter()
+            .enumerate()
+            .map(|(i, (speedup, loss))| CalibrationPoint {
+                setting_index: i,
+                setting: space.setting(i).unwrap(),
+                speedup: *speedup,
+                qos_loss: QosLoss::new(*loss),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dominated_points_are_removed() {
+        let points = points_from(&[(1.0, 0.0), (2.0, 0.05), (1.5, 0.10), (3.0, 0.2)]);
+        let frontier = pareto_frontier(&points);
+        let speedups: Vec<f64> = frontier.iter().map(|p| p.speedup).collect();
+        assert_eq!(speedups, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn frontier_is_sorted_by_speedup() {
+        let points = points_from(&[(3.0, 0.3), (1.0, 0.0), (2.0, 0.1)]);
+        let frontier = pareto_frontier(&points);
+        let speedups: Vec<f64> = frontier.iter().map(|p| p.speedup).collect();
+        assert_eq!(speedups, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn duplicate_points_keep_one_representative() {
+        let points = points_from(&[(2.0, 0.1), (2.0, 0.1), (1.0, 0.0)]);
+        let frontier = pareto_frontier(&points);
+        assert_eq!(frontier.len(), 2);
+        assert_eq!(frontier[1].setting_index, 0);
+    }
+
+    #[test]
+    fn single_point_is_its_own_frontier() {
+        let points = points_from(&[(1.0, 0.0)]);
+        assert_eq!(pareto_frontier(&points).len(), 1);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_frontier() {
+        assert!(pareto_frontier(&[]).is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::parameter::{ConfigParameter, ParameterSpace};
+    use powerdial_qos::QosLoss;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// No frontier point is dominated by any input point, and every
+        /// non-frontier point is dominated by some frontier point.
+        #[test]
+        fn frontier_is_correct(
+            specs in proptest::collection::vec((0.5f64..100.0, 0.0f64..0.5), 1..30),
+        ) {
+            let values: Vec<f64> = (0..specs.len()).map(|i| i as f64).collect();
+            let default = values[specs.len() - 1];
+            let space = ParameterSpace::builder()
+                .parameter(ConfigParameter::new("k", values, default).unwrap())
+                .build()
+                .unwrap();
+            let points: Vec<CalibrationPoint> = specs
+                .iter()
+                .enumerate()
+                .map(|(i, (speedup, loss))| CalibrationPoint {
+                    setting_index: i,
+                    setting: space.setting(i).unwrap(),
+                    speedup: *speedup,
+                    qos_loss: QosLoss::new(*loss),
+                })
+                .collect();
+            let frontier = pareto_frontier(&points);
+            prop_assert!(!frontier.is_empty());
+
+            let dominates = |a: &CalibrationPoint, b: &CalibrationPoint| {
+                a.speedup >= b.speedup
+                    && a.qos_loss.value() <= b.qos_loss.value()
+                    && (a.speedup > b.speedup || a.qos_loss.value() < b.qos_loss.value())
+            };
+
+            for f in &frontier {
+                for p in &points {
+                    prop_assert!(!dominates(p, f));
+                }
+            }
+            for p in &points {
+                let on_frontier = frontier.iter().any(|f| f.setting_index == p.setting_index);
+                if !on_frontier {
+                    let covered = frontier.iter().any(|f| {
+                        dominates(f, p)
+                            || (f.speedup == p.speedup && f.qos_loss.value() == p.qos_loss.value())
+                    });
+                    prop_assert!(covered);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! The runtime store of control-variable values.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::KnobError;
+use crate::parameter::ParameterSetting;
+
+/// The runtime store holding the current value of every control variable.
+///
+/// In the paper the control variables live in the address space of the
+/// running application; the PowerDial control system registers their
+/// addresses and pokes new values into them when it changes knob settings.
+/// Here the store plays the role of that shared memory: the actuator calls
+/// [`ControlVariableStore::apply_setting`], and the application reads the
+/// values at the top of each main-loop iteration.
+///
+/// # Example
+///
+/// ```
+/// use powerdial_knobs::ControlVariableStore;
+///
+/// # fn main() -> Result<(), powerdial_knobs::KnobError> {
+/// let mut store = ControlVariableStore::new();
+/// store.register("num_simulations", 1_000_000.0);
+/// store.set("num_simulations", 10_000.0)?;
+/// assert_eq!(store.get("num_simulations")?, 10_000.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ControlVariableStore {
+    values: BTreeMap<String, f64>,
+    generation: u64,
+}
+
+impl ControlVariableStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        ControlVariableStore::default()
+    }
+
+    /// Registers a control variable with its initial (baseline) value.
+    /// Re-registering a variable overwrites its value.
+    pub fn register(&mut self, name: impl Into<String>, initial_value: f64) {
+        self.values.insert(name.into(), initial_value);
+        self.generation += 1;
+    }
+
+    /// Sets the value of a registered variable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KnobError::UnknownControlVariable`] when the variable is not
+    /// registered.
+    pub fn set(&mut self, name: &str, value: f64) -> Result<(), KnobError> {
+        match self.values.get_mut(name) {
+            Some(slot) => {
+                *slot = value;
+                self.generation += 1;
+                Ok(())
+            }
+            None => Err(KnobError::UnknownControlVariable {
+                name: name.to_string(),
+            }),
+        }
+    }
+
+    /// Reads the value of a registered variable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KnobError::UnknownControlVariable`] when the variable is not
+    /// registered.
+    pub fn get(&self, name: &str) -> Result<f64, KnobError> {
+        self.values
+            .get(name)
+            .copied()
+            .ok_or_else(|| KnobError::UnknownControlVariable {
+                name: name.to_string(),
+            })
+    }
+
+    /// Applies a parameter setting: each `(parameter, value)` pair is written
+    /// to the control variable registered under the parameter's name.
+    /// Parameters without a registered variable are registered on the fly, so
+    /// a store can be bootstrapped directly from a setting.
+    pub fn apply_setting(&mut self, setting: &ParameterSetting) {
+        for (name, value) in setting.iter() {
+            self.values.insert(name.to_string(), value);
+        }
+        self.generation += 1;
+    }
+
+    /// Returns true when the named variable is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.values.contains_key(name)
+    }
+
+    /// Number of registered variables.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns true when no variable is registered.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// A monotone counter incremented on every mutation; applications can use
+    /// it to detect that the knobs changed since the last iteration.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// A snapshot of every variable and its current value.
+    pub fn snapshot(&self) -> BTreeMap<String, f64> {
+        self.values.clone()
+    }
+
+    /// Iterates over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> + '_ {
+        self.values.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+}
+
+impl fmt::Display for ControlVariableStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (name, value)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{name}={value}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parameter::{ConfigParameter, ParameterSpace};
+
+    #[test]
+    fn register_set_get_round_trip() {
+        let mut store = ControlVariableStore::new();
+        assert!(store.is_empty());
+        store.register("particles", 4000.0);
+        assert!(store.contains("particles"));
+        assert_eq!(store.get("particles").unwrap(), 4000.0);
+        store.set("particles", 100.0).unwrap();
+        assert_eq!(store.get("particles").unwrap(), 100.0);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn unknown_variables_error() {
+        let mut store = ControlVariableStore::new();
+        assert!(matches!(
+            store.get("nope"),
+            Err(KnobError::UnknownControlVariable { .. })
+        ));
+        assert!(matches!(
+            store.set("nope", 1.0),
+            Err(KnobError::UnknownControlVariable { .. })
+        ));
+    }
+
+    #[test]
+    fn apply_setting_writes_every_parameter() {
+        let space = ParameterSpace::builder()
+            .parameter(ConfigParameter::new("layers", vec![1.0, 5.0], 5.0).unwrap())
+            .parameter(ConfigParameter::new("particles", vec![100.0, 4000.0], 4000.0).unwrap())
+            .build()
+            .unwrap();
+        let mut store = ControlVariableStore::new();
+        store.apply_setting(&space.default_setting());
+        assert_eq!(store.get("layers").unwrap(), 5.0);
+        assert_eq!(store.get("particles").unwrap(), 4000.0);
+        store.apply_setting(&space.setting(0).unwrap());
+        assert_eq!(store.get("layers").unwrap(), 1.0);
+        assert_eq!(store.get("particles").unwrap(), 100.0);
+    }
+
+    #[test]
+    fn generation_counts_mutations() {
+        let mut store = ControlVariableStore::new();
+        let g0 = store.generation();
+        store.register("x", 1.0);
+        store.set("x", 2.0).unwrap();
+        assert_eq!(store.generation(), g0 + 2);
+    }
+
+    #[test]
+    fn snapshot_and_display() {
+        let mut store = ControlVariableStore::new();
+        store.register("b", 2.0);
+        store.register("a", 1.0);
+        let snap = store.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(store.to_string(), "{a=1, b=2}");
+    }
+}

@@ -1,0 +1,210 @@
+//! The runtime knob table consulted by the PowerDial actuator.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use powerdial_qos::QosLossBound;
+
+use crate::calibration::CalibrationPoint;
+use crate::error::KnobError;
+use crate::parameter::ParameterSetting;
+
+/// A calibrated, Pareto-filtered table of knob settings ordered by speedup.
+///
+/// The actuator uses the table to answer two questions at runtime: *what is
+/// the maximum speedup the knobs can deliver* ([`KnobTable::max_speedup`])
+/// and *what is the cheapest setting that delivers at least speedup `s`*
+/// ([`KnobTable::setting_for_speedup`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KnobTable {
+    /// Points sorted by increasing speedup.
+    points: Vec<CalibrationPoint>,
+    baseline_index: usize,
+}
+
+impl KnobTable {
+    /// Builds a table from calibration points, keeping only those admitted by
+    /// the QoS-loss bound. The baseline point is always retained.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KnobError::EmptyKnobTable`] when no point survives.
+    pub fn from_points(
+        points: Vec<CalibrationPoint>,
+        baseline_index: usize,
+        bound: QosLossBound,
+    ) -> Result<Self, KnobError> {
+        let mut kept: Vec<CalibrationPoint> = points
+            .into_iter()
+            .filter(|p| p.setting_index == baseline_index || bound.admits(p.qos_loss))
+            .collect();
+        if kept.is_empty() {
+            return Err(KnobError::EmptyKnobTable);
+        }
+        kept.sort_by(|a, b| a.speedup.partial_cmp(&b.speedup).expect("finite speedups"));
+        Ok(KnobTable {
+            points: kept,
+            baseline_index,
+        })
+    }
+
+    /// The retained points, sorted by increasing speedup.
+    pub fn points(&self) -> &[CalibrationPoint] {
+        &self.points
+    }
+
+    /// Number of retained points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns true when the table has no points (never true for a table
+    /// built through [`KnobTable::from_points`]).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The baseline (default, highest-QoS) point.
+    pub fn baseline(&self) -> &CalibrationPoint {
+        self.points
+            .iter()
+            .find(|p| p.setting_index == self.baseline_index)
+            .unwrap_or_else(|| &self.points[0])
+    }
+
+    /// The baseline parameter setting.
+    pub fn baseline_setting(&self) -> &ParameterSetting {
+        &self.baseline().setting
+    }
+
+    /// The largest speedup any retained setting delivers.
+    pub fn max_speedup(&self) -> f64 {
+        self.points
+            .last()
+            .map(|p| p.speedup)
+            .expect("table is never empty")
+    }
+
+    /// The point with the largest speedup.
+    pub fn fastest(&self) -> &CalibrationPoint {
+        self.points.last().expect("table is never empty")
+    }
+
+    /// The cheapest (lowest-QoS-loss) setting whose speedup is at least
+    /// `required`. Returns `None` when even the fastest setting falls short.
+    ///
+    /// Because the table holds Pareto-optimal points sorted by speedup, the
+    /// first point meeting the requirement also has the smallest QoS loss
+    /// among those that meet it — this is the `s_min` of the paper's
+    /// actuation policy (Section 2.3.3).
+    pub fn setting_for_speedup(&self, required: f64) -> Option<&CalibrationPoint> {
+        self.points.iter().find(|p| p.speedup >= required)
+    }
+
+    /// Iterates over the retained points.
+    pub fn iter(&self) -> impl Iterator<Item = &CalibrationPoint> {
+        self.points.iter()
+    }
+}
+
+impl fmt::Display for KnobTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "knob table ({} settings)", self.points.len())?;
+        for point in &self.points {
+            writeln!(f, "  {point}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parameter::{ConfigParameter, ParameterSpace};
+    use powerdial_qos::QosLoss;
+
+    fn table_from(specs: &[(f64, f64)], baseline_index: usize, bound: QosLossBound) -> Result<KnobTable, KnobError> {
+        let values: Vec<f64> = (0..specs.len()).map(|i| i as f64).collect();
+        let default = values[baseline_index];
+        let space = ParameterSpace::builder()
+            .parameter(ConfigParameter::new("k", values, default).unwrap())
+            .build()
+            .unwrap();
+        let points: Vec<CalibrationPoint> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, (speedup, loss))| CalibrationPoint {
+                setting_index: i,
+                setting: space.setting(i).unwrap(),
+                speedup: *speedup,
+                qos_loss: QosLoss::new(*loss),
+            })
+            .collect();
+        KnobTable::from_points(points, baseline_index, bound)
+    }
+
+    #[test]
+    fn points_are_sorted_by_speedup() {
+        let table = table_from(
+            &[(3.0, 0.3), (1.0, 0.0), (2.0, 0.1)],
+            1,
+            QosLossBound::UNBOUNDED,
+        )
+        .unwrap();
+        let speedups: Vec<f64> = table.iter().map(|p| p.speedup).collect();
+        assert_eq!(speedups, vec![1.0, 2.0, 3.0]);
+        assert_eq!(table.max_speedup(), 3.0);
+        assert_eq!(table.fastest().speedup, 3.0);
+        assert_eq!(table.baseline().speedup, 1.0);
+        assert_eq!(table.baseline_setting().values(), &[1.0]);
+        assert!(!table.is_empty());
+        assert!(table.to_string().contains("3 settings"));
+    }
+
+    #[test]
+    fn qos_bound_filters_points_but_keeps_baseline() {
+        let table = table_from(
+            &[(4.0, 0.5), (1.0, 0.0), (2.0, 0.04)],
+            1,
+            QosLossBound::from_percent(5.0).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(table.len(), 2);
+        assert!(table.point_exists(1));
+        assert!(table.point_exists(2));
+        assert!(!table.point_exists(0));
+    }
+
+    #[test]
+    fn setting_for_speedup_picks_minimal_sufficient_point() {
+        let table = table_from(
+            &[(1.0, 0.0), (2.0, 0.1), (4.0, 0.2)],
+            0,
+            QosLossBound::UNBOUNDED,
+        )
+        .unwrap();
+        assert_eq!(table.setting_for_speedup(1.5).unwrap().speedup, 2.0);
+        assert_eq!(table.setting_for_speedup(2.0).unwrap().speedup, 2.0);
+        assert_eq!(table.setting_for_speedup(3.0).unwrap().speedup, 4.0);
+        assert!(table.setting_for_speedup(10.0).is_none());
+        assert_eq!(table.setting_for_speedup(0.5).unwrap().speedup, 1.0);
+    }
+
+    #[test]
+    fn empty_table_is_an_error() {
+        // Bound excludes everything and the baseline index does not match any
+        // point (simulating a mis-specified baseline).
+        let result = table_from(&[(2.0, 0.9)], 0, QosLossBound::from_percent(1.0).unwrap());
+        // Baseline index 0 matches the only point, so it is retained.
+        assert!(result.is_ok());
+        let no_points = KnobTable::from_points(vec![], 0, QosLossBound::UNBOUNDED);
+        assert!(matches!(no_points, Err(KnobError::EmptyKnobTable)));
+    }
+
+    impl KnobTable {
+        fn point_exists(&self, setting_index: usize) -> bool {
+            self.points.iter().any(|p| p.setting_index == setting_index)
+        }
+    }
+}

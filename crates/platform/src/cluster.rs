@@ -1,0 +1,241 @@
+//! Clusters of machines behind a proportional load balancer.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::PlatformError;
+use crate::frequency::FrequencyState;
+use crate::power::PowerModel;
+
+/// A homogeneous cluster of machines behind a proportional load balancer.
+///
+/// The paper's provisioning experiments compare an *original* system (four
+/// eight-core machines for the PARSEC benchmarks, three for the search
+/// engine) against a *consolidated* system with fewer machines that relies on
+/// PowerDial to absorb load spikes. The balancer spreads load proportionally,
+/// so every machine runs at the same utilization; idle machines stay powered
+/// on, which is exactly the waste the consolidation removes.
+///
+/// # Example
+///
+/// ```
+/// use powerdial_platform::{Cluster, FrequencyState, PowerModel};
+///
+/// let original = Cluster::new("original", 4, PowerModel::poweredge_r410()).unwrap();
+/// let consolidated = Cluster::new("consolidated", 1, PowerModel::poweredge_r410()).unwrap();
+/// // At 25 % of the original system's peak load the consolidated cluster
+/// // draws far less power because it has no idle machines burning 90 W.
+/// let p_orig = original.power_at_load(0.25 * 4.0, FrequencyState::highest()).unwrap();
+/// let p_cons = consolidated.power_at_load(0.25 * 4.0, FrequencyState::highest()).unwrap();
+/// assert!(p_cons.total_watts < p_orig.total_watts);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cluster {
+    name: String,
+    machine_count: usize,
+    power_model: PowerModel,
+}
+
+/// The power drawn by a cluster at a given offered load.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterPowerBreakdown {
+    /// Total cluster power in watts.
+    pub total_watts: f64,
+    /// Power per machine in watts (all machines are identical under
+    /// proportional balancing).
+    pub watts_per_machine: f64,
+    /// Per-machine utilization in `[0, 1]`.
+    pub utilization_per_machine: f64,
+    /// Number of machines in the cluster.
+    pub machines: usize,
+}
+
+impl Cluster {
+    /// Creates a cluster of `machine_count` identical machines.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::EmptyCluster`] when `machine_count` is zero.
+    pub fn new(
+        name: impl Into<String>,
+        machine_count: usize,
+        power_model: PowerModel,
+    ) -> Result<Self, PlatformError> {
+        if machine_count == 0 {
+            return Err(PlatformError::EmptyCluster);
+        }
+        Ok(Cluster {
+            name: name.into(),
+            machine_count,
+            power_model,
+        })
+    }
+
+    /// The cluster's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of machines.
+    pub fn machine_count(&self) -> usize {
+        self.machine_count
+    }
+
+    /// The power model shared by every machine.
+    pub fn power_model(&self) -> &PowerModel {
+        &self.power_model
+    }
+
+    /// The total computational capacity of the cluster, in machine-equivalents
+    /// at the given frequency (a 4-machine cluster at 1.6 GHz has capacity
+    /// `4 × 2/3 ≈ 2.67`).
+    pub fn capacity(&self, frequency: FrequencyState) -> f64 {
+        self.machine_count as f64 * frequency.capacity()
+    }
+
+    /// Power drawn when `offered_load` machine-equivalents of work are spread
+    /// proportionally over the cluster at the given frequency. The load is
+    /// clamped to the cluster's size (the balancer cannot run machines above
+    /// 100 % utilization).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::InvalidUtilization`] when `offered_load` is
+    /// negative or not finite.
+    pub fn power_at_load(
+        &self,
+        offered_load: f64,
+        frequency: FrequencyState,
+    ) -> Result<ClusterPowerBreakdown, PlatformError> {
+        if !offered_load.is_finite() || offered_load < 0.0 {
+            return Err(PlatformError::InvalidUtilization {
+                utilization: offered_load,
+            });
+        }
+        let utilization = (offered_load / self.machine_count as f64).min(1.0);
+        let watts_per_machine = self.power_model.power(frequency, utilization)?;
+        Ok(ClusterPowerBreakdown {
+            total_watts: watts_per_machine * self.machine_count as f64,
+            watts_per_machine,
+            utilization_per_machine: utilization,
+            machines: self.machine_count,
+        })
+    }
+
+    /// Power drawn when the cluster is completely idle.
+    pub fn idle_power(&self) -> f64 {
+        self.power_model.idle_watts() * self.machine_count as f64
+    }
+
+    /// Power drawn at full load in the given frequency state.
+    pub fn peak_power(&self, frequency: FrequencyState) -> f64 {
+        self.power_model.full_load_power(frequency) * self.machine_count as f64
+    }
+}
+
+impl fmt::Display for Cluster {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} machines)", self.name, self.machine_count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn original() -> Cluster {
+        Cluster::new("original", 4, PowerModel::poweredge_r410()).unwrap()
+    }
+
+    fn consolidated() -> Cluster {
+        Cluster::new("consolidated", 1, PowerModel::poweredge_r410()).unwrap()
+    }
+
+    #[test]
+    fn empty_clusters_are_rejected() {
+        assert!(matches!(
+            Cluster::new("empty", 0, PowerModel::poweredge_r410()),
+            Err(PlatformError::EmptyCluster)
+        ));
+    }
+
+    #[test]
+    fn idle_and_peak_power_scale_with_machine_count() {
+        let cluster = original();
+        assert_eq!(cluster.machine_count(), 4);
+        assert_eq!(cluster.idle_power(), 360.0);
+        assert_eq!(cluster.peak_power(FrequencyState::highest()), 880.0);
+        assert!(cluster.to_string().contains("4 machines"));
+        assert_eq!(cluster.power_model().idle_watts(), 90.0);
+    }
+
+    #[test]
+    fn capacity_accounts_for_frequency() {
+        let cluster = original();
+        assert_eq!(cluster.capacity(FrequencyState::highest()), 4.0);
+        assert!((cluster.capacity(FrequencyState::lowest()) - 4.0 * 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn proportional_balancing_spreads_utilization() {
+        let cluster = original();
+        let breakdown = cluster
+            .power_at_load(1.0, FrequencyState::highest())
+            .unwrap();
+        assert_eq!(breakdown.machines, 4);
+        assert!((breakdown.utilization_per_machine - 0.25).abs() < 1e-12);
+        assert!(breakdown.total_watts > cluster.idle_power());
+        assert!(breakdown.total_watts < cluster.peak_power(FrequencyState::highest()));
+    }
+
+    #[test]
+    fn offered_load_is_clamped_to_cluster_size() {
+        let cluster = consolidated();
+        let breakdown = cluster
+            .power_at_load(3.0, FrequencyState::highest())
+            .unwrap();
+        assert_eq!(breakdown.utilization_per_machine, 1.0);
+        assert_eq!(breakdown.total_watts, 220.0);
+        assert!(cluster.power_at_load(-1.0, FrequencyState::highest()).is_err());
+    }
+
+    #[test]
+    fn consolidation_saves_power_at_low_utilization() {
+        // The headline of Figure 8: at 25 % utilization the consolidated
+        // system (1 machine instead of 4) saves hundreds of watts because it
+        // does not keep three idle 90 W machines online.
+        let load = 0.25 * 4.0;
+        let p_orig = original()
+            .power_at_load(load, FrequencyState::highest())
+            .unwrap()
+            .total_watts;
+        let p_cons = consolidated()
+            .power_at_load(load, FrequencyState::highest())
+            .unwrap()
+            .total_watts;
+        let savings = p_orig - p_cons;
+        assert!(
+            savings > 250.0,
+            "expected savings of roughly 300-400 W, got {savings:.0} W"
+        );
+        // And the relative reduction is in the ballpark the paper reports
+        // (about two thirds).
+        assert!(savings / p_orig > 0.5);
+    }
+
+    #[test]
+    fn consolidated_peak_power_is_a_quarter_of_original() {
+        // At 100 % utilization the consolidated system burns ~75 % less power
+        // (one loaded machine instead of four).
+        let p_orig = original()
+            .power_at_load(4.0, FrequencyState::highest())
+            .unwrap()
+            .total_watts;
+        let p_cons = consolidated()
+            .power_at_load(4.0, FrequencyState::highest())
+            .unwrap()
+            .total_watts;
+        assert!((p_cons / p_orig - 0.25).abs() < 1e-9);
+    }
+}

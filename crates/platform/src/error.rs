@@ -1,0 +1,94 @@
+//! Error type for the platform simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while configuring or driving the simulated platform.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PlatformError {
+    /// The requested frequency in GHz does not match any supported DVFS
+    /// state.
+    UnsupportedFrequency {
+        /// The requested frequency in GHz.
+        ghz: f64,
+    },
+    /// The power model is inconsistent (idle power above loaded power, or a
+    /// non-positive value).
+    InvalidPowerModel {
+        /// Idle power in watts.
+        idle_watts: f64,
+        /// Full-load power in watts.
+        max_watts: f64,
+    },
+    /// A utilization value is outside `[0, 1]`.
+    InvalidUtilization {
+        /// The offending utilization.
+        utilization: f64,
+    },
+    /// The cluster was asked to provision zero machines.
+    EmptyCluster,
+    /// A load trace was built with no segments.
+    EmptyLoadTrace,
+    /// Work must be positive and finite.
+    InvalidWork {
+        /// The offending work amount.
+        work: f64,
+    },
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::UnsupportedFrequency { ghz } => {
+                write!(f, "no dvfs state runs at {ghz} GHz")
+            }
+            PlatformError::InvalidPowerModel {
+                idle_watts,
+                max_watts,
+            } => write!(
+                f,
+                "power model is invalid: idle {idle_watts} W, full load {max_watts} W"
+            ),
+            PlatformError::InvalidUtilization { utilization } => {
+                write!(f, "utilization must be in [0, 1], got {utilization}")
+            }
+            PlatformError::EmptyCluster => write!(f, "a cluster needs at least one machine"),
+            PlatformError::EmptyLoadTrace => write!(f, "a load trace needs at least one segment"),
+            PlatformError::InvalidWork { work } => {
+                write!(f, "work must be positive and finite, got {work}")
+            }
+        }
+    }
+}
+
+impl Error for PlatformError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_nonempty() {
+        let errors = [
+            PlatformError::UnsupportedFrequency { ghz: 3.2 },
+            PlatformError::InvalidPowerModel {
+                idle_watts: 100.0,
+                max_watts: 50.0,
+            },
+            PlatformError::InvalidUtilization { utilization: 1.5 },
+            PlatformError::EmptyCluster,
+            PlatformError::EmptyLoadTrace,
+            PlatformError::InvalidWork { work: -2.0 },
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<PlatformError>();
+    }
+}

@@ -1,0 +1,223 @@
+//! DVFS frequency states and the software governor controlling them.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::PlatformError;
+
+/// The seven frequency steps of the evaluation platform, in GHz, highest
+/// first (2.4 GHz down to 1.6 GHz).
+pub const DVFS_FREQUENCIES_GHZ: [f64; 7] = [2.4, 2.26, 2.13, 2.0, 1.86, 1.73, 1.6];
+
+/// One discrete DVFS state (a P-state of the simulated processor).
+///
+/// # Example
+///
+/// ```
+/// use powerdial_platform::FrequencyState;
+///
+/// let top = FrequencyState::highest();
+/// let bottom = FrequencyState::lowest();
+/// assert_eq!(top.ghz(), 2.4);
+/// assert_eq!(bottom.ghz(), 1.6);
+/// assert!((bottom.capacity() - 1.6 / 2.4).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FrequencyState {
+    index: usize,
+}
+
+impl FrequencyState {
+    /// The highest-frequency (highest-power) state: 2.4 GHz.
+    pub const fn highest() -> Self {
+        FrequencyState { index: 0 }
+    }
+
+    /// The lowest-frequency (lowest-power) state: 1.6 GHz.
+    pub const fn lowest() -> Self {
+        FrequencyState {
+            index: DVFS_FREQUENCIES_GHZ.len() - 1,
+        }
+    }
+
+    /// All states from highest to lowest frequency.
+    pub fn all() -> impl Iterator<Item = FrequencyState> {
+        (0..DVFS_FREQUENCIES_GHZ.len()).map(|index| FrequencyState { index })
+    }
+
+    /// The state with the given ladder index (0 = highest frequency).
+    pub fn from_index(index: usize) -> Option<Self> {
+        if index < DVFS_FREQUENCIES_GHZ.len() {
+            Some(FrequencyState { index })
+        } else {
+            None
+        }
+    }
+
+    /// The state running at exactly `ghz`, if it exists on the ladder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::UnsupportedFrequency`] when no state matches.
+    pub fn from_ghz(ghz: f64) -> Result<Self, PlatformError> {
+        DVFS_FREQUENCIES_GHZ
+            .iter()
+            .position(|&f| (f - ghz).abs() < 1e-9)
+            .map(|index| FrequencyState { index })
+            .ok_or(PlatformError::UnsupportedFrequency { ghz })
+    }
+
+    /// The ladder index (0 = highest frequency).
+    pub const fn index(self) -> usize {
+        self.index
+    }
+
+    /// The clock frequency in GHz.
+    pub fn ghz(self) -> f64 {
+        DVFS_FREQUENCIES_GHZ[self.index]
+    }
+
+    /// The delivered computational capacity relative to the highest state
+    /// (1.0 at 2.4 GHz, 2/3 at 1.6 GHz). CPU-bound work slows by exactly this
+    /// factor, matching the paper's `t2 = (f_nodvfs / f_dvfs) · t1` model.
+    pub fn capacity(self) -> f64 {
+        self.ghz() / DVFS_FREQUENCIES_GHZ[0]
+    }
+
+    /// The next lower-frequency state, if any.
+    pub fn step_down(self) -> Option<FrequencyState> {
+        FrequencyState::from_index(self.index + 1)
+    }
+
+    /// The next higher-frequency state, if any.
+    pub fn step_up(self) -> Option<FrequencyState> {
+        self.index.checked_sub(1).map(|index| FrequencyState { index })
+    }
+}
+
+impl Default for FrequencyState {
+    fn default() -> Self {
+        FrequencyState::highest()
+    }
+}
+
+impl fmt::Display for FrequencyState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} GHz", self.ghz())
+    }
+}
+
+/// The software frequency governor (the simulated `cpufrequtils`).
+///
+/// The governor tracks the current state and a history of transitions so
+/// experiments can audit when power caps were imposed and lifted.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct DvfsGovernor {
+    state: FrequencyState,
+    transitions: u64,
+}
+
+impl DvfsGovernor {
+    /// Creates a governor starting in the highest-frequency state.
+    pub fn new() -> Self {
+        DvfsGovernor::default()
+    }
+
+    /// The current frequency state.
+    pub fn state(&self) -> FrequencyState {
+        self.state
+    }
+
+    /// Sets the frequency state, counting the transition if it changes.
+    pub fn set_state(&mut self, state: FrequencyState) {
+        if state != self.state {
+            self.transitions += 1;
+        }
+        self.state = state;
+    }
+
+    /// Sets the frequency by value in GHz.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::UnsupportedFrequency`] when no state matches.
+    pub fn set_ghz(&mut self, ghz: f64) -> Result<(), PlatformError> {
+        self.set_state(FrequencyState::from_ghz(ghz)?);
+        Ok(())
+    }
+
+    /// Number of state changes so far.
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_matches_paper_platform() {
+        let all: Vec<f64> = FrequencyState::all().map(FrequencyState::ghz).collect();
+        assert_eq!(all, DVFS_FREQUENCIES_GHZ.to_vec());
+        assert_eq!(FrequencyState::highest().ghz(), 2.4);
+        assert_eq!(FrequencyState::lowest().ghz(), 1.6);
+        assert_eq!(FrequencyState::all().count(), 7);
+    }
+
+    #[test]
+    fn capacity_is_relative_to_highest_state() {
+        assert_eq!(FrequencyState::highest().capacity(), 1.0);
+        assert!((FrequencyState::lowest().capacity() - 2.0 / 3.0).abs() < 1e-9);
+        for state in FrequencyState::all() {
+            assert!(state.capacity() <= 1.0);
+            assert!(state.capacity() > 0.6);
+        }
+    }
+
+    #[test]
+    fn lookup_by_ghz_and_index() {
+        assert_eq!(FrequencyState::from_ghz(2.0).unwrap().index(), 3);
+        assert!(matches!(
+            FrequencyState::from_ghz(3.0),
+            Err(PlatformError::UnsupportedFrequency { .. })
+        ));
+        assert!(FrequencyState::from_index(6).is_some());
+        assert!(FrequencyState::from_index(7).is_none());
+    }
+
+    #[test]
+    fn stepping_walks_the_ladder() {
+        let mut state = FrequencyState::highest();
+        let mut steps = 0;
+        while let Some(next) = state.step_down() {
+            assert!(next.ghz() < state.ghz());
+            state = next;
+            steps += 1;
+        }
+        assert_eq!(steps, 6);
+        assert_eq!(state, FrequencyState::lowest());
+        assert!(state.step_down().is_none());
+        assert_eq!(state.step_up().unwrap().ghz(), 1.73);
+        assert!(FrequencyState::highest().step_up().is_none());
+    }
+
+    #[test]
+    fn governor_counts_transitions() {
+        let mut governor = DvfsGovernor::new();
+        assert_eq!(governor.state(), FrequencyState::highest());
+        governor.set_state(FrequencyState::highest());
+        assert_eq!(governor.transitions(), 0);
+        governor.set_state(FrequencyState::lowest());
+        governor.set_ghz(2.4).unwrap();
+        assert_eq!(governor.transitions(), 2);
+        assert!(governor.set_ghz(9.9).is_err());
+    }
+
+    #[test]
+    fn display_shows_frequency() {
+        assert_eq!(FrequencyState::highest().to_string(), "2.40 GHz");
+        assert_eq!(FrequencyState::lowest().to_string(), "1.60 GHz");
+    }
+}

@@ -1,0 +1,344 @@
+//! A simulated machine with a virtual clock, DVFS, and energy accounting.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use powerdial_heartbeats::{Timestamp, TimestampDelta};
+
+use crate::error::PlatformError;
+use crate::frequency::{DvfsGovernor, FrequencyState};
+use crate::power::{EnergyAccount, PowerModel, PowerSampler};
+
+/// A simulated machine that executes abstract work units.
+///
+/// The machine advances a virtual clock: executing `w` work units at
+/// frequency state `f` takes `w / (base_work_rate · capacity(f))` seconds,
+/// where `base_work_rate` is the machine's throughput at its highest
+/// frequency. Busy and idle time are charged to an [`EnergyAccount`] using
+/// the machine's [`PowerModel`], and a [`PowerSampler`] records 1 Hz samples
+/// like the paper's WattsUp meter.
+///
+/// # Example
+///
+/// ```
+/// use powerdial_platform::{FrequencyState, PowerModel, SimMachine};
+///
+/// let mut machine = SimMachine::new("node0", PowerModel::poweredge_r410(), 100.0);
+/// let busy = machine.execute_work(50.0);      // 0.5 s at 2.4 GHz
+/// assert!((busy.as_secs_f64() - 0.5).abs() < 1e-9);
+/// machine.set_frequency(FrequencyState::lowest());
+/// let slower = machine.execute_work(50.0);    // the same work at 1.6 GHz
+/// assert!(slower > busy);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimMachine {
+    name: String,
+    power_model: PowerModel,
+    governor: DvfsGovernor,
+    base_work_rate: f64,
+    now: Timestamp,
+    energy: EnergyAccount,
+    sampler: PowerSampler,
+    work_executed: f64,
+}
+
+impl SimMachine {
+    /// Creates a machine with the given power model and throughput at the
+    /// highest frequency state (`base_work_rate` work units per second).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base_work_rate` is not positive and finite.
+    pub fn new(name: impl Into<String>, power_model: PowerModel, base_work_rate: f64) -> Self {
+        assert!(
+            base_work_rate.is_finite() && base_work_rate > 0.0,
+            "base work rate must be positive and finite, got {base_work_rate}"
+        );
+        SimMachine {
+            name: name.into(),
+            power_model,
+            governor: DvfsGovernor::new(),
+            base_work_rate,
+            now: Timestamp::ZERO,
+            energy: EnergyAccount::new(),
+            sampler: PowerSampler::new(),
+            work_executed: 0.0,
+        }
+    }
+
+    /// The machine's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    /// The current frequency state.
+    pub fn frequency(&self) -> FrequencyState {
+        self.governor.state()
+    }
+
+    /// Changes the frequency state (imposing or lifting a power cap).
+    pub fn set_frequency(&mut self, state: FrequencyState) {
+        self.governor.set_state(state);
+    }
+
+    /// The machine's power model.
+    pub fn power_model(&self) -> &PowerModel {
+        &self.power_model
+    }
+
+    /// The machine's throughput at the highest frequency, in work units per
+    /// second.
+    pub fn base_work_rate(&self) -> f64 {
+        self.base_work_rate
+    }
+
+    /// The throughput at the current frequency, in work units per second.
+    pub fn current_work_rate(&self) -> f64 {
+        self.base_work_rate * self.governor.state().capacity()
+    }
+
+    /// The accumulated energy account.
+    pub fn energy(&self) -> &EnergyAccount {
+        &self.energy
+    }
+
+    /// The 1 Hz power samples recorded so far.
+    pub fn power_sampler(&self) -> &PowerSampler {
+        &self.sampler
+    }
+
+    /// Total work executed, in work units.
+    pub fn work_executed(&self) -> f64 {
+        self.work_executed
+    }
+
+    /// Executes `work` units at the current frequency, advancing the clock
+    /// and charging busy energy. Returns the time the work took.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `work` is not positive and finite; use
+    /// [`SimMachine::try_execute_work`] for a fallible variant.
+    pub fn execute_work(&mut self, work: f64) -> TimestampDelta {
+        self.try_execute_work(work)
+            .expect("work must be positive and finite")
+    }
+
+    /// Fallible variant of [`SimMachine::execute_work`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::InvalidWork`] when `work` is not positive and
+    /// finite.
+    pub fn try_execute_work(&mut self, work: f64) -> Result<TimestampDelta, PlatformError> {
+        if !work.is_finite() || work <= 0.0 {
+            return Err(PlatformError::InvalidWork { work });
+        }
+        let seconds = work / self.current_work_rate();
+        let watts = self.power_model.full_load_power(self.governor.state());
+        self.energy.add_busy(seconds, watts);
+        let elapsed = TimestampDelta::from_secs_f64(seconds);
+        self.now += elapsed;
+        self.sampler.observe(self.now, watts);
+        self.work_executed += work;
+        Ok(elapsed)
+    }
+
+    /// Executes `work` units with partial utilization `utilization` (the
+    /// machine is time-shared with other tenants); the work completes at the
+    /// proportionally lower rate and energy is charged at the corresponding
+    /// power level.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `work` is invalid or `utilization` is outside
+    /// `(0, 1]`.
+    pub fn execute_shared_work(
+        &mut self,
+        work: f64,
+        utilization: f64,
+    ) -> Result<TimestampDelta, PlatformError> {
+        if !work.is_finite() || work <= 0.0 {
+            return Err(PlatformError::InvalidWork { work });
+        }
+        if !(utilization > 0.0 && utilization <= 1.0) {
+            return Err(PlatformError::InvalidUtilization { utilization });
+        }
+        let seconds = work / (self.current_work_rate() * utilization);
+        let watts = self.power_model.power(self.governor.state(), utilization)?;
+        self.energy.add_busy(seconds, watts);
+        let elapsed = TimestampDelta::from_secs_f64(seconds);
+        self.now += elapsed;
+        self.sampler.observe(self.now, watts);
+        self.work_executed += work;
+        Ok(elapsed)
+    }
+
+    /// Idles until the given time, charging idle energy. Times in the past
+    /// are ignored.
+    pub fn idle_until(&mut self, until: Timestamp) {
+        if until <= self.now {
+            return;
+        }
+        let seconds = (until - self.now).as_secs_f64();
+        let watts = self.power_model.idle_watts();
+        self.energy.add_idle(seconds, watts);
+        self.now = until;
+        self.sampler.observe(self.now, watts);
+    }
+
+    /// Idles for the given duration, charging idle energy.
+    pub fn idle_for(&mut self, duration: TimestampDelta) {
+        let until = self.now + duration;
+        self.idle_until(until);
+    }
+}
+
+impl fmt::Display for SimMachine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} at {} ({} executed, {})",
+            self.name,
+            self.governor.state(),
+            self.work_executed,
+            self.energy
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> SimMachine {
+        SimMachine::new("m0", PowerModel::poweredge_r410(), 100.0)
+    }
+
+    #[test]
+    fn execution_time_scales_inversely_with_frequency() {
+        let mut m = machine();
+        let fast = m.execute_work(100.0);
+        assert!((fast.as_secs_f64() - 1.0).abs() < 1e-9);
+
+        m.set_frequency(FrequencyState::lowest());
+        let slow = m.execute_work(100.0);
+        // 2.4 / 1.6 = 1.5x slower.
+        assert!((slow.as_secs_f64() - 1.5).abs() < 1e-9);
+        assert!((m.now().as_secs_f64() - 2.5).abs() < 1e-9);
+        assert_eq!(m.work_executed(), 200.0);
+        assert_eq!(m.frequency(), FrequencyState::lowest());
+    }
+
+    #[test]
+    fn busy_energy_uses_full_load_power() {
+        let mut m = machine();
+        m.execute_work(100.0); // 1 second at 220 W.
+        assert!((m.energy().busy_joules() - 220.0).abs() < 1e-9);
+        assert_eq!(m.energy().idle_joules(), 0.0);
+    }
+
+    #[test]
+    fn idle_energy_uses_idle_power() {
+        let mut m = machine();
+        m.idle_for(TimestampDelta::from_secs(10));
+        assert!((m.energy().idle_joules() - 900.0).abs() < 1e-9);
+        assert!((m.now().as_secs_f64() - 10.0).abs() < 1e-9);
+        // Idling into the past is a no-op.
+        m.idle_until(Timestamp::from_secs(5));
+        assert!((m.now().as_secs_f64() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn race_to_idle_beats_slow_execution_when_idle_power_is_low() {
+        // With a low-idle-power model whose dynamic power barely drops under
+        // DVFS (frequency-only scaling, small exponent), finishing fast and
+        // idling consumes less energy than running slowly for the whole
+        // period — the paper's race-to-idle argument (Figure 4a).
+        let low_idle = PowerModel::new(10.0, 220.0, 0.3).unwrap();
+        let deadline = TimestampDelta::from_secs(3);
+
+        let mut racer = SimMachine::new("race", low_idle, 100.0);
+        racer.execute_work(100.0);
+        racer.idle_until(Timestamp::ZERO + deadline);
+
+        let mut slowpoke = SimMachine::new("slow", low_idle, 100.0);
+        slowpoke.set_frequency(FrequencyState::lowest());
+        slowpoke.execute_work(100.0);
+        slowpoke.idle_until(Timestamp::ZERO + deadline);
+
+        assert!(racer.energy().total_joules() < slowpoke.energy().total_joules());
+    }
+
+    #[test]
+    fn dvfs_saves_energy_when_idle_power_is_high() {
+        // With the server's high idle power, running the whole period at the
+        // lower frequency beats racing to idle (Figure 4b).
+        let server = PowerModel::poweredge_r410();
+        let deadline = TimestampDelta::from_secs(3);
+
+        let mut racer = SimMachine::new("race", server, 100.0);
+        racer.execute_work(150.0);
+        racer.idle_until(Timestamp::ZERO + deadline);
+
+        let mut dvfs = SimMachine::new("dvfs", server, 100.0);
+        dvfs.set_frequency(FrequencyState::lowest());
+        dvfs.execute_work(150.0);
+        dvfs.idle_until(Timestamp::ZERO + deadline);
+
+        assert!(dvfs.energy().total_joules() < racer.energy().total_joules());
+    }
+
+    #[test]
+    fn shared_execution_accounts_partial_utilization() {
+        let mut m = machine();
+        let elapsed = m.execute_shared_work(50.0, 0.5).unwrap();
+        assert!((elapsed.as_secs_f64() - 1.0).abs() < 1e-9);
+        let expected_watts = PowerModel::poweredge_r410()
+            .power(FrequencyState::highest(), 0.5)
+            .unwrap();
+        assert!((m.energy().busy_joules() - expected_watts).abs() < 1e-9);
+        assert!(m.execute_shared_work(50.0, 0.0).is_err());
+        assert!(m.execute_shared_work(50.0, 1.5).is_err());
+    }
+
+    #[test]
+    fn invalid_work_is_rejected() {
+        let mut m = machine();
+        assert!(m.try_execute_work(0.0).is_err());
+        assert!(m.try_execute_work(-5.0).is_err());
+        assert!(m.try_execute_work(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn power_sampler_sees_execution() {
+        let mut m = machine();
+        m.execute_work(500.0); // 5 seconds.
+        assert!(m.power_sampler().samples().len() >= 5);
+        assert!((m.power_sampler().mean_watts().unwrap() - 220.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_mentions_name_and_energy() {
+        let mut m = machine();
+        m.execute_work(10.0);
+        let text = m.to_string();
+        assert!(text.contains("m0"));
+        assert!(text.contains('J'));
+        assert!((m.base_work_rate() - 100.0).abs() < 1e-12);
+        assert!((m.current_work_rate() - 100.0).abs() < 1e-12);
+        assert_eq!(m.power_model().idle_watts(), 90.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_work_rate_panics() {
+        SimMachine::new("bad", PowerModel::poweredge_r410(), 0.0);
+    }
+}

@@ -1,0 +1,355 @@
+//! Full-system power model, power sampling, and energy accounting.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use powerdial_heartbeats::{Timestamp, TimestampDelta};
+
+use crate::error::PlatformError;
+use crate::frequency::FrequencyState;
+
+/// Full-system power as a function of frequency state and utilization.
+///
+/// The model is calibrated against the paper's measurements of the evaluation
+/// server: roughly 90 W idle and up to 220 W at full load in the highest
+/// frequency state, dropping to the low 160s at full load in the lowest
+/// state. Power is
+///
+/// ```text
+/// P(f, u) = P_idle + u · P_dynamic_max · (f / f_max)^α
+/// ```
+///
+/// with `α` capturing the combined voltage/frequency effect of DVFS.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    idle_watts: f64,
+    max_watts: f64,
+    frequency_exponent: f64,
+}
+
+impl PowerModel {
+    /// The model calibrated to the paper's Dell PowerEdge R410 measurements.
+    pub fn poweredge_r410() -> Self {
+        PowerModel {
+            idle_watts: 90.0,
+            max_watts: 220.0,
+            frequency_exponent: 1.3,
+        }
+    }
+
+    /// Creates a custom power model.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the idle power is not positive, the full-load
+    /// power does not exceed the idle power, or the exponent is not finite
+    /// and positive.
+    pub fn new(idle_watts: f64, max_watts: f64, frequency_exponent: f64) -> Result<Self, PlatformError> {
+        if !idle_watts.is_finite()
+            || !max_watts.is_finite()
+            || idle_watts <= 0.0
+            || max_watts <= idle_watts
+            || !frequency_exponent.is_finite()
+            || frequency_exponent <= 0.0
+        {
+            return Err(PlatformError::InvalidPowerModel {
+                idle_watts,
+                max_watts,
+            });
+        }
+        Ok(PowerModel {
+            idle_watts,
+            max_watts,
+            frequency_exponent,
+        })
+    }
+
+    /// Idle (zero-utilization) power in watts.
+    pub fn idle_watts(&self) -> f64 {
+        self.idle_watts
+    }
+
+    /// Full-load power at the highest frequency state, in watts.
+    pub fn max_watts(&self) -> f64 {
+        self.max_watts
+    }
+
+    /// Power drawn at the given frequency state and utilization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::InvalidUtilization`] when `utilization` is
+    /// outside `[0, 1]`.
+    pub fn power(&self, frequency: FrequencyState, utilization: f64) -> Result<f64, PlatformError> {
+        if !(0.0..=1.0).contains(&utilization) || !utilization.is_finite() {
+            return Err(PlatformError::InvalidUtilization { utilization });
+        }
+        let dynamic_max = self.max_watts - self.idle_watts;
+        let scale = frequency.capacity().powf(self.frequency_exponent);
+        Ok(self.idle_watts + utilization * dynamic_max * scale)
+    }
+
+    /// Power at full utilization in the given frequency state.
+    pub fn full_load_power(&self, frequency: FrequencyState) -> f64 {
+        self.power(frequency, 1.0).expect("utilization 1.0 is valid")
+    }
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        PowerModel::poweredge_r410()
+    }
+}
+
+/// One power sample: the instantaneous full-system power at a timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerSample {
+    /// Time of the sample.
+    pub timestamp: Timestamp,
+    /// Measured power in watts.
+    pub watts: f64,
+}
+
+/// A WattsUp-style sampler: records full-system power at a fixed interval
+/// (one second by default, as in the paper).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerSampler {
+    interval: TimestampDelta,
+    samples: Vec<PowerSample>,
+    next_sample_at: Timestamp,
+}
+
+impl PowerSampler {
+    /// Creates a sampler with a one-second interval.
+    pub fn new() -> Self {
+        PowerSampler::with_interval(TimestampDelta::from_secs(1))
+    }
+
+    /// Creates a sampler with a custom interval.
+    pub fn with_interval(interval: TimestampDelta) -> Self {
+        PowerSampler {
+            interval,
+            samples: Vec::new(),
+            next_sample_at: Timestamp::ZERO,
+        }
+    }
+
+    /// Observes that the system drew `watts` continuously from
+    /// `self.next_sample_at` until `until`; records one sample per interval
+    /// boundary crossed.
+    pub fn observe(&mut self, until: Timestamp, watts: f64) {
+        while self.next_sample_at <= until {
+            self.samples.push(PowerSample {
+                timestamp: self.next_sample_at,
+                watts,
+            });
+            self.next_sample_at += self.interval;
+        }
+    }
+
+    /// The recorded samples in time order.
+    pub fn samples(&self) -> &[PowerSample] {
+        &self.samples
+    }
+
+    /// The mean of the recorded sample powers, or `None` when no sample has
+    /// been recorded (this is the "mean power" the paper reports).
+    pub fn mean_watts(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.samples.iter().map(|s| s.watts).sum::<f64>() / self.samples.len() as f64)
+        }
+    }
+}
+
+impl Default for PowerSampler {
+    fn default() -> Self {
+        PowerSampler::new()
+    }
+}
+
+/// Accumulated energy split into busy and idle portions.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyAccount {
+    busy_joules: f64,
+    idle_joules: f64,
+    busy_seconds: f64,
+    idle_seconds: f64,
+}
+
+impl EnergyAccount {
+    /// Creates an empty account.
+    pub fn new() -> Self {
+        EnergyAccount::default()
+    }
+
+    /// Adds `seconds` of busy time at `watts`.
+    pub fn add_busy(&mut self, seconds: f64, watts: f64) {
+        self.busy_joules += seconds * watts;
+        self.busy_seconds += seconds;
+    }
+
+    /// Adds `seconds` of idle time at `watts`.
+    pub fn add_idle(&mut self, seconds: f64, watts: f64) {
+        self.idle_joules += seconds * watts;
+        self.idle_seconds += seconds;
+    }
+
+    /// Total energy in joules.
+    pub fn total_joules(&self) -> f64 {
+        self.busy_joules + self.idle_joules
+    }
+
+    /// Energy consumed while busy, in joules.
+    pub fn busy_joules(&self) -> f64 {
+        self.busy_joules
+    }
+
+    /// Energy consumed while idle, in joules.
+    pub fn idle_joules(&self) -> f64 {
+        self.idle_joules
+    }
+
+    /// Total accounted time in seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.busy_seconds + self.idle_seconds
+    }
+
+    /// Time spent busy, in seconds.
+    pub fn busy_seconds(&self) -> f64 {
+        self.busy_seconds
+    }
+
+    /// Time spent idle, in seconds.
+    pub fn idle_seconds(&self) -> f64 {
+        self.idle_seconds
+    }
+
+    /// Mean power over the accounted time, or `None` when no time has been
+    /// accounted.
+    pub fn mean_watts(&self) -> Option<f64> {
+        let total = self.total_seconds();
+        if total == 0.0 {
+            None
+        } else {
+            Some(self.total_joules() / total)
+        }
+    }
+}
+
+impl fmt::Display for EnergyAccount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.1} J over {:.1} s ({:.1} J busy, {:.1} J idle)",
+            self.total_joules(),
+            self.total_seconds(),
+            self.busy_joules,
+            self.idle_joules
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_calibration_brackets_measured_power() {
+        let model = PowerModel::poweredge_r410();
+        assert_eq!(model.idle_watts(), 90.0);
+        assert_eq!(model.max_watts(), 220.0);
+        // Full load at 2.4 GHz is 220 W; at 1.6 GHz it must drop into the
+        // 150–180 W band the paper's figures show.
+        let low = model.full_load_power(FrequencyState::lowest());
+        assert_eq!(model.full_load_power(FrequencyState::highest()), 220.0);
+        assert!(low > 150.0 && low < 185.0, "low-state power {low}");
+    }
+
+    #[test]
+    fn power_is_monotone_in_frequency_and_utilization() {
+        let model = PowerModel::poweredge_r410();
+        let mut previous = f64::MAX;
+        for state in FrequencyState::all() {
+            let p = model.full_load_power(state);
+            assert!(p <= previous);
+            previous = p;
+        }
+        let half = model.power(FrequencyState::highest(), 0.5).unwrap();
+        let full = model.power(FrequencyState::highest(), 1.0).unwrap();
+        let idle = model.power(FrequencyState::highest(), 0.0).unwrap();
+        assert!(idle < half && half < full);
+        assert_eq!(idle, 90.0);
+    }
+
+    #[test]
+    fn invalid_models_and_utilizations_are_rejected() {
+        assert!(PowerModel::new(0.0, 100.0, 1.0).is_err());
+        assert!(PowerModel::new(100.0, 90.0, 1.0).is_err());
+        assert!(PowerModel::new(50.0, 100.0, -1.0).is_err());
+        let model = PowerModel::poweredge_r410();
+        assert!(model.power(FrequencyState::highest(), 1.5).is_err());
+        assert!(model.power(FrequencyState::highest(), -0.1).is_err());
+        assert!(model.power(FrequencyState::highest(), f64::NAN).is_err());
+    }
+
+    #[test]
+    fn sampler_records_one_sample_per_interval() {
+        let mut sampler = PowerSampler::new();
+        sampler.observe(Timestamp::from_secs(3), 100.0);
+        // Samples at t = 0, 1, 2, 3.
+        assert_eq!(sampler.samples().len(), 4);
+        sampler.observe(Timestamp::from_secs(5), 200.0);
+        assert_eq!(sampler.samples().len(), 6);
+        let mean = sampler.mean_watts().unwrap();
+        assert!((mean - (4.0 * 100.0 + 2.0 * 200.0) / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_sampler_has_no_mean() {
+        assert!(PowerSampler::default().mean_watts().is_none());
+    }
+
+    #[test]
+    fn energy_account_tracks_busy_and_idle() {
+        let mut account = EnergyAccount::new();
+        account.add_busy(10.0, 200.0);
+        account.add_idle(5.0, 90.0);
+        assert_eq!(account.busy_joules(), 2000.0);
+        assert_eq!(account.idle_joules(), 450.0);
+        assert_eq!(account.total_joules(), 2450.0);
+        assert_eq!(account.busy_seconds(), 10.0);
+        assert_eq!(account.idle_seconds(), 5.0);
+        assert!((account.mean_watts().unwrap() - 2450.0 / 15.0).abs() < 1e-9);
+        assert!(account.to_string().contains('J'));
+        assert!(EnergyAccount::new().mean_watts().is_none());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Power is always between idle and full-load power, and monotone in
+        /// utilization.
+        #[test]
+        fn power_is_bounded_and_monotone(
+            state_index in 0usize..7,
+            u1 in 0.0f64..1.0,
+            u2 in 0.0f64..1.0,
+        ) {
+            let model = PowerModel::poweredge_r410();
+            let state = FrequencyState::from_index(state_index).unwrap();
+            let (lo, hi) = if u1 <= u2 { (u1, u2) } else { (u2, u1) };
+            let p_lo = model.power(state, lo).unwrap();
+            let p_hi = model.power(state, hi).unwrap();
+            prop_assert!(p_lo <= p_hi + 1e-9);
+            prop_assert!(p_lo >= model.idle_watts() - 1e-9);
+            prop_assert!(p_hi <= model.max_watts() + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Power-cap schedules: timed frequency restrictions.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use powerdial_heartbeats::Timestamp;
+
+use crate::frequency::FrequencyState;
+
+/// One power-cap event: from `at` onward the machine must run at `state`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerCapEvent {
+    /// When the cap takes effect.
+    pub at: Timestamp,
+    /// The frequency state imposed from that time on.
+    pub state: FrequencyState,
+}
+
+/// A schedule of power caps over the course of a run.
+///
+/// The paper's power-cap experiment starts uncapped (2.4 GHz), imposes the
+/// lowest state (1.6 GHz) a quarter of the way through the run, and lifts it
+/// at three quarters; [`PowerCapSchedule::paper_power_cap`] builds exactly
+/// that schedule.
+///
+/// # Example
+///
+/// ```
+/// use powerdial_heartbeats::Timestamp;
+/// use powerdial_platform::{FrequencyState, PowerCapSchedule};
+///
+/// let schedule = PowerCapSchedule::paper_power_cap(Timestamp::from_secs(400));
+/// assert_eq!(schedule.state_at(Timestamp::from_secs(50)), FrequencyState::highest());
+/// assert_eq!(schedule.state_at(Timestamp::from_secs(200)), FrequencyState::lowest());
+/// assert_eq!(schedule.state_at(Timestamp::from_secs(350)), FrequencyState::highest());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerCapSchedule {
+    initial: FrequencyState,
+    events: Vec<PowerCapEvent>,
+}
+
+impl PowerCapSchedule {
+    /// A schedule with no caps: the machine stays in `initial` forever.
+    pub fn constant(initial: FrequencyState) -> Self {
+        PowerCapSchedule {
+            initial,
+            events: Vec::new(),
+        }
+    }
+
+    /// The paper's power-cap scenario for a run of the given total duration:
+    /// the cap (lowest frequency) is imposed at one quarter of the run and
+    /// lifted at three quarters.
+    pub fn paper_power_cap(total_duration: Timestamp) -> Self {
+        let total = total_duration.as_secs_f64();
+        PowerCapSchedule::constant(FrequencyState::highest())
+            .with_event(Timestamp::from_secs_f64(total * 0.25), FrequencyState::lowest())
+            .with_event(Timestamp::from_secs_f64(total * 0.75), FrequencyState::highest())
+    }
+
+    /// Adds a cap event; events may be added in any order.
+    pub fn with_event(mut self, at: Timestamp, state: FrequencyState) -> Self {
+        self.events.push(PowerCapEvent { at, state });
+        self.events.sort_by_key(|e| e.at);
+        self
+    }
+
+    /// The frequency state in force at time `t`.
+    pub fn state_at(&self, t: Timestamp) -> FrequencyState {
+        self.events
+            .iter()
+            .rev()
+            .find(|e| e.at <= t)
+            .map(|e| e.state)
+            .unwrap_or(self.initial)
+    }
+
+    /// The scheduled events, sorted by time.
+    pub fn events(&self) -> &[PowerCapEvent] {
+        &self.events
+    }
+
+    /// The state before any event fires.
+    pub fn initial_state(&self) -> FrequencyState {
+        self.initial
+    }
+}
+
+impl fmt::Display for PowerCapSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "start at {}", self.initial)?;
+        for event in &self.events {
+            write!(f, ", {} from {}", event.state, event.at)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_schedule_never_changes() {
+        let schedule = PowerCapSchedule::constant(FrequencyState::lowest());
+        assert_eq!(schedule.state_at(Timestamp::ZERO), FrequencyState::lowest());
+        assert_eq!(
+            schedule.state_at(Timestamp::from_secs(1_000_000)),
+            FrequencyState::lowest()
+        );
+        assert!(schedule.events().is_empty());
+        assert_eq!(schedule.initial_state(), FrequencyState::lowest());
+    }
+
+    #[test]
+    fn paper_schedule_caps_the_middle_half() {
+        let schedule = PowerCapSchedule::paper_power_cap(Timestamp::from_secs(1000));
+        assert_eq!(schedule.state_at(Timestamp::from_secs(0)), FrequencyState::highest());
+        assert_eq!(schedule.state_at(Timestamp::from_secs(249)), FrequencyState::highest());
+        assert_eq!(schedule.state_at(Timestamp::from_secs(250)), FrequencyState::lowest());
+        assert_eq!(schedule.state_at(Timestamp::from_secs(600)), FrequencyState::lowest());
+        assert_eq!(schedule.state_at(Timestamp::from_secs(750)), FrequencyState::highest());
+        assert_eq!(schedule.state_at(Timestamp::from_secs(999)), FrequencyState::highest());
+        assert_eq!(schedule.events().len(), 2);
+    }
+
+    #[test]
+    fn events_sort_regardless_of_insertion_order() {
+        let schedule = PowerCapSchedule::constant(FrequencyState::highest())
+            .with_event(Timestamp::from_secs(30), FrequencyState::highest())
+            .with_event(Timestamp::from_secs(10), FrequencyState::lowest());
+        assert_eq!(schedule.state_at(Timestamp::from_secs(5)), FrequencyState::highest());
+        assert_eq!(schedule.state_at(Timestamp::from_secs(15)), FrequencyState::lowest());
+        assert_eq!(schedule.state_at(Timestamp::from_secs(40)), FrequencyState::highest());
+        assert_eq!(schedule.events()[0].at, Timestamp::from_secs(10));
+    }
+
+    #[test]
+    fn display_lists_events() {
+        let schedule = PowerCapSchedule::paper_power_cap(Timestamp::from_secs(100));
+        let text = schedule.to_string();
+        assert!(text.contains("2.40 GHz"));
+        assert!(text.contains("1.60 GHz"));
+    }
+}

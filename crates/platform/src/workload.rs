@@ -1,0 +1,247 @@
+//! Utilization traces and spiky workload generation.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use powerdial_heartbeats::Timestamp;
+
+use crate::error::PlatformError;
+
+/// A piecewise-constant system-utilization trace.
+///
+/// Utilization is expressed relative to the *original, fully provisioned*
+/// system (1.0 = the peak load the baseline system was provisioned for), the
+/// convention used by the paper's consolidation figures.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadTrace {
+    /// `(segment duration in seconds, utilization)` pairs, in order.
+    segments: Vec<(f64, f64)>,
+}
+
+impl LoadTrace {
+    /// A trace holding `utilization` for `duration_secs` seconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the utilization is outside `[0, 1]`.
+    pub fn constant(utilization: f64, duration_secs: f64) -> Result<Self, PlatformError> {
+        LoadTrace::from_segments(vec![(duration_secs, utilization)])
+    }
+
+    /// Builds a trace from `(duration seconds, utilization)` segments.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when no segments are given or any utilization is
+    /// outside `[0, 1]`.
+    pub fn from_segments(segments: Vec<(f64, f64)>) -> Result<Self, PlatformError> {
+        if segments.is_empty() {
+            return Err(PlatformError::EmptyLoadTrace);
+        }
+        for &(_, utilization) in &segments {
+            if !(0.0..=1.0).contains(&utilization) || !utilization.is_finite() {
+                return Err(PlatformError::InvalidUtilization { utilization });
+            }
+        }
+        Ok(LoadTrace { segments })
+    }
+
+    /// Total duration of the trace in seconds.
+    pub fn duration_secs(&self) -> f64 {
+        self.segments.iter().map(|(d, _)| d).sum()
+    }
+
+    /// The utilization at time `t`; times past the end return the last
+    /// segment's utilization.
+    pub fn utilization_at(&self, t: Timestamp) -> f64 {
+        let mut elapsed = 0.0;
+        let target = t.as_secs_f64();
+        for &(duration, utilization) in &self.segments {
+            elapsed += duration;
+            if target < elapsed {
+                return utilization;
+            }
+        }
+        self.segments.last().map(|(_, u)| *u).unwrap_or(0.0)
+    }
+
+    /// Time-weighted mean utilization over the whole trace.
+    pub fn mean_utilization(&self) -> f64 {
+        let total = self.duration_secs();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.segments
+            .iter()
+            .map(|(d, u)| d * u)
+            .sum::<f64>()
+            / total
+    }
+
+    /// Peak utilization over the trace.
+    pub fn peak_utilization(&self) -> f64 {
+        self.segments
+            .iter()
+            .map(|(_, u)| *u)
+            .fold(0.0, f64::max)
+    }
+
+    /// The segments as `(duration seconds, utilization)` pairs.
+    pub fn segments(&self) -> &[(f64, f64)] {
+        &self.segments
+    }
+}
+
+impl fmt::Display for LoadTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "load trace: {:.0} s, mean {:.0}%, peak {:.0}%",
+            self.duration_secs(),
+            self.mean_utilization() * 100.0,
+            self.peak_utilization() * 100.0
+        )
+    }
+}
+
+/// Generates workload traces shaped like the paper's motivating scenario:
+/// predominantly low utilization punctuated by intermittent spikes to peak
+/// load.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadGenerator {
+    base_utilization: f64,
+    spike_utilization: f64,
+    spike_probability: f64,
+    segment_secs: f64,
+    seed: u64,
+}
+
+impl WorkloadGenerator {
+    /// Creates a generator with the data-center defaults reported in the
+    /// paper's Section 3: ~20–30 % average utilization with occasional bursts
+    /// to full load.
+    pub fn data_center_default(seed: u64) -> Self {
+        WorkloadGenerator {
+            base_utilization: 0.25,
+            spike_utilization: 1.0,
+            spike_probability: 0.08,
+            segment_secs: 10.0,
+            seed,
+        }
+    }
+
+    /// Creates a fully custom generator.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when a utilization is outside `[0, 1]`.
+    pub fn new(
+        base_utilization: f64,
+        spike_utilization: f64,
+        spike_probability: f64,
+        segment_secs: f64,
+        seed: u64,
+    ) -> Result<Self, PlatformError> {
+        for utilization in [base_utilization, spike_utilization] {
+            if !(0.0..=1.0).contains(&utilization) || !utilization.is_finite() {
+                return Err(PlatformError::InvalidUtilization { utilization });
+            }
+        }
+        Ok(WorkloadGenerator {
+            base_utilization,
+            spike_utilization,
+            spike_probability: spike_probability.clamp(0.0, 1.0),
+            segment_secs,
+            seed,
+        })
+    }
+
+    /// Generates a trace with `segments` piecewise-constant segments.
+    pub fn generate(&self, segments: usize) -> LoadTrace {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut out = Vec::with_capacity(segments.max(1));
+        for _ in 0..segments.max(1) {
+            let spike = rng.gen_bool(self.spike_probability);
+            let jitter: f64 = rng.gen_range(-0.05..0.05);
+            let utilization = if spike {
+                self.spike_utilization
+            } else {
+                (self.base_utilization + jitter).clamp(0.0, 1.0)
+            };
+            out.push((self.segment_secs, utilization));
+        }
+        LoadTrace::from_segments(out).expect("generated utilizations are clamped to [0, 1]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_trace_round_trip() {
+        let trace = LoadTrace::constant(0.3, 100.0).unwrap();
+        assert_eq!(trace.duration_secs(), 100.0);
+        assert_eq!(trace.utilization_at(Timestamp::from_secs(50)), 0.3);
+        assert_eq!(trace.mean_utilization(), 0.3);
+        assert_eq!(trace.peak_utilization(), 0.3);
+        assert_eq!(trace.segments().len(), 1);
+    }
+
+    #[test]
+    fn piecewise_lookup_and_statistics() {
+        let trace = LoadTrace::from_segments(vec![(10.0, 0.2), (10.0, 1.0), (20.0, 0.4)]).unwrap();
+        assert_eq!(trace.utilization_at(Timestamp::from_secs(5)), 0.2);
+        assert_eq!(trace.utilization_at(Timestamp::from_secs(15)), 1.0);
+        assert_eq!(trace.utilization_at(Timestamp::from_secs(25)), 0.4);
+        // Past the end: last segment's value.
+        assert_eq!(trace.utilization_at(Timestamp::from_secs(100)), 0.4);
+        assert!((trace.mean_utilization() - (2.0 + 10.0 + 8.0) / 40.0).abs() < 1e-12);
+        assert_eq!(trace.peak_utilization(), 1.0);
+        assert!(trace.to_string().contains("load trace"));
+    }
+
+    #[test]
+    fn invalid_traces_are_rejected() {
+        assert!(matches!(
+            LoadTrace::from_segments(vec![]),
+            Err(PlatformError::EmptyLoadTrace)
+        ));
+        assert!(matches!(
+            LoadTrace::constant(1.5, 10.0),
+            Err(PlatformError::InvalidUtilization { .. })
+        ));
+    }
+
+    #[test]
+    fn generator_is_deterministic_per_seed() {
+        let generator = WorkloadGenerator::data_center_default(42);
+        let a = generator.generate(50);
+        let b = generator.generate(50);
+        assert_eq!(a, b);
+        let other = WorkloadGenerator::data_center_default(43).generate(50);
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn generator_produces_mostly_low_load_with_spikes() {
+        let generator = WorkloadGenerator::data_center_default(7);
+        let trace = generator.generate(500);
+        let mean = trace.mean_utilization();
+        assert!(mean > 0.15 && mean < 0.45, "mean utilization {mean}");
+        assert_eq!(trace.peak_utilization(), 1.0, "spikes reach peak load");
+    }
+
+    #[test]
+    fn custom_generator_validates_utilization() {
+        assert!(WorkloadGenerator::new(1.2, 1.0, 0.1, 10.0, 0).is_err());
+        assert!(WorkloadGenerator::new(0.2, -0.1, 0.1, 10.0, 0).is_err());
+        let generator = WorkloadGenerator::new(0.1, 0.9, 0.5, 5.0, 1).unwrap();
+        let trace = generator.generate(10);
+        assert_eq!(trace.segments().len(), 10);
+        assert_eq!(trace.duration_secs(), 50.0);
+    }
+}

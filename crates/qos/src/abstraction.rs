@@ -1,0 +1,212 @@
+//! Output abstractions: numeric summaries of program outputs.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::QosError;
+
+/// A numeric abstraction of a program output.
+///
+/// The paper's QoS metric never compares raw outputs directly; instead the
+/// user supplies an *output abstraction* that reduces an output to a vector
+/// of numbers `o_1 … o_m` (for example swaption prices, or the PSNR and
+/// bitrate of an encoded video). Two abstractions of the same program on the
+/// same input are then compared component-wise by
+/// [`distortion`](crate::distortion).
+///
+/// # Example
+///
+/// ```
+/// use powerdial_qos::OutputAbstraction;
+///
+/// let abstraction = OutputAbstraction::builder()
+///     .component("psnr", 41.7)
+///     .component("bitrate", 3_950_000.0)
+///     .build();
+/// assert_eq!(abstraction.len(), 2);
+/// assert_eq!(abstraction.label(0), Some("psnr"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct OutputAbstraction {
+    components: Vec<f64>,
+    labels: Vec<String>,
+}
+
+impl OutputAbstraction {
+    /// Creates an abstraction from unlabeled components.
+    pub fn from_components(components: impl IntoIterator<Item = f64>) -> Self {
+        let components: Vec<f64> = components.into_iter().collect();
+        let labels = (0..components.len()).map(|i| format!("o{i}")).collect();
+        OutputAbstraction { components, labels }
+    }
+
+    /// Starts building an abstraction with labeled components.
+    pub fn builder() -> OutputAbstractionBuilder {
+        OutputAbstractionBuilder::default()
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Returns true when the abstraction has no components.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// The component values.
+    pub fn components(&self) -> &[f64] {
+        &self.components
+    }
+
+    /// The label of component `index`, if it exists.
+    pub fn label(&self, index: usize) -> Option<&str> {
+        self.labels.get(index).map(String::as_str)
+    }
+
+    /// The value of component `index`, if it exists.
+    pub fn component(&self, index: usize) -> Option<f64> {
+        self.components.get(index).copied()
+    }
+
+    /// Validates that every component is finite.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QosError::NonFiniteComponent`] naming the first offending
+    /// component.
+    pub fn validate(&self) -> Result<(), QosError> {
+        for (index, value) in self.components.iter().enumerate() {
+            if !value.is_finite() {
+                return Err(QosError::NonFiniteComponent { index });
+            }
+        }
+        Ok(())
+    }
+
+    /// Appends a component with a generated label.
+    pub fn push(&mut self, value: f64) {
+        self.labels.push(format!("o{}", self.components.len()));
+        self.components.push(value);
+    }
+
+    /// Iterates over `(label, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> + '_ {
+        self.labels
+            .iter()
+            .map(String::as_str)
+            .zip(self.components.iter().copied())
+    }
+}
+
+impl FromIterator<f64> for OutputAbstraction {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        OutputAbstraction::from_components(iter)
+    }
+}
+
+impl Extend<f64> for OutputAbstraction {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for value in iter {
+            self.push(value);
+        }
+    }
+}
+
+impl fmt::Display for OutputAbstraction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, (label, value)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{label}={value:.6}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Builder for [`OutputAbstraction`] with named components.
+#[derive(Debug, Clone, Default)]
+pub struct OutputAbstractionBuilder {
+    components: Vec<f64>,
+    labels: Vec<String>,
+}
+
+impl OutputAbstractionBuilder {
+    /// Adds a labeled component.
+    pub fn component(mut self, label: impl Into<String>, value: f64) -> Self {
+        self.labels.push(label.into());
+        self.components.push(value);
+        self
+    }
+
+    /// Finishes the abstraction.
+    pub fn build(self) -> OutputAbstraction {
+        OutputAbstraction {
+            components: self.components,
+            labels: self.labels,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_components_generates_labels() {
+        let a = OutputAbstraction::from_components([1.0, 2.0, 3.0]);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.label(0), Some("o0"));
+        assert_eq!(a.label(2), Some("o2"));
+        assert_eq!(a.component(1), Some(2.0));
+        assert_eq!(a.component(9), None);
+    }
+
+    #[test]
+    fn builder_preserves_labels() {
+        let a = OutputAbstraction::builder()
+            .component("psnr", 40.0)
+            .component("bitrate", 1000.0)
+            .build();
+        assert_eq!(a.label(0), Some("psnr"));
+        assert_eq!(a.label(1), Some("bitrate"));
+        let pairs: Vec<_> = a.iter().collect();
+        assert_eq!(pairs, vec![("psnr", 40.0), ("bitrate", 1000.0)]);
+    }
+
+    #[test]
+    fn validate_rejects_non_finite_components() {
+        let good = OutputAbstraction::from_components([1.0, 2.0]);
+        assert!(good.validate().is_ok());
+        let bad = OutputAbstraction::from_components([1.0, f64::INFINITY]);
+        assert_eq!(
+            bad.validate(),
+            Err(QosError::NonFiniteComponent { index: 1 })
+        );
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut a: OutputAbstraction = [1.0, 2.0].into_iter().collect();
+        a.extend([3.0]);
+        assert_eq!(a.components(), &[1.0, 2.0, 3.0]);
+        assert_eq!(a.label(2), Some("o2"));
+    }
+
+    #[test]
+    fn display_shows_labels_and_values() {
+        let a = OutputAbstraction::builder().component("price", 2.5).build();
+        assert_eq!(a.to_string(), "[price=2.500000]");
+    }
+
+    #[test]
+    fn empty_abstraction_reports_empty() {
+        let a = OutputAbstraction::default();
+        assert!(a.is_empty());
+        assert_eq!(a.len(), 0);
+    }
+}

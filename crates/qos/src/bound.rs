@@ -1,0 +1,121 @@
+//! QoS-loss bounds used to exclude knob settings during calibration.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::distortion::QosLoss;
+use crate::error::QosError;
+
+/// A user-specified cap on acceptable QoS loss.
+///
+/// PowerDial's calibrator excludes any dynamic-knob setting whose mean QoS
+/// loss exceeds the bound (Section 2.2). The consolidation experiments use a
+/// 5 % bound for the PARSEC benchmarks and a 30 % bound for the search
+/// engine.
+///
+/// # Example
+///
+/// ```
+/// use powerdial_qos::{QosLoss, QosLossBound};
+///
+/// let bound = QosLossBound::from_percent(5.0).unwrap();
+/// assert!(bound.admits(QosLoss::new(0.03)));
+/// assert!(!bound.admits(QosLoss::new(0.08)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct QosLossBound(f64);
+
+impl QosLossBound {
+    /// A bound admitting any QoS loss.
+    pub const UNBOUNDED: QosLossBound = QosLossBound(f64::MAX);
+
+    /// Creates a bound from a fractional loss value (0.05 = 5 %).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QosError::InvalidBound`] if `fraction` is negative or not
+    /// finite.
+    pub fn new(fraction: f64) -> Result<Self, QosError> {
+        if !fraction.is_finite() || fraction < 0.0 {
+            return Err(QosError::InvalidBound { value: fraction });
+        }
+        Ok(QosLossBound(fraction))
+    }
+
+    /// Creates a bound from a percentage (5.0 = 5 %).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QosError::InvalidBound`] if `percent` is negative or not
+    /// finite.
+    pub fn from_percent(percent: f64) -> Result<Self, QosError> {
+        QosLossBound::new(percent / 100.0)
+    }
+
+    /// The bound as a fraction.
+    pub const fn fraction(self) -> f64 {
+        self.0
+    }
+
+    /// The bound as a percentage.
+    pub fn percent(self) -> f64 {
+        self.0 * 100.0
+    }
+
+    /// Returns true if `loss` is within (at or below) the bound.
+    pub fn admits(self, loss: QosLoss) -> bool {
+        loss.value() <= self.0
+    }
+}
+
+impl Default for QosLossBound {
+    fn default() -> Self {
+        QosLossBound::UNBOUNDED
+    }
+}
+
+impl fmt::Display for QosLossBound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == QosLossBound::UNBOUNDED {
+            write!(f, "unbounded")
+        } else {
+            write!(f, "{:.2}%", self.percent())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_admits_losses_at_or_below_it() {
+        let bound = QosLossBound::new(0.05).unwrap();
+        assert!(bound.admits(QosLoss::ZERO));
+        assert!(bound.admits(QosLoss::new(0.05)));
+        assert!(!bound.admits(QosLoss::new(0.0500001)));
+    }
+
+    #[test]
+    fn percent_round_trip() {
+        let bound = QosLossBound::from_percent(30.0).unwrap();
+        assert!((bound.fraction() - 0.3).abs() < 1e-12);
+        assert!((bound.percent() - 30.0).abs() < 1e-9);
+        assert_eq!(bound.to_string(), "30.00%");
+    }
+
+    #[test]
+    fn invalid_bounds_are_rejected() {
+        assert!(QosLossBound::new(-0.1).is_err());
+        assert!(QosLossBound::new(f64::NAN).is_err());
+        assert!(QosLossBound::from_percent(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn default_is_unbounded() {
+        let bound = QosLossBound::default();
+        assert!(bound.admits(QosLoss::new(1e9)));
+        assert_eq!(bound.to_string(), "unbounded");
+    }
+}

@@ -1,0 +1,326 @@
+//! The distortion QoS-loss metric (Equation 1 of the paper).
+
+use std::fmt;
+use std::ops::Add;
+
+use serde::{Deserialize, Serialize};
+
+use crate::abstraction::OutputAbstraction;
+use crate::error::QosError;
+
+/// A quality-of-service loss value.
+///
+/// Zero is a perfect result; larger values indicate worse quality. The value
+/// is a fraction (multiply by 100 to obtain the percentage figures reported
+/// in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct QosLoss(f64);
+
+impl QosLoss {
+    /// A QoS loss of zero: the output matches the baseline exactly.
+    pub const ZERO: QosLoss = QosLoss(0.0);
+
+    /// Creates a QoS loss from a fractional value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is negative or not finite.
+    pub fn new(value: f64) -> Self {
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "qos loss must be finite and non-negative, got {value}"
+        );
+        QosLoss(value)
+    }
+
+    /// The fractional loss value.
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// The loss as a percentage (the unit used in the paper's figures).
+    pub fn percent(self) -> f64 {
+        self.0 * 100.0
+    }
+
+    /// Returns the mean of a collection of losses, or `None` for an empty
+    /// collection.
+    pub fn mean(losses: impl IntoIterator<Item = QosLoss>) -> Option<QosLoss> {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for loss in losses {
+            sum += loss.0;
+            count += 1;
+        }
+        if count == 0 {
+            None
+        } else {
+            Some(QosLoss(sum / count as f64))
+        }
+    }
+}
+
+impl Add for QosLoss {
+    type Output = QosLoss;
+
+    fn add(self, rhs: QosLoss) -> QosLoss {
+        QosLoss(self.0 + rhs.0)
+    }
+}
+
+impl fmt::Display for QosLoss {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4}%", self.percent())
+    }
+}
+
+/// Computes the unweighted distortion between a baseline output abstraction
+/// and a candidate abstraction:
+///
+/// `qos = (1/m) * Σ |o_i − ô_i| / |o_i|`
+///
+/// Components whose baseline value is zero contribute the absolute difference
+/// instead of the relative difference (the standard convention to avoid
+/// division by zero).
+///
+/// # Errors
+///
+/// Returns an error when the abstractions are empty, have different lengths,
+/// or contain non-finite components.
+///
+/// # Example
+///
+/// ```
+/// use powerdial_qos::{distortion, OutputAbstraction};
+///
+/// let baseline = OutputAbstraction::from_components([2.0, 4.0]);
+/// let candidate = OutputAbstraction::from_components([2.0, 3.0]);
+/// // |4 - 3| / 4 = 0.25, averaged over 2 components = 0.125.
+/// assert!((distortion(&baseline, &candidate).unwrap().value() - 0.125).abs() < 1e-12);
+/// ```
+pub fn distortion(
+    baseline: &OutputAbstraction,
+    candidate: &OutputAbstraction,
+) -> Result<QosLoss, QosError> {
+    let weights = vec![1.0; baseline.len()];
+    weighted_distortion(baseline, candidate, &weights)
+}
+
+/// Computes the weighted distortion of Equation 1.
+///
+/// Each component's relative error is multiplied by the corresponding weight
+/// before averaging. Weights express the relative importance of abstraction
+/// components (for example, bodytrack weights each body-part vector by its
+/// magnitude).
+///
+/// # Errors
+///
+/// Returns an error when the abstractions are empty or mismatched, when the
+/// weight vector has the wrong length, or when a weight is negative or not
+/// finite.
+pub fn weighted_distortion(
+    baseline: &OutputAbstraction,
+    candidate: &OutputAbstraction,
+    weights: &[f64],
+) -> Result<QosLoss, QosError> {
+    if baseline.is_empty() || candidate.is_empty() {
+        return Err(QosError::EmptyAbstraction);
+    }
+    if baseline.len() != candidate.len() {
+        return Err(QosError::MismatchedAbstractions {
+            baseline_len: baseline.len(),
+            candidate_len: candidate.len(),
+        });
+    }
+    if weights.len() != baseline.len() {
+        return Err(QosError::MismatchedWeights {
+            components: baseline.len(),
+            weights: weights.len(),
+        });
+    }
+    baseline.validate()?;
+    candidate.validate()?;
+    for (index, &w) in weights.iter().enumerate() {
+        if !w.is_finite() || w < 0.0 {
+            return Err(QosError::InvalidWeight { index, value: w });
+        }
+    }
+
+    let m = baseline.len() as f64;
+    let mut total = 0.0;
+    for ((&o, &o_hat), &w) in baseline
+        .components()
+        .iter()
+        .zip(candidate.components())
+        .zip(weights)
+    {
+        let error = if o == 0.0 {
+            (o - o_hat).abs()
+        } else {
+            ((o - o_hat) / o).abs()
+        };
+        total += w * error;
+    }
+    Ok(QosLoss::new(total / m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abstraction(values: &[f64]) -> OutputAbstraction {
+        OutputAbstraction::from_components(values.iter().copied())
+    }
+
+    #[test]
+    fn identical_outputs_have_zero_loss() {
+        let a = abstraction(&[1.0, -2.0, 3.5]);
+        assert_eq!(distortion(&a, &a).unwrap(), QosLoss::ZERO);
+    }
+
+    #[test]
+    fn distortion_matches_hand_computation() {
+        let baseline = abstraction(&[10.0, 20.0]);
+        let candidate = abstraction(&[9.0, 22.0]);
+        // (|10-9|/10 + |20-22|/20) / 2 = (0.1 + 0.1) / 2 = 0.1
+        let loss = distortion(&baseline, &candidate).unwrap();
+        assert!((loss.value() - 0.1).abs() < 1e-12);
+        assert!((loss.percent() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_baseline_component_uses_absolute_error() {
+        let baseline = abstraction(&[0.0]);
+        let candidate = abstraction(&[0.25]);
+        let loss = distortion(&baseline, &candidate).unwrap();
+        assert!((loss.value() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_scale_component_contributions() {
+        let baseline = abstraction(&[10.0, 10.0]);
+        let candidate = abstraction(&[5.0, 5.0]);
+        let loss = weighted_distortion(&baseline, &candidate, &[1.0, 0.0]).unwrap();
+        // Only the first component contributes: 0.5 / 2 = 0.25.
+        assert!((loss.value() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mismatched_lengths_error() {
+        let baseline = abstraction(&[1.0, 2.0]);
+        let candidate = abstraction(&[1.0]);
+        assert!(matches!(
+            distortion(&baseline, &candidate),
+            Err(QosError::MismatchedAbstractions { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_abstractions_error() {
+        let empty = OutputAbstraction::default();
+        let nonempty = abstraction(&[1.0]);
+        assert_eq!(
+            distortion(&empty, &nonempty),
+            Err(QosError::EmptyAbstraction)
+        );
+    }
+
+    #[test]
+    fn wrong_weight_length_errors() {
+        let a = abstraction(&[1.0, 2.0]);
+        assert!(matches!(
+            weighted_distortion(&a, &a, &[1.0]),
+            Err(QosError::MismatchedWeights { .. })
+        ));
+    }
+
+    #[test]
+    fn negative_weight_errors() {
+        let a = abstraction(&[1.0]);
+        assert!(matches!(
+            weighted_distortion(&a, &a, &[-0.5]),
+            Err(QosError::InvalidWeight { index: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn non_finite_component_errors() {
+        let baseline = abstraction(&[1.0]);
+        let candidate = abstraction(&[f64::NAN]);
+        assert!(matches!(
+            distortion(&baseline, &candidate),
+            Err(QosError::NonFiniteComponent { .. })
+        ));
+    }
+
+    #[test]
+    fn qos_loss_mean_and_addition() {
+        let mean = QosLoss::mean([QosLoss::new(0.1), QosLoss::new(0.3)]).unwrap();
+        assert!((mean.value() - 0.2).abs() < 1e-12);
+        assert!(QosLoss::mean(std::iter::empty()).is_none());
+        let sum = QosLoss::new(0.1) + QosLoss::new(0.2);
+        assert!((sum.value() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn qos_loss_rejects_negative_values() {
+        QosLoss::new(-0.1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn finite_component() -> impl Strategy<Value = f64> {
+        prop_oneof![(-1e6f64..1e6).prop_filter("nonzero-ish", |v| v.abs() > 1e-6), Just(0.0)]
+    }
+
+    proptest! {
+        /// Distortion is zero exactly when the candidate equals the baseline.
+        #[test]
+        fn self_distortion_is_zero(values in proptest::collection::vec(finite_component(), 1..20)) {
+            let a = OutputAbstraction::from_components(values);
+            prop_assert_eq!(distortion(&a, &a).unwrap(), QosLoss::ZERO);
+        }
+
+        /// Distortion is symmetric in sign of the perturbation and always
+        /// non-negative.
+        #[test]
+        fn distortion_nonnegative_and_sign_symmetric(
+            values in proptest::collection::vec(1e-3f64..1e3, 1..20),
+            deltas in proptest::collection::vec(-10f64..10.0, 1..20),
+        ) {
+            let n = values.len().min(deltas.len());
+            let baseline = OutputAbstraction::from_components(values[..n].iter().copied());
+            let plus = OutputAbstraction::from_components(
+                values[..n].iter().zip(&deltas[..n]).map(|(v, d)| v + d),
+            );
+            let minus = OutputAbstraction::from_components(
+                values[..n].iter().zip(&deltas[..n]).map(|(v, d)| v - d),
+            );
+            let loss_plus = distortion(&baseline, &plus).unwrap().value();
+            let loss_minus = distortion(&baseline, &minus).unwrap().value();
+            prop_assert!(loss_plus >= 0.0);
+            prop_assert!((loss_plus - loss_minus).abs() < 1e-9 * loss_plus.max(1.0));
+        }
+
+        /// Scaling every weight by the same positive constant scales the
+        /// distortion by that constant.
+        #[test]
+        fn weights_are_linear(
+            values in proptest::collection::vec(1e-2f64..1e2, 2..10),
+            scale in 0.1f64..10.0,
+        ) {
+            let baseline = OutputAbstraction::from_components(values.iter().copied());
+            let candidate = OutputAbstraction::from_components(values.iter().map(|v| v * 1.1));
+            let unit_weights = vec![1.0; values.len()];
+            let scaled_weights: Vec<f64> = unit_weights.iter().map(|w| w * scale).collect();
+            let base = weighted_distortion(&baseline, &candidate, &unit_weights).unwrap().value();
+            let scaled = weighted_distortion(&baseline, &candidate, &scaled_weights).unwrap().value();
+            prop_assert!((scaled - base * scale).abs() < 1e-9 * scaled.max(1.0));
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Error type for QoS computations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when computing quality-of-service metrics.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum QosError {
+    /// The baseline and candidate output abstractions have different lengths
+    /// and cannot be compared component-wise.
+    MismatchedAbstractions {
+        /// Number of components in the baseline abstraction.
+        baseline_len: usize,
+        /// Number of components in the candidate abstraction.
+        candidate_len: usize,
+    },
+    /// The abstractions are empty, so no distortion can be computed.
+    EmptyAbstraction,
+    /// The weight vector has a different length than the abstractions.
+    MismatchedWeights {
+        /// Number of abstraction components.
+        components: usize,
+        /// Number of weights provided.
+        weights: usize,
+    },
+    /// A weight is negative or not finite.
+    InvalidWeight {
+        /// Index of the offending weight.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A QoS loss bound is negative or not finite.
+    InvalidBound {
+        /// The offending value.
+        value: f64,
+    },
+    /// An abstraction component is not finite.
+    NonFiniteComponent {
+        /// Index of the offending component.
+        index: usize,
+    },
+}
+
+impl fmt::Display for QosError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QosError::MismatchedAbstractions {
+                baseline_len,
+                candidate_len,
+            } => write!(
+                f,
+                "output abstractions have mismatched lengths: baseline has {baseline_len} components, candidate has {candidate_len}"
+            ),
+            QosError::EmptyAbstraction => write!(f, "output abstraction has no components"),
+            QosError::MismatchedWeights { components, weights } => write!(
+                f,
+                "weight vector length {weights} does not match {components} abstraction components"
+            ),
+            QosError::InvalidWeight { index, value } => {
+                write!(f, "weight {index} is invalid: {value}")
+            }
+            QosError::InvalidBound { value } => write!(f, "qos loss bound is invalid: {value}"),
+            QosError::NonFiniteComponent { index } => {
+                write!(f, "abstraction component {index} is not finite")
+            }
+        }
+    }
+}
+
+impl Error for QosError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_without_trailing_punctuation() {
+        let errors = [
+            QosError::MismatchedAbstractions {
+                baseline_len: 3,
+                candidate_len: 2,
+            },
+            QosError::EmptyAbstraction,
+            QosError::MismatchedWeights {
+                components: 4,
+                weights: 1,
+            },
+            QosError::InvalidWeight {
+                index: 2,
+                value: -1.0,
+            },
+            QosError::InvalidBound { value: f64::NAN },
+            QosError::NonFiniteComponent { index: 0 },
+        ];
+        for e in errors {
+            let text = e.to_string();
+            assert!(!text.is_empty());
+            assert!(!text.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<QosError>();
+    }
+}

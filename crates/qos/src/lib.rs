@@ -1,0 +1,48 @@
+//! Quality-of-service metrics for accuracy-aware computing.
+//!
+//! PowerDial quantifies the accuracy of each dynamic-knob setting with a
+//! *QoS loss* metric computed against the output of the highest-quality
+//! (baseline) configuration. This crate provides:
+//!
+//! * [`OutputAbstraction`] — the user-provided reduction of a program output
+//!   to a vector of numbers `o_1 … o_m` (Section 2.2 of the paper);
+//! * [`distortion`] / [`weighted_distortion`] — the QoS-loss metric of
+//!   Equation 1, the mean relative error of the abstraction components,
+//!   optionally weighted;
+//! * [`Psnr`] — peak signal-to-noise ratio, the image-quality component of
+//!   the video encoder's abstraction;
+//! * [`retrieval`] — precision, recall, P@N, and F-measure for the search
+//!   benchmark;
+//! * [`QosLossBound`] — the user-specified cap on acceptable QoS loss used to
+//!   exclude knob settings during calibration.
+//!
+//! QoS loss of `0.0` is a perfect result; larger values are worse. Values are
+//! reported in the same percentage units as the paper's figures when callers
+//! multiply by 100.
+//!
+//! # Example
+//!
+//! ```
+//! use powerdial_qos::{distortion, OutputAbstraction};
+//!
+//! let baseline = OutputAbstraction::from_components([10.0, 20.0, 40.0]);
+//! let degraded = OutputAbstraction::from_components([11.0, 20.0, 38.0]);
+//! let loss = distortion(&baseline, &degraded).unwrap();
+//! assert!(loss.value() > 0.0 && loss.value() < 0.1);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod abstraction;
+mod bound;
+mod distortion;
+mod error;
+mod psnr;
+pub mod retrieval;
+
+pub use abstraction::OutputAbstraction;
+pub use bound::QosLossBound;
+pub use distortion::{distortion, weighted_distortion, QosLoss};
+pub use error::QosError;
+pub use psnr::Psnr;

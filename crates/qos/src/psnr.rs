@@ -1,0 +1,154 @@
+//! Peak signal-to-noise ratio, the image-quality component of the video
+//! encoder's output abstraction.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Peak signal-to-noise ratio in decibels.
+///
+/// PSNR compares a reconstructed (decoded) image against the original:
+/// `PSNR = 10·log10(MAX² / MSE)`. Higher is better; typical lossy video
+/// encodings land in the 30–50 dB range.
+///
+/// # Example
+///
+/// ```
+/// use powerdial_qos::Psnr;
+///
+/// let original = [10.0, 20.0, 30.0, 40.0];
+/// let reconstructed = [11.0, 19.0, 30.0, 41.0];
+/// let psnr = Psnr::between(&original, &reconstructed, 255.0).unwrap();
+/// assert!(psnr.decibels() > 40.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Psnr(f64);
+
+impl Psnr {
+    /// PSNR used to represent a perfect (lossless) reconstruction when the
+    /// mean squared error is zero. 100 dB is far above any lossy encoder and
+    /// keeps the value finite so it can participate in distortion metrics.
+    pub const LOSSLESS_DB: f64 = 100.0;
+
+    /// Creates a PSNR from a decibel value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `decibels` is not finite.
+    pub fn from_db(decibels: f64) -> Self {
+        assert!(decibels.is_finite(), "psnr must be finite, got {decibels}");
+        Psnr(decibels)
+    }
+
+    /// Computes the PSNR between an original and a reconstructed signal, both
+    /// given as per-sample values, with `peak` the maximum representable
+    /// sample value (255 for 8-bit images).
+    ///
+    /// Returns `None` if the signals are empty or have different lengths.
+    pub fn between(original: &[f64], reconstructed: &[f64], peak: f64) -> Option<Self> {
+        if original.is_empty() || original.len() != reconstructed.len() {
+            return None;
+        }
+        let mse = original
+            .iter()
+            .zip(reconstructed)
+            .map(|(a, b)| (a - b).powi(2))
+            .sum::<f64>()
+            / original.len() as f64;
+        Some(Psnr::from_mse(mse, peak))
+    }
+
+    /// Computes the PSNR from a mean squared error and a peak sample value.
+    pub fn from_mse(mse: f64, peak: f64) -> Self {
+        if mse <= 0.0 {
+            Psnr(Self::LOSSLESS_DB)
+        } else {
+            Psnr((10.0 * (peak * peak / mse).log10()).min(Self::LOSSLESS_DB))
+        }
+    }
+
+    /// The PSNR in decibels.
+    pub const fn decibels(self) -> f64 {
+        self.0
+    }
+
+    /// Returns true when this PSNR represents a lossless reconstruction.
+    pub fn is_lossless(self) -> bool {
+        self.0 >= Self::LOSSLESS_DB
+    }
+}
+
+impl fmt::Display for Psnr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} dB", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_signals_are_lossless() {
+        let signal = [1.0, 2.0, 3.0];
+        let psnr = Psnr::between(&signal, &signal, 255.0).unwrap();
+        assert!(psnr.is_lossless());
+        assert_eq!(psnr.decibels(), Psnr::LOSSLESS_DB);
+    }
+
+    #[test]
+    fn known_mse_gives_expected_psnr() {
+        // MSE of 1.0 with 8-bit peak: 10*log10(255^2) ≈ 48.13 dB.
+        let psnr = Psnr::from_mse(1.0, 255.0);
+        assert!((psnr.decibels() - 48.1308).abs() < 1e-3);
+    }
+
+    #[test]
+    fn larger_error_means_lower_psnr() {
+        let original = [0.0, 0.0, 0.0, 0.0];
+        let small_error = [1.0, 0.0, 0.0, 0.0];
+        let large_error = [10.0, 10.0, 10.0, 10.0];
+        let small = Psnr::between(&original, &small_error, 255.0).unwrap();
+        let large = Psnr::between(&original, &large_error, 255.0).unwrap();
+        assert!(small > large);
+    }
+
+    #[test]
+    fn mismatched_or_empty_signals_return_none() {
+        assert!(Psnr::between(&[1.0], &[1.0, 2.0], 255.0).is_none());
+        assert!(Psnr::between(&[], &[], 255.0).is_none());
+    }
+
+    #[test]
+    fn display_includes_units() {
+        assert_eq!(Psnr::from_db(42.5).to_string(), "42.50 dB");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn from_db_rejects_nan() {
+        Psnr::from_db(f64::NAN);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// PSNR is monotone non-increasing in the magnitude of uniform noise.
+        #[test]
+        fn psnr_decreases_with_noise(
+            signal in proptest::collection::vec(0.0f64..255.0, 4..64),
+            noise_small in 0.01f64..1.0,
+            noise_extra in 0.5f64..10.0,
+        ) {
+            let noisy_small: Vec<f64> = signal.iter().map(|v| v + noise_small).collect();
+            let noisy_large: Vec<f64> = signal.iter().map(|v| v + noise_small + noise_extra).collect();
+            let small = Psnr::between(&signal, &noisy_small, 255.0).unwrap();
+            let large = Psnr::between(&signal, &noisy_large, 255.0).unwrap();
+            prop_assert!(small >= large);
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! Information-retrieval metrics: precision, recall, P@N, and F-measure.
+//!
+//! The swish++ search benchmark measures QoS with the F-measure — the
+//! harmonic mean of precision and recall — evaluated at different cutoffs
+//! (`P@N` notation in the paper). Relevance is defined by the result set the
+//! baseline (highest-QoS) configuration returns.
+
+use std::collections::HashSet;
+use std::fmt;
+use std::hash::Hash;
+
+use serde::{Deserialize, Serialize};
+
+/// Precision, recall, and F-measure of one retrieved result list against a
+/// relevant set.
+///
+/// # Example
+///
+/// ```
+/// use powerdial_qos::retrieval::RetrievalScore;
+///
+/// // The engine returned documents 1, 2, 3; documents 1..=4 are relevant.
+/// let score = RetrievalScore::evaluate(&[1, 2, 3], &[1, 2, 3, 4]);
+/// assert!((score.precision() - 1.0).abs() < 1e-12);
+/// assert!((score.recall() - 0.75).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetrievalScore {
+    retrieved: usize,
+    relevant: usize,
+    relevant_retrieved: usize,
+}
+
+impl RetrievalScore {
+    /// Evaluates a list of retrieved item identifiers against the set of
+    /// relevant identifiers. Duplicate identifiers are counted once.
+    pub fn evaluate<T: Eq + Hash>(retrieved: &[T], relevant: &[T]) -> Self {
+        let retrieved_set: HashSet<&T> = retrieved.iter().collect();
+        let relevant_set: HashSet<&T> = relevant.iter().collect();
+        let relevant_retrieved = retrieved_set.intersection(&relevant_set).count();
+        RetrievalScore {
+            retrieved: retrieved_set.len(),
+            relevant: relevant_set.len(),
+            relevant_retrieved,
+        }
+    }
+
+    /// Evaluates only the top `n` retrieved results (the paper's `P@N`).
+    pub fn evaluate_at<T: Eq + Hash>(retrieved: &[T], relevant: &[T], n: usize) -> Self {
+        let cutoff = retrieved.len().min(n);
+        // Relevance is also truncated to the top-n of the baseline ranking,
+        // matching the paper's P@N evaluation of baseline-vs-truncated lists.
+        let relevant_cutoff = relevant.len().min(n);
+        RetrievalScore::evaluate(&retrieved[..cutoff], &relevant[..relevant_cutoff])
+    }
+
+    /// Number of distinct items retrieved.
+    pub fn retrieved_count(&self) -> usize {
+        self.retrieved
+    }
+
+    /// Number of distinct relevant items.
+    pub fn relevant_count(&self) -> usize {
+        self.relevant
+    }
+
+    /// Number of retrieved items that are relevant.
+    pub fn relevant_retrieved_count(&self) -> usize {
+        self.relevant_retrieved
+    }
+
+    /// Precision: relevant retrieved / retrieved. Defined as 1.0 when nothing
+    /// was retrieved and nothing was relevant, 0.0 when nothing was retrieved
+    /// but something was relevant.
+    pub fn precision(&self) -> f64 {
+        if self.retrieved == 0 {
+            if self.relevant == 0 {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            self.relevant_retrieved as f64 / self.retrieved as f64
+        }
+    }
+
+    /// Recall: relevant retrieved / relevant. Defined as 1.0 when nothing was
+    /// relevant.
+    pub fn recall(&self) -> f64 {
+        if self.relevant == 0 {
+            1.0
+        } else {
+            self.relevant_retrieved as f64 / self.relevant as f64
+        }
+    }
+
+    /// F-measure: the harmonic mean of precision and recall (F1).
+    pub fn f_measure(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// QoS loss implied by this score: `1 − F`, so a perfect retrieval has
+    /// zero loss.
+    pub fn qos_loss(&self) -> f64 {
+        1.0 - self.f_measure()
+    }
+}
+
+impl fmt::Display for RetrievalScore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "precision {:.3}, recall {:.3}, F {:.3}",
+            self.precision(),
+            self.recall(),
+            self.f_measure()
+        )
+    }
+}
+
+/// Mean of a collection of retrieval scores (macro-averaged precision,
+/// recall, and F-measure).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct MeanRetrievalScore {
+    /// Macro-averaged precision.
+    pub precision: f64,
+    /// Macro-averaged recall.
+    pub recall: f64,
+    /// Macro-averaged F-measure.
+    pub f_measure: f64,
+    /// Number of queries averaged.
+    pub queries: usize,
+}
+
+impl MeanRetrievalScore {
+    /// Averages per-query scores. Returns `None` for an empty collection.
+    pub fn from_scores(scores: impl IntoIterator<Item = RetrievalScore>) -> Option<Self> {
+        let mut precision = 0.0;
+        let mut recall = 0.0;
+        let mut f_measure = 0.0;
+        let mut queries = 0usize;
+        for score in scores {
+            precision += score.precision();
+            recall += score.recall();
+            f_measure += score.f_measure();
+            queries += 1;
+        }
+        if queries == 0 {
+            return None;
+        }
+        let n = queries as f64;
+        Some(MeanRetrievalScore {
+            precision: precision / n,
+            recall: recall / n,
+            f_measure: f_measure / n,
+            queries,
+        })
+    }
+
+    /// QoS loss implied by the mean F-measure (`1 − F`).
+    pub fn qos_loss(&self) -> f64 {
+        1.0 - self.f_measure
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_retrieval_has_unit_scores() {
+        let score = RetrievalScore::evaluate(&[1, 2, 3], &[1, 2, 3]);
+        assert_eq!(score.precision(), 1.0);
+        assert_eq!(score.recall(), 1.0);
+        assert_eq!(score.f_measure(), 1.0);
+        assert_eq!(score.qos_loss(), 0.0);
+    }
+
+    #[test]
+    fn truncated_results_keep_precision_lose_recall() {
+        // Returning the top 5 of 10 relevant documents: precision 1, recall 0.5.
+        let relevant: Vec<u32> = (0..10).collect();
+        let retrieved: Vec<u32> = (0..5).collect();
+        let score = RetrievalScore::evaluate(&retrieved, &relevant);
+        assert_eq!(score.precision(), 1.0);
+        assert_eq!(score.recall(), 0.5);
+        assert!((score.f_measure() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p_at_n_truncates_both_lists() {
+        let relevant: Vec<u32> = (0..100).collect();
+        let retrieved: Vec<u32> = (0..5).collect();
+        // At P@5 the truncated list is perfect.
+        let at5 = RetrievalScore::evaluate_at(&retrieved, &relevant, 5);
+        assert_eq!(at5.f_measure(), 1.0);
+        // At P@10 recall suffers.
+        let at10 = RetrievalScore::evaluate_at(&retrieved, &relevant, 10);
+        assert_eq!(at10.precision(), 1.0);
+        assert_eq!(at10.recall(), 0.5);
+    }
+
+    #[test]
+    fn irrelevant_results_hurt_precision() {
+        let score = RetrievalScore::evaluate(&[1, 2, 99, 100], &[1, 2, 3, 4]);
+        assert_eq!(score.precision(), 0.5);
+        assert_eq!(score.recall(), 0.5);
+    }
+
+    #[test]
+    fn empty_cases_are_well_defined() {
+        let nothing_retrieved = RetrievalScore::evaluate::<u32>(&[], &[1, 2]);
+        assert_eq!(nothing_retrieved.precision(), 0.0);
+        assert_eq!(nothing_retrieved.recall(), 0.0);
+        assert_eq!(nothing_retrieved.f_measure(), 0.0);
+
+        let nothing_relevant = RetrievalScore::evaluate::<u32>(&[], &[]);
+        assert_eq!(nothing_relevant.precision(), 1.0);
+        assert_eq!(nothing_relevant.recall(), 1.0);
+    }
+
+    #[test]
+    fn duplicates_are_counted_once() {
+        let score = RetrievalScore::evaluate(&[1, 1, 2], &[1, 2]);
+        assert_eq!(score.retrieved_count(), 2);
+        assert_eq!(score.f_measure(), 1.0);
+    }
+
+    #[test]
+    fn mean_score_averages_queries() {
+        let a = RetrievalScore::evaluate(&[1, 2], &[1, 2]);
+        let b = RetrievalScore::evaluate(&[1], &[1, 2]);
+        let mean = MeanRetrievalScore::from_scores([a, b]).unwrap();
+        assert!((mean.precision - 1.0).abs() < 1e-12);
+        assert!((mean.recall - 0.75).abs() < 1e-12);
+        assert_eq!(mean.queries, 2);
+        assert!(mean.qos_loss() > 0.0);
+        assert!(MeanRetrievalScore::from_scores(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn display_mentions_all_three_metrics() {
+        let text = RetrievalScore::evaluate(&[1], &[1, 2]).to_string();
+        assert!(text.contains("precision"));
+        assert!(text.contains("recall"));
+        assert!(text.contains('F'));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Precision, recall, and F-measure are always in [0, 1], and the
+        /// F-measure never exceeds either component.
+        #[test]
+        fn metrics_are_bounded(
+            retrieved in proptest::collection::vec(0u32..50, 0..40),
+            relevant in proptest::collection::vec(0u32..50, 0..40),
+        ) {
+            let score = RetrievalScore::evaluate(&retrieved, &relevant);
+            let p = score.precision();
+            let r = score.recall();
+            let f = score.f_measure();
+            prop_assert!((0.0..=1.0).contains(&p));
+            prop_assert!((0.0..=1.0).contains(&r));
+            prop_assert!((0.0..=1.0).contains(&f));
+            // The harmonic mean lies between the two components.
+            prop_assert!(f >= p.min(r) - 1e-12);
+            prop_assert!(f <= p.max(r) + 1e-12);
+            prop_assert!((score.qos_loss() - (1.0 - f)).abs() < 1e-12);
+        }
+
+        /// Truncating the retrieved list never increases recall.
+        #[test]
+        fn truncation_never_increases_recall(
+            relevant in proptest::collection::vec(0u32..100, 1..50),
+            keep in 0usize..50,
+        ) {
+            let full: Vec<u32> = relevant.clone();
+            let truncated: Vec<u32> = relevant.iter().copied().take(keep).collect();
+            let full_score = RetrievalScore::evaluate(&full, &relevant);
+            let truncated_score = RetrievalScore::evaluate(&truncated, &relevant);
+            prop_assert!(truncated_score.recall() <= full_score.recall() + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Calibrating a multi-knob application: the video encoder's three knobs
+//! (`subme`, `merange`, `ref`) span a 27-point trade-off space of which only
+//! a handful of settings are Pareto-optimal.
+//!
+//! Run with `cargo run --example calibrate_video_encoder`.
+
+use powerdial::apps::VideoEncoderApp;
+use powerdial::experiments::tradeoff_analysis;
+use powerdial::qos::QosLossBound;
+use powerdial::{PowerDialConfig, PowerDialSystem};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let app = VideoEncoderApp::test_scale(5);
+    let system = PowerDialSystem::build(
+        &app,
+        PowerDialConfig::default().with_qos_bound(QosLossBound::from_percent(10.0)?),
+    )?;
+
+    println!("explored {} knob settings", system.calibration().len());
+    println!(
+        "control variables: {:?}",
+        system
+            .control_variables()
+            .map(|set| set.variable_names())
+            .unwrap_or_default()
+    );
+
+    let analysis = tradeoff_analysis(&app, &system)?;
+    println!("\nPareto-optimal settings (training -> production):");
+    for (train, prod) in analysis.pareto_training.iter().zip(&analysis.pareto_production) {
+        println!(
+            "  {:<40} {:>6.2}x / {:>6.3}%   ->   {:>6.2}x / {:>6.3}%",
+            train.setting, train.speedup, train.qos_loss_percent, prod.speedup, prod.qos_loss_percent
+        );
+    }
+
+    println!(
+        "\ntraining-vs-production correlation: speedup {:.3}, qos loss {:.3}",
+        analysis.speedup_correlation.unwrap_or(f64::NAN),
+        analysis.qos_correlation.unwrap_or(f64::NAN)
+    );
+    println!(
+        "runtime knob table keeps {} settings within the 10% QoS bound (max speedup {:.2}x)",
+        system.knob_table().len(),
+        system.knob_table().max_speedup()
+    );
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Quickstart: turn a static configuration parameter into a dynamic knob and
+//! let PowerDial drive it.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use powerdial::apps::{InputSet, KnobbedApplication, SwaptionsApp};
+use powerdial::{PowerDialConfig, PowerDialSystem};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The application: a Monte Carlo swaption pricer whose `sm` parameter
+    //    (simulation trials) trades accuracy for speed.
+    let app = SwaptionsApp::test_scale(42);
+    println!("application: {}", app.name());
+    println!("knobs: {:?}", app.parameter_space().parameters().iter().map(|p| p.name()).collect::<Vec<_>>());
+
+    // 2. Build the PowerDial system: influence tracing identifies the control
+    //    variables, calibration measures every knob setting against the
+    //    default on the training inputs, and the Pareto-optimal settings form
+    //    the runtime knob table.
+    let system = PowerDialSystem::build(&app, PowerDialConfig::default())?;
+
+    println!("\ncontrol variables identified by influence tracing:");
+    if let Some(variables) = system.control_variables() {
+        print!("{}", variables.report());
+    }
+
+    println!("\ncalibrated knob table (Pareto-optimal settings):");
+    for point in system.knob_table().iter() {
+        println!(
+            "  {:<24} speedup {:>8.2}x  qos loss {:>7.4}%",
+            point.setting.to_string(),
+            point.speedup,
+            point.qos_loss.percent()
+        );
+    }
+
+    // 3. Drive the runtime: pretend the platform slowed down so the observed
+    //    heart rate is only 60% of the 10 beats/s target, and watch the
+    //    controller trade a little accuracy for responsiveness.
+    let mut runtime = system.runtime(10.0, 10.0)?;
+    println!("\nruntime reaction to a platform running at 60% capacity:");
+    for beat in 0..5 {
+        let decision = runtime.on_heartbeat(Some(6.0));
+        println!(
+            "  beat {beat}: requested speedup {:.2}, applying {} (gain {:.1}x)",
+            decision.requested_speedup,
+            decision.setting(),
+            decision.gain
+        );
+    }
+
+    // 4. The chosen settings still produce answers — just slightly less
+    //    accurate ones.
+    let baseline = app.run_input(InputSet::Production, 0, system.knob_table().baseline_setting());
+    let decision = runtime.on_heartbeat(Some(6.0));
+    let degraded = app.run_input(InputSet::Production, 0, decision.setting());
+    println!(
+        "\nbaseline price {:.6} vs degraded price {:.6} ({}x less work)",
+        baseline.output.component(0).unwrap_or(0.0),
+        degraded.output.component(0).unwrap_or(0.0),
+        (baseline.work / degraded.work).round()
+    );
+    Ok(())
+}

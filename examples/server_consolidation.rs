@@ -1,0 +1,52 @@
+//! Server consolidation: the paper's Figure 8 scenario.
+//!
+//! A cluster provisioned for peak load spends most of its life mostly idle.
+//! PowerDial lets a smaller cluster absorb the load spikes by trading a
+//! bounded amount of quality for throughput, so the idle machines can be
+//! removed entirely.
+//!
+//! Run with `cargo run --example server_consolidation`.
+
+use powerdial::apps::SwaptionsApp;
+use powerdial::experiments::consolidation_study;
+use powerdial::qos::QosLossBound;
+use powerdial::{PowerDialConfig, PowerDialSystem};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let app = SwaptionsApp::test_scale(11);
+    let system = PowerDialSystem::build(&app, PowerDialConfig::default())?;
+
+    // The paper provisions four machines for the PARSEC benchmarks and allows
+    // a 5% QoS loss when consolidating.
+    let study = consolidation_study(&system, 4, QosLossBound::from_percent(5.0)?, 11)?;
+
+    println!(
+        "{}: {} machines consolidated to {} (speedup {:.1}x available within a {:.0}% QoS bound)",
+        study.application,
+        study.original_machines,
+        study.consolidated_machines,
+        study.provisioning_speedup,
+        study.qos_bound_percent
+    );
+
+    println!("\n  utilization  original W  consolidated W  savings W  qos loss %");
+    for point in &study.points {
+        println!(
+            "  {:>11.2}  {:>10.0}  {:>14.0}  {:>9.0}  {:>10.3}",
+            point.utilization,
+            point.original_power_watts,
+            point.consolidated_power_watts,
+            point.original_power_watts - point.consolidated_power_watts,
+            point.qos_loss_percent
+        );
+    }
+
+    println!(
+        "\nsavings at 25% utilization: {:.0} W; at peak load the consolidated system uses {:.0}% less power; \
+         worst-case QoS loss {:.2}%",
+        study.savings_at(0.25).unwrap_or(0.0),
+        study.peak_load_power_savings() * 100.0,
+        study.max_qos_loss_percent()
+    );
+    Ok(())
+}

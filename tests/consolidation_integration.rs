@@ -1,0 +1,87 @@
+//! End-to-end server-consolidation tests (the paper's Section 5.5): the
+//! consolidated system serves the same peak load with fewer machines, less
+//! power, and a bounded QoS loss.
+
+use powerdial::analytic::consolidation::ConsolidationModel;
+use powerdial::apps::{SearchApp, SwaptionsApp, VideoEncoderApp};
+use powerdial::experiments::consolidation_study;
+use powerdial::qos::QosLossBound;
+use powerdial::{PowerDialConfig, PowerDialSystem};
+
+#[test]
+fn parsec_benchmarks_consolidate_four_machines_to_one() {
+    for seed in [300u64, 301] {
+        let app = SwaptionsApp::test_scale(seed);
+        let system = PowerDialSystem::build(&app, PowerDialConfig::default()).unwrap();
+        let study =
+            consolidation_study(&system, 4, QosLossBound::from_percent(5.0).unwrap(), 21).unwrap();
+        assert_eq!(study.consolidated_machines, 1, "seed {seed}");
+        assert!(study.provisioning_speedup >= 4.0);
+        // ~66% savings at 25% utilization, ~75% at peak (the paper's numbers).
+        let quarter = study
+            .points
+            .iter()
+            .find(|p| (p.utilization - 0.25).abs() < 0.03)
+            .unwrap();
+        let quarter_savings =
+            (quarter.original_power_watts - quarter.consolidated_power_watts) / quarter.original_power_watts;
+        assert!(quarter_savings > 0.5, "savings fraction {quarter_savings:.2}");
+        assert!((study.peak_load_power_savings() - 0.75).abs() < 0.05);
+        assert!(study.max_qos_loss_percent() <= 5.0 + 1e-6);
+    }
+}
+
+#[test]
+fn video_encoder_consolidates_with_bounded_quality_loss() {
+    let app = VideoEncoderApp::test_scale(302);
+    let system = PowerDialSystem::build(&app, PowerDialConfig::default()).unwrap();
+    let study =
+        consolidation_study(&system, 4, QosLossBound::from_percent(10.0).unwrap(), 11).unwrap();
+    assert!(study.consolidated_machines < 4);
+    assert!(study.max_qos_loss_percent() <= 10.0 + 1e-6);
+    // Power savings exist at every utilization level.
+    for point in &study.points {
+        assert!(point.consolidated_power_watts <= point.original_power_watts + 1e-9);
+    }
+}
+
+#[test]
+fn search_engine_drops_one_of_three_machines() {
+    let app = SearchApp::test_scale(303);
+    let system = PowerDialSystem::build(&app, PowerDialConfig::default()).unwrap();
+    let study =
+        consolidation_study(&system, 3, QosLossBound::from_percent(30.0).unwrap(), 11).unwrap();
+    assert_eq!(study.original_machines, 3);
+    assert_eq!(study.consolidated_machines, 2);
+    let savings = study.peak_load_power_savings();
+    assert!(
+        savings > 0.2 && savings < 0.45,
+        "peak-load savings {savings:.2} should be roughly the paper's ~25-33%"
+    );
+}
+
+#[test]
+fn experiment_matches_the_analytic_model() {
+    // The simulated sweep's end points agree with the closed-form equations
+    // of Section 3 evaluated with the same parameters.
+    let app = SwaptionsApp::test_scale(304);
+    let system = PowerDialSystem::build(&app, PowerDialConfig::default()).unwrap();
+    let bound = QosLossBound::from_percent(5.0).unwrap();
+    let study = consolidation_study(&system, 4, bound, 5).unwrap();
+
+    let speedup = system.calibration().knob_table(bound).unwrap().max_speedup();
+    let model = ConsolidationModel::new(4, 1.0, 0.25, 220.0, 90.0).unwrap();
+    assert_eq!(
+        study.consolidated_machines,
+        model.machines_needed(speedup).unwrap()
+    );
+
+    // At zero utilization both systems idle; the power difference is exactly
+    // the idle power of the removed machines.
+    let idle_point = &study.points[0];
+    let removed = (study.original_machines - study.consolidated_machines) as f64;
+    assert!(
+        (idle_point.original_power_watts - idle_point.consolidated_power_watts - removed * 90.0).abs()
+            < 1e-6
+    );
+}

@@ -1,0 +1,112 @@
+//! Integration tests of dynamic knob identification: influence tracing over
+//! the benchmark applications produces exactly the expected control
+//! variables, and applications that violate the paper's conditions are
+//! rejected.
+
+use powerdial::apps::{
+    BodytrackApp, KnobbedApplication, SearchApp, SwaptionsApp, VideoEncoderApp,
+};
+use powerdial::influence::{
+    ControlVariableAnalysis, InfluenceError, ParamId, Tracer, VariableValue,
+};
+
+#[test]
+fn every_benchmark_yields_one_control_variable_per_knob() {
+    let swaptions = SwaptionsApp::test_scale(400);
+    let video = VideoEncoderApp::test_scale(400);
+    let bodytrack = BodytrackApp::test_scale(400);
+    let search = SearchApp::test_scale(400);
+    let apps: Vec<(&dyn KnobbedApplication, Vec<&str>)> = vec![
+        (&swaptions, vec!["sm_control"]),
+        (&video, vec!["merange_control", "ref_control", "subme_control"]),
+        (&bodytrack, vec!["layers_control", "particles_control"]),
+        (&search, vec!["max_results_control"]),
+    ];
+
+    for (app, expected_variables) in apps {
+        let space = app.parameter_space();
+        let traces: Vec<_> = space.settings().map(|s| app.trace_run(&s)).collect();
+        let params: Vec<ParamId> = (0..space.parameter_count()).map(ParamId::new).collect();
+        let analysis = ControlVariableAnalysis::new(params).require_all_parameters_used(true);
+        let set = analysis.analyze(&traces).unwrap();
+        assert_eq!(set.variable_names(), expected_variables, "{}", app.name());
+        assert_eq!(set.setting_count(), space.setting_count());
+
+        // The recorded values follow the parameter settings: setting 0 maps
+        // each control variable to the corresponding parameter's first value.
+        let first_setting = space.setting(0).unwrap();
+        for (parameter, value) in first_setting.iter() {
+            let variable = format!("{parameter}_control");
+            assert_eq!(
+                set.value(0, &variable),
+                Some(&VariableValue::Scalar(value)),
+                "{}: {variable}",
+                app.name()
+            );
+        }
+
+        // The report names the parameter behind every control variable.
+        let report = set.report();
+        assert_eq!(report.application, app.name());
+        for entry in &report.entries {
+            assert_eq!(entry.parameters.len(), 1);
+            assert!(entry.variable.starts_with(&entry.parameters[0]));
+            assert!(!entry.read_sites.is_empty());
+            assert!(!entry.write_sites.is_empty());
+        }
+    }
+}
+
+/// Builds a trace of a misbehaving application that recomputes its "control
+/// variable" inside the main loop, violating the constant condition.
+fn trace_with_main_loop_write(value: f64) -> powerdial::influence::TraceLog {
+    let mut tracer = Tracer::new("misbehaving");
+    let knob = tracer.register_parameter("quality");
+    let variable = tracer.declare_variable("effort");
+    let initial = tracer.parameter_value(knob, value);
+    tracer.write_variable(variable, initial, "startup").unwrap();
+    tracer.first_heartbeat();
+    for i in 0..3 {
+        let current = tracer.read_variable(variable, "loop").unwrap();
+        if i == 1 {
+            // Adaptive re-tuning inside the loop: PowerDial must reject this,
+            // because poking the variable from outside would be overwritten.
+            tracer
+                .write_variable(variable, current * 0.5, "adaptive_retune")
+                .unwrap();
+        }
+        tracer.heartbeat();
+    }
+    tracer.finish()
+}
+
+#[test]
+fn applications_that_mutate_control_variables_are_rejected() {
+    let traces = vec![trace_with_main_loop_write(1.0), trace_with_main_loop_write(2.0)];
+    let analysis = ControlVariableAnalysis::new([ParamId::new(0)]);
+    let err = analysis.analyze(&traces).unwrap_err();
+    assert!(matches!(
+        err,
+        InfluenceError::NonConstantVariable { ref site, .. } if site == "adaptive_retune"
+    ));
+}
+
+#[test]
+fn parameters_that_do_not_reach_the_main_loop_are_rejected() {
+    // A configuration parameter that only affects start-up behaviour (never
+    // read after the first heartbeat) produces no control variable.
+    let mut tracer = Tracer::new("startup-only");
+    let knob = tracer.register_parameter("log_verbosity");
+    let variable = tracer.declare_variable("verbosity");
+    let value = tracer.parameter_value(knob, 3.0);
+    tracer.write_variable(variable, value, "startup").unwrap();
+    tracer.first_heartbeat();
+    tracer.heartbeat();
+    let trace = tracer.finish();
+
+    let analysis = ControlVariableAnalysis::new([ParamId::new(0)]);
+    assert_eq!(
+        analysis.analyze(&[trace]),
+        Err(InfluenceError::NoControlVariables)
+    );
+}

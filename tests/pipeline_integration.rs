@@ -1,0 +1,131 @@
+//! End-to-end pipeline tests: every benchmark application goes through the
+//! full PowerDial workflow (identification, calibration, Pareto filtering,
+//! runtime construction) and the resulting trade-off spaces have the shape
+//! the paper reports in Section 5.2.
+
+use powerdial::apps::{
+    BodytrackApp, KnobbedApplication, SearchApp, SwaptionsApp, VideoEncoderApp,
+};
+use powerdial::experiments::tradeoff_analysis;
+use powerdial::qos::QosLossBound;
+use powerdial::{PowerDialConfig, PowerDialSystem};
+
+fn build(app: &dyn KnobbedApplication) -> PowerDialSystem {
+    PowerDialSystem::build(app, PowerDialConfig::default()).expect("pipeline builds")
+}
+
+#[test]
+fn every_benchmark_completes_the_full_workflow() {
+    let swaptions = SwaptionsApp::test_scale(100);
+    let video = VideoEncoderApp::test_scale(100);
+    let bodytrack = BodytrackApp::test_scale(100);
+    let search = SearchApp::test_scale(100);
+    let apps: Vec<&dyn KnobbedApplication> = vec![&swaptions, &video, &bodytrack, &search];
+
+    for app in apps {
+        let system = build(app);
+        // Control variables were identified for every knob.
+        let variables = system
+            .control_variables()
+            .expect("verification is enabled by default");
+        assert_eq!(
+            variables.variable_names().len(),
+            app.parameter_space().parameter_count(),
+            "{} should expose one control variable per knob",
+            app.name()
+        );
+        // Calibration covered the whole space.
+        assert_eq!(system.calibration().len(), app.parameter_space().setting_count());
+        // The knob table offers genuine speedups and contains the baseline.
+        assert!(system.knob_table().max_speedup() > 1.1, "{}", app.name());
+        assert!(system.knob_table().len() >= 2, "{}", app.name());
+        // A runtime can be constructed from the calibrated table.
+        let runtime = system.runtime(5.0, 5.0).expect("runtime builds");
+        assert_eq!(runtime.quantum_heartbeats(), 20);
+    }
+}
+
+#[test]
+fn tradeoff_spaces_match_the_papers_shape() {
+    // Section 5.2: swaptions reaches very large speedups at <2% loss, x264
+    // and bodytrack reach several-x speedups at modest loss, swish++ is
+    // limited to ~1.5x.
+    let swaptions = SwaptionsApp::test_scale(101);
+    let system = build(&swaptions);
+    let analysis = tradeoff_analysis(&swaptions, &system).unwrap();
+    assert!(analysis.max_training_speedup() > 20.0);
+    // At test scale the trial counts are thousands rather than the paper's
+    // hundreds of thousands, so Monte Carlo noise (and therefore QoS loss) is
+    // proportionally larger; the structural claim — multi-x speedups at
+    // single-digit-percent loss — still holds.
+    let small_loss_big_speedup = analysis
+        .pareto_training
+        .iter()
+        .any(|p| p.speedup > 3.0 && p.qos_loss_percent < 10.0);
+    assert!(small_loss_big_speedup, "swaptions should offer cheap speedups");
+
+    let video = VideoEncoderApp::test_scale(101);
+    let system = build(&video);
+    let analysis = tradeoff_analysis(&video, &system).unwrap();
+    assert!(analysis.max_training_speedup() > 2.0, "x264-style encoder should speed up by 2x+");
+
+    let bodytrack = BodytrackApp::test_scale(101);
+    let system = build(&bodytrack);
+    let analysis = tradeoff_analysis(&bodytrack, &system).unwrap();
+    assert!(analysis.max_training_speedup() > 4.0, "bodytrack should speed up by 4x+");
+
+    let search = SearchApp::test_scale(101);
+    let system = build(&search);
+    let analysis = tradeoff_analysis(&search, &system).unwrap();
+    let max = analysis.max_training_speedup();
+    assert!(max > 1.2 && max < 2.5, "swish++ speedup {max} should be modest");
+}
+
+#[test]
+fn training_predicts_production_behaviour() {
+    // Table 2: the correlation between training and production measurements
+    // is close to 1 for the benchmarks with non-trivial trade-off spaces.
+    let swaptions = SwaptionsApp::test_scale(102);
+    let system = build(&swaptions);
+    let analysis = tradeoff_analysis(&swaptions, &system).unwrap();
+    assert!(analysis.speedup_correlation.unwrap() > 0.99);
+
+    let bodytrack = BodytrackApp::test_scale(102);
+    let system = build(&bodytrack);
+    let analysis = tradeoff_analysis(&bodytrack, &system).unwrap();
+    assert!(analysis.speedup_correlation.unwrap() > 0.9);
+    // Production speedups should be close to the training speedups point by
+    // point, not just correlated.
+    for (train, prod) in analysis.pareto_training.iter().zip(&analysis.pareto_production) {
+        let ratio = prod.speedup / train.speedup;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "production speedup {:.2} vs training {:.2}",
+            prod.speedup,
+            train.speedup
+        );
+    }
+}
+
+#[test]
+fn qos_bound_controls_the_runtime_table() {
+    let video = VideoEncoderApp::test_scale(103);
+    let strict = PowerDialSystem::build(
+        &video,
+        PowerDialConfig::default().with_qos_bound(QosLossBound::from_percent(1.0).unwrap()),
+    )
+    .unwrap();
+    let loose = PowerDialSystem::build(
+        &video,
+        PowerDialConfig::default().with_qos_bound(QosLossBound::from_percent(50.0).unwrap()),
+    )
+    .unwrap();
+    assert!(strict.knob_table().len() <= loose.knob_table().len());
+    assert!(strict.knob_table().max_speedup() <= loose.knob_table().max_speedup() + 1e-12);
+    // Every retained non-baseline point respects the bound.
+    for point in strict.knob_table().iter() {
+        if point.setting_index != strict.calibration().baseline().setting_index {
+            assert!(point.qos_loss.percent() <= 1.0 + 1e-9);
+        }
+    }
+}

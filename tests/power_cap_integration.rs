@@ -1,0 +1,117 @@
+//! End-to-end power-cap tests (the paper's Section 5.3 and 5.4): PowerDial
+//! holds performance when the processor frequency drops, paying a bounded
+//! QoS cost, while an uncontrolled run falls behind.
+
+use powerdial::apps::{BodytrackApp, SwaptionsApp};
+use powerdial::experiments::sim::{simulate_closed_loop, SimulationOptions};
+use powerdial::experiments::{frequency_sweep, power_cap_response};
+use powerdial::platform::{FrequencyState, PowerCapSchedule};
+use powerdial::{PowerDialConfig, PowerDialSystem};
+
+fn options(units: usize) -> SimulationOptions {
+    SimulationOptions {
+        work_units: units,
+        window_size: 10,
+        use_dynamic_knobs: true,
+    }
+}
+
+#[test]
+fn frequency_sweep_trades_power_for_qos() {
+    // Figure 6: as the frequency drops, power drops and QoS loss rises while
+    // performance stays near the target.
+    let app = SwaptionsApp::test_scale(200);
+    let system = PowerDialSystem::build(&app, PowerDialConfig::default()).unwrap();
+    let points = frequency_sweep(&app, &system, options(70)).unwrap();
+
+    assert_eq!(points.len(), 7);
+    let highest = points.first().unwrap();
+    let lowest = points.last().unwrap();
+    assert!(lowest.mean_power_watts < highest.mean_power_watts);
+    let reduction =
+        (highest.mean_power_watts - lowest.mean_power_watts) / highest.mean_power_watts;
+    assert!(
+        reduction > 0.08,
+        "power reduction {reduction:.3} should be at least ~10%"
+    );
+    assert!(lowest.mean_qos_loss_percent >= highest.mean_qos_loss_percent);
+    for point in &points {
+        assert!(
+            point.tail_normalized_performance > 0.85,
+            "performance {:.3} at {} GHz",
+            point.tail_normalized_performance,
+            point.frequency_ghz
+        );
+    }
+}
+
+#[test]
+fn power_cap_response_matches_figure_7() {
+    let app = BodytrackApp::test_scale(201);
+    let system = PowerDialSystem::build(&app, PowerDialConfig::default()).unwrap();
+    let series = power_cap_response(&app, &system, options(120)).unwrap();
+
+    // With knobs the capped interval recovers close to the target; without
+    // knobs it sits near the 2/3 capacity ratio.
+    let with = series.capped_performance_with_knobs().unwrap();
+    let without = series.capped_performance_without_knobs().unwrap();
+    assert!(with > without + 0.1, "with {with:.3} vs without {without:.3}");
+    assert!(without < 0.8);
+    assert!(series.peak_knob_gain() > 1.2);
+
+    // Before the cap and well after it is lifted, the controlled run uses the
+    // baseline setting (gain 1) and full quality.
+    let pre_cap_gain = series.with_knobs[5].knob_gain;
+    assert!((pre_cap_gain - 1.0).abs() < 1e-9);
+    let final_qos = series.with_knobs.last().unwrap().qos_loss;
+    assert!(final_qos < 0.05, "final qos loss {final_qos}");
+}
+
+#[test]
+fn uncontrolled_run_slows_by_the_frequency_ratio() {
+    let app = SwaptionsApp::test_scale(202);
+    let system = PowerDialSystem::build(&app, PowerDialConfig::default()).unwrap();
+    let schedule = PowerCapSchedule::constant(FrequencyState::lowest());
+    let outcome = simulate_closed_loop(
+        &app,
+        &system,
+        &schedule,
+        SimulationOptions {
+            use_dynamic_knobs: false,
+            ..options(50)
+        },
+    )
+    .unwrap();
+    let tail = outcome.tail_normalized_performance(20).unwrap();
+    assert!(
+        (tail - 2.0 / 3.0).abs() < 0.08,
+        "uncontrolled capped performance {tail:.3} should match the 1.6/2.4 frequency ratio"
+    );
+    // No QoS is lost because the knobs never move.
+    assert!(outcome.mean_qos_loss < 1e-9);
+}
+
+#[test]
+fn controlled_capped_run_beats_uncontrolled_on_energy_per_unit() {
+    // Complementary energy view: holding performance means the controlled run
+    // finishes the same work in less time; its energy per work unit is not
+    // dramatically worse despite running the machine busier.
+    let app = SwaptionsApp::test_scale(203);
+    let system = PowerDialSystem::build(&app, PowerDialConfig::default()).unwrap();
+    let schedule = PowerCapSchedule::constant(FrequencyState::lowest());
+
+    let controlled = simulate_closed_loop(&app, &system, &schedule, options(60)).unwrap();
+    let uncontrolled = simulate_closed_loop(
+        &app,
+        &system,
+        &schedule,
+        SimulationOptions {
+            use_dynamic_knobs: false,
+            ..options(60)
+        },
+    )
+    .unwrap();
+
+    assert!(controlled.duration_secs < uncontrolled.duration_secs);
+    assert!(controlled.total_energy_joules < uncontrolled.total_energy_joules);
+}
