@@ -141,8 +141,7 @@ impl ConsolidationModel {
     /// Panics if `s < 1`; use [`ConsolidationModel::try_consolidate`] for a
     /// fallible variant.
     pub fn consolidate(&self, s: f64) -> ConsolidationPlan {
-        self.try_consolidate(s)
-            .expect("speedup must be at least 1")
+        self.try_consolidate(s).expect("speedup must be at least 1")
     }
 
     /// Fallible variant of [`ConsolidationModel::consolidate`].

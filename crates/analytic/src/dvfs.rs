@@ -203,7 +203,9 @@ mod tests {
     fn unit_speedup_changes_nothing() {
         let scenario = server_scenario();
         let breakdown = scenario.with_knobs(1.0).unwrap();
-        assert!((breakdown.elastic_race_to_idle_energy - scenario.race_to_idle_energy()).abs() < 1e-9);
+        assert!(
+            (breakdown.elastic_race_to_idle_energy - scenario.race_to_idle_energy()).abs() < 1e-9
+        );
         assert!((breakdown.elastic_dvfs_energy - scenario.dvfs_energy()).abs() < 1e-9);
         assert!(breakdown.savings.abs() < 1e-9);
     }

@@ -52,7 +52,9 @@ impl fmt::Display for AnalyticError {
             AnalyticError::InvalidUtilization { utilization } => {
                 write!(f, "utilization must be in [0, 1], got {utilization}")
             }
-            AnalyticError::ZeroMachines => write!(f, "the original system needs at least one machine"),
+            AnalyticError::ZeroMachines => {
+                write!(f, "the original system needs at least one machine")
+            }
         }
     }
 }

@@ -124,14 +124,14 @@ impl BodytrackApp {
         let amplitude: f64 = rng.gen_range(0.5..1.5);
         let time = t as f64;
         [
-            2.0 + stride * time,                                   // torso x
-            1.0 + 0.1 * (time * 0.7 + phase).sin(),                // torso y (bob)
-            2.0 + stride * time,                                   // head x
-            2.6 + 0.1 * (time * 0.7 + phase).sin(),                // head y
-            amplitude * (time * 0.6 + phase).sin(),                // left arm angle
+            2.0 + stride * time,                                           // torso x
+            1.0 + 0.1 * (time * 0.7 + phase).sin(),                        // torso y (bob)
+            2.0 + stride * time,                                           // head x
+            2.6 + 0.1 * (time * 0.7 + phase).sin(),                        // head y
+            amplitude * (time * 0.6 + phase).sin(),                        // left arm angle
             amplitude * (time * 0.6 + phase + std::f64::consts::PI).sin(), // right arm angle
             amplitude * (time * 0.6 + phase + std::f64::consts::PI).sin(), // left leg angle
-            amplitude * (time * 0.6 + phase).sin(),                // right leg angle
+            amplitude * (time * 0.6 + phase).sin(),                        // right leg angle
         ]
     }
 
@@ -159,7 +159,13 @@ impl BodytrackApp {
 
     /// Runs the annealed particle filter over one sequence, returning the
     /// estimated pose vectors (one per frame) and the work performed.
-    pub fn track(&self, set: InputSet, index: usize, layers: u32, particles: u32) -> (Vec<[f64; POSE_DIMENSIONS]>, f64) {
+    pub fn track(
+        &self,
+        set: InputSet,
+        index: usize,
+        layers: u32,
+        particles: u32,
+    ) -> (Vec<[f64; POSE_DIMENSIONS]>, f64) {
         let frames = self.frame_count(set);
         let particles = particles.max(1) as usize;
         let layers = layers.max(1);
@@ -222,7 +228,9 @@ impl BodytrackApp {
                         }
                     }
                     work += (CAMERA_COUNT * POSE_DIMENSIONS) as f64;
-                    weights.push((-beta * error / (2.0 * self.config.observation_noise.powi(2))).exp());
+                    weights.push(
+                        (-beta * error / (2.0 * self.config.observation_noise.powi(2))).exp(),
+                    );
                 }
                 let total: f64 = weights.iter().sum();
                 if total <= f64::MIN_POSITIVE {
@@ -237,7 +245,9 @@ impl BodytrackApp {
                 let mut cumulative = 0.0;
                 let mut source = 0usize;
                 for _ in 0..particle_states.len() {
-                    while cumulative + weights[source] < target && source + 1 < particle_states.len() {
+                    while cumulative + weights[source] < target
+                        && source + 1 < particle_states.len()
+                    {
                         cumulative += weights[source];
                         source += 1;
                     }
@@ -275,7 +285,12 @@ impl BodytrackApp {
     /// Mean absolute tracking error against the ground truth (used by tests
     /// and the calibration sanity checks; the paper's QoS metric compares
     /// against the baseline configuration instead).
-    pub fn tracking_error(&self, set: InputSet, index: usize, estimates: &[[f64; POSE_DIMENSIONS]]) -> f64 {
+    pub fn tracking_error(
+        &self,
+        set: InputSet,
+        index: usize,
+        estimates: &[[f64; POSE_DIMENSIONS]],
+    ) -> f64 {
         let mut error = 0.0;
         let mut count = 0usize;
         for (t, estimate) in estimates.iter().enumerate() {
@@ -352,7 +367,10 @@ impl KnobbedApplication for BodytrackApp {
             .value(PARTICLES_KNOB)
             .expect("setting assigns particles") as u32;
         let (estimates, work) = self.track(set, index, layers, particles);
-        let components: Vec<f64> = estimates.iter().flat_map(|pose| pose.iter().copied()).collect();
+        let components: Vec<f64> = estimates
+            .iter()
+            .flat_map(|pose| pose.iter().copied())
+            .collect();
         WorkUnitResult {
             work,
             output: OutputAbstraction::from_components(components),
@@ -402,7 +420,10 @@ mod tests {
             "default-setting error {expensive_error} should beat cheap error {cheap_error}"
         );
         // The default configuration tracks the body reasonably well.
-        assert!(expensive_error < 0.3, "error {expensive_error} should be small");
+        assert!(
+            expensive_error < 0.3,
+            "error {expensive_error} should be small"
+        );
     }
 
     #[test]
@@ -432,9 +453,13 @@ mod tests {
         let baseline = app.run_input(InputSet::Training, 0, &space.default_setting());
         let cheap = app.run_input(InputSet::Training, 0, &space.setting(0).unwrap());
         let comparator = app.qos_comparator();
-        let loss = comparator.qos_loss(&baseline.output, &cheap.output).unwrap();
+        let loss = comparator
+            .qos_loss(&baseline.output, &cheap.output)
+            .unwrap();
         assert!(loss.value() > 0.0);
-        let self_loss = comparator.qos_loss(&baseline.output, &baseline.output).unwrap();
+        let self_loss = comparator
+            .qos_loss(&baseline.output, &baseline.output)
+            .unwrap();
         assert_eq!(self_loss.value(), 0.0);
     }
 
@@ -452,6 +477,9 @@ mod tests {
         let a = app.ground_truth_pose(InputSet::Training, 0, 3);
         let b = app.ground_truth_pose(InputSet::Training, 0, 4);
         let jump: f64 = a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).sum();
-        assert!(jump < 2.0, "consecutive poses should differ smoothly, got {jump}");
+        assert!(
+            jump < 2.0,
+            "consecutive poses should differ smoothly, got {jump}"
+        );
     }
 }

@@ -1,7 +1,9 @@
 //! Application-specific QoS comparators.
 
 use powerdial_knobs::QosComparator;
-use powerdial_qos::{retrieval::RetrievalScore, weighted_distortion, OutputAbstraction, QosError, QosLoss};
+use powerdial_qos::{
+    retrieval::RetrievalScore, weighted_distortion, OutputAbstraction, QosError, QosLoss,
+};
 
 /// Distortion with weights proportional to the magnitude of the baseline
 /// components.

@@ -299,8 +299,12 @@ impl KnobbedApplication for SearchApp {
             .expect("knob values are non-empty");
         ParameterSpace::builder()
             .parameter(
-                ConfigParameter::new(MAX_RESULTS_KNOB, self.config.max_results_values.clone(), default)
-                    .expect("max-results values are valid"),
+                ConfigParameter::new(
+                    MAX_RESULTS_KNOB,
+                    self.config.max_results_values.clone(),
+                    default,
+                )
+                .expect("max-results values are valid"),
             )
             .build()
             .expect("the space has one parameter")
@@ -351,7 +355,9 @@ mod tests {
         assert_eq!(app.input_count(InputSet::Training), 8);
         assert_eq!(app.input_count(InputSet::Production), 12);
         assert_eq!(
-            app.parameter_space().default_setting().value(MAX_RESULTS_KNOB),
+            app.parameter_space()
+                .default_setting()
+                .value(MAX_RESULTS_KNOB),
             Some(100.0)
         );
     }
@@ -372,8 +378,15 @@ mod tests {
     fn common_words_appear_in_many_documents() {
         let app = tiny_app();
         let common = app.index.get(&0).map(|p| p.len()).unwrap_or(0);
-        let rare = app.index.get(&(app.config.vocabulary as u32 - 1)).map(|p| p.len()).unwrap_or(0);
-        assert!(common > rare, "word 0 should be in more documents ({common} vs {rare})");
+        let rare = app
+            .index
+            .get(&(app.config.vocabulary as u32 - 1))
+            .map(|p| p.len())
+            .unwrap_or(0);
+        assert!(
+            common > rare,
+            "word 0 should be in more documents ({common} vs {rare})"
+        );
         assert!(common > app.config.documents / 2);
     }
 
@@ -386,7 +399,10 @@ mod tests {
         assert!(truncated.hits.len() <= 5);
         assert_eq!(truncated.matched, full.matched);
         for (a, b) in truncated.hits.iter().zip(full.hits.iter()) {
-            assert_eq!(a.document, b.document, "top results must be preserved in order");
+            assert_eq!(
+                a.document, b.document,
+                "top results must be preserved in order"
+            );
         }
         // Scores are sorted descending.
         for pair in full.hits.windows(2) {
@@ -415,11 +431,28 @@ mod tests {
         use powerdial_qos::retrieval::RetrievalScore;
         let app = tiny_app();
         let query = &app.queries(InputSet::Production)[0];
-        let baseline: Vec<u32> = app.answer(query, 100).hits.iter().map(|h| h.document).collect();
-        let truncated: Vec<u32> = app.answer(query, 5).hits.iter().map(|h| h.document).collect();
+        let baseline: Vec<u32> = app
+            .answer(query, 100)
+            .hits
+            .iter()
+            .map(|h| h.document)
+            .collect();
+        let truncated: Vec<u32> = app
+            .answer(query, 5)
+            .hits
+            .iter()
+            .map(|h| h.document)
+            .collect();
         let score = RetrievalScore::evaluate(&truncated, &baseline);
-        assert_eq!(score.precision(), 1.0, "every returned result is still relevant");
-        assert!(score.recall() < 1.0, "recall drops because results are dropped");
+        assert_eq!(
+            score.precision(),
+            1.0,
+            "every returned result is still relevant"
+        );
+        assert!(
+            score.recall() < 1.0,
+            "recall drops because results are dropped"
+        );
     }
 
     #[test]
@@ -446,7 +479,11 @@ mod tests {
     #[test]
     fn queries_respect_term_count_bounds() {
         let app = tiny_app();
-        for query in app.queries(InputSet::Training).iter().chain(app.queries(InputSet::Production)) {
+        for query in app
+            .queries(InputSet::Training)
+            .iter()
+            .chain(app.queries(InputSet::Production))
+        {
             assert!(!query.terms.is_empty() && query.terms.len() <= 3);
             let mut unique = query.terms.clone();
             unique.dedup();

@@ -11,7 +11,9 @@ use rand::{Rng, SeedableRng};
 use rand_distr_free::standard_normal;
 use serde::{Deserialize, Serialize};
 
-use powerdial_knobs::{ConfigParameter, DistortionComparator, ParameterSetting, ParameterSpace, QosComparator};
+use powerdial_knobs::{
+    ConfigParameter, DistortionComparator, ParameterSetting, ParameterSpace, QosComparator,
+};
 use powerdial_qos::OutputAbstraction;
 
 use crate::traits::{InputSet, KnobbedApplication, WorkUnitResult};
@@ -129,7 +131,13 @@ impl SwaptionsApp {
         SwaptionsApp::with_configuration(
             seed,
             vec![
-                10_000.0, 25_000.0, 50_000.0, 100_000.0, 250_000.0, 500_000.0, 1_000_000.0,
+                10_000.0,
+                25_000.0,
+                50_000.0,
+                100_000.0,
+                250_000.0,
+                500_000.0,
+                1_000_000.0,
             ],
             64,
             512,
@@ -158,7 +166,10 @@ impl SwaptionsApp {
         training_inputs: usize,
         production_inputs: usize,
     ) -> Self {
-        assert!(!trial_values.is_empty(), "at least one trial count is required");
+        assert!(
+            !trial_values.is_empty(),
+            "at least one trial count is required"
+        );
         assert!(
             training_inputs > 0 && production_inputs > 0,
             "input counts must be positive"
@@ -253,7 +264,9 @@ impl KnobbedApplication for SwaptionsApp {
         let price = swaption.monte_carlo_price(trials, &mut rng);
         WorkUnitResult {
             work: trials as f64,
-            output: OutputAbstraction::builder().component("price", price).build(),
+            output: OutputAbstraction::builder()
+                .component("price", price)
+                .build(),
         }
     }
 }

@@ -14,7 +14,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use powerdial_knobs::{ConfigParameter, DistortionComparator, ParameterSetting, ParameterSpace, QosComparator};
+use powerdial_knobs::{
+    ConfigParameter, DistortionComparator, ParameterSetting, ParameterSpace, QosComparator,
+};
 use powerdial_qos::{OutputAbstraction, Psnr};
 
 use crate::traits::{InputSet, KnobbedApplication, WorkUnitResult};
@@ -166,7 +168,9 @@ impl VideoEncoderApp {
     /// Panics when the configuration is degenerate (zero-sized frames or
     /// blocks, no frames, empty knob ranges, or zero inputs).
     pub fn with_config(seed: u64, config: VideoConfig) -> Self {
-        assert!(config.frame_width >= config.block_size && config.frame_height >= config.block_size);
+        assert!(
+            config.frame_width >= config.block_size && config.frame_height >= config.block_size
+        );
         assert!(config.block_size > 0 && config.frames_per_video > 1);
         assert!(
             !config.subme_values.is_empty()
@@ -202,12 +206,12 @@ impl VideoEncoderApp {
         let objects: Vec<(f64, f64, f64, f64, usize, f64)> = (0..object_count)
             .map(|_| {
                 (
-                    rng.gen_range(0.0..width as f64),   // x
-                    rng.gen_range(0.0..height as f64),  // y
-                    rng.gen_range(-2.0..2.0),           // vx
-                    rng.gen_range(-2.0..2.0),           // vy
-                    rng.gen_range(4..10),               // size
-                    rng.gen_range(40.0..215.0),         // intensity
+                    rng.gen_range(0.0..width as f64),  // x
+                    rng.gen_range(0.0..height as f64), // y
+                    rng.gen_range(-2.0..2.0),          // vx
+                    rng.gen_range(-2.0..2.0),          // vy
+                    rng.gen_range(4..10),              // size
+                    rng.gen_range(40.0..215.0),        // intensity
                 )
             })
             .collect();
@@ -218,13 +222,16 @@ impl VideoEncoderApp {
                 let mut frame = Frame::new(width, height, 0.0);
                 for y in 0..height {
                     for x in 0..width {
-                        let background =
-                            64.0 + 96.0 * (x as f64 / width as f64) + 32.0 * (y as f64 / height as f64);
+                        let background = 64.0
+                            + 96.0 * (x as f64 / width as f64)
+                            + 32.0 * (y as f64 / height as f64);
                         let mut value = background;
                         for &(ox, oy, vx, vy, size, intensity) in &objects {
                             let cx = ox + vx * t as f64;
                             let cy = oy + vy * t as f64;
-                            if (x as f64 - cx).abs() < size as f64 && (y as f64 - cy).abs() < size as f64 {
+                            if (x as f64 - cx).abs() < size as f64
+                                && (y as f64 - cy).abs() < size as f64
+                            {
                                 value = intensity;
                             }
                         }
@@ -239,7 +246,14 @@ impl VideoEncoderApp {
 
     /// Encodes one video with the given knob values, returning quality,
     /// bitrate, and work statistics.
-    pub fn encode(&self, set: InputSet, index: usize, subme: u32, merange: u32, refs: u32) -> EncodeStats {
+    pub fn encode(
+        &self,
+        set: InputSet,
+        index: usize,
+        subme: u32,
+        merange: u32,
+        refs: u32,
+    ) -> EncodeStats {
         let source = self.generate_video(set, index);
         let block = self.config.block_size;
         let q = self.config.quantizer_step;
@@ -258,15 +272,7 @@ impl VideoEncoderApp {
                         // Intra frame: flat mid-gray prediction.
                         (vec![128.0; block * block], 0.0)
                     } else {
-                        self.motion_search(
-                            original,
-                            &reconstructed,
-                            bx,
-                            by,
-                            subme,
-                            merange,
-                            refs,
-                        )
+                        self.motion_search(original, &reconstructed, bx, by, subme, merange, refs)
                     };
                     work += search_work;
 
@@ -480,7 +486,9 @@ impl KnobbedApplication for VideoEncoderApp {
             "video index {index} out of range for the {set} set"
         );
         let subme = setting.value(SUBME_KNOB).expect("setting assigns subme") as u32;
-        let merange = setting.value(MERANGE_KNOB).expect("setting assigns merange") as u32;
+        let merange = setting
+            .value(MERANGE_KNOB)
+            .expect("setting assigns merange") as u32;
         let refs = setting.value(REF_KNOB).expect("setting assigns ref") as u32;
         let stats = self.encode(set, index, subme, merange, refs);
         WorkUnitResult {
@@ -537,7 +545,11 @@ mod tests {
         // should find cheaper residuals.
         assert!(default.psnr_db >= fastest.psnr_db - 0.5);
         assert!(default.bits <= fastest.bits);
-        assert!(default.psnr_db > 25.0, "psnr {} should be reasonable", default.psnr_db);
+        assert!(
+            default.psnr_db > 25.0,
+            "psnr {} should be reasonable",
+            default.psnr_db
+        );
     }
 
     #[test]

@@ -76,7 +76,6 @@ fn bench_policy_qos_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-
 /// Criterion configuration keeping the whole suite fast: short warm-up and
 /// measurement windows are plenty for the nanosecond-to-millisecond
 /// operations measured here.

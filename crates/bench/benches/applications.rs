@@ -32,7 +32,6 @@ fn bench_all_applications(c: &mut Criterion) {
     bench_app(c, &SearchApp::test_scale(2011));
 }
 
-
 /// Criterion configuration keeping the whole suite fast: short warm-up and
 /// measurement windows are plenty for the nanosecond-to-millisecond
 /// operations measured here.

@@ -47,7 +47,6 @@ fn bench_pareto_frontier(c: &mut Criterion) {
     });
 }
 
-
 /// Criterion configuration keeping the whole suite fast: short warm-up and
 /// measurement windows are plenty for the nanosecond-to-millisecond
 /// operations measured here.

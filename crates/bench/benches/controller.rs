@@ -5,8 +5,8 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
-use powerdial::control::{ControllerConfig, HeartRateController, PowerDialRuntime, RuntimeConfig};
 use powerdial::control::ztransform::analyze_closed_loop;
+use powerdial::control::{ControllerConfig, HeartRateController, PowerDialRuntime, RuntimeConfig};
 use powerdial::knobs::{Calibrator, ConfigParameter, Measurement, ParameterSpace};
 use powerdial::qos::{OutputAbstraction, QosLossBound};
 
@@ -63,7 +63,6 @@ fn bench_closed_loop_analysis(c: &mut Criterion) {
         b.iter(|| black_box(analyze_closed_loop(black_box(30.0))))
     });
 }
-
 
 /// Criterion configuration keeping the whole suite fast: short warm-up and
 /// measurement windows are plenty for the nanosecond-to-millisecond

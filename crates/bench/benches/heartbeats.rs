@@ -41,7 +41,6 @@ fn bench_rate_queries(c: &mut Criterion) {
     });
 }
 
-
 /// Criterion configuration keeping the whole suite fast: short warm-up and
 /// measurement windows are plenty for the nanosecond-to-millisecond
 /// operations measured here.

@@ -1,0 +1,59 @@
+//! Benchmarks of the full heartbeat→controller→actuator hot path and of the
+//! sliding-window query kernels, each against its checked-in
+//! pre-optimization baseline. The `*_naive` variants exist to keep the
+//! speedup of the O(1), allocation-free rework visible PR over PR; the
+//! acceptance bar is ≥5x on the `window_queries` pair.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use powerdial_bench::hotpath::{warmed_windows, HotPathLoop, NaiveHotPathLoop};
+
+fn bench_full_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_loop");
+    for window in [20usize, 100] {
+        let mut optimized = HotPathLoop::new(8, window, window);
+        group.bench_with_input(BenchmarkId::new("indexed", window), &window, |b, _| {
+            b.iter(|| black_box(optimized.step()))
+        });
+        let mut naive = NaiveHotPathLoop::new(8, window);
+        group.bench_with_input(BenchmarkId::new("naive", window), &window, |b, _| {
+            b.iter(|| black_box(naive.step()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_window_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("window_queries");
+    for window in [20usize, 256, 1024] {
+        let (incremental, naive) = warmed_windows(window);
+        group.bench_with_input(BenchmarkId::new("incremental", window), &window, |b, _| {
+            b.iter(|| {
+                (
+                    black_box(incremental.statistics()),
+                    black_box(incremental.rate()),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("naive", window), &window, |b, _| {
+            b.iter(|| (black_box(naive.statistics()), black_box(naive.rate())))
+        });
+    }
+    group.finish();
+}
+
+/// Short warm-up and measurement windows are plenty for these
+/// nanosecond-scale operations.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_full_loop, bench_window_queries
+}
+criterion_main!(benches);

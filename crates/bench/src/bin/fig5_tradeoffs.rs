@@ -30,7 +30,10 @@ fn main() {
             })
             .collect();
         print_table(
-            &format!("Figure 5 ({}) — all knob settings, training inputs", case.name()),
+            &format!(
+                "Figure 5 ({}) — all knob settings, training inputs",
+                case.name()
+            ),
             &["setting", "speedup", "qos loss %"],
             &all_rows,
         );

@@ -32,13 +32,21 @@ fn main() {
             })
             .collect();
         print_table(
-            &format!("Figure 6 ({}) — power and QoS loss vs frequency", case.name()),
-            &["frequency GHz", "mean power W", "qos loss %", "normalized perf"],
+            &format!(
+                "Figure 6 ({}) — power and QoS loss vs frequency",
+                case.name()
+            ),
+            &[
+                "frequency GHz",
+                "mean power W",
+                "qos loss %",
+                "normalized perf",
+            ],
             &rows,
         );
         if let (Some(first), Some(last)) = (points.first(), points.last()) {
-            let reduction = 100.0 * (first.mean_power_watts - last.mean_power_watts)
-                / first.mean_power_watts;
+            let reduction =
+                100.0 * (first.mean_power_watts - last.mean_power_watts) / first.mean_power_watts;
             println!(
                 "power reduction at {:.2} GHz: {:.1}% for {:.3}% QoS loss",
                 last.frequency_ghz, reduction, last.mean_qos_loss_percent

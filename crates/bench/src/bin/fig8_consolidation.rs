@@ -17,8 +17,13 @@ fn main() {
 
     for case in benchmark_suite(scale) {
         let system = case.build_system();
-        let study = consolidation_study(&system, case.original_machines, case.consolidation_bound(), 21)
-            .expect("consolidation study always succeeds for the benchmark suite");
+        let study = consolidation_study(
+            &system,
+            case.original_machines,
+            case.consolidation_bound(),
+            21,
+        )
+        .expect("consolidation study always succeeds for the benchmark suite");
 
         let rows: Vec<Vec<String>> = study
             .points

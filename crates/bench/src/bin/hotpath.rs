@@ -1,0 +1,134 @@
+//! Measures the full heartbeat→controller→actuator hot path and emits
+//! `BENCH_hotpath.json`, so successive PRs can track the perf trajectory of
+//! the control loop (beats/sec, ns/beat, and the speedup over the
+//! checked-in pre-optimization baselines).
+//!
+//! Usage: `cargo run --release -p powerdial-bench --bin hotpath [--quick]
+//! [--out PATH]`. `--quick` (or `POWERDIAL_SCALE=quick`, or a debug build)
+//! shrinks the iteration counts for CI.
+
+use std::time::Instant;
+
+use powerdial_bench::hotpath::{warmed_windows, HotPathLoop, NaiveHotPathLoop};
+use powerdial_bench::Scale;
+
+/// Sliding-window size for the full-loop measurement (the paper's default).
+const WINDOW: usize = 20;
+/// Window size for the statistics-query kernel comparison: large enough
+/// that the O(n)-vs-O(1) gap dominates measurement noise.
+const QUERY_WINDOW: usize = 256;
+/// Knob-table settings in the synthetic table.
+const SETTINGS: usize = 8;
+
+struct LoopResult {
+    beats: u64,
+    ns_per_beat: f64,
+    beats_per_sec: f64,
+}
+
+fn time_loop<F: FnMut() -> f64>(beats: u64, mut step: F) -> LoopResult {
+    let start = Instant::now();
+    let mut sink = 0.0;
+    for _ in 0..beats {
+        sink += step();
+    }
+    let elapsed = start.elapsed();
+    std::hint::black_box(sink);
+    let ns_per_beat = elapsed.as_nanos() as f64 / beats as f64;
+    LoopResult {
+        beats,
+        ns_per_beat,
+        beats_per_sec: 1e9 / ns_per_beat,
+    }
+}
+
+fn time_queries<F: FnMut() -> f64>(iterations: u64, mut query: F) -> f64 {
+    let start = Instant::now();
+    let mut sink = 0.0;
+    for _ in 0..iterations {
+        sink += query();
+    }
+    let elapsed = start.elapsed();
+    std::hint::black_box(sink);
+    elapsed.as_nanos() as f64 / iterations as f64
+}
+
+fn main() {
+    let scale = Scale::from_environment();
+    let (loop_beats, query_iters, warmup) = match scale {
+        Scale::Paper => (4_000_000u64, 2_000_000u64, 200_000u64),
+        Scale::Quick => (200_000, 100_000, 10_000),
+    };
+
+    let out_path = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1).cloned())
+            .unwrap_or_else(|| "BENCH_hotpath.json".to_string())
+    };
+
+    // Full loop, optimized: warm past the history ring's growth phase so
+    // the measured region is the allocation-free steady state.
+    let mut optimized = HotPathLoop::new(SETTINGS, WINDOW, WINDOW);
+    time_loop(warmup, || optimized.step());
+    let fast = time_loop(loop_beats, || optimized.step());
+
+    // Full loop, pre-optimization baseline.
+    let mut naive_loop = NaiveHotPathLoop::new(SETTINGS, WINDOW);
+    time_loop(warmup, || naive_loop.step());
+    let slow = time_loop(loop_beats.min(1_000_000), || naive_loop.step());
+
+    // Window-query kernels: statistics() + rate() per call.
+    let (incremental, naive_window) = warmed_windows(QUERY_WINDOW);
+    let fast_query_ns = time_queries(query_iters, || {
+        let stats = incremental.statistics().expect("warmed window");
+        stats.mean_latency_secs
+            + incremental
+                .rate()
+                .expect("warmed window")
+                .beats_per_second()
+    });
+    let slow_query_ns = time_queries(query_iters.min(200_000), || {
+        let stats = naive_window.statistics().expect("warmed window");
+        stats.mean_latency_secs
+            + naive_window
+                .rate()
+                .expect("warmed window")
+                .beats_per_second()
+    });
+
+    let loop_speedup = slow.ns_per_beat / fast.ns_per_beat;
+    let query_speedup = slow_query_ns / fast_query_ns;
+
+    println!("== hot path ({scale:?} scale) ==");
+    println!(
+        "full loop (window {WINDOW}): {:.1} ns/beat, {:.0} beats/sec ({:.2}x vs naive {:.1} ns/beat)",
+        fast.ns_per_beat, fast.beats_per_sec, loop_speedup, slow.ns_per_beat
+    );
+    println!(
+        "window queries (window {QUERY_WINDOW}): {fast_query_ns:.1} ns/query \
+         ({query_speedup:.2}x vs naive {slow_query_ns:.1} ns/query)"
+    );
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"hotpath\",\n  \"scale\": \"{scale:?}\",\n  \
+         \"window_size\": {WINDOW},\n  \"knob_settings\": {SETTINGS},\n  \
+         \"full_loop\": {{\n    \"beats\": {},\n    \"ns_per_beat\": {:.2},\n    \
+         \"beats_per_sec\": {:.0},\n    \"naive_ns_per_beat\": {:.2},\n    \
+         \"speedup_vs_naive\": {:.2}\n  }},\n  \
+         \"window_queries\": {{\n    \"window_size\": {QUERY_WINDOW},\n    \
+         \"ns_per_query\": {:.2},\n    \"naive_ns_per_query\": {:.2},\n    \
+         \"speedup_vs_naive\": {:.2}\n  }}\n}}\n",
+        fast.beats,
+        fast.ns_per_beat,
+        fast.beats_per_sec,
+        slow.ns_per_beat,
+        loop_speedup,
+        fast_query_ns,
+        slow_query_ns,
+        query_speedup,
+    );
+    std::fs::write(&out_path, json).expect("write benchmark json");
+    println!("wrote {out_path}");
+}

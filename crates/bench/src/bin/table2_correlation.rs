@@ -54,5 +54,7 @@ fn main() {
         ],
         &rows,
     );
-    println!("\nA correlation near 1 means behaviour on training inputs predicts production inputs.");
+    println!(
+        "\nA correlation near 1 means behaviour on training inputs predicts production inputs."
+    );
 }

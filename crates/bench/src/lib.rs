@@ -11,12 +11,12 @@
 //! to force the scaled-down configuration; `POWERDIAL_SCALE=paper` forces the
 //! full configuration.
 
-use powerdial::apps::{
-    BodytrackApp, KnobbedApplication, SearchApp, SwaptionsApp, VideoEncoderApp,
-};
+use powerdial::apps::{BodytrackApp, KnobbedApplication, SearchApp, SwaptionsApp, VideoEncoderApp};
 use powerdial::experiments::sim::SimulationOptions;
 use powerdial::{PowerDialConfig, PowerDialSystem};
 use powerdial_qos::QosLossBound;
+
+pub mod hotpath;
 
 /// Which configuration scale the harness runs at.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -173,13 +173,22 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
         cells
             .iter()
             .enumerate()
-            .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(c.len())))
+            .map(|(i, c)| {
+                format!(
+                    "{:width$}",
+                    c,
+                    width = widths.get(i).copied().unwrap_or(c.len())
+                )
+            })
             .collect::<Vec<_>>()
             .join("  ")
     };
     let header_cells: Vec<String> = header.iter().map(|h| h.to_string()).collect();
     println!("{}", format_row(&header_cells));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         println!("{}", format_row(row));
     }

@@ -5,9 +5,15 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use powerdial_knobs::{CalibrationPoint, KnobTable};
+use powerdial_knobs::{CalibrationPoint, KnobTable, PointIdx};
 
 use crate::error::ControlError;
+
+/// The largest number of segments any actuation policy produces: the
+/// minimal-speedup policy mixes at most `s_min` with the default setting;
+/// race-to-idle uses a single segment. Compact schedules exploit this bound
+/// to live entirely on the stack.
+pub const MAX_PLAN_SEGMENTS: usize = 2;
 
 /// How the actuator resolves the under-determined system of Equations 9–11.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
@@ -125,6 +131,149 @@ impl Schedule {
     }
 }
 
+/// One segment of a [`CompactSchedule`]: run the knob setting at `idx` for
+/// `fraction` of the time quantum.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlanSegment {
+    /// Index of the calibrated knob setting in the planning [`KnobTable`].
+    pub idx: PointIdx,
+    /// The fraction of the quantum to spend at this setting, in `[0, 1]`.
+    pub fraction: f64,
+}
+
+/// The actuator's plan for one time quantum, in index form.
+///
+/// Semantically identical to [`Schedule`] but `Copy` and allocation-free:
+/// segments are `(PointIdx, fraction)` pairs in a fixed inline array instead
+/// of cloned [`CalibrationPoint`]s in a `Vec`. This is what the hot path
+/// ([`crate::PowerDialRuntime::on_heartbeat_idx`]) plans with; resolve
+/// indices through the [`KnobTable`] the plan was made against.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompactSchedule {
+    segments: [PlanSegment; MAX_PLAN_SEGMENTS],
+    segment_count: u8,
+    /// Fraction of the quantum the application may idle (race-to-idle only).
+    pub idle_fraction: f64,
+    /// The average speedup the schedule achieves over the quantum.
+    pub achieved_speedup: f64,
+    /// The speedup the controller requested.
+    pub requested_speedup: f64,
+}
+
+impl CompactSchedule {
+    fn new(requested_speedup: f64) -> Self {
+        CompactSchedule {
+            segments: [PlanSegment {
+                idx: PointIdx::new(0),
+                fraction: 0.0,
+            }; MAX_PLAN_SEGMENTS],
+            segment_count: 0,
+            idle_fraction: 0.0,
+            achieved_speedup: 0.0,
+            requested_speedup,
+        }
+    }
+
+    fn push_segment(&mut self, idx: PointIdx, fraction: f64) {
+        let count = usize::from(self.segment_count);
+        debug_assert!(count < MAX_PLAN_SEGMENTS, "compact schedule overflow");
+        self.segments[count] = PlanSegment { idx, fraction };
+        self.segment_count += 1;
+    }
+
+    /// The planned segments, in planning order.
+    pub fn segments(&self) -> &[PlanSegment] {
+        &self.segments[..usize::from(self.segment_count)]
+    }
+
+    /// True when the schedule meets or exceeds the requested speedup
+    /// (within floating-point tolerance).
+    pub fn meets_request(&self) -> bool {
+        self.achieved_speedup + 1e-9 >= self.requested_speedup
+    }
+
+    /// The mean QoS loss over the quantum implied by the schedule, resolved
+    /// against the table the plan was made from. Matches
+    /// [`Schedule::expected_qos_loss`].
+    pub fn expected_qos_loss(&self, table: &KnobTable) -> f64 {
+        let busy: f64 = self.segments().iter().map(|s| s.fraction).sum();
+        if busy <= 0.0 {
+            return 0.0;
+        }
+        let total_output: f64 = self
+            .segments()
+            .iter()
+            .map(|s| s.fraction * table.speedup_of(s.idx))
+            .sum();
+        if total_output <= 0.0 {
+            return 0.0;
+        }
+        self.segments()
+            .iter()
+            .map(|s| {
+                let point = table.point(s.idx);
+                s.fraction * point.speedup * point.qos_loss.value()
+            })
+            .sum::<f64>()
+            / total_output
+    }
+
+    /// Splits the quantum's `heartbeats` among the segments, writing
+    /// `(index, beats)` pairs into `out` and returning the number of entries
+    /// used. Allocation-free equivalent of [`Schedule::beats_per_segment`]
+    /// (identical rounding, so the two produce beat-for-beat equal splits).
+    pub fn beats_per_segment_into(
+        &self,
+        heartbeats: u32,
+        table: &KnobTable,
+        out: &mut [(PointIdx, u32); MAX_PLAN_SEGMENTS],
+    ) -> usize {
+        let segments = self.segments();
+        let mut weights = [0.0f64; MAX_PLAN_SEGMENTS];
+        let mut total = 0.0;
+        for (i, segment) in segments.iter().enumerate() {
+            weights[i] = segment.fraction * table.speedup_of(segment.idx);
+            total += weights[i];
+        }
+        if total <= 0.0 {
+            for (i, segment) in segments.iter().enumerate() {
+                out[i] = (segment.idx, if i == 0 { heartbeats } else { 0 });
+            }
+            return segments.len();
+        }
+        let mut allocated = 0u32;
+        for (i, segment) in segments.iter().enumerate() {
+            let beats = if i + 1 == segments.len() {
+                heartbeats.saturating_sub(allocated)
+            } else {
+                ((f64::from(heartbeats) * weights[i] / total).round() as u32)
+                    .min(heartbeats.saturating_sub(allocated))
+            };
+            allocated += beats;
+            out[i] = (segment.idx, beats);
+        }
+        segments.len()
+    }
+
+    /// Expands the compact plan into the clone-based [`Schedule`] form
+    /// (identical field for field); for reporting paths, not the hot path.
+    pub fn to_schedule(&self, table: &KnobTable) -> Schedule {
+        Schedule {
+            segments: self
+                .segments()
+                .iter()
+                .map(|s| ScheduleSegment {
+                    point: table.point(s.idx).clone(),
+                    fraction: s.fraction,
+                })
+                .collect(),
+            idle_fraction: self.idle_fraction,
+            achieved_speedup: self.achieved_speedup,
+            requested_speedup: self.requested_speedup,
+        }
+    }
+}
+
 /// Converts controller speedups into knob-setting schedules.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Actuator {
@@ -148,7 +297,18 @@ impl Actuator {
     /// When even the fastest knob setting cannot deliver the requested
     /// speedup, the schedule saturates at the fastest setting for the whole
     /// quantum (and [`Schedule::meets_request`] reports `false`).
+    ///
+    /// This is the clone-based convenience form; the hot path uses
+    /// [`Actuator::plan_compact`], of which this is an exact expansion.
     pub fn plan(&self, table: &KnobTable, requested_speedup: f64) -> Schedule {
+        self.plan_compact(table, requested_speedup)
+            .to_schedule(table)
+    }
+
+    /// Plans the next quantum in index form: O(log n) in the table size,
+    /// no heap allocation, `Copy` result. Semantics are identical to
+    /// [`Actuator::plan`].
+    pub fn plan_compact(&self, table: &KnobTable, requested_speedup: f64) -> CompactSchedule {
         let requested = requested_speedup.max(0.0);
         match self.policy {
             ActuationPolicy::RaceToIdle => self.plan_race_to_idle(table, requested),
@@ -177,83 +337,56 @@ impl Actuator {
         Ok(self.plan(table, requested_speedup))
     }
 
-    fn plan_race_to_idle(&self, table: &KnobTable, requested: f64) -> Schedule {
-        let fastest = table.fastest().clone();
-        let s_max = fastest.speedup;
+    fn plan_race_to_idle(&self, table: &KnobTable, requested: f64) -> CompactSchedule {
+        let fastest = table.fastest_idx();
+        let s_max = table.speedup_of(fastest);
         // s_max · t_max = requested  =>  t_max = requested / s_max.
         let t_max = (requested / s_max).min(1.0);
         let achieved = s_max * t_max;
-        Schedule {
-            segments: vec![ScheduleSegment {
-                point: fastest,
-                fraction: t_max,
-            }],
-            idle_fraction: 1.0 - t_max,
-            achieved_speedup: if t_max < 1.0 { requested } else { achieved },
-            requested_speedup: requested,
-        }
+        let mut schedule = CompactSchedule::new(requested);
+        schedule.push_segment(fastest, t_max);
+        schedule.idle_fraction = 1.0 - t_max;
+        schedule.achieved_speedup = if t_max < 1.0 { requested } else { achieved };
+        schedule
     }
 
-    fn plan_minimal_speedup(&self, table: &KnobTable, requested: f64) -> Schedule {
-        let baseline = table.baseline().clone();
-        if requested <= baseline.speedup {
+    fn plan_minimal_speedup(&self, table: &KnobTable, requested: f64) -> CompactSchedule {
+        let baseline = table.baseline_idx();
+        let baseline_speedup = table.speedup_of(baseline);
+        let mut schedule = CompactSchedule::new(requested);
+        if requested <= baseline_speedup {
             // The default setting already meets the target: run it all
             // quantum.
-            return Schedule {
-                segments: vec![ScheduleSegment {
-                    point: baseline,
-                    fraction: 1.0,
-                }],
-                idle_fraction: 0.0,
-                achieved_speedup: 1.0,
-                requested_speedup: requested,
-            };
+            schedule.push_segment(baseline, 1.0);
+            schedule.achieved_speedup = 1.0;
+            return schedule;
         }
-        match table.setting_for_speedup(requested) {
+        match table.idx_for_speedup(requested) {
             Some(point) => {
-                let s_min = point.speedup;
+                let s_min = table.speedup_of(point);
                 // s_min·t_min + 1·t_default = requested, t_min + t_default = 1
                 //   =>  t_min = (requested − 1) / (s_min − 1).
-                let t_min = if s_min > baseline.speedup {
-                    ((requested - baseline.speedup) / (s_min - baseline.speedup)).clamp(0.0, 1.0)
+                let t_min = if s_min > baseline_speedup {
+                    ((requested - baseline_speedup) / (s_min - baseline_speedup)).clamp(0.0, 1.0)
                 } else {
                     1.0
                 };
                 let t_default = 1.0 - t_min;
-                let achieved = s_min * t_min + baseline.speedup * t_default;
-                let mut segments = Vec::with_capacity(2);
                 if t_min > 0.0 {
-                    segments.push(ScheduleSegment {
-                        point: point.clone(),
-                        fraction: t_min,
-                    });
+                    schedule.push_segment(point, t_min);
                 }
                 if t_default > 0.0 {
-                    segments.push(ScheduleSegment {
-                        point: baseline,
-                        fraction: t_default,
-                    });
+                    schedule.push_segment(baseline, t_default);
                 }
-                Schedule {
-                    segments,
-                    idle_fraction: 0.0,
-                    achieved_speedup: achieved,
-                    requested_speedup: requested,
-                }
+                schedule.achieved_speedup = s_min * t_min + baseline_speedup * t_default;
+                schedule
             }
             None => {
                 // Saturate at the fastest setting.
-                let fastest = table.fastest().clone();
-                let achieved = fastest.speedup;
-                Schedule {
-                    segments: vec![ScheduleSegment {
-                        point: fastest,
-                        fraction: 1.0,
-                    }],
-                    idle_fraction: 0.0,
-                    achieved_speedup: achieved,
-                    requested_speedup: requested,
-                }
+                let fastest = table.fastest_idx();
+                schedule.push_segment(fastest, 1.0);
+                schedule.achieved_speedup = table.speedup_of(fastest);
+                schedule
             }
         }
     }
@@ -397,13 +530,20 @@ mod tests {
             .iter()
             .map(|(point, b)| f64::from(*b) / point.speedup)
             .sum();
-        assert!((20.0 / time - 1.5).abs() < 0.08, "implied speedup {}", 20.0 / time);
+        assert!(
+            (20.0 / time - 1.5).abs() < 0.08,
+            "implied speedup {}",
+            20.0 / time
+        );
     }
 
     #[test]
     fn policy_display() {
         assert_eq!(ActuationPolicy::RaceToIdle.to_string(), "race-to-idle");
-        assert_eq!(ActuationPolicy::MinimalSpeedup.to_string(), "minimal-speedup");
+        assert_eq!(
+            ActuationPolicy::MinimalSpeedup.to_string(),
+            "minimal-speedup"
+        );
     }
 }
 
@@ -451,7 +591,7 @@ mod proptests {
             for policy in [ActuationPolicy::MinimalSpeedup, ActuationPolicy::RaceToIdle] {
                 let schedule = Actuator::new(policy).plan(&table, request);
                 let busy: f64 = schedule.segments.iter().map(|s| s.fraction).sum();
-                prop_assert!(busy >= -1e-9 && busy <= 1.0 + 1e-9);
+                prop_assert!((-1e-9..=1.0 + 1e-9).contains(&busy));
                 prop_assert!(schedule.idle_fraction >= -1e-9);
                 prop_assert!((busy + schedule.idle_fraction - 1.0).abs() < 1e-6);
                 prop_assert!(
@@ -459,6 +599,27 @@ mod proptests {
                     "policy {policy} achieved {} for request {request}",
                     schedule.achieved_speedup
                 );
+            }
+        }
+
+        /// The index-based planner produces exactly the schedule the
+        /// original clone-based planner did (preserved verbatim in
+        /// `crate::naive::plan`), for any table, request, and policy —
+        /// including requests below baseline, exact matches, mixed
+        /// segments, and saturation.
+        #[test]
+        fn compact_plan_matches_original_planner(
+            mut extra_speedups in proptest::collection::vec(1.01f64..50.0, 0..6),
+            request in 0.0f64..60.0,
+        ) {
+            extra_speedups.sort_by(f64::total_cmp);
+            let mut speedups = vec![1.0];
+            speedups.extend(extra_speedups);
+            let table = arbitrary_table(&speedups);
+            for policy in [ActuationPolicy::MinimalSpeedup, ActuationPolicy::RaceToIdle] {
+                let new = Actuator::new(policy).plan(&table, request);
+                let original = crate::naive::plan(policy, &table, request);
+                prop_assert_eq!(&new, &original, "policy {} request {}", policy, request);
             }
         }
 

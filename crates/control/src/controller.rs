@@ -278,7 +278,10 @@ mod tests {
         let mut c = HeartRateController::new(ControllerConfig::new(30.0, 60.0).unwrap());
         let rates = c.simulate_response(0.5, 60);
         let last = rates.last().unwrap();
-        assert!((last - 30.0).abs() < 0.5, "rate {last} should approach the target");
+        assert!(
+            (last - 30.0).abs() < 0.5,
+            "rate {last} should approach the target"
+        );
     }
 
     #[test]

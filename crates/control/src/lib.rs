@@ -44,10 +44,16 @@
 mod actuator;
 mod controller;
 mod error;
+pub mod naive;
 mod runtime;
 pub mod ztransform;
 
-pub use actuator::{ActuationPolicy, Actuator, Schedule, ScheduleSegment};
+pub use actuator::{
+    ActuationPolicy, Actuator, CompactSchedule, PlanSegment, Schedule, ScheduleSegment,
+    MAX_PLAN_SEGMENTS,
+};
 pub use controller::{ControllerConfig, HeartRateController};
 pub use error::ControlError;
-pub use runtime::{PowerDialRuntime, RuntimeConfig, RuntimeDecision, DEFAULT_QUANTUM_HEARTBEATS};
+pub use runtime::{
+    IndexedDecision, PowerDialRuntime, RuntimeConfig, RuntimeDecision, DEFAULT_QUANTUM_HEARTBEATS,
+};

@@ -4,9 +4,9 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use powerdial_knobs::{CalibrationPoint, KnobTable, ParameterSetting};
+use powerdial_knobs::{CalibrationPoint, KnobTable, ParameterSetting, PointIdx};
 
-use crate::actuator::{ActuationPolicy, Actuator, Schedule};
+use crate::actuator::{ActuationPolicy, Actuator, CompactSchedule, MAX_PLAN_SEGMENTS};
 use crate::controller::{ControllerConfig, HeartRateController};
 use crate::error::ControlError;
 
@@ -88,6 +88,26 @@ impl fmt::Display for RuntimeDecision {
     }
 }
 
+/// The runtime's decision for the next unit of work, in index form.
+///
+/// This is the allocation-free counterpart of [`RuntimeDecision`]: a `Copy`
+/// value carrying the [`PointIdx`] of the knob setting to apply instead of a
+/// cloned [`CalibrationPoint`]. Resolve the index against
+/// [`PowerDialRuntime::table`] when the full setting is needed — typically
+/// once per *applied change*, not once per heartbeat.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IndexedDecision {
+    /// Index (into the runtime's knob table) of the setting to apply.
+    pub point_idx: PointIdx,
+    /// The instantaneous speedup of that setting (the paper's "knob gain").
+    pub gain: f64,
+    /// The fraction of the current quantum the platform may idle
+    /// (race-to-idle only; zero otherwise).
+    pub planned_idle_fraction: f64,
+    /// The continuous speedup the controller requested for this quantum.
+    pub requested_speedup: f64,
+}
+
 /// The PowerDial runtime: call [`PowerDialRuntime::on_heartbeat`] once per
 /// application heartbeat with the observed windowed heart rate, and apply the
 /// returned knob setting before processing the next unit of work.
@@ -131,8 +151,11 @@ pub struct PowerDialRuntime {
     table: KnobTable,
     quantum: u32,
     beat_in_quantum: u32,
-    per_beat_points: Vec<CalibrationPoint>,
-    current_schedule: Option<Schedule>,
+    /// One knob-setting index per heartbeat of the current quantum. The
+    /// buffer is allocated once (capacity = quantum) and refilled in place
+    /// at every quantum boundary, so steady-state planning never allocates.
+    per_beat_idx: Vec<PointIdx>,
+    current_schedule: Option<CompactSchedule>,
     quanta_planned: u64,
 }
 
@@ -153,7 +176,7 @@ impl PowerDialRuntime {
             table,
             quantum: config.quantum_heartbeats,
             beat_in_quantum: 0,
-            per_beat_points: Vec::new(),
+            per_beat_idx: Vec::with_capacity(config.quantum_heartbeats as usize),
             current_schedule: None,
             quanta_planned: 0,
         })
@@ -169,9 +192,18 @@ impl PowerDialRuntime {
         &self.table
     }
 
-    /// The schedule planned for the current quantum, if one exists.
-    pub fn current_schedule(&self) -> Option<&Schedule> {
+    /// The schedule planned for the current quantum, if one exists. Use
+    /// [`CompactSchedule::to_schedule`] with [`PowerDialRuntime::table`] to
+    /// expand it for reporting.
+    pub fn current_schedule(&self) -> Option<&CompactSchedule> {
         self.current_schedule.as_ref()
+    }
+
+    /// The per-heartbeat knob-setting indices planned for the current
+    /// quantum (empty before the first heartbeat). Exposed so equivalence
+    /// tests and diagnostics can inspect the exact interleaving.
+    pub fn planned_beat_indices(&self) -> &[PointIdx] {
+        &self.per_beat_idx
     }
 
     /// Number of quanta planned so far.
@@ -190,16 +222,34 @@ impl PowerDialRuntime {
     ///
     /// A new schedule is planned at the start of every quantum; within a
     /// quantum the runtime walks the planned per-heartbeat settings.
+    ///
+    /// This convenience form clones the decided [`CalibrationPoint`] into
+    /// the returned [`RuntimeDecision`]; the steady-state hot path should
+    /// use [`PowerDialRuntime::on_heartbeat_idx`], which is allocation-free.
     pub fn on_heartbeat(&mut self, observed_rate: Option<f64>) -> RuntimeDecision {
+        let decision = self.on_heartbeat_idx(observed_rate);
+        RuntimeDecision {
+            point: self.table.point(decision.point_idx).clone(),
+            gain: decision.gain,
+            planned_idle_fraction: decision.planned_idle_fraction,
+            requested_speedup: decision.requested_speedup,
+        }
+    }
+
+    /// Feeds one heartbeat observation and returns the decision in index
+    /// form. O(1) per beat (amortized over the quantum) and performs **no
+    /// heap allocation** after the first quantum: planning refills the
+    /// runtime's preallocated per-beat buffer in place.
+    pub fn on_heartbeat_idx(&mut self, observed_rate: Option<f64>) -> IndexedDecision {
         if self.beat_in_quantum == 0 {
             self.plan_quantum(observed_rate);
         }
         let index = self.beat_in_quantum as usize;
-        let point = self
-            .per_beat_points
+        let point_idx = self
+            .per_beat_idx
             .get(index)
-            .cloned()
-            .unwrap_or_else(|| self.table.baseline().clone());
+            .copied()
+            .unwrap_or_else(|| self.table.baseline_idx());
 
         self.beat_in_quantum += 1;
         if self.beat_in_quantum >= self.quantum {
@@ -210,18 +260,18 @@ impl PowerDialRuntime {
             .current_schedule
             .as_ref()
             .expect("schedule exists after planning");
-        RuntimeDecision {
-            gain: point.speedup,
+        IndexedDecision {
+            point_idx,
+            gain: self.table.speedup_of(point_idx),
             planned_idle_fraction: schedule.idle_fraction,
             requested_speedup: schedule.requested_speedup,
-            point,
         }
     }
 
     fn plan_quantum(&mut self, observed_rate: Option<f64>) {
         let observed = observed_rate.unwrap_or_else(|| self.controller.config().target_rate());
         let requested = self.controller.update(observed);
-        let schedule = self.actuator.plan(&self.table, requested);
+        let schedule = self.actuator.plan_compact(&self.table, requested);
 
         // Expand the schedule into one knob setting per heartbeat of the
         // quantum. Segments are interleaved (largest-deficit first) rather
@@ -230,16 +280,26 @@ impl PowerDialRuntime {
         // (race-to-idle) does not change the setting; the application simply
         // finishes its work early, so the remaining beats reuse the first
         // (fastest) segment's setting.
-        let beats_per_segment = schedule.beats_per_segment(self.quantum);
-        let mut remaining: Vec<(CalibrationPoint, u32)> = beats_per_segment
-            .iter()
-            .map(|(point, beats)| ((*point).clone(), *beats))
-            .collect();
-        let totals: Vec<f64> = remaining.iter().map(|(_, beats)| f64::from(*beats)).collect();
-        let busy_beats: u32 = remaining.iter().map(|(_, beats)| *beats).sum();
+        //
+        // Everything below runs in fixed-size stack arrays (a schedule has
+        // at most MAX_PLAN_SEGMENTS segments) plus the preallocated
+        // `per_beat_idx` buffer: zero heap allocation per quantum. The
+        // deficit interleaving is beat-for-beat identical to the original
+        // clone-based expansion, which `crate::naive` preserves and the
+        // equivalence tests replay.
+        let mut seg_beats = [(PointIdx::new(0), 0u32); MAX_PLAN_SEGMENTS];
+        let segment_count =
+            schedule.beats_per_segment_into(self.quantum, &self.table, &mut seg_beats);
+        let remaining = &mut seg_beats[..segment_count];
+        let mut totals = [0.0f64; MAX_PLAN_SEGMENTS];
+        let mut busy_beats = 0u32;
+        for (i, (_, beats)) in remaining.iter().enumerate() {
+            totals[i] = f64::from(*beats);
+            busy_beats += *beats;
+        }
 
-        let mut per_beat: Vec<CalibrationPoint> = Vec::with_capacity(self.quantum as usize);
-        let mut assigned: Vec<f64> = vec![0.0; remaining.len()];
+        self.per_beat_idx.clear();
+        let mut assigned = [0.0f64; MAX_PLAN_SEGMENTS];
         for beat in 0..busy_beats {
             // Pick the segment whose assignment lags its target share most.
             let progress = f64::from(beat + 1) / f64::from(busy_beats.max(1));
@@ -256,29 +316,29 @@ impl PowerDialRuntime {
                 }
             }
             let index = best.expect("at least one segment has beats left");
-            per_beat.push(remaining[index].0.clone());
+            self.per_beat_idx.push(remaining[index].0);
             assigned[index] += 1.0;
             remaining[index].1 -= 1;
         }
-        let filler = per_beat
+        let filler = self
+            .per_beat_idx
             .first()
-            .cloned()
-            .unwrap_or_else(|| self.table.fastest().clone());
-        while per_beat.len() < self.quantum as usize {
-            per_beat.push(filler.clone());
+            .copied()
+            .unwrap_or_else(|| self.table.fastest_idx());
+        while self.per_beat_idx.len() < self.quantum as usize {
+            self.per_beat_idx.push(filler);
         }
 
-        self.per_beat_points = per_beat;
         self.current_schedule = Some(schedule);
         self.quanta_planned += 1;
     }
 
     /// Resets the controller and discards the current schedule, keeping the
-    /// knob table.
+    /// knob table (and the preallocated planning buffer).
     pub fn reset(&mut self) {
         self.controller.reset();
         self.beat_in_quantum = 0;
-        self.per_beat_points.clear();
+        self.per_beat_idx.clear();
         self.current_schedule = None;
         self.quanta_planned = 0;
     }
@@ -347,7 +407,10 @@ mod tests {
         for _ in 0..8 {
             gains.push(rt.on_heartbeat(Some(15.0)).gain);
         }
-        assert!(gains.iter().any(|&g| g > 1.0), "gains {gains:?} should include a boosted setting");
+        assert!(
+            gains.iter().any(|&g| g > 1.0),
+            "gains {gains:?} should include a boosted setting"
+        );
         assert!(rt.current_schedule().is_some());
         assert!(rt.controller().speedup() > 1.0);
     }
@@ -431,5 +494,113 @@ mod tests {
         let mut rt = runtime(4);
         let decision = rt.on_heartbeat(Some(30.0));
         assert!(decision.to_string().contains("gain"));
+    }
+
+    #[test]
+    fn indexed_and_cloned_decisions_agree() {
+        let mut by_index = runtime(4);
+        let mut by_clone = runtime(4);
+        for rate in [10.0, 15.0, 30.0, 45.0, 30.0, 5.0, 30.0, 30.0] {
+            let indexed = by_index.on_heartbeat_idx(Some(rate));
+            let cloned = by_clone.on_heartbeat(Some(rate));
+            assert_eq!(by_index.table().point(indexed.point_idx), &cloned.point);
+            assert_eq!(indexed.gain.to_bits(), cloned.gain.to_bits());
+            assert_eq!(
+                indexed.requested_speedup.to_bits(),
+                cloned.requested_speedup.to_bits()
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::naive::NaivePowerDialRuntime;
+    use powerdial_knobs::{ConfigParameter, ParameterSpace};
+    use powerdial_qos::{QosLoss, QosLossBound};
+    use proptest::prelude::*;
+
+    fn arbitrary_table(speedups: &[f64]) -> KnobTable {
+        let values: Vec<f64> = (0..speedups.len()).map(|i| i as f64).collect();
+        let space = ParameterSpace::builder()
+            .parameter(ConfigParameter::new("k", values, 0.0).unwrap())
+            .build()
+            .unwrap();
+        let points = speedups
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| CalibrationPoint {
+                setting_index: i,
+                setting: space.setting(i).unwrap(),
+                speedup: s,
+                qos_loss: QosLoss::new((s - 1.0).max(0.0) * 0.01),
+            })
+            .collect();
+        KnobTable::from_points(points, 0, QosLossBound::UNBOUNDED).unwrap()
+    }
+
+    proptest! {
+        /// The index-based runtime plans beat-for-beat identical schedules
+        /// to the pre-optimization clone-based expansion, across arbitrary
+        /// tables, quanta, policies, and observed-rate sequences — the
+        /// equivalence guarantee for the allocation-free rework.
+        #[test]
+        fn indexed_runtime_matches_naive_expansion(
+            mut extra_speedups in proptest::collection::vec(1.05f64..40.0, 1..5),
+            observed in proptest::collection::vec(2.0f64..90.0, 8..60),
+            quantum in 1u32..12,
+            race_to_idle in 0usize..2,
+        ) {
+            extra_speedups.sort_by(f64::total_cmp);
+            let mut speedups = vec![1.0];
+            speedups.extend(extra_speedups);
+            let table = arbitrary_table(&speedups);
+
+            let policy = if race_to_idle == 1 {
+                ActuationPolicy::RaceToIdle
+            } else {
+                ActuationPolicy::MinimalSpeedup
+            };
+            let config = RuntimeConfig::new(ControllerConfig::new(30.0, 30.0).unwrap())
+                .with_policy(policy)
+                .with_quantum_heartbeats(quantum)
+                .unwrap();
+
+            let mut indexed = PowerDialRuntime::new(config, table.clone()).unwrap();
+            let mut naive = NaivePowerDialRuntime::new(config, table).unwrap();
+
+            for (beat, rate) in observed.iter().enumerate() {
+                let fast = indexed.on_heartbeat_idx(Some(*rate));
+                let slow = naive.on_heartbeat(Some(*rate));
+                prop_assert_eq!(
+                    indexed.table().point(fast.point_idx),
+                    &slow.point,
+                    "decision diverged at beat {}",
+                    beat
+                );
+                prop_assert_eq!(fast.gain.to_bits(), slow.gain.to_bits());
+                prop_assert_eq!(
+                    fast.planned_idle_fraction.to_bits(),
+                    slow.planned_idle_fraction.to_bits()
+                );
+                prop_assert_eq!(
+                    fast.requested_speedup.to_bits(),
+                    slow.requested_speedup.to_bits()
+                );
+
+                // The full planned quantum is identical, not just the beat
+                // that happened to be returned.
+                let planned: Vec<&CalibrationPoint> = indexed
+                    .planned_beat_indices()
+                    .iter()
+                    .map(|&idx| indexed.table().point(idx))
+                    .collect();
+                let reference: Vec<&CalibrationPoint> =
+                    naive.planned_beat_points().iter().collect();
+                prop_assert_eq!(planned, reference);
+            }
+            prop_assert_eq!(indexed.quanta_planned(), naive.quanta_planned());
+        }
     }
 }

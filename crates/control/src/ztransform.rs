@@ -205,10 +205,7 @@ impl TransferFunction {
     /// dominant pole is at the origin (instant convergence) and `None` for an
     /// unstable system.
     pub fn convergence_time(&self) -> Option<f64> {
-        let dominant = self
-            .pole_magnitudes()
-            .into_iter()
-            .fold(0.0f64, f64::max);
+        let dominant = self.pole_magnitudes().into_iter().fold(0.0f64, f64::max);
         if dominant >= 1.0 {
             None
         } else if dominant == 0.0 {
@@ -369,19 +366,15 @@ mod tests {
     #[test]
     fn convergence_time_for_nonzero_dominant_pole() {
         // A first-order lag with pole at 0.5: tc = -4 / log10(0.5) ≈ 13.3.
-        let tf = TransferFunction::new(
-            Polynomial::new(vec![0.5]),
-            Polynomial::new(vec![-0.5, 1.0]),
-        );
+        let tf =
+            TransferFunction::new(Polynomial::new(vec![0.5]), Polynomial::new(vec![-0.5, 1.0]));
         let tc = tf.convergence_time().unwrap();
         assert!((tc - (-4.0 / 0.5f64.log10())).abs() < 1e-9);
         assert!(tf.is_stable());
 
         // Unstable system: pole outside the unit circle.
-        let unstable = TransferFunction::new(
-            Polynomial::new(vec![1.0]),
-            Polynomial::new(vec![-2.0, 1.0]),
-        );
+        let unstable =
+            TransferFunction::new(Polynomial::new(vec![1.0]), Polynomial::new(vec![-2.0, 1.0]));
         assert!(!unstable.is_stable());
         assert!(unstable.convergence_time().is_none());
     }

@@ -46,7 +46,9 @@ impl fmt::Display for PowerDialError {
             PowerDialError::Control(e) => write!(f, "control system configuration failed: {e}"),
             PowerDialError::Heartbeats(e) => write!(f, "heartbeat configuration failed: {e}"),
             PowerDialError::Platform(e) => write!(f, "platform configuration failed: {e}"),
-            PowerDialError::Analytic(e) => write!(f, "analytical model rejected its parameters: {e}"),
+            PowerDialError::Analytic(e) => {
+                write!(f, "analytical model rejected its parameters: {e}")
+            }
             PowerDialError::NoTrainingInputs { application } => {
                 write!(f, "application `{application}` exposes no training inputs")
             }

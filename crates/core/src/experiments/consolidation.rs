@@ -172,13 +172,8 @@ mod tests {
     fn parsec_style_consolidation_reproduces_figure_8() {
         let app = SwaptionsApp::test_scale(37);
         let system = PowerDialSystem::build(&app, PowerDialConfig::default()).unwrap();
-        let study = consolidation_study(
-            &system,
-            4,
-            QosLossBound::from_percent(5.0).unwrap(),
-            21,
-        )
-        .unwrap();
+        let study =
+            consolidation_study(&system, 4, QosLossBound::from_percent(5.0).unwrap(), 21).unwrap();
 
         // The paper consolidates the PARSEC benchmarks from 4 machines to 1.
         assert_eq!(study.original_machines, 4);
@@ -215,13 +210,8 @@ mod tests {
     fn search_consolidation_drops_one_of_three_machines() {
         let app = SearchApp::test_scale(41);
         let system = PowerDialSystem::build(&app, PowerDialConfig::default()).unwrap();
-        let study = consolidation_study(
-            &system,
-            3,
-            QosLossBound::from_percent(30.0).unwrap(),
-            11,
-        )
-        .unwrap();
+        let study =
+            consolidation_study(&system, 3, QosLossBound::from_percent(30.0).unwrap(), 11).unwrap();
         // swish++'s ~1.5x speedup lets the paper drop one of three machines.
         assert_eq!(study.original_machines, 3);
         assert_eq!(study.consolidated_machines, 2);

@@ -94,7 +94,11 @@ mod tests {
             assert!(row.training_inputs > 0);
             assert!(row.production_inputs > 0);
             assert!(!row.paper_source.is_empty());
-            assert_ne!(row.paper_training, "-", "paper row must be known for {}", row.benchmark);
+            assert_ne!(
+                row.paper_training, "-",
+                "paper row must be known for {}",
+                row.benchmark
+            );
         }
     }
 

@@ -32,7 +32,11 @@ impl PowerCapSeries {
     /// Mean normalized performance of the controlled run during the capped
     /// interval.
     pub fn capped_performance_with_knobs(&self) -> Option<f64> {
-        mean_performance_between(&self.with_knobs, self.cap_imposed_at_secs, self.cap_lifted_at_secs)
+        mean_performance_between(
+            &self.with_knobs,
+            self.cap_imposed_at_secs,
+            self.cap_lifted_at_secs,
+        )
     }
 
     /// Mean normalized performance of the uncontrolled run during the capped
@@ -137,7 +141,10 @@ mod tests {
         let without = series.capped_performance_without_knobs().unwrap();
         assert!(with > 0.85, "controlled capped performance {with}");
         assert!(without < 0.8, "uncontrolled capped performance {without}");
-        assert!(with > without + 0.1, "knobs should clearly improve capped performance");
+        assert!(
+            with > without + 0.1,
+            "knobs should clearly improve capped performance"
+        );
 
         // The runtime raised the knob gain above 1 to compensate.
         assert!(series.peak_knob_gain() > 1.2);

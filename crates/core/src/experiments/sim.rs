@@ -221,13 +221,16 @@ mod tests {
         let app = SwaptionsApp::test_scale(8);
         let system = PowerDialSystem::build(&app, PowerDialConfig::default()).unwrap();
         let schedule = PowerCapSchedule::constant(FrequencyState::highest());
-        let outcome =
-            simulate_closed_loop(&app, &system, &schedule, small_options(40)).unwrap();
+        let outcome = simulate_closed_loop(&app, &system, &schedule, small_options(40)).unwrap();
         assert_eq!(outcome.steps.len(), 40);
         // On an uncapped machine the controller never needs extra speedup, so
         // QoS loss stays at (essentially) zero and performance sits at the
         // target.
-        assert!(outcome.mean_qos_loss < 1e-6, "loss {}", outcome.mean_qos_loss);
+        assert!(
+            outcome.mean_qos_loss < 1e-6,
+            "loss {}",
+            outcome.mean_qos_loss
+        );
         let tail = outcome.tail_normalized_performance(10).unwrap();
         assert!((tail - 1.0).abs() < 0.2, "tail performance {tail}");
         assert!(outcome.mean_power_watts > 100.0);
@@ -241,8 +244,7 @@ mod tests {
         let system = PowerDialSystem::build(&app, PowerDialConfig::default()).unwrap();
         let schedule = PowerCapSchedule::constant(FrequencyState::lowest());
 
-        let with_knobs =
-            simulate_closed_loop(&app, &system, &schedule, small_options(60)).unwrap();
+        let with_knobs = simulate_closed_loop(&app, &system, &schedule, small_options(60)).unwrap();
         let without_knobs = simulate_closed_loop(
             &app,
             &system,
@@ -259,7 +261,10 @@ mod tests {
         let with_tail = with_knobs.tail_normalized_performance(20).unwrap();
         let without_tail = without_knobs.tail_normalized_performance(20).unwrap();
         assert!(with_tail > 0.9, "with knobs tail performance {with_tail}");
-        assert!(without_tail < 0.75, "without knobs tail performance {without_tail}");
+        assert!(
+            without_tail < 0.75,
+            "without knobs tail performance {without_tail}"
+        );
         assert!(with_knobs.mean_qos_loss > without_knobs.mean_qos_loss);
         assert!(with_knobs.mean_qos_loss_percent() < 20.0);
     }

@@ -119,7 +119,10 @@ pub fn tradeoff_analysis(
     let training_speedups: Vec<f64> = pareto_training.iter().map(|p| p.speedup).collect();
     let production_speedups: Vec<f64> = pareto_production.iter().map(|p| p.speedup).collect();
     let training_losses: Vec<f64> = pareto_training.iter().map(|p| p.qos_loss_percent).collect();
-    let production_losses: Vec<f64> = pareto_production.iter().map(|p| p.qos_loss_percent).collect();
+    let production_losses: Vec<f64> = pareto_production
+        .iter()
+        .map(|p| p.qos_loss_percent)
+        .collect();
 
     Ok(TradeoffAnalysis {
         application: app.name().to_string(),
@@ -146,7 +149,10 @@ mod tests {
         assert_eq!(analysis.application, "swaptions");
         assert_eq!(analysis.training_points.len(), 6);
         assert!(!analysis.pareto_training.is_empty());
-        assert_eq!(analysis.pareto_training.len(), analysis.pareto_production.len());
+        assert_eq!(
+            analysis.pareto_training.len(),
+            analysis.pareto_production.len()
+        );
 
         // Large speedups at small QoS loss, as in Figure 5a.
         assert!(analysis.max_training_speedup() > 10.0);
@@ -166,7 +172,10 @@ mod tests {
         // swish++ tops out around 1.5x, with QoS loss rising as results are
         // dropped (Figure 5d).
         let max_speedup = analysis.max_training_speedup();
-        assert!(max_speedup > 1.2 && max_speedup < 2.0, "speedup {max_speedup}");
+        assert!(
+            max_speedup > 1.2 && max_speedup < 2.0,
+            "speedup {max_speedup}"
+        );
 
         // Along the Pareto frontier, more speedup costs more QoS.
         let frontier = &analysis.pareto_training;

@@ -113,7 +113,10 @@ impl PowerDialSystem {
         // Dynamic knob identification: trace one run per setting and apply
         // the complete/pure, relevance, constant, and consistency checks.
         let control_variables = if config.verify_control_variables {
-            let traces: Vec<_> = space.settings().map(|setting| app.trace_run(&setting)).collect();
+            let traces: Vec<_> = space
+                .settings()
+                .map(|setting| app.trace_run(&setting))
+                .collect();
             let params: Vec<ParamId> = (0..space.parameter_count()).map(ParamId::new).collect();
             let analysis = ControlVariableAnalysis::new(params);
             Some(analysis.analyze(&traces)?)
@@ -200,13 +203,20 @@ impl PowerDialSystem {
     /// # Errors
     ///
     /// Returns an error when the rates are invalid or the quantum is zero.
-    pub fn runtime(&self, target_rate: f64, base_speed: f64) -> Result<PowerDialRuntime, PowerDialError> {
+    pub fn runtime(
+        &self,
+        target_rate: f64,
+        base_speed: f64,
+    ) -> Result<PowerDialRuntime, PowerDialError> {
         let controller = ControllerConfig::new(target_rate, base_speed)?
             .with_speedup_range(1.0, self.knob_table.max_speedup().max(1.0))?;
         let runtime_config = RuntimeConfig::new(controller)
             .with_policy(self.config.policy)
             .with_quantum_heartbeats(self.config.quantum_heartbeats)?;
-        Ok(PowerDialRuntime::new(runtime_config, self.knob_table.clone())?)
+        Ok(PowerDialRuntime::new(
+            runtime_config,
+            self.knob_table.clone(),
+        )?)
     }
 }
 
@@ -244,7 +254,7 @@ mod tests {
         .unwrap();
         assert!(bounded.knob_table().len() <= unbounded.knob_table().len());
         // The baseline always survives.
-        assert!(bounded.knob_table().len() >= 1);
+        assert!(!bounded.knob_table().is_empty());
     }
 
     #[test]

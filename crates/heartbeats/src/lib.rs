@@ -43,14 +43,17 @@
 
 mod error;
 mod monitor;
+pub mod naive;
 mod record;
 mod registry;
+mod ring;
 mod stats;
 mod time;
 
 pub use error::HeartbeatError;
-pub use monitor::{HeartbeatMonitor, MonitorConfig, TargetRate};
+pub use monitor::{HeartbeatMonitor, MonitorConfig, TargetRate, DEFAULT_HISTORY_CAPACITY};
 pub use record::{HeartRate, HeartbeatRecord, HeartbeatTag};
 pub use registry::{HeartbeatRegistry, MonitorId};
+pub use ring::{HistoryIter, HistoryRing};
 pub use stats::{RateStatistics, SlidingWindow};
 pub use time::{Timestamp, TimestampDelta};

@@ -5,12 +5,20 @@ use serde::{Deserialize, Serialize};
 
 use crate::error::HeartbeatError;
 use crate::record::{HeartRate, HeartbeatRecord, HeartbeatTag};
+use crate::ring::HistoryRing;
 use crate::stats::{RateStatistics, SlidingWindow};
 use crate::time::{Timestamp, TimestampDelta};
 
 /// Default number of heartbeats in the sliding window (the paper's control
 /// system smooths performance over the last twenty heartbeats).
 pub const DEFAULT_WINDOW_SIZE: usize = 20;
+
+/// Default number of [`HeartbeatRecord`]s a monitor retains when no explicit
+/// history capacity is configured. Large enough that short runs (tests,
+/// calibration sweeps, the paper's experiments) observe every record, while
+/// bounding memory on a long-running service — the unbounded history the
+/// monitor originally kept grew without limit, one record per beat, forever.
+pub const DEFAULT_HISTORY_CAPACITY: usize = 65_536;
 
 /// A target heart-rate range: the performance goal of the application.
 ///
@@ -137,7 +145,11 @@ impl MonitorConfig {
     /// # Errors
     ///
     /// Returns [`HeartbeatError::InvalidTargetRange`] for an invalid range.
-    pub fn with_target_rate_range(mut self, min_bps: f64, max_bps: f64) -> Result<Self, HeartbeatError> {
+    pub fn with_target_rate_range(
+        mut self,
+        min_bps: f64,
+        max_bps: f64,
+    ) -> Result<Self, HeartbeatError> {
         self.target = Some(TargetRate::new(min_bps, max_bps)?);
         Ok(self)
     }
@@ -148,8 +160,10 @@ impl MonitorConfig {
         self
     }
 
-    /// Limits how many [`HeartbeatRecord`]s the monitor retains (`None`
-    /// retains every record).
+    /// Limits how many [`HeartbeatRecord`]s the monitor retains. `None`
+    /// selects the default retention of [`DEFAULT_HISTORY_CAPACITY`] records
+    /// — history is always bounded; the sliding-window statistics and the
+    /// global rate are unaffected by the retention limit.
     pub fn with_history_capacity(mut self, capacity: Option<usize>) -> Self {
         self.history_capacity = capacity;
         self
@@ -181,9 +195,16 @@ impl MonitorConfig {
         self.target
     }
 
-    /// The configured history capacity.
+    /// The configured history capacity (`None` means the default,
+    /// [`DEFAULT_HISTORY_CAPACITY`]).
     pub fn history_capacity(&self) -> Option<usize> {
         self.history_capacity
+    }
+
+    /// The retention actually applied: the configured capacity, or
+    /// [`DEFAULT_HISTORY_CAPACITY`] when none was set.
+    pub fn effective_history_capacity(&self) -> usize {
+        self.history_capacity.unwrap_or(DEFAULT_HISTORY_CAPACITY)
     }
 }
 
@@ -197,7 +218,7 @@ impl MonitorConfig {
 pub struct HeartbeatMonitor {
     config: MonitorConfig,
     window: SlidingWindow,
-    history: Vec<HeartbeatRecord>,
+    history: HistoryRing,
     next_tag: HeartbeatTag,
     first_timestamp: Option<Timestamp>,
     last_timestamp: Option<Timestamp>,
@@ -208,10 +229,11 @@ impl HeartbeatMonitor {
     /// Creates a monitor from its configuration.
     pub fn new(config: MonitorConfig) -> Self {
         let window = SlidingWindow::new(config.window_size());
+        let history = HistoryRing::new(config.effective_history_capacity());
         HeartbeatMonitor {
             config,
             window,
-            history: Vec::new(),
+            history,
             next_tag: HeartbeatTag::default(),
             first_timestamp: None,
             last_timestamp: None,
@@ -278,12 +300,6 @@ impl HeartbeatMonitor {
         };
 
         self.history.push(record);
-        if let Some(capacity) = self.config.history_capacity() {
-            if self.history.len() > capacity {
-                let excess = self.history.len() - capacity;
-                self.history.drain(0..excess);
-            }
-        }
         Ok(record)
     }
 
@@ -307,8 +323,9 @@ impl HeartbeatMonitor {
         self.history.last()
     }
 
-    /// All retained heartbeat records, oldest first.
-    pub fn history(&self) -> &[HeartbeatRecord] {
+    /// The retained heartbeat records, oldest first, capped at the
+    /// configured retention (see [`MonitorConfig::with_history_capacity`]).
+    pub fn history(&self) -> &HistoryRing {
         &self.history
     }
 
@@ -396,7 +413,10 @@ mod tests {
         m.heartbeat(Timestamp::from_millis(120));
         m.heartbeat(Timestamp::from_millis(220));
         let window = m.window_rate().unwrap().beats_per_second();
-        assert!((window - 10.0).abs() < 1e-9, "window rate should reflect the slowdown");
+        assert!(
+            (window - 10.0).abs() < 1e-9,
+            "window rate should reflect the slowdown"
+        );
         // Global rate still remembers the fast beginning.
         assert!(m.global_rate().unwrap().beats_per_second() > window);
     }
@@ -415,6 +435,21 @@ mod tests {
         m.heartbeat(Timestamp::from_millis(10));
         let record = m.try_heartbeat(Timestamp::from_millis(10)).unwrap();
         assert_eq!(record.latency, TimestampDelta::ZERO);
+    }
+
+    #[test]
+    fn zero_history_capacity_retains_nothing_but_beats_still_count() {
+        let config = MonitorConfig::new("no-history")
+            .with_window_size(4)
+            .with_history_capacity(Some(0));
+        let mut m = HeartbeatMonitor::new(config);
+        for i in 0..10u64 {
+            m.heartbeat(Timestamp::from_millis(i * 10));
+        }
+        assert!(m.history().is_empty());
+        assert!(m.last_record().is_none());
+        assert_eq!(m.total_beats(), 10);
+        assert!(m.window_rate().is_some());
     }
 
     #[test]
@@ -471,7 +506,10 @@ mod tests {
         assert!(TargetRate::new(f64::NAN, 1.0).is_err());
         let range = TargetRate::new(10.0, 30.0).unwrap();
         assert!((range.midpoint().beats_per_second() - 20.0).abs() < 1e-9);
-        assert_eq!(TargetRate::exact(7.0).unwrap().min(), HeartRate::from_bps(7.0));
+        assert_eq!(
+            TargetRate::exact(7.0).unwrap().min(),
+            HeartRate::from_bps(7.0)
+        );
     }
 
     #[test]

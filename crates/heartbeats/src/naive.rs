@@ -1,0 +1,92 @@
+//! The pre-optimization sliding window, kept as a reference baseline.
+//!
+//! [`NaiveSlidingWindow`] is the recompute-on-read implementation the O(1)
+//! [`crate::SlidingWindow`] replaced: `total()` folds the whole window,
+//! `statistics()` collects the latencies into a scratch `Vec` and scans it
+//! four times. It exists for two reasons:
+//!
+//! * the equivalence property tests in `stats.rs` assert the incremental
+//!   implementation matches this one (rate/total bit-identical, mean and
+//!   variance to within 1e-9);
+//! * the `powerdial-bench` hot-path benchmarks measure the speedup of the
+//!   incremental implementation against it.
+//!
+//! Do not use it outside tests and benchmarks.
+
+use std::collections::VecDeque;
+
+use crate::record::HeartRate;
+use crate::stats::RateStatistics;
+use crate::time::TimestampDelta;
+
+/// The O(n)-per-query sliding window (pre-optimization reference).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NaiveSlidingWindow {
+    capacity: usize,
+    latencies: VecDeque<TimestampDelta>,
+}
+
+impl NaiveSlidingWindow {
+    /// Creates a window holding at most `capacity` latencies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "sliding window capacity must be at least 1");
+        NaiveSlidingWindow {
+            capacity,
+            latencies: VecDeque::with_capacity(capacity),
+        }
+    }
+
+    /// Returns the number of latencies currently stored.
+    pub fn len(&self) -> usize {
+        self.latencies.len()
+    }
+
+    /// Returns true when the window holds no latencies.
+    pub fn is_empty(&self) -> bool {
+        self.latencies.is_empty()
+    }
+
+    /// Pushes a new latency, evicting the oldest if the window is full.
+    pub fn push(&mut self, latency: TimestampDelta) {
+        if self.latencies.len() == self.capacity {
+            self.latencies.pop_front();
+        }
+        self.latencies.push_back(latency);
+    }
+
+    /// Returns the total time spanned by the stored latencies (O(n) fold).
+    pub fn total(&self) -> TimestampDelta {
+        self.latencies
+            .iter()
+            .fold(TimestampDelta::ZERO, |acc, &l| acc + l)
+    }
+
+    /// Returns the windowed heart rate (O(n): folds the window).
+    pub fn rate(&self) -> Option<HeartRate> {
+        HeartRate::from_beats_over(self.latencies.len() as u64, self.total())
+    }
+
+    /// Returns summary statistics (O(n) with a scratch allocation per call).
+    pub fn statistics(&self) -> Option<RateStatistics> {
+        if self.latencies.is_empty() {
+            return None;
+        }
+        let n = self.latencies.len() as f64;
+        let secs: Vec<f64> = self.latencies.iter().map(|l| l.as_secs_f64()).collect();
+        let mean = secs.iter().sum::<f64>() / n;
+        let variance = secs.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n;
+        let min = secs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = secs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Some(RateStatistics {
+            count: self.latencies.len(),
+            mean_latency_secs: mean,
+            latency_variance: variance,
+            min_latency_secs: min,
+            max_latency_secs: max,
+        })
+    }
+}

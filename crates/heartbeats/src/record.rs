@@ -11,7 +11,9 @@ use crate::time::{Timestamp, TimestampDelta};
 /// emitted by a monitor.
 ///
 /// The first heartbeat of a monitor has tag `0`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct HeartbeatTag(pub u64);
 
 impl HeartbeatTag {
@@ -104,7 +106,10 @@ impl HeartRate {
     ///
     /// Panics if `target` is zero.
     pub fn normalized_to(self, target: HeartRate) -> f64 {
-        assert!(target.0 > 0.0, "cannot normalize to a zero target heart rate");
+        assert!(
+            target.0 > 0.0,
+            "cannot normalize to a zero target heart rate"
+        );
         self.0 / target.0
     }
 
@@ -175,10 +180,7 @@ mod tests {
     fn rate_from_latency_is_reciprocal() {
         let r = HeartRate::from_latency(TimestampDelta::from_millis(100)).unwrap();
         assert!((r.beats_per_second() - 10.0).abs() < 1e-9);
-        assert_eq!(
-            r.mean_latency().unwrap(),
-            TimestampDelta::from_millis(100)
-        );
+        assert_eq!(r.mean_latency().unwrap(), TimestampDelta::from_millis(100));
     }
 
     #[test]

@@ -177,7 +177,10 @@ mod tests {
                 .heartbeat(Timestamp::from_millis(i * 100));
         }
         assert_eq!(registry.monitor(id).unwrap().total_beats(), 5);
-        let names: Vec<_> = registry.iter().map(|(_, m)| m.config().name().to_string()).collect();
+        let names: Vec<_> = registry
+            .iter()
+            .map(|(_, m)| m.config().name().to_string())
+            .collect();
         assert_eq!(names, vec!["app".to_string()]);
     }
 }

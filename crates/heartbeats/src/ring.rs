@@ -1,0 +1,287 @@
+//! A fixed-capacity ring buffer of heartbeat records.
+//!
+//! [`HeartbeatMonitor`](crate::HeartbeatMonitor) used to keep its full
+//! history in an unbounded `Vec`, which grows without limit on a
+//! long-running service and reallocates on the hot path. [`HistoryRing`]
+//! replaces it: a bounded ring that overwrites the oldest record once full,
+//! so a steady-state heartbeat performs no allocation and the monitor's
+//! memory is capped by its configured retention.
+//!
+//! The backing storage grows lazily up to the capacity (a fresh monitor does
+//! not pre-reserve the full retention), then stays fixed: after the ring
+//! fills once, `push` is a store plus a head bump.
+
+use std::ops::Index;
+
+use serde::{Deserialize, Serialize};
+
+use crate::record::HeartbeatRecord;
+
+/// A bounded, oldest-first-indexed ring of [`HeartbeatRecord`]s.
+///
+/// Indexing is logical: `ring[0]` is the **oldest** retained record and
+/// `ring[ring.len() - 1]` the newest, regardless of where the ring's write
+/// head currently is.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HistoryRing {
+    records: Vec<HeartbeatRecord>,
+    capacity: usize,
+    /// Physical index of the oldest record once the ring has wrapped.
+    head: usize,
+}
+
+impl HistoryRing {
+    /// Creates an empty ring retaining at most `capacity` records.
+    ///
+    /// A capacity of zero is allowed and retains nothing (every push is
+    /// dropped), matching the monitor's historical acceptance of a zero
+    /// history capacity.
+    pub fn new(capacity: usize) -> Self {
+        HistoryRing {
+            records: Vec::new(),
+            capacity,
+            head: 0,
+        }
+    }
+
+    /// The maximum number of records retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The number of records currently retained.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns true when no record is retained.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Returns true when the ring retains `capacity` records (and every
+    /// further push overwrites the oldest).
+    pub fn is_full(&self) -> bool {
+        self.records.len() == self.capacity
+    }
+
+    /// Appends a record, overwriting the oldest when full (a no-op at
+    /// capacity zero). O(1); allocates only while the ring is still growing
+    /// toward its capacity.
+    pub fn push(&mut self, record: HeartbeatRecord) {
+        if self.records.len() < self.capacity {
+            self.records.push(record);
+        } else if self.capacity > 0 {
+            self.records[self.head] = record;
+            self.head += 1;
+            if self.head == self.capacity {
+                self.head = 0;
+            }
+        }
+    }
+
+    /// Returns the record at logical position `index` (0 = oldest), or
+    /// `None` when out of range.
+    pub fn get(&self, index: usize) -> Option<&HeartbeatRecord> {
+        if index >= self.records.len() {
+            return None;
+        }
+        Some(&self.records[self.physical(index)])
+    }
+
+    /// The oldest retained record, if any.
+    pub fn first(&self) -> Option<&HeartbeatRecord> {
+        self.get(0)
+    }
+
+    /// The newest retained record, if any.
+    pub fn last(&self) -> Option<&HeartbeatRecord> {
+        self.len().checked_sub(1).and_then(|i| self.get(i))
+    }
+
+    /// Iterates over the retained records from oldest to newest.
+    pub fn iter(&self) -> HistoryIter<'_> {
+        HistoryIter {
+            ring: self,
+            position: 0,
+        }
+    }
+
+    /// Removes every record, keeping the allocated storage and capacity.
+    pub fn clear(&mut self) {
+        self.records.clear();
+        self.head = 0;
+    }
+
+    /// Copies the retained records into a fresh oldest-first `Vec` (for
+    /// reporting paths that want a contiguous slice; not for the hot path).
+    pub fn to_vec(&self) -> Vec<HeartbeatRecord> {
+        self.iter().copied().collect()
+    }
+
+    fn physical(&self, logical: usize) -> usize {
+        debug_assert!(logical < self.records.len());
+        if self.records.len() < self.capacity {
+            logical
+        } else {
+            let shifted = self.head + logical;
+            if shifted >= self.capacity {
+                shifted - self.capacity
+            } else {
+                shifted
+            }
+        }
+    }
+}
+
+impl Index<usize> for HistoryRing {
+    type Output = HeartbeatRecord;
+
+    fn index(&self, index: usize) -> &HeartbeatRecord {
+        self.get(index).expect("history ring index out of range")
+    }
+}
+
+/// Oldest-to-newest iterator over a [`HistoryRing`] (see
+/// [`HistoryRing::iter`]). Allocation-free.
+#[derive(Debug, Clone)]
+pub struct HistoryIter<'a> {
+    ring: &'a HistoryRing,
+    position: usize,
+}
+
+impl<'a> Iterator for HistoryIter<'a> {
+    type Item = &'a HeartbeatRecord;
+
+    fn next(&mut self) -> Option<&'a HeartbeatRecord> {
+        let record = self.ring.get(self.position)?;
+        self.position += 1;
+        Some(record)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.ring.len().saturating_sub(self.position);
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for HistoryIter<'_> {}
+
+impl<'a> IntoIterator for &'a HistoryRing {
+    type Item = &'a HeartbeatRecord;
+    type IntoIter = HistoryIter<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Rings are equal when they retain the same records in the same logical
+/// order under the same capacity (head position is irrelevant).
+impl PartialEq for HistoryRing {
+    fn eq(&self, other: &Self) -> bool {
+        self.capacity == other.capacity
+            && self.len() == other.len()
+            && self.iter().zip(other.iter()).all(|(a, b)| a == b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{HeartbeatRecord, HeartbeatTag};
+    use crate::time::{Timestamp, TimestampDelta};
+
+    fn record(tag: u64) -> HeartbeatRecord {
+        HeartbeatRecord {
+            tag: HeartbeatTag(tag),
+            timestamp: Timestamp::from_millis(tag),
+            latency: TimestampDelta::from_millis(1),
+            instant_rate: None,
+            window_rate: None,
+            global_rate: None,
+        }
+    }
+
+    #[test]
+    fn zero_capacity_retains_nothing() {
+        let mut ring = HistoryRing::new(0);
+        ring.push(record(1));
+        ring.push(record(2));
+        assert!(ring.is_empty());
+        assert!(ring.is_full());
+        assert_eq!(ring.capacity(), 0);
+        assert!(ring.first().is_none());
+        assert!(ring.last().is_none());
+        assert_eq!(ring.iter().count(), 0);
+    }
+
+    #[test]
+    fn grows_then_wraps_oldest_first() {
+        let mut ring = HistoryRing::new(3);
+        assert!(ring.is_empty());
+        for tag in 0..5 {
+            ring.push(record(tag));
+        }
+        assert!(ring.is_full());
+        assert_eq!(ring.len(), 3);
+        let tags: Vec<u64> = ring.iter().map(|r| r.tag.value()).collect();
+        assert_eq!(tags, vec![2, 3, 4]);
+        assert_eq!(ring[0].tag, HeartbeatTag(2));
+        assert_eq!(ring.first().unwrap().tag, HeartbeatTag(2));
+        assert_eq!(ring.last().unwrap().tag, HeartbeatTag(4));
+        assert!(ring.get(3).is_none());
+    }
+
+    #[test]
+    fn partial_ring_indexes_in_insertion_order() {
+        let mut ring = HistoryRing::new(8);
+        ring.push(record(10));
+        ring.push(record(11));
+        assert_eq!(ring.len(), 2);
+        assert!(!ring.is_full());
+        assert_eq!(ring[1].tag, HeartbeatTag(11));
+        assert_eq!(ring.to_vec().len(), 2);
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut ring = HistoryRing::new(2);
+        for tag in 0..5 {
+            ring.push(record(tag));
+        }
+        ring.clear();
+        assert!(ring.is_empty());
+        assert_eq!(ring.capacity(), 2);
+        ring.push(record(9));
+        assert_eq!(ring[0].tag, HeartbeatTag(9));
+    }
+
+    #[test]
+    fn equality_ignores_head_position() {
+        // Same logical content reached through different wrap states.
+        let mut a = HistoryRing::new(2);
+        a.push(record(1));
+        a.push(record(2));
+        let mut b = HistoryRing::new(2);
+        b.push(record(0));
+        b.push(record(1));
+        b.push(record(2));
+        assert_eq!(a, b);
+        b.push(record(3));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn for_loop_iterates_by_reference() {
+        let mut ring = HistoryRing::new(4);
+        ring.push(record(0));
+        ring.push(record(1));
+        let mut seen = 0;
+        for r in &ring {
+            assert_eq!(r.tag.value(), seen);
+            seen += 1;
+        }
+        assert_eq!(seen, 2);
+    }
+}

@@ -1,4 +1,21 @@
 //! Sliding-window statistics over heartbeat latencies.
+//!
+//! The window is the heart of PowerDial's feedback path: the controller
+//! reads the windowed rate once per heartbeat, so [`SlidingWindow::push`],
+//! [`SlidingWindow::rate`], and [`SlidingWindow::statistics`] must all be
+//! O(1) and allocation-free in steady state. The implementation keeps
+//! incrementally maintained aggregates instead of recomputing over the
+//! stored latencies:
+//!
+//! * running sum and sum-of-squares of the latencies in **integer
+//!   nanoseconds** (`u128`), so eviction subtracts exactly what insertion
+//!   added — no floating-point drift, ever;
+//! * two monotonic deques holding the suffix minima / maxima of the window,
+//!   giving O(1)-amortized min/max under FIFO eviction.
+//!
+//! The pre-optimization recompute-on-read implementation is preserved as
+//! [`crate::naive::NaiveSlidingWindow`] and is property-tested against this
+//! one (and benchmarked, in `powerdial-bench`).
 
 use std::collections::VecDeque;
 
@@ -7,12 +24,16 @@ use serde::{Deserialize, Serialize};
 use crate::record::HeartRate;
 use crate::time::TimestampDelta;
 
+/// Nanoseconds per second, as used when converting aggregates to seconds.
+const NANOS_PER_SEC_F64: f64 = 1e9;
+
 /// A fixed-capacity sliding window of heartbeat latencies.
 ///
 /// The window keeps the most recent `capacity` latencies and exposes the
 /// aggregate statistics PowerDial's controller consumes: the windowed heart
-/// rate (beats divided by the summed latency), the mean latency, and the
-/// latency variance.
+/// rate (beats divided by the summed latency), the mean latency, the latency
+/// variance, and the min/max latency. All queries are O(1); `push` is
+/// amortized O(1) and performs no heap allocation after construction.
 ///
 /// # Example
 ///
@@ -26,14 +47,29 @@ use crate::time::TimestampDelta;
 /// assert_eq!(window.len(), 3);
 /// assert!((window.rate().unwrap().beats_per_second() - 20.0).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SlidingWindow {
     capacity: usize,
     latencies: VecDeque<TimestampDelta>,
+    /// Total pushes ever performed: the index the next push will receive.
+    push_count: u64,
+    /// Sum of the stored latencies, in nanoseconds (exact).
+    sum_nanos: u128,
+    /// Sum of the squared stored latencies, in nanoseconds² (exact).
+    sum_sq_nanos: u128,
+    /// `(push index, nanos)` suffix minima: values strictly increase from
+    /// front to back, so the front is the window minimum.
+    min_deque: VecDeque<(u64, u64)>,
+    /// `(push index, nanos)` suffix maxima: values strictly decrease from
+    /// front to back, so the front is the window maximum.
+    max_deque: VecDeque<(u64, u64)>,
 }
 
 impl SlidingWindow {
     /// Creates a window holding at most `capacity` latencies.
+    ///
+    /// All storage (the latency deque and both extremum deques) is allocated
+    /// here; no later operation allocates.
     ///
     /// # Panics
     ///
@@ -43,6 +79,11 @@ impl SlidingWindow {
         SlidingWindow {
             capacity,
             latencies: VecDeque::with_capacity(capacity),
+            push_count: 0,
+            sum_nanos: 0,
+            sum_sq_nanos: 0,
+            min_deque: VecDeque::with_capacity(capacity),
+            max_deque: VecDeque::with_capacity(capacity),
         }
     }
 
@@ -67,16 +108,61 @@ impl SlidingWindow {
     }
 
     /// Pushes a new latency, evicting the oldest if the window is full.
+    ///
+    /// Amortized O(1), allocation-free: the aggregates are updated
+    /// incrementally and each element enters and leaves the extremum deques
+    /// at most once.
     pub fn push(&mut self, latency: TimestampDelta) {
         if self.latencies.len() == self.capacity {
-            self.latencies.pop_front();
+            let evicted = self
+                .latencies
+                .pop_front()
+                .expect("full window has a front element");
+            let nanos = u128::from(evicted.as_nanos());
+            self.sum_nanos -= nanos;
+            self.sum_sq_nanos -= nanos * nanos;
+            // The evicted element can only sit at the front of a deque: the
+            // deques hold indices in increasing order.
+            let evicted_index = self.push_count - self.capacity as u64;
+            if self
+                .min_deque
+                .front()
+                .is_some_and(|&(i, _)| i == evicted_index)
+            {
+                self.min_deque.pop_front();
+            }
+            if self
+                .max_deque
+                .front()
+                .is_some_and(|&(i, _)| i == evicted_index)
+            {
+                self.max_deque.pop_front();
+            }
         }
+
+        let nanos = latency.as_nanos();
         self.latencies.push_back(latency);
+        self.sum_nanos += u128::from(nanos);
+        self.sum_sq_nanos += u128::from(nanos) * u128::from(nanos);
+        while self.min_deque.back().is_some_and(|&(_, v)| v >= nanos) {
+            self.min_deque.pop_back();
+        }
+        self.min_deque.push_back((self.push_count, nanos));
+        while self.max_deque.back().is_some_and(|&(_, v)| v <= nanos) {
+            self.max_deque.pop_back();
+        }
+        self.max_deque.push_back((self.push_count, nanos));
+        self.push_count += 1;
     }
 
-    /// Removes all stored latencies.
+    /// Removes all stored latencies, keeping the allocated capacity.
     pub fn clear(&mut self) {
         self.latencies.clear();
+        self.min_deque.clear();
+        self.max_deque.clear();
+        self.push_count = 0;
+        self.sum_nanos = 0;
+        self.sum_sq_nanos = 0;
     }
 
     /// Iterates over the stored latencies from oldest to newest.
@@ -84,38 +170,68 @@ impl SlidingWindow {
         self.latencies.iter().copied()
     }
 
-    /// Returns the total time spanned by the stored latencies.
+    /// Returns the total time spanned by the stored latencies. O(1): read
+    /// from the running sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the summed latencies exceed `u64::MAX` nanoseconds (more
+    /// than five centuries; the pre-optimization fold overflowed there too).
     pub fn total(&self) -> TimestampDelta {
-        self.latencies
-            .iter()
-            .fold(TimestampDelta::ZERO, |acc, &l| acc + l)
+        let nanos = u64::try_from(self.sum_nanos).expect("window total overflows u64 nanoseconds");
+        TimestampDelta::from_nanos(nanos)
     }
 
     /// Returns the windowed heart rate: stored beats divided by their summed
     /// latency. `None` if the window is empty or the summed latency is zero.
+    /// O(1).
     pub fn rate(&self) -> Option<HeartRate> {
         HeartRate::from_beats_over(self.latencies.len() as u64, self.total())
     }
 
     /// Returns summary statistics for the stored latencies, or `None` when
-    /// the window is empty.
+    /// the window is empty. O(1): mean and variance come from the running
+    /// sums, min and max from the monotonic deques.
+    ///
+    /// The variance is computed as `(n·Σx² − (Σx)²) / n²` over **exact**
+    /// integer nanosecond sums, so there is no catastrophic cancellation and
+    /// no drift relative to a naive recompute (see the equivalence property
+    /// tests against [`crate::naive::NaiveSlidingWindow`]).
     pub fn statistics(&self) -> Option<RateStatistics> {
-        if self.latencies.is_empty() {
+        let n = self.latencies.len();
+        if n == 0 {
             return None;
         }
-        let n = self.latencies.len() as f64;
-        let secs: Vec<f64> = self.latencies.iter().map(|l| l.as_secs_f64()).collect();
-        let mean = secs.iter().sum::<f64>() / n;
-        let variance = secs.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n;
-        let min = secs.iter().copied().fold(f64::INFINITY, f64::min);
-        let max = secs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let n_f64 = n as f64;
+        let mean_nanos = self.sum_nanos as f64 / n_f64;
+        // Cauchy–Schwarz guarantees n·Σx² ≥ (Σx)², so this cannot underflow.
+        let variance_numerator = (n as u128) * self.sum_sq_nanos - self.sum_nanos * self.sum_nanos;
+        let variance_nanos2 = variance_numerator as f64 / (n_f64 * n_f64);
+        let min_nanos = self
+            .min_deque
+            .front()
+            .expect("non-empty window has a minimum")
+            .1;
+        let max_nanos = self
+            .max_deque
+            .front()
+            .expect("non-empty window has a maximum")
+            .1;
         Some(RateStatistics {
-            count: self.latencies.len(),
-            mean_latency_secs: mean,
-            latency_variance: variance,
-            min_latency_secs: min,
-            max_latency_secs: max,
+            count: n,
+            mean_latency_secs: mean_nanos / NANOS_PER_SEC_F64,
+            latency_variance: variance_nanos2 / (NANOS_PER_SEC_F64 * NANOS_PER_SEC_F64),
+            min_latency_secs: min_nanos as f64 / NANOS_PER_SEC_F64,
+            max_latency_secs: max_nanos as f64 / NANOS_PER_SEC_F64,
         })
+    }
+}
+
+/// Two windows are equal when they have the same capacity and the same
+/// stored latencies (the aggregates are a pure function of those).
+impl PartialEq for SlidingWindow {
+    fn eq(&self, other: &Self) -> bool {
+        self.capacity == other.capacity && self.latencies == other.latencies
     }
 }
 
@@ -228,6 +344,38 @@ mod tests {
         w.clear();
         assert!(w.is_empty());
         assert_eq!(w.capacity(), 3);
+        assert!(w.statistics().is_none());
+        // The window is fully usable again after a clear.
+        w.push(ms(20));
+        assert_eq!(w.statistics().unwrap().count, 1);
+        assert!((w.statistics().unwrap().mean_latency_secs - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max_track_eviction() {
+        let mut w = SlidingWindow::new(3);
+        w.push(ms(500)); // will be evicted
+        w.push(ms(10));
+        w.push(ms(20));
+        let stats = w.statistics().unwrap();
+        assert!((stats.max_latency_secs - 0.5).abs() < 1e-12);
+        w.push(ms(30)); // evicts the 500 ms outlier
+        let stats = w.statistics().unwrap();
+        assert!((stats.max_latency_secs - 0.03).abs() < 1e-12);
+        assert!((stats.min_latency_secs - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equal_content_windows_compare_equal_regardless_of_history() {
+        // Same final contents through different push histories.
+        let mut a = SlidingWindow::new(2);
+        a.push(ms(1));
+        a.push(ms(2));
+        let mut b = SlidingWindow::new(2);
+        b.push(ms(9));
+        b.push(ms(1));
+        b.push(ms(2));
+        assert_eq!(a, b);
     }
 
     #[test]
@@ -247,6 +395,7 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
+    use crate::naive::NaiveSlidingWindow;
     use proptest::prelude::*;
 
     proptest! {
@@ -292,6 +441,48 @@ mod proptests {
             prop_assert!(stats.mean_latency_secs >= stats.min_latency_secs - 1e-12);
             prop_assert!(stats.mean_latency_secs <= stats.max_latency_secs + 1e-12);
             prop_assert!(stats.latency_variance >= 0.0);
+        }
+
+        /// The incremental statistics match a naive recompute to within 1e-9
+        /// across arbitrary push/evict sequences — the equivalence guarantee
+        /// for the O(1) rework. Latencies span six orders of magnitude so the
+        /// running sums see both tiny and huge evictions.
+        #[test]
+        fn incremental_statistics_match_naive_recompute(
+            capacity in 1usize..24,
+            latencies in proptest::collection::vec(1u64..1_000_000_000_000u64, 1..200),
+        ) {
+            let mut incremental = SlidingWindow::new(capacity);
+            let mut naive = NaiveSlidingWindow::new(capacity);
+            for l in &latencies {
+                let latency = TimestampDelta::from_nanos(*l);
+                incremental.push(latency);
+                naive.push(latency);
+
+                // Rate and total are bit-identical: both divide the same
+                // integer-exact totals.
+                prop_assert_eq!(incremental.total(), naive.total());
+                let (a, b) = (incremental.rate().unwrap(), naive.rate().unwrap());
+                prop_assert_eq!(a.beats_per_second().to_bits(), b.beats_per_second().to_bits());
+
+                let fast = incremental.statistics().unwrap();
+                let slow = naive.statistics().unwrap();
+                prop_assert_eq!(fast.count, slow.count);
+                let close = |x: f64, y: f64, what: &str| {
+                    let tolerance = 1e-9 * x.abs().max(y.abs()).max(1.0);
+                    if (x - y).abs() <= tolerance {
+                        Ok(())
+                    } else {
+                        Err(TestCaseError::fail(format!("{what}: {x} vs {y}")))
+                    }
+                };
+                close(fast.mean_latency_secs, slow.mean_latency_secs, "mean")?;
+                close(fast.latency_variance, slow.latency_variance, "variance")?;
+                // Min and max are exact: a monotone conversion of the same
+                // integer nanosecond values.
+                prop_assert_eq!(fast.min_latency_secs.to_bits(), slow.min_latency_secs.to_bits());
+                prop_assert_eq!(fast.max_latency_secs.to_bits(), slow.max_latency_secs.to_bits());
+            }
         }
     }
 }

@@ -28,7 +28,9 @@ const NANOS_PER_SEC: u64 = 1_000_000_000;
 /// let end = Timestamp::from_millis(25);
 /// assert_eq!((end - start).as_secs_f64(), 0.015);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Timestamp(u64);
 
 impl Timestamp {
@@ -110,7 +112,9 @@ impl fmt::Display for Timestamp {
 /// let delta = Timestamp::from_secs(2) - Timestamp::from_secs(1);
 /// assert_eq!(delta, TimestampDelta::from_secs(1));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct TimestampDelta(u64);
 
 impl TimestampDelta {

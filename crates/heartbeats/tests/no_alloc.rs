@@ -1,0 +1,110 @@
+//! Proof that the steady-state heartbeat hot path is allocation-free.
+//!
+//! A counting global allocator wraps the system allocator; after warming the
+//! sliding window and the history ring past their growth phases, thousands
+//! of further heartbeats and rate/statistics queries must not allocate at
+//! all. This is the enforceable form of the O(1) rework's contract — a
+//! timing benchmark can regress silently under noise, an allocation count
+//! cannot.
+//!
+//! The counter is thread-local, so other harness threads cannot pollute
+//! the measurement; keep the measured loops on the test thread itself.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use powerdial_heartbeats::{
+    HeartbeatMonitor, MonitorConfig, SlidingWindow, Timestamp, TimestampDelta,
+};
+
+struct CountingAllocator;
+
+// Per-thread counter: the libtest harness's other threads allocate
+// concurrently with the measured region, so a process-global counter is
+// flaky. `const`-initialized TLS is safe to touch from the allocator (no
+// lazy initialization, hence no recursive allocation); `try_with` covers
+// thread-teardown accesses.
+thread_local! {
+    static THREAD_ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = THREAD_ALLOCATIONS.try_with(|count| count.set(count.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = THREAD_ALLOCATIONS.try_with(|count| count.set(count.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Allocations made by the *calling* thread so far.
+fn allocations() -> u64 {
+    THREAD_ALLOCATIONS.with(Cell::get)
+}
+
+#[test]
+fn steady_state_heartbeat_path_does_not_allocate() {
+    // --- SlidingWindow alone: push / rate / statistics.
+    let mut window = SlidingWindow::new(64);
+    for i in 0..256u64 {
+        window.push(TimestampDelta::from_nanos(
+            20_000_000 + (i * 7_919) % 10_000_000,
+        ));
+    }
+
+    let before = allocations();
+    let mut sink = 0.0;
+    for i in 0..10_000u64 {
+        window.push(TimestampDelta::from_nanos(
+            20_000_000 + (i * 104_729) % 10_000_000,
+        ));
+        sink += window.rate().expect("warm window").beats_per_second();
+        let stats = window.statistics().expect("warm window");
+        sink += stats.mean_latency_secs + stats.latency_variance + stats.max_latency_secs;
+    }
+    std::hint::black_box(sink);
+    assert_eq!(
+        allocations() - before,
+        0,
+        "sliding window steady state must not allocate"
+    );
+
+    // --- Full monitor: heartbeat emission with a warmed history ring.
+    let mut monitor = HeartbeatMonitor::new(
+        MonitorConfig::new("no-alloc")
+            .with_window_size(64)
+            .with_history_capacity(Some(128)),
+    );
+    let mut now = Timestamp::ZERO;
+    for i in 0..512u64 {
+        now += TimestampDelta::from_nanos(30_000_000 + (i * 6_271) % 5_000_000);
+        monitor.heartbeat(now);
+    }
+
+    let before = allocations();
+    let mut sink = 0.0;
+    for i in 0..10_000u64 {
+        now += TimestampDelta::from_nanos(30_000_000 + (i * 12_553) % 5_000_000);
+        let record = monitor.heartbeat(now);
+        sink += record.latency.as_secs_f64();
+        if let Some(stats) = monitor.window_statistics() {
+            sink += stats.mean_latency_secs;
+        }
+    }
+    std::hint::black_box(sink);
+    assert_eq!(
+        allocations() - before,
+        0,
+        "monitor heartbeat steady state must not allocate"
+    );
+}

@@ -68,7 +68,8 @@ impl ControlVariableAnalysis {
         }
 
         let mut per_trace_names: Vec<Vec<String>> = Vec::with_capacity(traces.len());
-        let mut per_trace_values: Vec<BTreeMap<String, VariableValue>> = Vec::with_capacity(traces.len());
+        let mut per_trace_values: Vec<BTreeMap<String, VariableValue>> =
+            Vec::with_capacity(traces.len());
         let mut report_entries: BTreeMap<String, ReportEntry> = BTreeMap::new();
 
         for trace in traces {
@@ -210,7 +211,10 @@ impl ControlVariableSet {
     }
 
     /// All recorded values for one setting, keyed by variable name.
-    pub fn values_for_setting(&self, setting_index: usize) -> Option<&BTreeMap<String, VariableValue>> {
+    pub fn values_for_setting(
+        &self,
+        setting_index: usize,
+    ) -> Option<&BTreeMap<String, VariableValue>> {
         self.recorded_values.get(setting_index)
     }
 
@@ -283,7 +287,9 @@ mod tests {
 
         let trip_count = tracer.declare_variable("trip_count");
         let derived = if impure { q * 10.0 + e } else { q * 10.0 };
-        tracer.write_variable(trip_count, derived, "parse_args").unwrap();
+        tracer
+            .write_variable(trip_count, derived, "parse_args")
+            .unwrap();
 
         let unrelated = tracer.declare_variable("unrelated");
         tracer
@@ -362,7 +368,9 @@ mod tests {
         let (trace, quality, _) = trace_for(1.0, true, false);
         let analysis = ControlVariableAnalysis::new([quality]);
         let err = analysis.analyze(&[trace]).unwrap_err();
-        assert!(matches!(err, InfluenceError::NonConstantVariable { ref site, .. } if site == "main_loop_mutation"));
+        assert!(
+            matches!(err, InfluenceError::NonConstantVariable { ref site, .. } if site == "main_loop_mutation")
+        );
     }
 
     #[test]
@@ -398,7 +406,10 @@ mod tests {
 
         let analysis = ControlVariableAnalysis::new([quality]);
         let err = analysis.analyze(&[t1, t2]).unwrap_err();
-        assert!(matches!(err, InfluenceError::InconsistentVariableSets { trace_index: 1, .. }));
+        assert!(matches!(
+            err,
+            InfluenceError::InconsistentVariableSets { trace_index: 1, .. }
+        ));
     }
 
     #[test]
@@ -412,7 +423,8 @@ mod tests {
         let (trace, quality, _) = trace_for(1.0, false, false);
         // `extra` does not influence any control variable.
         let extra = ParamId(1);
-        let strict = ControlVariableAnalysis::new([quality, extra]).require_all_parameters_used(true);
+        let strict =
+            ControlVariableAnalysis::new([quality, extra]).require_all_parameters_used(true);
         assert!(matches!(
             strict.analyze(std::slice::from_ref(&trace)),
             Err(InfluenceError::UnusedParameter { .. })

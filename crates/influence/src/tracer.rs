@@ -483,7 +483,9 @@ mod tests {
         ));
         // An in-range foreign handle is indistinguishable by design (the
         // tracer is per-run); it resolves to the local variable.
-        assert!(tracer.write_variable(foreign, Traced::constant(1.0), "x").is_ok());
+        assert!(tracer
+            .write_variable(foreign, Traced::constant(1.0), "x")
+            .is_ok());
     }
 
     #[test]
@@ -526,7 +528,10 @@ mod tests {
         let p0 = tracer.register_parameter("a");
         let p1 = tracer.register_parameter("b");
         let v = tracer.declare_variable("weights");
-        let elements = vec![tracer.parameter_value(p0, 1.0), tracer.parameter_value(p1, 2.0)];
+        let elements = vec![
+            tracer.parameter_value(p0, 1.0),
+            tracer.parameter_value(p1, 2.0),
+        ];
         tracer.write_vector_variable(v, &elements, "init").unwrap();
         let read = tracer.read_vector_variable(v, "loop").unwrap();
         assert_eq!(read.len(), 2);
@@ -542,9 +547,13 @@ mod tests {
     fn main_loop_writes_are_visible_in_the_log() {
         let mut tracer = Tracer::new("app");
         let v = tracer.declare_variable("counter");
-        tracer.write_variable(v, Traced::constant(0.0), "init").unwrap();
+        tracer
+            .write_variable(v, Traced::constant(0.0), "init")
+            .unwrap();
         tracer.first_heartbeat();
-        tracer.write_variable(v, Traced::constant(1.0), "loop_body").unwrap();
+        tracer
+            .write_variable(v, Traced::constant(1.0), "loop_body")
+            .unwrap();
         let log = tracer.finish();
         let write = log.main_loop_write(v).unwrap();
         assert_eq!(write.site, "loop_body");

@@ -5,7 +5,9 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use powerdial_qos::{distortion, weighted_distortion, OutputAbstraction, QosError, QosLoss, QosLossBound};
+use powerdial_qos::{
+    distortion, weighted_distortion, OutputAbstraction, QosError, QosLoss, QosLossBound,
+};
 
 use crate::error::KnobError;
 use crate::parameter::{ParameterSetting, ParameterSpace};
@@ -141,7 +143,9 @@ impl CalibrationTable {
 
     /// The point for a specific setting index, if it was measured.
     pub fn point(&self, setting_index: usize) -> Option<&CalibrationPoint> {
-        self.points.iter().find(|p| p.setting_index == setting_index)
+        self.points
+            .iter()
+            .find(|p| p.setting_index == setting_index)
     }
 
     /// Number of calibrated points.
@@ -272,11 +276,11 @@ impl<'a> Calibrator<'a> {
             let mut speedups = Vec::with_capacity(measurements.len());
             let mut losses = Vec::with_capacity(measurements.len());
             for measurement in measurements {
-                let baseline = baseline_by_input
-                    .get(&measurement.input_index)
-                    .ok_or(KnobError::MissingBaselineMeasurement {
+                let baseline = baseline_by_input.get(&measurement.input_index).ok_or(
+                    KnobError::MissingBaselineMeasurement {
                         input_index: measurement.input_index,
-                    })?;
+                    },
+                )?;
                 speedups.push(baseline.work / measurement.work);
                 losses.push(
                     self.comparator
@@ -326,9 +330,9 @@ mod tests {
                         setting_index,
                         input_index,
                         work: sims,
-                        output: OutputAbstraction::from_components([
-                            100.0 + (1000.0 - sims) * 0.01,
-                        ]),
+                        output: OutputAbstraction::from_components(
+                            [100.0 + (1000.0 - sims) * 0.01],
+                        ),
                     })
                     .unwrap();
             }
@@ -372,7 +376,9 @@ mod tests {
         record_synthetic(&mut calibrator, &space, 1);
         let table = calibrator.build().unwrap();
         // The fastest setting has loss (1000-100)*0.01/100 = 0.09 = 9%.
-        let tight = table.knob_table(QosLossBound::from_percent(5.0).unwrap()).unwrap();
+        let tight = table
+            .knob_table(QosLossBound::from_percent(5.0).unwrap())
+            .unwrap();
         assert!(tight.len() < 3);
         let loose = table.knob_table(QosLossBound::UNBOUNDED).unwrap();
         assert_eq!(loose.len(), 3);

@@ -99,7 +99,10 @@ impl fmt::Display for KnobError {
             KnobError::NoMeasurements => write!(f, "no calibration measurements recorded"),
             KnobError::Qos(e) => write!(f, "qos computation failed: {e}"),
             KnobError::EmptyKnobTable => {
-                write!(f, "no knob settings remain after applying the qos-loss bound")
+                write!(
+                    f,
+                    "no knob settings remain after applying the qos-loss bound"
+                )
             }
             KnobError::UnknownControlVariable { name } => {
                 write!(f, "control variable `{name}` is not registered")

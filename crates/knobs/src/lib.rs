@@ -63,7 +63,9 @@ pub use calibration::{
     QosComparator,
 };
 pub use error::KnobError;
-pub use parameter::{ConfigParameter, ParameterSetting, ParameterSpace, ParameterSpaceBuilder, SettingIter};
+pub use parameter::{
+    ConfigParameter, ParameterSetting, ParameterSpace, ParameterSpaceBuilder, SettingIter,
+};
 pub use pareto::pareto_frontier;
 pub use store::ControlVariableStore;
-pub use table::KnobTable;
+pub use table::{KnobTable, PointIdx};

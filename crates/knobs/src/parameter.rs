@@ -65,7 +65,10 @@ impl ConfigParameter {
         if step == 0 || start > end {
             return Err(KnobError::EmptyValueRange { parameter: name });
         }
-        let mut values: Vec<f64> = (start..=end).step_by(step as usize).map(|v| v as f64).collect();
+        let mut values: Vec<f64> = (start..=end)
+            .step_by(step as usize)
+            .map(|v| v as f64)
+            .collect();
         let default = end as f64;
         if values.last() != Some(&default) {
             values.push(default);
@@ -208,7 +211,11 @@ impl ParameterSpace {
             remainder /= count;
         }
         Some(ParameterSetting {
-            names: self.parameters.iter().map(|p| p.name().to_string()).collect(),
+            names: self
+                .parameters
+                .iter()
+                .map(|p| p.name().to_string())
+                .collect(),
             values,
         })
     }

@@ -10,17 +10,57 @@ use crate::calibration::CalibrationPoint;
 use crate::error::KnobError;
 use crate::parameter::ParameterSetting;
 
+/// A stable dense index into a [`KnobTable`].
+///
+/// A `PointIdx` names one retained calibration point for the lifetime of the
+/// table (points are never added, removed, or reordered after
+/// [`KnobTable::from_points`]). It is the hot-path currency of the PowerDial
+/// runtime: the actuator plans schedules as `PointIdx` arrays and consumers
+/// resolve an index to its [`CalibrationPoint`] with [`KnobTable::point`]
+/// only when they need the full setting — so the per-heartbeat loop moves
+/// 4-byte copies instead of cloning points (each of which owns the heap-
+/// allocated parameter setting).
+///
+/// Indices are ordered by speedup, because the table is: `PointIdx(0)` is
+/// the slowest retained point and `PointIdx(len - 1)` the fastest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PointIdx(u32);
+
+impl PointIdx {
+    /// Creates an index from a raw position (for tests and deserialization
+    /// paths; prefer the indices handed out by [`KnobTable`] accessors).
+    pub const fn new(position: u32) -> Self {
+        PointIdx(position)
+    }
+
+    /// The raw position of the point within [`KnobTable::points`].
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PointIdx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "point#{}", self.0)
+    }
+}
+
 /// A calibrated, Pareto-filtered table of knob settings ordered by speedup.
 ///
 /// The actuator uses the table to answer two questions at runtime: *what is
 /// the maximum speedup the knobs can deliver* ([`KnobTable::max_speedup`])
 /// and *what is the cheapest setting that delivers at least speedup `s`*
-/// ([`KnobTable::setting_for_speedup`]).
+/// ([`KnobTable::setting_for_speedup`], or allocation-free via
+/// [`KnobTable::idx_for_speedup`] + [`KnobTable::point`]). Both index-based
+/// lookups are O(log n) binary searches over the speedup-sorted points; the
+/// baseline position is precomputed so [`KnobTable::baseline`] is O(1).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct KnobTable {
     /// Points sorted by increasing speedup.
     points: Vec<CalibrationPoint>,
     baseline_index: usize,
+    /// Position of the baseline point within `points` (precomputed).
+    baseline_pos: usize,
 }
 
 impl KnobTable {
@@ -43,9 +83,14 @@ impl KnobTable {
             return Err(KnobError::EmptyKnobTable);
         }
         kept.sort_by(|a, b| a.speedup.partial_cmp(&b.speedup).expect("finite speedups"));
+        let baseline_pos = kept
+            .iter()
+            .position(|p| p.setting_index == baseline_index)
+            .unwrap_or(0);
         Ok(KnobTable {
             points: kept,
             baseline_index,
+            baseline_pos,
         })
     }
 
@@ -65,12 +110,10 @@ impl KnobTable {
         self.points.is_empty()
     }
 
-    /// The baseline (default, highest-QoS) point.
+    /// The baseline (default, highest-QoS) point. O(1): the position is
+    /// precomputed at construction.
     pub fn baseline(&self) -> &CalibrationPoint {
-        self.points
-            .iter()
-            .find(|p| p.setting_index == self.baseline_index)
-            .unwrap_or_else(|| &self.points[0])
+        &self.points[self.baseline_pos]
     }
 
     /// The baseline parameter setting.
@@ -99,12 +142,65 @@ impl KnobTable {
     /// among those that meet it — this is the `s_min` of the paper's
     /// actuation policy (Section 2.3.3).
     pub fn setting_for_speedup(&self, required: f64) -> Option<&CalibrationPoint> {
-        self.points.iter().find(|p| p.speedup >= required)
+        self.idx_for_speedup(required).map(|idx| self.point(idx))
     }
 
     /// Iterates over the retained points.
     pub fn iter(&self) -> impl Iterator<Item = &CalibrationPoint> {
         self.points.iter()
+    }
+
+    /// Resolves a [`PointIdx`] to its calibration point.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx` did not come from this table (out of range).
+    pub fn point(&self, idx: PointIdx) -> &CalibrationPoint {
+        &self.points[idx.as_usize()]
+    }
+
+    /// Resolves a [`PointIdx`], returning `None` when out of range.
+    pub fn get(&self, idx: PointIdx) -> Option<&CalibrationPoint> {
+        self.points.get(idx.as_usize())
+    }
+
+    /// The instantaneous speedup of the point at `idx` (hot-path shorthand
+    /// for `table.point(idx).speedup`).
+    pub fn speedup_of(&self, idx: PointIdx) -> f64 {
+        self.points[idx.as_usize()].speedup
+    }
+
+    /// Index of the baseline (default, highest-QoS) point. O(1).
+    pub fn baseline_idx(&self) -> PointIdx {
+        PointIdx(self.baseline_pos as u32)
+    }
+
+    /// Index of the point with the largest speedup. O(1).
+    pub fn fastest_idx(&self) -> PointIdx {
+        PointIdx((self.points.len() - 1) as u32)
+    }
+
+    /// Index of the cheapest point whose speedup is at least `required`, or
+    /// `None` when even the fastest falls short (or `required` is NaN,
+    /// matching the linear scan this replaced: no speedup compares ≥ NaN).
+    /// O(log n) binary search over the speedup-sorted points; equivalent to
+    /// [`KnobTable::setting_for_speedup`] but returns the stable index
+    /// instead of borrowing the point.
+    pub fn idx_for_speedup(&self, required: f64) -> Option<PointIdx> {
+        if required.is_nan() {
+            return None;
+        }
+        let pos = self.points.partition_point(|p| p.speedup < required);
+        if pos < self.points.len() {
+            Some(PointIdx(pos as u32))
+        } else {
+            None
+        }
+    }
+
+    /// Iterates over the indices of the retained points, slowest first.
+    pub fn indices(&self) -> impl Iterator<Item = PointIdx> {
+        (0..self.points.len() as u32).map(PointIdx)
     }
 }
 
@@ -124,7 +220,11 @@ mod tests {
     use crate::parameter::{ConfigParameter, ParameterSpace};
     use powerdial_qos::QosLoss;
 
-    fn table_from(specs: &[(f64, f64)], baseline_index: usize, bound: QosLossBound) -> Result<KnobTable, KnobError> {
+    fn table_from(
+        specs: &[(f64, f64)],
+        baseline_index: usize,
+        bound: QosLossBound,
+    ) -> Result<KnobTable, KnobError> {
         let values: Vec<f64> = (0..specs.len()).map(|i| i as f64).collect();
         let default = values[baseline_index];
         let space = ParameterSpace::builder()
@@ -189,6 +289,56 @@ mod tests {
         assert_eq!(table.setting_for_speedup(3.0).unwrap().speedup, 4.0);
         assert!(table.setting_for_speedup(10.0).is_none());
         assert_eq!(table.setting_for_speedup(0.5).unwrap().speedup, 1.0);
+    }
+
+    #[test]
+    fn point_indices_are_stable_and_speedup_ordered() {
+        let table = table_from(
+            &[(3.0, 0.3), (1.0, 0.0), (2.0, 0.1)],
+            1,
+            QosLossBound::UNBOUNDED,
+        )
+        .unwrap();
+        // Indices enumerate the speedup-sorted points.
+        let speedups: Vec<f64> = table.indices().map(|i| table.speedup_of(i)).collect();
+        assert_eq!(speedups, vec![1.0, 2.0, 3.0]);
+        assert_eq!(table.baseline_idx().as_usize(), 0);
+        assert_eq!(table.point(table.baseline_idx()), table.baseline());
+        assert_eq!(table.fastest_idx().as_usize(), 2);
+        assert_eq!(table.point(table.fastest_idx()), table.fastest());
+        assert_eq!(table.get(PointIdx::new(9)), None);
+        assert_eq!(PointIdx::new(2).to_string(), "point#2");
+    }
+
+    #[test]
+    fn idx_for_speedup_agrees_with_linear_scan() {
+        let table = table_from(
+            &[(1.0, 0.0), (2.0, 0.1), (2.0, 0.15), (4.0, 0.2)],
+            0,
+            QosLossBound::UNBOUNDED,
+        )
+        .unwrap();
+        for required in [
+            0.0,
+            0.5,
+            1.0,
+            1.5,
+            2.0,
+            2.5,
+            3.999,
+            4.0,
+            4.001,
+            10.0,
+            f64::NAN,
+        ] {
+            let by_index = table.idx_for_speedup(required).map(|i| table.point(i));
+            let by_scan = table.iter().find(|p| p.speedup >= required);
+            assert_eq!(by_index, by_scan, "required {required}");
+        }
+        // NaN finds nothing (no speedup compares ≥ NaN), as with the old
+        // linear scan.
+        assert!(table.idx_for_speedup(f64::NAN).is_none());
+        assert!(table.setting_for_speedup(f64::NAN).is_none());
     }
 
     #[test]

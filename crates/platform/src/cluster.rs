@@ -197,7 +197,9 @@ mod tests {
             .unwrap();
         assert_eq!(breakdown.utilization_per_machine, 1.0);
         assert_eq!(breakdown.total_watts, 220.0);
-        assert!(cluster.power_at_load(-1.0, FrequencyState::highest()).is_err());
+        assert!(cluster
+            .power_at_load(-1.0, FrequencyState::highest())
+            .is_err());
     }
 
     #[test]

@@ -92,7 +92,9 @@ impl FrequencyState {
 
     /// The next higher-frequency state, if any.
     pub fn step_up(self) -> Option<FrequencyState> {
-        self.index.checked_sub(1).map(|index| FrequencyState { index })
+        self.index
+            .checked_sub(1)
+            .map(|index| FrequencyState { index })
     }
 }
 

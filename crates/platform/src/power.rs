@@ -45,7 +45,11 @@ impl PowerModel {
     /// Returns an error when the idle power is not positive, the full-load
     /// power does not exceed the idle power, or the exponent is not finite
     /// and positive.
-    pub fn new(idle_watts: f64, max_watts: f64, frequency_exponent: f64) -> Result<Self, PlatformError> {
+    pub fn new(
+        idle_watts: f64,
+        max_watts: f64,
+        frequency_exponent: f64,
+    ) -> Result<Self, PlatformError> {
         if !idle_watts.is_finite()
             || !max_watts.is_finite()
             || idle_watts <= 0.0
@@ -92,7 +96,8 @@ impl PowerModel {
 
     /// Power at full utilization in the given frequency state.
     pub fn full_load_power(&self, frequency: FrequencyState) -> f64 {
-        self.power(frequency, 1.0).expect("utilization 1.0 is valid")
+        self.power(frequency, 1.0)
+            .expect("utilization 1.0 is valid")
     }
 }
 

@@ -56,8 +56,14 @@ impl PowerCapSchedule {
     pub fn paper_power_cap(total_duration: Timestamp) -> Self {
         let total = total_duration.as_secs_f64();
         PowerCapSchedule::constant(FrequencyState::highest())
-            .with_event(Timestamp::from_secs_f64(total * 0.25), FrequencyState::lowest())
-            .with_event(Timestamp::from_secs_f64(total * 0.75), FrequencyState::highest())
+            .with_event(
+                Timestamp::from_secs_f64(total * 0.25),
+                FrequencyState::lowest(),
+            )
+            .with_event(
+                Timestamp::from_secs_f64(total * 0.75),
+                FrequencyState::highest(),
+            )
     }
 
     /// Adds a cap event; events may be added in any order.
@@ -117,12 +123,30 @@ mod tests {
     #[test]
     fn paper_schedule_caps_the_middle_half() {
         let schedule = PowerCapSchedule::paper_power_cap(Timestamp::from_secs(1000));
-        assert_eq!(schedule.state_at(Timestamp::from_secs(0)), FrequencyState::highest());
-        assert_eq!(schedule.state_at(Timestamp::from_secs(249)), FrequencyState::highest());
-        assert_eq!(schedule.state_at(Timestamp::from_secs(250)), FrequencyState::lowest());
-        assert_eq!(schedule.state_at(Timestamp::from_secs(600)), FrequencyState::lowest());
-        assert_eq!(schedule.state_at(Timestamp::from_secs(750)), FrequencyState::highest());
-        assert_eq!(schedule.state_at(Timestamp::from_secs(999)), FrequencyState::highest());
+        assert_eq!(
+            schedule.state_at(Timestamp::from_secs(0)),
+            FrequencyState::highest()
+        );
+        assert_eq!(
+            schedule.state_at(Timestamp::from_secs(249)),
+            FrequencyState::highest()
+        );
+        assert_eq!(
+            schedule.state_at(Timestamp::from_secs(250)),
+            FrequencyState::lowest()
+        );
+        assert_eq!(
+            schedule.state_at(Timestamp::from_secs(600)),
+            FrequencyState::lowest()
+        );
+        assert_eq!(
+            schedule.state_at(Timestamp::from_secs(750)),
+            FrequencyState::highest()
+        );
+        assert_eq!(
+            schedule.state_at(Timestamp::from_secs(999)),
+            FrequencyState::highest()
+        );
         assert_eq!(schedule.events().len(), 2);
     }
 
@@ -131,9 +155,18 @@ mod tests {
         let schedule = PowerCapSchedule::constant(FrequencyState::highest())
             .with_event(Timestamp::from_secs(30), FrequencyState::highest())
             .with_event(Timestamp::from_secs(10), FrequencyState::lowest());
-        assert_eq!(schedule.state_at(Timestamp::from_secs(5)), FrequencyState::highest());
-        assert_eq!(schedule.state_at(Timestamp::from_secs(15)), FrequencyState::lowest());
-        assert_eq!(schedule.state_at(Timestamp::from_secs(40)), FrequencyState::highest());
+        assert_eq!(
+            schedule.state_at(Timestamp::from_secs(5)),
+            FrequencyState::highest()
+        );
+        assert_eq!(
+            schedule.state_at(Timestamp::from_secs(15)),
+            FrequencyState::lowest()
+        );
+        assert_eq!(
+            schedule.state_at(Timestamp::from_secs(40)),
+            FrequencyState::highest()
+        );
         assert_eq!(schedule.events()[0].at, Timestamp::from_secs(10));
     }
 

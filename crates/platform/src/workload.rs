@@ -74,19 +74,12 @@ impl LoadTrace {
         if total == 0.0 {
             return 0.0;
         }
-        self.segments
-            .iter()
-            .map(|(d, u)| d * u)
-            .sum::<f64>()
-            / total
+        self.segments.iter().map(|(d, u)| d * u).sum::<f64>() / total
     }
 
     /// Peak utilization over the trace.
     pub fn peak_utilization(&self) -> f64 {
-        self.segments
-            .iter()
-            .map(|(_, u)| *u)
-            .fold(0.0, f64::max)
+        self.segments.iter().map(|(_, u)| *u).fold(0.0, f64::max)
     }
 
     /// The segments as `(duration seconds, utilization)` pairs.

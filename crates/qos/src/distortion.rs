@@ -275,7 +275,10 @@ mod proptests {
     use proptest::prelude::*;
 
     fn finite_component() -> impl Strategy<Value = f64> {
-        prop_oneof![(-1e6f64..1e6).prop_filter("nonzero-ish", |v| v.abs() > 1e-6), Just(0.0)]
+        prop_oneof![
+            (-1e6f64..1e6).prop_filter("nonzero-ish", |v| v.abs() > 1e-6),
+            Just(0.0)
+        ]
     }
 
     proptest! {

@@ -27,10 +27,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let analysis = tradeoff_analysis(&app, &system)?;
     println!("\nPareto-optimal settings (training -> production):");
-    for (train, prod) in analysis.pareto_training.iter().zip(&analysis.pareto_production) {
+    for (train, prod) in analysis
+        .pareto_training
+        .iter()
+        .zip(&analysis.pareto_production)
+    {
         println!(
             "  {:<40} {:>6.2}x / {:>6.3}%   ->   {:>6.2}x / {:>6.3}%",
-            train.setting, train.speedup, train.qos_loss_percent, prod.speedup, prod.qos_loss_percent
+            train.setting,
+            train.speedup,
+            train.qos_loss_percent,
+            prod.speedup,
+            prod.qos_loss_percent
         );
     }
 

@@ -26,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!(
         "power cap on {}: imposed at {:.0}s, lifted at {:.0}s (target {:.2} beats/s)",
-        series.application, series.cap_imposed_at_secs, series.cap_lifted_at_secs, series.target_rate
+        series.application,
+        series.cap_imposed_at_secs,
+        series.cap_lifted_at_secs,
+        series.target_rate
     );
     println!("\n  time   norm-perf(knobs)  gain   norm-perf(no knobs)  freq");
     for (i, (with, without)) in series

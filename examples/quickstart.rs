@@ -11,7 +11,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    (simulation trials) trades accuracy for speed.
     let app = SwaptionsApp::test_scale(42);
     println!("application: {}", app.name());
-    println!("knobs: {:?}", app.parameter_space().parameters().iter().map(|p| p.name()).collect::<Vec<_>>());
+    println!(
+        "knobs: {:?}",
+        app.parameter_space()
+            .parameters()
+            .iter()
+            .map(|p| p.name())
+            .collect::<Vec<_>>()
+    );
 
     // 2. Build the PowerDial system: influence tracing identifies the control
     //    variables, calibration measures every knob setting against the
@@ -51,7 +58,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. The chosen settings still produce answers — just slightly less
     //    accurate ones.
-    let baseline = app.run_input(InputSet::Production, 0, system.knob_table().baseline_setting());
+    let baseline = app.run_input(
+        InputSet::Production,
+        0,
+        system.knob_table().baseline_setting(),
+    );
     let decision = runtime.on_heartbeat(Some(6.0));
     let degraded = app.run_input(InputSet::Production, 0, decision.setting());
     println!(

@@ -1,0 +1,9 @@
+//! Workspace umbrella for the PowerDial reproduction.
+//!
+//! The real code lives in the `crates/` workspace members; this package
+//! exists so the repository-level integration tests (`tests/`) and examples
+//! (`examples/`) have a home. It simply re-exports the [`powerdial`] facade.
+
+#![deny(missing_docs)]
+
+pub use powerdial;

@@ -23,9 +23,12 @@ fn parsec_benchmarks_consolidate_four_machines_to_one() {
             .iter()
             .find(|p| (p.utilization - 0.25).abs() < 0.03)
             .unwrap();
-        let quarter_savings =
-            (quarter.original_power_watts - quarter.consolidated_power_watts) / quarter.original_power_watts;
-        assert!(quarter_savings > 0.5, "savings fraction {quarter_savings:.2}");
+        let quarter_savings = (quarter.original_power_watts - quarter.consolidated_power_watts)
+            / quarter.original_power_watts;
+        assert!(
+            quarter_savings > 0.5,
+            "savings fraction {quarter_savings:.2}"
+        );
         assert!((study.peak_load_power_savings() - 0.75).abs() < 0.05);
         assert!(study.max_qos_loss_percent() <= 5.0 + 1e-6);
     }
@@ -69,7 +72,11 @@ fn experiment_matches_the_analytic_model() {
     let bound = QosLossBound::from_percent(5.0).unwrap();
     let study = consolidation_study(&system, 4, bound, 5).unwrap();
 
-    let speedup = system.calibration().knob_table(bound).unwrap().max_speedup();
+    let speedup = system
+        .calibration()
+        .knob_table(bound)
+        .unwrap()
+        .max_speedup();
     let model = ConsolidationModel::new(4, 1.0, 0.25, 220.0, 90.0).unwrap();
     assert_eq!(
         study.consolidated_machines,
@@ -81,7 +88,8 @@ fn experiment_matches_the_analytic_model() {
     let idle_point = &study.points[0];
     let removed = (study.original_machines - study.consolidated_machines) as f64;
     assert!(
-        (idle_point.original_power_watts - idle_point.consolidated_power_watts - removed * 90.0).abs()
+        (idle_point.original_power_watts - idle_point.consolidated_power_watts - removed * 90.0)
+            .abs()
             < 1e-6
     );
 }

@@ -3,9 +3,7 @@
 //! variables, and applications that violate the paper's conditions are
 //! rejected.
 
-use powerdial::apps::{
-    BodytrackApp, KnobbedApplication, SearchApp, SwaptionsApp, VideoEncoderApp,
-};
+use powerdial::apps::{BodytrackApp, KnobbedApplication, SearchApp, SwaptionsApp, VideoEncoderApp};
 use powerdial::influence::{
     ControlVariableAnalysis, InfluenceError, ParamId, Tracer, VariableValue,
 };
@@ -18,7 +16,10 @@ fn every_benchmark_yields_one_control_variable_per_knob() {
     let search = SearchApp::test_scale(400);
     let apps: Vec<(&dyn KnobbedApplication, Vec<&str>)> = vec![
         (&swaptions, vec!["sm_control"]),
-        (&video, vec!["merange_control", "ref_control", "subme_control"]),
+        (
+            &video,
+            vec!["merange_control", "ref_control", "subme_control"],
+        ),
         (&bodytrack, vec!["layers_control", "particles_control"]),
         (&search, vec!["max_results_control"]),
     ];
@@ -82,7 +83,10 @@ fn trace_with_main_loop_write(value: f64) -> powerdial::influence::TraceLog {
 
 #[test]
 fn applications_that_mutate_control_variables_are_rejected() {
-    let traces = vec![trace_with_main_loop_write(1.0), trace_with_main_loop_write(2.0)];
+    let traces = vec![
+        trace_with_main_loop_write(1.0),
+        trace_with_main_loop_write(2.0),
+    ];
     let analysis = ControlVariableAnalysis::new([ParamId::new(0)]);
     let err = analysis.analyze(&traces).unwrap_err();
     assert!(matches!(

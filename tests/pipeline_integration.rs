@@ -3,9 +3,7 @@
 //! runtime construction) and the resulting trade-off spaces have the shape
 //! the paper reports in Section 5.2.
 
-use powerdial::apps::{
-    BodytrackApp, KnobbedApplication, SearchApp, SwaptionsApp, VideoEncoderApp,
-};
+use powerdial::apps::{BodytrackApp, KnobbedApplication, SearchApp, SwaptionsApp, VideoEncoderApp};
 use powerdial::experiments::tradeoff_analysis;
 use powerdial::qos::QosLossBound;
 use powerdial::{PowerDialConfig, PowerDialSystem};
@@ -35,7 +33,10 @@ fn every_benchmark_completes_the_full_workflow() {
             app.name()
         );
         // Calibration covered the whole space.
-        assert_eq!(system.calibration().len(), app.parameter_space().setting_count());
+        assert_eq!(
+            system.calibration().len(),
+            app.parameter_space().setting_count()
+        );
         // The knob table offers genuine speedups and contains the baseline.
         assert!(system.knob_table().max_speedup() > 1.1, "{}", app.name());
         assert!(system.knob_table().len() >= 2, "{}", app.name());
@@ -62,23 +63,35 @@ fn tradeoff_spaces_match_the_papers_shape() {
         .pareto_training
         .iter()
         .any(|p| p.speedup > 3.0 && p.qos_loss_percent < 10.0);
-    assert!(small_loss_big_speedup, "swaptions should offer cheap speedups");
+    assert!(
+        small_loss_big_speedup,
+        "swaptions should offer cheap speedups"
+    );
 
     let video = VideoEncoderApp::test_scale(101);
     let system = build(&video);
     let analysis = tradeoff_analysis(&video, &system).unwrap();
-    assert!(analysis.max_training_speedup() > 2.0, "x264-style encoder should speed up by 2x+");
+    assert!(
+        analysis.max_training_speedup() > 2.0,
+        "x264-style encoder should speed up by 2x+"
+    );
 
     let bodytrack = BodytrackApp::test_scale(101);
     let system = build(&bodytrack);
     let analysis = tradeoff_analysis(&bodytrack, &system).unwrap();
-    assert!(analysis.max_training_speedup() > 4.0, "bodytrack should speed up by 4x+");
+    assert!(
+        analysis.max_training_speedup() > 4.0,
+        "bodytrack should speed up by 4x+"
+    );
 
     let search = SearchApp::test_scale(101);
     let system = build(&search);
     let analysis = tradeoff_analysis(&search, &system).unwrap();
     let max = analysis.max_training_speedup();
-    assert!(max > 1.2 && max < 2.5, "swish++ speedup {max} should be modest");
+    assert!(
+        max > 1.2 && max < 2.5,
+        "swish++ speedup {max} should be modest"
+    );
 }
 
 #[test]
@@ -96,7 +109,11 @@ fn training_predicts_production_behaviour() {
     assert!(analysis.speedup_correlation.unwrap() > 0.9);
     // Production speedups should be close to the training speedups point by
     // point, not just correlated.
-    for (train, prod) in analysis.pareto_training.iter().zip(&analysis.pareto_production) {
+    for (train, prod) in analysis
+        .pareto_training
+        .iter()
+        .zip(&analysis.pareto_production)
+    {
         let ratio = prod.speedup / train.speedup;
         assert!(
             (0.5..2.0).contains(&ratio),

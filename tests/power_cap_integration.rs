@@ -28,8 +28,7 @@ fn frequency_sweep_trades_power_for_qos() {
     let highest = points.first().unwrap();
     let lowest = points.last().unwrap();
     assert!(lowest.mean_power_watts < highest.mean_power_watts);
-    let reduction =
-        (highest.mean_power_watts - lowest.mean_power_watts) / highest.mean_power_watts;
+    let reduction = (highest.mean_power_watts - lowest.mean_power_watts) / highest.mean_power_watts;
     assert!(
         reduction > 0.08,
         "power reduction {reduction:.3} should be at least ~10%"
@@ -55,7 +54,10 @@ fn power_cap_response_matches_figure_7() {
     // knobs it sits near the 2/3 capacity ratio.
     let with = series.capped_performance_with_knobs().unwrap();
     let without = series.capped_performance_without_knobs().unwrap();
-    assert!(with > without + 0.1, "with {with:.3} vs without {without:.3}");
+    assert!(
+        with > without + 0.1,
+        "with {with:.3} vs without {without:.3}"
+    );
     assert!(without < 0.8);
     assert!(series.peak_knob_gain() > 1.2);
 

@@ -1,0 +1,287 @@
+//! API stand-in for `criterion` in an offline build.
+//!
+//! Implements the benchmarking surface this workspace uses: [`Criterion`],
+//! benchmark groups, [`Bencher::iter`], [`black_box`], [`BenchmarkId`], and
+//! the [`criterion_group!`]/[`criterion_main!`] macros. Measurement is a
+//! simple wall-clock harness: warm up, then sample batches and report the
+//! mean and best ns/iteration to stdout.
+//!
+//! When invoked with `--test` (as `cargo test --benches` does), each
+//! benchmark body runs exactly once so the suite doubles as a smoke test.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Runs benchmark bodies and accumulates timing.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    test_mode: bool,
+    /// Filled in by [`Bencher::iter`]: (mean, best) ns per iteration.
+    result: Option<(f64, f64)>,
+}
+
+impl Bencher {
+    /// Times `routine`, storing mean and best ns/iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            self.result = Some((0.0, 0.0));
+            return;
+        }
+
+        // Warm-up: also estimates the per-iteration cost to size batches.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64;
+
+        // Size each sample so the whole measurement fits the budget.
+        let samples = self.sample_size.max(2);
+        let budget_ns = self.measurement.as_nanos() as f64;
+        let iters_per_sample =
+            ((budget_ns / samples as f64 / per_iter.max(1.0)).ceil() as u64).max(1);
+
+        let mut total_ns = 0.0;
+        let mut best_ns = f64::INFINITY;
+        let mut total_iters = 0u64;
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let sample_ns = start.elapsed().as_nanos() as f64;
+            total_ns += sample_ns;
+            total_iters += iters_per_sample;
+            best_ns = best_ns.min(sample_ns / iters_per_sample as f64);
+        }
+        self.result = Some((total_ns / total_iters.max(1) as f64, best_ns));
+    }
+}
+
+/// The benchmark harness configuration and entry point.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(200),
+            measurement: Duration::from_millis(600),
+            sample_size: 20,
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(mut self, duration: Duration) -> Self {
+        self.warm_up = duration;
+        self
+    }
+
+    /// Sets the measurement duration.
+    pub fn measurement_time(mut self, duration: Duration) -> Self {
+        self.measurement = duration;
+        self
+    }
+
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        self.sample_size = samples;
+        self
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.run_one(name, f);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+            test_mode: self.test_mode,
+            result: None,
+        };
+        f(&mut bencher);
+        match bencher.result {
+            Some(_) if self.test_mode => println!("{name:<50} ok (test mode)"),
+            Some((mean, best)) => {
+                println!(
+                    "{name:<50} mean {:>12} best {:>12}",
+                    fmt_ns(mean),
+                    fmt_ns(best)
+                );
+            }
+            None => println!("{name:<50} (no measurement: bencher.iter never called)"),
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = Some(samples);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        let saved = self.criterion.sample_size;
+        if let Some(samples) = self.sample_size {
+            self.criterion.sample_size = samples;
+        }
+        self.criterion.run_one(&name, f);
+        self.criterion.sample_size = saved;
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Closes the group (reporting is immediate, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Declares a benchmark group function, mirroring criterion's two forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_a_result() {
+        let mut c = Criterion {
+            test_mode: false,
+            ..Criterion::default()
+        }
+        .warm_up_time(Duration::from_millis(1))
+        .measurement_time(Duration::from_millis(5))
+        .sample_size(3);
+        let mut x = 0u64;
+        c.bench_function("spin", |b| b.iter(|| x = x.wrapping_add(1)));
+        assert!(x > 0);
+    }
+
+    #[test]
+    fn groups_and_ids_compose() {
+        let mut c = Criterion {
+            test_mode: true,
+            ..Criterion::default()
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4u32, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.bench_with_input(BenchmarkId::new("f", 7), &7u32, |b, &n| b.iter(|| n + 1));
+        group.finish();
+        assert_eq!(BenchmarkId::new("f", 7).to_string(), "f/7");
+    }
+}

@@ -1,0 +1,8 @@
+//! API stand-in for `serde` in an offline build.
+//!
+//! Re-exports the no-op derive macros so `use serde::{Deserialize,
+//! Serialize}` and `#[derive(Serialize, Deserialize)]` compile unchanged.
+//! Nothing in this workspace serializes at runtime; if that changes, replace
+//! this stub with the real crate (or grow real trait impls here).
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,22 @@
+//! No-op stand-ins for serde's derive macros.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types for
+//! forward compatibility but never actually serializes anything, so the
+//! derives only need to *compile*. Each macro accepts the item (including
+//! `#[serde(...)]` helper attributes) and expands to nothing.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts `#[serde(...)]` helper attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let _ = input;
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts `#[serde(...)]` helper attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let _ = input;
+    TokenStream::new()
+}
