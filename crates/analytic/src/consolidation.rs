@@ -52,6 +52,23 @@ impl ConsolidationPlan {
     }
 }
 
+/// Per-machine speedup a consolidated system of `machines` machines needs
+/// to absorb `offered_load` machine-units of work, floored at 1 (a machine
+/// never slows below baseline to "absorb" light load).
+///
+/// This is the inversion of Equation 21 used at runtime: provisioning picks
+/// `N_new` from the peak speedup, and at any instant the per-machine control
+/// target is the speedup that makes `N_new` machines cover the offered load.
+/// Both the analytic sweep and the daemon-driven live sweep derive their
+/// control targets from this one function, so the two paths are comparable
+/// point for point.
+pub fn required_speedup(offered_load: f64, machines: usize) -> f64 {
+    if machines == 0 {
+        return 1.0;
+    }
+    (offered_load / machines as f64).max(1.0)
+}
+
 impl ConsolidationModel {
     /// Creates a model.
     ///
@@ -234,6 +251,15 @@ mod tests {
         assert_eq!(model.machines_needed(3.0).unwrap(), 2);
         // Speedup 8: still at least one machine.
         assert_eq!(model.machines_needed(8.0).unwrap(), 1);
+    }
+
+    #[test]
+    fn required_speedup_floors_at_one() {
+        assert_eq!(required_speedup(0.0, 4), 1.0);
+        assert_eq!(required_speedup(2.0, 4), 1.0);
+        assert_eq!(required_speedup(4.0, 1), 4.0);
+        assert!((required_speedup(3.0, 2) - 1.5).abs() < 1e-12);
+        assert_eq!(required_speedup(7.0, 0), 1.0);
     }
 
     #[test]

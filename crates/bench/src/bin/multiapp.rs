@@ -1,0 +1,106 @@
+//! Measures aggregate multi-application control throughput and emits
+//! `BENCH_multiapp.json`: beats/sec and ns/beat of the sharded lock-free
+//! daemon versus the serial mutex-guarded baseline at N = 1, 8, 64, 512,
+//! and 4096 concurrent applications.
+//!
+//! Usage: `cargo run --release -p powerdial-bench --bin multiapp [--quick]
+//! [--out PATH]`. `--quick` (or `POWERDIAL_SCALE=quick`, or a debug build)
+//! shrinks the beat counts for CI.
+
+use std::time::Instant;
+
+use powerdial_bench::multiapp::{DaemonMultiAppLoop, NaiveMultiAppLoop, BEATS_PER_QUANTUM};
+use powerdial_bench::Scale;
+
+/// Application counts swept by the benchmark.
+const APP_COUNTS: [usize; 5] = [1, 8, 64, 512, 4096];
+
+struct Measurement {
+    beats: u64,
+    ns_per_beat: f64,
+    beats_per_sec: f64,
+}
+
+/// Runs `step` until at least `target_beats` beats have been processed
+/// (always whole quanta) and returns the aggregate rate.
+fn measure(target_beats: u64, mut step: impl FnMut() -> u64) -> Measurement {
+    let start = Instant::now();
+    let mut beats = 0u64;
+    while beats < target_beats {
+        beats += step();
+    }
+    let elapsed = start.elapsed();
+    let ns_per_beat = elapsed.as_nanos() as f64 / beats as f64;
+    Measurement {
+        beats,
+        ns_per_beat,
+        beats_per_sec: 1e9 / ns_per_beat,
+    }
+}
+
+fn main() {
+    let scale = Scale::from_environment();
+    let (fast_target, naive_target, warm_quanta) = match scale {
+        Scale::Paper => (4_000_000u64, 1_000_000u64, 500u64),
+        Scale::Quick => (200_000, 100_000, 50),
+    };
+
+    let out_path = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1).cloned())
+            .unwrap_or_else(|| "BENCH_multiapp.json".to_string())
+    };
+
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(1);
+
+    println!("== multiapp daemon ({scale:?} scale, {workers} workers) ==");
+    let mut rows = Vec::new();
+    for apps in APP_COUNTS {
+        let beats_per_quantum = (apps * BEATS_PER_QUANTUM) as u64;
+
+        let mut fast = DaemonMultiAppLoop::new(apps, workers);
+        // Warm: fill scratch buffers and planning buffers, settle shards.
+        let warm = warm_quanta.min(fast_target / beats_per_quantum / 2).max(2);
+        for _ in 0..warm {
+            fast.step();
+        }
+        let sharded = measure(fast_target.max(beats_per_quantum), || fast.step());
+
+        let mut slow = NaiveMultiAppLoop::new(apps);
+        for _ in 0..warm {
+            slow.step();
+        }
+        let naive = measure(naive_target.max(beats_per_quantum), || slow.step());
+
+        let speedup = naive.ns_per_beat / sharded.ns_per_beat;
+        println!(
+            "N = {apps:4}: {:7.1} ns/beat, {:10.0} beats/sec aggregate ({:.2}x vs mutex baseline {:.1} ns/beat)",
+            sharded.ns_per_beat, sharded.beats_per_sec, speedup, naive.ns_per_beat
+        );
+        rows.push(format!(
+            "    {{\n      \"apps\": {apps},\n      \"beats\": {},\n      \
+             \"ns_per_beat\": {:.2},\n      \"beats_per_sec\": {:.0},\n      \
+             \"naive_beats\": {},\n      \"naive_ns_per_beat\": {:.2},\n      \
+             \"speedup_vs_naive\": {:.2}\n    }}",
+            sharded.beats,
+            sharded.ns_per_beat,
+            sharded.beats_per_sec,
+            naive.beats,
+            naive.ns_per_beat,
+            speedup,
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"multiapp\",\n  \"scale\": \"{scale:?}\",\n  \
+         \"workers\": {workers},\n  \"beats_per_quantum\": {BEATS_PER_QUANTUM},\n  \
+         \"points\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n"),
+    );
+    std::fs::write(&out_path, json).expect("write benchmark json");
+    println!("wrote {out_path}");
+}

@@ -17,6 +17,7 @@ use powerdial::{PowerDialConfig, PowerDialSystem};
 use powerdial_qos::QosLossBound;
 
 pub mod hotpath;
+pub mod multiapp;
 
 /// Which configuration scale the harness runs at.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -1,0 +1,1114 @@
+//! The PowerDial daemon: one control process driving many applications.
+//!
+//! The paper's server-consolidation experiments run *many* instrumented
+//! applications under a single PowerDial controller. This module provides
+//! that multi-application runtime:
+//!
+//! ```text
+//!  app 0 ──beat──► SPSC ring ─┐
+//!  app 1 ──beat──► SPSC ring ─┤  shard 0 (worker thread) ─┐
+//!  app 2 ──beat──► SPSC ring ─┼─►                         ├─► tick()
+//!  app 3 ──beat──► SPSC ring ─┤  shard 1 (worker thread) ─┘
+//!     ⋮                       ⋮
+//! ```
+//!
+//! * Each registered application gets a lock-free
+//!   [`powerdial_heartbeats::channel`] SPSC ring; the application side
+//!   ([`AppHandle`]) pushes one `Copy` beat record per unit of work —
+//!   wait-free, allocation-free, no syscalls.
+//! * Applications are **sharded** across worker threads round-robin. Once
+//!   per actuation quantum ([`PowerDialDaemon::tick`]) every shard drains
+//!   each of its channels in one batch into a reused scratch buffer and
+//!   steps the existing O(1) [`PowerDialRuntime`] once per drained beat, so
+//!   control decisions are batched per quantum exactly as the paper's
+//!   actuator prescribes.
+//! * Decisions flow back through a handful of per-app atomics (latest knob
+//!   setting, gain, achieved speedup, expected QoS loss), read by the
+//!   application without any lock.
+//!
+//! The per-quantum drain loop ([`DaemonShard::run_quantum`]) is
+//! steady-state allocation-free — the `no_alloc` integration test steps a
+//! shard under a counting allocator to prove it. The serial, mutex-guarded
+//! baseline the benchmarks compare against is [`naive::SerialMutexDaemon`].
+//!
+//! With `workers: 0` the daemon runs **inline**: no threads are spawned and
+//! [`PowerDialDaemon::tick`] processes every shard on the calling thread.
+//! This mode is deterministic (used by the consolidation experiments and
+//! the equivalence tests); threaded mode has the same per-app semantics but
+//! interleaves beat arrival with draining.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+use powerdial_heartbeats::channel::{beat_channel, BeatConsumer, BeatSample};
+use powerdial_heartbeats::{BeatProducer, HeartbeatTag, SlidingWindow, Timestamp};
+use powerdial_knobs::{KnobTable, PointIdx};
+
+use crate::error::ControlError;
+use crate::runtime::{IndexedDecision, PowerDialRuntime, RuntimeConfig};
+
+/// Identifier of an application registered with a [`PowerDialDaemon`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AppId(u64);
+
+impl AppId {
+    /// Returns the raw identifier value.
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+}
+
+/// Configuration of a [`PowerDialDaemon`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DaemonConfig {
+    /// Worker threads to shard applications across. `0` runs the daemon
+    /// inline: ticks process every shard on the calling thread.
+    pub workers: usize,
+    /// Capacity, in beat records, of each application's SPSC channel.
+    /// Should comfortably exceed the number of beats an application emits
+    /// per actuation quantum; beats beyond it are rejected (backpressure).
+    pub channel_capacity: usize,
+    /// Sliding-window size, in heartbeats, for the daemon-side rate
+    /// estimate fed to each application's controller (the paper uses 20).
+    pub window_size: usize,
+}
+
+impl DaemonConfig {
+    /// Default channel capacity: several quanta of the paper's default
+    /// 20-beat quantum.
+    pub const DEFAULT_CHANNEL_CAPACITY: usize = 256;
+
+    /// A configuration with `workers` worker threads and the default
+    /// channel capacity and window size.
+    pub fn with_workers(workers: usize) -> Self {
+        DaemonConfig {
+            workers,
+            ..DaemonConfig::default()
+        }
+    }
+
+    /// Validates the configuration.
+    fn validate(&self) -> Result<(), ControlError> {
+        if self.channel_capacity == 0 {
+            return Err(ControlError::ZeroChannelCapacity);
+        }
+        if self.window_size == 0 {
+            return Err(ControlError::ZeroWindowSize);
+        }
+        Ok(())
+    }
+}
+
+impl Default for DaemonConfig {
+    /// One worker per available core (capped at 8 — the per-quantum work is
+    /// memory-bound well before that), default channel capacity, and the
+    /// paper's 20-beat window.
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get().min(8))
+            .unwrap_or(1);
+        DaemonConfig {
+            workers,
+            channel_capacity: DaemonConfig::DEFAULT_CHANNEL_CAPACITY,
+            window_size: 20,
+        }
+    }
+}
+
+/// Decision state shared between a daemon shard and an [`AppHandle`],
+/// published through atomics so neither side ever blocks the other.
+#[derive(Debug, Default)]
+struct AppShared {
+    /// `(decision_count << 32) | point_idx`. A single atomic so the "is
+    /// there a decision yet" flag and the setting index can never tear;
+    /// the count wraps at 2³² (it only signals freshness/presence).
+    decision: AtomicU64,
+    /// Bit pattern of the latest decision's knob gain (f64).
+    gain_bits: AtomicU64,
+    /// Bit pattern of the latest quantum's achieved speedup (f64).
+    achieved_speedup_bits: AtomicU64,
+    /// Bit pattern of the latest quantum's expected QoS loss (f64).
+    qos_loss_bits: AtomicU64,
+    /// Total beats the daemon has processed for this application.
+    beats_processed: AtomicU64,
+}
+
+/// The application side of a daemon registration: push beats in, read the
+/// latest control decision out. Both directions are lock-free.
+///
+/// The handle is `Send` but not `Sync`/`Clone` — it owns the single
+/// producer half of the app's SPSC channel, so exactly one thread emits
+/// beats (move the handle to hand it off).
+#[derive(Debug)]
+pub struct AppHandle {
+    id: AppId,
+    producer: BeatProducer,
+    shared: Arc<AppShared>,
+    next_tag: HeartbeatTag,
+    last_timestamp: Option<Timestamp>,
+}
+
+impl AppHandle {
+    /// The application's daemon-assigned identifier.
+    pub fn id(&self) -> AppId {
+        self.id
+    }
+
+    /// Emits one heartbeat at `now`: builds the beat record (sequence tag
+    /// and latency since the previous beat) and pushes it onto the
+    /// channel. Wait-free and allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns the rejected record when the channel is full. The beat
+    /// still counts for latency bookkeeping (the next accepted beat's
+    /// latency spans the gap), so a drop degrades the rate estimate
+    /// smoothly instead of corrupting it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the previous beat.
+    pub fn beat(&mut self, now: Timestamp) -> Result<(), BeatSample> {
+        let latency = match self.last_timestamp {
+            Some(last) => now - last,
+            None => powerdial_heartbeats::TimestampDelta::ZERO,
+        };
+        let sample = BeatSample {
+            tag: self.next_tag,
+            timestamp: now,
+            latency,
+        };
+        self.next_tag = self.next_tag.next();
+        self.last_timestamp = Some(now);
+        self.producer.try_push(sample)
+    }
+
+    /// Pushes an already-built beat record (e.g. one derived from a
+    /// [`powerdial_heartbeats::HeartbeatRecord`] via
+    /// [`BeatSample::from_record`]) without touching the handle's own
+    /// tag/timestamp bookkeeping.
+    ///
+    /// # Errors
+    ///
+    /// Returns the rejected record when the channel is full.
+    pub fn push_sample(&mut self, sample: BeatSample) -> Result<(), BeatSample> {
+        self.producer.try_push(sample)
+    }
+
+    /// Index (into the app's knob table) of the latest decided setting, or
+    /// `None` before the daemon has processed any beat.
+    pub fn latest_point(&self) -> Option<PointIdx> {
+        let packed = self.shared.decision.load(Ordering::Acquire);
+        if packed >> 32 == 0 {
+            None
+        } else {
+            Some(PointIdx::new(packed as u32))
+        }
+    }
+
+    /// The latest decided knob gain (instantaneous speedup), or `None`
+    /// before the first decision.
+    pub fn latest_gain(&self) -> Option<f64> {
+        self.latest_point()
+            .map(|_| f64::from_bits(self.shared.gain_bits.load(Ordering::Acquire)))
+    }
+
+    /// The achieved (time-averaged) speedup of the most recent quantum the
+    /// daemon planned for this app, or `None` before the first decision.
+    pub fn achieved_speedup(&self) -> Option<f64> {
+        self.latest_point()
+            .map(|_| f64::from_bits(self.shared.achieved_speedup_bits.load(Ordering::Acquire)))
+    }
+
+    /// The expected QoS loss of the most recent planned quantum, or `None`
+    /// before the first decision.
+    pub fn expected_qos_loss(&self) -> Option<f64> {
+        self.latest_point()
+            .map(|_| f64::from_bits(self.shared.qos_loss_bits.load(Ordering::Acquire)))
+    }
+
+    /// Total beats the daemon has processed for this application.
+    pub fn beats_processed(&self) -> u64 {
+        self.shared.beats_processed.load(Ordering::Acquire)
+    }
+
+    /// Beats rejected by the channel so far (backpressure).
+    pub fn beats_rejected(&self) -> u64 {
+        self.producer.rejected()
+    }
+}
+
+/// Daemon-side control state for one application: the O(1) runtime, the
+/// daemon's own sliding-window rate estimate, and the shared decision
+/// atomics. Separated from the channel so the lock-free shard and the
+/// mutex-guarded baseline run *identical* control code.
+#[derive(Debug)]
+struct ControlState {
+    runtime: PowerDialRuntime,
+    window: SlidingWindow,
+    shared: Arc<AppShared>,
+    decisions: u64,
+}
+
+impl ControlState {
+    /// Processes one batch of drained beats: for each beat, read the
+    /// current windowed rate, step the runtime (decide *before* observing
+    /// the beat's own latency — the same ordering as the single-app serial
+    /// loop, so decision sequences are beat-for-beat identical), then fold
+    /// the latency into the window. Publishes the final decision of the
+    /// batch to the shared atomics.
+    fn process_drained(
+        &mut self,
+        id: AppId,
+        samples: &[BeatSample],
+        on_decision: &mut impl FnMut(AppId, IndexedDecision),
+    ) -> u64 {
+        if samples.is_empty() {
+            return 0;
+        }
+        let mut last = None;
+        for sample in samples {
+            let observed = self.window.rate().map(|r| r.beats_per_second());
+            let decision = self.runtime.on_heartbeat_idx(observed);
+            on_decision(id, decision);
+            // The first beat of a stream has no predecessor; its zero
+            // latency is a convention, not an observation (mirrors
+            // `HeartbeatMonitor::try_heartbeat`).
+            if sample.tag.value() != 0 {
+                self.window.push(sample.latency);
+            }
+            last = Some(decision);
+        }
+        let decision = last.expect("non-empty batch");
+        let schedule = self
+            .runtime
+            .current_schedule()
+            .expect("schedule exists after stepping");
+        let qos_loss = schedule.expected_qos_loss(self.runtime.table());
+        // The packed sequence only signals presence/freshness; skip the
+        // masked value 0 on wraparound so `latest_point` stays `Some`.
+        self.decisions = self.decisions.wrapping_add(1);
+        if self.decisions & 0xFFFF_FFFF == 0 {
+            self.decisions = self.decisions.wrapping_add(1);
+        }
+        self.shared
+            .gain_bits
+            .store(decision.gain.to_bits(), Ordering::Release);
+        self.shared
+            .achieved_speedup_bits
+            .store(schedule.achieved_speedup.to_bits(), Ordering::Release);
+        self.shared
+            .qos_loss_bits
+            .store(qos_loss.to_bits(), Ordering::Release);
+        self.shared.decision.store(
+            (self.decisions & 0xFFFF_FFFF) << 32 | u64::from(decision.point_idx.as_usize() as u32),
+            Ordering::Release,
+        );
+        self.shared
+            .beats_processed
+            .fetch_add(samples.len() as u64, Ordering::AcqRel);
+        samples.len() as u64
+    }
+}
+
+/// One application owned by a shard: its channel consumer plus control
+/// state.
+#[derive(Debug)]
+struct AppSlot {
+    id: AppId,
+    consumer: BeatConsumer,
+    control: ControlState,
+}
+
+/// A shard of the daemon: the set of applications one worker owns, plus
+/// the scratch buffer their channels drain into.
+///
+/// Exposed publicly so tests and benchmarks can drive the exact per-quantum
+/// drain loop the worker threads run — on the calling thread, under a
+/// counting allocator, or single-stepped for equivalence checks.
+#[derive(Debug, Default)]
+pub struct DaemonShard {
+    apps: Vec<AppSlot>,
+    scratch: Vec<BeatSample>,
+}
+
+impl DaemonShard {
+    /// Creates an empty shard.
+    pub fn new() -> Self {
+        DaemonShard::default()
+    }
+
+    /// Number of applications this shard owns.
+    pub fn len(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// True when the shard owns no applications.
+    pub fn is_empty(&self) -> bool {
+        self.apps.is_empty()
+    }
+
+    fn push_slot(&mut self, slot: AppSlot) {
+        self.apps.push(slot);
+    }
+
+    fn remove(&mut self, id: AppId) -> bool {
+        match self.apps.iter().position(|slot| slot.id == id) {
+            Some(index) => {
+                self.apps.swap_remove(index);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs one actuation quantum: drains every app's channel in one batch
+    /// and steps its controller once per drained beat. Returns the total
+    /// beats processed. Steady-state allocation-free: the scratch buffer
+    /// and every runtime's planning buffer are reused in place.
+    pub fn run_quantum(&mut self) -> u64 {
+        self.run_quantum_with(&mut |_, _| {})
+    }
+
+    /// [`DaemonShard::run_quantum`], invoking `on_decision` for every
+    /// per-beat decision (tests and diagnostics; the callback runs on the
+    /// shard's thread).
+    pub fn run_quantum_with(
+        &mut self,
+        on_decision: &mut impl FnMut(AppId, IndexedDecision),
+    ) -> u64 {
+        let mut beats = 0;
+        for slot in &mut self.apps {
+            slot.consumer.drain_into(&mut self.scratch);
+            beats += slot
+                .control
+                .process_drained(slot.id, &self.scratch, on_decision);
+        }
+        beats
+    }
+
+    /// The planned per-beat knob indices of `id`'s current quantum (empty
+    /// before its first beat), for equivalence tests.
+    pub fn planned_beat_indices(&self, id: AppId) -> Option<&[PointIdx]> {
+        self.apps
+            .iter()
+            .find(|slot| slot.id == id)
+            .map(|slot| slot.control.runtime.planned_beat_indices())
+    }
+
+    /// Number of quanta `id`'s runtime has planned so far.
+    pub fn quanta_planned(&self, id: AppId) -> Option<u64> {
+        self.apps
+            .iter()
+            .find(|slot| slot.id == id)
+            .map(|slot| slot.control.runtime.quanta_planned())
+    }
+}
+
+/// Commands sent from the daemon façade to a worker thread. Every command
+/// except `Shutdown` is acknowledged on the worker's ack channel.
+enum Command {
+    Register(Box<AppSlot>),
+    Unregister(AppId),
+    Tick,
+    Shutdown,
+}
+
+/// One spawned worker: its command/ack channels and join handle.
+struct Worker {
+    commands: mpsc::Sender<Command>,
+    acks: mpsc::Receiver<u64>,
+    thread: Option<JoinHandle<()>>,
+}
+
+/// The sharded multi-application PowerDial daemon.
+///
+/// # Example
+///
+/// ```
+/// use powerdial_control::{ControllerConfig, DaemonConfig, PowerDialDaemon, RuntimeConfig};
+/// use powerdial_heartbeats::Timestamp;
+/// use powerdial_knobs::{CalibrationPoint, KnobTable, ConfigParameter, ParameterSpace};
+/// use powerdial_qos::{QosLoss, QosLossBound};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// # let space = ParameterSpace::builder()
+/// #     .parameter(ConfigParameter::new("k", vec![0.0, 1.0], 0.0)?)
+/// #     .build()?;
+/// # let points = vec![
+/// #     CalibrationPoint { setting_index: 0, setting: space.setting(0).unwrap(),
+/// #                        speedup: 1.0, qos_loss: QosLoss::new(0.0) },
+/// #     CalibrationPoint { setting_index: 1, setting: space.setting(1).unwrap(),
+/// #                        speedup: 2.0, qos_loss: QosLoss::new(0.05) },
+/// # ];
+/// # let table = KnobTable::from_points(points, 0, QosLossBound::UNBOUNDED)?;
+/// // Inline mode (workers: 0) keeps everything on this thread.
+/// let mut daemon = PowerDialDaemon::new(DaemonConfig {
+///     workers: 0,
+///     ..DaemonConfig::default()
+/// })?;
+/// let config = RuntimeConfig::new(ControllerConfig::new(30.0, 30.0)?);
+/// let mut app = daemon.register(config, table)?;
+///
+/// // The application emits beats; the daemon controls once per quantum.
+/// for beat in 0..40u64 {
+///     app.beat(Timestamp::from_millis(beat * 50)).unwrap(); // 20 beats/s: too slow
+///     if beat % 20 == 19 {
+///         daemon.tick();
+///     }
+/// }
+/// assert_eq!(app.beats_processed(), 40);
+/// assert!(app.latest_gain().unwrap() >= 1.0);
+/// # Ok(())
+/// # }
+/// ```
+pub struct PowerDialDaemon {
+    config: DaemonConfig,
+    /// Threaded mode: one worker per shard.
+    workers: Vec<Worker>,
+    /// Inline mode (`workers: 0`): the single shard, ticked on the caller.
+    inline_shard: DaemonShard,
+    /// Which worker owns each app (`usize::MAX` = inline shard).
+    placements: HashMap<u64, usize>,
+    next_id: u64,
+    next_worker: usize,
+    total_beats: u64,
+    ticks: u64,
+}
+
+impl std::fmt::Debug for PowerDialDaemon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PowerDialDaemon")
+            .field("config", &self.config)
+            .field("apps", &self.placements.len())
+            .field("ticks", &self.ticks)
+            .field("total_beats", &self.total_beats)
+            .finish()
+    }
+}
+
+impl PowerDialDaemon {
+    /// Creates a daemon and spawns its worker threads (none in inline
+    /// mode).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::ZeroChannelCapacity`] or
+    /// [`ControlError::ZeroWindowSize`] for an invalid configuration.
+    pub fn new(config: DaemonConfig) -> Result<Self, ControlError> {
+        config.validate()?;
+        let workers = (0..config.workers)
+            .map(|index| {
+                let (command_tx, command_rx) = mpsc::channel::<Command>();
+                let (ack_tx, ack_rx) = mpsc::channel::<u64>();
+                let thread = std::thread::Builder::new()
+                    .name(format!("powerdial-shard-{index}"))
+                    .spawn(move || worker_main(command_rx, ack_tx))
+                    .expect("spawn daemon worker");
+                Worker {
+                    commands: command_tx,
+                    acks: ack_rx,
+                    thread: Some(thread),
+                }
+            })
+            .collect();
+        Ok(PowerDialDaemon {
+            config,
+            workers,
+            inline_shard: DaemonShard::new(),
+            placements: HashMap::new(),
+            next_id: 0,
+            next_worker: 0,
+            total_beats: 0,
+            ticks: 0,
+        })
+    }
+
+    /// The daemon's configuration.
+    pub fn config(&self) -> &DaemonConfig {
+        &self.config
+    }
+
+    /// Registers an application: builds its SPSC channel and O(1) runtime,
+    /// assigns it to a shard round-robin, and returns the application-side
+    /// handle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::ZeroQuantum`] when the runtime configuration
+    /// has a zero-heartbeat quantum.
+    pub fn register(
+        &mut self,
+        config: RuntimeConfig,
+        table: KnobTable,
+    ) -> Result<AppHandle, ControlError> {
+        let runtime = PowerDialRuntime::new(config, table)?;
+        let (producer, consumer) = beat_channel(self.config.channel_capacity);
+        let shared = Arc::new(AppShared::default());
+        let id = AppId(self.next_id);
+        self.next_id += 1;
+        let slot = AppSlot {
+            id,
+            consumer,
+            control: ControlState {
+                runtime,
+                window: SlidingWindow::new(self.config.window_size),
+                shared: Arc::clone(&shared),
+                decisions: 0,
+            },
+        };
+        if self.workers.is_empty() {
+            self.placements.insert(id.0, usize::MAX);
+            self.inline_shard.push_slot(slot);
+        } else {
+            let worker = self.next_worker;
+            self.next_worker = (self.next_worker + 1) % self.workers.len();
+            self.placements.insert(id.0, worker);
+            self.command(worker, Command::Register(Box::new(slot)));
+        }
+        Ok(AppHandle {
+            id,
+            producer,
+            shared,
+            next_tag: HeartbeatTag::default(),
+            last_timestamp: None,
+        })
+    }
+
+    /// Removes an application from its shard. Beats still in its channel
+    /// are discarded; the application's handle keeps working but nothing
+    /// drains its channel any more (pushes eventually see backpressure).
+    /// Returns `false` if `id` was never registered or already removed.
+    pub fn unregister(&mut self, id: AppId) -> bool {
+        match self.placements.remove(&id.0) {
+            Some(usize::MAX) => self.inline_shard.remove(id),
+            Some(worker) => self.command(worker, Command::Unregister(id)) != 0,
+            None => false,
+        }
+    }
+
+    /// Runs one actuation quantum across every shard (in parallel in
+    /// threaded mode) and returns the total beats processed. Blocks until
+    /// every shard has finished its quantum.
+    pub fn tick(&mut self) -> u64 {
+        let mut beats = self.inline_shard.run_quantum();
+        // Broadcast first so shards run concurrently, then collect.
+        for worker in &self.workers {
+            worker
+                .commands
+                .send(Command::Tick)
+                .expect("daemon worker exited prematurely");
+        }
+        for worker in &self.workers {
+            beats += worker
+                .acks
+                .recv()
+                .expect("daemon worker exited prematurely");
+        }
+        self.total_beats += beats;
+        self.ticks += 1;
+        beats
+    }
+
+    /// Number of applications currently registered.
+    pub fn app_count(&self) -> usize {
+        self.placements.len()
+    }
+
+    /// Total beats processed across all ticks.
+    pub fn total_beats(&self) -> u64 {
+        self.total_beats
+    }
+
+    /// Number of ticks (actuation quanta) run so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Worker threads in use (0 = inline mode).
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// In inline mode (`workers: 0`), the daemon's single shard, for tests
+    /// and diagnostics that need to observe per-beat decisions via
+    /// [`DaemonShard::run_quantum_with`]. `None` in threaded mode.
+    ///
+    /// Quanta run directly on the shard bypass the daemon's
+    /// [`PowerDialDaemon::total_beats`]/[`PowerDialDaemon::ticks`]
+    /// bookkeeping.
+    pub fn inline_shard_mut(&mut self) -> Option<&mut DaemonShard> {
+        if self.workers.is_empty() {
+            Some(&mut self.inline_shard)
+        } else {
+            None
+        }
+    }
+
+    /// Sends a command to a worker and waits for its acknowledgement.
+    fn command(&self, worker: usize, command: Command) -> u64 {
+        self.workers[worker]
+            .commands
+            .send(command)
+            .expect("daemon worker exited prematurely");
+        self.workers[worker]
+            .acks
+            .recv()
+            .expect("daemon worker exited prematurely")
+    }
+}
+
+impl Drop for PowerDialDaemon {
+    fn drop(&mut self) {
+        for worker in &mut self.workers {
+            // The worker may already be gone if it panicked; ignore errors.
+            let _ = worker.commands.send(Command::Shutdown);
+        }
+        for worker in &mut self.workers {
+            if let Some(thread) = worker.thread.take() {
+                let _ = thread.join();
+            }
+        }
+    }
+}
+
+/// Worker thread body: own a shard, obey commands, acknowledge each one.
+fn worker_main(commands: mpsc::Receiver<Command>, acks: mpsc::Sender<u64>) {
+    let mut shard = DaemonShard::new();
+    while let Ok(command) = commands.recv() {
+        let ack = match command {
+            Command::Register(slot) => {
+                shard.push_slot(*slot);
+                0
+            }
+            Command::Unregister(id) => u64::from(shard.remove(id)),
+            Command::Tick => shard.run_quantum(),
+            Command::Shutdown => break,
+        };
+        if acks.send(ack).is_err() {
+            break;
+        }
+    }
+}
+
+pub mod naive {
+    //! The serial, mutex-guarded multi-app baseline.
+    //!
+    //! What the daemon looked like before the lock-free rework: every
+    //! application's beats go through a `Mutex<VecDeque>` channel
+    //! ([`MutexChannel`]), and one thread drains and controls every
+    //! application in sequence. Kept for the `multiapp` benchmark (the
+    //! speedup denominator) and for equivalence tests — the control code
+    //! itself is *shared* with the lock-free shard, so any divergence
+    //! between the two is a channel bug, not a control bug.
+
+    use super::{AppId, AppShared, ControlState, DaemonConfig};
+    use crate::error::ControlError;
+    use crate::runtime::{PowerDialRuntime, RuntimeConfig};
+    use powerdial_heartbeats::channel::BeatSample;
+    use powerdial_heartbeats::naive::MutexChannel;
+    use powerdial_heartbeats::{HeartbeatTag, SlidingWindow, Timestamp};
+    use powerdial_knobs::KnobTable;
+    use std::sync::Arc;
+
+    /// The application-side handle of a [`SerialMutexDaemon`] registration:
+    /// same surface as [`super::AppHandle`], but every beat takes the
+    /// channel mutex.
+    #[derive(Debug, Clone)]
+    pub struct NaiveAppHandle {
+        id: AppId,
+        channel: MutexChannel<BeatSample>,
+        shared: Arc<AppShared>,
+        next_tag: HeartbeatTag,
+        last_timestamp: Option<Timestamp>,
+    }
+
+    impl NaiveAppHandle {
+        /// The application's daemon-assigned identifier.
+        pub fn id(&self) -> AppId {
+            self.id
+        }
+
+        /// Emits one heartbeat at `now` (locks the channel mutex).
+        ///
+        /// # Errors
+        ///
+        /// Returns the rejected record when the channel is full.
+        pub fn beat(&mut self, now: Timestamp) -> Result<(), BeatSample> {
+            let latency = match self.last_timestamp {
+                Some(last) => now - last,
+                None => powerdial_heartbeats::TimestampDelta::ZERO,
+            };
+            let sample = BeatSample {
+                tag: self.next_tag,
+                timestamp: now,
+                latency,
+            };
+            self.next_tag = self.next_tag.next();
+            self.last_timestamp = Some(now);
+            self.channel.try_push(sample)
+        }
+
+        /// The latest decided knob gain, or `None` before the first
+        /// decision.
+        pub fn latest_gain(&self) -> Option<f64> {
+            let packed = self
+                .shared
+                .decision
+                .load(std::sync::atomic::Ordering::Acquire);
+            if packed >> 32 == 0 {
+                None
+            } else {
+                Some(f64::from_bits(
+                    self.shared
+                        .gain_bits
+                        .load(std::sync::atomic::Ordering::Acquire),
+                ))
+            }
+        }
+
+        /// Total beats the daemon has processed for this application.
+        pub fn beats_processed(&self) -> u64 {
+            self.shared
+                .beats_processed
+                .load(std::sync::atomic::Ordering::Acquire)
+        }
+    }
+
+    /// One app of the serial daemon: mutex channel + the shared control
+    /// state.
+    struct NaiveSlot {
+        id: AppId,
+        channel: MutexChannel<BeatSample>,
+        control: ControlState,
+    }
+
+    /// The pre-optimization multi-app runtime: mutex-guarded channels, one
+    /// thread, apps drained and controlled strictly in sequence.
+    pub struct SerialMutexDaemon {
+        config: DaemonConfig,
+        apps: Vec<NaiveSlot>,
+        scratch: Vec<BeatSample>,
+        next_id: u64,
+        total_beats: u64,
+    }
+
+    impl SerialMutexDaemon {
+        /// Creates a serial daemon (the `workers` field of the
+        /// configuration is ignored — there is exactly one, the caller).
+        ///
+        /// # Errors
+        ///
+        /// Returns [`ControlError::ZeroChannelCapacity`] or
+        /// [`ControlError::ZeroWindowSize`] for an invalid configuration.
+        pub fn new(config: DaemonConfig) -> Result<Self, ControlError> {
+            config.validate()?;
+            Ok(SerialMutexDaemon {
+                config,
+                apps: Vec::new(),
+                scratch: Vec::new(),
+                next_id: 0,
+                total_beats: 0,
+            })
+        }
+
+        /// Registers an application, returning its mutex-channel handle.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`ControlError::ZeroQuantum`] when the runtime
+        /// configuration has a zero-heartbeat quantum.
+        pub fn register(
+            &mut self,
+            config: RuntimeConfig,
+            table: KnobTable,
+        ) -> Result<NaiveAppHandle, ControlError> {
+            let runtime = PowerDialRuntime::new(config, table)?;
+            let channel = MutexChannel::new(self.config.channel_capacity);
+            let shared = Arc::new(AppShared::default());
+            let id = AppId(self.next_id);
+            self.next_id += 1;
+            self.apps.push(NaiveSlot {
+                id,
+                channel: channel.clone(),
+                control: ControlState {
+                    runtime,
+                    window: SlidingWindow::new(self.config.window_size),
+                    shared: Arc::clone(&shared),
+                    decisions: 0,
+                },
+            });
+            Ok(NaiveAppHandle {
+                id,
+                channel,
+                shared,
+                next_tag: HeartbeatTag::default(),
+                last_timestamp: None,
+            })
+        }
+
+        /// Runs one actuation quantum over every app, serially, on the
+        /// calling thread. Returns the total beats processed.
+        pub fn tick(&mut self) -> u64 {
+            let mut beats = 0;
+            for slot in &mut self.apps {
+                slot.channel.drain_into(&mut self.scratch);
+                beats += slot
+                    .control
+                    .process_drained(slot.id, &self.scratch, &mut |_, _| {});
+            }
+            self.total_beats += beats;
+            beats
+        }
+
+        /// Number of applications registered.
+        pub fn app_count(&self) -> usize {
+            self.apps.len()
+        }
+
+        /// Total beats processed across all ticks.
+        pub fn total_beats(&self) -> u64 {
+            self.total_beats
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::ControllerConfig;
+    use crate::runtime::RuntimeConfig;
+    use powerdial_knobs::{CalibrationPoint, ConfigParameter, ParameterSpace};
+    use powerdial_qos::{QosLoss, QosLossBound};
+
+    fn test_table() -> KnobTable {
+        let speedups = [1.0, 2.0, 4.0];
+        let values: Vec<f64> = (0..speedups.len()).map(|i| i as f64).collect();
+        let space = ParameterSpace::builder()
+            .parameter(ConfigParameter::new("k", values, 0.0).unwrap())
+            .build()
+            .unwrap();
+        let points = speedups
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| CalibrationPoint {
+                setting_index: i,
+                setting: space.setting(i).unwrap(),
+                speedup: s,
+                qos_loss: QosLoss::new((s - 1.0) * 0.02),
+            })
+            .collect();
+        KnobTable::from_points(points, 0, QosLossBound::UNBOUNDED).unwrap()
+    }
+
+    fn runtime_config() -> RuntimeConfig {
+        RuntimeConfig::new(ControllerConfig::new(30.0, 30.0).unwrap())
+    }
+
+    fn inline_daemon() -> PowerDialDaemon {
+        PowerDialDaemon::new(DaemonConfig {
+            workers: 0,
+            channel_capacity: 64,
+            window_size: 20,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(matches!(
+            PowerDialDaemon::new(DaemonConfig {
+                workers: 0,
+                channel_capacity: 0,
+                window_size: 20,
+            }),
+            Err(ControlError::ZeroChannelCapacity)
+        ));
+        assert!(matches!(
+            PowerDialDaemon::new(DaemonConfig {
+                workers: 0,
+                channel_capacity: 8,
+                window_size: 0,
+            }),
+            Err(ControlError::ZeroWindowSize)
+        ));
+        assert!(DaemonConfig::default().workers >= 1);
+        assert_eq!(DaemonConfig::with_workers(3).workers, 3);
+    }
+
+    #[test]
+    fn inline_daemon_controls_a_slow_app() {
+        let mut daemon = inline_daemon();
+        let mut app = daemon.register(runtime_config(), test_table()).unwrap();
+        assert_eq!(daemon.app_count(), 1);
+        assert!(app.latest_point().is_none());
+        assert!(app.latest_gain().is_none());
+
+        // 20 beats/s against a 30 beats/s target: the controller must ask
+        // for speedup, so boosted settings appear.
+        let mut now = Timestamp::ZERO;
+        let mut boosted = false;
+        for _ in 0..10 {
+            for _ in 0..20 {
+                now += powerdial_heartbeats::TimestampDelta::from_millis(50);
+                app.beat(now).unwrap();
+            }
+            daemon.tick();
+            if app.latest_gain().unwrap_or(1.0) > 1.0 {
+                boosted = true;
+            }
+        }
+        assert!(boosted, "slow app should receive a boosted setting");
+        assert_eq!(app.beats_processed(), 200);
+        assert_eq!(daemon.total_beats(), 200);
+        assert_eq!(daemon.ticks(), 10);
+        assert!(app.achieved_speedup().unwrap() >= 1.0);
+        assert!(app.expected_qos_loss().unwrap() >= 0.0);
+        assert_eq!(app.beats_rejected(), 0);
+    }
+
+    #[test]
+    fn threaded_daemon_matches_inline_daemon() {
+        // Same beat streams through a 2-worker daemon and the inline one:
+        // per-app decision state must end identical (the shards run the
+        // same code; only the thread that runs it differs).
+        let mut threaded = PowerDialDaemon::new(DaemonConfig {
+            workers: 2,
+            channel_capacity: 64,
+            window_size: 20,
+        })
+        .unwrap();
+        let mut inline = inline_daemon();
+
+        let mut threaded_apps: Vec<AppHandle> = (0..4)
+            .map(|_| threaded.register(runtime_config(), test_table()).unwrap())
+            .collect();
+        let mut inline_apps: Vec<AppHandle> = (0..4)
+            .map(|_| inline.register(runtime_config(), test_table()).unwrap())
+            .collect();
+        assert_eq!(threaded.workers(), 2);
+
+        let mut now = Timestamp::ZERO;
+        for _ in 0..8 {
+            for _ in 0..20 {
+                now += powerdial_heartbeats::TimestampDelta::from_millis(40);
+                for (app_index, app) in threaded_apps.iter_mut().enumerate() {
+                    // Distinct per-app latencies so apps genuinely differ.
+                    let offset =
+                        powerdial_heartbeats::TimestampDelta::from_millis(app_index as u64);
+                    app.beat(now + offset).unwrap();
+                }
+                for (app_index, app) in inline_apps.iter_mut().enumerate() {
+                    let offset =
+                        powerdial_heartbeats::TimestampDelta::from_millis(app_index as u64);
+                    app.beat(now + offset).unwrap();
+                }
+            }
+            let a = threaded.tick();
+            let b = inline.tick();
+            assert_eq!(a, b);
+        }
+        for (threaded_app, inline_app) in threaded_apps.iter().zip(&inline_apps) {
+            assert_eq!(threaded_app.beats_processed(), inline_app.beats_processed());
+            assert_eq!(threaded_app.latest_point(), inline_app.latest_point());
+            assert_eq!(
+                threaded_app.latest_gain().unwrap().to_bits(),
+                inline_app.latest_gain().unwrap().to_bits()
+            );
+            assert_eq!(
+                threaded_app.achieved_speedup().unwrap().to_bits(),
+                inline_app.achieved_speedup().unwrap().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn unregister_inline_and_threaded() {
+        for workers in [0usize, 2] {
+            let mut daemon = PowerDialDaemon::new(DaemonConfig {
+                workers,
+                channel_capacity: 16,
+                window_size: 4,
+            })
+            .unwrap();
+            let mut a = daemon.register(runtime_config(), test_table()).unwrap();
+            let b = daemon.register(runtime_config(), test_table()).unwrap();
+            assert_eq!(daemon.app_count(), 2);
+
+            assert!(daemon.unregister(b.id()));
+            assert!(!daemon.unregister(b.id()), "double unregister");
+            assert_eq!(daemon.app_count(), 1);
+
+            // The remaining app still gets controlled.
+            let mut now = Timestamp::ZERO;
+            for _ in 0..8 {
+                now += powerdial_heartbeats::TimestampDelta::from_millis(10);
+                a.beat(now).unwrap();
+            }
+            assert_eq!(daemon.tick(), 8);
+            assert_eq!(a.beats_processed(), 8);
+        }
+    }
+
+    #[test]
+    fn serial_mutex_daemon_matches_lock_free_daemon() {
+        // Identical beat streams, identical decisions: the mutex baseline
+        // shares the control code, so the only difference is the channel.
+        let mut lock_free = inline_daemon();
+        let mut serial = naive::SerialMutexDaemon::new(DaemonConfig {
+            workers: 0,
+            channel_capacity: 64,
+            window_size: 20,
+        })
+        .unwrap();
+
+        let mut fast_app = lock_free.register(runtime_config(), test_table()).unwrap();
+        let mut slow_app = serial.register(runtime_config(), test_table()).unwrap();
+
+        let mut now = Timestamp::ZERO;
+        for quantum in 0..12 {
+            let period_ms = 20 + (quantum % 5) * 10;
+            for _ in 0..20 {
+                now += powerdial_heartbeats::TimestampDelta::from_millis(period_ms);
+                fast_app.beat(now).unwrap();
+                slow_app.beat(now).unwrap();
+            }
+            assert_eq!(lock_free.tick(), serial.tick());
+            assert_eq!(
+                fast_app.latest_gain().unwrap().to_bits(),
+                slow_app.latest_gain().unwrap().to_bits(),
+                "decision diverged at quantum {quantum}"
+            );
+        }
+        assert_eq!(fast_app.beats_processed(), slow_app.beats_processed());
+        assert_eq!(serial.app_count(), 1);
+        assert_eq!(serial.total_beats(), 240);
+    }
+
+    #[test]
+    fn backpressure_surfaces_on_full_channel() {
+        let mut daemon = PowerDialDaemon::new(DaemonConfig {
+            workers: 0,
+            channel_capacity: 4,
+            window_size: 4,
+        })
+        .unwrap();
+        let mut app = daemon.register(runtime_config(), test_table()).unwrap();
+        let mut now = Timestamp::ZERO;
+        let mut rejected = 0;
+        for _ in 0..10 {
+            now += powerdial_heartbeats::TimestampDelta::from_millis(10);
+            if app.beat(now).is_err() {
+                rejected += 1;
+            }
+        }
+        assert_eq!(rejected, 6, "capacity-4 channel accepts 4 of 10 beats");
+        assert_eq!(app.beats_rejected(), 6);
+        assert_eq!(daemon.tick(), 4);
+        // After a drain, pushes flow again.
+        now += powerdial_heartbeats::TimestampDelta::from_millis(10);
+        assert!(app.beat(now).is_ok());
+    }
+}

@@ -35,6 +35,10 @@ pub enum ControlError {
         /// The fastest speedup the knob table offers.
         available: f64,
     },
+    /// A daemon channel capacity of zero records was requested.
+    ZeroChannelCapacity,
+    /// A daemon sliding-window size of zero heartbeats was requested.
+    ZeroWindowSize,
 }
 
 impl fmt::Display for ControlError {
@@ -57,6 +61,12 @@ impl fmt::Display for ControlError {
                 f,
                 "requested speedup {requested:.3} exceeds the fastest available knob speedup {available:.3}"
             ),
+            ControlError::ZeroChannelCapacity => {
+                write!(f, "daemon channel capacity must be at least one record")
+            }
+            ControlError::ZeroWindowSize => {
+                write!(f, "daemon window size must be at least one heartbeat")
+            }
         }
     }
 }
@@ -78,6 +88,8 @@ mod tests {
                 requested: 5.0,
                 available: 2.0,
             },
+            ControlError::ZeroChannelCapacity,
+            ControlError::ZeroWindowSize,
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());

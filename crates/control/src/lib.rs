@@ -15,7 +15,42 @@
 //!    of discrete knob settings over a time quantum (Equations 9–11), with
 //!    either the race-to-idle or the minimal-speedup policy;
 //! 4. the [`PowerDialRuntime`] ties the pieces together: feed it one call per
-//!    heartbeat and apply the knob setting it returns.
+//!    heartbeat and apply the knob setting it returns;
+//! 5. the [`daemon`] module scales the loop to many applications: a
+//!    [`PowerDialDaemon`] drives one runtime per registered app from a pool
+//!    of sharded worker threads.
+//!
+//! # Channels and the multi-app daemon
+//!
+//! A single control loop costs tens of nanoseconds per heartbeat; serving
+//! thousands of applications from one daemon is therefore a *plumbing*
+//! problem, not a compute problem. The architecture keeps the plumbing off
+//! the hot path:
+//!
+//! * **Beat transport** — each application owns the producer half of a
+//!   lock-free SPSC ring ([`powerdial_heartbeats::channel`]). Emitting a
+//!   beat is one slot write plus one release store: wait-free, no locks, no
+//!   allocation, no syscalls, so instrumentation cannot perturb the
+//!   application being controlled (the framework's founding constraint).
+//! * **Sharding** — registered apps are distributed round-robin over worker
+//!   threads; each worker owns its apps exclusively (a [`DaemonShard`]), so
+//!   workers share no mutable state and need no synchronization with each
+//!   other.
+//! * **Batched actuation** — once per actuation quantum
+//!   ([`PowerDialDaemon::tick`]) each shard drains every channel in one
+//!   batch into a reused scratch buffer and steps the O(1)
+//!   [`PowerDialRuntime`] once per drained beat. The cross-core cost (one
+//!   acquire/release pair per channel) is paid per quantum, not per beat,
+//!   which is exactly the batching the paper's 20-heartbeat actuation
+//!   quantum licenses.
+//! * **Decision return** — the latest knob setting, gain, achieved speedup,
+//!   and expected QoS loss are published through per-app atomics; the
+//!   application reads them lock-free whenever it is ready to reconfigure.
+//!
+//! The per-quantum drain loop is steady-state allocation-free (enforced by
+//! the `daemon_no_alloc` integration test), and the mutex-guarded serial
+//! baseline in [`daemon::naive`] shares the control code so the `multiapp`
+//! benchmark isolates the cost of the transport alone.
 //!
 //! # Example
 //!
@@ -43,6 +78,7 @@
 
 mod actuator;
 mod controller;
+pub mod daemon;
 mod error;
 pub mod naive;
 mod runtime;
@@ -53,6 +89,7 @@ pub use actuator::{
     MAX_PLAN_SEGMENTS,
 };
 pub use controller::{ControllerConfig, HeartRateController};
+pub use daemon::{AppHandle, AppId, DaemonConfig, DaemonShard, PowerDialDaemon};
 pub use error::ControlError;
 pub use runtime::{
     IndexedDecision, PowerDialRuntime, RuntimeConfig, RuntimeDecision, DEFAULT_QUANTUM_HEARTBEATS,

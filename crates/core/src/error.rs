@@ -35,6 +35,10 @@ pub enum PowerDialError {
         /// Name of the offending application.
         application: String,
     },
+    /// A simulated application's heartbeat channel rejected a beat. The
+    /// experiment drivers size channels for a full quantum, so overflow
+    /// indicates a pacing bug, not expected backpressure.
+    HeartbeatChannelFull,
 }
 
 impl fmt::Display for PowerDialError {
@@ -52,6 +56,9 @@ impl fmt::Display for PowerDialError {
             PowerDialError::NoTrainingInputs { application } => {
                 write!(f, "application `{application}` exposes no training inputs")
             }
+            PowerDialError::HeartbeatChannelFull => {
+                write!(f, "heartbeat channel overflowed mid-experiment")
+            }
         }
     }
 }
@@ -67,6 +74,7 @@ impl Error for PowerDialError {
             PowerDialError::Platform(e) => Some(e),
             PowerDialError::Analytic(e) => Some(e),
             PowerDialError::NoTrainingInputs { .. } => None,
+            PowerDialError::HeartbeatChannelFull => None,
         }
     }
 }

@@ -1,9 +1,24 @@
 //! Server consolidation across utilization levels (Figure 8).
+//!
+//! Two drivers produce the study:
+//!
+//! * [`consolidation_study`] — the analytic sweep: at each utilization the
+//!   actuator is planned directly for the required speedup (closed form,
+//!   exact);
+//! * [`consolidation_study_live`] — the same sweep run through the real
+//!   multi-application machinery: every consolidated machine is an
+//!   application registered in a [`powerdial_heartbeats::HeartbeatRegistry`],
+//!   emitting heartbeats over a lock-free SPSC channel into a sharded
+//!   [`PowerDialDaemon`], whose per-quantum batched controller converges on
+//!   the required speedup. The equivalence test asserts the two agree.
 
 use serde::{Deserialize, Serialize};
 
-use powerdial_analytic::consolidation::ConsolidationModel;
-use powerdial_control::{ActuationPolicy, Actuator};
+use powerdial_analytic::consolidation::{required_speedup, ConsolidationModel};
+use powerdial_control::daemon::{DaemonConfig, PowerDialDaemon};
+use powerdial_control::{ActuationPolicy, Actuator, ControllerConfig, RuntimeConfig};
+use powerdial_heartbeats::channel::BeatSample;
+use powerdial_heartbeats::{HeartbeatRegistry, MonitorConfig, Timestamp, TimestampDelta};
 use powerdial_platform::{Cluster, FrequencyState, PowerModel};
 use powerdial_qos::QosLossBound;
 
@@ -97,6 +112,73 @@ pub fn consolidation_study(
     qos_bound: QosLossBound,
     utilization_steps: usize,
 ) -> Result<ConsolidationStudy, PowerDialError> {
+    let Provisioning {
+        bounded_table,
+        provisioning_speedup,
+        consolidated_machines,
+        original,
+        consolidated,
+    } = provision(system, original_machines, qos_bound)?;
+    let actuator = Actuator::new(ActuationPolicy::MinimalSpeedup);
+
+    let steps = utilization_steps.max(2);
+    let mut points = Vec::with_capacity(steps);
+    for step in 0..steps {
+        let utilization = step as f64 / (steps - 1) as f64;
+        let offered_load = utilization * original_machines as f64;
+
+        let original_power = original
+            .power_at_load(offered_load, FrequencyState::highest())?
+            .total_watts;
+
+        // The consolidated system must absorb the same offered load with
+        // fewer machines: the required speedup is the ratio of offered load
+        // to available capacity (at least 1).
+        let required = required_speedup(offered_load, consolidated_machines);
+        let schedule = actuator.plan(&bounded_table, required);
+        let achieved = schedule.achieved_speedup.max(1.0);
+        let qos_loss_percent = schedule.expected_qos_loss() * 100.0;
+
+        let consolidated_load = offered_load / achieved;
+        let consolidated_power = consolidated
+            .power_at_load(consolidated_load, FrequencyState::highest())?
+            .total_watts;
+
+        points.push(ConsolidationPoint {
+            utilization,
+            original_power_watts: original_power,
+            consolidated_power_watts: consolidated_power,
+            qos_loss_percent,
+        });
+    }
+
+    Ok(ConsolidationStudy {
+        application: system.application().to_string(),
+        original_machines,
+        consolidated_machines,
+        qos_bound_percent: qos_bound.percent(),
+        provisioning_speedup,
+        points,
+    })
+}
+
+/// Provisioning shared by the analytic and live sweeps: the QoS-bounded
+/// knob table, the Equation 21 machine count, and both clusters. Keeping
+/// this in one place is what makes [`consolidation_study`] and
+/// [`consolidation_study_live`] comparable point for point.
+struct Provisioning {
+    bounded_table: powerdial_knobs::KnobTable,
+    provisioning_speedup: f64,
+    consolidated_machines: usize,
+    original: Cluster,
+    consolidated: Cluster,
+}
+
+fn provision(
+    system: &PowerDialSystem,
+    original_machines: usize,
+    qos_bound: QosLossBound,
+) -> Result<Provisioning, PowerDialError> {
     let bounded_table = system.calibration().knob_table(qos_bound)?;
     let provisioning_speedup = bounded_table.max_speedup();
 
@@ -119,7 +201,93 @@ pub fn consolidation_study(
         consolidated_machines,
         PowerModel::poweredge_r410(),
     )?;
-    let actuator = Actuator::new(ActuationPolicy::MinimalSpeedup);
+    Ok(Provisioning {
+        bounded_table,
+        provisioning_speedup,
+        consolidated_machines,
+        original,
+        consolidated,
+    })
+}
+
+/// Options for the daemon-driven consolidation sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LiveConsolidationOptions {
+    /// Worker threads the daemon shards machines across (0 = inline, fully
+    /// deterministic).
+    pub workers: usize,
+    /// Actuation quanta simulated per utilization step; the integral
+    /// controller is near-deadbeat, so a handful suffice for convergence.
+    pub quanta_per_step: usize,
+    /// Nominal heart-rate target each machine's application runs at, in
+    /// beats per second. Only sets the simulation's time scale.
+    pub target_rate_bps: f64,
+}
+
+impl Default for LiveConsolidationOptions {
+    fn default() -> Self {
+        LiveConsolidationOptions {
+            workers: 0,
+            quanta_per_step: 15,
+            target_rate_bps: 30.0,
+        }
+    }
+}
+
+/// Runs the Figure 8 experiment through the live multi-application stack.
+///
+/// Provisioning is identical to [`consolidation_study`]. The sweep itself
+/// is not analytic: every consolidated machine runs an instrumented
+/// application — a [`powerdial_heartbeats::HeartbeatMonitor`] registered in
+/// a [`HeartbeatRegistry`] — whose beat records flow over a lock-free SPSC
+/// channel into a [`PowerDialDaemon`]. At each utilization step the
+/// machines' effective capacity drops to `1 / required_speedup`; the
+/// daemon's per-quantum batched controllers observe the slowdown through
+/// the windowed heart rate and drive each machine's knobs until the target
+/// rate is restored. Power and QoS are then read from the daemon's
+/// converged decisions, exactly as an operator would read them off the
+/// running system.
+///
+/// # Errors
+///
+/// Returns an error when no knob setting satisfies the QoS bound, the
+/// cluster parameters are invalid, or a heartbeat stream overflows its
+/// channel (the channel is sized for the quantum, so this indicates a bug).
+pub fn consolidation_study_live(
+    system: &PowerDialSystem,
+    original_machines: usize,
+    qos_bound: QosLossBound,
+    utilization_steps: usize,
+    options: LiveConsolidationOptions,
+) -> Result<ConsolidationStudy, PowerDialError> {
+    let Provisioning {
+        bounded_table,
+        provisioning_speedup,
+        consolidated_machines,
+        original,
+        consolidated,
+    } = provision(system, original_machines, qos_bound)?;
+
+    // One application per consolidated machine: a monitor in the registry
+    // (the paper's shared heartbeat namespace) plus a daemon registration.
+    let target = options.target_rate_bps;
+    let runtime_config = RuntimeConfig::new(ControllerConfig::new(target, target)?);
+    let quantum = runtime_config.quantum_heartbeats as usize;
+    let mut daemon = PowerDialDaemon::new(DaemonConfig {
+        workers: options.workers,
+        channel_capacity: (quantum * 2).max(DaemonConfig::DEFAULT_CHANNEL_CAPACITY),
+        window_size: quantum,
+    })?;
+    let mut registry = HeartbeatRegistry::new();
+    let mut machines = Vec::with_capacity(consolidated_machines);
+    for machine in 0..consolidated_machines {
+        let monitor_id = registry.register(
+            MonitorConfig::new(format!("{}-machine-{machine}", system.application()))
+                .with_target_rate_range(target, target)?,
+        )?;
+        let handle = daemon.register(runtime_config, bounded_table.clone())?;
+        machines.push((monitor_id, handle, Timestamp::ZERO));
+    }
 
     let steps = utilization_steps.max(2);
     let mut points = Vec::with_capacity(steps);
@@ -131,15 +299,43 @@ pub fn consolidation_study(
             .power_at_load(offered_load, FrequencyState::highest())?
             .total_watts;
 
-        // The consolidated system must absorb the same offered load with
-        // fewer machines: the required speedup is the ratio of offered load
-        // to available capacity (at least 1).
-        let required_speedup = (offered_load / consolidated_machines as f64).max(1.0);
-        let schedule = actuator.plan(&bounded_table, required_speedup);
-        let achieved = schedule.achieved_speedup.max(1.0);
-        let qos_loss_percent = schedule.expected_qos_loss() * 100.0;
+        // Consolidation slows each machine's application by the required
+        // speedup; the daemon has to win it back through the knobs.
+        let required = required_speedup(offered_load, consolidated_machines);
+        let capacity = 1.0 / required;
 
-        let consolidated_load = offered_load / achieved;
+        for _ in 0..options.quanta_per_step {
+            for (monitor_id, handle, now) in &mut machines {
+                // The application processes `quantum` units at the gain the
+                // daemon last decided (1.0 before any decision).
+                let gain = handle.achieved_speedup().unwrap_or(1.0).max(1.0);
+                let latency_secs = 1.0 / (target * capacity * gain);
+                for _ in 0..quantum {
+                    *now += TimestampDelta::from_secs_f64(latency_secs);
+                    let record = registry.monitor_mut(*monitor_id)?.heartbeat(*now);
+                    handle
+                        .push_sample(BeatSample::from_record(&record))
+                        .map_err(|_| PowerDialError::HeartbeatChannelFull)?;
+                }
+            }
+            daemon.tick();
+        }
+
+        // Read the converged state off the daemon, averaged over machines.
+        let machine_count = machines.len() as f64;
+        let mean_achieved = machines
+            .iter()
+            .map(|(_, handle, _)| handle.achieved_speedup().unwrap_or(1.0).max(1.0))
+            .sum::<f64>()
+            / machine_count;
+        let qos_loss_percent = machines
+            .iter()
+            .map(|(_, handle, _)| handle.expected_qos_loss().unwrap_or(0.0))
+            .sum::<f64>()
+            / machine_count
+            * 100.0;
+
+        let consolidated_load = offered_load / mean_achieved;
         let consolidated_power = consolidated
             .power_at_load(consolidated_load, FrequencyState::highest())?
             .total_watts;
@@ -204,6 +400,78 @@ mod tests {
         for pair in study.points.windows(2) {
             assert!(pair[1].qos_loss_percent + 1e-9 >= pair[0].qos_loss_percent);
         }
+    }
+
+    #[test]
+    fn live_daemon_study_matches_analytic_study() {
+        // The daemon-driven sweep must converge to the analytic sweep at
+        // every utilization point: same provisioning, near-identical QoS
+        // loss and power. The controller is near-deadbeat, so 15 quanta per
+        // step leave only windowing wobble.
+        let app = SwaptionsApp::test_scale(37);
+        let system = PowerDialSystem::build(&app, PowerDialConfig::default()).unwrap();
+        let bound = QosLossBound::from_percent(5.0).unwrap();
+        let analytic = consolidation_study(&system, 4, bound, 11).unwrap();
+        let live =
+            consolidation_study_live(&system, 4, bound, 11, LiveConsolidationOptions::default())
+                .unwrap();
+
+        assert_eq!(live.original_machines, analytic.original_machines);
+        assert_eq!(live.consolidated_machines, analytic.consolidated_machines);
+        assert_eq!(live.provisioning_speedup, analytic.provisioning_speedup);
+        assert_eq!(live.points.len(), analytic.points.len());
+
+        for (live_point, analytic_point) in live.points.iter().zip(&analytic.points) {
+            assert_eq!(live_point.utilization, analytic_point.utilization);
+            assert_eq!(
+                live_point.original_power_watts,
+                analytic_point.original_power_watts
+            );
+            assert!(
+                (live_point.qos_loss_percent - analytic_point.qos_loss_percent).abs() < 0.5,
+                "qos diverged at utilization {}: live {} vs analytic {}",
+                live_point.utilization,
+                live_point.qos_loss_percent,
+                analytic_point.qos_loss_percent
+            );
+            assert!(
+                (live_point.consolidated_power_watts - analytic_point.consolidated_power_watts)
+                    .abs()
+                    < 0.02 * analytic_point.consolidated_power_watts.max(1.0),
+                "power diverged at utilization {}: live {} vs analytic {}",
+                live_point.utilization,
+                live_point.consolidated_power_watts,
+                analytic_point.consolidated_power_watts
+            );
+        }
+
+        // The live study must stay within the provisioning bound too.
+        assert!(live.max_qos_loss_percent() <= 5.0 + 0.5);
+        assert!((live.peak_load_power_savings() - analytic.peak_load_power_savings()).abs() < 0.03);
+    }
+
+    #[test]
+    fn live_study_through_threaded_daemon_stays_within_bound() {
+        // Same experiment through real worker threads: convergence and the
+        // QoS bound hold regardless of where the shards run.
+        let app = SearchApp::test_scale(41);
+        let system = PowerDialSystem::build(&app, PowerDialConfig::default()).unwrap();
+        let bound = QosLossBound::from_percent(30.0).unwrap();
+        let live = consolidation_study_live(
+            &system,
+            3,
+            bound,
+            7,
+            LiveConsolidationOptions {
+                workers: 2,
+                ..LiveConsolidationOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(live.original_machines, 3);
+        assert_eq!(live.consolidated_machines, 2);
+        assert!(live.peak_load_power_savings() > 0.2);
+        assert!(live.max_qos_loss_percent() <= 30.0 + 0.5);
     }
 
     #[test]

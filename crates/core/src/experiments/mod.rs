@@ -19,7 +19,10 @@ pub mod power_cap;
 pub mod sim;
 pub mod tradeoff;
 
-pub use consolidation::{consolidation_study, ConsolidationPoint, ConsolidationStudy};
+pub use consolidation::{
+    consolidation_study, consolidation_study_live, ConsolidationPoint, ConsolidationStudy,
+    LiveConsolidationOptions,
+};
 pub use frequency::{frequency_sweep, FrequencySweepPoint};
 pub use inputs::{input_summary, InputSummaryRow};
 pub use power_cap::{power_cap_response, PowerCapSeries};

@@ -1,0 +1,439 @@
+//! Lock-free single-producer/single-consumer heartbeat channels.
+//!
+//! The original Application Heartbeats implementation decouples instrumented
+//! applications from the external controller through a shared channel: the
+//! application writes beat records, the PowerDial daemon reads them. This
+//! module provides that channel as a wait-free SPSC ring buffer:
+//!
+//! * the **producer** side ([`Producer::try_push`]) is wait-free — a
+//!   compare against a locally cached consumer position (refreshed with one
+//!   acquire load only when the ring looks full), one slot write, one
+//!   release store; on a full ring the beat is rejected (backpressure)
+//!   rather than blocking the application;
+//! * the **consumer** side ([`Consumer::drain_into`]) drains every pending
+//!   record in one batch into a caller-owned scratch buffer, so the daemon
+//!   pays the cross-core synchronization cost once per actuation quantum
+//!   rather than once per beat;
+//! * head and tail indices live on separate cache lines
+//!   ([`CACHE_LINE_BYTES`]-aligned) so producer and consumer never false-share;
+//! * records are `Copy`, the ring is fixed-capacity, and a warmed drain
+//!   buffer is never reallocated: the steady state performs **zero heap
+//!   allocation** on either side, matching the `no_alloc` discipline of the
+//!   beat hot path.
+//!
+//! The mutex-guarded baseline the benchmarks and equivalence tests compare
+//! against is [`crate::naive::MutexChannel`].
+//!
+//! # Example
+//!
+//! ```
+//! use powerdial_heartbeats::channel::{beat_channel, BeatSample};
+//! use powerdial_heartbeats::{HeartbeatTag, Timestamp, TimestampDelta};
+//!
+//! let (mut tx, mut rx) = beat_channel(8);
+//! tx.try_push(BeatSample {
+//!     tag: HeartbeatTag(0),
+//!     timestamp: Timestamp::from_millis(0),
+//!     latency: TimestampDelta::ZERO,
+//! })
+//! .unwrap();
+//!
+//! let mut scratch = Vec::new();
+//! assert_eq!(rx.drain_into(&mut scratch), 1);
+//! assert_eq!(scratch[0].tag, HeartbeatTag(0));
+//! ```
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::record::{HeartbeatRecord, HeartbeatTag};
+use crate::time::{Timestamp, TimestampDelta};
+
+/// Alignment used to keep the producer and consumer indices on distinct
+/// cache lines. 128 bytes covers both the 64-byte lines of x86-64 and the
+/// 128-byte destructive-interference granularity of recent ARM cores.
+pub const CACHE_LINE_BYTES: usize = 128;
+
+/// A value padded out to its own cache line.
+#[repr(align(128))]
+#[derive(Debug, Default)]
+struct CachePadded<T>(T);
+
+/// One heartbeat as carried over a channel: the compact, `Copy` subset of a
+/// [`HeartbeatRecord`] the controller needs — sequence tag, emission time,
+/// and the latency since the previous beat. Rates are *not* carried; the
+/// daemon derives windowed rates on its side of the channel, so the producer
+/// stays as thin as possible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BeatSample {
+    /// Sequence number of this heartbeat (0 for the first beat).
+    pub tag: HeartbeatTag,
+    /// Time at which the heartbeat was emitted.
+    pub timestamp: Timestamp,
+    /// Time since the previous heartbeat (zero for the first beat).
+    pub latency: TimestampDelta,
+}
+
+impl BeatSample {
+    /// Extracts the channel-carried subset of a monitor-produced record.
+    pub fn from_record(record: &HeartbeatRecord) -> Self {
+        BeatSample {
+            tag: record.tag,
+            timestamp: record.timestamp,
+            latency: record.latency,
+        }
+    }
+}
+
+/// The ring storage shared by one producer/consumer pair.
+///
+/// Classic Lamport SPSC queue: `tail` is written only by the producer,
+/// `head` only by the consumer; both are monotonically increasing u64
+/// positions (never wrapped — at 10^9 beats/sec a u64 lasts ~585 years),
+/// masked into the power-of-two slot array on access.
+struct Shared<T> {
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    mask: u64,
+    capacity: u64,
+    /// Next position the consumer will read. Written by the consumer with
+    /// `Release` (after it has finished reading the freed slots), read by
+    /// the producer with `Acquire` (before it overwrites them).
+    head: CachePadded<AtomicU64>,
+    /// Next position the producer will write. Written by the producer with
+    /// `Release` (after the slot contents are in place), read by the
+    /// consumer with `Acquire` (before it reads them).
+    tail: CachePadded<AtomicU64>,
+}
+
+// SAFETY: the producer and consumer halves coordinate all slot access
+// through the acquire/release pairs on `head` and `tail`; a slot is written
+// only while it is exclusively owned by the producer and read only while it
+// is exclusively owned by the consumer. `T: Copy` rules out drop hazards.
+unsafe impl<T: Copy + Send> Sync for Shared<T> {}
+unsafe impl<T: Copy + Send> Send for Shared<T> {}
+
+/// Creates a lock-free SPSC channel holding at most `capacity` in-flight
+/// records of any `Copy` type.
+///
+/// The backing slot array is rounded up to a power of two, but the channel
+/// rejects pushes beyond exactly `capacity` pending records, so backpressure
+/// semantics are independent of the rounding.
+///
+/// # Panics
+///
+/// Panics if `capacity` is zero.
+pub fn spsc_channel<T: Copy + Send>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    assert!(capacity > 0, "channel capacity must be at least 1");
+    let slot_count = capacity.next_power_of_two();
+    let slots: Box<[UnsafeCell<MaybeUninit<T>>]> = (0..slot_count)
+        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+        .collect();
+    let shared = Arc::new(Shared {
+        slots,
+        mask: slot_count as u64 - 1,
+        capacity: capacity as u64,
+        head: CachePadded(AtomicU64::new(0)),
+        tail: CachePadded(AtomicU64::new(0)),
+    });
+    (
+        Producer {
+            shared: Arc::clone(&shared),
+            tail: 0,
+            cached_head: 0,
+            rejected: 0,
+        },
+        Consumer { shared, head: 0 },
+    )
+}
+
+/// Creates a [`BeatSample`] channel (the concrete instantiation the
+/// heartbeat framework uses).
+///
+/// # Panics
+///
+/// Panics if `capacity` is zero.
+pub fn beat_channel(capacity: usize) -> (BeatProducer, BeatConsumer) {
+    spsc_channel(capacity)
+}
+
+/// The producer (application) half of a [`BeatSample`] channel.
+pub type BeatProducer = Producer<BeatSample>;
+/// The consumer (daemon) half of a [`BeatSample`] channel.
+pub type BeatConsumer = Consumer<BeatSample>;
+
+impl<T: Copy> std::fmt::Debug for Producer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Producer")
+            .field("pushed", &self.tail)
+            .field("rejected", &self.rejected)
+            .field("capacity", &self.shared.capacity)
+            .finish()
+    }
+}
+
+impl<T: Copy> std::fmt::Debug for Consumer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Consumer")
+            .field("drained", &self.head)
+            .field("capacity", &self.shared.capacity)
+            .finish()
+    }
+}
+
+/// The producer half of an SPSC channel. Not cloneable: exactly one thread
+/// may push at a time (move the producer to hand it off).
+pub struct Producer<T: Copy> {
+    shared: Arc<Shared<T>>,
+    /// Local copy of the producer position (the producer is its only
+    /// writer, so it never needs to load the atomic).
+    tail: u64,
+    /// Last observed consumer position; refreshed from the shared atomic
+    /// only when the ring looks full, so steady-state pushes touch a single
+    /// shared cache line (the slot) plus the producer-owned tail.
+    cached_head: u64,
+    rejected: u64,
+}
+
+impl<T: Copy + Send> Producer<T> {
+    /// Attempts to push one record. Wait-free: never blocks, never spins,
+    /// never allocates.
+    ///
+    /// # Errors
+    ///
+    /// Returns the record back when the ring is full (the consumer has not
+    /// drained recently enough); the rejected-push count is tracked and
+    /// available via [`Producer::rejected`].
+    #[inline]
+    pub fn try_push(&mut self, value: T) -> Result<(), T> {
+        if self.tail - self.cached_head >= self.shared.capacity {
+            self.cached_head = self.shared.head.0.load(Ordering::Acquire);
+            if self.tail - self.cached_head >= self.shared.capacity {
+                self.rejected += 1;
+                return Err(value);
+            }
+        }
+        let slot = &self.shared.slots[(self.tail & self.shared.mask) as usize];
+        // SAFETY: slots in [head, head+capacity) ∋ tail are owned by the
+        // producer until the matching release store below publishes them.
+        unsafe { (*slot.get()).write(value) };
+        self.tail += 1;
+        self.shared.tail.0.store(self.tail, Ordering::Release);
+        Ok(())
+    }
+
+    /// Number of records currently in flight (pushed but not yet drained).
+    /// Producer-side view; exact, because only the consumer can shrink it
+    /// and shrinking is observed on the next full-ring check.
+    pub fn in_flight(&self) -> u64 {
+        self.tail - self.shared.head.0.load(Ordering::Acquire)
+    }
+
+    /// Number of pushes rejected so far because the ring was full.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Total records successfully pushed.
+    pub fn pushed(&self) -> u64 {
+        self.tail
+    }
+
+    /// The channel's capacity in records.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity as usize
+    }
+}
+
+/// The consumer half of an SPSC channel. Not cloneable: exactly one thread
+/// may drain at a time.
+pub struct Consumer<T: Copy> {
+    shared: Arc<Shared<T>>,
+    /// Local copy of the consumer position (the consumer is its only
+    /// writer).
+    head: u64,
+}
+
+impl<T: Copy + Send> Consumer<T> {
+    /// Drains every pending record into `out` (cleared first), oldest
+    /// first, and returns how many were drained.
+    ///
+    /// `out` is a reusable scratch buffer: it grows to at most the channel
+    /// capacity on early calls and is never reallocated after that, so the
+    /// steady-state drain performs no heap allocation.
+    pub fn drain_into(&mut self, out: &mut Vec<T>) -> usize {
+        out.clear();
+        let tail = self.shared.tail.0.load(Ordering::Acquire);
+        let available = (tail - self.head) as usize;
+        if available == 0 {
+            return 0;
+        }
+        out.reserve(available);
+        for position in self.head..tail {
+            let slot = &self.shared.slots[(position & self.shared.mask) as usize];
+            // SAFETY: positions in [head, tail) were published by the
+            // producer's release store, which the acquire load above
+            // synchronized with; the producer will not overwrite them until
+            // the release store of `head` below frees them.
+            out.push(unsafe { (*slot.get()).assume_init_read() });
+        }
+        self.head = tail;
+        self.shared.head.0.store(tail, Ordering::Release);
+        available
+    }
+
+    /// Pops a single pending record, oldest first.
+    pub fn try_pop(&mut self) -> Option<T> {
+        let tail = self.shared.tail.0.load(Ordering::Acquire);
+        if tail == self.head {
+            return None;
+        }
+        let slot = &self.shared.slots[(self.head & self.shared.mask) as usize];
+        // SAFETY: as in `drain_into`.
+        let value = unsafe { (*slot.get()).assume_init_read() };
+        self.head += 1;
+        self.shared.head.0.store(self.head, Ordering::Release);
+        Some(value)
+    }
+
+    /// Number of records currently pending. Consumer-side view.
+    pub fn pending(&self) -> usize {
+        (self.shared.tail.0.load(Ordering::Acquire) - self.head) as usize
+    }
+
+    /// True when no records are pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending() == 0
+    }
+
+    /// Total records drained so far.
+    pub fn drained(&self) -> u64 {
+        self.head
+    }
+
+    /// The channel's capacity in records.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(tag: u64, millis: u64) -> BeatSample {
+        BeatSample {
+            tag: HeartbeatTag(tag),
+            timestamp: Timestamp::from_millis(millis),
+            latency: TimestampDelta::from_millis(if tag == 0 { 0 } else { 10 }),
+        }
+    }
+
+    #[test]
+    fn push_then_drain_preserves_order() {
+        let (mut tx, mut rx) = beat_channel(16);
+        for i in 0..10u64 {
+            tx.try_push(sample(i, i * 10)).unwrap();
+        }
+        let mut out = Vec::new();
+        assert_eq!(rx.drain_into(&mut out), 10);
+        let tags: Vec<u64> = out.iter().map(|s| s.tag.value()).collect();
+        assert_eq!(tags, (0..10).collect::<Vec<_>>());
+        assert_eq!(rx.drain_into(&mut out), 0);
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn full_ring_rejects_and_counts() {
+        let (mut tx, mut rx) = spsc_channel::<u64>(4);
+        for i in 0..4 {
+            tx.try_push(i).unwrap();
+        }
+        assert_eq!(tx.try_push(99), Err(99));
+        assert_eq!(tx.try_push(100), Err(100));
+        assert_eq!(tx.rejected(), 2);
+        assert_eq!(tx.pushed(), 4);
+        assert_eq!(tx.in_flight(), 4);
+
+        // Draining frees the whole ring.
+        let mut out = Vec::new();
+        assert_eq!(rx.drain_into(&mut out), 4);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        tx.try_push(5).unwrap();
+        assert_eq!(tx.in_flight(), 1);
+    }
+
+    #[test]
+    fn capacity_is_exact_even_when_rounded() {
+        // Requested capacity 5 rounds the slot array to 8, but the sixth
+        // in-flight record must still be rejected.
+        let (mut tx, mut rx) = spsc_channel::<u32>(5);
+        assert_eq!(tx.capacity(), 5);
+        assert_eq!(rx.capacity(), 5);
+        for i in 0..5 {
+            tx.try_push(i).unwrap();
+        }
+        assert!(tx.try_push(5).is_err());
+        let mut out = Vec::new();
+        assert_eq!(rx.drain_into(&mut out), 5);
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn try_pop_interleaves_with_drain() {
+        let (mut tx, mut rx) = spsc_channel::<u64>(8);
+        for i in 0..6 {
+            tx.try_push(i).unwrap();
+        }
+        assert_eq!(rx.try_pop(), Some(0));
+        assert_eq!(rx.try_pop(), Some(1));
+        assert_eq!(rx.pending(), 4);
+        let mut out = Vec::new();
+        assert_eq!(rx.drain_into(&mut out), 4);
+        assert_eq!(out, vec![2, 3, 4, 5]);
+        assert_eq!(rx.try_pop(), None);
+        assert_eq!(rx.drained(), 6);
+    }
+
+    #[test]
+    fn wraparound_keeps_fifo_order() {
+        let (mut tx, mut rx) = spsc_channel::<u64>(4);
+        let mut out = Vec::new();
+        let mut expected = 0u64;
+        for round in 0..100u64 {
+            let burst = 1 + (round % 4);
+            for _ in 0..burst {
+                tx.try_push(tx.pushed()).unwrap();
+            }
+            rx.drain_into(&mut out);
+            for value in &out {
+                assert_eq!(*value, expected);
+                expected += 1;
+            }
+        }
+        assert_eq!(tx.rejected(), 0);
+    }
+
+    #[test]
+    fn beat_sample_from_record_round_trips() {
+        let record = HeartbeatRecord {
+            tag: HeartbeatTag(7),
+            timestamp: Timestamp::from_millis(70),
+            latency: TimestampDelta::from_millis(10),
+            instant_rate: None,
+            window_rate: None,
+            global_rate: None,
+        };
+        let sample = BeatSample::from_record(&record);
+        assert_eq!(sample.tag, HeartbeatTag(7));
+        assert_eq!(sample.timestamp, Timestamp::from_millis(70));
+        assert_eq!(sample.latency, TimestampDelta::from_millis(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_is_rejected() {
+        let _ = spsc_channel::<u8>(0);
+    }
+}

@@ -41,6 +41,7 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod channel;
 mod error;
 mod monitor;
 pub mod naive;
@@ -50,6 +51,7 @@ mod ring;
 mod stats;
 mod time;
 
+pub use channel::{beat_channel, BeatConsumer, BeatProducer, BeatSample};
 pub use error::HeartbeatError;
 pub use monitor::{HeartbeatMonitor, MonitorConfig, TargetRate, DEFAULT_HISTORY_CAPACITY};
 pub use record::{HeartRate, HeartbeatRecord, HeartbeatTag};

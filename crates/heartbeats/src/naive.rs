@@ -90,3 +90,120 @@ impl NaiveSlidingWindow {
         })
     }
 }
+
+/// The mutex-guarded channel baseline the lock-free
+/// [`crate::channel`] SPSC ring is benchmarked and equivalence-tested
+/// against: a `Mutex<VecDeque>` with the same capacity-bounded,
+/// reject-newest backpressure contract. Every push and every drain takes
+/// the lock; the drain additionally shifts out of the deque one record at
+/// a time.
+///
+/// Both halves are the same cloneable handle (the mutex serializes all
+/// access), which is exactly the generality the lock-free ring gives up to
+/// get its wait-free producer.
+#[derive(Debug, Clone)]
+pub struct MutexChannel<T: Copy> {
+    inner: std::sync::Arc<std::sync::Mutex<MutexChannelState<T>>>,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct MutexChannelState<T> {
+    queue: VecDeque<T>,
+    rejected: u64,
+    pushed: u64,
+}
+
+impl<T: Copy> MutexChannel<T> {
+    /// Creates a channel holding at most `capacity` in-flight records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "channel capacity must be at least 1");
+        MutexChannel {
+            inner: std::sync::Arc::new(std::sync::Mutex::new(MutexChannelState {
+                queue: VecDeque::with_capacity(capacity),
+                rejected: 0,
+                pushed: 0,
+            })),
+            capacity,
+        }
+    }
+
+    /// Pushes one record, rejecting it (backpressure) when the channel is
+    /// full — the same contract as the lock-free producer's `try_push`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the record back when the channel holds `capacity` records.
+    pub fn try_push(&self, value: T) -> Result<(), T> {
+        let mut state = self.inner.lock().expect("channel mutex poisoned");
+        if state.queue.len() >= self.capacity {
+            state.rejected += 1;
+            return Err(value);
+        }
+        state.queue.push_back(value);
+        state.pushed += 1;
+        Ok(())
+    }
+
+    /// Drains every pending record into `out` (cleared first), oldest
+    /// first, and returns how many were drained.
+    pub fn drain_into(&self, out: &mut Vec<T>) -> usize {
+        out.clear();
+        let mut state = self.inner.lock().expect("channel mutex poisoned");
+        out.extend(state.queue.drain(..));
+        out.len()
+    }
+
+    /// Number of records currently pending.
+    pub fn pending(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("channel mutex poisoned")
+            .queue
+            .len()
+    }
+
+    /// Number of pushes rejected so far because the channel was full.
+    pub fn rejected(&self) -> u64 {
+        self.inner.lock().expect("channel mutex poisoned").rejected
+    }
+
+    /// Total records successfully pushed.
+    pub fn pushed(&self) -> u64 {
+        self.inner.lock().expect("channel mutex poisoned").pushed
+    }
+
+    /// The channel's capacity in records.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod channel_tests {
+    use super::*;
+
+    #[test]
+    fn mutex_channel_matches_lock_free_contract() {
+        let channel = MutexChannel::new(3);
+        assert_eq!(channel.capacity(), 3);
+        for i in 0..3u32 {
+            channel.try_push(i).unwrap();
+        }
+        assert_eq!(channel.try_push(9), Err(9));
+        assert_eq!(channel.rejected(), 1);
+        assert_eq!(channel.pushed(), 3);
+        assert_eq!(channel.pending(), 3);
+
+        let mut out = Vec::new();
+        assert_eq!(channel.drain_into(&mut out), 3);
+        assert_eq!(out, vec![0, 1, 2]);
+        assert_eq!(channel.pending(), 0);
+        channel.try_push(7).unwrap();
+        assert_eq!(channel.pending(), 1);
+    }
+}

@@ -73,9 +73,19 @@ impl HeartbeatRegistry {
     }
 
     /// Removes a monitor, returning it if it was registered.
+    ///
+    /// O(1): the name→id index entry is removed by the monitor's own name
+    /// rather than by scanning every entry, so register/unregister churn
+    /// (applications attaching to and detaching from a long-running daemon)
+    /// stays constant-time regardless of how many monitors are registered.
     pub fn unregister(&mut self, id: MonitorId) -> Option<HeartbeatMonitor> {
         let monitor = self.monitors.remove(&id.0)?;
-        self.names.retain(|_, v| *v != id.0);
+        let removed = self.names.remove(monitor.config().name());
+        debug_assert_eq!(
+            removed,
+            Some(id.0),
+            "name index out of sync with monitor map"
+        );
         Some(monitor)
     }
 
@@ -164,6 +174,38 @@ mod tests {
         assert!(registry.find_by_name("gone").is_none());
         assert!(registry.unregister(id).is_none());
         assert!(registry.is_empty());
+    }
+
+    #[test]
+    fn name_index_survives_register_unregister_churn() {
+        // The name→id index must stay exactly in sync with the monitor map
+        // through arbitrary register/unregister interleavings, including
+        // re-registering a freed name (which must get a fresh id).
+        let mut registry = HeartbeatRegistry::new();
+        let mut live: Vec<(String, MonitorId)> = Vec::new();
+        // 95 rounds: names 0–4 end registered (19 toggles), 5–9 end free.
+        for round in 0..95u64 {
+            let name = format!("app-{}", round % 10);
+            if let Some(position) = live.iter().position(|(n, _)| *n == name) {
+                let (_, id) = live.remove(position);
+                assert!(registry.unregister(id).is_some());
+                assert_eq!(registry.find_by_name(&name), None);
+            } else {
+                let id = registry.register(MonitorConfig::new(name.clone())).unwrap();
+                assert_eq!(registry.find_by_name(&name), Some(id));
+                live.push((name, id));
+            }
+            assert_eq!(registry.len(), live.len());
+        }
+        for (name, id) in &live {
+            assert_eq!(registry.find_by_name(name), Some(*id));
+        }
+        // Re-registering a freed name yields a new id, still indexed.
+        let (name, id) = live.pop().unwrap();
+        registry.unregister(id).unwrap();
+        let fresh = registry.register(MonitorConfig::new(name.clone())).unwrap();
+        assert_ne!(fresh, id);
+        assert_eq!(registry.find_by_name(&name), Some(fresh));
     }
 
     #[test]
