@@ -1,7 +1,9 @@
 //! Measures aggregate multi-application control throughput and emits
 //! `BENCH_multiapp.json`: beats/sec and ns/beat of the sharded lock-free
 //! daemon versus the serial mutex-guarded baseline at N = 1, 8, 64, 512,
-//! and 4096 concurrent applications.
+//! and 4096 concurrent applications, plus the shared-memory (memfd/mmap)
+//! transport at N = 1, 8, 64, 512 (each app holds a mapped segment, so
+//! the shm sweep stops before fd limits rather than past them).
 //!
 //! Usage: `cargo run --release -p powerdial-bench --bin multiapp [--quick]
 //! [--out PATH]`. `--quick` (or `POWERDIAL_SCALE=quick`, or a debug build)
@@ -9,11 +11,17 @@
 
 use std::time::Instant;
 
-use powerdial_bench::multiapp::{DaemonMultiAppLoop, NaiveMultiAppLoop, BEATS_PER_QUANTUM};
+use powerdial_bench::multiapp::{
+    DaemonMultiAppLoop, NaiveMultiAppLoop, ShmMultiAppLoop, BEATS_PER_QUANTUM,
+};
 use powerdial_bench::Scale;
 
 /// Application counts swept by the benchmark.
 const APP_COUNTS: [usize; 5] = [1, 8, 64, 512, 4096];
+
+/// Application counts swept over the shared-memory transport (one mapped
+/// segment — one fd — per app, so the sweep respects default fd limits).
+const SHM_APP_COUNTS: [usize; 4] = [1, 8, 64, 512];
 
 struct Measurement {
     beats: u64,
@@ -95,11 +103,39 @@ fn main() {
         ));
     }
 
+    println!("== multiapp daemon, shared-memory transport ==");
+    let mut shm_rows = Vec::new();
+    for apps in SHM_APP_COUNTS {
+        let beats_per_quantum = (apps * BEATS_PER_QUANTUM) as u64;
+        let mut shm = match ShmMultiAppLoop::new(apps, workers) {
+            Ok(shm) => shm,
+            Err(error) => {
+                println!("N = {apps:4}: skipped ({error})");
+                continue;
+            }
+        };
+        let warm = warm_quanta.min(fast_target / beats_per_quantum / 2).max(2);
+        for _ in 0..warm {
+            shm.step();
+        }
+        let over_shm = measure(fast_target.max(beats_per_quantum), || shm.step());
+        println!(
+            "N = {apps:4}: {:7.1} ns/beat, {:10.0} beats/sec aggregate (memfd/mmap transport)",
+            over_shm.ns_per_beat, over_shm.beats_per_sec
+        );
+        shm_rows.push(format!(
+            "    {{\n      \"apps\": {apps},\n      \"beats\": {},\n      \
+             \"ns_per_beat\": {:.2},\n      \"beats_per_sec\": {:.0}\n    }}",
+            over_shm.beats, over_shm.ns_per_beat, over_shm.beats_per_sec,
+        ));
+    }
+
     let json = format!(
         "{{\n  \"benchmark\": \"multiapp\",\n  \"scale\": \"{scale:?}\",\n  \
          \"workers\": {workers},\n  \"beats_per_quantum\": {BEATS_PER_QUANTUM},\n  \
-         \"points\": [\n{}\n  ]\n}}\n",
+         \"points\": [\n{}\n  ],\n  \"shm_points\": [\n{}\n  ]\n}}\n",
         rows.join(",\n"),
+        shm_rows.join(",\n"),
     );
     std::fs::write(&out_path, json).expect("write benchmark json");
     println!("wrote {out_path}");

@@ -8,6 +8,9 @@
 //!
 //! * [`DaemonMultiAppLoop`] — the lock-free path: SPSC rings into the
 //!   sharded, threaded [`PowerDialDaemon`];
+//! * [`ShmMultiAppLoop`] — the cross-process transport benchmarked
+//!   in-process: every app's beats go through a real mapped
+//!   shared-memory segment (memfd/tmpfile) drained by the same daemon;
 //! * [`NaiveMultiAppLoop`] — the baseline: mutex-guarded channels into the
 //!   serial [`SerialMutexDaemon`].
 //!
@@ -16,10 +19,14 @@
 //! last decided and a stepped capacity schedule, so controllers keep
 //! re-planning rather than settling into a single branch-predicted path.
 
+use std::sync::Arc;
+
 use powerdial::control::daemon::naive::{NaiveAppHandle, SerialMutexDaemon};
-use powerdial::control::daemon::{AppHandle, DaemonConfig, PowerDialDaemon};
+use powerdial::control::daemon::{AppHandle, DaemonConfig, DecisionView, PowerDialDaemon};
 use powerdial::control::{ControllerConfig, RuntimeConfig};
-use powerdial::heartbeats::{Timestamp, TimestampDelta};
+use powerdial::heartbeats::channel::BeatSample;
+use powerdial::heartbeats::shm::{Segment, SegmentGeometry, ShmConsumer, ShmError, ShmProducer};
+use powerdial::heartbeats::{HeartbeatTag, Timestamp, TimestampDelta};
 
 use crate::hotpath::{synthetic_knob_table, TARGET_RATE_BPS};
 
@@ -137,6 +144,112 @@ impl DaemonMultiAppLoop {
     }
 }
 
+/// One simulated shm application: its producer half, the daemon's
+/// decision view, and local beat bookkeeping.
+struct ShmSimApp {
+    producer: ShmProducer,
+    decisions: DecisionView,
+    next_tag: HeartbeatTag,
+    last_timestamp: Option<Timestamp>,
+    now: Timestamp,
+}
+
+/// The cross-process transport under the same closed loop: N apps → mapped
+/// shared-memory segments → the sharded daemon. Producer and consumer run
+/// in one process here (a benchmark can't meaningfully schedule N forked
+/// children), but every beat crosses a real memfd/tmpfile mapping with the
+/// full protocol — so the measured delta vs [`DaemonMultiAppLoop`] is the
+/// true cost of the cross-process transport.
+pub struct ShmMultiAppLoop {
+    daemon: PowerDialDaemon,
+    apps: Vec<ShmSimApp>,
+    quantum: u64,
+}
+
+impl ShmMultiAppLoop {
+    /// Builds the loop with `app_count` shm-registered applications and
+    /// `workers` shard threads (0 = inline on the caller).
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ShmError`] when a segment cannot be created or
+    /// attached (e.g. fd exhaustion at very large `app_count`) — callers
+    /// skip the shm rows rather than failing the whole benchmark.
+    pub fn new(app_count: usize, workers: usize) -> Result<Self, ShmError> {
+        let mut daemon = PowerDialDaemon::new(DaemonConfig {
+            workers,
+            channel_capacity: CHANNEL_CAPACITY,
+            window_size: BEATS_PER_QUANTUM,
+        })
+        .expect("valid daemon config");
+        let geometry = SegmentGeometry::for_beat_samples(CHANNEL_CAPACITY)?;
+        let mut apps = Vec::with_capacity(app_count);
+        for _ in 0..app_count {
+            let segment = Arc::new(Segment::create(geometry)?);
+            let producer = ShmProducer::attach(Arc::clone(&segment))?;
+            let consumer = ShmConsumer::attach(segment)?;
+            let decisions = daemon
+                .register_shm(runtime_config(), synthetic_knob_table(SETTINGS), consumer)
+                .expect("valid runtime config");
+            apps.push(ShmSimApp {
+                producer,
+                decisions,
+                next_tag: HeartbeatTag::default(),
+                last_timestamp: None,
+                now: Timestamp::ZERO,
+            });
+        }
+        Ok(ShmMultiAppLoop {
+            daemon,
+            apps,
+            quantum: 0,
+        })
+    }
+
+    /// One actuation quantum over the shm transport.
+    pub fn step(&mut self) -> u64 {
+        let quantum = self.quantum;
+        for (index, app) in self.apps.iter_mut().enumerate() {
+            let gain = app.decisions.latest_gain().unwrap_or(1.0);
+            let producer = &mut app.producer;
+            let next_tag = &mut app.next_tag;
+            let mut last = app.last_timestamp;
+            // Same bookkeeping as `AppHandle::beat`: build the record with
+            // the latency since the previous beat; tag and timestamp
+            // advance even when a push is rejected.
+            emit_quantum(&mut app.now, gain, index, quantum, |now| {
+                let latency = match last {
+                    Some(previous) => now - previous,
+                    None => TimestampDelta::ZERO,
+                };
+                let tag = *next_tag;
+                *next_tag = tag.next();
+                last = Some(now);
+                producer
+                    .try_push(BeatSample {
+                        tag,
+                        timestamp: now,
+                        latency,
+                    })
+                    .is_ok()
+            });
+            app.last_timestamp = last;
+        }
+        self.quantum += 1;
+        self.daemon.tick()
+    }
+
+    /// Worker threads in use.
+    pub fn workers(&self) -> usize {
+        self.daemon.workers()
+    }
+
+    /// Total beats processed by the daemon so far.
+    pub fn total_beats(&self) -> u64 {
+        self.daemon.total_beats()
+    }
+}
+
 /// The baseline closed loop: N apps → mutex channels → serial daemon.
 pub struct NaiveMultiAppLoop {
     daemon: SerialMutexDaemon,
@@ -226,6 +339,43 @@ mod tests {
                 slow_app.handle.beats_processed()
             );
         }
+    }
+
+    #[test]
+    fn shm_and_daemon_loops_agree_beat_for_beat() {
+        // Same workload, same control code, different transport: the
+        // mapped-segment path must process the same beats and reach the
+        // same decisions as the in-heap rings (extends the PR 2
+        // equivalence suite across the process-boundary transport).
+        let mut in_heap = DaemonMultiAppLoop::new(3, 0);
+        let mut over_shm = ShmMultiAppLoop::new(3, 0).expect("shm backing available");
+        for quantum in 0..100 {
+            let a = in_heap.step();
+            let b = over_shm.step();
+            assert_eq!(a, b, "throughput diverged at quantum {quantum}");
+        }
+        for (heap_app, shm_app) in in_heap.apps.iter().zip(&over_shm.apps) {
+            assert_eq!(
+                heap_app.handle.latest_gain().unwrap().to_bits(),
+                shm_app.decisions.latest_gain().unwrap().to_bits()
+            );
+            assert_eq!(
+                heap_app.handle.beats_processed(),
+                shm_app.decisions.beats_processed()
+            );
+        }
+        assert_eq!(in_heap.total_beats(), over_shm.total_beats());
+    }
+
+    #[test]
+    fn threaded_shm_loop_loses_nothing() {
+        let mut bench = ShmMultiAppLoop::new(8, 2).expect("shm backing available");
+        assert_eq!(bench.workers(), 2);
+        let mut beats = 0;
+        for _ in 0..25 {
+            beats += bench.step();
+        }
+        assert_eq!(beats, 25 * 8 * BEATS_PER_QUANTUM as u64);
     }
 
     #[test]

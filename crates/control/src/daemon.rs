@@ -42,7 +42,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 
-use powerdial_heartbeats::channel::{beat_channel, BeatConsumer, BeatSample};
+use powerdial_heartbeats::channel::{beat_channel, BeatConsumer, BeatSample, BeatTransport};
+use powerdial_heartbeats::shm::{ShmConsumer, ShmPeerProbe};
 use powerdial_heartbeats::{BeatProducer, HeartbeatTag, SlidingWindow, Timestamp};
 use powerdial_knobs::{KnobTable, PointIdx};
 
@@ -135,6 +136,86 @@ struct AppShared {
     beats_processed: AtomicU64,
 }
 
+impl AppShared {
+    fn latest_point(&self) -> Option<PointIdx> {
+        let packed = self.decision.load(Ordering::Acquire);
+        if packed >> 32 == 0 {
+            None
+        } else {
+            Some(PointIdx::new(packed as u32))
+        }
+    }
+
+    fn latest_gain(&self) -> Option<f64> {
+        self.latest_point()
+            .map(|_| f64::from_bits(self.gain_bits.load(Ordering::Acquire)))
+    }
+
+    fn achieved_speedup(&self) -> Option<f64> {
+        self.latest_point()
+            .map(|_| f64::from_bits(self.achieved_speedup_bits.load(Ordering::Acquire)))
+    }
+
+    fn expected_qos_loss(&self) -> Option<f64> {
+        self.latest_point()
+            .map(|_| f64::from_bits(self.qos_loss_bits.load(Ordering::Acquire)))
+    }
+
+    fn beats_processed(&self) -> u64 {
+        self.beats_processed.load(Ordering::Acquire)
+    }
+}
+
+/// A read-only view of the daemon's latest control decision for one
+/// application.
+///
+/// This is the decision-side half of an [`AppHandle`], separated so
+/// shm-registered applications ([`PowerDialDaemon::register_shm`]) — whose
+/// beat *producer* lives in another process — still expose the daemon's
+/// decisions to in-process observers (experiment drivers, benchmarks,
+/// equivalence tests). All reads are lock-free atomic loads.
+#[derive(Debug, Clone)]
+pub struct DecisionView {
+    id: AppId,
+    shared: Arc<AppShared>,
+}
+
+impl DecisionView {
+    /// The application's daemon-assigned identifier.
+    pub fn id(&self) -> AppId {
+        self.id
+    }
+
+    /// Index (into the app's knob table) of the latest decided setting, or
+    /// `None` before the daemon has processed any beat.
+    pub fn latest_point(&self) -> Option<PointIdx> {
+        self.shared.latest_point()
+    }
+
+    /// The latest decided knob gain (instantaneous speedup), or `None`
+    /// before the first decision.
+    pub fn latest_gain(&self) -> Option<f64> {
+        self.shared.latest_gain()
+    }
+
+    /// The achieved (time-averaged) speedup of the most recent quantum the
+    /// daemon planned for this app, or `None` before the first decision.
+    pub fn achieved_speedup(&self) -> Option<f64> {
+        self.shared.achieved_speedup()
+    }
+
+    /// The expected QoS loss of the most recent planned quantum, or `None`
+    /// before the first decision.
+    pub fn expected_qos_loss(&self) -> Option<f64> {
+        self.shared.expected_qos_loss()
+    }
+
+    /// Total beats the daemon has processed for this application.
+    pub fn beats_processed(&self) -> u64 {
+        self.shared.beats_processed()
+    }
+}
+
 /// The application side of a daemon registration: push beats in, read the
 /// latest control decision out. Both directions are lock-free.
 ///
@@ -200,43 +281,72 @@ impl AppHandle {
     /// Index (into the app's knob table) of the latest decided setting, or
     /// `None` before the daemon has processed any beat.
     pub fn latest_point(&self) -> Option<PointIdx> {
-        let packed = self.shared.decision.load(Ordering::Acquire);
-        if packed >> 32 == 0 {
-            None
-        } else {
-            Some(PointIdx::new(packed as u32))
-        }
+        self.shared.latest_point()
     }
 
     /// The latest decided knob gain (instantaneous speedup), or `None`
     /// before the first decision.
     pub fn latest_gain(&self) -> Option<f64> {
-        self.latest_point()
-            .map(|_| f64::from_bits(self.shared.gain_bits.load(Ordering::Acquire)))
+        self.shared.latest_gain()
     }
 
     /// The achieved (time-averaged) speedup of the most recent quantum the
     /// daemon planned for this app, or `None` before the first decision.
     pub fn achieved_speedup(&self) -> Option<f64> {
-        self.latest_point()
-            .map(|_| f64::from_bits(self.shared.achieved_speedup_bits.load(Ordering::Acquire)))
+        self.shared.achieved_speedup()
     }
 
     /// The expected QoS loss of the most recent planned quantum, or `None`
     /// before the first decision.
     pub fn expected_qos_loss(&self) -> Option<f64> {
-        self.latest_point()
-            .map(|_| f64::from_bits(self.shared.qos_loss_bits.load(Ordering::Acquire)))
+        self.shared.expected_qos_loss()
     }
 
     /// Total beats the daemon has processed for this application.
     pub fn beats_processed(&self) -> u64 {
-        self.shared.beats_processed.load(Ordering::Acquire)
+        self.shared.beats_processed()
     }
 
     /// Beats rejected by the channel so far (backpressure).
     pub fn beats_rejected(&self) -> u64 {
         self.producer.rejected()
+    }
+
+    /// A standalone view of this app's decision state (what
+    /// [`PowerDialDaemon::register_shm`] returns for cross-process apps).
+    pub fn decision_view(&self) -> DecisionView {
+        DecisionView {
+            id: self.id,
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+/// A beat source a daemon shard drains: the seam over which the in-heap
+/// SPSC ring and the cross-process shared-memory segment are
+/// interchangeable. The control code downstream of a drain is identical —
+/// where the bytes lived is invisible to it.
+#[derive(Debug)]
+enum BeatSource {
+    /// In-heap lock-free SPSC ring ([`powerdial_heartbeats::channel`]).
+    Channel(BeatConsumer),
+    /// Cross-process shared-memory segment
+    /// ([`powerdial_heartbeats::shm`]).
+    Shm(ShmConsumer),
+}
+
+impl BeatSource {
+    /// The transport behind this source, as the
+    /// [`BeatTransport`] seam both variants implement.
+    fn transport(&mut self) -> &mut dyn BeatTransport {
+        match self {
+            BeatSource::Channel(consumer) => consumer,
+            BeatSource::Shm(consumer) => consumer,
+        }
+    }
+
+    fn drain_into(&mut self, out: &mut Vec<BeatSample>) -> usize {
+        self.transport().drain_into(out)
     }
 }
 
@@ -313,12 +423,11 @@ impl ControlState {
     }
 }
 
-/// One application owned by a shard: its channel consumer plus control
-/// state.
+/// One application owned by a shard: its beat source plus control state.
 #[derive(Debug)]
 struct AppSlot {
     id: AppId,
-    consumer: BeatConsumer,
+    consumer: BeatSource,
     control: ControlState,
 }
 
@@ -470,12 +579,23 @@ pub struct PowerDialDaemon {
     workers: Vec<Worker>,
     /// Inline mode (`workers: 0`): the single shard, ticked on the caller.
     inline_shard: DaemonShard,
-    /// Which worker owns each app (`usize::MAX` = inline shard).
-    placements: HashMap<u64, usize>,
+    /// Where each app lives and (for shm apps) its liveness probe.
+    placements: HashMap<u64, Placement>,
     next_id: u64,
     next_worker: usize,
     total_beats: u64,
     ticks: u64,
+}
+
+/// Facade-side record of one registered app: which shard owns it, plus —
+/// for shm-backed apps — a probe of its segment, kept here so the reaper
+/// can check peer liveness without a round-trip to the owning worker.
+#[derive(Debug)]
+struct Placement {
+    /// Owning worker index (`usize::MAX` = inline shard).
+    worker: usize,
+    /// Segment probe for shm-backed apps; `None` for in-heap channels.
+    probe: Option<ShmPeerProbe>,
 }
 
 impl std::fmt::Debug for PowerDialDaemon {
@@ -544,8 +664,55 @@ impl PowerDialDaemon {
         config: RuntimeConfig,
         table: KnobTable,
     ) -> Result<AppHandle, ControlError> {
-        let runtime = PowerDialRuntime::new(config, table)?;
         let (producer, consumer) = beat_channel(self.config.channel_capacity);
+        let (id, shared) =
+            self.register_source(config, table, BeatSource::Channel(consumer), None)?;
+        Ok(AppHandle {
+            id,
+            producer,
+            shared,
+            next_tag: HeartbeatTag::default(),
+            last_timestamp: None,
+        })
+    }
+
+    /// Registers an application whose beats arrive from *another process*
+    /// through a shared-memory segment: the daemon takes ownership of the
+    /// attached [`ShmConsumer`] and drains it exactly like an in-heap
+    /// channel — the control path downstream of the drain is identical.
+    ///
+    /// Returns a [`DecisionView`] (there is no producer half to hand back:
+    /// the producing process attaches its own
+    /// [`powerdial_heartbeats::shm::ShmProducer`] to the segment). The
+    /// daemon keeps a liveness probe of the segment, so
+    /// [`PowerDialDaemon::reap_dead`] can detect and unregister apps whose
+    /// producing process died.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::ZeroQuantum`] when the runtime configuration
+    /// has a zero-heartbeat quantum.
+    pub fn register_shm(
+        &mut self,
+        config: RuntimeConfig,
+        table: KnobTable,
+        consumer: ShmConsumer,
+    ) -> Result<DecisionView, ControlError> {
+        let probe = consumer.probe();
+        let (id, shared) =
+            self.register_source(config, table, BeatSource::Shm(consumer), Some(probe))?;
+        Ok(DecisionView { id, shared })
+    }
+
+    /// Shared registration path for both transports.
+    fn register_source(
+        &mut self,
+        config: RuntimeConfig,
+        table: KnobTable,
+        consumer: BeatSource,
+        probe: Option<ShmPeerProbe>,
+    ) -> Result<(AppId, Arc<AppShared>), ControlError> {
+        let runtime = PowerDialRuntime::new(config, table)?;
         let shared = Arc::new(AppShared::default());
         let id = AppId(self.next_id);
         self.next_id += 1;
@@ -559,34 +726,61 @@ impl PowerDialDaemon {
                 decisions: 0,
             },
         };
-        if self.workers.is_empty() {
-            self.placements.insert(id.0, usize::MAX);
+        let worker = if self.workers.is_empty() {
             self.inline_shard.push_slot(slot);
+            usize::MAX
         } else {
             let worker = self.next_worker;
             self.next_worker = (self.next_worker + 1) % self.workers.len();
-            self.placements.insert(id.0, worker);
             self.command(worker, Command::Register(Box::new(slot)));
-        }
-        Ok(AppHandle {
-            id,
-            producer,
-            shared,
-            next_tag: HeartbeatTag::default(),
-            last_timestamp: None,
-        })
+            worker
+        };
+        self.placements.insert(id.0, Placement { worker, probe });
+        Ok((id, shared))
     }
 
     /// Removes an application from its shard. Beats still in its channel
     /// are discarded; the application's handle keeps working but nothing
     /// drains its channel any more (pushes eventually see backpressure).
-    /// Returns `false` if `id` was never registered or already removed.
+    /// For shm apps the consumer (and with it this process's mapping) is
+    /// dropped. Returns `false` if `id` was never registered or already
+    /// removed.
     pub fn unregister(&mut self, id: AppId) -> bool {
         match self.placements.remove(&id.0) {
-            Some(usize::MAX) => self.inline_shard.remove(id),
-            Some(worker) => self.command(worker, Command::Unregister(id)) != 0,
+            Some(Placement {
+                worker: usize::MAX, ..
+            }) => self.inline_shard.remove(id),
+            Some(Placement { worker, .. }) => self.command(worker, Command::Unregister(id)) != 0,
             None => false,
         }
+    }
+
+    /// Reaps abandoned shared-memory applications: every shm-registered
+    /// app whose producing process has died **and** whose segment has been
+    /// fully drained is unregistered, and the reaped ids are returned.
+    ///
+    /// Beats the producer managed to publish before dying survive in the
+    /// segment, so the reap protocol is: [`PowerDialDaemon::tick`] first
+    /// (collect the stragglers), then `reap_dead`. An app with a dead
+    /// producer but pending beats is deliberately left for the next
+    /// tick+reap round rather than losing its tail.
+    pub fn reap_dead(&mut self) -> Vec<AppId> {
+        let dead: Vec<AppId> = self
+            .placements
+            .iter()
+            .filter_map(|(id, placement)| {
+                let probe = placement.probe.as_ref()?;
+                if probe.producer_state().is_dead() && probe.pending() == 0 {
+                    Some(AppId(*id))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        for id in &dead {
+            self.unregister(*id);
+        }
+        dead
     }
 
     /// Runs one actuation quantum across every shard (in parallel in
@@ -754,26 +948,12 @@ pub mod naive {
         /// The latest decided knob gain, or `None` before the first
         /// decision.
         pub fn latest_gain(&self) -> Option<f64> {
-            let packed = self
-                .shared
-                .decision
-                .load(std::sync::atomic::Ordering::Acquire);
-            if packed >> 32 == 0 {
-                None
-            } else {
-                Some(f64::from_bits(
-                    self.shared
-                        .gain_bits
-                        .load(std::sync::atomic::Ordering::Acquire),
-                ))
-            }
+            self.shared.latest_gain()
         }
 
         /// Total beats the daemon has processed for this application.
         pub fn beats_processed(&self) -> u64 {
-            self.shared
-                .beats_processed
-                .load(std::sync::atomic::Ordering::Acquire)
+            self.shared.beats_processed()
         }
     }
 
@@ -1085,6 +1265,102 @@ mod tests {
         assert_eq!(fast_app.beats_processed(), slow_app.beats_processed());
         assert_eq!(serial.app_count(), 1);
         assert_eq!(serial.total_beats(), 240);
+    }
+
+    #[test]
+    fn shm_backed_app_is_controlled_like_a_channel_app() {
+        use powerdial_heartbeats::shm::{Segment, SegmentGeometry, ShmConsumer, ShmProducer};
+
+        let segment =
+            Arc::new(Segment::create(SegmentGeometry::for_beat_samples(64).unwrap()).unwrap());
+        let mut producer = ShmProducer::attach(Arc::clone(&segment)).unwrap();
+        let consumer = ShmConsumer::attach(Arc::clone(&segment)).unwrap();
+
+        let mut daemon = inline_daemon();
+        let view = daemon
+            .register_shm(runtime_config(), test_table(), consumer)
+            .unwrap();
+        assert_eq!(daemon.app_count(), 1);
+        assert!(view.latest_point().is_none());
+
+        // 20 beats/s against a 30 beats/s target, through shared memory.
+        let mut now = Timestamp::ZERO;
+        let mut tag = HeartbeatTag::default();
+        let mut boosted = false;
+        for _ in 0..10 {
+            for _ in 0..20 {
+                let last = now;
+                now += powerdial_heartbeats::TimestampDelta::from_millis(50);
+                producer
+                    .try_push(BeatSample {
+                        tag,
+                        timestamp: now,
+                        latency: if tag.value() == 0 {
+                            powerdial_heartbeats::TimestampDelta::ZERO
+                        } else {
+                            now - last
+                        },
+                    })
+                    .unwrap();
+                tag = tag.next();
+            }
+            daemon.tick();
+            if view.latest_gain().unwrap_or(1.0) > 1.0 {
+                boosted = true;
+            }
+        }
+        assert!(boosted, "slow shm app should receive a boosted setting");
+        assert_eq!(view.beats_processed(), 200);
+        assert!(view.achieved_speedup().unwrap() >= 1.0);
+        assert!(view.expected_qos_loss().unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn reap_dead_collects_abandoned_shm_apps() {
+        use powerdial_heartbeats::shm::{Segment, SegmentGeometry, ShmConsumer, ShmProducer};
+        use std::sync::atomic::Ordering;
+
+        let segment =
+            Arc::new(Segment::create(SegmentGeometry::for_beat_samples(16).unwrap()).unwrap());
+        let mut producer = ShmProducer::attach(Arc::clone(&segment)).unwrap();
+        let consumer = ShmConsumer::attach(Arc::clone(&segment)).unwrap();
+
+        let mut daemon = inline_daemon();
+        let view = daemon
+            .register_shm(runtime_config(), test_table(), consumer)
+            .unwrap();
+        // Channel-backed apps are never reaped.
+        let _channel_app = daemon.register(runtime_config(), test_table()).unwrap();
+        assert_eq!(daemon.app_count(), 2);
+
+        // Producer alive: nothing to reap.
+        assert!(daemon.reap_dead().is_empty());
+
+        // Publish two beats, then simulate the producing process dying by
+        // replacing its PID with one that cannot exist.
+        for tag in 0..2u64 {
+            producer
+                .try_push(BeatSample {
+                    tag: HeartbeatTag(tag),
+                    timestamp: Timestamp::from_millis(tag * 40),
+                    latency: powerdial_heartbeats::TimestampDelta::from_millis(40 * tag.min(1)),
+                })
+                .unwrap();
+        }
+        segment
+            .header()
+            .producer_pid
+            .store(0x7FFF_FF00, Ordering::Release);
+
+        // Dead producer but undrained beats: the tail is not abandoned.
+        assert!(daemon.reap_dead().is_empty());
+        assert_eq!(daemon.tick(), 2, "stragglers survive the producer");
+        assert_eq!(view.beats_processed(), 2);
+
+        // Drained and dead: reaped.
+        assert_eq!(daemon.reap_dead(), vec![view.id()]);
+        assert_eq!(daemon.app_count(), 1);
+        assert!(daemon.reap_dead().is_empty(), "reap is idempotent");
     }
 
     #[test]

@@ -89,7 +89,7 @@ pub use actuator::{
     MAX_PLAN_SEGMENTS,
 };
 pub use controller::{ControllerConfig, HeartRateController};
-pub use daemon::{AppHandle, AppId, DaemonConfig, DaemonShard, PowerDialDaemon};
+pub use daemon::{AppHandle, AppId, DaemonConfig, DaemonShard, DecisionView, PowerDialDaemon};
 pub use error::ControlError;
 pub use runtime::{
     IndexedDecision, PowerDialRuntime, RuntimeConfig, RuntimeDecision, DEFAULT_QUANTUM_HEARTBEATS,

@@ -14,9 +14,13 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 
+use std::sync::Arc;
+
 use powerdial_control::daemon::{AppHandle, DaemonConfig, PowerDialDaemon};
 use powerdial_control::{ActuationPolicy, ControllerConfig, RuntimeConfig};
-use powerdial_heartbeats::{Timestamp, TimestampDelta};
+use powerdial_heartbeats::channel::BeatSample;
+use powerdial_heartbeats::shm::{Segment, SegmentGeometry, ShmConsumer, ShmProducer};
+use powerdial_heartbeats::{HeartbeatTag, Timestamp, TimestampDelta};
 use powerdial_knobs::{CalibrationPoint, ConfigParameter, KnobTable, ParameterSpace};
 use powerdial_qos::{QosLoss, QosLossBound};
 
@@ -129,4 +133,76 @@ fn per_quantum_drain_loop_does_not_allocate() {
             "steady-state per-quantum drain loop must not allocate (policy {policy})"
         );
     }
+}
+
+#[test]
+fn per_quantum_shm_drain_loop_does_not_allocate() {
+    // The same contract over the cross-process transport: once the
+    // segments are mapped and every buffer is warm, a daemon quantum over
+    // shm-backed apps — producer pushes into the mapping, batched drains
+    // out of it, per-beat control, decision publication — is
+    // allocation-free.
+    let mut daemon = PowerDialDaemon::new(DaemonConfig {
+        workers: 0, // inline: the drain loop runs on this thread
+        channel_capacity: 64,
+        window_size: 20,
+    })
+    .unwrap();
+    let config = RuntimeConfig::new(ControllerConfig::new(30.0, 30.0).unwrap())
+        .with_quantum_heartbeats(20)
+        .unwrap();
+
+    let mut producers: Vec<(ShmProducer, HeartbeatTag, Timestamp)> = (0..4)
+        .map(|_| {
+            let segment =
+                Arc::new(Segment::create(SegmentGeometry::for_beat_samples(64).unwrap()).unwrap());
+            let producer = ShmProducer::attach(Arc::clone(&segment)).unwrap();
+            let consumer = ShmConsumer::attach(segment).unwrap();
+            daemon.register_shm(config, test_table(), consumer).unwrap();
+            (producer, HeartbeatTag::default(), Timestamp::ZERO)
+        })
+        .collect();
+
+    let run_quantum = |daemon: &mut PowerDialDaemon,
+                       producers: &mut Vec<(ShmProducer, HeartbeatTag, Timestamp)>,
+                       round: u64| {
+        for (index, (producer, tag, now)) in producers.iter_mut().enumerate() {
+            for beat in 0..20u64 {
+                let jitter = (round * 13 + beat * 7 + index as u64) % 60;
+                let latency = TimestampDelta::from_millis(15 + jitter);
+                *now += latency;
+                producer
+                    .try_push(BeatSample {
+                        tag: *tag,
+                        timestamp: *now,
+                        latency: if tag.value() == 0 {
+                            TimestampDelta::ZERO
+                        } else {
+                            latency
+                        },
+                    })
+                    .expect("segment sized for a full quantum");
+                *tag = tag.next();
+            }
+        }
+        daemon.tick()
+    };
+
+    // Warm scratch and planning buffers.
+    for round in 0..10u64 {
+        run_quantum(&mut daemon, &mut producers, round);
+    }
+
+    let before = allocations();
+    let mut beats = 0u64;
+    for round in 0..200u64 {
+        beats += run_quantum(&mut daemon, &mut producers, round + 10);
+    }
+    std::hint::black_box(beats);
+    assert_eq!(beats, 200 * 20 * 4, "every emitted beat was processed");
+    assert_eq!(
+        allocations() - before,
+        0,
+        "steady-state shm drain loop must not allocate"
+    );
 }

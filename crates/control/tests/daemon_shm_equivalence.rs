@@ -1,0 +1,308 @@
+//! Equivalence of the shared-memory transport with the in-heap channel
+//! transport, up to and including a real second process.
+//!
+//! The control code downstream of a drain is shared between transports, so
+//! any divergence in decisions is a transport bug. The tests here pin the
+//! strongest form of that claim: **decisions computed over shm-delivered
+//! beats are beat-for-beat bit-identical to decisions computed over the
+//! same beats delivered through the in-heap channel**, for
+//!
+//! * a same-process producer (deterministic interleavings),
+//! * a forked child that pushes and exits before the first drain,
+//! * a forked child streaming concurrently with the draining daemon
+//!   (nondeterministic batch boundaries — per-beat decisions must be
+//!   invariant to them),
+//!
+//! plus the crash path: a child killed mid-stream is drained to its last
+//! published beat and then reaped by the daemon.
+
+#![cfg(unix)]
+
+use std::sync::Arc;
+
+use powerdial_control::daemon::{DaemonConfig, PowerDialDaemon};
+use powerdial_control::{ControllerConfig, IndexedDecision, RuntimeConfig};
+use powerdial_heartbeats::channel::BeatSample;
+use powerdial_heartbeats::shm::process::{fork_child, ChildExit};
+use powerdial_heartbeats::shm::{Segment, SegmentGeometry, ShmConsumer, ShmProducer};
+use powerdial_heartbeats::{HeartbeatTag, Timestamp, TimestampDelta};
+use powerdial_knobs::{CalibrationPoint, ConfigParameter, KnobTable, ParameterSpace};
+use powerdial_qos::{QosLoss, QosLossBound};
+
+const CAPACITY: usize = 64;
+
+fn test_table() -> KnobTable {
+    let speedups = [1.0, 1.5, 2.0, 3.0, 4.5];
+    let values: Vec<f64> = (0..speedups.len()).map(|i| i as f64).collect();
+    let space = ParameterSpace::builder()
+        .parameter(ConfigParameter::new("k", values, 0.0).unwrap())
+        .build()
+        .unwrap();
+    let points = speedups
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| CalibrationPoint {
+            setting_index: i,
+            setting: space.setting(i).unwrap(),
+            speedup: s,
+            qos_loss: QosLoss::new((s - 1.0) * 0.015),
+        })
+        .collect();
+    KnobTable::from_points(points, 0, QosLossBound::UNBOUNDED).unwrap()
+}
+
+fn runtime_config() -> RuntimeConfig {
+    RuntimeConfig::new(ControllerConfig::new(30.0, 30.0).unwrap())
+}
+
+fn inline_daemon() -> PowerDialDaemon {
+    PowerDialDaemon::new(DaemonConfig {
+        workers: 0,
+        channel_capacity: CAPACITY,
+        window_size: 20,
+    })
+    .unwrap()
+}
+
+/// The deterministic beat stream both transports carry: latencies wander
+/// around the 30 beats/s target so the controller keeps re-deciding.
+fn beat(tag: u64) -> BeatSample {
+    let latency_ms = 20 + (tag * 13) % 40;
+    BeatSample {
+        tag: HeartbeatTag(tag),
+        timestamp: Timestamp::from_millis(tag * 45),
+        latency: TimestampDelta::from_millis(if tag == 0 { 0 } else { latency_ms }),
+    }
+}
+
+/// A decision in comparable form (f64s by bit pattern).
+fn key(decision: IndexedDecision) -> (usize, u64, u64, u64) {
+    (
+        decision.point_idx.as_usize(),
+        decision.gain.to_bits(),
+        decision.requested_speedup.to_bits(),
+        decision.planned_idle_fraction.to_bits(),
+    )
+}
+
+/// Runs `beats` through an in-heap channel daemon in `chunk`-sized pushes
+/// and returns every per-beat decision.
+fn reference_decisions(beats: u64, chunk: usize) -> Vec<(usize, u64, u64, u64)> {
+    let mut daemon = inline_daemon();
+    let mut app = daemon.register(runtime_config(), test_table()).unwrap();
+    let mut decisions = Vec::new();
+    let mut tag = 0u64;
+    while tag < beats {
+        for _ in 0..chunk.min((beats - tag) as usize) {
+            app.push_sample(beat(tag)).unwrap();
+            tag += 1;
+        }
+        daemon
+            .inline_shard_mut()
+            .unwrap()
+            .run_quantum_with(&mut |_, decision| decisions.push(key(decision)));
+    }
+    decisions
+}
+
+#[test]
+fn same_process_shm_decisions_match_channel_decisions() {
+    const BEATS: u64 = 480;
+    let segment =
+        Arc::new(Segment::create(SegmentGeometry::for_beat_samples(CAPACITY).unwrap()).unwrap());
+    let mut producer = ShmProducer::attach(Arc::clone(&segment)).unwrap();
+    let consumer = ShmConsumer::attach(Arc::clone(&segment)).unwrap();
+
+    let mut daemon = inline_daemon();
+    let view = daemon
+        .register_shm(runtime_config(), test_table(), consumer)
+        .unwrap();
+
+    // Deliberately ragged batch sizes: decisions must not depend on where
+    // the batch boundaries fall.
+    let mut shm_decisions = Vec::new();
+    let mut tag = 0u64;
+    let mut batch = 1usize;
+    while tag < BEATS {
+        for _ in 0..batch.min((BEATS - tag) as usize) {
+            producer.try_push(beat(tag)).unwrap();
+            tag += 1;
+        }
+        daemon
+            .inline_shard_mut()
+            .unwrap()
+            .run_quantum_with(&mut |_, decision| shm_decisions.push(key(decision)));
+        batch = batch % (CAPACITY - 1) + 7;
+    }
+
+    // Reference stream in uniform 20-beat quanta.
+    let reference = reference_decisions(BEATS, 20);
+    assert_eq!(shm_decisions.len(), BEATS as usize);
+    assert_eq!(
+        shm_decisions, reference,
+        "shm transport altered the decision sequence"
+    );
+    assert_eq!(view.beats_processed(), BEATS);
+}
+
+#[test]
+fn forked_child_burst_decisions_match_channel_decisions() {
+    // Satellite shape from the issue: parent maps a segment, a forked
+    // child pushes N beats and exits; the parent asserts an in-order
+    // lossless drain and decisions identical to the in-heap transport.
+    const BEATS: u64 = CAPACITY as u64; // fits the ring: no pacing needed
+    let segment =
+        Arc::new(Segment::create(SegmentGeometry::for_beat_samples(CAPACITY).unwrap()).unwrap());
+    let consumer = ShmConsumer::attach(Arc::clone(&segment)).unwrap();
+
+    let child = fork_child(|| {
+        let Ok(mut producer) = ShmProducer::attach(Arc::clone(&segment)) else {
+            return 1;
+        };
+        for tag in 0..BEATS {
+            if producer.try_push(beat(tag)).is_err() {
+                return 2;
+            }
+        }
+        0
+    })
+    .unwrap();
+    assert_eq!(child.wait().unwrap(), ChildExit::Exited(0));
+
+    let mut daemon = inline_daemon();
+    let view = daemon
+        .register_shm(runtime_config(), test_table(), consumer)
+        .unwrap();
+    let mut shm_decisions = Vec::new();
+    daemon
+        .inline_shard_mut()
+        .unwrap()
+        .run_quantum_with(&mut |_, decision| shm_decisions.push(key(decision)));
+
+    assert_eq!(view.beats_processed(), BEATS, "lossless drain");
+    let reference = reference_decisions(BEATS, BEATS as usize);
+    assert_eq!(
+        shm_decisions, reference,
+        "cross-process beats produced different decisions"
+    );
+    // The dead child is reaped once its beats are collected.
+    assert_eq!(daemon.reap_dead(), vec![view.id()]);
+    assert_eq!(daemon.app_count(), 0);
+}
+
+#[test]
+fn streaming_forked_child_decisions_match_channel_decisions() {
+    // The child streams concurrently with the draining daemon: batch
+    // boundaries are decided by scheduling noise, so this passes only
+    // because per-beat decisions are invariant to batching.
+    const BEATS: u64 = 600;
+    let segment =
+        Arc::new(Segment::create(SegmentGeometry::for_beat_samples(CAPACITY).unwrap()).unwrap());
+    let consumer = ShmConsumer::attach(Arc::clone(&segment)).unwrap();
+
+    let child = fork_child(|| {
+        let Ok(mut producer) = ShmProducer::attach(Arc::clone(&segment)) else {
+            return 1;
+        };
+        for tag in 0..BEATS {
+            let mut sample = beat(tag);
+            let mut retries: u64 = 10_000_000_000;
+            loop {
+                match producer.try_push(sample) {
+                    Ok(()) => break,
+                    Err(rejected) => {
+                        sample = rejected;
+                        retries -= 1;
+                        if retries == 0 {
+                            return 2;
+                        }
+                        std::hint::spin_loop();
+                    }
+                }
+            }
+        }
+        0
+    })
+    .unwrap();
+
+    let mut daemon = inline_daemon();
+    let view = daemon
+        .register_shm(runtime_config(), test_table(), consumer)
+        .unwrap();
+    let mut shm_decisions: Vec<(usize, u64, u64, u64)> = Vec::new();
+    while (shm_decisions.len() as u64) < BEATS {
+        daemon
+            .inline_shard_mut()
+            .unwrap()
+            .run_quantum_with(&mut |_, decision| shm_decisions.push(key(decision)));
+        std::hint::spin_loop();
+    }
+    assert_eq!(child.wait().unwrap(), ChildExit::Exited(0));
+
+    let reference = reference_decisions(BEATS, 20);
+    assert_eq!(shm_decisions, reference);
+    assert_eq!(view.beats_processed(), BEATS);
+    assert_eq!(
+        view.latest_gain().unwrap().to_bits(),
+        reference.last().unwrap().1,
+        "published gain matches the last per-beat decision"
+    );
+}
+
+#[test]
+fn daemon_reaps_child_killed_mid_stream() {
+    let segment =
+        Arc::new(Segment::create(SegmentGeometry::for_beat_samples(CAPACITY).unwrap()).unwrap());
+    let consumer = ShmConsumer::attach(Arc::clone(&segment)).unwrap();
+
+    let child = fork_child(|| {
+        let Ok(mut producer) = ShmProducer::attach(Arc::clone(&segment)) else {
+            return 1;
+        };
+        let mut tag = 0u64;
+        loop {
+            let mut sample = beat(tag);
+            loop {
+                match producer.try_push(sample) {
+                    Ok(()) => break,
+                    Err(rejected) => {
+                        sample = rejected;
+                        std::hint::spin_loop();
+                    }
+                }
+            }
+            tag += 1;
+        }
+    })
+    .unwrap();
+
+    let mut daemon = inline_daemon();
+    let view = daemon
+        .register_shm(runtime_config(), test_table(), consumer)
+        .unwrap();
+
+    // Let the child stream for a while.
+    let mut processed = 0u64;
+    while processed < 150 {
+        processed += daemon.tick();
+        std::hint::spin_loop();
+    }
+    assert!(daemon.reap_dead().is_empty(), "live child is never reaped");
+
+    child.kill().unwrap();
+    assert!(matches!(child.wait().unwrap(), ChildExit::Signaled(_)));
+
+    // Protocol: tick to collect the published tail, then reap. The first
+    // reap may race a beat published between tick and kill, so run the
+    // cycle until the daemon lets go — it must converge immediately after
+    // one post-mortem tick.
+    let mut reaped = daemon.reap_dead();
+    if reaped.is_empty() {
+        daemon.tick();
+        reaped = daemon.reap_dead();
+    }
+    assert_eq!(reaped, vec![view.id()]);
+    assert_eq!(daemon.app_count(), 0);
+    // Every beat the daemon processed was a real, in-order beat.
+    assert!(view.beats_processed() >= 150);
+}

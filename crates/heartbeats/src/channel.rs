@@ -163,6 +163,42 @@ pub type BeatProducer = Producer<BeatSample>;
 /// The consumer (daemon) half of a [`BeatSample`] channel.
 pub type BeatConsumer = Consumer<BeatSample>;
 
+/// The seam between beat sources and the control side: anything that can
+/// batch-drain pending [`BeatSample`]s into a reused scratch buffer.
+///
+/// Implemented by the in-heap SPSC [`Consumer`], the cross-process
+/// [`crate::shm::ShmConsumer`], and the mutex-guarded baseline
+/// [`crate::naive::MutexChannel`], so registries, daemons, and benchmarks
+/// can treat all transports identically. Implementations must drain oldest
+/// first and must not allocate once `out` has grown to the transport's
+/// capacity.
+pub trait BeatTransport {
+    /// Drains every pending beat into `out` (cleared first), oldest first,
+    /// returning how many were drained.
+    fn drain_into(&mut self, out: &mut Vec<BeatSample>) -> usize;
+
+    /// Beats currently pending.
+    fn pending(&self) -> usize;
+
+    /// The transport's capacity in records (pushes beyond it see
+    /// backpressure).
+    fn capacity(&self) -> usize;
+}
+
+impl BeatTransport for Consumer<BeatSample> {
+    fn drain_into(&mut self, out: &mut Vec<BeatSample>) -> usize {
+        Consumer::drain_into(self, out)
+    }
+
+    fn pending(&self) -> usize {
+        Consumer::pending(self)
+    }
+
+    fn capacity(&self) -> usize {
+        Consumer::capacity(self)
+    }
+}
+
 impl<T: Copy> std::fmt::Debug for Producer<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Producer")

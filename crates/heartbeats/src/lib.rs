@@ -48,10 +48,11 @@ pub mod naive;
 mod record;
 mod registry;
 mod ring;
+pub mod shm;
 mod stats;
 mod time;
 
-pub use channel::{beat_channel, BeatConsumer, BeatProducer, BeatSample};
+pub use channel::{beat_channel, BeatConsumer, BeatProducer, BeatSample, BeatTransport};
 pub use error::HeartbeatError;
 pub use monitor::{HeartbeatMonitor, MonitorConfig, TargetRate, DEFAULT_HISTORY_CAPACITY};
 pub use record::{HeartRate, HeartbeatRecord, HeartbeatTag};

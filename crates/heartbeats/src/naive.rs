@@ -183,6 +183,20 @@ impl<T: Copy> MutexChannel<T> {
     }
 }
 
+impl crate::channel::BeatTransport for MutexChannel<crate::channel::BeatSample> {
+    fn drain_into(&mut self, out: &mut Vec<crate::channel::BeatSample>) -> usize {
+        MutexChannel::drain_into(self, out)
+    }
+
+    fn pending(&self) -> usize {
+        MutexChannel::pending(self)
+    }
+
+    fn capacity(&self) -> usize {
+        MutexChannel::capacity(self)
+    }
+}
+
 #[cfg(test)]
 mod channel_tests {
     use super::*;

@@ -1,0 +1,497 @@
+//! The stable, versioned on-segment layout of the beat transport.
+//!
+//! Everything in this module is ABI: the header is `#[repr(C)]`, every
+//! field has a fixed offset, and a segment written by one build must be
+//! readable by any other build with the same [`SEGMENT_ABI_VERSION`]. The
+//! layout is:
+//!
+//! ```text
+//! offset 0    ┌────────────────────────────────────────────┐
+//!             │ magic, abi_version, ready                  │
+//!             │ capacity, slot_stride, record_size         │  control block
+//!             │ producer_pid, consumer_pid                 │  (cache line 0)
+//! offset 128  ├────────────────────────────────────────────┤
+//!             │ head (consumer-owned)                      │  cache line 1
+//! offset 256  ├────────────────────────────────────────────┤
+//!             │ tail (producer-owned)                      │  cache line 2
+//! offset 384  ├────────────────────────────────────────────┤
+//!             │ slot 0 │ slot 1 │ …  │ slot capacity-1     │  fixed stride
+//!             └────────────────────────────────────────────┘
+//! ```
+//!
+//! `head` and `tail` sit on their own 128-byte blocks so the producer and
+//! consumer — in *different processes* — never false-share a cache line.
+//! All header fields are atomics: the segment is plain shared memory, so a
+//! misbehaving peer can scribble anywhere, and reading a scribbled-on field
+//! must be a data-race-free load that yields a garbage *value* (rejected by
+//! validation) rather than undefined behaviour.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+use crate::channel::BeatSample;
+use crate::record::HeartbeatTag;
+use crate::shm::error::ShmError;
+use crate::time::{Timestamp, TimestampDelta};
+
+/// First eight bytes of every beat segment: `b"PDSHMBT1"`, little-endian.
+pub const SEGMENT_MAGIC: u64 = u64::from_le_bytes(*b"PDSHMBT1");
+
+/// Version of the segment ABI this build reads and writes. Bump on any
+/// change to [`SegmentHeader`] or [`ShmBeatSample`] layout.
+pub const SEGMENT_ABI_VERSION: u32 = 1;
+
+/// Byte length of the segment header; slot 0 starts here. Three 128-byte
+/// blocks: control fields, consumer-owned `head`, producer-owned `tail`.
+pub const SEGMENT_HEADER_LEN: usize = 384;
+
+/// Default distance in bytes between consecutive slots. Must be at least
+/// `size_of::<ShmBeatSample>()` (24); 32 keeps slots 8-aligned with room
+/// for one more field before the stride (and hence the ABI) has to change.
+pub const DEFAULT_SLOT_STRIDE: usize = 32;
+
+/// Largest accepted slot count (2³⁰ slots ≈ 32 GiB at the default stride);
+/// anything bigger is a corrupt header, not a real ring.
+pub const MAX_SLOT_CAPACITY: u64 = 1 << 30;
+
+/// Header `ready` value meaning the creator finished initialization.
+pub const SEGMENT_READY: u32 = 1;
+
+/// One beat record as stored in a segment slot: the `#[repr(C)]` wire form
+/// of [`BeatSample`], all fields explicit `u64` nanosecond counts so the
+/// layout is independent of this crate's internal newtypes.
+#[repr(C)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShmBeatSample {
+    /// Sequence number of the heartbeat (0 for the first beat).
+    pub tag: u64,
+    /// Emission time, nanoseconds since the producer's epoch.
+    pub timestamp_nanos: u64,
+    /// Time since the previous heartbeat, nanoseconds.
+    pub latency_nanos: u64,
+}
+
+impl ShmBeatSample {
+    /// Encodes an in-memory beat sample into its wire form.
+    pub fn from_sample(sample: BeatSample) -> Self {
+        ShmBeatSample {
+            tag: sample.tag.value(),
+            timestamp_nanos: sample.timestamp.as_nanos(),
+            latency_nanos: sample.latency.as_nanos(),
+        }
+    }
+
+    /// Decodes the wire form back into an in-memory beat sample.
+    pub fn to_sample(self) -> BeatSample {
+        BeatSample {
+            tag: HeartbeatTag(self.tag),
+            timestamp: Timestamp::from_nanos(self.timestamp_nanos),
+            latency: TimestampDelta::from_nanos(self.latency_nanos),
+        }
+    }
+
+    /// Stores this record into a slot as three relaxed atomic words.
+    ///
+    /// Slot bytes live in memory another *process* can touch at any time;
+    /// plain stores would make a protocol-violating peer a formal data
+    /// race (UB). Relaxed atomics compile to the same plain moves on
+    /// x86-64/AArch64 but make concurrent access yield garbage *values*
+    /// instead — ordering against the peer comes from the release store
+    /// of `tail`, not from these.
+    ///
+    /// # Safety
+    ///
+    /// `slot` must be valid for 24 bytes of writes and 8-byte aligned
+    /// (guaranteed by a validated [`SegmentGeometry`]).
+    pub unsafe fn store_to(self, slot: *mut u8) {
+        debug_assert_eq!(slot as usize % 8, 0);
+        let words = slot as *mut AtomicU64;
+        // SAFETY: caller guarantees 24 valid, aligned bytes; AtomicU64 is
+        // layout-compatible with u64 and never uninhabited on zeroed or
+        // garbage memory.
+        unsafe {
+            (*words).store(self.tag, Ordering::Relaxed);
+            (*words.add(1)).store(self.timestamp_nanos, Ordering::Relaxed);
+            (*words.add(2)).store(self.latency_nanos, Ordering::Relaxed);
+        }
+    }
+
+    /// Loads a record from a slot as three relaxed atomic words (see
+    /// [`ShmBeatSample::store_to`] for why not a plain read).
+    ///
+    /// # Safety
+    ///
+    /// `slot` must be valid for 24 bytes of reads and 8-byte aligned.
+    pub unsafe fn load_from(slot: *const u8) -> Self {
+        debug_assert_eq!(slot as usize % 8, 0);
+        let words = slot as *const AtomicU64;
+        // SAFETY: as in `store_to`.
+        unsafe {
+            ShmBeatSample {
+                tag: (*words).load(Ordering::Relaxed),
+                timestamp_nanos: (*words.add(1)).load(Ordering::Relaxed),
+                latency_nanos: (*words.add(2)).load(Ordering::Relaxed),
+            }
+        }
+    }
+}
+
+const _: () = assert!(std::mem::size_of::<ShmBeatSample>() == 24);
+const _: () = assert!(std::mem::align_of::<ShmBeatSample>() == 8);
+
+/// The geometry of a segment's slot array: how many slots, how far apart,
+/// and how many bytes of each slot carry a record.
+///
+/// A geometry is only constructible in validated form; every invariant the
+/// property tests check ([`SegmentGeometry::validate`]) holds for every
+/// value accepted by [`SegmentGeometry::new`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentGeometry {
+    capacity: u64,
+    slot_stride: u64,
+    record_size: u64,
+}
+
+impl SegmentGeometry {
+    /// A validated geometry with `capacity` slots of `record_size` useful
+    /// bytes each, `slot_stride` bytes apart.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShmError::BadGeometry`] unless all invariants hold:
+    /// power-of-two `capacity` within [`MAX_SLOT_CAPACITY`], nonzero
+    /// `record_size`, 8-byte-multiple `slot_stride` that covers the record,
+    /// and a total length that fits in `usize`.
+    pub fn new(capacity: u64, slot_stride: u64, record_size: u64) -> Result<Self, ShmError> {
+        let geometry = SegmentGeometry {
+            capacity,
+            slot_stride,
+            record_size,
+        };
+        geometry.validate()?;
+        Ok(geometry)
+    }
+
+    /// The geometry used for [`BeatSample`] transport: `capacity` rounded
+    /// up to a power of two, the default stride, and this build's record
+    /// size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShmError::BadGeometry`] when `capacity` is zero or rounds
+    /// beyond [`MAX_SLOT_CAPACITY`].
+    pub fn for_beat_samples(capacity: usize) -> Result<Self, ShmError> {
+        if capacity == 0 {
+            return Err(ShmError::BadGeometry {
+                field: "capacity",
+                found: 0,
+            });
+        }
+        SegmentGeometry::new(
+            capacity.next_power_of_two() as u64,
+            DEFAULT_SLOT_STRIDE as u64,
+            std::mem::size_of::<ShmBeatSample>() as u64,
+        )
+    }
+
+    /// Re-checks every geometry invariant (used when the fields come from
+    /// an untrusted segment header rather than [`SegmentGeometry::new`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShmError::BadGeometry`] naming the first violated field.
+    pub fn validate(&self) -> Result<(), ShmError> {
+        if self.capacity == 0 || !self.capacity.is_power_of_two() {
+            return Err(ShmError::BadGeometry {
+                field: "capacity",
+                found: self.capacity,
+            });
+        }
+        if self.capacity > MAX_SLOT_CAPACITY {
+            return Err(ShmError::BadGeometry {
+                field: "capacity",
+                found: self.capacity,
+            });
+        }
+        if self.record_size == 0 {
+            return Err(ShmError::BadGeometry {
+                field: "record_size",
+                found: 0,
+            });
+        }
+        if self.slot_stride < self.record_size || !self.slot_stride.is_multiple_of(8) {
+            return Err(ShmError::BadGeometry {
+                field: "slot_stride",
+                found: self.slot_stride,
+            });
+        }
+        let slots_len = self.capacity.checked_mul(self.slot_stride);
+        let total = slots_len.and_then(|len| len.checked_add(SEGMENT_HEADER_LEN as u64));
+        match total {
+            Some(total) if usize::try_from(total).is_ok() => Ok(()),
+            _ => Err(ShmError::BadGeometry {
+                field: "total_len",
+                found: u64::MAX,
+            }),
+        }
+    }
+
+    /// Number of slots (always a power of two).
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Distance in bytes between consecutive slot starts.
+    pub fn slot_stride(&self) -> u64 {
+        self.slot_stride
+    }
+
+    /// Useful bytes at the start of each slot.
+    pub fn record_size(&self) -> u64 {
+        self.record_size
+    }
+
+    /// Bitmask turning a monotone position into a slot index.
+    pub fn mask(&self) -> u64 {
+        self.capacity - 1
+    }
+
+    /// Byte offset of slot `index` from the start of the segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) when `index` is out of range; callers mask first.
+    pub fn slot_offset(&self, index: u64) -> usize {
+        debug_assert!(index < self.capacity, "slot index out of range");
+        SEGMENT_HEADER_LEN + (index * self.slot_stride) as usize
+    }
+
+    /// Total byte length of a segment with this geometry.
+    pub fn total_len(&self) -> usize {
+        SEGMENT_HEADER_LEN + (self.capacity * self.slot_stride) as usize
+    }
+}
+
+/// The raw header at offset 0 of every segment.
+///
+/// All fields are atomics because the header lives in memory shared with
+/// another *process*: loads from fields a hostile or crashed peer scribbled
+/// on must still be well-defined. The fields are public so tests (and
+/// diagnostic tools) can inspect and fault-inject a mapped header directly;
+/// everything outside the test suite goes through the validated
+/// [`crate::shm::ShmProducer`] / [`crate::shm::ShmConsumer`] handshake
+/// instead of touching these.
+#[repr(C)]
+#[derive(Debug)]
+pub struct SegmentHeader {
+    /// [`SEGMENT_MAGIC`], written last during initialization.
+    pub magic: AtomicU64,
+    /// [`SEGMENT_ABI_VERSION`] of the creator.
+    pub abi_version: AtomicU32,
+    /// [`SEGMENT_READY`] once the creator finished writing the header.
+    pub ready: AtomicU32,
+    /// Slot count (power of two).
+    pub capacity: AtomicU64,
+    /// Bytes between consecutive slots.
+    pub slot_stride: AtomicU64,
+    /// Useful bytes per slot (`size_of::<ShmBeatSample>()` for beat
+    /// segments).
+    pub record_size: AtomicU64,
+    /// PID of the attached producer (0 = unclaimed). Claimed by
+    /// compare-and-swap; never cleared by process death, which is exactly
+    /// how a dead peer is detected.
+    pub producer_pid: AtomicU32,
+    /// PID of the attached consumer (0 = unclaimed).
+    pub consumer_pid: AtomicU32,
+    _pad0: [u8; 80],
+    /// Next position the consumer will read. Consumer-owned: written with
+    /// `Release` after the freed slots were read, loaded by the producer
+    /// with `Acquire` before overwriting them.
+    pub head: AtomicU64,
+    _pad1: [u8; 120],
+    /// Next position the producer will write. Producer-owned: written with
+    /// `Release` after the slot bytes are in place, loaded by the consumer
+    /// with `Acquire` before reading them.
+    pub tail: AtomicU64,
+    _pad2: [u8; 120],
+}
+
+const _: () = assert!(std::mem::size_of::<SegmentHeader>() == SEGMENT_HEADER_LEN);
+const _: () = assert!(std::mem::align_of::<SegmentHeader>() == 8);
+const _: () = assert!(std::mem::offset_of!(SegmentHeader, head) == 128);
+const _: () = assert!(std::mem::offset_of!(SegmentHeader, tail) == 256);
+
+impl SegmentHeader {
+    /// Writes a fresh header for `geometry` into zeroed segment memory.
+    /// The magic and ready flag are stored last (release), so a concurrent
+    /// attacher either sees an unready header or a fully initialized one.
+    pub(crate) fn initialize(&self, geometry: SegmentGeometry) {
+        self.abi_version
+            .store(SEGMENT_ABI_VERSION, Ordering::Relaxed);
+        self.capacity.store(geometry.capacity(), Ordering::Relaxed);
+        self.slot_stride
+            .store(geometry.slot_stride(), Ordering::Relaxed);
+        self.record_size
+            .store(geometry.record_size(), Ordering::Relaxed);
+        self.producer_pid.store(0, Ordering::Relaxed);
+        self.consumer_pid.store(0, Ordering::Relaxed);
+        self.head.store(0, Ordering::Relaxed);
+        self.tail.store(0, Ordering::Relaxed);
+        self.magic.store(SEGMENT_MAGIC, Ordering::Relaxed);
+        self.ready.store(SEGMENT_READY, Ordering::Release);
+    }
+
+    /// Validates magic, version, readiness, and geometry against a mapping
+    /// of `mapped_len` bytes, returning the (validated) geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ShmError`] naming the first check that failed; a
+    /// header that passes is safe to run the transport protocol against
+    /// (every slot access derived from it stays inside the mapping).
+    pub fn validate(&self, mapped_len: usize) -> Result<SegmentGeometry, ShmError> {
+        if self.ready.load(Ordering::Acquire) != SEGMENT_READY {
+            return Err(ShmError::NotInitialized);
+        }
+        let magic = self.magic.load(Ordering::Relaxed);
+        if magic != SEGMENT_MAGIC {
+            return Err(ShmError::BadMagic { found: magic });
+        }
+        let version = self.abi_version.load(Ordering::Relaxed);
+        if version != SEGMENT_ABI_VERSION {
+            return Err(ShmError::AbiVersionMismatch {
+                found: version,
+                expected: SEGMENT_ABI_VERSION,
+            });
+        }
+        let geometry = SegmentGeometry {
+            capacity: self.capacity.load(Ordering::Relaxed),
+            slot_stride: self.slot_stride.load(Ordering::Relaxed),
+            record_size: self.record_size.load(Ordering::Relaxed),
+        };
+        geometry.validate()?;
+        let required = geometry.total_len() as u64;
+        if required > mapped_len as u64 {
+            return Err(ShmError::TruncatedSegment {
+                expected: required,
+                found: mapped_len as u64,
+            });
+        }
+        Ok(geometry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beat_sample_round_trips_bit_identically() {
+        let sample = BeatSample {
+            tag: HeartbeatTag(7),
+            timestamp: Timestamp::from_nanos(123_456_789),
+            latency: TimestampDelta::from_nanos(33_000_001),
+        };
+        let wire = ShmBeatSample::from_sample(sample);
+        assert_eq!(wire.tag, 7);
+        assert_eq!(wire.timestamp_nanos, 123_456_789);
+        assert_eq!(wire.latency_nanos, 33_000_001);
+        assert_eq!(wire.to_sample(), sample);
+    }
+
+    #[test]
+    fn geometry_accepts_only_pow2_capacities() {
+        assert!(SegmentGeometry::new(8, 32, 24).is_ok());
+        assert!(matches!(
+            SegmentGeometry::new(0, 32, 24),
+            Err(ShmError::BadGeometry {
+                field: "capacity",
+                ..
+            })
+        ));
+        assert!(matches!(
+            SegmentGeometry::new(3, 32, 24),
+            Err(ShmError::BadGeometry {
+                field: "capacity",
+                ..
+            })
+        ));
+        assert!(matches!(
+            SegmentGeometry::new(MAX_SLOT_CAPACITY * 2, 32, 24),
+            Err(ShmError::BadGeometry {
+                field: "capacity",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn geometry_rejects_bad_strides() {
+        // Stride smaller than the record.
+        assert!(matches!(
+            SegmentGeometry::new(8, 16, 24),
+            Err(ShmError::BadGeometry {
+                field: "slot_stride",
+                ..
+            })
+        ));
+        // Misaligned stride.
+        assert!(matches!(
+            SegmentGeometry::new(8, 30, 24),
+            Err(ShmError::BadGeometry {
+                field: "slot_stride",
+                ..
+            })
+        ));
+        // Zero record.
+        assert!(matches!(
+            SegmentGeometry::new(8, 32, 0),
+            Err(ShmError::BadGeometry {
+                field: "record_size",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn for_beat_samples_rounds_to_pow2() {
+        let geometry = SegmentGeometry::for_beat_samples(5).unwrap();
+        assert_eq!(geometry.capacity(), 8);
+        assert_eq!(geometry.slot_stride(), DEFAULT_SLOT_STRIDE as u64);
+        assert_eq!(
+            geometry.record_size(),
+            std::mem::size_of::<ShmBeatSample>() as u64
+        );
+        assert_eq!(geometry.total_len(), SEGMENT_HEADER_LEN + 8 * 32);
+        assert!(SegmentGeometry::for_beat_samples(0).is_err());
+    }
+
+    #[test]
+    fn slot_offsets_do_not_overlap_header() {
+        let geometry = SegmentGeometry::for_beat_samples(16).unwrap();
+        assert!(geometry.slot_offset(0) >= SEGMENT_HEADER_LEN);
+        for index in 1..geometry.capacity() {
+            let previous = geometry.slot_offset(index - 1);
+            let current = geometry.slot_offset(index);
+            assert!(current >= previous + geometry.record_size() as usize);
+        }
+        let last = geometry.slot_offset(geometry.capacity() - 1);
+        assert!(last + geometry.record_size() as usize <= geometry.total_len());
+    }
+
+    #[test]
+    fn header_initialize_then_validate_round_trips() {
+        let header: SegmentHeader = unsafe { std::mem::zeroed() };
+        assert!(matches!(
+            header.validate(1 << 20),
+            Err(ShmError::NotInitialized)
+        ));
+        let geometry = SegmentGeometry::for_beat_samples(64).unwrap();
+        header.initialize(geometry);
+        assert_eq!(header.validate(geometry.total_len()).unwrap(), geometry);
+        // A mapping one byte short is truncated.
+        assert!(matches!(
+            header.validate(geometry.total_len() - 1),
+            Err(ShmError::TruncatedSegment { .. })
+        ));
+    }
+}

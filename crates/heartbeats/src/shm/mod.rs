@@ -1,0 +1,116 @@
+//! Cross-process shared-memory heartbeat transport.
+//!
+//! The Application Heartbeats interface is explicitly *cross-process*: an
+//! instrumented application emits beats into a shared-memory region that an
+//! external controller (the PowerDial daemon) attaches to and reads. The
+//! in-heap SPSC rings of [`crate::channel`] implement the protocol within
+//! one process; this module family backs the same wait-free protocol with
+//! an actual shared mapping so the producer and consumer may be different
+//! OS processes:
+//!
+//! * [`layout`] — the stable, versioned `#[repr(C)]` segment ABI: a
+//!   [`SegmentHeader`] (magic, ABI version, geometry, producer/consumer
+//!   PIDs, cache-line-isolated head/tail atomics) followed by a
+//!   fixed-stride slot array of [`ShmBeatSample`] records;
+//! * [`segment`] — creating and mapping segments: `memfd_create` + `mmap`
+//!   on Linux (`shm-memfd` feature), a tmpfile mapping on any Unix
+//!   (attachable by path from unrelated processes), and a feature-gated
+//!   in-memory fake (`shm-fake`) so the protocol logic is testable on any
+//!   platform;
+//! * [`transport`] — [`ShmProducer`] / [`ShmConsumer`]: the wait-free
+//!   `try_push` / batched `drain_into` protocol over the mapped atomics,
+//!   plus the attach-time handshake and peer liveness;
+//! * [`process`] — fork/wait helpers for the cross-process tests and the
+//!   `shm_external_controller` example.
+//!
+//! # Segment layout (ABI version 1)
+//!
+//! ```text
+//! offset 0    magic ("PDSHMBT1"), abi_version, ready,
+//!             capacity, slot_stride, record_size,
+//!             producer_pid, consumer_pid          ── control block
+//! offset 128  head  (consumer-owned cache line)
+//! offset 256  tail  (producer-owned cache line)
+//! offset 384  slot[0], slot[1], …, slot[capacity-1]   (fixed stride)
+//! ```
+//!
+//! # Ownership rules
+//!
+//! * Exactly one producer and one consumer per segment, claimed at attach
+//!   time by compare-and-swap of the role's PID field (0 = unclaimed).
+//! * `tail` is written only by the producer, `head` only by the consumer;
+//!   both are monotone u64 positions masked into the power-of-two slot
+//!   array. Publication is release/acquire on those two atomics — the same
+//!   Lamport discipline as the in-heap ring, now spanning processes.
+//! * Attach validates magic, ABI version, geometry, and mapping size
+//!   before the first slot access; every failure is a typed [`ShmError`].
+//! * Counters read back from the header are clamped to the validated
+//!   geometry, so a scribbling peer can corrupt *values* (garbage beats)
+//!   but never induce out-of-bounds access, unbounded allocation, or UB.
+//!
+//! # Reap protocol
+//!
+//! The producer PID is never cleared implicitly — a stale producer PID is
+//! how abandonment is detected (dropping the handle, clean exit, and
+//! SIGKILL all look identical to the controller, which is the point). The
+//! controller side periodically probes [`ShmConsumer::producer_state`]
+//! (or a detached [`ShmPeerProbe`]): when the producing process no longer
+//! exists, the consumer drains whatever the producer managed to publish
+//! (beats already in the ring survive the producer's death — they live in
+//! the segment, not the process) and then unregisters and unmaps the
+//! segment. `PowerDialDaemon::reap_dead` in `powerdial-control` implements
+//! exactly this. An orderly producer hand-off uses
+//! [`ShmProducer::detach`], which clears the PID instead of leaving it
+//! stale; the consumer claim, which carries no liveness protocol, is
+//! released automatically when the [`ShmConsumer`] drops.
+//!
+//! **Known limitation — PID recycling**: liveness is `kill(pid, 0)`, so a
+//! producer PID recycled to an unrelated long-lived process makes a dead
+//! producer look alive and defers the reap indefinitely (the beats stop,
+//! but the segment is retained). With Linux's default 4M `pid_max` and
+//! 32-bit claim fields this is rare but real; a hardening pass would
+//! claim with `pidfd_open` or record the claimant's start time from
+//! `/proc/<pid>/stat` and compare at probe time.
+//!
+//! # Example (single process; see `examples/shm_external_controller.rs`
+//! for the forked two-process deployment)
+//!
+//! ```
+//! use std::sync::Arc;
+//! use powerdial_heartbeats::shm::{Segment, SegmentGeometry, ShmConsumer, ShmProducer};
+//! use powerdial_heartbeats::channel::BeatSample;
+//! use powerdial_heartbeats::{HeartbeatTag, Timestamp, TimestampDelta};
+//!
+//! # fn main() -> Result<(), powerdial_heartbeats::shm::ShmError> {
+//! let segment = Arc::new(Segment::create(SegmentGeometry::for_beat_samples(64)?)?);
+//! let mut producer = ShmProducer::attach(Arc::clone(&segment))?;
+//! let mut consumer = ShmConsumer::attach(Arc::clone(&segment))?;
+//!
+//! producer
+//!     .try_push(BeatSample {
+//!         tag: HeartbeatTag(0),
+//!         timestamp: Timestamp::from_millis(0),
+//!         latency: TimestampDelta::ZERO,
+//!     })
+//!     .unwrap();
+//!
+//! let mut scratch = Vec::new();
+//! assert_eq!(consumer.drain_into(&mut scratch), 1);
+//! assert_eq!(scratch[0].tag, HeartbeatTag(0));
+//! # Ok(())
+//! # }
+//! ```
+
+mod error;
+pub mod layout;
+pub mod process;
+pub mod segment;
+pub mod transport;
+
+pub use error::{PeerRole, PeerState, ShmError};
+pub use layout::{
+    SegmentGeometry, SegmentHeader, ShmBeatSample, DEFAULT_SLOT_STRIDE, SEGMENT_ABI_VERSION,
+    SEGMENT_HEADER_LEN, SEGMENT_MAGIC,
+};
+pub use segment::{current_pid, pid_alive, BackingKind, Segment};
+pub use transport::{ShmConsumer, ShmPeerProbe, ShmProducer};

@@ -1,0 +1,569 @@
+//! Creating, mapping, and probing shared-memory segments.
+//!
+//! A [`Segment`] is a fixed-size byte region holding a [`SegmentHeader`]
+//! followed by the slot array, behind one of three backings:
+//!
+//! * **memfd** (`memfd_create` + `mmap`, Linux, `shm-memfd` feature) — an
+//!   anonymous shared file: forked children inherit the mapping, and the fd
+//!   can be handed to unrelated processes over a Unix socket;
+//! * **tmpfile** (`mmap` of a temporary file, any Unix) — the portable
+//!   fallback; unrelated processes attach by path via [`Segment::open`];
+//! * **in-memory fake** (`shm-fake` feature, any platform) — a plain heap
+//!   allocation with the same layout, so the protocol logic (handshake,
+//!   validation, ring discipline) is testable where `mmap` is unavailable.
+//!   It is *not* visible to other processes.
+//!
+//! The segment itself is policy-free bytes; the ownership handshake lives
+//! in [`crate::shm::transport`].
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::shm::error::ShmError;
+use crate::shm::layout::{SegmentGeometry, SegmentHeader, SEGMENT_HEADER_LEN};
+
+/// Raw OS bindings. Declared here instead of depending on the `libc` crate
+/// (the offline build has no crates.io access); `std` already links the
+/// platform C library, so these resolve to the same symbols `libc` wraps.
+#[cfg(unix)]
+mod sys {
+    use std::os::raw::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const PROT_WRITE: c_int = 2;
+    pub const MAP_SHARED: c_int = 0x01;
+    pub const ESRCH: i32 = 3;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+        pub fn kill(pid: c_int, sig: c_int) -> c_int;
+    }
+
+    #[cfg(all(target_os = "linux", feature = "shm-memfd"))]
+    pub const MFD_CLOEXEC: std::os::raw::c_uint = 1;
+
+    #[cfg(all(target_os = "linux", feature = "shm-memfd"))]
+    extern "C" {
+        pub fn memfd_create(
+            name: *const std::os::raw::c_char,
+            flags: std::os::raw::c_uint,
+        ) -> c_int;
+    }
+}
+
+/// This process's PID in the 32-bit form stored in segment headers.
+pub fn current_pid() -> u32 {
+    std::process::id()
+}
+
+/// True when a process with `pid` currently exists (it may belong to
+/// another user — existence is all the handshake needs).
+///
+/// On Unix this is `kill(pid, 0)`: success or `EPERM` means the process
+/// exists, `ESRCH` means it does not. Elsewhere only the current process
+/// can be confirmed alive, which is exactly the reach of the in-memory
+/// fake backing.
+pub fn pid_alive(pid: u32) -> bool {
+    // 0 is "unclaimed", and anything beyond i32::MAX cannot be a real PID
+    // (and would turn into a process-group kill if passed through).
+    if pid == 0 || pid > i32::MAX as u32 {
+        return false;
+    }
+    #[cfg(unix)]
+    {
+        if unsafe { sys::kill(pid as std::os::raw::c_int, 0) } == 0 {
+            return true;
+        }
+        std::io::Error::last_os_error().raw_os_error() != Some(sys::ESRCH)
+    }
+    #[cfg(not(unix))]
+    {
+        pid == current_pid()
+    }
+}
+
+/// How a segment's bytes are held.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackingKind {
+    /// `memfd_create` + `mmap(MAP_SHARED)`.
+    Memfd,
+    /// `mmap(MAP_SHARED)` over a temporary file.
+    TmpFile,
+    /// Heap allocation (testing fake; not cross-process).
+    InMemory,
+}
+
+impl fmt::Display for BackingKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackingKind::Memfd => f.write_str("memfd"),
+            BackingKind::TmpFile => f.write_str("tmpfile"),
+            BackingKind::InMemory => f.write_str("in-memory"),
+        }
+    }
+}
+
+enum Backing {
+    #[cfg(unix)]
+    Mapped {
+        /// Keeps the backing fd open for the lifetime of the mapping (a
+        /// forked child or fd-passing peer may still need it).
+        _file: std::fs::File,
+        /// For tmpfile backings created by us: the path, unlinked on drop.
+        owned_path: Option<PathBuf>,
+        /// For attached tmpfile backings: the path, left in place.
+        path: Option<PathBuf>,
+    },
+    #[cfg(feature = "shm-fake")]
+    Heap { layout: std::alloc::Layout },
+}
+
+/// A mapped (or fake) shared-memory segment.
+///
+/// The segment owns its mapping; producers and consumers hold it behind an
+/// `Arc` so the bytes outlive whichever side detaches last *within* a
+/// process. Across processes the kernel keeps the pages alive while any
+/// mapping exists.
+pub struct Segment {
+    ptr: NonNull<u8>,
+    len: usize,
+    geometry: SegmentGeometry,
+    kind: BackingKind,
+    backing: Backing,
+}
+
+// SAFETY: the segment's bytes are shared memory by design; all mutation of
+// shared state goes through atomics in `SegmentHeader` or through slots
+// whose exclusive ownership the transport protocol hands between producer
+// and consumer via acquire/release on `head`/`tail`.
+unsafe impl Send for Segment {}
+unsafe impl Sync for Segment {}
+
+impl fmt::Debug for Segment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Segment")
+            .field("kind", &self.kind)
+            .field("len", &self.len)
+            .field("geometry", &self.geometry)
+            .finish()
+    }
+}
+
+/// Monotone counter making tmpfile names unique within a process.
+static TMPFILE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+impl Segment {
+    /// Creates a segment with the best *cross-process* backing available:
+    /// memfd where supported, falling back to a tmpfile under
+    /// [`std::env::temp_dir`].
+    ///
+    /// On Unix this never silently degrades to the in-memory fake — a
+    /// fake segment is invisible to other processes, so a forked or
+    /// attached peer would spin forever on a ring nobody shares with it.
+    /// The fake is only chosen on platforms with no `mmap` at all (where
+    /// no cross-process deployment exists to be broken); tests that want
+    /// it explicitly call [`Segment::create_in_memory`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the tmpfile-creation [`ShmError::Io`] when both real
+    /// backings fail, or [`ShmError::NoBackingAvailable`] when every
+    /// backing is compiled out.
+    pub fn create(geometry: SegmentGeometry) -> Result<Segment, ShmError> {
+        #[cfg(all(target_os = "linux", feature = "shm-memfd"))]
+        {
+            // Fall through on failure (e.g. a seccomp filter denying the
+            // syscall): the tmpfile backing is functionally equivalent.
+            if let Ok(segment) = Segment::create_memfd(geometry) {
+                return Ok(segment);
+            }
+        }
+        #[cfg(unix)]
+        {
+            // Propagate the error: no silent downgrade below a shareable
+            // mapping.
+            return Segment::create_tmpfile_in(std::env::temp_dir(), geometry);
+        }
+        #[cfg(all(not(unix), feature = "shm-fake"))]
+        {
+            return Segment::create_in_memory(geometry);
+        }
+        #[allow(unreachable_code)]
+        Err(ShmError::NoBackingAvailable)
+    }
+
+    /// Creates a memfd-backed segment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShmError::Io`] when `memfd_create`, `ftruncate`, or
+    /// `mmap` fails.
+    #[cfg(all(target_os = "linux", feature = "shm-memfd"))]
+    pub fn create_memfd(geometry: SegmentGeometry) -> Result<Segment, ShmError> {
+        use std::os::fd::FromRawFd;
+
+        geometry.validate()?;
+        let name = c"powerdial-beats";
+        let fd = unsafe { sys::memfd_create(name.as_ptr(), sys::MFD_CLOEXEC) };
+        if fd < 0 {
+            return Err(ShmError::Io {
+                op: "memfd_create",
+                source: std::io::Error::last_os_error(),
+            });
+        }
+        // SAFETY: `fd` is a freshly created, owned file descriptor.
+        let file = unsafe { std::fs::File::from_raw_fd(fd) };
+        Segment::from_file(file, geometry, BackingKind::Memfd, None)
+    }
+
+    /// Creates a tmpfile-backed segment in `dir`; other processes attach
+    /// with [`Segment::open`] on [`Segment::path`]. The file is unlinked
+    /// when the creating segment drops.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShmError::Io`] when file creation, sizing, or mapping
+    /// fails.
+    #[cfg(unix)]
+    pub fn create_tmpfile_in(
+        dir: impl AsRef<Path>,
+        geometry: SegmentGeometry,
+    ) -> Result<Segment, ShmError> {
+        geometry.validate()?;
+        let sequence = TMPFILE_SEQ.fetch_add(1, Ordering::Relaxed);
+        let path = dir.as_ref().join(format!(
+            "powerdial-beats-{}-{}.shm",
+            current_pid(),
+            sequence
+        ));
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create_new(true)
+            .open(&path)
+            .map_err(|source| ShmError::Io {
+                op: "open(tmpfile)",
+                source,
+            })?;
+        match Segment::from_file(file, geometry, BackingKind::TmpFile, Some(path.clone())) {
+            Ok(segment) => Ok(segment),
+            Err(error) => {
+                let _ = std::fs::remove_file(&path);
+                Err(error)
+            }
+        }
+    }
+
+    /// Sizes `file` for `geometry`, maps it shared, and initializes the
+    /// header.
+    #[cfg(unix)]
+    fn from_file(
+        file: std::fs::File,
+        geometry: SegmentGeometry,
+        kind: BackingKind,
+        owned_path: Option<PathBuf>,
+    ) -> Result<Segment, ShmError> {
+        let len = geometry.total_len();
+        file.set_len(len as u64).map_err(|source| ShmError::Io {
+            op: "ftruncate",
+            source,
+        })?;
+        let ptr = map_shared(&file, len)?;
+        let segment = Segment {
+            ptr,
+            len,
+            geometry,
+            kind,
+            backing: Backing::Mapped {
+                _file: file,
+                owned_path,
+                path: None,
+            },
+        };
+        segment.header().initialize(geometry);
+        Ok(segment)
+    }
+
+    /// Creates the heap-backed in-memory fake (same layout and protocol,
+    /// no cross-process visibility).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShmError::BadGeometry`] for an invalid geometry.
+    #[cfg(feature = "shm-fake")]
+    pub fn create_in_memory(geometry: SegmentGeometry) -> Result<Segment, ShmError> {
+        geometry.validate()?;
+        let len = geometry.total_len();
+        // Page-align the fake so header offsets have the same cache-line
+        // placement as a real mapping.
+        let layout =
+            std::alloc::Layout::from_size_align(len, 4096).map_err(|_| ShmError::BadGeometry {
+                field: "total_len",
+                found: len as u64,
+            })?;
+        // SAFETY: `layout` has nonzero size (≥ SEGMENT_HEADER_LEN).
+        let raw = unsafe { std::alloc::alloc_zeroed(layout) };
+        let Some(ptr) = NonNull::new(raw) else {
+            std::alloc::handle_alloc_error(layout);
+        };
+        let segment = Segment {
+            ptr,
+            len,
+            geometry,
+            kind: BackingKind::InMemory,
+            backing: Backing::Heap { layout },
+        };
+        segment.header().initialize(geometry);
+        Ok(segment)
+    }
+
+    /// Attaches to an existing file-backed segment by path (the
+    /// cross-process entry point for tmpfile backings), validating the
+    /// header before returning.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShmError::Io`] when the file cannot be opened or mapped,
+    /// [`ShmError::TruncatedSegment`] when it is too small to even hold a
+    /// header, and any [`SegmentHeader::validate`] error for a malformed
+    /// header.
+    #[cfg(unix)]
+    pub fn open(path: impl AsRef<Path>) -> Result<Segment, ShmError> {
+        let path = path.as_ref();
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)
+            .map_err(|source| ShmError::Io {
+                op: "open(segment)",
+                source,
+            })?;
+        let len = file
+            .metadata()
+            .map_err(|source| ShmError::Io {
+                op: "stat(segment)",
+                source,
+            })?
+            .len();
+        if len < SEGMENT_HEADER_LEN as u64 {
+            return Err(ShmError::TruncatedSegment {
+                expected: SEGMENT_HEADER_LEN as u64,
+                found: len,
+            });
+        }
+        let len = usize::try_from(len).map_err(|_| ShmError::TruncatedSegment {
+            expected: u64::MAX,
+            found: len,
+        })?;
+        let ptr = map_shared(&file, len)?;
+        let mut segment = Segment {
+            ptr,
+            len,
+            // Placeholder until the header is validated below.
+            geometry: SegmentGeometry::for_beat_samples(1).expect("static geometry"),
+            kind: BackingKind::TmpFile,
+            backing: Backing::Mapped {
+                _file: file,
+                owned_path: None,
+                path: Some(path.to_path_buf()),
+            },
+        };
+        segment.geometry = segment.header().validate(segment.len)?;
+        Ok(segment)
+    }
+
+    /// The segment header.
+    pub fn header(&self) -> &SegmentHeader {
+        debug_assert!(self.len >= SEGMENT_HEADER_LEN);
+        debug_assert_eq!(
+            self.ptr.as_ptr() as usize % std::mem::align_of::<SegmentHeader>(),
+            0
+        );
+        // SAFETY: the mapping is at least SEGMENT_HEADER_LEN bytes, lives
+        // as long as `self`, is suitably aligned (page-aligned mmap or
+        // page-aligned heap allocation), and every header field is an
+        // atomic, so shared references are sound even while another
+        // process mutates the memory.
+        unsafe { &*(self.ptr.as_ptr() as *const SegmentHeader) }
+    }
+
+    /// Re-validates the header against the mapping (attach time, and any
+    /// time a peer is suspected of having scribbled on it).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SegmentHeader::validate`] errors.
+    pub fn validate(&self) -> Result<SegmentGeometry, ShmError> {
+        self.header().validate(self.len)
+    }
+
+    /// The geometry the segment was created (or validated) with.
+    pub fn geometry(&self) -> SegmentGeometry {
+        self.geometry
+    }
+
+    /// Total mapped bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// A segment always holds at least a header; this mirrors the
+    /// conventional `len`/`is_empty` pairing and is never true.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Which backing holds the bytes.
+    pub fn backing_kind(&self) -> BackingKind {
+        self.kind
+    }
+
+    /// For file-backed segments: the filesystem path another process can
+    /// [`Segment::open`] (tmpfile backings only; memfds are attached by
+    /// inheriting the mapping or passing the fd).
+    pub fn path(&self) -> Option<&Path> {
+        match &self.backing {
+            #[cfg(unix)]
+            Backing::Mapped {
+                owned_path, path, ..
+            } => owned_path.as_deref().or(path.as_deref()),
+            #[cfg(feature = "shm-fake")]
+            Backing::Heap { .. } => None,
+        }
+    }
+
+    /// Raw pointer to the start of slot `index` (callers mask positions
+    /// first). The pointer stays in bounds for `record_size` bytes by the
+    /// geometry invariants validated at attach time.
+    pub(crate) fn slot_ptr(&self, index: u64) -> *mut u8 {
+        let offset = self.geometry.slot_offset(index);
+        debug_assert!(offset + self.geometry.record_size() as usize <= self.len);
+        // SAFETY: offset < len by geometry validation against the mapping.
+        unsafe { self.ptr.as_ptr().add(offset) }
+    }
+}
+
+impl Drop for Segment {
+    fn drop(&mut self) {
+        match &self.backing {
+            #[cfg(unix)]
+            Backing::Mapped { owned_path, .. } => {
+                // SAFETY: `ptr`/`len` describe a live mapping created by
+                // `map_shared`; after this call nothing dereferences it
+                // (we are in drop).
+                unsafe {
+                    sys::munmap(self.ptr.as_ptr() as *mut std::os::raw::c_void, self.len);
+                }
+                if let Some(path) = owned_path {
+                    let _ = std::fs::remove_file(path);
+                }
+            }
+            #[cfg(feature = "shm-fake")]
+            Backing::Heap { layout } => {
+                // SAFETY: allocated in `create_in_memory` with this layout.
+                unsafe { std::alloc::dealloc(self.ptr.as_ptr(), *layout) };
+            }
+        }
+    }
+}
+
+/// Maps `len` bytes of `file` shared and read-write.
+#[cfg(unix)]
+fn map_shared(file: &std::fs::File, len: usize) -> Result<NonNull<u8>, ShmError> {
+    use std::os::fd::AsRawFd;
+
+    let raw = unsafe {
+        sys::mmap(
+            std::ptr::null_mut(),
+            len,
+            sys::PROT_READ | sys::PROT_WRITE,
+            sys::MAP_SHARED,
+            file.as_raw_fd(),
+            0,
+        )
+    };
+    if raw as isize == -1 || raw.is_null() {
+        return Err(ShmError::Io {
+            op: "mmap",
+            source: std::io::Error::last_os_error(),
+        });
+    }
+    Ok(NonNull::new(raw as *mut u8).expect("mmap returned non-null"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shm::layout::SEGMENT_MAGIC;
+
+    fn geometry() -> SegmentGeometry {
+        SegmentGeometry::for_beat_samples(16).unwrap()
+    }
+
+    #[test]
+    fn create_initializes_a_valid_header() {
+        let segment = Segment::create(geometry()).unwrap();
+        assert_eq!(segment.validate().unwrap(), geometry());
+        assert_eq!(
+            segment.header().magic.load(Ordering::Relaxed),
+            SEGMENT_MAGIC
+        );
+        assert_eq!(segment.len(), geometry().total_len());
+        assert!(!segment.is_empty());
+    }
+
+    #[cfg(feature = "shm-fake")]
+    #[test]
+    fn in_memory_fake_has_same_layout() {
+        let segment = Segment::create_in_memory(geometry()).unwrap();
+        assert_eq!(segment.backing_kind(), BackingKind::InMemory);
+        assert_eq!(segment.path(), None);
+        assert_eq!(segment.validate().unwrap(), geometry());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn tmpfile_segment_reopens_by_path() {
+        let created = Segment::create_tmpfile_in(std::env::temp_dir(), geometry()).unwrap();
+        let path = created.path().unwrap().to_path_buf();
+        assert!(path.exists());
+        let attached = Segment::open(&path).unwrap();
+        assert_eq!(attached.geometry(), geometry());
+        // The two mappings see the same memory: a store through one is a
+        // load through the other.
+        created.header().tail.store(7, Ordering::Release);
+        assert_eq!(attached.header().tail.load(Ordering::Acquire), 7);
+        drop(attached);
+        drop(created);
+        assert!(!path.exists(), "creator unlinks its tmpfile");
+    }
+
+    #[cfg(all(target_os = "linux", feature = "shm-memfd"))]
+    #[test]
+    fn memfd_segment_creates_and_validates() {
+        let segment = Segment::create_memfd(geometry()).unwrap();
+        assert_eq!(segment.backing_kind(), BackingKind::Memfd);
+        assert_eq!(segment.path(), None);
+        assert_eq!(segment.validate().unwrap(), geometry());
+    }
+
+    #[test]
+    fn pid_liveness_basics() {
+        assert!(pid_alive(current_pid()));
+        assert!(!pid_alive(0));
+        // Linux caps PIDs at 2²² by default; this one cannot exist.
+        assert!(!pid_alive((i32::MAX - 1) as u32));
+        // Out-of-range values are dead by definition, never a group kill.
+        assert!(!pid_alive(u32::MAX));
+    }
+}

@@ -1,0 +1,640 @@
+//! The wait-free SPSC beat protocol over a mapped segment.
+//!
+//! [`ShmProducer`] and [`ShmConsumer`] reimplement the in-heap
+//! [`crate::channel`] protocol — wait-free `try_push`, batched
+//! `drain_into` — with the head/tail atomics and the slot array living in
+//! the shared mapping instead of this process's heap, so the two halves
+//! may run in *different processes*.
+//!
+//! # Attach handshake
+//!
+//! Attaching validates magic, ABI version, geometry, and mapping size
+//! ([`SegmentHeader::validate`]), then claims the role by compare-and-swap
+//! of the role's PID field from 0 to the caller's PID:
+//!
+//! * claimed by a **live** process → [`ShmError::RoleClaimed`] (a segment
+//!   carries exactly one producer and one consumer);
+//! * claimed by a **dead** process → [`ShmError::DeadPeer`] (the segment
+//!   is abandoned; reap it, do not adopt it);
+//! * the consumer additionally refuses to attach when the *producer* slot
+//!   is claimed by a dead process — the stream can never complete.
+//!
+//! The **producer** PID is deliberately not cleared by `Drop`: an
+//! application that drops its handle, exits, or crashes leaves its stale
+//! PID behind, and that staleness *is* the death signal
+//! [`ShmConsumer::producer_state`] and [`ShmPeerProbe::producer_state`]
+//! report, which the daemon's reaper acts on; only an explicit
+//! [`ShmProducer::detach`] hands the stream to a successor. The
+//! **consumer** PID carries no liveness protocol — it only enforces
+//! single-consumer access — so it *is* released when the consumer drops
+//! (daemon unregister/reap), keeping segments re-attachable without
+//! restarting the controller.
+//!
+//! # Safety argument
+//!
+//! All cross-process synchronization goes through the header atomics; a
+//! slot is written only in `[head, head+capacity)` exclusively owned by
+//! the producer and read only in `[head, tail)` after the acquiring load
+//! of `tail`. Records are plain `u64` triples ([`ShmBeatSample`]), so even
+//! a torn or scribbled slot decodes to a harmless garbage *value*, never
+//! undefined behaviour. Counters read from the header are clamped before
+//! use ([`ShmConsumer::drain_into`]) so a hostile peer cannot induce
+//! out-of-bounds access or unbounded allocation. The `shm` test suite
+//! (fork, fault-injection, property tests) exercises exactly these claims.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use crate::channel::BeatSample;
+use crate::shm::error::{PeerRole, PeerState, ShmError};
+use crate::shm::layout::ShmBeatSample;
+use crate::shm::segment::{current_pid, pid_alive, Segment};
+
+/// Validates a segment for *typed* [`ShmBeatSample`] access: on top of the
+/// generic header checks, the recorded `record_size` must be exactly this
+/// build's sample size — a segment written with a different record revision
+/// (header says 16-byte records, we read/write 24) would otherwise pass the
+/// generic geometry checks and let the fixed-size slot accesses overlap
+/// neighboring slots or run past the mapping.
+fn validate_for_beat_samples(
+    segment: &Segment,
+) -> Result<crate::shm::layout::SegmentGeometry, ShmError> {
+    let geometry = segment.validate()?;
+    let expected = std::mem::size_of::<ShmBeatSample>() as u64;
+    if geometry.record_size() != expected {
+        return Err(ShmError::GeometryMismatch {
+            field: "record_size",
+            found: geometry.record_size(),
+            expected,
+        });
+    }
+    Ok(geometry)
+}
+
+/// Claims `role`'s PID slot for this process.
+fn claim(slot: &AtomicU32, role: PeerRole) -> Result<u32, ShmError> {
+    let pid = current_pid();
+    match slot.compare_exchange(0, pid, Ordering::AcqRel, Ordering::Acquire) {
+        Ok(_) => Ok(pid),
+        Err(existing) if pid_alive(existing) => Err(ShmError::RoleClaimed {
+            role,
+            pid: existing,
+        }),
+        Err(existing) => Err(ShmError::DeadPeer {
+            role,
+            pid: existing,
+        }),
+    }
+}
+
+/// Records between two monotone ring positions, clamped to `[0, capacity]`.
+///
+/// Positions never legitimately run backwards or diverge by more than the
+/// capacity (they are u64s that would take centuries to wrap), so anything
+/// outside that envelope is a corrupt or hostile header: a `to` behind
+/// `from` reads as empty, a `to` absurdly far ahead reads as a full ring.
+/// Either way the result bounds every subsequent slot access and
+/// allocation.
+fn clamped_distance(from: u64, to: u64, capacity: u64) -> u64 {
+    if to >= from {
+        (to - from).min(capacity)
+    } else {
+        0
+    }
+}
+
+/// Liveness of a claimed PID slot.
+fn peer_state(slot: &AtomicU32) -> PeerState {
+    match slot.load(Ordering::Acquire) {
+        0 => PeerState::Absent,
+        pid if pid_alive(pid) => PeerState::Alive(pid),
+        pid => PeerState::Dead(pid),
+    }
+}
+
+/// The producer (application) half of a shared-memory beat segment.
+///
+/// Mirrors [`crate::channel::Producer`]: `try_push` is wait-free — one
+/// compare against a locally cached consumer position, one slot write, one
+/// release store — and never blocks, spins, syscalls, or allocates.
+pub struct ShmProducer {
+    segment: Arc<Segment>,
+    pid: u32,
+    tail: u64,
+    cached_head: u64,
+    rejected: u64,
+    capacity: u64,
+    mask: u64,
+}
+
+impl std::fmt::Debug for ShmProducer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShmProducer")
+            .field("pid", &self.pid)
+            .field("pushed", &self.tail)
+            .field("rejected", &self.rejected)
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+impl ShmProducer {
+    /// Validates the segment and claims the producer role.
+    ///
+    /// The producer resumes from the segment's current `tail`, so a
+    /// segment that already carried beats (from a detached predecessor)
+    /// continues seamlessly.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SegmentHeader::validate`] error,
+    /// [`ShmError::GeometryMismatch`] for a segment whose record size is
+    /// not this build's [`ShmBeatSample`], [`ShmError::RoleClaimed`] when
+    /// a live producer is attached, or [`ShmError::DeadPeer`] when a dead
+    /// one left its stale PID behind.
+    ///
+    /// [`SegmentHeader::validate`]: crate::shm::layout::SegmentHeader::validate
+    pub fn attach(segment: Arc<Segment>) -> Result<Self, ShmError> {
+        let geometry = validate_for_beat_samples(&segment)?;
+        let header = segment.header();
+        let pid = claim(&header.producer_pid, PeerRole::Producer)?;
+        let tail = header.tail.load(Ordering::Acquire);
+        let cached_head = header.head.load(Ordering::Acquire);
+        Ok(ShmProducer {
+            pid,
+            tail,
+            cached_head,
+            rejected: 0,
+            capacity: geometry.capacity(),
+            mask: geometry.mask(),
+            segment,
+        })
+    }
+
+    /// Attempts to push one beat. Wait-free; on a full ring the beat is
+    /// rejected (backpressure) and returned.
+    ///
+    /// # Errors
+    ///
+    /// Returns the record back when the ring is full.
+    #[inline]
+    pub fn try_push(&mut self, sample: BeatSample) -> Result<(), BeatSample> {
+        let header = self.segment.header();
+        if self.tail.wrapping_sub(self.cached_head) >= self.capacity {
+            self.cached_head = header.head.load(Ordering::Acquire);
+            if self.tail.wrapping_sub(self.cached_head) >= self.capacity {
+                self.rejected += 1;
+                return Err(sample);
+            }
+        }
+        let slot = self.segment.slot_ptr(self.tail & self.mask);
+        // SAFETY: the slot pointer is in bounds for `record_size` (== 24)
+        // bytes and 8-aligned by the validated geometry; positions in
+        // [head, head+capacity) ∋ tail are exclusively producer-owned
+        // until the release store below publishes them. The store itself
+        // is atomic per word, so even a protocol-violating peer racing on
+        // the slot is a torn *value*, not UB.
+        unsafe { ShmBeatSample::from_sample(sample).store_to(slot) };
+        self.tail = self.tail.wrapping_add(1);
+        header.tail.store(self.tail, Ordering::Release);
+        Ok(())
+    }
+
+    /// Total beats successfully pushed through this handle's segment
+    /// (the segment's monotone producer position).
+    pub fn pushed(&self) -> u64 {
+        self.tail
+    }
+
+    /// Pushes rejected by this handle because the ring was full.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Beats currently in flight (pushed but not yet drained). Clamped to
+    /// `[0, capacity]` even if a corrupt consumer published a nonsense
+    /// `head`.
+    pub fn in_flight(&self) -> u64 {
+        let head = self.segment.header().head.load(Ordering::Acquire);
+        clamped_distance(head, self.tail, self.capacity)
+    }
+
+    /// The ring capacity in records.
+    pub fn capacity(&self) -> usize {
+        self.capacity as usize
+    }
+
+    /// Liveness of the consumer side.
+    pub fn consumer_state(&self) -> PeerState {
+        peer_state(&self.segment.header().consumer_pid)
+    }
+
+    /// The underlying segment.
+    pub fn segment(&self) -> &Arc<Segment> {
+        &self.segment
+    }
+
+    /// Releases the producer role so another same-process (or
+    /// fd-inheriting) producer may attach.
+    ///
+    /// This is deliberately **not** done by `Drop`: the producer PID is
+    /// the application-liveness signal — an application that merely drops
+    /// its handle (or exits, cleanly or not) must still read as *gone* to
+    /// the controller's reaper, exactly like a crash. Only an explicit
+    /// `detach` declares "the stream continues under a new producer".
+    pub fn detach(self) {
+        let _ = self.segment.header().producer_pid.compare_exchange(
+            self.pid,
+            0,
+            Ordering::AcqRel,
+            Ordering::Relaxed,
+        );
+    }
+}
+
+/// The consumer (controller) half of a shared-memory beat segment.
+///
+/// Mirrors [`crate::channel::Consumer`]: `drain_into` takes every pending
+/// record in one batch into a caller-owned scratch buffer, paying the
+/// cross-process synchronization once per actuation quantum.
+pub struct ShmConsumer {
+    segment: Arc<Segment>,
+    pid: u32,
+    head: u64,
+    capacity: u64,
+    mask: u64,
+}
+
+impl std::fmt::Debug for ShmConsumer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShmConsumer")
+            .field("pid", &self.pid)
+            .field("drained", &self.head)
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+impl ShmConsumer {
+    /// Validates the segment, refuses abandoned streams, and claims the
+    /// consumer role.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SegmentHeader::validate`] error;
+    /// [`ShmError::GeometryMismatch`] for a segment whose record size is
+    /// not this build's [`ShmBeatSample`]; [`ShmError::DeadPeer`] when
+    /// the producer slot holds a stale PID (attaching to a stream that can
+    /// never complete is always a mistake — reap the segment instead);
+    /// [`ShmError::RoleClaimed`] / [`ShmError::DeadPeer`] for the consumer
+    /// slot itself.
+    ///
+    /// [`SegmentHeader::validate`]: crate::shm::layout::SegmentHeader::validate
+    pub fn attach(segment: Arc<Segment>) -> Result<Self, ShmError> {
+        let geometry = validate_for_beat_samples(&segment)?;
+        let header = segment.header();
+        if let PeerState::Dead(pid) = peer_state(&header.producer_pid) {
+            return Err(ShmError::DeadPeer {
+                role: PeerRole::Producer,
+                pid,
+            });
+        }
+        let pid = claim(&header.consumer_pid, PeerRole::Consumer)?;
+        let head = header.head.load(Ordering::Acquire);
+        Ok(ShmConsumer {
+            pid,
+            head,
+            capacity: geometry.capacity(),
+            mask: geometry.mask(),
+            segment,
+        })
+    }
+
+    /// Drains every pending beat into `out` (cleared first), oldest first,
+    /// and returns how many were drained.
+    ///
+    /// `out` grows to at most the ring capacity and is never reallocated
+    /// after that — the steady-state drain performs no heap allocation.
+    /// The published `tail` is clamped to `[head, head+capacity]` before
+    /// use, so a corrupt or hostile producer can at worst deliver garbage
+    /// records, never drive reads out of bounds or force unbounded
+    /// allocation.
+    pub fn drain_into(&mut self, out: &mut Vec<BeatSample>) -> usize {
+        out.clear();
+        let header = self.segment.header();
+        let tail = header.tail.load(Ordering::Acquire);
+        let available = clamped_distance(self.head, tail, self.capacity) as usize;
+        if available == 0 {
+            return 0;
+        }
+        out.reserve(available);
+        for position in self.head..self.head + available as u64 {
+            let slot = self.segment.slot_ptr(position & self.mask);
+            // SAFETY: slot pointer in bounds and 8-aligned by validated
+            // geometry; positions in [head, tail) were published by the
+            // producer's release store of `tail`, which the acquire load
+            // above synchronized with. Per-word atomic loads keep a
+            // protocol-violating peer a garbage value, not a data race.
+            let record = unsafe { ShmBeatSample::load_from(slot) };
+            out.push(record.to_sample());
+        }
+        self.head += available as u64;
+        header.head.store(self.head, Ordering::Release);
+        available
+    }
+
+    /// Pops a single pending beat, oldest first.
+    pub fn try_pop(&mut self) -> Option<BeatSample> {
+        let header = self.segment.header();
+        let tail = header.tail.load(Ordering::Acquire);
+        if clamped_distance(self.head, tail, self.capacity) == 0 {
+            return None;
+        }
+        let slot = self.segment.slot_ptr(self.head & self.mask);
+        // SAFETY: as in `drain_into`.
+        let record = unsafe { ShmBeatSample::load_from(slot) };
+        self.head += 1;
+        header.head.store(self.head, Ordering::Release);
+        Some(record.to_sample())
+    }
+
+    /// Beats currently pending (clamped to `[0, capacity]`).
+    pub fn pending(&self) -> usize {
+        let tail = self.segment.header().tail.load(Ordering::Acquire);
+        clamped_distance(self.head, tail, self.capacity) as usize
+    }
+
+    /// True when no beats are pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending() == 0
+    }
+
+    /// Total beats drained through this segment (the monotone consumer
+    /// position).
+    pub fn drained(&self) -> u64 {
+        self.head
+    }
+
+    /// The ring capacity in records.
+    pub fn capacity(&self) -> usize {
+        self.capacity as usize
+    }
+
+    /// Liveness of the producer side: the signal the reap protocol acts
+    /// on. [`PeerState::Dead`] means the producing process exited (cleanly
+    /// or not) without detaching.
+    pub fn producer_state(&self) -> PeerState {
+        peer_state(&self.segment.header().producer_pid)
+    }
+
+    /// The underlying segment.
+    pub fn segment(&self) -> &Arc<Segment> {
+        &self.segment
+    }
+
+    /// A cheap handle for liveness/occupancy probes of this segment that
+    /// can live apart from the consumer (e.g. in a daemon's registry while
+    /// the consumer itself sits in a worker shard).
+    pub fn probe(&self) -> ShmPeerProbe {
+        ShmPeerProbe {
+            segment: Arc::clone(&self.segment),
+            capacity: self.capacity,
+        }
+    }
+
+    /// Releases the consumer role eagerly (equivalent to dropping).
+    pub fn detach(self) {}
+}
+
+impl Drop for ShmConsumer {
+    /// Unlike the producer's, the consumer claim is released on drop: the
+    /// consumer PID carries no liveness protocol (nothing reaps on a dead
+    /// *consumer*), it only enforces single-consumer access — and the
+    /// consumer side lives inside a long-running controller, where
+    /// unregister/reap paths drop the handle and the segment must become
+    /// re-attachable without restarting the daemon. A *crashed* consumer
+    /// process still leaves its stale PID behind (drops never ran), which
+    /// the next attacher observes as [`ShmError::DeadPeer`].
+    fn drop(&mut self) {
+        let _ = self.segment.header().consumer_pid.compare_exchange(
+            self.pid,
+            0,
+            Ordering::AcqRel,
+            Ordering::Relaxed,
+        );
+    }
+}
+
+impl crate::channel::BeatTransport for ShmConsumer {
+    fn drain_into(&mut self, out: &mut Vec<BeatSample>) -> usize {
+        ShmConsumer::drain_into(self, out)
+    }
+
+    fn pending(&self) -> usize {
+        ShmConsumer::pending(self)
+    }
+
+    fn capacity(&self) -> usize {
+        ShmConsumer::capacity(self)
+    }
+}
+
+/// A read-only liveness/occupancy probe of a segment.
+#[derive(Debug, Clone)]
+pub struct ShmPeerProbe {
+    segment: Arc<Segment>,
+    capacity: u64,
+}
+
+impl ShmPeerProbe {
+    /// Liveness of the producer side.
+    pub fn producer_state(&self) -> PeerState {
+        peer_state(&self.segment.header().producer_pid)
+    }
+
+    /// Liveness of the consumer side.
+    pub fn consumer_state(&self) -> PeerState {
+        peer_state(&self.segment.header().consumer_pid)
+    }
+
+    /// Beats published but not yet drained (clamped to `[0, capacity]`).
+    pub fn pending(&self) -> usize {
+        let header = self.segment.header();
+        let head = header.head.load(Ordering::Acquire);
+        let tail = header.tail.load(Ordering::Acquire);
+        clamped_distance(head, tail, self.capacity) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::HeartbeatTag;
+    use crate::shm::layout::SegmentGeometry;
+    use crate::time::{Timestamp, TimestampDelta};
+
+    fn segment(capacity: usize) -> Arc<Segment> {
+        Arc::new(Segment::create(SegmentGeometry::for_beat_samples(capacity).unwrap()).unwrap())
+    }
+
+    fn sample(tag: u64) -> BeatSample {
+        BeatSample {
+            tag: HeartbeatTag(tag),
+            timestamp: Timestamp::from_millis(tag * 40),
+            latency: TimestampDelta::from_millis(if tag == 0 { 0 } else { 40 }),
+        }
+    }
+
+    #[test]
+    fn push_then_drain_preserves_order_and_bits() {
+        let segment = segment(16);
+        let mut tx = ShmProducer::attach(Arc::clone(&segment)).unwrap();
+        let mut rx = ShmConsumer::attach(Arc::clone(&segment)).unwrap();
+        for tag in 0..10 {
+            tx.try_push(sample(tag)).unwrap();
+        }
+        let mut out = Vec::new();
+        assert_eq!(rx.drain_into(&mut out), 10);
+        for (tag, record) in out.iter().enumerate() {
+            assert_eq!(*record, sample(tag as u64));
+        }
+        assert_eq!(rx.drain_into(&mut out), 0);
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn full_ring_rejects_and_counts() {
+        let segment = segment(4);
+        let mut tx = ShmProducer::attach(Arc::clone(&segment)).unwrap();
+        let mut rx = ShmConsumer::attach(Arc::clone(&segment)).unwrap();
+        for tag in 0..4 {
+            tx.try_push(sample(tag)).unwrap();
+        }
+        assert!(tx.try_push(sample(99)).is_err());
+        assert_eq!(tx.rejected(), 1);
+        assert_eq!(tx.in_flight(), 4);
+        let mut out = Vec::new();
+        assert_eq!(rx.drain_into(&mut out), 4);
+        tx.try_push(sample(4)).unwrap();
+        assert_eq!(rx.try_pop().unwrap().tag, HeartbeatTag(4));
+    }
+
+    #[test]
+    fn wraparound_keeps_fifo_order() {
+        let segment = segment(4);
+        let mut tx = ShmProducer::attach(Arc::clone(&segment)).unwrap();
+        let mut rx = ShmConsumer::attach(Arc::clone(&segment)).unwrap();
+        let mut out = Vec::new();
+        let mut expected = 0u64;
+        for round in 0..100u64 {
+            for _ in 0..(1 + round % 4) {
+                tx.try_push(sample(tx.pushed())).unwrap();
+            }
+            rx.drain_into(&mut out);
+            for record in &out {
+                assert_eq!(record.tag.value(), expected);
+                expected += 1;
+            }
+        }
+        assert_eq!(tx.rejected(), 0);
+        assert_eq!(rx.drained(), expected);
+    }
+
+    #[test]
+    fn consumer_claim_released_on_drop_producer_claim_is_not() {
+        let segment = segment(8);
+        {
+            let _rx = ShmConsumer::attach(Arc::clone(&segment)).unwrap();
+        }
+        // Dropped consumer: role free again (daemon unregister/reap path).
+        let rx = ShmConsumer::attach(Arc::clone(&segment)).unwrap();
+        {
+            let _tx = ShmProducer::attach(Arc::clone(&segment)).unwrap();
+        }
+        // Dropped producer: stale PID stays — within this (live) process
+        // that reads as a live claim; from another process it would read
+        // as dead. Either way, no silent adoption.
+        assert!(matches!(
+            ShmProducer::attach(Arc::clone(&segment)),
+            Err(ShmError::RoleClaimed {
+                role: PeerRole::Producer,
+                ..
+            })
+        ));
+        assert!(rx.producer_state().is_alive());
+    }
+
+    #[test]
+    fn roles_are_exclusive_until_detached() {
+        let segment = segment(8);
+        let tx = ShmProducer::attach(Arc::clone(&segment)).unwrap();
+        assert!(matches!(
+            ShmProducer::attach(Arc::clone(&segment)),
+            Err(ShmError::RoleClaimed {
+                role: PeerRole::Producer,
+                ..
+            })
+        ));
+        tx.detach();
+        let tx = ShmProducer::attach(Arc::clone(&segment)).unwrap();
+        assert_eq!(tx.pushed(), 0);
+
+        let rx = ShmConsumer::attach(Arc::clone(&segment)).unwrap();
+        assert!(matches!(
+            ShmConsumer::attach(Arc::clone(&segment)),
+            Err(ShmError::RoleClaimed {
+                role: PeerRole::Consumer,
+                ..
+            })
+        ));
+        assert!(rx.producer_state().is_alive());
+        assert!(tx.consumer_state().is_alive());
+        rx.detach();
+        assert!(tx.consumer_state() == PeerState::Absent);
+    }
+
+    #[test]
+    fn reattached_producer_resumes_position() {
+        let segment = segment(8);
+        let mut tx = ShmProducer::attach(Arc::clone(&segment)).unwrap();
+        let mut rx = ShmConsumer::attach(Arc::clone(&segment)).unwrap();
+        tx.try_push(sample(0)).unwrap();
+        tx.try_push(sample(1)).unwrap();
+        tx.detach();
+        let mut tx = ShmProducer::attach(Arc::clone(&segment)).unwrap();
+        assert_eq!(tx.pushed(), 2, "resumes from the segment tail");
+        tx.try_push(sample(2)).unwrap();
+        let mut out = Vec::new();
+        assert_eq!(rx.drain_into(&mut out), 3);
+        assert_eq!(out.last().unwrap().tag, HeartbeatTag(2));
+    }
+
+    #[test]
+    fn probe_reports_occupancy_and_liveness() {
+        let segment = segment(8);
+        let mut tx = ShmProducer::attach(Arc::clone(&segment)).unwrap();
+        let rx = ShmConsumer::attach(Arc::clone(&segment)).unwrap();
+        let probe = rx.probe();
+        assert_eq!(probe.pending(), 0);
+        tx.try_push(sample(0)).unwrap();
+        assert_eq!(probe.pending(), 1);
+        assert!(probe.producer_state().is_alive());
+        assert!(probe.consumer_state().is_alive());
+    }
+
+    #[test]
+    fn hostile_tail_is_clamped_not_trusted() {
+        let segment = segment(4);
+        let mut rx = ShmConsumer::attach(Arc::clone(&segment)).unwrap();
+        // A scribbling peer publishes an absurd tail: the consumer must
+        // clamp to capacity — bounded drain of garbage values, no
+        // unbounded allocation, no out-of-bounds access.
+        segment.header().tail.store(u64::MAX - 3, Ordering::Release);
+        let mut out = Vec::new();
+        assert_eq!(rx.drain_into(&mut out), 4);
+        // And a tail *behind* head reads as empty, not as ~2^64 pending.
+        segment.header().tail.store(0, Ordering::Release);
+        assert_eq!(rx.pending(), 0);
+        assert_eq!(rx.drain_into(&mut out), 0);
+    }
+}

@@ -13,8 +13,12 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 
+use std::sync::Arc;
+
+use powerdial_heartbeats::channel::BeatSample;
+use powerdial_heartbeats::shm::{Segment, SegmentGeometry, ShmConsumer, ShmProducer};
 use powerdial_heartbeats::{
-    HeartbeatMonitor, MonitorConfig, SlidingWindow, Timestamp, TimestampDelta,
+    HeartbeatMonitor, HeartbeatTag, MonitorConfig, SlidingWindow, Timestamp, TimestampDelta,
 };
 
 struct CountingAllocator;
@@ -106,5 +110,59 @@ fn steady_state_heartbeat_path_does_not_allocate() {
         allocations() - before,
         0,
         "monitor heartbeat steady state must not allocate"
+    );
+}
+
+#[test]
+fn steady_state_shm_push_drain_loop_does_not_allocate() {
+    // The cross-process transport must honour the same allocation-freedom
+    // contract as the in-heap ring: once the segment is mapped and the
+    // drain scratch has grown to capacity, pushes and batched drains touch
+    // only the mapping — no heap traffic on either side.
+    let segment =
+        Arc::new(Segment::create(SegmentGeometry::for_beat_samples(64).unwrap()).unwrap());
+    let mut producer = ShmProducer::attach(Arc::clone(&segment)).unwrap();
+    let mut consumer = ShmConsumer::attach(Arc::clone(&segment)).unwrap();
+
+    let mut scratch = Vec::new();
+    let mut tag = 0u64;
+    let mut now = Timestamp::ZERO;
+    let push_quantum = |producer: &mut ShmProducer, tag: &mut u64, now: &mut Timestamp| {
+        for _ in 0..32 {
+            let latency = TimestampDelta::from_nanos(20_000_000 + (*tag * 7_919) % 10_000_000);
+            *now += latency;
+            producer
+                .try_push(BeatSample {
+                    tag: HeartbeatTag(*tag),
+                    timestamp: *now,
+                    latency,
+                })
+                .expect("ring sized for a full quantum");
+            *tag += 1;
+        }
+    };
+
+    // Warm: grow the scratch buffer to ring capacity.
+    for _ in 0..4 {
+        push_quantum(&mut producer, &mut tag, &mut now);
+        consumer.drain_into(&mut scratch);
+    }
+
+    let before = allocations();
+    let mut sink = 0u64;
+    for _ in 0..10_000 {
+        push_quantum(&mut producer, &mut tag, &mut now);
+        consumer.drain_into(&mut scratch);
+        sink += scratch.len() as u64 + scratch.last().map_or(0, |s| s.tag.value());
+        // The liveness probe the reaper runs each quantum is also
+        // allocation-free (it is a syscall plus two atomic loads).
+        sink += u64::from(consumer.producer_state().is_alive());
+    }
+    std::hint::black_box(sink);
+    assert_eq!(tag, (4 + 10_000) * 32, "every beat was pushed");
+    assert_eq!(
+        allocations() - before,
+        0,
+        "steady-state shm push/drain loop must not allocate"
     );
 }

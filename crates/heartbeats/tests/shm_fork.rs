@@ -1,0 +1,192 @@
+//! Fork-based cross-process tests of the shared-memory transport.
+//!
+//! These run the transport in its intended deployment shape: the segment
+//! is mapped in the *parent* (controller) process, a forked *child*
+//! (application) process attaches the producer side through the inherited
+//! mapping and beats, and the parent drains. The properties proven:
+//!
+//! * a child's beat stream arrives **lossless and in order**, both when
+//!   the parent drains concurrently (with backpressure cycling the ring)
+//!   and when the child fills the ring and exits before the first drain;
+//! * beats already published **survive the producer's death** — a child
+//!   killed mid-stream leaves a clean, drainable prefix;
+//! * the stale-PID liveness check detects the dead child.
+//!
+//! Child closures are fork-safe by construction: attach and `try_push`
+//! allocate nothing on their success paths (see
+//! `powerdial_heartbeats::shm::process` for why that matters after
+//! forking a multi-threaded test harness).
+
+#![cfg(unix)]
+
+use std::sync::Arc;
+
+use powerdial_heartbeats::channel::BeatSample;
+use powerdial_heartbeats::shm::process::{fork_child, ChildExit};
+use powerdial_heartbeats::shm::{Segment, SegmentGeometry, ShmConsumer, ShmProducer};
+use powerdial_heartbeats::{HeartbeatTag, Timestamp, TimestampDelta};
+
+/// The deterministic beat the child emits for sequence number `tag`.
+fn child_beat(tag: u64) -> BeatSample {
+    BeatSample {
+        tag: HeartbeatTag(tag),
+        timestamp: Timestamp::from_millis(tag * 40),
+        latency: TimestampDelta::from_millis(if tag == 0 { 0 } else { 40 }),
+    }
+}
+
+/// Child body: attach a producer to the inherited mapping and push beats
+/// `0..count`, spinning (bounded) while the ring is full. Returns the
+/// child's exit code: 0 on success, nonzero on attach failure or a ring
+/// that never drains.
+fn produce_n(segment: &Arc<Segment>, count: u64) -> i32 {
+    let Ok(mut producer) = ShmProducer::attach(Arc::clone(segment)) else {
+        return 1;
+    };
+    for tag in 0..count {
+        let mut sample = child_beat(tag);
+        // ~10s worth of retries at a nanosecond a spin: effectively
+        // "until drained", but a hung parent cannot hang the suite.
+        let mut retries: u64 = 10_000_000_000;
+        loop {
+            match producer.try_push(sample) {
+                Ok(()) => break,
+                Err(rejected) => {
+                    sample = rejected;
+                    retries -= 1;
+                    if retries == 0 {
+                        return 2;
+                    }
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+    0
+}
+
+fn fresh_segment(capacity: usize) -> Arc<Segment> {
+    Arc::new(Segment::create(SegmentGeometry::for_beat_samples(capacity).unwrap()).unwrap())
+}
+
+#[test]
+fn forked_child_stream_is_lossless_and_in_order() {
+    // A 64-slot ring carrying 500 beats: the child must cycle the ring
+    // ~8 times, exercising wraparound and cross-process backpressure.
+    const BEATS: u64 = 500;
+    let segment = fresh_segment(64);
+    let mut consumer = ShmConsumer::attach(Arc::clone(&segment)).unwrap();
+
+    let child = fork_child(|| produce_n(&segment, BEATS)).unwrap();
+
+    let mut scratch = Vec::new();
+    let mut received = 0u64;
+    while received < BEATS {
+        consumer.drain_into(&mut scratch);
+        for sample in &scratch {
+            assert_eq!(
+                *sample,
+                child_beat(received),
+                "beat {received} arrived corrupted or out of order"
+            );
+            received += 1;
+        }
+        std::hint::spin_loop();
+    }
+    assert_eq!(child.wait().unwrap(), ChildExit::Exited(0));
+    assert_eq!(consumer.drained(), BEATS);
+    assert!(consumer.is_empty());
+}
+
+#[test]
+fn beats_survive_child_exit_before_first_drain() {
+    // The child fills the ring exactly and exits; only then does the
+    // parent drain. The beats live in the segment, not the process.
+    let segment = fresh_segment(128);
+    let mut consumer = ShmConsumer::attach(Arc::clone(&segment)).unwrap();
+
+    let child = fork_child(|| produce_n(&segment, 128)).unwrap();
+    assert_eq!(child.wait().unwrap(), ChildExit::Exited(0));
+
+    // The producing process is gone; its published beats are not.
+    assert!(consumer.producer_state().is_dead());
+    let mut scratch = Vec::new();
+    assert_eq!(consumer.drain_into(&mut scratch), 128);
+    for (tag, sample) in scratch.iter().enumerate() {
+        assert_eq!(*sample, child_beat(tag as u64));
+    }
+}
+
+#[test]
+fn killed_child_leaves_a_clean_drainable_prefix() {
+    // The child streams forever; the parent drains a while, kills it
+    // mid-stream, and must still observe a gapless prefix plus a dead
+    // producer — the precondition the daemon's reaper acts on.
+    let segment = fresh_segment(64);
+    let mut consumer = ShmConsumer::attach(Arc::clone(&segment)).unwrap();
+
+    let child = fork_child(|| produce_n(&segment, u64::MAX)).unwrap();
+
+    let mut scratch = Vec::new();
+    let mut received = 0u64;
+    while received < 200 {
+        consumer.drain_into(&mut scratch);
+        for sample in &scratch {
+            assert_eq!(*sample, child_beat(received));
+            received += 1;
+        }
+        std::hint::spin_loop();
+    }
+    assert!(
+        consumer.producer_state().is_alive(),
+        "child streams until killed"
+    );
+    child.kill().unwrap();
+    assert!(matches!(child.wait().unwrap(), ChildExit::Signaled(_)));
+
+    // Everything the child managed to publish before SIGKILL is intact
+    // and in order; then the stream is over for good.
+    loop {
+        if consumer.drain_into(&mut scratch) == 0 {
+            break;
+        }
+        for sample in &scratch {
+            assert_eq!(*sample, child_beat(received));
+            received += 1;
+        }
+    }
+    assert!(received >= 200);
+    assert!(consumer.producer_state().is_dead());
+    assert_eq!(consumer.pending(), 0);
+}
+
+#[test]
+fn unrelated_process_attaches_by_path() {
+    // tmpfile backing: the child re-opens the segment *by path* instead of
+    // inheriting the parent's mapping — the attach path an unrelated
+    // (non-forked) controller process would use, run in reverse.
+    let geometry = SegmentGeometry::for_beat_samples(32).unwrap();
+    let created = Segment::create_tmpfile_in(std::env::temp_dir(), geometry).unwrap();
+    let path = created.path().unwrap().to_path_buf();
+    let parent_segment = Arc::new(created);
+    let mut consumer = ShmConsumer::attach(Arc::clone(&parent_segment)).unwrap();
+
+    let child = fork_child(move || {
+        // This child maps fresh state via the filesystem; allocation here
+        // is acceptable because this closure runs before any beat-path
+        // no-alloc claims and the suite tolerates the (tiny) deadlock
+        // risk the same way every fork-exec test harness does.
+        let Ok(segment) = Segment::open(&path) else {
+            return 1;
+        };
+        produce_n(&Arc::new(segment), 32)
+    })
+    .unwrap();
+    assert_eq!(child.wait().unwrap(), ChildExit::Exited(0));
+
+    let mut scratch = Vec::new();
+    assert_eq!(consumer.drain_into(&mut scratch), 32);
+    for (tag, sample) in scratch.iter().enumerate() {
+        assert_eq!(*sample, child_beat(tag as u64));
+    }
+}

@@ -1,0 +1,148 @@
+//! Property tests over the shared-memory slot layout.
+//!
+//! The unsafe layer's safety argument rests on two claims the properties
+//! here pin down for *all* accepted parameters, not just the hand-picked
+//! unit-test values:
+//!
+//! 1. **Round-trip fidelity**: any mix of beat records pushed through any
+//!    accepted geometry comes back bit-identical after
+//!    encode → mapped slot → decode, across arbitrary wraparound.
+//! 2. **Geometry invariants**: every geometry [`SegmentGeometry::new`]
+//!    accepts has power-of-two slots, a stride covering the record, slots
+//!    that never overlap the header or each other, and a total length the
+//!    mapping actually provides; every violation is rejected with a typed
+//!    error.
+
+use std::sync::Arc;
+
+use powerdial_heartbeats::channel::BeatSample;
+use powerdial_heartbeats::shm::{
+    Segment, SegmentGeometry, ShmBeatSample, ShmConsumer, ShmError, ShmProducer,
+    DEFAULT_SLOT_STRIDE, SEGMENT_HEADER_LEN,
+};
+use powerdial_heartbeats::{HeartbeatTag, Timestamp, TimestampDelta};
+use proptest::prelude::*;
+
+/// Builds a beat sample from three arbitrary 64-bit patterns.
+fn sample_from(tag: u64, timestamp: u64, latency: u64) -> BeatSample {
+    BeatSample {
+        tag: HeartbeatTag(tag),
+        timestamp: Timestamp::from_nanos(timestamp),
+        latency: TimestampDelta::from_nanos(latency),
+    }
+}
+
+proptest! {
+    /// Arbitrary record mixes round-trip bit-identically through an
+    /// arbitrary-capacity mapped segment, including across wraparound
+    /// (the stream is longer than the ring).
+    #[test]
+    fn records_round_trip_bit_identically(
+        capacity_exp in 0u32..8,
+        records in proptest::collection::vec(
+            (0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX),
+            1..96,
+        ),
+    ) {
+        let capacity = 1usize << capacity_exp;
+        let geometry = SegmentGeometry::for_beat_samples(capacity).unwrap();
+        let segment = Arc::new(Segment::create(geometry).unwrap());
+        let mut producer = ShmProducer::attach(Arc::clone(&segment)).unwrap();
+        let mut consumer = ShmConsumer::attach(Arc::clone(&segment)).unwrap();
+
+        let mut scratch = Vec::new();
+        let mut replayed = Vec::new();
+        for chunk in records.chunks(capacity) {
+            for &(tag, timestamp, latency) in chunk {
+                producer
+                    .try_push(sample_from(tag, timestamp, latency))
+                    .expect("chunk fits the ring");
+            }
+            consumer.drain_into(&mut scratch);
+            replayed.extend_from_slice(&scratch);
+        }
+
+        prop_assert_eq!(replayed.len(), records.len());
+        for (record, &(tag, timestamp, latency)) in replayed.iter().zip(&records) {
+            // Bit-identical: compare the raw u64 payloads, not rounded views.
+            prop_assert_eq!(record.tag.value(), tag);
+            prop_assert_eq!(record.timestamp.as_nanos(), timestamp);
+            prop_assert_eq!(record.latency.as_nanos(), latency);
+        }
+        prop_assert_eq!(producer.rejected(), 0);
+    }
+
+    /// The wire encoding itself is lossless for every bit pattern.
+    #[test]
+    fn wire_encoding_is_lossless(
+        tag in 0u64..u64::MAX,
+        timestamp in 0u64..u64::MAX,
+        latency in 0u64..u64::MAX,
+    ) {
+        let sample = sample_from(tag, timestamp, latency);
+        let decoded = ShmBeatSample::from_sample(sample).to_sample();
+        prop_assert_eq!(decoded, sample);
+    }
+
+    /// Geometry invariants hold for every accepted parameter triple, and
+    /// every rejection is the typed `BadGeometry` error.
+    #[test]
+    fn geometry_invariants_hold_for_all_accepted_parameters(
+        capacity in 1u64..10_000,
+        stride_units in 1u64..64,
+        record_size in 1u64..256,
+    ) {
+        let stride = stride_units * 8;
+        match SegmentGeometry::new(capacity, stride, record_size) {
+            Ok(geometry) => {
+                // Accepted ⇒ all invariants hold.
+                prop_assert!(geometry.capacity().is_power_of_two());
+                prop_assert!(geometry.slot_stride() >= geometry.record_size());
+                prop_assert_eq!(geometry.slot_stride() % 8, 0);
+                // Slot 0 clears the header; consecutive slots never overlap;
+                // the last slot fits the total length.
+                prop_assert!(geometry.slot_offset(0) >= SEGMENT_HEADER_LEN);
+                let record = geometry.record_size() as usize;
+                for index in 1..geometry.capacity().min(64) {
+                    prop_assert!(
+                        geometry.slot_offset(index) >= geometry.slot_offset(index - 1) + record
+                    );
+                }
+                let last = geometry.slot_offset(geometry.capacity() - 1);
+                prop_assert!(last + record <= geometry.total_len());
+                // Validation is idempotent on accepted geometries.
+                prop_assert!(geometry.validate().is_ok());
+            }
+            Err(ShmError::BadGeometry { .. }) => {
+                // Rejected ⇒ at least one invariant is genuinely violated.
+                prop_assert!(
+                    !capacity.is_power_of_two() || stride < record_size,
+                    "spurious rejection of capacity={} stride={} record={}",
+                    capacity,
+                    stride,
+                    record_size
+                );
+            }
+            Err(other) => {
+                return Err(proptest::TestCaseError::fail(format!(
+                    "unexpected error kind: {other}"
+                )));
+            }
+        }
+    }
+
+    /// The beat-sample constructor accepts every nonzero capacity and
+    /// rounds it to the next power of two without shrinking.
+    #[test]
+    fn beat_sample_geometry_rounds_up(capacity in 1usize..100_000) {
+        let geometry = SegmentGeometry::for_beat_samples(capacity).unwrap();
+        prop_assert!(geometry.capacity() >= capacity as u64);
+        prop_assert!(geometry.capacity().is_power_of_two());
+        prop_assert!(geometry.capacity() < 2 * capacity as u64);
+        prop_assert_eq!(geometry.slot_stride(), DEFAULT_SLOT_STRIDE as u64);
+        prop_assert_eq!(
+            geometry.total_len(),
+            SEGMENT_HEADER_LEN + (geometry.capacity() * geometry.slot_stride()) as usize
+        );
+    }
+}

@@ -1,0 +1,192 @@
+//! The paper's deployment shape, end to end: an instrumented application
+//! in **one OS process** emits Application Heartbeats into a shared-memory
+//! segment, and the PowerDial controller in **another process** attaches
+//! to the segment, observes the heart rate, and actuates dynamic knobs.
+//!
+//! Concretely: the parent creates a memfd/mmap-backed segment (tmpfile
+//! fallback), registers its consumer side with a `PowerDialDaemon`, then
+//! forks. The child attaches the producer side through the inherited
+//! mapping and beats at ~20 beats/s against the controller's 30 beats/s
+//! target — too slow, so the daemon dials in faster knob settings. When
+//! the child exits, the parent's liveness check sees the stale PID and
+//! reaps the abandoned segment.
+//!
+//! Run with `cargo run --example shm_external_controller`.
+
+#[cfg(unix)]
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    use std::sync::Arc;
+
+    use powerdial::control::daemon::{DaemonConfig, PowerDialDaemon};
+    use powerdial::control::{ControllerConfig, RuntimeConfig};
+    use powerdial::heartbeats::channel::BeatSample;
+    use powerdial::heartbeats::shm::process::{fork_child, ChildExit};
+    use powerdial::heartbeats::shm::{Segment, SegmentGeometry, ShmConsumer, ShmProducer};
+    use powerdial::heartbeats::{HeartbeatTag, Timestamp, TimestampDelta};
+    use powerdial::knobs::{CalibrationPoint, ConfigParameter, KnobTable, ParameterSpace};
+    use powerdial::qos::{QosLoss, QosLossBound};
+
+    /// Beats the child application emits before exiting.
+    const CHILD_BEATS: u64 = 400;
+    /// The application's (simulated) uncontrolled heart rate: 50 ms/beat.
+    const BEAT_PERIOD_MS: u64 = 50;
+
+    // A synthetic calibrated knob table: five settings trading up to 4x
+    // speedup for up to 6% QoS loss (what `PowerDialSystem::build` would
+    // produce from a real calibration run).
+    let speedups = [1.0, 1.5, 2.0, 3.0, 4.0];
+    let values: Vec<f64> = (0..speedups.len()).map(|i| i as f64).collect();
+    let space = ParameterSpace::builder()
+        .parameter(ConfigParameter::new("sims", values, 0.0)?)
+        .build()?;
+    let points: Vec<CalibrationPoint> = speedups
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| CalibrationPoint {
+            setting_index: i,
+            setting: space.setting(i).unwrap(),
+            speedup: s,
+            qos_loss: QosLoss::new((s - 1.0) * 0.02),
+        })
+        .collect();
+    let table = KnobTable::from_points(points, 0, QosLossBound::UNBOUNDED)?;
+
+    // 1. Controller process: create the shared segment and attach the
+    //    consumer side before the application even exists.
+    let segment = Arc::new(Segment::create(SegmentGeometry::for_beat_samples(256)?)?);
+    println!(
+        "controller: created {} segment ({} bytes, {} slots)",
+        segment.backing_kind(),
+        segment.len(),
+        segment.geometry().capacity()
+    );
+    let consumer = ShmConsumer::attach(Arc::clone(&segment))?;
+
+    let mut daemon = PowerDialDaemon::new(DaemonConfig {
+        workers: 0,
+        channel_capacity: 256,
+        window_size: 20,
+    })?;
+    let config = RuntimeConfig::new(ControllerConfig::new(30.0, 30.0)?);
+    let app = daemon.register_shm(config, table, consumer)?;
+    println!(
+        "controller: registered shm app {:?} (target 30 beats/s)\n",
+        app.id()
+    );
+
+    // 2. Fork the application process. The child inherits the mapping,
+    //    attaches the producer side, and beats — it knows nothing about
+    //    the controller beyond the segment ABI.
+    let child = fork_child(|| {
+        let Ok(mut producer) = ShmProducer::attach(Arc::clone(&segment)) else {
+            return 1;
+        };
+        let mut now = Timestamp::ZERO;
+        for tag in 0..CHILD_BEATS {
+            let latency = TimestampDelta::from_millis(if tag == 0 { 0 } else { BEAT_PERIOD_MS });
+            now += latency;
+            let mut sample = BeatSample {
+                tag: HeartbeatTag(tag),
+                timestamp: now,
+                latency,
+            };
+            // Wait-free push with bounded spinning on backpressure.
+            let mut retries: u64 = 10_000_000_000;
+            loop {
+                match producer.try_push(sample) {
+                    Ok(()) => break,
+                    Err(rejected) => {
+                        sample = rejected;
+                        retries -= 1;
+                        if retries == 0 {
+                            return 2;
+                        }
+                        std::hint::spin_loop();
+                    }
+                }
+            }
+            // Pace the (simulated-time) stream against the real controller:
+            // after each 20-beat quantum, wait for the daemon to drain, so
+            // the printed control trajectory shows distinct quanta instead
+            // of one giant catch-up batch.
+            if tag % 20 == 19 {
+                let mut retries: u64 = 10_000_000_000;
+                while producer.in_flight() > 0 {
+                    retries -= 1;
+                    if retries == 0 {
+                        return 3;
+                    }
+                    std::hint::spin_loop();
+                }
+            }
+        }
+        0
+    })?;
+    println!(
+        "controller: forked application process (pid {})",
+        child.pid()
+    );
+
+    // 3. The control loop: drain the segment once per actuation quantum
+    //    and let the daemon decide. 20 beats/s observed against a 30
+    //    beats/s target forces the controller off the default setting.
+    //    The reaper doubles as the loop's liveness escape: if the
+    //    application dies early (for any reason), its segment drains dry,
+    //    `reap_dead` fires, and the controller stops waiting instead of
+    //    spinning forever.
+    let mut quantum = 0u64;
+    let mut reaped = Vec::new();
+    while app.beats_processed() < CHILD_BEATS && reaped.is_empty() {
+        let beats = daemon.tick();
+        if beats > 0 {
+            quantum += 1;
+            if quantum % 5 == 1 {
+                println!(
+                    "quantum {:>3}: {:>3} beats drained  gain {:>5.2}x  achieved {:>5.2}x  qos loss {:>6.3}%",
+                    quantum,
+                    beats,
+                    app.latest_gain().unwrap_or(1.0),
+                    app.achieved_speedup().unwrap_or(1.0),
+                    app.expected_qos_loss().unwrap_or(0.0) * 100.0,
+                );
+            }
+        }
+        reaped = daemon.reap_dead();
+        std::hint::spin_loop();
+    }
+    let status = child.wait()?;
+    if app.beats_processed() < CHILD_BEATS {
+        return Err(format!(
+            "application died early ({status:?}) after {} of {CHILD_BEATS} beats",
+            app.beats_processed()
+        )
+        .into());
+    }
+    assert_eq!(status, ChildExit::Exited(0));
+    println!(
+        "\ncontroller: application exited; {} beats processed, final gain {:.2}x",
+        app.beats_processed(),
+        app.latest_gain().unwrap_or(1.0)
+    );
+    assert!(
+        app.latest_gain().unwrap_or(1.0) > 1.0,
+        "a 20 beats/s app under a 30 beats/s target must be boosted"
+    );
+
+    // 4. Reap: the segment's producer PID is stale, the ring is drained —
+    //    the daemon lets go of the mapping. (The loop may already have
+    //    reaped if the exit won the race against the final drain.)
+    if reaped.is_empty() {
+        daemon.tick();
+        reaped = daemon.reap_dead();
+    }
+    println!("controller: reaped abandoned segments: {reaped:?}");
+    assert_eq!(reaped, vec![app.id()]);
+    assert_eq!(daemon.app_count(), 0);
+    Ok(())
+}
+
+#[cfg(not(unix))]
+fn main() {
+    eprintln!("shm_external_controller requires a Unix platform (fork + mmap)");
+}
