@@ -1,0 +1,186 @@
+//! Platform-level DVFS actuation through the [`DvfsBackend`] seam.
+//!
+//! The knob [`crate::Actuator`] trades application fidelity for speed; this
+//! module is its platform-side sibling: it turns capacity decisions into
+//! P-state changes on whatever backend the platform attached — the
+//! simulator in the experiments, sysfs/cpufreq on hardware (control-
+//! theoretic DVFS in the style of Cerf et al. and Xia et al. actuates
+//! through exactly this interface). Because every operation goes through
+//! the trait, the power-cap experiments run unmodified against either
+//! backend.
+
+use powerdial_platform::{DvfsBackend, FrequencyState, PowerCapSchedule};
+
+use powerdial_heartbeats::Timestamp;
+
+use crate::error::ControlError;
+
+/// Applies frequency decisions to a [`DvfsBackend`], tracking what it
+/// requested so redundant platform writes are skipped.
+///
+/// # Example
+///
+/// ```
+/// use powerdial_control::DvfsActuator;
+/// use powerdial_platform::{DvfsBackend, SimBackend};
+///
+/// # fn main() -> Result<(), powerdial_control::ControlError> {
+/// let mut backend = SimBackend::paper();
+/// let mut actuator = DvfsActuator::new();
+/// // Hold 80 % of peak capacity with the least power: 2.0 GHz on the
+/// // paper's ladder.
+/// let state = actuator.apply_capacity(&mut backend, 0.8)?;
+/// assert_eq!(state.khz(), 2_000_000);
+/// assert_eq!(backend.current_state().unwrap(), state);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DvfsActuator {
+    last_requested: Option<FrequencyState>,
+}
+
+impl DvfsActuator {
+    /// Creates an actuator that has not yet touched the platform.
+    pub fn new() -> Self {
+        DvfsActuator::default()
+    }
+
+    /// The state most recently requested through this actuator, if any.
+    pub fn last_requested(&self) -> Option<FrequencyState> {
+        self.last_requested
+    }
+
+    /// Requests the exact state `state` on the backend.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backend's typed [`powerdial_platform::PlatformError`]
+    /// as [`ControlError::Platform`].
+    pub fn apply_state(
+        &mut self,
+        backend: &mut dyn DvfsBackend,
+        state: FrequencyState,
+    ) -> Result<(), ControlError> {
+        backend.set_state(state)?;
+        self.last_requested = Some(state);
+        Ok(())
+    }
+
+    /// Picks the lowest-frequency state of the backend's table whose
+    /// relative capacity still meets `capacity` (the highest state when none
+    /// does) and applies it. Returns the state chosen.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backend's typed error as [`ControlError::Platform`].
+    pub fn apply_capacity(
+        &mut self,
+        backend: &mut dyn DvfsBackend,
+        capacity: f64,
+    ) -> Result<FrequencyState, ControlError> {
+        let state = backend.table().state_meeting_capacity(capacity);
+        self.apply_state(backend, state)?;
+        Ok(state)
+    }
+
+    /// Drives the backend to the state a [`PowerCapSchedule`] demands at
+    /// time `now`, skipping the platform write when the schedule still
+    /// demands what this actuator last requested *and* the backend still
+    /// reports that state — so state changed behind the backend's back
+    /// (another process, a thermal daemon) is re-asserted on the next
+    /// quantum instead of persisting silently. Returns the state in force.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backend's typed error as [`ControlError::Platform`].
+    /// Schedules must be built from the backend's own table; a foreign
+    /// state surfaces as
+    /// [`powerdial_platform::PlatformError::StateNotInTable`].
+    pub fn follow_schedule(
+        &mut self,
+        backend: &mut dyn DvfsBackend,
+        schedule: &PowerCapSchedule,
+        now: Timestamp,
+    ) -> Result<FrequencyState, ControlError> {
+        let state = schedule.state_at(now);
+        let still_in_force =
+            self.last_requested == Some(state) && backend.current_state().ok() == Some(state);
+        if !still_in_force {
+            self.apply_state(backend, state)?;
+        }
+        Ok(state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powerdial_platform::{FrequencyTable, PlatformError, SimBackend};
+
+    #[test]
+    fn apply_capacity_picks_the_slowest_sufficient_state() {
+        let mut backend = SimBackend::paper();
+        let mut actuator = DvfsActuator::new();
+        let state = actuator.apply_capacity(&mut backend, 2.0 / 3.0).unwrap();
+        assert_eq!(state.khz(), 1_600_000);
+        assert_eq!(backend.current_state().unwrap(), state);
+        let state = actuator.apply_capacity(&mut backend, 1.0).unwrap();
+        assert_eq!(state.khz(), 2_400_000);
+        assert_eq!(actuator.last_requested(), Some(state));
+    }
+
+    #[test]
+    fn follow_schedule_writes_only_on_change() {
+        let mut backend = SimBackend::paper();
+        let table = backend.table().clone();
+        let schedule = PowerCapSchedule::mid_run_cap(&table, Timestamp::from_secs(100));
+        let mut actuator = DvfsActuator::new();
+        for secs in 0..100 {
+            let state = actuator
+                .follow_schedule(&mut backend, &schedule, Timestamp::from_secs(secs))
+                .unwrap();
+            assert_eq!(backend.current_state().unwrap(), state);
+        }
+        // Uncapped → capped → uncapped: two transitions after the initial
+        // set, because unchanged quanta skip the platform write.
+        assert_eq!(backend.transitions(), 2);
+    }
+
+    #[test]
+    fn follow_schedule_reasserts_states_changed_behind_its_back() {
+        let mut backend = SimBackend::paper();
+        let table = backend.table().clone();
+        let schedule = PowerCapSchedule::constant(table.lowest());
+        let mut actuator = DvfsActuator::new();
+        actuator
+            .follow_schedule(&mut backend, &schedule, Timestamp::ZERO)
+            .unwrap();
+        assert_eq!(backend.current_state().unwrap(), table.lowest());
+
+        // Something else moves the platform; the actuator notices on the
+        // next quantum and re-asserts the schedule's state.
+        backend.set_state(table.highest()).unwrap();
+        let state = actuator
+            .follow_schedule(&mut backend, &schedule, Timestamp::from_secs(1))
+            .unwrap();
+        assert_eq!(state, table.lowest());
+        assert_eq!(backend.current_state().unwrap(), table.lowest());
+    }
+
+    #[test]
+    fn foreign_schedule_states_surface_as_typed_platform_errors() {
+        let mut backend = SimBackend::paper();
+        let foreign = FrequencyTable::new(vec![5_000_000]).unwrap();
+        let mut actuator = DvfsActuator::new();
+        let err = actuator
+            .apply_state(&mut backend, foreign.highest())
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ControlError::Platform(PlatformError::StateNotInTable { khz: 5_000_000 })
+        );
+        assert!(!err.to_string().is_empty());
+        assert_eq!(actuator.last_requested(), None);
+    }
+}

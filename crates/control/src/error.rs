@@ -39,6 +39,8 @@ pub enum ControlError {
     ZeroChannelCapacity,
     /// A daemon sliding-window size of zero heartbeats was requested.
     ZeroWindowSize,
+    /// The platform's DVFS backend rejected an actuation.
+    Platform(powerdial_platform::PlatformError),
 }
 
 impl fmt::Display for ControlError {
@@ -67,11 +69,25 @@ impl fmt::Display for ControlError {
             ControlError::ZeroWindowSize => {
                 write!(f, "daemon window size must be at least one heartbeat")
             }
+            ControlError::Platform(inner) => write!(f, "dvfs backend: {inner}"),
         }
     }
 }
 
-impl Error for ControlError {}
+impl Error for ControlError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ControlError::Platform(inner) => Some(inner),
+            _ => None,
+        }
+    }
+}
+
+impl From<powerdial_platform::PlatformError> for ControlError {
+    fn from(inner: powerdial_platform::PlatformError) -> Self {
+        ControlError::Platform(inner)
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -90,6 +106,9 @@ mod tests {
             },
             ControlError::ZeroChannelCapacity,
             ControlError::ZeroWindowSize,
+            ControlError::Platform(powerdial_platform::PlatformError::StateNotInTable {
+                khz: 3_000_000,
+            }),
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());

@@ -79,6 +79,7 @@
 mod actuator;
 mod controller;
 pub mod daemon;
+mod dvfs;
 mod error;
 pub mod naive;
 mod runtime;
@@ -90,6 +91,7 @@ pub use actuator::{
 };
 pub use controller::{ControllerConfig, HeartRateController};
 pub use daemon::{AppHandle, AppId, DaemonConfig, DaemonShard, DecisionView, PowerDialDaemon};
+pub use dvfs::DvfsActuator;
 pub use error::ControlError;
 pub use runtime::{
     IndexedDecision, PowerDialRuntime, RuntimeConfig, RuntimeDecision, DEFAULT_QUANTUM_HEARTBEATS,

@@ -3,10 +3,10 @@
 use serde::{Deserialize, Serialize};
 
 use powerdial_apps::KnobbedApplication;
-use powerdial_platform::{FrequencyState, PowerCapSchedule};
+use powerdial_platform::{FrequencyTable, PowerCapSchedule};
 
 use crate::error::PowerDialError;
-use crate::experiments::sim::{simulate_closed_loop, SimulationOptions};
+use crate::experiments::sim::{self, SimulationOptions};
 use crate::system::PowerDialSystem;
 
 /// One point of the Figure 6 sweep: the mean power and QoS loss observed when
@@ -36,10 +36,26 @@ pub fn frequency_sweep(
     system: &PowerDialSystem,
     options: SimulationOptions,
 ) -> Result<Vec<FrequencySweepPoint>, PowerDialError> {
+    frequency_sweep_over(app, system, &FrequencyTable::paper(), options)
+}
+
+/// [`frequency_sweep`] over an arbitrary backend table: one closed-loop run
+/// per table state, highest frequency first. The paper sweep is this
+/// function applied to [`FrequencyTable::paper`].
+///
+/// # Errors
+///
+/// Returns an error when a simulation cannot be configured.
+pub fn frequency_sweep_over(
+    app: &dyn KnobbedApplication,
+    system: &PowerDialSystem,
+    table: &FrequencyTable,
+    options: SimulationOptions,
+) -> Result<Vec<FrequencySweepPoint>, PowerDialError> {
     let mut points = Vec::new();
-    for state in FrequencyState::all() {
+    for state in table.states() {
         let schedule = PowerCapSchedule::constant(state);
-        let outcome = simulate_closed_loop(app, system, &schedule, options)?;
+        let outcome = sim::simulate_closed_loop_on(app, system, &schedule, table, options)?;
         points.push(FrequencySweepPoint {
             frequency_ghz: state.ghz(),
             mean_power_watts: outcome.mean_power_watts,

@@ -23,10 +23,13 @@ pub use consolidation::{
     consolidation_study, consolidation_study_live, ConsolidationPoint, ConsolidationStudy,
     LiveConsolidationOptions,
 };
-pub use frequency::{frequency_sweep, FrequencySweepPoint};
+pub use frequency::{frequency_sweep, frequency_sweep_over, FrequencySweepPoint};
 pub use inputs::{input_summary, InputSummaryRow};
-pub use power_cap::{power_cap_response, PowerCapSeries};
-pub use sim::{simulate_closed_loop, ClosedLoopOutcome, ClosedLoopStep, SimulationOptions};
+pub use power_cap::{power_cap_response, power_cap_response_on, PowerCapSeries};
+pub use sim::{
+    simulate_closed_loop, simulate_closed_loop_naive, ClosedLoopOutcome, ClosedLoopStep,
+    SimulationOptions,
+};
 pub use tradeoff::{tradeoff_analysis, TradeoffAnalysis, TradeoffPoint};
 
 /// Pearson correlation coefficient between two equally long samples.

@@ -4,10 +4,10 @@ use serde::{Deserialize, Serialize};
 
 use powerdial_apps::KnobbedApplication;
 use powerdial_heartbeats::Timestamp;
-use powerdial_platform::PowerCapSchedule;
+use powerdial_platform::{FrequencyTable, PowerCapSchedule};
 
 use crate::error::PowerDialError;
-use crate::experiments::sim::{simulate_closed_loop, ClosedLoopStep, SimulationOptions};
+use crate::experiments::sim::{simulate_closed_loop_on, ClosedLoopStep, SimulationOptions};
 use crate::system::PowerDialSystem;
 
 /// The Figure 7 time series: the same power-capped run executed with and
@@ -84,18 +84,36 @@ pub fn power_cap_response(
     system: &PowerDialSystem,
     options: SimulationOptions,
 ) -> Result<PowerCapSeries, PowerDialError> {
+    power_cap_response_on(app, system, &FrequencyTable::paper(), options)
+}
+
+/// [`power_cap_response`] on an arbitrary backend table: the cap drops the
+/// machine from the table's highest state to its lowest for the middle half
+/// of the run, whatever those frequencies are. The paper experiment is this
+/// function applied to [`FrequencyTable::paper`].
+///
+/// # Errors
+///
+/// Returns an error when a simulation cannot be configured.
+pub fn power_cap_response_on(
+    app: &dyn KnobbedApplication,
+    system: &PowerDialSystem,
+    table: &FrequencyTable,
+    options: SimulationOptions,
+) -> Result<PowerCapSeries, PowerDialError> {
     // At the baseline, one work unit takes one simulated second, so the
     // nominal run length in seconds equals the number of work units.
     let nominal_duration = Timestamp::from_secs(options.work_units as u64);
-    let schedule = PowerCapSchedule::paper_power_cap(nominal_duration);
+    let schedule = PowerCapSchedule::mid_run_cap(table, nominal_duration);
     let cap_imposed_at_secs = nominal_duration.as_secs_f64() * 0.25;
     let cap_lifted_at_secs = nominal_duration.as_secs_f64() * 0.75;
 
-    let with_knobs = simulate_closed_loop(app, system, &schedule, options)?;
-    let without_knobs = simulate_closed_loop(
+    let with_knobs = simulate_closed_loop_on(app, system, &schedule, table, options)?;
+    let without_knobs = simulate_closed_loop_on(
         app,
         system,
         &schedule,
+        table,
         SimulationOptions {
             use_dynamic_knobs: false,
             ..options

@@ -10,8 +10,9 @@
 use serde::{Deserialize, Serialize};
 
 use powerdial_apps::{InputSet, KnobbedApplication};
+use powerdial_control::DvfsActuator;
 use powerdial_heartbeats::{HeartbeatMonitor, MonitorConfig};
-use powerdial_platform::{PowerCapSchedule, PowerModel, SimMachine};
+use powerdial_platform::{FrequencyTable, PowerCapSchedule, PowerModel, SimMachine};
 use powerdial_qos::QosLoss;
 
 use crate::error::PowerDialError;
@@ -113,6 +114,25 @@ pub fn simulate_closed_loop(
     schedule: &PowerCapSchedule,
     options: SimulationOptions,
 ) -> Result<ClosedLoopOutcome, PowerDialError> {
+    simulate_closed_loop_on(app, system, schedule, &FrequencyTable::paper(), options)
+}
+
+/// [`simulate_closed_loop`] on a machine whose DVFS backend runs `table`
+/// instead of the paper's seven states. The schedule's states must come
+/// from `table`; a foreign state surfaces as a typed
+/// [`powerdial_platform::PlatformError::StateNotInTable`] through the
+/// backend seam.
+///
+/// # Errors
+///
+/// As for [`simulate_closed_loop`], plus the foreign-state rejection above.
+pub fn simulate_closed_loop_on(
+    app: &dyn KnobbedApplication,
+    system: &PowerDialSystem,
+    schedule: &PowerCapSchedule,
+    table: &FrequencyTable,
+    options: SimulationOptions,
+) -> Result<ClosedLoopOutcome, PowerDialError> {
     let production_inputs = app.input_count(InputSet::Production);
     if production_inputs == 0 {
         return Err(PowerDialError::NoTrainingInputs {
@@ -132,7 +152,121 @@ pub fn simulate_closed_loop(
     // The machine processes exactly one baseline work unit per second at its
     // highest frequency, so the baseline heart rate (and the target) is
     // 1 beat per second.
-    let mut machine = SimMachine::new(app.name(), PowerModel::poweredge_r410(), mean_baseline_work);
+    let mut machine = SimMachine::with_table(
+        app.name(),
+        PowerModel::poweredge_r410(),
+        mean_baseline_work,
+        table.clone(),
+    );
+    let target_rate = machine.base_work_rate() / mean_baseline_work;
+
+    let monitor_config = MonitorConfig::new(app.name())
+        .with_window_size(options.window_size)
+        .with_target_rate_range(target_rate, target_rate)?;
+    let mut monitor = HeartbeatMonitor::new(monitor_config);
+
+    let mut runtime = if options.use_dynamic_knobs {
+        Some(system.runtime(target_rate, target_rate)?)
+    } else {
+        None
+    };
+
+    let comparator = app.qos_comparator();
+    let baseline_point = system.knob_table().baseline().clone();
+
+    let mut steps = Vec::with_capacity(options.work_units);
+    let mut total_qos_loss = 0.0;
+
+    // The power-cap schedule actuates through the machine's DvfsBackend —
+    // the same seam a sysfs/cpufreq backend plugs into on hardware.
+    let mut dvfs = DvfsActuator::new();
+
+    for unit in 0..options.work_units {
+        let now = machine.now();
+        dvfs.follow_schedule(machine.dvfs_backend_mut(), schedule, now)?;
+
+        let observed_rate = monitor.window_rate().map(|r| r.beats_per_second());
+        let (point, gain) = match runtime.as_mut() {
+            Some(runtime) => {
+                let decision = runtime.on_heartbeat(observed_rate);
+                (decision.point, decision.gain)
+            }
+            None => (baseline_point.clone(), 1.0),
+        };
+
+        let input_index = unit % production_inputs;
+        let result = app.run_input(InputSet::Production, input_index, &point.setting);
+        let latency = machine.execute_work(result.work);
+        let record = monitor.heartbeat(machine.now());
+
+        let qos_loss = comparator
+            .qos_loss(&baseline[input_index].output, &result.output)
+            .unwrap_or(QosLoss::ZERO)
+            .value();
+        total_qos_loss += qos_loss;
+
+        steps.push(ClosedLoopStep {
+            time_secs: machine.now().as_secs_f64(),
+            latency_secs: latency.as_secs_f64(),
+            normalized_performance: record
+                .window_rate
+                .map(|rate| rate.beats_per_second() / target_rate),
+            knob_gain: gain,
+            qos_loss,
+            frequency_ghz: machine.frequency().ghz(),
+        });
+    }
+
+    let duration_secs = machine.now().as_secs_f64();
+    Ok(ClosedLoopOutcome {
+        target_rate,
+        mean_power_watts: machine
+            .energy()
+            .mean_watts()
+            .unwrap_or_else(|| machine.power_model().idle_watts()),
+        mean_qos_loss: total_qos_loss / options.work_units.max(1) as f64,
+        total_energy_joules: machine.energy().total_joules(),
+        duration_secs,
+        steps,
+    })
+}
+
+/// The pre-backend closed loop, frozen for equivalence testing: drives the
+/// preserved [`powerdial_platform::naive`] machine and schedule by calling
+/// `set_frequency` directly, exactly as the loop did before the
+/// [`powerdial_platform::backend::DvfsBackend`] seam existed.
+///
+/// The `backend_equivalence` integration test runs this against
+/// [`simulate_closed_loop`] and asserts bit-identical trajectories. New code
+/// should never call it.
+///
+/// # Errors
+///
+/// As for [`simulate_closed_loop`].
+pub fn simulate_closed_loop_naive(
+    app: &dyn KnobbedApplication,
+    system: &PowerDialSystem,
+    schedule: &powerdial_platform::naive::PowerCapSchedule,
+    options: SimulationOptions,
+) -> Result<ClosedLoopOutcome, PowerDialError> {
+    use powerdial_platform::naive::SimMachine as NaiveSimMachine;
+
+    let production_inputs = app.input_count(InputSet::Production);
+    if production_inputs == 0 {
+        return Err(PowerDialError::NoTrainingInputs {
+            application: app.name().to_string(),
+        });
+    }
+
+    let baseline_setting = system.knob_table().baseline_setting().clone();
+    let baseline: Vec<_> = (0..production_inputs)
+        .map(|index| app.run_input(InputSet::Production, index, &baseline_setting))
+        .collect();
+    let mean_baseline_work =
+        baseline.iter().map(|r| r.work).sum::<f64>() / production_inputs as f64;
+
+    let mut machine =
+        NaiveSimMachine::new(app.name(), PowerModel::poweredge_r410(), mean_baseline_work);
     let target_rate = machine.base_work_rate() / mean_baseline_work;
 
     let monitor_config = MonitorConfig::new(app.name())

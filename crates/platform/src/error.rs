@@ -26,6 +26,11 @@ pub enum PlatformError {
         /// The offending utilization.
         utilization: f64,
     },
+    /// A relative capacity value is outside `(0, 1]`.
+    InvalidCapacity {
+        /// The offending capacity.
+        capacity: f64,
+    },
     /// The cluster was asked to provision zero machines.
     EmptyCluster,
     /// A load trace was built with no segments.
@@ -34,6 +39,60 @@ pub enum PlatformError {
     InvalidWork {
         /// The offending work amount.
         work: f64,
+    },
+    /// A frequency table is empty, lists a zero frequency, or cannot be
+    /// parsed from `scaling_available_frequencies`.
+    InvalidFrequencyTable {
+        /// What was wrong with the table.
+        detail: String,
+    },
+    /// Two CPUs of the same backend advertise different frequency tables;
+    /// the backend refuses to attach rather than actuate half the package.
+    FrequencyTableMismatch {
+        /// The CPU whose table differs from cpu0's.
+        cpu: String,
+    },
+    /// Two CPUs of the same backend run different governors, so one write
+    /// path cannot serve the whole package; the backend refuses to attach.
+    GovernorMismatch {
+        /// The CPU whose governor differs from cpu0's.
+        cpu: String,
+    },
+    /// A frequency state from a different table was passed to a backend;
+    /// the backend cannot actuate states it did not enumerate.
+    StateNotInTable {
+        /// The rejected state's frequency in kHz.
+        khz: u64,
+    },
+    /// A sysfs entry the backend requires does not exist (for example
+    /// `scaling_setspeed` under the `userspace` governor).
+    MissingSysfsEntry {
+        /// The missing path.
+        path: String,
+    },
+    /// Reading or writing a sysfs file failed (permissions, I/O error).
+    SysfsIo {
+        /// The file involved.
+        path: String,
+        /// Whether the backend was reading or writing.
+        op: &'static str,
+        /// The underlying I/O error.
+        detail: String,
+    },
+    /// A sysfs file held text that is not a frequency in kHz.
+    InvalidSysfsValue {
+        /// The file involved.
+        path: String,
+        /// The unparsable contents.
+        value: String,
+    },
+    /// The platform reports a frequency outside the backend's table — or
+    /// diverging from what the backend programmed: the state was changed
+    /// behind the backend's back (another governor, another process, or
+    /// firmware).
+    StateDrift {
+        /// The unexpected frequency observed, in kHz.
+        khz: u64,
     },
 }
 
@@ -53,11 +112,40 @@ impl fmt::Display for PlatformError {
             PlatformError::InvalidUtilization { utilization } => {
                 write!(f, "utilization must be in [0, 1], got {utilization}")
             }
+            PlatformError::InvalidCapacity { capacity } => {
+                write!(f, "relative capacity must be in (0, 1], got {capacity}")
+            }
             PlatformError::EmptyCluster => write!(f, "a cluster needs at least one machine"),
             PlatformError::EmptyLoadTrace => write!(f, "a load trace needs at least one segment"),
             PlatformError::InvalidWork { work } => {
                 write!(f, "work must be positive and finite, got {work}")
             }
+            PlatformError::InvalidFrequencyTable { detail } => {
+                write!(f, "invalid frequency table: {detail}")
+            }
+            PlatformError::FrequencyTableMismatch { cpu } => {
+                write!(f, "{cpu} advertises a different frequency table than cpu0")
+            }
+            PlatformError::GovernorMismatch { cpu } => {
+                write!(f, "{cpu} runs a different governor than cpu0")
+            }
+            PlatformError::StateNotInTable { khz } => {
+                write!(f, "frequency state {khz} kHz is not in the backend's table")
+            }
+            PlatformError::MissingSysfsEntry { path } => {
+                write!(f, "required sysfs entry {path} does not exist")
+            }
+            PlatformError::SysfsIo { path, op, detail } => {
+                write!(f, "failed to {op} {path}: {detail}")
+            }
+            PlatformError::InvalidSysfsValue { path, value } => {
+                write!(f, "{path} holds {value:?}, not a frequency in kHz")
+            }
+            PlatformError::StateDrift { khz } => write!(
+                f,
+                "platform reports {khz} kHz, which is not what the backend programmed; \
+                 the state was changed behind our back"
+            ),
         }
     }
 }
@@ -77,9 +165,29 @@ mod tests {
                 max_watts: 50.0,
             },
             PlatformError::InvalidUtilization { utilization: 1.5 },
+            PlatformError::InvalidCapacity { capacity: -0.5 },
             PlatformError::EmptyCluster,
             PlatformError::EmptyLoadTrace,
             PlatformError::InvalidWork { work: -2.0 },
+            PlatformError::InvalidFrequencyTable {
+                detail: "no frequencies".into(),
+            },
+            PlatformError::FrequencyTableMismatch { cpu: "cpu3".into() },
+            PlatformError::GovernorMismatch { cpu: "cpu1".into() },
+            PlatformError::StateNotInTable { khz: 3_000_000 },
+            PlatformError::MissingSysfsEntry {
+                path: "/sys/.../scaling_setspeed".into(),
+            },
+            PlatformError::SysfsIo {
+                path: "/sys/.../scaling_max_freq".into(),
+                op: "write",
+                detail: "permission denied".into(),
+            },
+            PlatformError::InvalidSysfsValue {
+                path: "/sys/.../scaling_cur_freq".into(),
+                value: "<unsupported>".into(),
+            },
+            PlatformError::StateDrift { khz: 999_999 },
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());

@@ -1,4 +1,14 @@
-//! DVFS frequency states and the software governor controlling them.
+//! DVFS frequency tables, table-relative frequency states, and the software
+//! governor controlling them.
+//!
+//! Before the backend refactor the seven frequencies of the paper's
+//! evaluation platform were a global ladder baked into [`FrequencyState`].
+//! They are now just one [`FrequencyTable`] among many
+//! ([`FrequencyTable::paper`]): a backend discovers its own table at attach
+//! time (the simulator uses the paper table by default; the sysfs backend
+//! parses `scaling_available_frequencies`), and every state it hands out is
+//! relative to that table. The paper-ladder constructors on
+//! [`FrequencyState`] remain as conveniences for the simulated experiments.
 
 use std::fmt;
 
@@ -10,7 +20,299 @@ use crate::error::PlatformError;
 /// first (2.4 GHz down to 1.6 GHz).
 pub const DVFS_FREQUENCIES_GHZ: [f64; 7] = [2.4, 2.26, 2.13, 2.0, 1.86, 1.73, 1.6];
 
-/// One discrete DVFS state (a P-state of the simulated processor).
+/// The same seven steps in kHz (the unit cpufreq's sysfs files use).
+pub const DVFS_FREQUENCIES_KHZ: [u64; 7] = [
+    2_400_000, 2_260_000, 2_130_000, 2_000_000, 1_860_000, 1_730_000, 1_600_000,
+];
+
+const KHZ_PER_GHZ: f64 = 1e6;
+
+/// A discrete ladder of DVFS frequencies, highest first.
+///
+/// A table is what a [`crate::backend::DvfsBackend`] discovers at attach
+/// time: the set of P-states the platform can actually run. All frequencies
+/// are stored in kHz (cpufreq's native unit), strictly descending, with
+/// duplicates removed.
+///
+/// # Example
+///
+/// ```
+/// use powerdial_platform::FrequencyTable;
+///
+/// let table = FrequencyTable::paper();
+/// assert_eq!(table.len(), 7);
+/// assert_eq!(table.highest().ghz(), 2.4);
+/// assert_eq!(table.lowest().ghz(), 1.6);
+/// assert_eq!(table.nearest_state(1_999_000).khz(), 2_000_000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(try_from = "Vec<u64>", into = "Vec<u64>")]
+pub struct FrequencyTable {
+    // Invariant: non-empty, strictly descending, no zeros — established by
+    // `new` and relied on by `highest`/`lowest`/`nearest_state`. The serde
+    // attributes round-trip the table through the bare kHz list so a
+    // hand-edited payload cannot bypass the validating constructor (the
+    // vendored serde stub ignores them; they bind if the real crate is
+    // ever restored).
+    khz: Vec<u64>,
+}
+
+impl TryFrom<Vec<u64>> for FrequencyTable {
+    type Error = PlatformError;
+
+    fn try_from(khz: Vec<u64>) -> Result<Self, PlatformError> {
+        FrequencyTable::new(khz)
+    }
+}
+
+impl From<FrequencyTable> for Vec<u64> {
+    fn from(table: FrequencyTable) -> Vec<u64> {
+        table.khz
+    }
+}
+
+impl FrequencyTable {
+    /// Creates a table from frequencies in kHz (any order; duplicates are
+    /// collapsed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::InvalidFrequencyTable`] when the list is
+    /// empty or contains a zero frequency.
+    pub fn new(mut frequencies_khz: Vec<u64>) -> Result<Self, PlatformError> {
+        if frequencies_khz.is_empty() {
+            return Err(PlatformError::InvalidFrequencyTable {
+                detail: "no frequencies".to_string(),
+            });
+        }
+        if frequencies_khz.contains(&0) {
+            return Err(PlatformError::InvalidFrequencyTable {
+                detail: "zero frequency".to_string(),
+            });
+        }
+        frequencies_khz.sort_unstable_by(|a, b| b.cmp(a));
+        frequencies_khz.dedup();
+        Ok(FrequencyTable {
+            khz: frequencies_khz,
+        })
+    }
+
+    /// Creates a table from frequencies in GHz.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::InvalidFrequencyTable`] when the list is
+    /// empty or a frequency is not positive and finite.
+    pub fn from_ghz(frequencies_ghz: &[f64]) -> Result<Self, PlatformError> {
+        let mut khz = Vec::with_capacity(frequencies_ghz.len());
+        for &ghz in frequencies_ghz {
+            if !ghz.is_finite() || ghz <= 0.0 {
+                return Err(PlatformError::InvalidFrequencyTable {
+                    detail: format!("frequency {ghz} GHz is not positive and finite"),
+                });
+            }
+            khz.push((ghz * KHZ_PER_GHZ).round() as u64);
+        }
+        FrequencyTable::new(khz)
+    }
+
+    /// The paper platform's table: seven states from 2.4 GHz to 1.6 GHz.
+    pub fn paper() -> Self {
+        FrequencyTable {
+            khz: DVFS_FREQUENCIES_KHZ.to_vec(),
+        }
+    }
+
+    /// Parses a `scaling_available_frequencies` line: whitespace-separated
+    /// kHz values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::InvalidFrequencyTable`] when the text is
+    /// empty, contains a non-numeric token, or lists a zero frequency.
+    pub fn parse(text: &str) -> Result<Self, PlatformError> {
+        let mut khz = Vec::new();
+        for token in text.split_whitespace() {
+            let value = token
+                .parse::<u64>()
+                .map_err(|_| PlatformError::InvalidFrequencyTable {
+                    detail: format!("unparsable frequency {token:?}"),
+                })?;
+            khz.push(value);
+        }
+        FrequencyTable::new(khz)
+    }
+
+    /// Formats the table as a `scaling_available_frequencies` line
+    /// (space-separated kHz, highest first); [`FrequencyTable::parse`]
+    /// round-trips it.
+    pub fn format(&self) -> String {
+        let mut out = String::new();
+        for (i, khz) in self.khz.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(&khz.to_string());
+        }
+        out
+    }
+
+    /// Number of states in the table (always at least one).
+    #[allow(clippy::len_without_is_empty)] // tables are never empty
+    pub fn len(&self) -> usize {
+        self.khz.len()
+    }
+
+    /// The frequencies in kHz, highest first.
+    pub fn khz(&self) -> &[u64] {
+        &self.khz
+    }
+
+    /// The highest frequency in kHz.
+    pub fn max_khz(&self) -> u64 {
+        self.khz[0]
+    }
+
+    /// The lowest frequency in kHz.
+    pub fn min_khz(&self) -> u64 {
+        self.khz[self.khz.len() - 1]
+    }
+
+    /// The state at ladder index `index` (0 = highest frequency).
+    pub fn state(&self, index: usize) -> Option<FrequencyState> {
+        self.khz.get(index).map(|&khz| FrequencyState {
+            index,
+            khz,
+            max_khz: self.max_khz(),
+        })
+    }
+
+    /// The highest-frequency state.
+    pub fn highest(&self) -> FrequencyState {
+        self.state(0).expect("tables are never empty")
+    }
+
+    /// The lowest-frequency state.
+    pub fn lowest(&self) -> FrequencyState {
+        self.state(self.khz.len() - 1)
+            .expect("tables are never empty")
+    }
+
+    /// All states, highest frequency first.
+    pub fn states(&self) -> impl Iterator<Item = FrequencyState> + '_ {
+        (0..self.khz.len()).map(|index| self.state(index).expect("index in range"))
+    }
+
+    /// The state running at exactly `khz`, if the table lists it.
+    pub fn state_for_khz(&self, khz: u64) -> Option<FrequencyState> {
+        self.khz
+            .iter()
+            .position(|&f| f == khz)
+            .and_then(|index| self.state(index))
+    }
+
+    /// The table state closest to `khz`. Total over all inputs; ties break
+    /// toward the higher frequency, so the lookup is monotone in `khz`.
+    pub fn nearest_state(&self, khz: u64) -> FrequencyState {
+        let mut best = 0;
+        let mut best_distance = u64::MAX;
+        for (index, &candidate) in self.khz.iter().enumerate() {
+            let distance = candidate.abs_diff(khz);
+            // `<` (not `<=`) keeps the earlier — higher-frequency — entry on
+            // ties.
+            if distance < best_distance {
+                best = index;
+                best_distance = distance;
+            }
+        }
+        self.state(best).expect("tables are never empty")
+    }
+
+    /// The lowest-frequency state whose relative capacity still meets
+    /// `capacity`, or the highest state when none does (including for NaN
+    /// requests). This is the state a DVFS actuator picks to satisfy a
+    /// required capacity with the least power.
+    pub fn state_meeting_capacity(&self, capacity: f64) -> FrequencyState {
+        for index in (0..self.khz.len()).rev() {
+            let state = self.state(index).expect("index in range");
+            if state.capacity() >= capacity {
+                return state;
+            }
+        }
+        self.highest()
+    }
+
+    /// True when `state` was produced by (a table equal to) this table.
+    pub fn contains(&self, state: FrequencyState) -> bool {
+        state.max_khz == self.max_khz()
+            && self
+                .khz
+                .get(state.index)
+                .is_some_and(|&khz| khz == state.khz)
+    }
+
+    /// The membership check every backend applies before actuating.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::StateNotInTable`] when `state` is not from
+    /// this table.
+    pub fn ensure_contains(&self, state: FrequencyState) -> Result<(), PlatformError> {
+        if self.contains(state) {
+            Ok(())
+        } else {
+            Err(PlatformError::StateNotInTable { khz: state.khz() })
+        }
+    }
+
+    /// The next lower-frequency state, or `None` at the bottom of the ladder
+    /// or when `state` is not from this table.
+    pub fn step_down(&self, state: FrequencyState) -> Option<FrequencyState> {
+        if !self.contains(state) {
+            return None;
+        }
+        self.state(state.index + 1)
+    }
+
+    /// The next higher-frequency state, or `None` at the top of the ladder
+    /// or when `state` is not from this table.
+    pub fn step_up(&self, state: FrequencyState) -> Option<FrequencyState> {
+        if !self.contains(state) {
+            return None;
+        }
+        state
+            .index
+            .checked_sub(1)
+            .and_then(|index| self.state(index))
+    }
+}
+
+impl Default for FrequencyTable {
+    fn default() -> Self {
+        FrequencyTable::paper()
+    }
+}
+
+impl fmt::Display for FrequencyTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} states, {} .. {}",
+            self.len(),
+            self.lowest(),
+            self.highest()
+        )
+    }
+}
+
+/// One discrete DVFS state (a P-state), relative to the [`FrequencyTable`]
+/// it came from.
+///
+/// A state carries its ladder index, its own frequency, and the table's
+/// highest frequency, so frequency- and capacity-derived quantities need no
+/// table lookup on the hot path. States are produced by a table (or by the
+/// paper-ladder conveniences below); backends reject states from foreign
+/// tables with [`PlatformError::StateNotInTable`].
 ///
 /// # Example
 ///
@@ -26,36 +328,51 @@ pub const DVFS_FREQUENCIES_GHZ: [f64; 7] = [2.4, 2.26, 2.13, 2.0, 1.86, 1.73, 1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct FrequencyState {
     index: usize,
+    khz: u64,
+    max_khz: u64,
 }
 
 impl FrequencyState {
-    /// The highest-frequency (highest-power) state: 2.4 GHz.
+    /// The paper table's highest-frequency (highest-power) state: 2.4 GHz.
     pub const fn highest() -> Self {
-        FrequencyState { index: 0 }
+        FrequencyState {
+            index: 0,
+            khz: DVFS_FREQUENCIES_KHZ[0],
+            max_khz: DVFS_FREQUENCIES_KHZ[0],
+        }
     }
 
-    /// The lowest-frequency (lowest-power) state: 1.6 GHz.
+    /// The paper table's lowest-frequency (lowest-power) state: 1.6 GHz.
     pub const fn lowest() -> Self {
         FrequencyState {
-            index: DVFS_FREQUENCIES_GHZ.len() - 1,
+            index: DVFS_FREQUENCIES_KHZ.len() - 1,
+            khz: DVFS_FREQUENCIES_KHZ[DVFS_FREQUENCIES_KHZ.len() - 1],
+            max_khz: DVFS_FREQUENCIES_KHZ[0],
         }
     }
 
-    /// All states from highest to lowest frequency.
+    /// All paper-table states from highest to lowest frequency.
     pub fn all() -> impl Iterator<Item = FrequencyState> {
-        (0..DVFS_FREQUENCIES_GHZ.len()).map(|index| FrequencyState { index })
+        (0..DVFS_FREQUENCIES_KHZ.len()).map(|index| FrequencyState {
+            index,
+            khz: DVFS_FREQUENCIES_KHZ[index],
+            max_khz: DVFS_FREQUENCIES_KHZ[0],
+        })
     }
 
-    /// The state with the given ladder index (0 = highest frequency).
+    /// The paper-table state with the given ladder index (0 = highest
+    /// frequency). Allocation-free, like the other paper-ladder
+    /// conveniences.
     pub fn from_index(index: usize) -> Option<Self> {
-        if index < DVFS_FREQUENCIES_GHZ.len() {
-            Some(FrequencyState { index })
-        } else {
-            None
-        }
+        (index < DVFS_FREQUENCIES_KHZ.len()).then(|| FrequencyState {
+            index,
+            khz: DVFS_FREQUENCIES_KHZ[index],
+            max_khz: DVFS_FREQUENCIES_KHZ[0],
+        })
     }
 
-    /// The state running at exactly `ghz`, if it exists on the ladder.
+    /// The paper-table state running at exactly `ghz`, if it exists on the
+    /// ladder.
     ///
     /// # Errors
     ///
@@ -64,37 +381,36 @@ impl FrequencyState {
         DVFS_FREQUENCIES_GHZ
             .iter()
             .position(|&f| (f - ghz).abs() < 1e-9)
-            .map(|index| FrequencyState { index })
+            .and_then(FrequencyState::from_index)
             .ok_or(PlatformError::UnsupportedFrequency { ghz })
     }
 
-    /// The ladder index (0 = highest frequency).
+    /// The ladder index in the state's table (0 = highest frequency).
     pub const fn index(self) -> usize {
         self.index
     }
 
+    /// The clock frequency in kHz.
+    pub const fn khz(self) -> u64 {
+        self.khz
+    }
+
+    /// The highest frequency of the state's table, in kHz.
+    pub const fn table_max_khz(self) -> u64 {
+        self.max_khz
+    }
+
     /// The clock frequency in GHz.
     pub fn ghz(self) -> f64 {
-        DVFS_FREQUENCIES_GHZ[self.index]
+        self.khz as f64 / KHZ_PER_GHZ
     }
 
-    /// The delivered computational capacity relative to the highest state
-    /// (1.0 at 2.4 GHz, 2/3 at 1.6 GHz). CPU-bound work slows by exactly this
-    /// factor, matching the paper's `t2 = (f_nodvfs / f_dvfs) · t1` model.
+    /// The delivered computational capacity relative to the table's highest
+    /// state (1.0 at the top of the ladder, `f / f_max` below it). CPU-bound
+    /// work slows by exactly this factor, matching the paper's
+    /// `t2 = (f_nodvfs / f_dvfs) · t1` model.
     pub fn capacity(self) -> f64 {
-        self.ghz() / DVFS_FREQUENCIES_GHZ[0]
-    }
-
-    /// The next lower-frequency state, if any.
-    pub fn step_down(self) -> Option<FrequencyState> {
-        FrequencyState::from_index(self.index + 1)
-    }
-
-    /// The next higher-frequency state, if any.
-    pub fn step_up(self) -> Option<FrequencyState> {
-        self.index
-            .checked_sub(1)
-            .map(|index| FrequencyState { index })
+        self.ghz() / (self.max_khz as f64 / KHZ_PER_GHZ)
     }
 }
 
@@ -113,7 +429,10 @@ impl fmt::Display for FrequencyState {
 /// The software frequency governor (the simulated `cpufrequtils`).
 ///
 /// The governor tracks the current state and a history of transitions so
-/// experiments can audit when power caps were imposed and lifted.
+/// experiments can audit when power caps were imposed and lifted. It is
+/// table-agnostic: it records whatever state it is handed; table membership
+/// is enforced one layer up, by the [`crate::backend::DvfsBackend`] driving
+/// it.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct DvfsGovernor {
     state: FrequencyState,
@@ -121,9 +440,18 @@ pub struct DvfsGovernor {
 }
 
 impl DvfsGovernor {
-    /// Creates a governor starting in the highest-frequency state.
+    /// Creates a governor starting in the paper table's highest-frequency
+    /// state.
     pub fn new() -> Self {
         DvfsGovernor::default()
+    }
+
+    /// Creates a governor starting in the given state.
+    pub fn starting_at(state: FrequencyState) -> Self {
+        DvfsGovernor {
+            state,
+            transitions: 0,
+        }
     }
 
     /// The current frequency state.
@@ -139,7 +467,7 @@ impl DvfsGovernor {
         self.state = state;
     }
 
-    /// Sets the frequency by value in GHz.
+    /// Sets the frequency by value in GHz (paper table).
     ///
     /// # Errors
     ///
@@ -169,6 +497,18 @@ mod tests {
     }
 
     #[test]
+    fn khz_derived_ghz_is_bit_identical_to_the_old_literals() {
+        // The pre-backend ladder stored GHz literals; states now derive GHz
+        // from kHz. The equivalence suite relies on the two being the same
+        // f64 bit for bit.
+        for (state, literal) in FrequencyState::all().zip(DVFS_FREQUENCIES_GHZ) {
+            assert_eq!(state.ghz().to_bits(), literal.to_bits());
+            let old_capacity = literal / DVFS_FREQUENCIES_GHZ[0];
+            assert_eq!(state.capacity().to_bits(), old_capacity.to_bits());
+        }
+    }
+
+    #[test]
     fn capacity_is_relative_to_highest_state() {
         assert_eq!(FrequencyState::highest().capacity(), 1.0);
         assert!((FrequencyState::lowest().capacity() - 2.0 / 3.0).abs() < 1e-9);
@@ -191,18 +531,107 @@ mod tests {
 
     #[test]
     fn stepping_walks_the_ladder() {
-        let mut state = FrequencyState::highest();
+        let table = FrequencyTable::paper();
+        let mut state = table.highest();
         let mut steps = 0;
-        while let Some(next) = state.step_down() {
+        while let Some(next) = table.step_down(state) {
             assert!(next.ghz() < state.ghz());
             state = next;
             steps += 1;
         }
         assert_eq!(steps, 6);
-        assert_eq!(state, FrequencyState::lowest());
-        assert!(state.step_down().is_none());
-        assert_eq!(state.step_up().unwrap().ghz(), 1.73);
-        assert!(FrequencyState::highest().step_up().is_none());
+        assert_eq!(state, table.lowest());
+        assert!(table.step_down(state).is_none());
+        assert_eq!(table.step_up(state).unwrap().ghz(), 1.73);
+        assert!(table.step_up(table.highest()).is_none());
+
+        // States from a foreign table do not step on this one.
+        let foreign = FrequencyTable::new(vec![3_000_000, 2_500_000]).unwrap();
+        assert!(table.step_down(foreign.highest()).is_none());
+        assert!(table.step_up(foreign.lowest()).is_none());
+    }
+
+    #[test]
+    fn table_construction_sorts_and_dedups() {
+        let table = FrequencyTable::new(vec![1_600_000, 2_400_000, 2_000_000, 2_400_000]).unwrap();
+        assert_eq!(table.khz(), &[2_400_000, 2_000_000, 1_600_000]);
+        assert_eq!(table.len(), 3);
+        assert_eq!(table.max_khz(), 2_400_000);
+        assert_eq!(table.min_khz(), 1_600_000);
+        assert!(matches!(
+            FrequencyTable::new(vec![]),
+            Err(PlatformError::InvalidFrequencyTable { .. })
+        ));
+        assert!(matches!(
+            FrequencyTable::new(vec![2_400_000, 0]),
+            Err(PlatformError::InvalidFrequencyTable { .. })
+        ));
+        assert!(FrequencyTable::from_ghz(&[2.4, 1.6]).unwrap().len() == 2);
+        assert!(FrequencyTable::from_ghz(&[2.4, f64::NAN]).is_err());
+        assert!(FrequencyTable::from_ghz(&[]).is_err());
+    }
+
+    #[test]
+    fn parse_and_format_round_trip() {
+        let table = FrequencyTable::parse("2400000 2000000 1600000").unwrap();
+        assert_eq!(table.khz(), &[2_400_000, 2_000_000, 1_600_000]);
+        assert_eq!(table.format(), "2400000 2000000 1600000");
+        assert_eq!(FrequencyTable::parse(&table.format()).unwrap(), table);
+        // cpufreq writes a trailing space and arbitrary ordering; both parse.
+        assert_eq!(
+            FrequencyTable::parse("1600000 2400000 2000000 \n").unwrap(),
+            table
+        );
+        assert!(matches!(
+            FrequencyTable::parse(""),
+            Err(PlatformError::InvalidFrequencyTable { .. })
+        ));
+        assert!(matches!(
+            FrequencyTable::parse("  \n"),
+            Err(PlatformError::InvalidFrequencyTable { .. })
+        ));
+        assert!(matches!(
+            FrequencyTable::parse("2400000 garbage"),
+            Err(PlatformError::InvalidFrequencyTable { .. })
+        ));
+    }
+
+    #[test]
+    fn nearest_state_is_total_and_breaks_ties_up() {
+        let table = FrequencyTable::paper();
+        assert_eq!(table.nearest_state(0).khz(), 1_600_000);
+        assert_eq!(table.nearest_state(u64::MAX).khz(), 2_400_000);
+        assert_eq!(table.nearest_state(2_000_000).khz(), 2_000_000);
+        assert_eq!(table.nearest_state(1_999_999).khz(), 2_000_000);
+        // Exactly between 2.0 GHz and 1.86 GHz: the higher frequency wins.
+        assert_eq!(table.nearest_state(1_930_000).khz(), 2_000_000);
+    }
+
+    #[test]
+    fn state_meeting_capacity_picks_the_slowest_sufficient_state() {
+        let table = FrequencyTable::paper();
+        assert_eq!(table.state_meeting_capacity(1.0), table.highest());
+        assert_eq!(table.state_meeting_capacity(0.0), table.lowest());
+        // 2.0 / 2.4 = 0.833…; the slowest state at or above 80 % capacity is
+        // 2.0 GHz.
+        assert_eq!(table.state_meeting_capacity(0.8).khz(), 2_000_000);
+        // Unattainable and NaN requests fall back to the highest state.
+        assert_eq!(table.state_meeting_capacity(1.5), table.highest());
+        assert_eq!(table.state_meeting_capacity(f64::NAN), table.highest());
+    }
+
+    #[test]
+    fn membership_is_table_relative() {
+        let paper = FrequencyTable::paper();
+        let foreign = FrequencyTable::new(vec![3_000_000, 2_400_000]).unwrap();
+        assert!(paper.contains(paper.highest()));
+        assert!(paper.contains(FrequencyState::lowest()));
+        assert!(!paper.contains(foreign.highest()));
+        // Same kHz value, different table (different max): not a member.
+        assert!(!paper.contains(foreign.lowest()));
+        assert!(paper.state_for_khz(2_130_000).is_some());
+        assert!(paper.state_for_khz(2_131_000).is_none());
+        assert_eq!(paper.state(7), None);
     }
 
     #[test]
@@ -215,11 +644,18 @@ mod tests {
         governor.set_ghz(2.4).unwrap();
         assert_eq!(governor.transitions(), 2);
         assert!(governor.set_ghz(9.9).is_err());
+        let parked = DvfsGovernor::starting_at(FrequencyState::lowest());
+        assert_eq!(parked.state(), FrequencyState::lowest());
+        assert_eq!(parked.transitions(), 0);
     }
 
     #[test]
     fn display_shows_frequency() {
         assert_eq!(FrequencyState::highest().to_string(), "2.40 GHz");
         assert_eq!(FrequencyState::lowest().to_string(), "1.60 GHz");
+        let table = FrequencyTable::paper();
+        let text = table.to_string();
+        assert!(text.contains("7 states"));
+        assert!(text.contains("2.40 GHz"));
     }
 }

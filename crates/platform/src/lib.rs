@@ -7,8 +7,12 @@
 //! full load ≈ 220 W). This crate provides a deterministic simulation of that
 //! platform so the paper's experiments can run anywhere:
 //!
-//! * [`FrequencyState`] and [`DvfsGovernor`] — the discrete frequency ladder
-//!   and the software control over it;
+//! * [`FrequencyTable`], [`FrequencyState`], and [`DvfsGovernor`] — discrete
+//!   frequency ladders (the paper's seven states are one table among many),
+//!   table-relative states, and the software control over them;
+//! * [`backend`] — the pluggable DVFS actuation seam: [`DvfsBackend`] with a
+//!   simulated implementation ([`SimBackend`]) and, behind the `dvfs-sysfs`
+//!   feature on Linux, a real sysfs/cpufreq implementation;
 //! * [`PowerModel`], [`PowerSampler`], and [`EnergyAccount`] — full-system
 //!   power as a function of frequency and utilization, 1 Hz sampling, and
 //!   energy integration;
@@ -39,17 +43,24 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod backend;
 mod cluster;
 mod error;
 mod frequency;
 mod machine;
+pub mod naive;
 mod power;
 mod powercap;
 mod workload;
 
+#[cfg(all(feature = "dvfs-sysfs", target_os = "linux"))]
+pub use backend::SysfsCpufreqBackend;
+pub use backend::{DvfsBackend, SimBackend};
 pub use cluster::{Cluster, ClusterPowerBreakdown};
 pub use error::PlatformError;
-pub use frequency::{DvfsGovernor, FrequencyState};
+pub use frequency::{
+    DvfsGovernor, FrequencyState, FrequencyTable, DVFS_FREQUENCIES_GHZ, DVFS_FREQUENCIES_KHZ,
+};
 pub use machine::SimMachine;
 pub use power::{EnergyAccount, PowerModel, PowerSample, PowerSampler};
 pub use powercap::{PowerCapEvent, PowerCapSchedule};

@@ -6,8 +6,9 @@ use serde::{Deserialize, Serialize};
 
 use powerdial_heartbeats::{Timestamp, TimestampDelta};
 
+use crate::backend::{DvfsBackend, SimBackend};
 use crate::error::PlatformError;
-use crate::frequency::{DvfsGovernor, FrequencyState};
+use crate::frequency::{FrequencyState, FrequencyTable};
 use crate::power::{EnergyAccount, PowerModel, PowerSampler};
 
 /// A simulated machine that executes abstract work units.
@@ -35,7 +36,7 @@ use crate::power::{EnergyAccount, PowerModel, PowerSampler};
 pub struct SimMachine {
     name: String,
     power_model: PowerModel,
-    governor: DvfsGovernor,
+    backend: SimBackend,
     base_work_rate: f64,
     now: Timestamp,
     energy: EnergyAccount,
@@ -51,6 +52,21 @@ impl SimMachine {
     ///
     /// Panics if `base_work_rate` is not positive and finite.
     pub fn new(name: impl Into<String>, power_model: PowerModel, base_work_rate: f64) -> Self {
+        SimMachine::with_table(name, power_model, base_work_rate, FrequencyTable::paper())
+    }
+
+    /// Creates a machine whose simulated DVFS backend runs the given
+    /// frequency table instead of the paper's seven states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base_work_rate` is not positive and finite.
+    pub fn with_table(
+        name: impl Into<String>,
+        power_model: PowerModel,
+        base_work_rate: f64,
+        table: FrequencyTable,
+    ) -> Self {
         assert!(
             base_work_rate.is_finite() && base_work_rate > 0.0,
             "base work rate must be positive and finite, got {base_work_rate}"
@@ -58,7 +74,7 @@ impl SimMachine {
         SimMachine {
             name: name.into(),
             power_model,
-            governor: DvfsGovernor::new(),
+            backend: SimBackend::new(table),
             base_work_rate,
             now: Timestamp::ZERO,
             energy: EnergyAccount::new(),
@@ -79,12 +95,37 @@ impl SimMachine {
 
     /// The current frequency state.
     pub fn frequency(&self) -> FrequencyState {
-        self.governor.state()
+        self.backend.effective_state()
+    }
+
+    /// The frequency table the machine's DVFS backend discovered.
+    pub fn frequency_table(&self) -> &FrequencyTable {
+        self.backend.table()
+    }
+
+    /// The machine's DVFS backend.
+    pub fn dvfs_backend(&self) -> &SimBackend {
+        &self.backend
+    }
+
+    /// Exclusive access to the machine's DVFS backend — the seam the
+    /// power-cap experiments actuate through (as `&mut dyn DvfsBackend`).
+    pub fn dvfs_backend_mut(&mut self) -> &mut SimBackend {
+        &mut self.backend
     }
 
     /// Changes the frequency state (imposing or lifting a power cap).
+    ///
+    /// Convenience wrapper over the machine's [`DvfsBackend`]; use
+    /// [`SimMachine::dvfs_backend_mut`] for the fallible trait-level path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is not from the machine's frequency table.
     pub fn set_frequency(&mut self, state: FrequencyState) {
-        self.governor.set_state(state);
+        self.backend
+            .set_state(state)
+            .expect("state must come from the machine's frequency table");
     }
 
     /// The machine's power model.
@@ -100,7 +141,7 @@ impl SimMachine {
 
     /// The throughput at the current frequency, in work units per second.
     pub fn current_work_rate(&self) -> f64 {
-        self.base_work_rate * self.governor.state().capacity()
+        self.base_work_rate * self.backend.effective_state().capacity()
     }
 
     /// The accumulated energy account.
@@ -141,7 +182,9 @@ impl SimMachine {
             return Err(PlatformError::InvalidWork { work });
         }
         let seconds = work / self.current_work_rate();
-        let watts = self.power_model.full_load_power(self.governor.state());
+        let watts = self
+            .power_model
+            .full_load_power(self.backend.effective_state());
         self.energy.add_busy(seconds, watts);
         let elapsed = TimestampDelta::from_secs_f64(seconds);
         self.now += elapsed;
@@ -171,7 +214,9 @@ impl SimMachine {
             return Err(PlatformError::InvalidUtilization { utilization });
         }
         let seconds = work / (self.current_work_rate() * utilization);
-        let watts = self.power_model.power(self.governor.state(), utilization)?;
+        let watts = self
+            .power_model
+            .power(self.backend.effective_state(), utilization)?;
         self.energy.add_busy(seconds, watts);
         let elapsed = TimestampDelta::from_secs_f64(seconds);
         self.now += elapsed;
@@ -206,7 +251,7 @@ impl fmt::Display for SimMachine {
             f,
             "{} at {} ({} executed, {})",
             self.name,
-            self.governor.state(),
+            self.backend.effective_state(),
             self.work_executed,
             self.energy
         )

@@ -1,0 +1,376 @@
+//! The pre-backend direct DVFS path, preserved verbatim for equivalence
+//! testing (mirroring `heartbeats::naive` and `control::naive` from earlier
+//! PRs).
+//!
+//! Before the [`crate::backend::DvfsBackend`] seam existed, the frequency
+//! ladder was a global seven-step array baked into `FrequencyState`, and the
+//! closed-loop simulator drove `SimMachine::set_frequency` directly. This
+//! module keeps that path alive — ladder, governor, power-cap schedule, and
+//! machine — so the `backend_equivalence` integration test can prove the
+//! refactored path produces bit-identical frequency/QoS/power trajectories.
+//! Nothing here should be used by new code.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use powerdial_heartbeats::{Timestamp, TimestampDelta};
+
+use crate::error::PlatformError;
+use crate::power::{EnergyAccount, PowerModel, PowerSampler};
+
+/// The seven frequency steps of the evaluation platform, in GHz, highest
+/// first (the pre-backend global ladder).
+pub const DVFS_FREQUENCIES_GHZ: [f64; 7] = [2.4, 2.26, 2.13, 2.0, 1.86, 1.73, 1.6];
+
+/// One discrete DVFS state of the pre-backend global ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FrequencyState {
+    index: usize,
+}
+
+impl FrequencyState {
+    /// The highest-frequency (highest-power) state: 2.4 GHz.
+    pub const fn highest() -> Self {
+        FrequencyState { index: 0 }
+    }
+
+    /// The lowest-frequency (lowest-power) state: 1.6 GHz.
+    pub const fn lowest() -> Self {
+        FrequencyState {
+            index: DVFS_FREQUENCIES_GHZ.len() - 1,
+        }
+    }
+
+    /// All states from highest to lowest frequency.
+    pub fn all() -> impl Iterator<Item = FrequencyState> {
+        (0..DVFS_FREQUENCIES_GHZ.len()).map(|index| FrequencyState { index })
+    }
+
+    /// The state with the given ladder index (0 = highest frequency).
+    pub fn from_index(index: usize) -> Option<Self> {
+        if index < DVFS_FREQUENCIES_GHZ.len() {
+            Some(FrequencyState { index })
+        } else {
+            None
+        }
+    }
+
+    /// The ladder index (0 = highest frequency).
+    pub const fn index(self) -> usize {
+        self.index
+    }
+
+    /// The clock frequency in GHz.
+    pub fn ghz(self) -> f64 {
+        DVFS_FREQUENCIES_GHZ[self.index]
+    }
+
+    /// The delivered computational capacity relative to the highest state.
+    pub fn capacity(self) -> f64 {
+        self.ghz() / DVFS_FREQUENCIES_GHZ[0]
+    }
+}
+
+impl Default for FrequencyState {
+    fn default() -> Self {
+        FrequencyState::highest()
+    }
+}
+
+impl fmt::Display for FrequencyState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} GHz", self.ghz())
+    }
+}
+
+/// The pre-backend software frequency governor.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct DvfsGovernor {
+    state: FrequencyState,
+    transitions: u64,
+}
+
+impl DvfsGovernor {
+    /// Creates a governor starting in the highest-frequency state.
+    pub fn new() -> Self {
+        DvfsGovernor::default()
+    }
+
+    /// The current frequency state.
+    pub fn state(&self) -> FrequencyState {
+        self.state
+    }
+
+    /// Sets the frequency state, counting the transition if it changes.
+    pub fn set_state(&mut self, state: FrequencyState) {
+        if state != self.state {
+            self.transitions += 1;
+        }
+        self.state = state;
+    }
+
+    /// Number of state changes so far.
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+}
+
+/// One power-cap event on the pre-backend ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerCapEvent {
+    /// When the cap takes effect.
+    pub at: Timestamp,
+    /// The frequency state imposed from that time on.
+    pub state: FrequencyState,
+}
+
+/// The pre-backend power-cap schedule (timed frequency restrictions).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerCapSchedule {
+    initial: FrequencyState,
+    events: Vec<PowerCapEvent>,
+}
+
+impl PowerCapSchedule {
+    /// A schedule with no caps: the machine stays in `initial` forever.
+    pub fn constant(initial: FrequencyState) -> Self {
+        PowerCapSchedule {
+            initial,
+            events: Vec::new(),
+        }
+    }
+
+    /// The paper's power-cap scenario for a run of the given total duration:
+    /// the cap (lowest frequency) is imposed at one quarter of the run and
+    /// lifted at three quarters.
+    pub fn paper_power_cap(total_duration: Timestamp) -> Self {
+        let total = total_duration.as_secs_f64();
+        PowerCapSchedule::constant(FrequencyState::highest())
+            .with_event(
+                Timestamp::from_secs_f64(total * 0.25),
+                FrequencyState::lowest(),
+            )
+            .with_event(
+                Timestamp::from_secs_f64(total * 0.75),
+                FrequencyState::highest(),
+            )
+    }
+
+    /// Adds a cap event; events may be added in any order.
+    pub fn with_event(mut self, at: Timestamp, state: FrequencyState) -> Self {
+        self.events.push(PowerCapEvent { at, state });
+        self.events.sort_by_key(|e| e.at);
+        self
+    }
+
+    /// The frequency state in force at time `t`.
+    pub fn state_at(&self, t: Timestamp) -> FrequencyState {
+        self.events
+            .iter()
+            .rev()
+            .find(|e| e.at <= t)
+            .map(|e| e.state)
+            .unwrap_or(self.initial)
+    }
+}
+
+/// The pre-backend simulated machine: a virtual clock, direct governor
+/// control, and energy accounting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimMachine {
+    name: String,
+    power_model: PowerModel,
+    governor: DvfsGovernor,
+    base_work_rate: f64,
+    now: Timestamp,
+    energy: EnergyAccount,
+    sampler: PowerSampler,
+    work_executed: f64,
+}
+
+impl SimMachine {
+    /// Creates a machine with the given power model and throughput at the
+    /// highest frequency state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base_work_rate` is not positive and finite.
+    pub fn new(name: impl Into<String>, power_model: PowerModel, base_work_rate: f64) -> Self {
+        assert!(
+            base_work_rate.is_finite() && base_work_rate > 0.0,
+            "base work rate must be positive and finite, got {base_work_rate}"
+        );
+        SimMachine {
+            name: name.into(),
+            power_model,
+            governor: DvfsGovernor::new(),
+            base_work_rate,
+            now: Timestamp::ZERO,
+            energy: EnergyAccount::new(),
+            sampler: PowerSampler::new(),
+            work_executed: 0.0,
+        }
+    }
+
+    /// The machine's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total work executed, in work units.
+    pub fn work_executed(&self) -> f64 {
+        self.work_executed
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    /// The current frequency state.
+    pub fn frequency(&self) -> FrequencyState {
+        self.governor.state()
+    }
+
+    /// Changes the frequency state directly (the pre-backend path).
+    pub fn set_frequency(&mut self, state: FrequencyState) {
+        self.governor.set_state(state);
+    }
+
+    /// The machine's power model.
+    pub fn power_model(&self) -> &PowerModel {
+        &self.power_model
+    }
+
+    /// The machine's throughput at the highest frequency, in work units per
+    /// second.
+    pub fn base_work_rate(&self) -> f64 {
+        self.base_work_rate
+    }
+
+    /// The throughput at the current frequency, in work units per second.
+    pub fn current_work_rate(&self) -> f64 {
+        self.base_work_rate * self.governor.state().capacity()
+    }
+
+    /// The accumulated energy account.
+    pub fn energy(&self) -> &EnergyAccount {
+        &self.energy
+    }
+
+    /// The 1 Hz power samples recorded so far.
+    pub fn power_sampler(&self) -> &PowerSampler {
+        &self.sampler
+    }
+
+    /// Executes `work` units at the current frequency, advancing the clock
+    /// and charging busy energy. Returns the time the work took.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `work` is not positive and finite.
+    pub fn execute_work(&mut self, work: f64) -> TimestampDelta {
+        self.try_execute_work(work)
+            .expect("work must be positive and finite")
+    }
+
+    /// Fallible variant of [`SimMachine::execute_work`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::InvalidWork`] when `work` is not positive and
+    /// finite.
+    pub fn try_execute_work(&mut self, work: f64) -> Result<TimestampDelta, PlatformError> {
+        if !work.is_finite() || work <= 0.0 {
+            return Err(PlatformError::InvalidWork { work });
+        }
+        let seconds = work / self.current_work_rate();
+        let watts = self
+            .power_model
+            .power_at_capacity(self.governor.state().capacity(), 1.0)
+            .expect("utilization 1.0 is valid");
+        self.energy.add_busy(seconds, watts);
+        let elapsed = TimestampDelta::from_secs_f64(seconds);
+        self.now += elapsed;
+        self.sampler.observe(self.now, watts);
+        self.work_executed += work;
+        Ok(elapsed)
+    }
+
+    /// Idles until the given time, charging idle energy. Times in the past
+    /// are ignored.
+    pub fn idle_until(&mut self, until: Timestamp) {
+        if until <= self.now {
+            return;
+        }
+        let seconds = (until - self.now).as_secs_f64();
+        let watts = self.power_model.idle_watts();
+        self.energy.add_idle(seconds, watts);
+        self.now = until;
+        self.sampler.observe(self.now, watts);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_ladder_matches_the_table_path_bit_for_bit() {
+        // The whole point of this module: the frozen ladder and the new
+        // table-derived states agree exactly.
+        for (old, new) in FrequencyState::all().zip(crate::FrequencyState::all()) {
+            assert_eq!(old.ghz().to_bits(), new.ghz().to_bits());
+            assert_eq!(old.capacity().to_bits(), new.capacity().to_bits());
+            assert_eq!(old.index(), new.index());
+        }
+    }
+
+    #[test]
+    fn naive_machine_behaves_like_the_seed_machine() {
+        let mut m = SimMachine::new("m0", PowerModel::poweredge_r410(), 100.0);
+        assert_eq!(m.name(), "m0");
+        let fast = m.execute_work(100.0);
+        assert!((fast.as_secs_f64() - 1.0).abs() < 1e-9);
+        m.set_frequency(FrequencyState::lowest());
+        let slow = m.execute_work(100.0);
+        assert!((slow.as_secs_f64() - 1.5).abs() < 1e-9);
+        assert!(
+            (m.energy().busy_joules()
+                - (220.0 + 1.5 * m.power_model().power_at_capacity(2.0 / 3.0, 1.0).unwrap()))
+            .abs()
+                < 1e-6
+        );
+        assert!(m.try_execute_work(-1.0).is_err());
+        m.idle_until(Timestamp::from_secs(10));
+        assert!(m.energy().idle_joules() > 0.0);
+        assert_eq!(m.work_executed(), 200.0);
+        assert_eq!(m.frequency(), FrequencyState::lowest());
+        assert!((m.base_work_rate() - 100.0).abs() < 1e-12);
+        assert!(m.power_sampler().samples().len() > 2);
+    }
+
+    #[test]
+    fn naive_schedule_caps_the_middle_half() {
+        let schedule = PowerCapSchedule::paper_power_cap(Timestamp::from_secs(100));
+        assert_eq!(
+            schedule.state_at(Timestamp::from_secs(10)),
+            FrequencyState::highest()
+        );
+        assert_eq!(
+            schedule.state_at(Timestamp::from_secs(50)),
+            FrequencyState::lowest()
+        );
+        assert_eq!(
+            schedule.state_at(Timestamp::from_secs(90)),
+            FrequencyState::highest()
+        );
+        let constant = PowerCapSchedule::constant(FrequencyState::lowest());
+        assert_eq!(constant.state_at(Timestamp::ZERO), FrequencyState::lowest());
+        let mut governor = DvfsGovernor::new();
+        governor.set_state(FrequencyState::from_index(3).unwrap());
+        governor.set_state(FrequencyState::from_index(3).unwrap());
+        assert_eq!(governor.transitions(), 1);
+    }
+}

@@ -86,11 +86,28 @@ impl PowerModel {
     /// Returns [`PlatformError::InvalidUtilization`] when `utilization` is
     /// outside `[0, 1]`.
     pub fn power(&self, frequency: FrequencyState, utilization: f64) -> Result<f64, PlatformError> {
+        self.power_at_capacity(frequency.capacity(), utilization)
+    }
+
+    /// Power drawn at the given relative capacity (`f / f_max`) and
+    /// utilization; [`PowerModel::power`] in terms of the capacity a
+    /// [`FrequencyState`] carries, usable with states from any
+    /// [`crate::FrequencyTable`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::InvalidUtilization`] when `utilization` is
+    /// outside `[0, 1]` or [`PlatformError::InvalidCapacity`] when
+    /// `capacity` is outside `(0, 1]` (table states always satisfy this).
+    pub fn power_at_capacity(&self, capacity: f64, utilization: f64) -> Result<f64, PlatformError> {
         if !(0.0..=1.0).contains(&utilization) || !utilization.is_finite() {
             return Err(PlatformError::InvalidUtilization { utilization });
         }
+        if !capacity.is_finite() || capacity <= 0.0 || capacity > 1.0 {
+            return Err(PlatformError::InvalidCapacity { capacity });
+        }
         let dynamic_max = self.max_watts - self.idle_watts;
-        let scale = frequency.capacity().powf(self.frequency_exponent);
+        let scale = capacity.powf(self.frequency_exponent);
         Ok(self.idle_watts + utilization * dynamic_max * scale)
     }
 

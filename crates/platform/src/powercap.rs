@@ -6,7 +6,7 @@ use serde::{Deserialize, Serialize};
 
 use powerdial_heartbeats::Timestamp;
 
-use crate::frequency::FrequencyState;
+use crate::frequency::{FrequencyState, FrequencyTable};
 
 /// One power-cap event: from `at` onward the machine must run at `state`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -54,16 +54,18 @@ impl PowerCapSchedule {
     /// the cap (lowest frequency) is imposed at one quarter of the run and
     /// lifted at three quarters.
     pub fn paper_power_cap(total_duration: Timestamp) -> Self {
+        PowerCapSchedule::mid_run_cap(&FrequencyTable::paper(), total_duration)
+    }
+
+    /// The paper's power-cap shape on an arbitrary backend table: start at
+    /// the table's highest state, cap to its lowest for the middle half of
+    /// the run. This is how the experiment is phrased against whatever
+    /// ladder a [`crate::backend::DvfsBackend`] discovered at attach time.
+    pub fn mid_run_cap(table: &FrequencyTable, total_duration: Timestamp) -> Self {
         let total = total_duration.as_secs_f64();
-        PowerCapSchedule::constant(FrequencyState::highest())
-            .with_event(
-                Timestamp::from_secs_f64(total * 0.25),
-                FrequencyState::lowest(),
-            )
-            .with_event(
-                Timestamp::from_secs_f64(total * 0.75),
-                FrequencyState::highest(),
-            )
+        PowerCapSchedule::constant(table.highest())
+            .with_event(Timestamp::from_secs_f64(total * 0.25), table.lowest())
+            .with_event(Timestamp::from_secs_f64(total * 0.75), table.highest())
     }
 
     /// Adds a cap event; events may be added in any order.
@@ -168,6 +170,21 @@ mod tests {
             FrequencyState::highest()
         );
         assert_eq!(schedule.events()[0].at, Timestamp::from_secs(10));
+    }
+
+    #[test]
+    fn mid_run_cap_follows_the_table() {
+        let table = FrequencyTable::new(vec![3_000_000, 1_500_000]).unwrap();
+        let schedule = PowerCapSchedule::mid_run_cap(&table, Timestamp::from_secs(100));
+        assert_eq!(schedule.state_at(Timestamp::from_secs(10)), table.highest());
+        assert_eq!(schedule.state_at(Timestamp::from_secs(50)), table.lowest());
+        assert_eq!(schedule.state_at(Timestamp::from_secs(90)), table.highest());
+        // The paper schedule is the same shape on the paper table.
+        let paper = PowerCapSchedule::paper_power_cap(Timestamp::from_secs(100));
+        assert_eq!(
+            paper.state_at(Timestamp::from_secs(50)),
+            FrequencyTable::paper().lowest()
+        );
     }
 
     #[test]

@@ -1,0 +1,205 @@
+//! A fake sysfs/cpufreq tree in a temp directory, for driving
+//! `SysfsCpufreqBackend` without root or hardware.
+//!
+//! The builder writes a realistic `cpu*/cpufreq/` layout — the same files a
+//! Linux kernel exposes, including the trailing space cpufreq puts after
+//! `scaling_available_frequencies` — and the accessors let fault-injection
+//! tests corrupt individual files afterward. The tree removes itself on
+//! drop.
+
+// Shared by several test binaries; not every binary uses every helper.
+#![allow(dead_code)]
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use powerdial_platform::DVFS_FREQUENCIES_KHZ;
+
+static TREE_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Builder for a [`FakeCpufreqTree`].
+pub struct FakeCpufreqTreeBuilder {
+    cpus: usize,
+    frequencies_khz: Vec<u64>,
+    governor: String,
+    with_setspeed: bool,
+}
+
+impl FakeCpufreqTreeBuilder {
+    /// Number of `cpuN` directories (default 2, like the paper's two
+    /// packages).
+    pub fn cpus(mut self, cpus: usize) -> Self {
+        self.cpus = cpus;
+        self
+    }
+
+    /// The advertised frequency table, in kHz (default: the paper's seven
+    /// states).
+    pub fn frequencies_khz(mut self, khz: &[u64]) -> Self {
+        self.frequencies_khz = khz.to_vec();
+        self
+    }
+
+    /// The governor every CPU reports (default `userspace`).
+    pub fn governor(mut self, governor: &str) -> Self {
+        self.governor = governor.to_string();
+        self
+    }
+
+    /// Omits `scaling_setspeed` from every CPU (kernels without the
+    /// userspace governor compiled in).
+    pub fn without_setspeed(mut self) -> Self {
+        self.with_setspeed = false;
+        self
+    }
+
+    /// Writes the tree to a fresh temp directory.
+    pub fn build(self) -> FakeCpufreqTree {
+        let root = std::env::temp_dir().join(format!(
+            "powerdial-fake-cpufreq-{}-{}",
+            std::process::id(),
+            TREE_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(&root).expect("create fake tree root");
+
+        // Non-policy entries a real /sys/devices/system/cpu contains; the
+        // backend's scanner must skip them.
+        fs::create_dir_all(root.join("cpufreq")).unwrap();
+        fs::create_dir_all(root.join("cpuidle")).unwrap();
+        fs::write(root.join("online"), format!("0-{}\n", self.cpus.max(1) - 1)).unwrap();
+
+        let max = self.frequencies_khz.iter().copied().max().unwrap_or(0);
+        let min = self.frequencies_khz.iter().copied().min().unwrap_or(0);
+        let mut available = String::new();
+        for khz in &self.frequencies_khz {
+            available.push_str(&khz.to_string());
+            available.push(' ');
+        }
+        available.push('\n');
+
+        for cpu in 0..self.cpus {
+            let dir = root.join(format!("cpu{cpu}")).join("cpufreq");
+            fs::create_dir_all(&dir).unwrap();
+            fs::write(dir.join("scaling_available_frequencies"), &available).unwrap();
+            fs::write(dir.join("scaling_governor"), format!("{}\n", self.governor)).unwrap();
+            fs::write(
+                dir.join("scaling_available_governors"),
+                "userspace ondemand performance powersave \n",
+            )
+            .unwrap();
+            if self.with_setspeed {
+                fs::write(dir.join("scaling_setspeed"), format!("{max}\n")).unwrap();
+            }
+            fs::write(dir.join("scaling_max_freq"), format!("{max}\n")).unwrap();
+            fs::write(dir.join("scaling_min_freq"), format!("{min}\n")).unwrap();
+            fs::write(dir.join("scaling_cur_freq"), format!("{max}\n")).unwrap();
+            fs::write(dir.join("cpuinfo_max_freq"), format!("{max}\n")).unwrap();
+            fs::write(dir.join("cpuinfo_min_freq"), format!("{min}\n")).unwrap();
+        }
+
+        FakeCpufreqTree { root }
+    }
+}
+
+/// A fake cpufreq tree on disk; see the module docs.
+pub struct FakeCpufreqTree {
+    root: PathBuf,
+}
+
+impl FakeCpufreqTree {
+    /// Starts building a tree: 2 CPUs, the paper table, `userspace`
+    /// governor.
+    pub fn builder() -> FakeCpufreqTreeBuilder {
+        FakeCpufreqTreeBuilder {
+            cpus: 2,
+            frequencies_khz: DVFS_FREQUENCIES_KHZ.to_vec(),
+            governor: "userspace".to_string(),
+            with_setspeed: true,
+        }
+    }
+
+    /// The directory to hand `SysfsCpufreqBackend::attach`.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Path of a file under `cpuN/cpufreq/`.
+    pub fn file(&self, cpu: usize, name: &str) -> PathBuf {
+        self.root
+            .join(format!("cpu{cpu}"))
+            .join("cpufreq")
+            .join(name)
+    }
+
+    /// Overwrites a cpufreq file — fault injection for values changed
+    /// behind the backend's back.
+    pub fn write(&self, cpu: usize, name: &str, contents: &str) {
+        fs::write(self.file(cpu, name), contents).expect("write fake cpufreq file");
+    }
+
+    /// Reads a cpufreq file back, trimmed.
+    pub fn read(&self, cpu: usize, name: &str) -> String {
+        fs::read_to_string(self.file(cpu, name))
+            .expect("read fake cpufreq file")
+            .trim()
+            .to_string()
+    }
+
+    /// Deletes a cpufreq file — fault injection for missing entries.
+    pub fn remove(&self, cpu: usize, name: &str) {
+        fs::remove_file(self.file(cpu, name)).expect("remove fake cpufreq file");
+    }
+
+    /// Replaces a cpufreq file with a directory, so any write to it fails
+    /// with a genuine I/O error on every platform and every euid (unlike
+    /// permission bits, which root bypasses).
+    pub fn replace_with_directory(&self, cpu: usize, name: &str) {
+        let path = self.file(cpu, name);
+        fs::remove_file(&path).expect("remove fake cpufreq file");
+        fs::create_dir(&path).expect("create directory in place of file");
+    }
+
+    /// Strips write permission from a cpufreq file. Returns `false` when
+    /// the calling process can still write it anyway (running as root), in
+    /// which case EACCES cannot be provoked and the caller should skip the
+    /// strict assertion.
+    pub fn make_readonly(&self, cpu: usize, name: &str) -> bool {
+        let path = self.file(cpu, name);
+        let original = fs::read_to_string(&path).expect("read before chmod");
+        let mut perms = fs::metadata(&path).expect("stat fake file").permissions();
+        perms.set_readonly(true);
+        fs::set_permissions(&path, perms).expect("chmod fake file");
+        // Probe: root ignores permission bits entirely.
+        match fs::write(&path, &original) {
+            Ok(()) => false,
+            Err(_) => true,
+        }
+    }
+}
+
+impl Drop for FakeCpufreqTree {
+    fn drop(&mut self) {
+        // Restore write permission so removal succeeds even after
+        // make_readonly, then remove best-effort.
+        fn unprotect(dir: &Path) {
+            if let Ok(entries) = fs::read_dir(dir) {
+                for entry in entries.flatten() {
+                    let path = entry.path();
+                    if let Ok(meta) = fs::metadata(&path) {
+                        let mut perms = meta.permissions();
+                        #[allow(clippy::permissions_set_readonly_false)]
+                        perms.set_readonly(false);
+                        let _ = fs::set_permissions(&path, perms);
+                        if meta.is_dir() {
+                            unprotect(&path);
+                        }
+                    }
+                }
+            }
+        }
+        unprotect(&self.root);
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests for `FrequencyTable`: parse/format round-trips, capacity
+//! bounds, and totality/monotonicity of nearest-state lookup.
+
+use powerdial_platform::FrequencyTable;
+use proptest::prelude::*;
+
+proptest! {
+    /// Any non-empty positive frequency list builds a table that formats to
+    /// a `scaling_available_frequencies` line parsing back to the same
+    /// table, in canonical (descending, deduped) order.
+    #[test]
+    fn parse_format_round_trips(
+        khz in proptest::collection::vec(1u64..6_000_000, 1..12),
+    ) {
+        let table = FrequencyTable::new(khz).unwrap();
+        let formatted = table.format();
+        let reparsed = FrequencyTable::parse(&formatted).unwrap();
+        prop_assert_eq!(&reparsed, &table);
+        // Canonical order: strictly descending.
+        for pair in table.khz().windows(2) {
+            prop_assert!(pair[0] > pair[1]);
+        }
+        // cpufreq-style trailing whitespace parses to the same table.
+        let trailing = format!("{formatted} \n");
+        prop_assert_eq!(FrequencyTable::parse(&trailing).unwrap(), table);
+    }
+
+    /// Every state's capacity is in (0, 1], exactly 1 at the top of the
+    /// ladder, and monotone down the ladder.
+    #[test]
+    fn capacities_stay_in_the_unit_interval(
+        khz in proptest::collection::vec(1u64..6_000_000, 1..12),
+    ) {
+        let table = FrequencyTable::new(khz).unwrap();
+        prop_assert_eq!(table.highest().capacity(), 1.0);
+        let mut previous = f64::INFINITY;
+        for state in table.states() {
+            let capacity = state.capacity();
+            prop_assert!(capacity > 0.0, "capacity {capacity}");
+            prop_assert!(capacity <= 1.0, "capacity {capacity}");
+            prop_assert!(capacity <= previous);
+            previous = capacity;
+        }
+    }
+
+    /// Nearest-state lookup is total (any u64 input yields a table state)
+    /// and monotone (a higher query never maps to a lower frequency).
+    #[test]
+    fn nearest_state_is_total_and_monotone(
+        khz in proptest::collection::vec(1u64..6_000_000, 1..12),
+        q1 in 0u64..8_000_000,
+        q2 in 0u64..8_000_000,
+    ) {
+        let table = FrequencyTable::new(khz).unwrap();
+        let n1 = table.nearest_state(q1);
+        let n2 = table.nearest_state(q2);
+        prop_assert!(table.contains(n1));
+        prop_assert!(table.contains(n2));
+        let (lo, hi) = if q1 <= q2 { (n1, n2) } else { (n2, n1) };
+        prop_assert!(
+            lo.khz() <= hi.khz(),
+            "nearest lookup not monotone: {} -> {}, {} -> {}",
+            q1, n1.khz(), q2, n2.khz()
+        );
+        // Exact members map to themselves, and extremes clamp.
+        prop_assert_eq!(table.nearest_state(table.max_khz()), table.highest());
+        prop_assert_eq!(table.nearest_state(table.min_khz()), table.lowest());
+        prop_assert_eq!(table.nearest_state(0), table.lowest());
+        prop_assert_eq!(table.nearest_state(u64::MAX), table.highest());
+    }
+
+    /// state_meeting_capacity is total and returns the slowest state whose
+    /// capacity meets the request.
+    #[test]
+    fn state_meeting_capacity_is_slowest_sufficient(
+        khz in proptest::collection::vec(1u64..6_000_000, 1..12),
+        request in 0.0f64..1.2,
+    ) {
+        let table = FrequencyTable::new(khz).unwrap();
+        let chosen = table.state_meeting_capacity(request);
+        prop_assert!(table.contains(chosen));
+        if chosen.capacity() >= request {
+            // Sufficient: no slower state may also be sufficient.
+            if let Some(slower) = table.step_down(chosen) {
+                prop_assert!(slower.capacity() < request);
+            }
+        } else {
+            // Unattainable request: falls back to the highest state.
+            prop_assert_eq!(chosen, table.highest());
+        }
+    }
+}

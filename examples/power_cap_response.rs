@@ -11,11 +11,19 @@
 use powerdial::apps::BodytrackApp;
 use powerdial::experiments::power_cap_response;
 use powerdial::experiments::sim::SimulationOptions;
+use powerdial::platform::FrequencyTable;
 use powerdial::{PowerDialConfig, PowerDialSystem};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let app = BodytrackApp::test_scale(7);
     let system = PowerDialSystem::build(&app, PowerDialConfig::default())?;
+
+    // The cap actuates through the machine's DvfsBackend. The simulation
+    // runs the paper's seven-state table; on hardware the same experiment
+    // drives a sysfs/cpufreq backend (`dvfs-sysfs` feature) whose table is
+    // discovered from scaling_available_frequencies instead.
+    let table = FrequencyTable::paper();
+    println!("DVFS backend table: {} [{} kHz]", table, table.format());
 
     let options = SimulationOptions {
         work_units: 120,

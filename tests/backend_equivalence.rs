@@ -1,0 +1,141 @@
+//! The power-cap experiment through the `DvfsBackend` seam produces
+//! bit-identical frequency/QoS/power trajectories to the pre-refactor
+//! direct path.
+//!
+//! `simulate_closed_loop` now actuates frequency through
+//! `DvfsActuator` → `SimBackend`; the pre-backend loop — direct
+//! `set_frequency` on the frozen `platform::naive` machine and ladder — is
+//! preserved as `simulate_closed_loop_naive`. Running both over the same
+//! scenarios and comparing every f64 by bit pattern proves the backend seam
+//! added exactly nothing to the numerics.
+
+use powerdial::apps::{BodytrackApp, SwaptionsApp};
+use powerdial::experiments::sim::{
+    simulate_closed_loop, simulate_closed_loop_naive, ClosedLoopOutcome, SimulationOptions,
+};
+use powerdial::heartbeats::Timestamp;
+use powerdial::platform::{naive, PowerCapSchedule};
+use powerdial::{PowerDialConfig, PowerDialSystem};
+
+fn assert_bits(label: &str, step: usize, a: f64, b: f64) {
+    assert_eq!(
+        a.to_bits(),
+        b.to_bits(),
+        "{label} diverged at step {step}: {a} vs {b}"
+    );
+}
+
+fn assert_outcomes_bit_identical(new: &ClosedLoopOutcome, old: &ClosedLoopOutcome) {
+    assert_eq!(new.steps.len(), old.steps.len());
+    for (i, (n, o)) in new.steps.iter().zip(&old.steps).enumerate() {
+        assert_bits("time_secs", i, n.time_secs, o.time_secs);
+        assert_bits("latency_secs", i, n.latency_secs, o.latency_secs);
+        assert_bits("knob_gain", i, n.knob_gain, o.knob_gain);
+        assert_bits("qos_loss", i, n.qos_loss, o.qos_loss);
+        assert_bits("frequency_ghz", i, n.frequency_ghz, o.frequency_ghz);
+        match (n.normalized_performance, o.normalized_performance) {
+            (Some(a), Some(b)) => assert_bits("normalized_performance", i, a, b),
+            (None, None) => {}
+            (a, b) => panic!("normalized_performance diverged at step {i}: {a:?} vs {b:?}"),
+        }
+    }
+    assert_bits("target_rate", 0, new.target_rate, old.target_rate);
+    assert_bits(
+        "mean_power_watts",
+        0,
+        new.mean_power_watts,
+        old.mean_power_watts,
+    );
+    assert_bits("mean_qos_loss", 0, new.mean_qos_loss, old.mean_qos_loss);
+    assert_bits(
+        "total_energy_joules",
+        0,
+        new.total_energy_joules,
+        old.total_energy_joules,
+    );
+    assert_bits("duration_secs", 0, new.duration_secs, old.duration_secs);
+}
+
+fn options(units: usize, use_dynamic_knobs: bool) -> SimulationOptions {
+    SimulationOptions {
+        work_units: units,
+        window_size: 10,
+        use_dynamic_knobs,
+    }
+}
+
+#[test]
+fn power_cap_trajectory_is_bit_identical_through_the_backend_seam() {
+    // The paper's power-cap scenario (cap imposed at one quarter, lifted at
+    // three quarters), with and without dynamic knobs.
+    let app = BodytrackApp::test_scale(97);
+    let system = PowerDialSystem::build(&app, PowerDialConfig::default()).unwrap();
+    let nominal = Timestamp::from_secs(120);
+    let schedule = PowerCapSchedule::paper_power_cap(nominal);
+    let naive_schedule = naive::PowerCapSchedule::paper_power_cap(nominal);
+
+    for use_knobs in [true, false] {
+        let new = simulate_closed_loop(&app, &system, &schedule, options(120, use_knobs)).unwrap();
+        let old =
+            simulate_closed_loop_naive(&app, &system, &naive_schedule, options(120, use_knobs))
+                .unwrap();
+        assert_outcomes_bit_identical(&new, &old);
+    }
+}
+
+#[test]
+fn constant_cap_trajectories_are_bit_identical_at_every_ladder_state() {
+    // The Figure 6 sweep shape: a constant cap at each of the seven states.
+    let app = SwaptionsApp::test_scale(98);
+    let system = PowerDialSystem::build(&app, PowerDialConfig::default()).unwrap();
+
+    for index in 0..7 {
+        let state = powerdial::platform::FrequencyState::from_index(index).unwrap();
+        let naive_state = naive::FrequencyState::from_index(index).unwrap();
+        let new = simulate_closed_loop(
+            &app,
+            &system,
+            &PowerCapSchedule::constant(state),
+            options(40, true),
+        )
+        .unwrap();
+        let old = simulate_closed_loop_naive(
+            &app,
+            &system,
+            &naive::PowerCapSchedule::constant(naive_state),
+            options(40, true),
+        )
+        .unwrap();
+        assert_outcomes_bit_identical(&new, &old);
+    }
+}
+
+#[test]
+fn a_busy_multi_event_schedule_is_bit_identical() {
+    // Beyond the paper shape: several cap events, out-of-order insertion,
+    // uncontrolled run.
+    let app = SwaptionsApp::test_scale(99);
+    let system = PowerDialSystem::build(&app, PowerDialConfig::default()).unwrap();
+
+    let points = [(40u64, 6usize), (10, 3), (25, 1), (55, 0), (70, 4)];
+    let mut schedule = PowerCapSchedule::constant(powerdial::platform::FrequencyState::highest());
+    let mut naive_schedule = naive::PowerCapSchedule::constant(naive::FrequencyState::highest());
+    for (secs, index) in points {
+        schedule = schedule.with_event(
+            Timestamp::from_secs(secs),
+            powerdial::platform::FrequencyState::from_index(index).unwrap(),
+        );
+        naive_schedule = naive_schedule.with_event(
+            Timestamp::from_secs(secs),
+            naive::FrequencyState::from_index(index).unwrap(),
+        );
+    }
+
+    for use_knobs in [true, false] {
+        let new = simulate_closed_loop(&app, &system, &schedule, options(90, use_knobs)).unwrap();
+        let old =
+            simulate_closed_loop_naive(&app, &system, &naive_schedule, options(90, use_knobs))
+                .unwrap();
+        assert_outcomes_bit_identical(&new, &old);
+    }
+}
