@@ -41,6 +41,34 @@ fn bench_rate_queries(c: &mut Criterion) {
     });
 }
 
+/// The decision-block half of the shm control plane (ABI v2): publishing
+/// a decision under the seqlock on the daemon side, and reading it back
+/// wait-free on the application side. The read sits on the application's
+/// knob-actuation path, so it must stay in the same cost class as a beat.
+fn bench_decision_block(c: &mut Criterion) {
+    use powerdial::heartbeats::shm::{DecisionRead, Segment, SegmentGeometry, ShmDecision};
+
+    let segment = Segment::create(SegmentGeometry::for_beat_samples(256).unwrap()).unwrap();
+    let mut counter = 0u64;
+    c.bench_function("decision_publish_seqlock", |b| {
+        b.iter(|| {
+            counter += 1;
+            segment.header().publish_decision(ShmDecision {
+                point_idx: counter as u32,
+                gain_bits: counter,
+                achieved_speedup_bits: counter,
+                qos_loss_bits: counter,
+            });
+        })
+    });
+    c.bench_function("decision_read_seqlock", |b| {
+        b.iter(|| match segment.header().read_decision() {
+            DecisionRead::Ready(decision) => black_box(decision.gain_bits),
+            _ => unreachable!("quiesced block always reads Ready"),
+        })
+    });
+}
+
 /// Criterion configuration keeping the whole suite fast: short warm-up and
 /// measurement windows are plenty for the nanosecond-to-millisecond
 /// operations measured here.
@@ -54,6 +82,6 @@ fn quick_config() -> Criterion {
 criterion_group! {
     name = benches;
     config = quick_config();
-    targets = bench_heartbeat_emission, bench_rate_queries
+    targets = bench_heartbeat_emission, bench_rate_queries, bench_decision_block
 }
 criterion_main!(benches);

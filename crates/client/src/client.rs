@@ -1,0 +1,563 @@
+//! The client proper: attach, beat, read decisions, degrade gracefully.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use powerdial_heartbeats::channel::BeatSample;
+use powerdial_heartbeats::shm::{DecisionRead, PeerState, Segment, ShmDecision, ShmProducer};
+use powerdial_heartbeats::{HeartbeatTag, Timestamp, TimestampDelta};
+
+use crate::error::ClientError;
+
+/// One control decision, decoded from the segment's decision block.
+///
+/// The float fields are `f64::from_bits` of the exact words the daemon
+/// published, which are in turn the exact words its in-process
+/// `DecisionView` serves — a decision read here is bit-identical to the
+/// daemon-side view, NaNs and signed zeros included.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Decision {
+    /// Index into the application's knob table of the decided setting.
+    pub point_idx: u32,
+    /// The decided knob gain (instantaneous speedup).
+    pub gain: f64,
+    /// The achieved (time-averaged) speedup of the planned quantum.
+    pub achieved_speedup: f64,
+    /// The expected QoS loss of the planned quantum.
+    pub expected_qos_loss: f64,
+}
+
+impl Decision {
+    /// The identity decision: knob point 0, no speedup, no QoS loss —
+    /// the conventional safe state (the paper's baseline configuration).
+    pub const IDENTITY: Decision = Decision {
+        point_idx: 0,
+        gain: 1.0,
+        achieved_speedup: 1.0,
+        expected_qos_loss: 0.0,
+    };
+
+    /// Decodes a raw shm decision (bit-preserving).
+    pub fn from_shm(shm: &ShmDecision) -> Self {
+        Decision {
+            point_idx: shm.point_idx,
+            gain: shm.gain(),
+            achieved_speedup: shm.achieved_speedup(),
+            expected_qos_loss: shm.expected_qos_loss(),
+        }
+    }
+}
+
+/// Where a [`CurrentDecision`] came from — the client's degradation
+/// ladder, rung by rung.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecisionSource {
+    /// Read consistently from the decision block of a live daemon.
+    Published,
+    /// The freshest consistent decision the client holds, served because
+    /// the current read was torn or the daemon is gone but still within
+    /// the grace window.
+    LastKnownGood,
+    /// The configured safe state: no decision has ever been readable, or
+    /// the daemon has been gone longer than the grace window.
+    SafeState,
+}
+
+/// A decision plus its provenance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurrentDecision {
+    /// The knob setting to apply.
+    pub decision: Decision,
+    /// How trustworthy it is.
+    pub source: DecisionSource,
+}
+
+/// Client configuration: attach persistence and the stale-decision
+/// policy.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Ring capacity (in beat records) to request from the broker.
+    pub capacity: u64,
+    /// Attach/connect attempts before giving up (minimum 1).
+    pub attach_attempts: u32,
+    /// Backoff before the second attempt, doubling per further attempt.
+    pub retry_backoff: Duration,
+    /// Socket read/write timeout for the hello exchange.
+    pub hello_timeout: Duration,
+    /// After the daemon's death is observed, how long the last-known-good
+    /// decision keeps being served before falling back to
+    /// [`ClientConfig::safe_decision`]. `Duration::ZERO` falls back
+    /// immediately (and deterministically — useful in tests).
+    pub grace: Duration,
+    /// The safe state: what the application runs when it has no
+    /// trustworthy decision (never controlled yet, or daemon gone past
+    /// the grace window).
+    pub safe_decision: Decision,
+}
+
+impl Default for ClientConfig {
+    /// 256-record ring, 5 attach attempts backing off from 10 ms, 1 s
+    /// hello timeout, 500 ms grace, identity safe state.
+    fn default() -> Self {
+        ClientConfig {
+            capacity: 256,
+            attach_attempts: 5,
+            retry_backoff: Duration::from_millis(10),
+            hello_timeout: Duration::from_secs(1),
+            grace: Duration::from_millis(500),
+            safe_decision: Decision::IDENTITY,
+        }
+    }
+}
+
+/// The application's handle on the PowerDial control plane: emit beats,
+/// read decisions, survive the daemon.
+///
+/// Obtained by [`PowerDialClient::register`] (connect to a daemon's
+/// attach broker), [`PowerDialClient::attach_segment`] (a segment handed
+/// over directly, e.g. inherited across `fork`), or
+/// [`PowerDialClient::attach_path`] (a tmpfile segment shared by path).
+#[derive(Debug)]
+pub struct PowerDialClient {
+    producer: ShmProducer,
+    config: ClientConfig,
+    next_tag: HeartbeatTag,
+    last_timestamp: Option<Timestamp>,
+    last_known_good: Option<Decision>,
+    daemon_seen_alive: bool,
+    daemon_lost_at: Option<Instant>,
+}
+
+impl PowerDialClient {
+    /// Attaches to a segment this process already holds (inherited
+    /// mapping, or one it created itself).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Shm`] when validation or the producer claim fails.
+    pub fn attach_segment(
+        segment: Arc<Segment>,
+        config: ClientConfig,
+    ) -> Result<Self, ClientError> {
+        let producer = ShmProducer::attach(segment)?;
+        Ok(PowerDialClient {
+            producer,
+            config,
+            next_tag: HeartbeatTag::default(),
+            last_timestamp: None,
+            last_known_good: None,
+            daemon_seen_alive: false,
+            daemon_lost_at: None,
+        })
+    }
+
+    /// Opens a tmpfile-backed segment by filesystem path and attaches,
+    /// retrying with the configured backoff (the daemon may still be
+    /// creating the segment).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::AttemptsExhausted`] wrapping the final attempt's
+    /// [`ClientError::Shm`].
+    #[cfg(unix)]
+    pub fn attach_path(
+        path: impl AsRef<std::path::Path>,
+        config: ClientConfig,
+    ) -> Result<Self, ClientError> {
+        let path = path.as_ref();
+        retry(&config, |config| {
+            let segment = Segment::open(path)?;
+            PowerDialClient::attach_segment(Arc::new(segment), config.clone())
+        })
+    }
+
+    /// Registers with a daemon through its Unix-socket attach broker:
+    /// connect, speak the hello protocol, receive the segment fd over
+    /// `SCM_RIGHTS`, map it, and claim the producer role. Transient
+    /// failures (daemon starting up, [`HelloStatus::Busy`] load shedding)
+    /// are retried with the configured backoff; permanent refusals (ABI
+    /// mismatch, protocol violations) are returned immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Refused`] / [`ClientError::Protocol`] for permanent
+    /// refusals, [`ClientError::AttemptsExhausted`] when retries run out.
+    ///
+    /// [`HelloStatus::Busy`]: powerdial_heartbeats::shm::HelloStatus::Busy
+    #[cfg(all(feature = "broker", target_os = "linux"))]
+    pub fn register(
+        socket_path: impl AsRef<std::path::Path>,
+        config: ClientConfig,
+    ) -> Result<Self, ClientError> {
+        let socket_path = socket_path.as_ref();
+        retry(&config, |config| {
+            PowerDialClient::register_once(socket_path, config)
+        })
+    }
+
+    /// One broker handshake, no retries.
+    #[cfg(all(feature = "broker", target_os = "linux"))]
+    fn register_once(
+        socket_path: &std::path::Path,
+        config: &ClientConfig,
+    ) -> Result<Self, ClientError> {
+        use std::io::Write;
+
+        use powerdial_heartbeats::shm::{
+            recv_exact_with_fd, HelloReply, HelloRequest, HelloStatus, HELLO_REPLY_LEN,
+        };
+
+        let mut stream = std::os::unix::net::UnixStream::connect(socket_path)?;
+        stream.set_read_timeout(Some(config.hello_timeout))?;
+        stream.set_write_timeout(Some(config.hello_timeout))?;
+        stream.write_all(&HelloRequest::new(config.capacity).encode())?;
+
+        let mut reply = [0u8; HELLO_REPLY_LEN];
+        let fd = recv_exact_with_fd(&stream, &mut reply)?;
+        let reply =
+            HelloReply::decode(&reply).ok_or(ClientError::Protocol("undecodable hello reply"))?;
+        match reply.status {
+            HelloStatus::Granted => {
+                let fd = fd.ok_or(ClientError::Protocol("granted reply without segment fd"))?;
+                let segment = Segment::attach_fd(std::fs::File::from(fd))?;
+                PowerDialClient::attach_segment(Arc::new(segment), config.clone())
+            }
+            status => Err(ClientError::Refused(status)),
+        }
+    }
+
+    /// Emits one heartbeat at `now` (sequence tag and latency since the
+    /// previous beat). Wait-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns the rejected record when the ring is full (backpressure —
+    /// also the steady state once the daemon stops draining). The beat
+    /// still counts for latency bookkeeping, so drops degrade the rate
+    /// estimate smoothly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the previous beat.
+    pub fn beat(&mut self, now: Timestamp) -> Result<(), BeatSample> {
+        let latency = match self.last_timestamp {
+            Some(last) => now - last,
+            None => TimestampDelta::ZERO,
+        };
+        let sample = BeatSample {
+            tag: self.next_tag,
+            timestamp: now,
+            latency,
+        };
+        self.next_tag = self.next_tag.next();
+        self.last_timestamp = Some(now);
+        self.producer.try_push(sample)
+    }
+
+    /// The decision the application should apply *right now*, with its
+    /// provenance — this call never fails and never blocks:
+    ///
+    /// 1. a consistent read from a live daemon is
+    ///    [`DecisionSource::Published`] (and becomes the new
+    ///    last-known-good);
+    /// 2. a torn read, or a dead/gone daemon still within
+    ///    [`ClientConfig::grace`], serves
+    ///    [`DecisionSource::LastKnownGood`];
+    /// 3. no decision ever read, or the daemon gone past the grace
+    ///    window, serves the configured [`DecisionSource::SafeState`].
+    ///
+    /// The grace window opens when this call *observes* the daemon's
+    /// death (liveness is polled here, not watched), and closes again if
+    /// a daemon returns.
+    pub fn current_decision(&mut self) -> CurrentDecision {
+        self.current_decision_at(Instant::now())
+    }
+
+    /// [`PowerDialClient::current_decision`] with an injected clock
+    /// reading (tests).
+    fn current_decision_at(&mut self, now: Instant) -> CurrentDecision {
+        let daemon_alive = self.producer.consumer_state().is_alive();
+        if daemon_alive {
+            self.daemon_seen_alive = true;
+            self.daemon_lost_at = None;
+        } else if self.daemon_seen_alive && self.daemon_lost_at.is_none() {
+            self.daemon_lost_at = Some(now);
+        }
+
+        if let DecisionRead::Ready(shm) = self.producer.read_decision() {
+            let decision = Decision::from_shm(&shm);
+            self.last_known_good = Some(decision);
+            if daemon_alive {
+                return CurrentDecision {
+                    decision,
+                    source: DecisionSource::Published,
+                };
+            }
+            // A consistent but orphaned decision: its author is gone, so
+            // it is last-known-good, subject to the grace window below.
+        }
+
+        let grace_expired = match self.daemon_lost_at {
+            Some(lost_at) => now.duration_since(lost_at) >= self.config.grace,
+            None => false,
+        };
+        match self.last_known_good {
+            Some(decision) if !grace_expired => CurrentDecision {
+                decision,
+                source: DecisionSource::LastKnownGood,
+            },
+            _ => CurrentDecision {
+                decision: self.config.safe_decision,
+                source: DecisionSource::SafeState,
+            },
+        }
+    }
+
+    /// Liveness of the daemon (consumer) side of the segment.
+    pub fn daemon_state(&self) -> PeerState {
+        self.producer.consumer_state()
+    }
+
+    /// Total beats pushed through this segment.
+    pub fn beats_pushed(&self) -> u64 {
+        self.producer.pushed()
+    }
+
+    /// Beats rejected because the ring was full.
+    pub fn beats_rejected(&self) -> u64 {
+        self.producer.rejected()
+    }
+
+    /// Beats pushed but not yet drained by the daemon.
+    pub fn beats_in_flight(&self) -> u64 {
+        self.producer.in_flight()
+    }
+
+    /// The client's configuration.
+    pub fn config(&self) -> &ClientConfig {
+        &self.config
+    }
+
+    /// The underlying segment.
+    pub fn segment(&self) -> &Arc<Segment> {
+        self.producer.segment()
+    }
+
+    /// Releases the producer role for an orderly hand-off (a dropped or
+    /// crashed client deliberately leaves its claim behind as the death
+    /// signal the daemon's reaper consumes).
+    pub fn detach(self) {
+        self.producer.detach();
+    }
+}
+
+/// Runs `attempt` up to the configured number of times with doubling
+/// backoff, stopping early on a non-retryable error.
+fn retry<T>(
+    config: &ClientConfig,
+    mut attempt: impl FnMut(&ClientConfig) -> Result<T, ClientError>,
+) -> Result<T, ClientError> {
+    let attempts = config.attach_attempts.max(1);
+    let mut backoff = config.retry_backoff;
+    let mut last = None;
+    for index in 0..attempts {
+        if index > 0 {
+            std::thread::sleep(backoff);
+            backoff = backoff.saturating_mul(2);
+        }
+        match attempt(config) {
+            Ok(value) => return Ok(value),
+            Err(err) if err.is_retryable() => last = Some(err),
+            Err(err) => return Err(err),
+        }
+    }
+    Err(ClientError::AttemptsExhausted {
+        attempts,
+        last: Box::new(last.expect("at least one attempt ran")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powerdial_heartbeats::shm::{SegmentGeometry, ShmConsumer};
+    use std::sync::atomic::Ordering;
+
+    fn segment(capacity: usize) -> Arc<Segment> {
+        Arc::new(Segment::create(SegmentGeometry::for_beat_samples(capacity).unwrap()).unwrap())
+    }
+
+    fn config_with_grace(grace: Duration) -> ClientConfig {
+        ClientConfig {
+            grace,
+            ..ClientConfig::default()
+        }
+    }
+
+    fn decision(point: u32, gain: f64) -> ShmDecision {
+        ShmDecision {
+            point_idx: point,
+            gain_bits: gain.to_bits(),
+            achieved_speedup_bits: gain.to_bits(),
+            qos_loss_bits: 0.01f64.to_bits(),
+        }
+    }
+
+    #[test]
+    fn never_controlled_serves_safe_state() {
+        let segment = segment(16);
+        let mut client = PowerDialClient::attach_segment(segment, ClientConfig::default()).unwrap();
+        let current = client.current_decision();
+        assert_eq!(current.source, DecisionSource::SafeState);
+        assert_eq!(current.decision, Decision::IDENTITY);
+    }
+
+    #[test]
+    fn published_decisions_flow_while_daemon_lives() {
+        let segment = segment(16);
+        let consumer = ShmConsumer::attach(Arc::clone(&segment)).unwrap();
+        let mut client =
+            PowerDialClient::attach_segment(Arc::clone(&segment), ClientConfig::default()).unwrap();
+        consumer.publish_decision(decision(2, 1.5));
+        let current = client.current_decision();
+        assert_eq!(current.source, DecisionSource::Published);
+        assert_eq!(current.decision.point_idx, 2);
+        assert_eq!(current.decision.gain.to_bits(), 1.5f64.to_bits());
+
+        // A torn read (writer mid-publish) falls back to last-known-good.
+        let seq = segment.header().decision_seq.load(Ordering::Acquire);
+        segment
+            .header()
+            .decision_seq
+            .store(seq + 1, Ordering::Release);
+        let current = client.current_decision();
+        assert_eq!(current.source, DecisionSource::LastKnownGood);
+        assert_eq!(current.decision.point_idx, 2);
+        segment.header().decision_seq.store(seq, Ordering::Release);
+    }
+
+    #[test]
+    fn daemon_death_degrades_last_known_good_then_safe() {
+        let segment = segment(16);
+        let consumer = ShmConsumer::attach(Arc::clone(&segment)).unwrap();
+        let grace = Duration::from_secs(3600);
+        let mut client =
+            PowerDialClient::attach_segment(Arc::clone(&segment), config_with_grace(grace))
+                .unwrap();
+        consumer.publish_decision(decision(3, 2.0));
+        assert_eq!(client.current_decision().source, DecisionSource::Published);
+
+        // Simulate the daemon being SIGKILLed: its PID slot holds a
+        // process that no longer exists.
+        segment
+            .header()
+            .consumer_pid
+            .store(0x7FFF_FF00, Ordering::Release);
+        let observed = Instant::now();
+        let current = client.current_decision_at(observed);
+        assert_eq!(current.source, DecisionSource::LastKnownGood);
+        assert_eq!(current.decision.point_idx, 3);
+
+        // Within the grace window: still last-known-good.
+        let current = client.current_decision_at(observed + grace / 2);
+        assert_eq!(current.source, DecisionSource::LastKnownGood);
+
+        // Past the grace window: the configured safe state.
+        let current = client.current_decision_at(observed + grace);
+        assert_eq!(current.source, DecisionSource::SafeState);
+        assert_eq!(current.decision, Decision::IDENTITY);
+    }
+
+    #[test]
+    fn zero_grace_falls_back_immediately_and_recovers() {
+        let segment = segment(16);
+        let consumer = ShmConsumer::attach(Arc::clone(&segment)).unwrap();
+        let mut client = PowerDialClient::attach_segment(
+            Arc::clone(&segment),
+            config_with_grace(Duration::ZERO),
+        )
+        .unwrap();
+        consumer.publish_decision(decision(1, 1.25));
+        assert_eq!(client.current_decision().source, DecisionSource::Published);
+
+        let real_daemon_pid = segment.header().consumer_pid.load(Ordering::Acquire);
+        segment
+            .header()
+            .consumer_pid
+            .store(0x7FFF_FF00, Ordering::Release);
+        assert_eq!(
+            client.current_decision().source,
+            DecisionSource::SafeState,
+            "zero grace degrades on the first observation"
+        );
+
+        // A (re)started daemon closes the incident: published again.
+        segment
+            .header()
+            .consumer_pid
+            .store(real_daemon_pid, Ordering::Release);
+        assert_eq!(client.current_decision().source, DecisionSource::Published);
+    }
+
+    #[test]
+    fn beats_flow_through_the_segment() {
+        let segment = segment(16);
+        let mut consumer = ShmConsumer::attach(Arc::clone(&segment)).unwrap();
+        let mut client =
+            PowerDialClient::attach_segment(Arc::clone(&segment), ClientConfig::default()).unwrap();
+        for beat in 0..5u64 {
+            client.beat(Timestamp::from_millis(beat * 40)).unwrap();
+        }
+        assert_eq!(client.beats_pushed(), 5);
+        assert_eq!(client.beats_in_flight(), 5);
+        let mut out = Vec::new();
+        assert_eq!(consumer.drain_into(&mut out), 5);
+        assert_eq!(out[3].latency, TimestampDelta::from_millis(40));
+        assert_eq!(client.beats_in_flight(), 0);
+        assert_eq!(client.beats_rejected(), 0);
+    }
+
+    #[test]
+    fn retry_stops_early_on_permanent_errors() {
+        let mut attempts = 0u32;
+        let config = ClientConfig {
+            attach_attempts: 5,
+            retry_backoff: Duration::ZERO,
+            ..ClientConfig::default()
+        };
+        let result: Result<(), _> = retry(&config, |_| {
+            attempts += 1;
+            Err(ClientError::Protocol("permanent"))
+        });
+        assert!(matches!(result, Err(ClientError::Protocol(_))));
+        assert_eq!(attempts, 1, "permanent errors are not retried");
+
+        let mut attempts = 0u32;
+        let result: Result<(), _> = retry(&config, |_| {
+            attempts += 1;
+            Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::ConnectionRefused,
+                "no daemon yet",
+            )))
+        });
+        assert!(matches!(
+            result,
+            Err(ClientError::AttemptsExhausted { attempts: 5, .. })
+        ));
+        assert_eq!(attempts, 5, "transient errors use every attempt");
+
+        let mut attempts = 0u32;
+        let result = retry(&config, |_| {
+            attempts += 1;
+            if attempts < 3 {
+                Err(ClientError::Io(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionRefused,
+                    "still starting",
+                )))
+            } else {
+                Ok(attempts)
+            }
+        });
+        assert_eq!(result.unwrap(), 3, "success ends the retry loop");
+    }
+}

@@ -1,0 +1,79 @@
+//! Typed client-side errors.
+
+use powerdial_heartbeats::shm::{HelloStatus, ShmError};
+
+/// Everything that can go wrong between an application and its daemon.
+///
+/// Unlike the daemon's `ControlError`, this type carries `std::io::Error`
+/// (socket I/O is inherent to the attach path), so it is deliberately not
+/// `Clone`/`PartialEq`.
+#[derive(Debug)]
+pub enum ClientError {
+    /// A shared-memory failure: validation, mapping, or role claim.
+    Shm(ShmError),
+    /// Socket I/O failed while talking to the attach broker.
+    Io(std::io::Error),
+    /// The broker judged the hello and refused it.
+    Refused(HelloStatus),
+    /// The broker's reply violated the wire protocol (bad magic, unknown
+    /// status, a granted reply without its segment fd).
+    Protocol(&'static str),
+    /// Every configured attach attempt failed; `last` is the final
+    /// attempt's error.
+    AttemptsExhausted {
+        /// How many attempts were made.
+        attempts: u32,
+        /// The error the last attempt died with.
+        last: Box<ClientError>,
+    },
+}
+
+impl ClientError {
+    /// True when a fresh attempt could plausibly succeed: transient
+    /// socket errors (daemon still starting, connection backlog) and
+    /// load-shedding refusals. ABI mismatches and protocol violations are
+    /// permanent — retrying them only hides a deployment bug.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ClientError::Io(_) | ClientError::Refused(HelloStatus::Busy | HelloStatus::Resources)
+        )
+    }
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Shm(err) => write!(f, "shared-memory attach: {err}"),
+            ClientError::Io(err) => write!(f, "broker socket: {err}"),
+            ClientError::Refused(status) => write!(f, "broker refused attach: {status}"),
+            ClientError::Protocol(what) => write!(f, "broker protocol violation: {what}"),
+            ClientError::AttemptsExhausted { attempts, last } => {
+                write!(f, "all {attempts} attach attempts failed; last: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Shm(err) => Some(err),
+            ClientError::Io(err) => Some(err),
+            ClientError::AttemptsExhausted { last, .. } => Some(last),
+            _ => None,
+        }
+    }
+}
+
+impl From<ShmError> for ClientError {
+    fn from(err: ShmError) -> Self {
+        ClientError::Shm(err)
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(err: std::io::Error) -> Self {
+        ClientError::Io(err)
+    }
+}

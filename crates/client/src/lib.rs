@@ -1,0 +1,54 @@
+//! The application-facing PowerDial client.
+//!
+//! The paper's deployment model puts the controller in one process (the
+//! PowerDial daemon) and the instrumented application in another; the
+//! application's side of that contract is exactly three verbs, and this
+//! crate is their implementation:
+//!
+//! * **register** — [`PowerDialClient::register`] connects to the
+//!   daemon's Unix-socket attach broker, speaks a fixed-size hello, and
+//!   receives a memfd-backed segment over `SCM_RIGHTS` (with bounded
+//!   retry/backoff while the daemon starts up). Processes that already
+//!   hold a segment — forked children, tmpfile sharers — skip the broker
+//!   via [`PowerDialClient::attach_segment`] /
+//!   [`PowerDialClient::attach_path`].
+//! * **beat** — [`PowerDialClient::beat`] emits one Application
+//!   Heartbeat per unit of work: wait-free, allocation-free, one slot
+//!   write and one release store into the shared ring.
+//! * **current_decision** — [`PowerDialClient::current_decision`] reads
+//!   the daemon's latest knob decision back through the segment's
+//!   seqlock-protected decision block, bit-identical to the daemon's own
+//!   `DecisionView`.
+//!
+//! # Surviving the daemon
+//!
+//! The client is built to degrade, not fail, when the control plane
+//! breaks ([`CurrentDecision::source`] says which rung it is on):
+//!
+//! * torn decision reads (a daemon killed mid-publish) are detected by
+//!   the seqlock and served from the **last-known-good** decision;
+//! * a daemon death is observed through the segment's consumer PID; the
+//!   last-known-good decision persists for a configurable **grace
+//!   window** ([`ClientConfig::grace`]), then the client settles on the
+//!   configured **safe state** ([`ClientConfig::safe_decision`]) — the
+//!   paper's baseline configuration by default;
+//! * a restarted daemon is noticed on the next read and decisions become
+//!   [`DecisionSource::Published`] again.
+//!
+//! `current_decision` never blocks, never fails, and never panics on any
+//! of those paths; the `client_fallback` integration suite SIGKILLs a
+//! real forked daemon to prove it.
+//!
+//! # Features
+//!
+//! `broker` (default): the Unix-socket attach path. Without it the crate
+//! has no socket code at all — only direct segment attachment.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod client;
+mod error;
+
+pub use client::{ClientConfig, CurrentDecision, Decision, DecisionSource, PowerDialClient};
+pub use error::ClientError;

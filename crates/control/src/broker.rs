@@ -1,0 +1,370 @@
+//! The Unix-socket attach broker: how *unrelated* processes join the
+//! daemon.
+//!
+//! Forked children inherit a segment mapping and tmpfile attachers share
+//! a path, but the deployment the paper assumes — arbitrary instrumented
+//! applications joining one long-running controller — needs neither
+//! ancestry nor a shared filesystem location per app. The broker closes
+//! that gap: the daemon binds a well-known Unix socket, a connecting
+//! application speaks the fixed-size hello protocol
+//! ([`powerdial_heartbeats::shm::fdpass`]), and on success the broker
+//! creates a fresh memfd-backed segment, registers its consumer side with
+//! the daemon, and passes the file descriptor back over `SCM_RIGHTS` —
+//! the application maps it and attaches its producer side, and from then
+//! on the socket is out of the picture: beats and decisions flow through
+//! shared memory alone.
+//!
+//! # Robustness posture
+//!
+//! Every failure is contained to the one connection that caused it:
+//!
+//! * a **malformed or truncated hello** (wrong magic, reserved flags,
+//!   zero capacity, short read, peer gone) is answered with a typed
+//!   refusal where possible and the connection dropped — the accept loop
+//!   keeps serving;
+//! * a **slow or silent client** is bounded by the per-connection
+//!   read/write timeout, so one stalled peer cannot wedge the broker
+//!   (slow-loris containment);
+//! * a **connection storm** beyond [`BrokerConfig::max_apps`] is refused
+//!   with [`HelloStatus::Busy`] — a cheap, fixed-cost reply — rather than
+//!   queueing unbounded registrations;
+//! * **fd exhaustion** (or any segment-creation failure) refuses that one
+//!   attach with [`HelloStatus::Resources`]; the broker itself holds no
+//!   per-refusal state and survives;
+//! * a client that vanishes **after** registration but before the fd
+//!   reaches it is surfaced as [`AttachOutcome::GrantAbandoned`] so the
+//!   caller can unregister the orphan instead of leaking it (the producer
+//!   slot would read `Absent` forever — the reaper only fires on *dead*
+//!   claimants).
+//!
+//! The `broker_faults` integration suite injects each of these.
+
+use std::io::{Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+use powerdial_heartbeats::shm::{
+    send_with_fd, HelloReply, HelloRequest, HelloStatus, Segment, SegmentGeometry, ShmConsumer,
+    HELLO_REQUEST_LEN,
+};
+
+use crate::daemon::DecisionView;
+use crate::error::ControlError;
+
+/// Errors of the broker itself (listener-level). Per-connection failures
+/// are *outcomes* ([`AttachOutcome`]), not errors — they must not tear
+/// down the accept loop.
+#[derive(Debug)]
+pub enum BrokerError {
+    /// Binding the listening socket failed.
+    Bind {
+        /// The socket path that could not be bound.
+        path: PathBuf,
+        /// The underlying OS error.
+        source: std::io::Error,
+    },
+    /// The socket path is owned by a *live* broker; refusing to steal it.
+    AlreadyRunning {
+        /// The contested socket path.
+        path: PathBuf,
+    },
+    /// The accept loop hit a non-transient listener error.
+    Listener(std::io::Error),
+}
+
+impl std::fmt::Display for BrokerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BrokerError::Bind { path, source } => {
+                write!(f, "binding broker socket {}: {source}", path.display())
+            }
+            BrokerError::AlreadyRunning { path } => {
+                write!(
+                    f,
+                    "a live broker already serves {} (refusing to steal its socket)",
+                    path.display()
+                )
+            }
+            BrokerError::Listener(source) => write!(f, "broker accept loop: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for BrokerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BrokerError::Bind { source, .. } | BrokerError::Listener(source) => Some(source),
+            BrokerError::AlreadyRunning { .. } => None,
+        }
+    }
+}
+
+/// Configuration of an [`AttachBroker`].
+#[derive(Debug, Clone)]
+pub struct BrokerConfig {
+    /// The Unix socket path to serve. Conventions: root daemons use
+    /// `/run/powerdial/broker.sock`, per-user daemons
+    /// `$XDG_RUNTIME_DIR/powerdial/broker.sock` (see the deployment note
+    /// in [`powerdial_heartbeats::shm`]).
+    pub socket_path: PathBuf,
+    /// Registrations beyond this are refused with [`HelloStatus::Busy`]
+    /// (connection-storm backpressure).
+    pub max_apps: usize,
+    /// Per-connection read/write timeout: the longest one peer can hold
+    /// the broker's attention.
+    pub connection_timeout: Duration,
+    /// Requested ring capacities are clamped to this before rounding up
+    /// to a power of two.
+    pub max_capacity: u64,
+}
+
+impl BrokerConfig {
+    /// A configuration serving `socket_path` with defaults: 1024 apps,
+    /// 100 ms per-connection timeout, 4096-record capacity ceiling.
+    pub fn new(socket_path: impl Into<PathBuf>) -> Self {
+        BrokerConfig {
+            socket_path: socket_path.into(),
+            max_apps: 1024,
+            connection_timeout: Duration::from_millis(100),
+            max_capacity: 4096,
+        }
+    }
+}
+
+/// What became of one accepted connection.
+#[derive(Debug)]
+pub enum AttachOutcome {
+    /// Hello accepted, segment registered, fd delivered.
+    Granted(DecisionView),
+    /// Hello judged and refused with this status; connection closed.
+    Refused(HelloStatus),
+    /// The peer disappeared (EOF, timeout, reset) before a verdict.
+    Disconnected,
+    /// The app was registered but the peer vanished before the fd reached
+    /// it. The caller should unregister the returned app: its producer
+    /// slot will stay `Absent` forever, which the dead-peer reaper does
+    /// not collect.
+    GrantAbandoned(DecisionView),
+}
+
+/// The daemon-side attach broker: a non-blocking accept loop over a Unix
+/// listening socket, polled from the daemon's control thread between
+/// actuation quanta.
+///
+/// The broker does not own the daemon — segment *registration* is
+/// delegated to the `register` callback of [`AttachBroker::poll_accept`],
+/// so the caller decides each app's runtime configuration and knob table
+/// (and so the broker is testable without a daemon).
+pub struct AttachBroker {
+    listener: UnixListener,
+    config: BrokerConfig,
+    /// Registrations granted through this broker (drives the Busy check
+    /// together with the caller-reported count).
+    granted: usize,
+}
+
+impl std::fmt::Debug for AttachBroker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AttachBroker")
+            .field("socket_path", &self.config.socket_path)
+            .field("granted", &self.granted)
+            .finish()
+    }
+}
+
+impl AttachBroker {
+    /// Binds the broker's listening socket.
+    ///
+    /// A pre-existing socket file is adopted only when it is *stale*: the
+    /// broker probe-connects first, and a successful connect means a live
+    /// broker owns the path ([`BrokerError::AlreadyRunning`] — a
+    /// configuration error, not something to steal). A refused connect
+    /// marks the file as debris from a crashed daemon; it is unlinked and
+    /// the path rebound.
+    ///
+    /// # Errors
+    ///
+    /// [`BrokerError::AlreadyRunning`] or [`BrokerError::Bind`].
+    pub fn bind(config: BrokerConfig) -> Result<Self, BrokerError> {
+        let path = &config.socket_path;
+        let listener = match UnixListener::bind(path) {
+            Ok(listener) => listener,
+            Err(err) if err.kind() == std::io::ErrorKind::AddrInUse => {
+                if UnixStream::connect(path).is_ok() {
+                    return Err(BrokerError::AlreadyRunning { path: path.clone() });
+                }
+                std::fs::remove_file(path).map_err(|source| BrokerError::Bind {
+                    path: path.clone(),
+                    source,
+                })?;
+                UnixListener::bind(path).map_err(|source| BrokerError::Bind {
+                    path: path.clone(),
+                    source,
+                })?
+            }
+            Err(source) => {
+                return Err(BrokerError::Bind {
+                    path: path.clone(),
+                    source,
+                })
+            }
+        };
+        listener
+            .set_nonblocking(true)
+            .map_err(BrokerError::Listener)?;
+        Ok(AttachBroker {
+            listener,
+            config,
+            granted: 0,
+        })
+    }
+
+    /// The socket path this broker serves.
+    pub fn socket_path(&self) -> &Path {
+        &self.config.socket_path
+    }
+
+    /// Attaches granted through this broker so far.
+    pub fn granted(&self) -> usize {
+        self.granted
+    }
+
+    /// True when the socket file no longer exists (or is no longer a
+    /// socket) — someone removed it out from under the accept loop. The
+    /// listener fd keeps working for already-queued connections, but no
+    /// new client can reach it; the daemon should rebind.
+    pub fn socket_missing(&self) -> bool {
+        !matches!(
+            std::fs::metadata(&self.config.socket_path),
+            Ok(metadata) if {
+                use std::os::unix::fs::FileTypeExt;
+                metadata.file_type().is_socket()
+            }
+        )
+    }
+
+    /// Serves at most one pending connection, without blocking when none
+    /// is pending.
+    ///
+    /// `current_apps` is the daemon's live registration count (the Busy
+    /// threshold compares it against [`BrokerConfig::max_apps`]);
+    /// `register` turns an attached consumer into a daemon registration
+    /// and is called only after the hello has been fully validated.
+    ///
+    /// Returns `Ok(None)` when no connection was pending, otherwise the
+    /// connection's [`AttachOutcome`]. Per-connection failures never
+    /// surface as `Err` — only listener-level breakage does.
+    ///
+    /// # Errors
+    ///
+    /// [`BrokerError::Listener`] for non-transient `accept` failures.
+    pub fn poll_accept(
+        &mut self,
+        current_apps: usize,
+        register: impl FnOnce(ShmConsumer) -> Result<DecisionView, ControlError>,
+    ) -> Result<Option<AttachOutcome>, BrokerError> {
+        let stream = match self.listener.accept() {
+            Ok((stream, _addr)) => stream,
+            Err(err) if err.kind() == std::io::ErrorKind::WouldBlock => return Ok(None),
+            // A peer that connected and reset before we accepted is that
+            // peer's problem, not the listener's.
+            Err(err) if err.kind() == std::io::ErrorKind::ConnectionAborted => {
+                return Ok(Some(AttachOutcome::Disconnected))
+            }
+            Err(err) => return Err(BrokerError::Listener(err)),
+        };
+        Ok(Some(self.serve(stream, current_apps, register)))
+    }
+
+    /// Runs one connection through hello → verdict → (maybe) fd transfer.
+    fn serve(
+        &mut self,
+        mut stream: UnixStream,
+        current_apps: usize,
+        register: impl FnOnce(ShmConsumer) -> Result<DecisionView, ControlError>,
+    ) -> AttachOutcome {
+        // Bound this peer's hold on the broker. A failure to set the
+        // timeout would unbound the reads below, so it is a refusal.
+        if stream
+            .set_read_timeout(Some(self.config.connection_timeout))
+            .is_err()
+            || stream
+                .set_write_timeout(Some(self.config.connection_timeout))
+                .is_err()
+        {
+            return AttachOutcome::Disconnected;
+        }
+
+        let mut hello = [0u8; HELLO_REQUEST_LEN];
+        if let Err(err) = stream.read_exact(&mut hello) {
+            // Truncated hello (EOF) or slow-loris (timeout): the peer
+            // never completed its opening move; nothing to reply to.
+            let _ = err;
+            return AttachOutcome::Disconnected;
+        }
+
+        let request = match HelloRequest::decode(&hello) {
+            Some(request) => request,
+            None => return self.refuse(stream, HelloStatus::Malformed),
+        };
+        if request.flags != 0 || request.capacity == 0 {
+            return self.refuse(stream, HelloStatus::Malformed);
+        }
+        if request.abi_version != powerdial_heartbeats::shm::SEGMENT_ABI_VERSION {
+            return self.refuse(stream, HelloStatus::WrongAbi);
+        }
+        if current_apps >= self.config.max_apps {
+            return self.refuse(stream, HelloStatus::Busy);
+        }
+
+        let capacity = request
+            .capacity
+            .min(self.config.max_capacity)
+            .next_power_of_two() as usize;
+        let segment = match SegmentGeometry::for_beat_samples(capacity).and_then(Segment::create) {
+            Ok(segment) => Arc::new(segment),
+            // fd exhaustion, memfd failure, absurd geometry: this attach
+            // fails, the broker survives.
+            Err(_) => return self.refuse(stream, HelloStatus::Resources),
+        };
+        let Some(segment_fd) = segment.as_raw_fd() else {
+            return self.refuse(stream, HelloStatus::Resources);
+        };
+        let consumer = match ShmConsumer::attach(Arc::clone(&segment)) {
+            Ok(consumer) => consumer,
+            Err(_) => return self.refuse(stream, HelloStatus::Resources),
+        };
+        let view = match register(consumer) {
+            Ok(view) => view,
+            Err(_) => return self.refuse(stream, HelloStatus::Resources),
+        };
+
+        // Reply and fd travel in one sendmsg: a client that read a
+        // granted status is guaranteed the fd came with it.
+        let reply = HelloReply::new(HelloStatus::Granted).encode();
+        match send_with_fd(&stream, &reply, Some(segment_fd)) {
+            Ok(()) => {
+                self.granted += 1;
+                AttachOutcome::Granted(view)
+            }
+            Err(_) => AttachOutcome::GrantAbandoned(view),
+        }
+    }
+
+    /// Sends a refusal (best-effort — the peer may already be gone) and
+    /// closes the connection.
+    fn refuse(&self, mut stream: UnixStream, status: HelloStatus) -> AttachOutcome {
+        let _ = stream.write_all(&HelloReply::new(status).encode());
+        AttachOutcome::Refused(status)
+    }
+}
+
+impl Drop for AttachBroker {
+    /// Removes the socket file so the next bind finds a clean path (a
+    /// crashed broker skips this; `bind`'s stale-socket probe covers it).
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.config.socket_path);
+    }
+}

@@ -43,7 +43,7 @@ use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 
 use powerdial_heartbeats::channel::{beat_channel, BeatConsumer, BeatSample, BeatTransport};
-use powerdial_heartbeats::shm::{ShmConsumer, ShmPeerProbe};
+use powerdial_heartbeats::shm::{ShmConsumer, ShmDecision, ShmPeerProbe};
 use powerdial_heartbeats::{BeatProducer, HeartbeatTag, SlidingWindow, Timestamp};
 use powerdial_knobs::{KnobTable, PointIdx};
 
@@ -466,7 +466,14 @@ impl DaemonShard {
     fn remove(&mut self, id: AppId) -> bool {
         match self.apps.iter().position(|slot| slot.id == id) {
             Some(index) => {
-                self.apps.swap_remove(index);
+                let slot = self.apps.swap_remove(index);
+                // A reaped/unregistered shm app's decision block is reset
+                // before the daemon lets go of the mapping, so the
+                // segment's next tenant starts from `Empty`, not from a
+                // previous app's stale knob setting.
+                if let BeatSource::Shm(consumer) = &slot.consumer {
+                    consumer.reset_decision();
+                }
                 true
             }
             None => false,
@@ -491,9 +498,28 @@ impl DaemonShard {
         let mut beats = 0;
         for slot in &mut self.apps {
             slot.consumer.drain_into(&mut self.scratch);
-            beats += slot
+            let processed = slot
                 .control
                 .process_drained(slot.id, &self.scratch, on_decision);
+            beats += processed;
+            // Cross-process apps read decisions back through the segment's
+            // seqlock-protected decision block. Publish by *re-reading*
+            // the bits `process_drained` just stored into the shared
+            // atomics — the same words `DecisionView` serves — so a
+            // decision seen via shm is bit-identical to the in-process
+            // view by construction. Atomics only: the quantum loop stays
+            // allocation-free.
+            if processed > 0 {
+                if let BeatSource::Shm(consumer) = &slot.consumer {
+                    let shared = &slot.control.shared;
+                    consumer.publish_decision(ShmDecision {
+                        point_idx: shared.decision.load(Ordering::Acquire) as u32,
+                        gain_bits: shared.gain_bits.load(Ordering::Acquire),
+                        achieved_speedup_bits: shared.achieved_speedup_bits.load(Ordering::Acquire),
+                        qos_loss_bits: shared.qos_loss_bits.load(Ordering::Acquire),
+                    });
+                }
+            }
         }
         beats
     }

@@ -77,6 +77,8 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 mod actuator;
+#[cfg(target_os = "linux")]
+pub mod broker;
 mod controller;
 pub mod daemon;
 mod dvfs;
@@ -89,6 +91,8 @@ pub use actuator::{
     ActuationPolicy, Actuator, CompactSchedule, PlanSegment, Schedule, ScheduleSegment,
     MAX_PLAN_SEGMENTS,
 };
+#[cfg(target_os = "linux")]
+pub use broker::{AttachBroker, AttachOutcome, BrokerConfig, BrokerError};
 pub use controller::{ControllerConfig, HeartRateController};
 pub use daemon::{AppHandle, AppId, DaemonConfig, DaemonShard, DecisionView, PowerDialDaemon};
 pub use dvfs::DvfsActuator;

@@ -1,0 +1,412 @@
+//! Fault injection against the attach broker: every hostile, broken, or
+//! unlucky connection is contained to that one connection, and the
+//! accept loop keeps serving.
+//!
+//! Each test connects an in-process `UnixStream` (no fork needed — the
+//! broker cannot tell) and injects one failure mode from the broker's
+//! robustness posture: truncated hellos, wrong magic, reserved flags,
+//! ABI mismatches, silent peers (slow-loris), connection storms past the
+//! app limit, registration failures, peers that vanish between hello and
+//! fd delivery, stolen socket paths, and stale socket files left by a
+//! crashed daemon. After each injected failure, a well-formed attach
+//! must still be granted over the same listener.
+
+#![cfg(target_os = "linux")]
+
+use std::io::{Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use powerdial_control::daemon::{DaemonConfig, DecisionView, PowerDialDaemon};
+use powerdial_control::{
+    AttachBroker, AttachOutcome, BrokerConfig, BrokerError, ControlError, ControllerConfig,
+    RuntimeConfig,
+};
+use powerdial_heartbeats::channel::BeatSample;
+use powerdial_heartbeats::shm::{
+    recv_exact_with_fd, HelloReply, HelloRequest, HelloStatus, Segment, ShmConsumer,
+    HELLO_REPLY_LEN, SEGMENT_ABI_VERSION,
+};
+use powerdial_heartbeats::{HeartbeatTag, Timestamp, TimestampDelta};
+use powerdial_knobs::{CalibrationPoint, ConfigParameter, KnobTable, ParameterSpace};
+use powerdial_qos::{QosLoss, QosLossBound};
+
+/// A unique socket path per test (the suite runs tests concurrently).
+fn socket_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("pd-broker-{}-{name}.sock", std::process::id()))
+}
+
+fn test_table() -> KnobTable {
+    let speedups = [1.0, 2.0, 4.0];
+    let values: Vec<f64> = (0..speedups.len()).map(|i| i as f64).collect();
+    let space = ParameterSpace::builder()
+        .parameter(ConfigParameter::new("k", values, 0.0).unwrap())
+        .build()
+        .unwrap();
+    let points = speedups
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| CalibrationPoint {
+            setting_index: i,
+            setting: space.setting(i).unwrap(),
+            speedup: s,
+            qos_loss: QosLoss::new((s - 1.0) * 0.01),
+        })
+        .collect();
+    KnobTable::from_points(points, 0, QosLossBound::UNBOUNDED).unwrap()
+}
+
+fn inline_daemon() -> PowerDialDaemon {
+    PowerDialDaemon::new(DaemonConfig {
+        workers: 0,
+        channel_capacity: 64,
+        window_size: 20,
+    })
+    .unwrap()
+}
+
+fn register_with(
+    daemon: &mut PowerDialDaemon,
+) -> impl FnOnce(ShmConsumer) -> Result<DecisionView, ControlError> + '_ {
+    |consumer| {
+        daemon.register_shm(
+            RuntimeConfig::new(ControllerConfig::new(30.0, 30.0)?),
+            test_table(),
+            consumer,
+        )
+    }
+}
+
+/// Polls until the queued connection is served (accept is nonblocking;
+/// the connect may still be in flight when poll_accept first runs).
+fn serve_one(
+    broker: &mut AttachBroker,
+    daemon: &mut PowerDialDaemon,
+    current_apps: usize,
+) -> AttachOutcome {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if let Some(outcome) = broker
+            .poll_accept(current_apps, register_with(daemon))
+            .unwrap()
+        {
+            return outcome;
+        }
+        assert!(Instant::now() < deadline, "queued connection never served");
+        std::thread::yield_now();
+    }
+}
+
+/// Reads the broker's reply from the client end.
+fn read_reply(stream: &mut UnixStream) -> HelloReply {
+    let mut reply = [0u8; HELLO_REPLY_LEN];
+    stream.read_exact(&mut reply).unwrap();
+    HelloReply::decode(&reply).unwrap()
+}
+
+/// Completes a full, valid attach over `broker`, proving the accept loop
+/// survived whatever the test injected before.
+fn assert_still_grants(broker: &mut AttachBroker, daemon: &mut PowerDialDaemon) {
+    let mut stream = UnixStream::connect(broker.socket_path()).unwrap();
+    stream.write_all(&HelloRequest::new(64).encode()).unwrap();
+    let apps = daemon.app_count();
+    let outcome = serve_one(broker, daemon, apps);
+    let AttachOutcome::Granted(view) = outcome else {
+        panic!("expected a grant after recovery, got {outcome:?}");
+    };
+
+    let mut reply = [0u8; HELLO_REPLY_LEN];
+    let fd = recv_exact_with_fd(&stream, &mut reply).unwrap();
+    assert_eq!(read_status(&reply), HelloStatus::Granted);
+    let segment = Segment::attach_fd(std::fs::File::from(fd.unwrap())).unwrap();
+
+    // The granted segment is live end to end: a beat pushed by the
+    // client is drained and decided by the daemon.
+    let mut producer = powerdial_heartbeats::shm::ShmProducer::attach(Arc::new(segment)).unwrap();
+    producer
+        .try_push(BeatSample {
+            tag: HeartbeatTag(0),
+            timestamp: Timestamp::ZERO,
+            latency: TimestampDelta::ZERO,
+        })
+        .unwrap();
+    daemon.tick();
+    assert_eq!(view.beats_processed(), 1);
+    daemon.unregister(view.id());
+}
+
+fn read_status(reply: &[u8; HELLO_REPLY_LEN]) -> HelloStatus {
+    HelloReply::decode(reply).unwrap().status
+}
+
+#[test]
+fn truncated_hello_is_contained_to_its_connection() {
+    let mut broker = AttachBroker::bind(BrokerConfig::new(socket_path("truncated"))).unwrap();
+    let mut daemon = inline_daemon();
+
+    let mut stream = UnixStream::connect(broker.socket_path()).unwrap();
+    stream.write_all(&[0xAB; 10]).unwrap();
+    drop(stream); // EOF mid-hello
+
+    let outcome = serve_one(&mut broker, &mut daemon, 0);
+    assert!(matches!(outcome, AttachOutcome::Disconnected));
+    assert_eq!(broker.granted(), 0);
+    assert_still_grants(&mut broker, &mut daemon);
+}
+
+#[test]
+fn silent_client_is_bounded_by_the_connection_timeout() {
+    let mut config = BrokerConfig::new(socket_path("silent"));
+    config.connection_timeout = Duration::from_millis(50);
+    let mut broker = AttachBroker::bind(config).unwrap();
+    let mut daemon = inline_daemon();
+
+    // Connect and say nothing: a slow-loris peer.
+    let stream = UnixStream::connect(broker.socket_path()).unwrap();
+    let started = Instant::now();
+    let outcome = serve_one(&mut broker, &mut daemon, 0);
+    assert!(matches!(outcome, AttachOutcome::Disconnected));
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "the broker must not hang on a silent peer"
+    );
+    drop(stream);
+    assert_still_grants(&mut broker, &mut daemon);
+}
+
+#[test]
+fn wrong_magic_is_refused_malformed() {
+    let mut broker = AttachBroker::bind(BrokerConfig::new(socket_path("magic"))).unwrap();
+    let mut daemon = inline_daemon();
+
+    let mut stream = UnixStream::connect(broker.socket_path()).unwrap();
+    let mut hello = HelloRequest::new(64).encode();
+    hello[0..8].copy_from_slice(b"NOTMAGIC");
+    stream.write_all(&hello).unwrap();
+
+    let outcome = serve_one(&mut broker, &mut daemon, 0);
+    assert!(matches!(
+        outcome,
+        AttachOutcome::Refused(HelloStatus::Malformed)
+    ));
+    let reply = read_reply(&mut stream);
+    assert_eq!(reply.status, HelloStatus::Malformed);
+    assert_eq!(reply.abi_version, SEGMENT_ABI_VERSION);
+    assert_still_grants(&mut broker, &mut daemon);
+}
+
+#[test]
+fn reserved_flags_and_zero_capacity_are_refused_malformed() {
+    let mut broker = AttachBroker::bind(BrokerConfig::new(socket_path("flags"))).unwrap();
+    let mut daemon = inline_daemon();
+
+    let mut stream = UnixStream::connect(broker.socket_path()).unwrap();
+    let mut hello = HelloRequest::new(64).encode();
+    hello[12..16].copy_from_slice(&1u32.to_le_bytes()); // reserved flags
+    stream.write_all(&hello).unwrap();
+    let outcome = serve_one(&mut broker, &mut daemon, 0);
+    assert!(matches!(
+        outcome,
+        AttachOutcome::Refused(HelloStatus::Malformed)
+    ));
+    assert_eq!(read_reply(&mut stream).status, HelloStatus::Malformed);
+
+    let mut stream = UnixStream::connect(broker.socket_path()).unwrap();
+    stream.write_all(&HelloRequest::new(0).encode()).unwrap();
+    let outcome = serve_one(&mut broker, &mut daemon, 0);
+    assert!(matches!(
+        outcome,
+        AttachOutcome::Refused(HelloStatus::Malformed)
+    ));
+    assert_eq!(read_reply(&mut stream).status, HelloStatus::Malformed);
+    assert_still_grants(&mut broker, &mut daemon);
+}
+
+#[test]
+fn abi_mismatch_is_refused_wrong_abi() {
+    let mut broker = AttachBroker::bind(BrokerConfig::new(socket_path("abi"))).unwrap();
+    let mut daemon = inline_daemon();
+
+    let mut stream = UnixStream::connect(broker.socket_path()).unwrap();
+    let mut hello = HelloRequest::new(64).encode();
+    hello[8..12].copy_from_slice(&(SEGMENT_ABI_VERSION + 1).to_le_bytes());
+    stream.write_all(&hello).unwrap();
+
+    let outcome = serve_one(&mut broker, &mut daemon, 0);
+    assert!(matches!(
+        outcome,
+        AttachOutcome::Refused(HelloStatus::WrongAbi)
+    ));
+    // The reply names the broker's ABI so the client can log the skew.
+    let reply = read_reply(&mut stream);
+    assert_eq!(reply.status, HelloStatus::WrongAbi);
+    assert_eq!(reply.abi_version, SEGMENT_ABI_VERSION);
+    assert_still_grants(&mut broker, &mut daemon);
+}
+
+#[test]
+fn connection_storm_past_max_apps_is_refused_busy() {
+    let mut config = BrokerConfig::new(socket_path("storm"));
+    config.max_apps = 3;
+    let mut broker = AttachBroker::bind(config).unwrap();
+    let mut daemon = inline_daemon();
+
+    // A storm of clients against a full daemon: every one refused with a
+    // fixed-cost Busy, none registered, the broker still standing.
+    let mut streams = Vec::new();
+    for _ in 0..8 {
+        let mut stream = UnixStream::connect(broker.socket_path()).unwrap();
+        stream.write_all(&HelloRequest::new(64).encode()).unwrap();
+        streams.push(stream);
+    }
+    for _ in 0..8 {
+        let outcome = serve_one(&mut broker, &mut daemon, 3);
+        assert!(matches!(outcome, AttachOutcome::Refused(HelloStatus::Busy)));
+    }
+    for stream in &mut streams {
+        assert_eq!(read_reply(stream).status, HelloStatus::Busy);
+    }
+    assert_eq!(broker.granted(), 0);
+    assert_eq!(daemon.app_count(), 0);
+
+    // Below the limit the same broker grants again.
+    assert_still_grants(&mut broker, &mut daemon);
+}
+
+#[test]
+fn registration_failure_is_refused_resources() {
+    let mut broker = AttachBroker::bind(BrokerConfig::new(socket_path("regfail"))).unwrap();
+
+    let mut stream = UnixStream::connect(broker.socket_path()).unwrap();
+    stream.write_all(&HelloRequest::new(64).encode()).unwrap();
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let outcome = loop {
+        let polled = broker
+            .poll_accept(0, |_consumer| Err(ControlError::ZeroQuantum))
+            .unwrap();
+        if let Some(outcome) = polled {
+            break outcome;
+        }
+        assert!(Instant::now() < deadline);
+        std::thread::yield_now();
+    };
+    assert!(matches!(
+        outcome,
+        AttachOutcome::Refused(HelloStatus::Resources)
+    ));
+    assert_eq!(read_reply(&mut stream).status, HelloStatus::Resources);
+
+    let mut daemon = inline_daemon();
+    assert_still_grants(&mut broker, &mut daemon);
+}
+
+#[test]
+fn client_vanishing_before_fd_delivery_is_grant_abandoned() {
+    let mut broker = AttachBroker::bind(BrokerConfig::new(socket_path("vanish"))).unwrap();
+    let mut daemon = inline_daemon();
+
+    // The hello is buffered in the socket, then the client dies before
+    // the broker even accepts: registration succeeds, fd delivery fails.
+    let mut stream = UnixStream::connect(broker.socket_path()).unwrap();
+    stream.write_all(&HelloRequest::new(64).encode()).unwrap();
+    drop(stream);
+
+    let outcome = serve_one(&mut broker, &mut daemon, 0);
+    let AttachOutcome::GrantAbandoned(view) = outcome else {
+        panic!("expected GrantAbandoned, got {outcome:?}");
+    };
+    // The orphan is registered but its producer slot will stay Absent
+    // forever — the reaper must NOT collect it; the caller does.
+    assert_eq!(daemon.app_count(), 1);
+    assert!(daemon.reap_dead().is_empty());
+    assert!(daemon.unregister(view.id()));
+    assert_eq!(daemon.app_count(), 0);
+    assert_eq!(broker.granted(), 0, "an abandoned grant is not a grant");
+
+    assert_still_grants(&mut broker, &mut daemon);
+}
+
+#[test]
+fn live_socket_is_not_stolen_but_stale_debris_is_recovered() {
+    let path = socket_path("stale");
+
+    // A live broker owns the path: binding again is a configuration
+    // error, not a theft.
+    let broker = AttachBroker::bind(BrokerConfig::new(&path)).unwrap();
+    match AttachBroker::bind(BrokerConfig::new(&path)) {
+        Err(BrokerError::AlreadyRunning { path: contested }) => assert_eq!(contested, path),
+        other => panic!("expected AlreadyRunning, got {other:?}"),
+    }
+    drop(broker); // orderly shutdown unlinks the socket
+
+    // Debris from a crashed daemon: a socket file nobody listens on.
+    // (Dropping a std UnixListener closes the fd but leaves the file.)
+    let crashed = UnixListener::bind(&path).unwrap();
+    drop(crashed);
+    assert!(path.exists(), "the crash scenario needs leftover debris");
+
+    // The probe-connect finds no listener, unlinks, and rebinds.
+    let mut broker = AttachBroker::bind(BrokerConfig::new(&path)).unwrap();
+    let mut daemon = inline_daemon();
+    assert_still_grants(&mut broker, &mut daemon);
+}
+
+#[test]
+fn socket_removed_mid_accept_is_detected() {
+    let path = socket_path("removed");
+    let mut broker = AttachBroker::bind(BrokerConfig::new(&path)).unwrap();
+    let mut daemon = inline_daemon();
+    assert!(!broker.socket_missing());
+
+    // Already-queued connections still complete after the unlink (the
+    // listener fd outlives the name)...
+    let mut stream = UnixStream::connect(&path).unwrap();
+    stream.write_all(&HelloRequest::new(64).encode()).unwrap();
+    std::fs::remove_file(&path).unwrap();
+    let outcome = serve_one(&mut broker, &mut daemon, 0);
+    assert!(matches!(outcome, AttachOutcome::Granted(_)));
+
+    // ...but no new client can reach the broker, and the daemon can see
+    // why and rebind.
+    assert!(broker.socket_missing());
+    assert!(UnixStream::connect(&path).is_err());
+    drop(broker);
+    let mut broker = AttachBroker::bind(BrokerConfig::new(&path)).unwrap();
+    assert!(!broker.socket_missing());
+    assert_still_grants(&mut broker, &mut daemon);
+}
+
+#[test]
+fn idle_listener_polls_to_none() {
+    let mut broker = AttachBroker::bind(BrokerConfig::new(socket_path("idle"))).unwrap();
+    let polled = broker
+        .poll_accept(0, |_consumer| Err(ControlError::ZeroQuantum))
+        .unwrap();
+    assert!(polled.is_none(), "no pending connection must not block");
+}
+
+#[test]
+fn requested_capacity_is_clamped_to_the_configured_ceiling() {
+    let mut broker = AttachBroker::bind(BrokerConfig::new(socket_path("clamp"))).unwrap();
+    let mut daemon = inline_daemon();
+
+    let mut stream = UnixStream::connect(broker.socket_path()).unwrap();
+    stream
+        .write_all(&HelloRequest::new(1_000_000).encode())
+        .unwrap();
+    let outcome = serve_one(&mut broker, &mut daemon, 0);
+    assert!(matches!(outcome, AttachOutcome::Granted(_)));
+
+    let mut reply = [0u8; HELLO_REPLY_LEN];
+    let fd = recv_exact_with_fd(&stream, &mut reply).unwrap();
+    assert_eq!(read_status(&reply), HelloStatus::Granted);
+    let segment = Segment::attach_fd(std::fs::File::from(fd.unwrap())).unwrap();
+    assert_eq!(
+        segment.geometry().capacity(),
+        4096,
+        "a greedy request is clamped to BrokerConfig::max_capacity"
+    );
+}

@@ -24,7 +24,7 @@ use powerdial_control::daemon::{DaemonConfig, PowerDialDaemon};
 use powerdial_control::{ControllerConfig, IndexedDecision, RuntimeConfig};
 use powerdial_heartbeats::channel::BeatSample;
 use powerdial_heartbeats::shm::process::{fork_child, ChildExit};
-use powerdial_heartbeats::shm::{Segment, SegmentGeometry, ShmConsumer, ShmProducer};
+use powerdial_heartbeats::shm::{DecisionRead, Segment, SegmentGeometry, ShmConsumer, ShmProducer};
 use powerdial_heartbeats::{HeartbeatTag, Timestamp, TimestampDelta};
 use powerdial_knobs::{CalibrationPoint, ConfigParameter, KnobTable, ParameterSpace};
 use powerdial_qos::{QosLoss, QosLossBound};
@@ -305,4 +305,121 @@ fn daemon_reaps_child_killed_mid_stream() {
     assert_eq!(daemon.app_count(), 0);
     // Every beat the daemon processed was a real, in-order beat.
     assert!(view.beats_processed() >= 150);
+}
+
+#[test]
+fn decision_block_is_bit_identical_to_decision_view() {
+    // The ABI v2 acceptance claim: a decision read back through the
+    // segment's decision block is **bit-identical** to the daemon's
+    // in-process `DecisionView` — the same words, NaN payloads and
+    // signed zeros included, because the daemon publishes by re-reading
+    // the very atomics the view serves.
+    const BEATS: u64 = 480;
+    let segment =
+        Arc::new(Segment::create(SegmentGeometry::for_beat_samples(CAPACITY).unwrap()).unwrap());
+    let mut producer = ShmProducer::attach(Arc::clone(&segment)).unwrap();
+    let consumer = ShmConsumer::attach(Arc::clone(&segment)).unwrap();
+
+    let mut daemon = inline_daemon();
+    let view = daemon
+        .register_shm(runtime_config(), test_table(), consumer)
+        .unwrap();
+
+    // Before any beat: nothing published, nothing viewable.
+    assert_eq!(producer.read_decision(), DecisionRead::Empty);
+    assert!(view.latest_gain().is_none());
+
+    let mut tag = 0u64;
+    let mut batch = 1usize;
+    let mut compared = 0u64;
+    while tag < BEATS {
+        for _ in 0..batch.min((BEATS - tag) as usize) {
+            producer.try_push(beat(tag)).unwrap();
+            tag += 1;
+        }
+        daemon.tick();
+        match producer.read_decision() {
+            DecisionRead::Ready(shm) => {
+                assert_eq!(shm.gain_bits, view.latest_gain().unwrap().to_bits());
+                assert_eq!(
+                    shm.achieved_speedup_bits,
+                    view.achieved_speedup().unwrap().to_bits()
+                );
+                assert_eq!(
+                    shm.qos_loss_bits,
+                    view.expected_qos_loss().unwrap().to_bits()
+                );
+                assert_eq!(
+                    shm.point_idx as usize,
+                    view.latest_point().unwrap().as_usize()
+                );
+                compared += 1;
+            }
+            other => panic!("post-quantum decision must be readable, got {other:?}"),
+        }
+        batch = batch % (CAPACITY - 1) + 7;
+    }
+    assert!(compared > 0);
+    assert_eq!(view.beats_processed(), BEATS);
+}
+
+#[test]
+fn reaped_app_decision_block_is_reset_before_segment_reuse() {
+    // The reap path must not leak the dead app's last decision into a
+    // future reuse of the mapping: `reap_dead` resets the decision block
+    // (under the seqlock discipline) before the daemon lets go.
+    let segment =
+        Arc::new(Segment::create(SegmentGeometry::for_beat_samples(CAPACITY).unwrap()).unwrap());
+    let consumer = ShmConsumer::attach(Arc::clone(&segment)).unwrap();
+
+    let child = fork_child({
+        let segment = Arc::clone(&segment);
+        move || {
+            let Ok(mut producer) = ShmProducer::attach(segment) else {
+                return 1;
+            };
+            for tag in 0..CAPACITY as u64 {
+                if producer.try_push(beat(tag)).is_err() {
+                    return 2;
+                }
+            }
+            0
+        }
+    })
+    .unwrap();
+    assert_eq!(child.wait().unwrap(), ChildExit::Exited(0));
+
+    let mut daemon = inline_daemon();
+    let view = daemon
+        .register_shm(runtime_config(), test_table(), consumer)
+        .unwrap();
+    daemon.tick();
+    assert!(
+        matches!(segment.header().read_decision(), DecisionRead::Ready(_)),
+        "the burst was processed and a decision published"
+    );
+
+    assert_eq!(daemon.reap_dead(), vec![view.id()]);
+    assert_eq!(
+        segment.header().read_decision(),
+        DecisionRead::Empty,
+        "a reaped app's decision block reads never-published again"
+    );
+
+    // `unregister` is the same removal path: it resets too.
+    let segment2 =
+        Arc::new(Segment::create(SegmentGeometry::for_beat_samples(CAPACITY).unwrap()).unwrap());
+    let consumer2 = ShmConsumer::attach(Arc::clone(&segment2)).unwrap();
+    let mut producer2 = ShmProducer::attach(Arc::clone(&segment2)).unwrap();
+    let view2 = daemon
+        .register_shm(runtime_config(), test_table(), consumer2)
+        .unwrap();
+    producer2.try_push(beat(0)).unwrap();
+    daemon.tick();
+    assert!(matches!(
+        segment2.header().read_decision(),
+        DecisionRead::Ready(_)
+    ));
+    assert!(daemon.unregister(view2.id()));
+    assert_eq!(segment2.header().read_decision(), DecisionRead::Empty);
 }

@@ -9,12 +9,14 @@
 //! offset 0    ┌────────────────────────────────────────────┐
 //!             │ magic, abi_version, ready                  │
 //!             │ capacity, slot_stride, record_size         │  control block
-//!             │ producer_pid, consumer_pid                 │  (cache line 0)
+//!             │ producer_pid, consumer_pid, producer_nonce │  (cache line 0)
 //! offset 128  ├────────────────────────────────────────────┤
 //!             │ head (consumer-owned)                      │  cache line 1
 //! offset 256  ├────────────────────────────────────────────┤
 //!             │ tail (producer-owned)                      │  cache line 2
 //! offset 384  ├────────────────────────────────────────────┤
+//!             │ decision block (daemon-owned seqlock)      │  cache line 3
+//! offset 512  ├────────────────────────────────────────────┤
 //!             │ slot 0 │ slot 1 │ …  │ slot capacity-1     │  fixed stride
 //!             └────────────────────────────────────────────┘
 //! ```
@@ -25,8 +27,28 @@
 //! misbehaving peer can scribble anywhere, and reading a scribbled-on field
 //! must be a data-race-free load that yields a garbage *value* (rejected by
 //! validation) rather than undefined behaviour.
+//!
+//! # ABI v2 additions
+//!
+//! Version 2 extends version 1 with the *bidirectional* control plane:
+//!
+//! * **`producer_nonce`** (control block) — the producing process's start
+//!   nonce (its `/proc/<pid>/stat` start time on Linux), stored by the
+//!   producer right after it claims its PID slot. Liveness probes compare
+//!   the nonce against the live process's actual start time, so a recycled
+//!   PID no longer masquerades as a live peer (`0` = nonce unavailable,
+//!   probes fall back to plain `kill(pid, 0)` liveness).
+//! * **Decision block** (cache line 3) — the daemon-owned back-channel: the
+//!   latest control decision ([`ShmDecision`]: knob point index, gain,
+//!   achieved speedup, expected QoS loss) published under a seqlock
+//!   ([`SegmentHeader::publish_decision`]). Application-side reads
+//!   ([`SegmentHeader::read_decision`]) are wait-free (bounded retries) and
+//!   torn-read-free: a reader either gets a bit-consistent snapshot, an
+//!   explicit [`DecisionRead::Empty`], or an explicit
+//!   [`DecisionRead::Torn`] — never a half-written mixture, even when the
+//!   daemon is SIGKILLed between the two halves of a seqlock write.
 
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{fence, AtomicU32, AtomicU64, Ordering};
 
 use crate::channel::BeatSample;
 use crate::record::HeartbeatTag;
@@ -37,12 +59,20 @@ use crate::time::{Timestamp, TimestampDelta};
 pub const SEGMENT_MAGIC: u64 = u64::from_le_bytes(*b"PDSHMBT1");
 
 /// Version of the segment ABI this build reads and writes. Bump on any
-/// change to [`SegmentHeader`] or [`ShmBeatSample`] layout.
-pub const SEGMENT_ABI_VERSION: u32 = 1;
+/// change to [`SegmentHeader`] or [`ShmBeatSample`] layout. Version 2
+/// added the producer start nonce and the daemon-owned decision block.
+pub const SEGMENT_ABI_VERSION: u32 = 2;
 
-/// Byte length of the segment header; slot 0 starts here. Three 128-byte
-/// blocks: control fields, consumer-owned `head`, producer-owned `tail`.
-pub const SEGMENT_HEADER_LEN: usize = 384;
+/// Byte length of the segment header; slot 0 starts here. Four 128-byte
+/// blocks: control fields, consumer-owned `head`, producer-owned `tail`,
+/// and the daemon-owned decision block.
+pub const SEGMENT_HEADER_LEN: usize = 512;
+
+/// Bounded seqlock read attempts in [`SegmentHeader::read_decision`]. The
+/// writer holds the lock for a handful of relaxed stores, so under any
+/// live writer two attempts suffice; the bound exists so a writer that
+/// died mid-publish degrades to [`DecisionRead::Torn`] instead of a spin.
+pub const DECISION_READ_RETRIES: usize = 8;
 
 /// Default distance in bytes between consecutive slots. Must be at least
 /// `size_of::<ShmBeatSample>()` (24); 32 keeps slots 8-aligned with room
@@ -137,6 +167,55 @@ impl ShmBeatSample {
 
 const _: () = assert!(std::mem::size_of::<ShmBeatSample>() == 24);
 const _: () = assert!(std::mem::align_of::<ShmBeatSample>() == 8);
+
+/// One control decision as published in the segment's decision block: the
+/// daemon→application half of the bidirectional control plane. All floats
+/// travel as raw bit patterns so a decision read back through shared
+/// memory is *bit-identical* to the daemon's in-process
+/// `DecisionView` — the equivalence the `daemon_shm_equivalence` suite
+/// pins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShmDecision {
+    /// Dense index of the decided setting in the application's knob table.
+    pub point_idx: u32,
+    /// Bit pattern of the decided knob gain (instantaneous speedup, f64).
+    pub gain_bits: u64,
+    /// Bit pattern of the quantum's achieved (time-averaged) speedup (f64).
+    pub achieved_speedup_bits: u64,
+    /// Bit pattern of the quantum's expected QoS loss (f64).
+    pub qos_loss_bits: u64,
+}
+
+impl ShmDecision {
+    /// The decided knob gain.
+    pub fn gain(&self) -> f64 {
+        f64::from_bits(self.gain_bits)
+    }
+
+    /// The achieved (time-averaged) speedup of the planned quantum.
+    pub fn achieved_speedup(&self) -> f64 {
+        f64::from_bits(self.achieved_speedup_bits)
+    }
+
+    /// The expected QoS loss of the planned quantum.
+    pub fn expected_qos_loss(&self) -> f64 {
+        f64::from_bits(self.qos_loss_bits)
+    }
+}
+
+/// Outcome of one wait-free decision-block read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecisionRead {
+    /// No decision has ever been published (or the block was reset).
+    Empty,
+    /// A bit-consistent snapshot of the latest published decision.
+    Ready(ShmDecision),
+    /// Every bounded retry raced a write in progress. Either the daemon is
+    /// publishing right now (the next read will succeed) or it died between
+    /// the two halves of a seqlock write (the block is permanently torn
+    /// until reset). Callers keep their last known-good decision.
+    Torn,
+}
 
 /// The geometry of a segment's slot array: how many slots, how far apart,
 /// and how many bytes of each slot carry a record.
@@ -302,7 +381,15 @@ pub struct SegmentHeader {
     pub producer_pid: AtomicU32,
     /// PID of the attached consumer (0 = unclaimed).
     pub consumer_pid: AtomicU32,
-    _pad0: [u8; 80],
+    /// Start nonce of the producing process (ABI v2): its
+    /// `/proc/<pid>/stat` start time, written by the producer right after
+    /// its PID claim, cleared by [`crate::shm::ShmProducer::detach`].
+    /// `0` = unavailable; liveness probes then fall back to plain
+    /// `kill(pid, 0)`. A live process at `producer_pid` whose actual start
+    /// time disagrees with this nonce is a *recycled* PID: the original
+    /// producer is dead.
+    pub producer_nonce: AtomicU64,
+    _pad0: [u8; 72],
     /// Next position the consumer will read. Consumer-owned: written with
     /// `Release` after the freed slots were read, loaded by the producer
     /// with `Acquire` before overwriting them.
@@ -313,12 +400,29 @@ pub struct SegmentHeader {
     /// with `Acquire` before reading them.
     pub tail: AtomicU64,
     _pad2: [u8; 120],
+    /// Seqlock version counter of the decision block (ABI v2). `0` = no
+    /// decision ever published; odd = a write is in progress. Written only
+    /// by the daemon ([`SegmentHeader::publish_decision`]); read with
+    /// bounded retries by the application
+    /// ([`SegmentHeader::read_decision`]).
+    pub decision_seq: AtomicU64,
+    /// Dense knob-table index of the latest decision (low 32 bits used).
+    pub decision_point: AtomicU64,
+    /// Bit pattern of the latest decision's knob gain (f64).
+    pub decision_gain_bits: AtomicU64,
+    /// Bit pattern of the latest quantum's achieved speedup (f64).
+    pub decision_speedup_bits: AtomicU64,
+    /// Bit pattern of the latest quantum's expected QoS loss (f64).
+    pub decision_qos_bits: AtomicU64,
+    _pad3: [u8; 88],
 }
 
 const _: () = assert!(std::mem::size_of::<SegmentHeader>() == SEGMENT_HEADER_LEN);
 const _: () = assert!(std::mem::align_of::<SegmentHeader>() == 8);
+const _: () = assert!(std::mem::offset_of!(SegmentHeader, producer_nonce) == 48);
 const _: () = assert!(std::mem::offset_of!(SegmentHeader, head) == 128);
 const _: () = assert!(std::mem::offset_of!(SegmentHeader, tail) == 256);
+const _: () = assert!(std::mem::offset_of!(SegmentHeader, decision_seq) == 384);
 
 impl SegmentHeader {
     /// Writes a fresh header for `geometry` into zeroed segment memory.
@@ -334,10 +438,100 @@ impl SegmentHeader {
             .store(geometry.record_size(), Ordering::Relaxed);
         self.producer_pid.store(0, Ordering::Relaxed);
         self.consumer_pid.store(0, Ordering::Relaxed);
+        self.producer_nonce.store(0, Ordering::Relaxed);
         self.head.store(0, Ordering::Relaxed);
         self.tail.store(0, Ordering::Relaxed);
+        self.decision_seq.store(0, Ordering::Relaxed);
+        self.decision_point.store(0, Ordering::Relaxed);
+        self.decision_gain_bits.store(0, Ordering::Relaxed);
+        self.decision_speedup_bits.store(0, Ordering::Relaxed);
+        self.decision_qos_bits.store(0, Ordering::Relaxed);
         self.magic.store(SEGMENT_MAGIC, Ordering::Relaxed);
         self.ready.store(SEGMENT_READY, Ordering::Release);
+    }
+
+    /// Publishes one decision into the decision block under the seqlock.
+    ///
+    /// Single-writer by protocol (the attached consumer/daemon); the
+    /// version counter goes odd, the payload words are stored, the counter
+    /// goes even. A writer that inherits an odd counter (its predecessor
+    /// died mid-publish) transparently repairs it: the in-progress parity
+    /// is kept odd for the duration of this write and lands on even.
+    pub fn publish_decision(&self, decision: ShmDecision) {
+        let seq = self.decision_seq.load(Ordering::Relaxed);
+        // Next odd value above `seq`: seq+1 when even, seq+2 when a dead
+        // predecessor left it odd.
+        let writing = seq + 1 + (seq & 1);
+        self.decision_seq.store(writing, Ordering::Relaxed);
+        // Readers that loaded `writing` (odd) discard their snapshot, so
+        // these relaxed stores can never be *observed* torn; the fence
+        // keeps them from sinking above the odd store.
+        fence(Ordering::Release);
+        self.decision_point
+            .store(u64::from(decision.point_idx), Ordering::Relaxed);
+        self.decision_gain_bits
+            .store(decision.gain_bits, Ordering::Relaxed);
+        self.decision_speedup_bits
+            .store(decision.achieved_speedup_bits, Ordering::Relaxed);
+        self.decision_qos_bits
+            .store(decision.qos_loss_bits, Ordering::Relaxed);
+        self.decision_seq.store(writing + 1, Ordering::Release);
+    }
+
+    /// Clears the decision block back to the never-published state (the
+    /// reap path: a reaped application's segment must not leak its last
+    /// decision into a future reuse of the mapping).
+    ///
+    /// The clear runs under the same seqlock discipline as a publish, so a
+    /// concurrent reader races into [`DecisionRead::Empty`] or a retry —
+    /// never a half-cleared snapshot.
+    pub fn reset_decision(&self) {
+        let seq = self.decision_seq.load(Ordering::Relaxed);
+        let writing = seq + 1 + (seq & 1);
+        self.decision_seq.store(writing, Ordering::Relaxed);
+        fence(Ordering::Release);
+        self.decision_point.store(0, Ordering::Relaxed);
+        self.decision_gain_bits.store(0, Ordering::Relaxed);
+        self.decision_speedup_bits.store(0, Ordering::Relaxed);
+        self.decision_qos_bits.store(0, Ordering::Relaxed);
+        self.decision_seq.store(0, Ordering::Release);
+    }
+
+    /// Reads the decision block wait-free: at most
+    /// [`DECISION_READ_RETRIES`] seqlock attempts, each one a pair of
+    /// version loads around relaxed payload loads.
+    ///
+    /// Returns [`DecisionRead::Ready`] with a snapshot whose bits are
+    /// exactly what some single [`SegmentHeader::publish_decision`] wrote,
+    /// [`DecisionRead::Empty`] when nothing was ever published, or
+    /// [`DecisionRead::Torn`] when every attempt raced an in-progress (or
+    /// abandoned mid-write) publication. A torn result is a *signal*, not
+    /// data: callers keep their last known-good decision.
+    pub fn read_decision(&self) -> DecisionRead {
+        for _ in 0..DECISION_READ_RETRIES {
+            let before = self.decision_seq.load(Ordering::Acquire);
+            if before == 0 {
+                return DecisionRead::Empty;
+            }
+            if before & 1 == 1 {
+                // Write in progress; try again.
+                std::hint::spin_loop();
+                continue;
+            }
+            let decision = ShmDecision {
+                point_idx: self.decision_point.load(Ordering::Relaxed) as u32,
+                gain_bits: self.decision_gain_bits.load(Ordering::Relaxed),
+                achieved_speedup_bits: self.decision_speedup_bits.load(Ordering::Relaxed),
+                qos_loss_bits: self.decision_qos_bits.load(Ordering::Relaxed),
+            };
+            // Order the payload loads before the confirming version load.
+            fence(Ordering::Acquire);
+            let after = self.decision_seq.load(Ordering::Relaxed);
+            if before == after {
+                return DecisionRead::Ready(decision);
+            }
+        }
+        DecisionRead::Torn
     }
 
     /// Validates magic, version, readiness, and geometry against a mapping
@@ -476,6 +670,67 @@ mod tests {
         }
         let last = geometry.slot_offset(geometry.capacity() - 1);
         assert!(last + geometry.record_size() as usize <= geometry.total_len());
+    }
+
+    #[test]
+    fn decision_block_publish_read_reset_round_trips() {
+        let header: SegmentHeader = unsafe { std::mem::zeroed() };
+        header.initialize(SegmentGeometry::for_beat_samples(8).unwrap());
+        assert_eq!(header.read_decision(), DecisionRead::Empty);
+
+        let decision = ShmDecision {
+            point_idx: 3,
+            gain_bits: 2.5f64.to_bits(),
+            achieved_speedup_bits: 1.75f64.to_bits(),
+            qos_loss_bits: 0.03f64.to_bits(),
+        };
+        header.publish_decision(decision);
+        assert_eq!(header.read_decision(), DecisionRead::Ready(decision));
+        assert_eq!(header.decision_seq.load(Ordering::Relaxed), 2);
+
+        // NaN payloads survive bit-exactly (bits, not float compare).
+        let nan = ShmDecision {
+            point_idx: u32::MAX,
+            gain_bits: f64::NAN.to_bits(),
+            achieved_speedup_bits: f64::INFINITY.to_bits(),
+            qos_loss_bits: (-0.0f64).to_bits(),
+        };
+        header.publish_decision(nan);
+        assert_eq!(header.read_decision(), DecisionRead::Ready(nan));
+        assert_eq!(nan.gain().to_bits(), f64::NAN.to_bits());
+        assert_eq!(nan.achieved_speedup(), f64::INFINITY);
+        assert_eq!(nan.expected_qos_loss().to_bits(), (-0.0f64).to_bits());
+
+        header.reset_decision();
+        assert_eq!(header.read_decision(), DecisionRead::Empty);
+    }
+
+    #[test]
+    fn decision_read_reports_torn_when_writer_died_mid_publish() {
+        let header: SegmentHeader = unsafe { std::mem::zeroed() };
+        header.initialize(SegmentGeometry::for_beat_samples(8).unwrap());
+        header.publish_decision(ShmDecision {
+            point_idx: 1,
+            gain_bits: 1.5f64.to_bits(),
+            achieved_speedup_bits: 1.5f64.to_bits(),
+            qos_loss_bits: 0.0f64.to_bits(),
+        });
+        // Simulate a daemon SIGKILLed between the seqlock write halves:
+        // version odd, payload half-scribbled.
+        header.decision_seq.store(3, Ordering::Release);
+        header.decision_gain_bits.store(0xdead, Ordering::Relaxed);
+        assert_eq!(header.read_decision(), DecisionRead::Torn);
+        // A successor writer repairs the parity: the next publish lands on
+        // an even version and reads go through again.
+        let repaired = ShmDecision {
+            point_idx: 2,
+            gain_bits: 2.0f64.to_bits(),
+            achieved_speedup_bits: 2.0f64.to_bits(),
+            qos_loss_bits: 0.01f64.to_bits(),
+        };
+        header.publish_decision(repaired);
+        assert_eq!(header.decision_seq.load(Ordering::Relaxed) & 1, 0);
+        assert_eq!(header.read_decision(), DecisionRead::Ready(repaired));
     }
 
     #[test]

@@ -19,20 +19,96 @@
 //!   platform;
 //! * [`transport`] — [`ShmProducer`] / [`ShmConsumer`]: the wait-free
 //!   `try_push` / batched `drain_into` protocol over the mapped atomics,
-//!   plus the attach-time handshake and peer liveness;
+//!   plus the attach-time handshake, peer liveness, and the decision
+//!   read-back path;
+//! * [`fdpass`] — `SCM_RIGHTS` fd passing and the hello wire protocol the
+//!   attach broker (`powerdial-control`) and `powerdial-client` speak;
 //! * [`process`] — fork/wait helpers for the cross-process tests and the
 //!   `shm_external_controller` example.
 //!
-//! # Segment layout (ABI version 1)
+//! # Segment layout (ABI version 2)
 //!
 //! ```text
 //! offset 0    magic ("PDSHMBT1"), abi_version, ready,
 //!             capacity, slot_stride, record_size,
-//!             producer_pid, consumer_pid          ── control block
+//!             producer_pid, consumer_pid,
+//!             producer_nonce                      ── control block
 //! offset 128  head  (consumer-owned cache line)
 //! offset 256  tail  (producer-owned cache line)
-//! offset 384  slot[0], slot[1], …, slot[capacity-1]   (fixed stride)
+//! offset 384  decision block (consumer-owned cache line):
+//!             decision_seq, decision_point, decision_gain_bits,
+//!             decision_speedup_bits, decision_qos_bits
+//! offset 512  slot[0], slot[1], …, slot[capacity-1]   (fixed stride)
 //! ```
+//!
+//! # ABI v2 additions
+//!
+//! Version 2 (this build) grew the header from 384 to 512 bytes and the
+//! ABI in three ways; v1 segments are refused at validation (`abi_version`
+//! mismatch), never reinterpreted.
+//!
+//! **Producer start nonce.** `producer_nonce` records the claimant's
+//! start time (Linux: the `starttime` field of `/proc/<pid>/stat`, in
+//! clock ticks since boot) alongside its PID. Liveness probes compare the
+//! live process's actual start time against the recorded nonce: a
+//! mismatch means the PID was recycled and the original producer is dead
+//! — closing the v1 false-liveness hole where a recycled PID deferred the
+//! reap indefinitely. A zero nonce (pre-nonce attacher, `/proc`
+//! unavailable, non-Linux) degrades to plain `kill(pid, 0)` liveness, a
+//! conservative *alive*. The claim protocol keeps the pair coherent
+//! without widening the CAS: the nonce slot is zero whenever the PID slot
+//! is claimable (`initialize` and [`ShmProducer::detach`] clear the nonce
+//! *before* the PID; death clears neither), and a probe racing the
+//! post-claim nonce store just sees the zero-nonce fallback.
+//!
+//! **Decision block.** Decisions flow controller → application through a
+//! consumer-owned cache line published under a seqlock: `decision_seq` is
+//! a version counter (0 = never published, odd = write in progress, even
+//! ≥ 2 = consistent), and the payload is the controller's current
+//! [`layout::ShmDecision`] — knob point index plus gain, achieved
+//! speedup, and expected QoS loss as raw `f64` bit patterns, so a decision
+//! read via shm is bit-identical to the in-process `DecisionView`. The
+//! writer ([`ShmConsumer::publish_decision`]) bumps the counter to odd,
+//! release-fences, stores the payload, then release-stores the even
+//! successor; it also repairs the parity a predecessor that died
+//! mid-publish left behind. The reader ([`ShmProducer::read_decision`])
+//! is wait-free with [`layout::DECISION_READ_RETRIES`] bounded retries
+//! and returns a typed [`layout::DecisionRead`]: `Empty` (never
+//! published), `Ready` (a consistent snapshot — both counter reads agree
+//! around an acquire fence), or `Torn` (a writer died mid-publish or the
+//! line is churning; the caller keeps its last-known-good decision). A
+//! torn snapshot is *reported*, never returned as data.
+//!
+//! **Attach broker handshake.** Unrelated processes (no inherited
+//! mapping, no shared tmpfile path) attach by connecting to the daemon's
+//! Unix-socket broker and speaking the [`fdpass`] hello protocol; the
+//! broker creates a memfd segment, registers the consumer side, and
+//! passes the fd over `SCM_RIGHTS`. See `powerdial-control`'s broker
+//! module and the `powerdial-client` crate for the two ends.
+//!
+//! # Running the daemon as a service (deployment note)
+//!
+//! The deployment shape the paper assumes — one controller process, many
+//! instrumented applications — maps to: run one daemon process hosting
+//! `PowerDialDaemon` plus its `AttachBroker`, bound to a well-known Unix
+//! socket path. Conventions:
+//!
+//! * **Socket path**: a root daemon serves `/run/powerdial/broker.sock`;
+//!   per-user daemons serve `$XDG_RUNTIME_DIR/powerdial/broker.sock`.
+//!   Clients take the path from `$POWERDIAL_BROKER` when set. Keep paths
+//!   under ~100 bytes — `sun_path` is 108 bytes on Linux.
+//! * **Stale sockets**: the broker unlinks a pre-existing socket file at
+//!   bind time only after a probe connect fails (a live listener is a
+//!   configuration error, not something to steal). Crashed daemons leave
+//!   the file behind; restart handles it.
+//! * **Permissions**: the socket file's mode gates who can register apps
+//!   (connect requires write). Create the parent directory `0755` root /
+//!   `0700` per-user and let the socket inherit the umask.
+//! * **Liveness**: applications outliving the daemon see its death
+//!   through the consumer PID + decision staleness and degrade per their
+//!   grace policy (`powerdial-client`'s safe-state fallback); a restarted
+//!   daemon serves *new* attaches immediately — existing segments are
+//!   not re-adopted (their apps re-register).
 //!
 //! # Ownership rules
 //!
@@ -64,13 +140,11 @@
 //! stale; the consumer claim, which carries no liveness protocol, is
 //! released automatically when the [`ShmConsumer`] drops.
 //!
-//! **Known limitation — PID recycling**: liveness is `kill(pid, 0)`, so a
-//! producer PID recycled to an unrelated long-lived process makes a dead
-//! producer look alive and defers the reap indefinitely (the beats stop,
-//! but the segment is retained). With Linux's default 4M `pid_max` and
-//! 32-bit claim fields this is rare but real; a hardening pass would
-//! claim with `pidfd_open` or record the claimant's start time from
-//! `/proc/<pid>/stat` and compare at probe time.
+//! PID recycling — the v1 false-liveness hole where `kill(pid, 0)`
+//! against a recycled PID made a dead producer look alive — is closed by
+//! the ABI v2 producer start nonce (see "ABI v2 additions" above); the
+//! zero-nonce fallback intentionally retains the old conservative
+//! behaviour on platforms without `/proc`.
 //!
 //! # Example (single process; see `examples/shm_external_controller.rs`
 //! for the forked two-process deployment)
@@ -102,15 +176,24 @@
 //! ```
 
 mod error;
+pub mod fdpass;
 pub mod layout;
 pub mod process;
 pub mod segment;
 pub mod transport;
 
 pub use error::{PeerRole, PeerState, ShmError};
-pub use layout::{
-    SegmentGeometry, SegmentHeader, ShmBeatSample, DEFAULT_SLOT_STRIDE, SEGMENT_ABI_VERSION,
-    SEGMENT_HEADER_LEN, SEGMENT_MAGIC,
+pub use fdpass::{
+    HelloReply, HelloRequest, HelloStatus, HELLO_REPLY_LEN, HELLO_REPLY_MAGIC, HELLO_REQUEST_LEN,
+    HELLO_REQUEST_MAGIC,
 };
-pub use segment::{current_pid, pid_alive, BackingKind, Segment};
+pub use layout::{
+    DecisionRead, SegmentGeometry, SegmentHeader, ShmBeatSample, ShmDecision,
+    DECISION_READ_RETRIES, DEFAULT_SLOT_STRIDE, SEGMENT_ABI_VERSION, SEGMENT_HEADER_LEN,
+    SEGMENT_MAGIC,
+};
+pub use segment::{current_pid, pid_alive, process_start_nonce, BackingKind, Segment};
 pub use transport::{ShmConsumer, ShmPeerProbe, ShmProducer};
+
+#[cfg(target_os = "linux")]
+pub use fdpass::{recv_exact_with_fd, send_with_fd};

@@ -49,6 +49,18 @@ mod sys {
         pub fn kill(pid: c_int, sig: c_int) -> c_int;
     }
 
+    #[cfg(target_os = "linux")]
+    pub const O_RDONLY: c_int = 0;
+    #[cfg(target_os = "linux")]
+    pub const O_CLOEXEC: c_int = 0o2000000;
+
+    #[cfg(target_os = "linux")]
+    extern "C" {
+        pub fn open(path: *const std::os::raw::c_char, flags: c_int, ...) -> c_int;
+        pub fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        pub fn close(fd: c_int) -> c_int;
+    }
+
     #[cfg(all(target_os = "linux", feature = "shm-memfd"))]
     pub const MFD_CLOEXEC: std::os::raw::c_uint = 1;
 
@@ -64,6 +76,106 @@ mod sys {
 /// This process's PID in the 32-bit form stored in segment headers.
 pub fn current_pid() -> u32 {
     std::process::id()
+}
+
+/// The start nonce of process `pid`: a value that identifies this
+/// *incarnation* of the PID, so liveness probes can tell a recycled PID
+/// from the original claimant.
+///
+/// On Linux this is the `starttime` field of `/proc/<pid>/stat` (clock
+/// ticks since boot at which the process started) — stable for the
+/// process's whole life, different for any later process recycled onto the
+/// same PID. Returns `None` where `/proc` is unavailable (non-Linux, or a
+/// PID hidden from this process), in which case callers fall back to plain
+/// `kill(pid, 0)` liveness.
+/// Allocation-free: this runs inside the reaper's per-quantum liveness
+/// probe, which shares the hot path's no-heap contract (enforced by the
+/// `no_alloc` test suite) — hence raw `open`/`read`/`close` into stack
+/// buffers instead of `std::fs`.
+pub fn process_start_nonce(pid: u32) -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        // "/proc/" + up to 10 PID digits + "/stat" + NUL = 23 bytes.
+        let mut path = [0u8; 24];
+        let mut cursor = 0;
+        for &byte in b"/proc/" {
+            path[cursor] = byte;
+            cursor += 1;
+        }
+        let mut digits = [0u8; 10];
+        let mut remaining = pid;
+        let mut count = 0;
+        loop {
+            digits[count] = b'0' + (remaining % 10) as u8;
+            count += 1;
+            remaining /= 10;
+            if remaining == 0 {
+                break;
+            }
+        }
+        for index in (0..count).rev() {
+            path[cursor] = digits[index];
+            cursor += 1;
+        }
+        for &byte in b"/stat" {
+            path[cursor] = byte;
+            cursor += 1;
+        }
+        debug_assert!(cursor < path.len(), "path stays NUL-terminated");
+
+        // SAFETY: `path` is NUL-terminated and outlives the call.
+        let fd = unsafe {
+            sys::open(
+                path.as_ptr() as *const std::os::raw::c_char,
+                sys::O_RDONLY | sys::O_CLOEXEC,
+            )
+        };
+        if fd < 0 {
+            return None;
+        }
+        // One read suffices: starttime is field 22, always within the
+        // first few hundred bytes even with a pathological comm (the
+        // kernel caps comm at 16 bytes).
+        let mut buf = [0u8; 1024];
+        let got = loop {
+            // SAFETY: `buf` is writable for its full length and outlives
+            // the call.
+            let got =
+                unsafe { sys::read(fd, buf.as_mut_ptr() as *mut std::os::raw::c_void, buf.len()) };
+            if got >= 0 {
+                break got as usize;
+            }
+            let interrupted =
+                std::io::Error::last_os_error().kind() == std::io::ErrorKind::Interrupted;
+            if !interrupted {
+                // SAFETY: `fd` is ours and open.
+                unsafe { sys::close(fd) };
+                return None;
+            }
+        };
+        // SAFETY: `fd` is ours and open.
+        unsafe { sys::close(fd) };
+
+        // The comm field is parenthesized and may itself contain spaces and
+        // parentheses; everything after the *last* ')' is whitespace-split:
+        // state(3) ppid(4) … starttime(22), i.e. index 19 after the comm.
+        let stat = &buf[..got];
+        let close_paren = stat.iter().rposition(|&byte| byte == b')')?;
+        let token = stat[close_paren + 1..]
+            .split(|&byte| byte == b' ')
+            .filter(|token| !token.is_empty())
+            .nth(19)?;
+        std::str::from_utf8(token)
+            .ok()?
+            .parse::<u64>()
+            .ok()
+            .filter(|&nonce| nonce != 0)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = pid;
+        None
+    }
 }
 
 /// True when a process with `pid` currently exists (it may belong to
@@ -348,6 +460,32 @@ impl Segment {
                 op: "open(segment)",
                 source,
             })?;
+        Segment::attach_file(file, BackingKind::TmpFile, Some(path.to_path_buf()))
+    }
+
+    /// Attaches to an existing, already-initialized segment through an open
+    /// file descriptor — the entry point for memfds received over a Unix
+    /// socket (`SCM_RIGHTS`, the attach broker) or inherited across
+    /// `exec`. The header is validated before the first slot access.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShmError::Io`] when the fd cannot be sized or mapped,
+    /// [`ShmError::TruncatedSegment`] when it is too small to hold a
+    /// header, and any [`SegmentHeader::validate`] error for a malformed
+    /// header.
+    #[cfg(unix)]
+    pub fn attach_fd(file: std::fs::File) -> Result<Segment, ShmError> {
+        Segment::attach_file(file, BackingKind::Memfd, None)
+    }
+
+    /// Maps and validates an existing segment file (no initialization).
+    #[cfg(unix)]
+    fn attach_file(
+        file: std::fs::File,
+        kind: BackingKind,
+        path: Option<PathBuf>,
+    ) -> Result<Segment, ShmError> {
         let len = file
             .metadata()
             .map_err(|source| ShmError::Io {
@@ -371,11 +509,11 @@ impl Segment {
             len,
             // Placeholder until the header is validated below.
             geometry: SegmentGeometry::for_beat_samples(1).expect("static geometry"),
-            kind: BackingKind::TmpFile,
+            kind,
             backing: Backing::Mapped {
                 _file: file,
                 owned_path: None,
-                path: Some(path.to_path_buf()),
+                path,
             },
         };
         segment.geometry = segment.header().validate(segment.len)?;
@@ -426,6 +564,21 @@ impl Segment {
     /// Which backing holds the bytes.
     pub fn backing_kind(&self) -> BackingKind {
         self.kind
+    }
+
+    /// For file-backed segments: the raw file descriptor another process
+    /// can attach through, after receiving it over a Unix socket
+    /// (`SCM_RIGHTS`) or inheriting it. `None` for the in-memory fake. The
+    /// fd stays owned by this segment — callers duplicate it (the kernel
+    /// does, for fd passing) rather than close it.
+    #[cfg(unix)]
+    pub fn as_raw_fd(&self) -> Option<std::os::fd::RawFd> {
+        use std::os::fd::AsRawFd;
+        match &self.backing {
+            Backing::Mapped { _file, .. } => Some(_file.as_raw_fd()),
+            #[cfg(feature = "shm-fake")]
+            Backing::Heap { .. } => None,
+        }
     }
 
     /// For file-backed segments: the filesystem path another process can
@@ -555,6 +708,44 @@ mod tests {
         assert_eq!(segment.backing_kind(), BackingKind::Memfd);
         assert_eq!(segment.path(), None);
         assert_eq!(segment.validate().unwrap(), geometry());
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn start_nonce_identifies_this_process() {
+        let nonce = process_start_nonce(current_pid());
+        assert!(nonce.is_some(), "own /proc entry must be readable");
+        assert_ne!(nonce, Some(0));
+        // Stable across reads: the nonce identifies the incarnation.
+        assert_eq!(nonce, process_start_nonce(current_pid()));
+        // A PID that cannot exist has no nonce.
+        assert_eq!(process_start_nonce((i32::MAX - 1) as u32), None);
+        assert_eq!(process_start_nonce(0), None);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn attach_fd_maps_the_same_memory() {
+        use std::os::fd::FromRawFd;
+
+        let created = Segment::create(geometry()).unwrap();
+        let raw = created.as_raw_fd().expect("file-backed segment has an fd");
+        // Duplicate the fd the way fd-passing would (the kernel dups on
+        // SCM_RIGHTS transfer); attach through the duplicate.
+        let dup = unsafe { sys_dup(raw) };
+        assert!(dup >= 0);
+        let attached = Segment::attach_fd(unsafe { std::fs::File::from_raw_fd(dup) }).unwrap();
+        assert_eq!(attached.geometry(), geometry());
+        created.header().tail.store(9, Ordering::Release);
+        assert_eq!(attached.header().tail.load(Ordering::Acquire), 9);
+    }
+
+    #[cfg(unix)]
+    unsafe fn sys_dup(fd: std::os::raw::c_int) -> std::os::raw::c_int {
+        extern "C" {
+            fn dup(fd: std::os::raw::c_int) -> std::os::raw::c_int;
+        }
+        unsafe { dup(fd) }
     }
 
     #[test]

@@ -24,11 +24,25 @@
 //! PID behind, and that staleness *is* the death signal
 //! [`ShmConsumer::producer_state`] and [`ShmPeerProbe::producer_state`]
 //! report, which the daemon's reaper acts on; only an explicit
-//! [`ShmProducer::detach`] hands the stream to a successor. The
-//! **consumer** PID carries no liveness protocol — it only enforces
-//! single-consumer access — so it *is* released when the consumer drops
-//! (daemon unregister/reap), keeping segments re-attachable without
-//! restarting the controller.
+//! [`ShmProducer::detach`] hands the stream to a successor. Since ABI v2
+//! the producer claim also records the process **start nonce**
+//! (`/proc/<pid>/stat` starttime), so an unrelated process that inherits
+//! the dead producer's recycled PID no longer masquerades as a live peer:
+//! a live PID whose actual start time disagrees with the recorded nonce
+//! reads as [`PeerState::Dead`]. The **consumer** PID carries no liveness
+//! protocol — it only enforces single-consumer access — so it *is*
+//! released when the consumer drops (daemon unregister/reap), keeping
+//! segments re-attachable without restarting the controller.
+//!
+//! # Decision read-back (ABI v2)
+//!
+//! Decisions flow the other way through the same segment: the consumer
+//! (controller) publishes the current knob decision with
+//! [`ShmConsumer::publish_decision`] and the producer (application) reads
+//! it back with [`ShmProducer::read_decision`] — seqlock-protected, so
+//! reads are wait-free and a torn snapshot is *reported*
+//! ([`DecisionRead::Torn`]), never silently returned. See
+//! [`crate::shm::layout`] for the protocol.
 //!
 //! # Safety argument
 //!
@@ -47,8 +61,8 @@ use std::sync::Arc;
 
 use crate::channel::BeatSample;
 use crate::shm::error::{PeerRole, PeerState, ShmError};
-use crate::shm::layout::ShmBeatSample;
-use crate::shm::segment::{current_pid, pid_alive, Segment};
+use crate::shm::layout::{DecisionRead, SegmentHeader, ShmBeatSample, ShmDecision};
+use crate::shm::segment::{current_pid, pid_alive, process_start_nonce, Segment};
 
 /// Validates a segment for *typed* [`ShmBeatSample`] access: on top of the
 /// generic header checks, the recorded `record_size` must be exactly this
@@ -71,19 +85,34 @@ fn validate_for_beat_samples(
     Ok(geometry)
 }
 
-/// Claims `role`'s PID slot for this process.
-fn claim(slot: &AtomicU32, role: PeerRole) -> Result<u32, ShmError> {
+/// Claims `role`'s PID slot for this process. Contested producer claims
+/// are liveness-checked with the start nonce (a recycled-PID claimant is a
+/// dead peer, not a live rival); consumer claims carry no nonce.
+fn claim(header: &SegmentHeader, role: PeerRole) -> Result<u32, ShmError> {
     let pid = current_pid();
+    let slot = match role {
+        PeerRole::Producer => &header.producer_pid,
+        PeerRole::Consumer => &header.consumer_pid,
+    };
     match slot.compare_exchange(0, pid, Ordering::AcqRel, Ordering::Acquire) {
         Ok(_) => Ok(pid),
-        Err(existing) if pid_alive(existing) => Err(ShmError::RoleClaimed {
-            role,
-            pid: existing,
-        }),
-        Err(existing) => Err(ShmError::DeadPeer {
-            role,
-            pid: existing,
-        }),
+        Err(existing) => {
+            let alive = match role {
+                PeerRole::Producer => producer_state_of(header).is_alive(),
+                PeerRole::Consumer => pid_alive(existing),
+            };
+            if alive {
+                Err(ShmError::RoleClaimed {
+                    role,
+                    pid: existing,
+                })
+            } else {
+                Err(ShmError::DeadPeer {
+                    role,
+                    pid: existing,
+                })
+            }
+        }
     }
 }
 
@@ -110,6 +139,31 @@ fn peer_state(slot: &AtomicU32) -> PeerState {
         pid if pid_alive(pid) => PeerState::Alive(pid),
         pid => PeerState::Dead(pid),
     }
+}
+
+/// Liveness of the *producer* claim, which — unlike the consumer's — is
+/// nonce-checked (ABI v2): a live process at the claimed PID whose actual
+/// start time disagrees with the recorded [`SegmentHeader::producer_nonce`]
+/// is a recycled PID, so the original producer is dead. A zero nonce (not
+/// recorded, pre-nonce attacher, or `/proc` unavailable at claim time)
+/// falls back to plain `kill(pid, 0)` liveness.
+fn producer_state_of(header: &SegmentHeader) -> PeerState {
+    let pid = header.producer_pid.load(Ordering::Acquire);
+    if pid == 0 {
+        return PeerState::Absent;
+    }
+    if !pid_alive(pid) {
+        return PeerState::Dead(pid);
+    }
+    let nonce = header.producer_nonce.load(Ordering::Acquire);
+    if nonce != 0 {
+        if let Some(actual) = process_start_nonce(pid) {
+            if actual != nonce {
+                return PeerState::Dead(pid);
+            }
+        }
+    }
+    PeerState::Alive(pid)
 }
 
 /// The producer (application) half of a shared-memory beat segment.
@@ -157,7 +211,16 @@ impl ShmProducer {
     pub fn attach(segment: Arc<Segment>) -> Result<Self, ShmError> {
         let geometry = validate_for_beat_samples(&segment)?;
         let header = segment.header();
-        let pid = claim(&header.producer_pid, PeerRole::Producer)?;
+        let pid = claim(header, PeerRole::Producer)?;
+        // Record this process's start nonce so a recycled PID can never
+        // masquerade as us (ABI v2). The slot is guaranteed 0 here: both
+        // `initialize` and `detach` zero it before the PID becomes
+        // claimable, and death never clears the PID. A probe racing this
+        // store sees nonce 0 and falls back to plain `kill` liveness — a
+        // conservative *alive*, never a false *dead*.
+        header
+            .producer_nonce
+            .store(process_start_nonce(pid).unwrap_or(0), Ordering::Release);
         let tail = header.tail.load(Ordering::Acquire);
         let cached_head = header.head.load(Ordering::Acquire);
         Ok(ShmProducer {
@@ -243,12 +306,24 @@ impl ShmProducer {
     /// the controller's reaper, exactly like a crash. Only an explicit
     /// `detach` declares "the stream continues under a new producer".
     pub fn detach(self) {
-        let _ = self.segment.header().producer_pid.compare_exchange(
-            self.pid,
-            0,
-            Ordering::AcqRel,
-            Ordering::Relaxed,
-        );
+        let header = self.segment.header();
+        // Nonce first, then PID: the claim protocol relies on the nonce
+        // slot being 0 whenever the PID slot is CAS-able.
+        header.producer_nonce.store(0, Ordering::Release);
+        let _ =
+            header
+                .producer_pid
+                .compare_exchange(self.pid, 0, Ordering::AcqRel, Ordering::Relaxed);
+    }
+
+    /// Reads the controller's current decision (ABI v2 decision block).
+    ///
+    /// Wait-free with bounded retries: a writer caught mid-publish yields
+    /// a handful of spins, a writer that *died* mid-publish yields
+    /// [`DecisionRead::Torn`] — never a half-written decision presented as
+    /// whole.
+    pub fn read_decision(&self) -> DecisionRead {
+        self.segment.header().read_decision()
     }
 }
 
@@ -293,13 +368,13 @@ impl ShmConsumer {
     pub fn attach(segment: Arc<Segment>) -> Result<Self, ShmError> {
         let geometry = validate_for_beat_samples(&segment)?;
         let header = segment.header();
-        if let PeerState::Dead(pid) = peer_state(&header.producer_pid) {
+        if let PeerState::Dead(pid) = producer_state_of(header) {
             return Err(ShmError::DeadPeer {
                 role: PeerRole::Producer,
                 pid,
             });
         }
-        let pid = claim(&header.consumer_pid, PeerRole::Consumer)?;
+        let pid = claim(header, PeerRole::Consumer)?;
         let head = header.head.load(Ordering::Acquire);
         Ok(ShmConsumer {
             pid,
@@ -382,9 +457,23 @@ impl ShmConsumer {
 
     /// Liveness of the producer side: the signal the reap protocol acts
     /// on. [`PeerState::Dead`] means the producing process exited (cleanly
-    /// or not) without detaching.
+    /// or not) without detaching — including the recycled-PID case, which
+    /// the ABI v2 start nonce unmasks.
     pub fn producer_state(&self) -> PeerState {
-        peer_state(&self.segment.header().producer_pid)
+        producer_state_of(self.segment.header())
+    }
+
+    /// Publishes a decision for the producer side to read back (ABI v2
+    /// decision block, seqlock-protected).
+    pub fn publish_decision(&self, decision: ShmDecision) {
+        self.segment.header().publish_decision(decision);
+    }
+
+    /// Resets the decision block to the never-published state. Part of
+    /// the reap protocol: a reaped app's stale decision must not leak to
+    /// the segment's next tenant.
+    pub fn reset_decision(&self) {
+        self.segment.header().reset_decision();
     }
 
     /// The underlying segment.
@@ -447,9 +536,15 @@ pub struct ShmPeerProbe {
 }
 
 impl ShmPeerProbe {
-    /// Liveness of the producer side.
+    /// Liveness of the producer side (nonce-checked, like
+    /// [`ShmConsumer::producer_state`]).
     pub fn producer_state(&self) -> PeerState {
-        peer_state(&self.segment.header().producer_pid)
+        producer_state_of(self.segment.header())
+    }
+
+    /// Reads the currently published decision (ABI v2 decision block).
+    pub fn read_decision(&self) -> DecisionRead {
+        self.segment.header().read_decision()
     }
 
     /// Liveness of the consumer side.
@@ -620,6 +715,77 @@ mod tests {
         assert_eq!(probe.pending(), 1);
         assert!(probe.producer_state().is_alive());
         assert!(probe.consumer_state().is_alive());
+    }
+
+    #[test]
+    fn decisions_round_trip_consumer_to_producer() {
+        let segment = segment(8);
+        let tx = ShmProducer::attach(Arc::clone(&segment)).unwrap();
+        let rx = ShmConsumer::attach(Arc::clone(&segment)).unwrap();
+        assert_eq!(tx.read_decision(), DecisionRead::Empty);
+        let decision = ShmDecision {
+            point_idx: 3,
+            gain_bits: 2.5f64.to_bits(),
+            achieved_speedup_bits: 1.75f64.to_bits(),
+            qos_loss_bits: 0.03f64.to_bits(),
+        };
+        rx.publish_decision(decision);
+        assert_eq!(tx.read_decision(), DecisionRead::Ready(decision));
+        assert_eq!(rx.probe().read_decision(), DecisionRead::Ready(decision));
+        rx.reset_decision();
+        assert_eq!(tx.read_decision(), DecisionRead::Empty);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn recycled_pid_reads_dead_through_nonce_mismatch() {
+        let segment = segment(8);
+        let _tx = ShmProducer::attach(Arc::clone(&segment)).unwrap();
+        let header = segment.header();
+        let recorded = header.producer_nonce.load(Ordering::Acquire);
+        assert_ne!(recorded, 0, "attach must record our start nonce");
+
+        // Simulate PID recycling: the claimed PID is alive (it is ours),
+        // but the recorded start time belongs to a *different* incarnation.
+        header
+            .producer_nonce
+            .store(recorded.wrapping_add(1), Ordering::Release);
+        let probe = ShmPeerProbe {
+            segment: Arc::clone(&segment),
+            capacity: 8,
+        };
+        assert!(matches!(probe.producer_state(), PeerState::Dead(_)));
+        // A fresh producer claim sees a dead peer (reap it), not a rival.
+        assert!(matches!(
+            ShmProducer::attach(Arc::clone(&segment)),
+            Err(ShmError::DeadPeer {
+                role: PeerRole::Producer,
+                ..
+            })
+        ));
+        // And the consumer refuses the abandoned stream outright.
+        assert!(matches!(
+            ShmConsumer::attach(Arc::clone(&segment)),
+            Err(ShmError::DeadPeer {
+                role: PeerRole::Producer,
+                ..
+            })
+        ));
+
+        // Nonce 0 (pre-nonce attacher / no /proc): conservative fallback
+        // to plain kill-liveness — alive, since the PID really is ours.
+        header.producer_nonce.store(0, Ordering::Release);
+        assert!(probe.producer_state().is_alive());
+    }
+
+    #[test]
+    fn detach_clears_nonce_with_pid() {
+        let segment = segment(8);
+        let tx = ShmProducer::attach(Arc::clone(&segment)).unwrap();
+        tx.detach();
+        let header = segment.header();
+        assert_eq!(header.producer_nonce.load(Ordering::Acquire), 0);
+        assert_eq!(header.producer_pid.load(Ordering::Acquire), 0);
     }
 
     #[test]

@@ -1,0 +1,230 @@
+//! Torn-read hardening of the segment's decision block (ABI v2).
+//!
+//! The decision block is the daemon→application half of the control
+//! plane: a seqlock-published record read wait-free by the application.
+//! Its safety claim is that **no reader ever observes a mixed payload** —
+//! every [`DecisionRead::Ready`] snapshot is bit-for-bit some single
+//! published decision — under
+//!
+//! * same-process concurrency (a writer thread racing a reader loop),
+//! * arbitrary payloads including NaN and all-ones bit patterns
+//!   (property tests),
+//! * a *forked* writer SIGKILLed mid-stream: whatever instant the kill
+//!   lands, the reader gets `Empty`, `Torn`, or a consistent snapshot —
+//!   never garbage — and a successor writer repairs an odd (abandoned
+//!   mid-write) version counter transparently.
+
+#![cfg(unix)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use powerdial_heartbeats::shm::process::{fork_child, ChildExit};
+use powerdial_heartbeats::shm::{
+    DecisionRead, Segment, SegmentGeometry, ShmConsumer, ShmDecision, ShmProducer,
+};
+use proptest::prelude::*;
+
+fn segment() -> Arc<Segment> {
+    Arc::new(Segment::create(SegmentGeometry::for_beat_samples(16).unwrap()).unwrap())
+}
+
+/// A decision whose four payload words all encode the same counter — the
+/// invariant every consistent snapshot must preserve.
+fn tagged(counter: u64) -> ShmDecision {
+    ShmDecision {
+        point_idx: counter as u32,
+        gain_bits: counter,
+        achieved_speedup_bits: counter,
+        qos_loss_bits: counter,
+    }
+}
+
+/// Asserts a snapshot is some single `tagged` decision, returning its
+/// counter.
+fn assert_untorn(decision: &ShmDecision) -> u64 {
+    let counter = decision.gain_bits;
+    assert_eq!(
+        decision.point_idx, counter as u32,
+        "mixed payload: {decision:?}"
+    );
+    assert_eq!(
+        decision.achieved_speedup_bits, counter,
+        "mixed payload: {decision:?}"
+    );
+    assert_eq!(
+        decision.qos_loss_bits, counter,
+        "mixed payload: {decision:?}"
+    );
+    counter
+}
+
+#[test]
+fn concurrent_reader_never_observes_mixed_payloads() {
+    const PUBLICATIONS: u64 = 200_000;
+    let segment = segment();
+    let done = Arc::new(AtomicBool::new(false));
+
+    let writer_segment = Arc::clone(&segment);
+    let writer_done = Arc::clone(&done);
+    let writer = std::thread::spawn(move || {
+        for counter in 1..=PUBLICATIONS {
+            writer_segment.header().publish_decision(tagged(counter));
+        }
+        writer_done.store(true, Ordering::Release);
+    });
+
+    let mut ready_reads = 0u64;
+    let mut torn_reads = 0u64;
+    let mut last_counter = 0u64;
+    while !done.load(Ordering::Acquire) || ready_reads == 0 {
+        match segment.header().read_decision() {
+            DecisionRead::Empty => {}
+            DecisionRead::Torn => torn_reads += 1,
+            DecisionRead::Ready(decision) => {
+                let counter = assert_untorn(&decision);
+                assert!(
+                    counter >= last_counter,
+                    "decisions regressed: {counter} after {last_counter}"
+                );
+                last_counter = counter;
+                ready_reads += 1;
+            }
+        }
+    }
+    writer.join().unwrap();
+
+    // The stream has quiesced: the final read must be the final decision.
+    match segment.header().read_decision() {
+        DecisionRead::Ready(decision) => assert_eq!(assert_untorn(&decision), PUBLICATIONS),
+        other => panic!("quiesced block must read Ready, got {other:?}"),
+    }
+    assert!(ready_reads > 0);
+    // Torn is legal under contention but must be the exception, not the
+    // rule, for a writer that spends most of its time between publishes.
+    let _ = torn_reads;
+}
+
+#[test]
+fn forked_writer_sigkilled_mid_stream_never_leaves_garbage() {
+    let segment = segment();
+    // Claim the consumer role in the child, producer in the parent, so
+    // the roles mirror the real daemon/application split.
+    let child = fork_child({
+        let segment = Arc::clone(&segment);
+        move || {
+            let Ok(consumer) = ShmConsumer::attach(segment) else {
+                return 1;
+            };
+            let mut counter = 1u64;
+            loop {
+                consumer.publish_decision(tagged(counter));
+                counter += 1;
+            }
+        }
+    })
+    .unwrap();
+
+    let producer = ShmProducer::attach(Arc::clone(&segment)).unwrap();
+
+    // Read concurrently with the live writer until real publications are
+    // observed, checking consistency throughout.
+    let mut observed = 0u64;
+    while observed < 10_000 {
+        if let DecisionRead::Ready(decision) = producer.read_decision() {
+            assert_untorn(&decision);
+            observed += 1;
+        }
+    }
+
+    // SIGKILL can land anywhere, including between the two halves of a
+    // seqlock write.
+    child.kill().unwrap();
+    assert!(matches!(child.wait().unwrap(), ChildExit::Signaled(_)));
+
+    // Post-mortem reads are stable (the writer is gone) and still sane:
+    // either a consistent final snapshot or a permanently torn block —
+    // never mixed bits.
+    let post_mortem = producer.read_decision();
+    match post_mortem {
+        DecisionRead::Ready(decision) => {
+            assert_untorn(&decision);
+        }
+        DecisionRead::Torn => {}
+        DecisionRead::Empty => panic!("10k observed publications cannot vanish"),
+    }
+    assert_eq!(
+        producer.read_decision(),
+        post_mortem,
+        "a dead writer's block must read deterministically"
+    );
+
+    // A successor writer (restarted daemon) repairs even a mid-write
+    // abandonment: the very next publication is readable.
+    segment.header().publish_decision(tagged(u64::MAX));
+    match producer.read_decision() {
+        DecisionRead::Ready(decision) => assert_eq!(assert_untorn(&decision), u64::MAX),
+        other => panic!("successor publish must repair the block, got {other:?}"),
+    }
+}
+
+proptest! {
+    /// Any payload — NaN bits, all-ones, zeros — round-trips bit-exactly,
+    /// and every read between publications returns exactly the latest
+    /// decision.
+    #[test]
+    fn arbitrary_payloads_round_trip_bit_exactly(
+        decisions in proptest::collection::vec(
+            (0u32..u32::MAX, 0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX),
+            1..32,
+        ),
+    ) {
+        let segment = segment();
+        prop_assert_eq!(segment.header().read_decision(), DecisionRead::Empty);
+        for &(point_idx, gain_bits, achieved_speedup_bits, qos_loss_bits) in &decisions {
+            let decision = ShmDecision {
+                point_idx,
+                gain_bits,
+                achieved_speedup_bits,
+                qos_loss_bits,
+            };
+            segment.header().publish_decision(decision);
+            prop_assert_eq!(
+                segment.header().read_decision(),
+                DecisionRead::Ready(decision)
+            );
+        }
+        segment.header().reset_decision();
+        prop_assert_eq!(segment.header().read_decision(), DecisionRead::Empty);
+    }
+
+    /// A version counter left odd (writer died mid-publish) reads Torn —
+    /// a signal, not stale data — and any successor publication repairs
+    /// it for good.
+    #[test]
+    fn abandoned_mid_write_counter_reads_torn_until_repaired(
+        scribble in 1u64..1_000_000,
+        repair in (0u32..u32::MAX, 0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX),
+    ) {
+        let segment = segment();
+        segment.header().publish_decision(tagged(7));
+        segment
+            .header()
+            .decision_seq
+            .store(scribble * 2 + 1, std::sync::atomic::Ordering::Release);
+        prop_assert_eq!(segment.header().read_decision(), DecisionRead::Torn);
+
+        let (point_idx, gain_bits, achieved_speedup_bits, qos_loss_bits) = repair;
+        let decision = ShmDecision {
+            point_idx,
+            gain_bits,
+            achieved_speedup_bits,
+            qos_loss_bits,
+        };
+        segment.header().publish_decision(decision);
+        prop_assert_eq!(
+            segment.header().read_decision(),
+            DecisionRead::Ready(decision)
+        );
+    }
+}

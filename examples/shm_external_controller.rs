@@ -1,30 +1,32 @@
 //! The paper's deployment shape, end to end: an instrumented application
-//! in **one OS process** emits Application Heartbeats into a shared-memory
-//! segment, and the PowerDial controller in **another process** attaches
-//! to the segment, observes the heart rate, and actuates dynamic knobs.
+//! in **one OS process** registers with the PowerDial controller in
+//! **another process** through the daemon's Unix-socket attach broker,
+//! emits Application Heartbeats into the memfd-backed segment it received
+//! over `SCM_RIGHTS`, and reads the controller's knob decisions back
+//! through the same segment's seqlock-protected decision block.
 //!
-//! Concretely: the parent creates a memfd/mmap-backed segment (tmpfile
-//! fallback), registers its consumer side with a `PowerDialDaemon`, then
-//! forks. The child attaches the producer side through the inherited
-//! mapping and beats at ~20 beats/s against the controller's 30 beats/s
-//! target — too slow, so the daemon dials in faster knob settings. When
-//! the child exits, the parent's liveness check sees the stale PID and
-//! reaps the abandoned segment.
+//! Concretely: the parent binds an `AttachBroker` and a `PowerDialDaemon`,
+//! then forks. The child knows nothing but the socket path — it registers
+//! via `powerdial_client::PowerDialClient::register` (bounded
+//! retry/backoff), beats at ~20 beats/s against the controller's
+//! 30 beats/s target, and **proves the loop is bidirectional** by exiting
+//! successfully only once it has read a boosted gain (> 1.0x) back
+//! through shared memory — not through any parent-side state. When the
+//! child exits, the daemon's liveness check sees the stale PID and reaps
+//! the abandoned segment.
 //!
 //! Run with `cargo run --example shm_external_controller`.
 
-#[cfg(unix)]
+#[cfg(target_os = "linux")]
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    use std::sync::Arc;
-
     use powerdial::control::daemon::{DaemonConfig, PowerDialDaemon};
+    use powerdial::control::{AttachBroker, AttachOutcome, BrokerConfig};
     use powerdial::control::{ControllerConfig, RuntimeConfig};
-    use powerdial::heartbeats::channel::BeatSample;
     use powerdial::heartbeats::shm::process::{fork_child, ChildExit};
-    use powerdial::heartbeats::shm::{Segment, SegmentGeometry, ShmConsumer, ShmProducer};
-    use powerdial::heartbeats::{HeartbeatTag, Timestamp, TimestampDelta};
+    use powerdial::heartbeats::{Timestamp, TimestampDelta};
     use powerdial::knobs::{CalibrationPoint, ConfigParameter, KnobTable, ParameterSpace};
     use powerdial::qos::{QosLoss, QosLossBound};
+    use powerdial_client::{ClientConfig, DecisionSource, PowerDialClient};
 
     /// Beats the child application emits before exiting.
     const CHILD_BEATS: u64 = 400;
@@ -51,96 +53,112 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     let table = KnobTable::from_points(points, 0, QosLossBound::UNBOUNDED)?;
 
-    // 1. Controller process: create the shared segment and attach the
-    //    consumer side before the application even exists.
-    let segment = Arc::new(Segment::create(SegmentGeometry::for_beat_samples(256)?)?);
-    println!(
-        "controller: created {} segment ({} bytes, {} slots)",
-        segment.backing_kind(),
-        segment.len(),
-        segment.geometry().capacity()
-    );
-    let consumer = ShmConsumer::attach(Arc::clone(&segment))?;
-
+    // 1. Controller process: bind the attach broker on a well-known
+    //    socket path (a real deployment would use
+    //    /run/powerdial/broker.sock or $XDG_RUNTIME_DIR — see the
+    //    deployment note in powerdial_heartbeats::shm).
+    let socket_path =
+        std::env::temp_dir().join(format!("powerdial-example-{}.sock", std::process::id()));
+    let mut broker = AttachBroker::bind(BrokerConfig::new(&socket_path))?;
     let mut daemon = PowerDialDaemon::new(DaemonConfig {
         workers: 0,
         channel_capacity: 256,
         window_size: 20,
     })?;
-    let config = RuntimeConfig::new(ControllerConfig::new(30.0, 30.0)?);
-    let app = daemon.register_shm(config, table, consumer)?;
     println!(
-        "controller: registered shm app {:?} (target 30 beats/s)\n",
-        app.id()
+        "controller: broker listening on {} (target 30 beats/s)\n",
+        socket_path.display()
     );
 
-    // 2. Fork the application process. The child inherits the mapping,
-    //    attaches the producer side, and beats — it knows nothing about
-    //    the controller beyond the segment ABI.
-    let child = fork_child(|| {
-        let Ok(mut producer) = ShmProducer::attach(Arc::clone(&segment)) else {
+    // 2. Fork the application process. The child shares *nothing* with
+    //    the controller but the socket path: it registers through the
+    //    broker, receives the segment fd over SCM_RIGHTS, and talks
+    //    shared memory from then on.
+    let child_socket = socket_path.clone();
+    let child = fork_child(move || {
+        let Ok(mut client) = PowerDialClient::register(&child_socket, ClientConfig::default())
+        else {
             return 1;
         };
         let mut now = Timestamp::ZERO;
+        let mut boosted = false;
         for tag in 0..CHILD_BEATS {
-            let latency = TimestampDelta::from_millis(if tag == 0 { 0 } else { BEAT_PERIOD_MS });
-            now += latency;
-            let mut sample = BeatSample {
-                tag: HeartbeatTag(tag),
-                timestamp: now,
-                latency,
-            };
-            // Wait-free push with bounded spinning on backpressure.
-            let mut retries: u64 = 10_000_000_000;
-            loop {
-                match producer.try_push(sample) {
-                    Ok(()) => break,
-                    Err(rejected) => {
-                        sample = rejected;
-                        retries -= 1;
-                        if retries == 0 {
-                            return 2;
-                        }
-                        std::hint::spin_loop();
-                    }
-                }
+            now += TimestampDelta::from_millis(if tag == 0 { 0 } else { BEAT_PERIOD_MS });
+            // The quantum pacing below keeps in-flight beats far under
+            // the ring capacity, so a rejected beat is a protocol bug.
+            if client.beat(now).is_err() {
+                return 2;
             }
-            // Pace the (simulated-time) stream against the real controller:
-            // after each 20-beat quantum, wait for the daemon to drain, so
-            // the printed control trajectory shows distinct quanta instead
-            // of one giant catch-up batch.
+            // Pace the (simulated-time) stream against the real
+            // controller: after each 20-beat quantum, wait for the daemon
+            // to drain, then read the decision it published back through
+            // the segment.
             if tag % 20 == 19 {
                 let mut retries: u64 = 10_000_000_000;
-                while producer.in_flight() > 0 {
+                while client.beats_in_flight() > 0 {
                     retries -= 1;
                     if retries == 0 {
                         return 3;
                     }
                     std::hint::spin_loop();
                 }
+                let current = client.current_decision();
+                if current.source == DecisionSource::Published && current.decision.gain > 1.0 {
+                    boosted = true;
+                }
             }
         }
-        0
+        // The bidirectional proof: this process observed its own boost
+        // through shared memory, with no help from the controller side.
+        if boosted {
+            0
+        } else {
+            4
+        }
     })?;
     println!(
         "controller: forked application process (pid {})",
         child.pid()
     );
 
-    // 3. The control loop: drain the segment once per actuation quantum
-    //    and let the daemon decide. 20 beats/s observed against a 30
-    //    beats/s target forces the controller off the default setting.
-    //    The reaper doubles as the loop's liveness escape: if the
-    //    application dies early (for any reason), its segment drains dry,
-    //    `reap_dead` fires, and the controller stops waiting instead of
-    //    spinning forever.
+    // 3. The control loop: serve at most one broker connection and one
+    //    actuation quantum per iteration. The reaper doubles as the
+    //    loop's liveness escape: when the application exits (or dies
+    //    early), its segment drains dry, `reap_dead` fires, and the
+    //    controller stops waiting instead of spinning forever.
+    let mut view: Option<powerdial::control::daemon::DecisionView> = None;
     let mut quantum = 0u64;
     let mut reaped = Vec::new();
-    while app.beats_processed() < CHILD_BEATS && reaped.is_empty() {
+    // Terminate on the processed-beat count, not on reaping: the exited
+    // child stays an unreapable zombie until `wait()` below.
+    while view
+        .as_ref()
+        .is_none_or(|app| app.beats_processed() < CHILD_BEATS)
+        && reaped.is_empty()
+    {
+        if let Some(outcome) = broker.poll_accept(daemon.app_count(), |consumer| {
+            daemon.register_shm(
+                RuntimeConfig::new(ControllerConfig::new(30.0, 30.0)?),
+                table.clone(),
+                consumer,
+            )
+        })? {
+            match outcome {
+                AttachOutcome::Granted(granted) => {
+                    println!(
+                        "controller: granted attach, registered shm app {:?}",
+                        granted.id()
+                    );
+                    view = Some(granted);
+                }
+                other => return Err(format!("unexpected attach outcome: {other:?}").into()),
+            }
+        }
         let beats = daemon.tick();
         if beats > 0 {
             quantum += 1;
             if quantum % 5 == 1 {
+                let app = view.as_ref().expect("beats imply a registered app");
                 println!(
                     "quantum {:>3}: {:>3} beats drained  gain {:>5.2}x  achieved {:>5.2}x  qos loss {:>6.3}%",
                     quantum,
@@ -154,7 +172,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         reaped = daemon.reap_dead();
         std::hint::spin_loop();
     }
+
+    // 4. The child's exit code is the verdict: 0 only if it read a
+    //    boosted gain back through the segment.
     let status = child.wait()?;
+    let app = view.ok_or("application exited without ever attaching")?;
     if app.beats_processed() < CHILD_BEATS {
         return Err(format!(
             "application died early ({status:?}) after {} of {CHILD_BEATS} beats",
@@ -162,9 +184,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )
         .into());
     }
-    assert_eq!(status, ChildExit::Exited(0));
+    assert_eq!(
+        status,
+        ChildExit::Exited(0),
+        "application failed to observe its boost through shared memory"
+    );
     println!(
-        "\ncontroller: application exited; {} beats processed, final gain {:.2}x",
+        "\ncontroller: application exited having read its boosted gain via shm; \
+         {} beats processed, final gain {:.2}x",
         app.beats_processed(),
         app.latest_gain().unwrap_or(1.0)
     );
@@ -172,10 +199,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         app.latest_gain().unwrap_or(1.0) > 1.0,
         "a 20 beats/s app under a 30 beats/s target must be boosted"
     );
-
-    // 4. Reap: the segment's producer PID is stale, the ring is drained —
-    //    the daemon lets go of the mapping. (The loop may already have
-    //    reaped if the exit won the race against the final drain.)
+    // 5. Reap: the zombie is collected, the segment's producer PID is
+    //    stale, the ring is drained — the daemon lets go of the mapping
+    //    and resets the decision block for any future reuse.
     if reaped.is_empty() {
         daemon.tick();
         reaped = daemon.reap_dead();
@@ -186,7 +212,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-#[cfg(not(unix))]
+#[cfg(not(target_os = "linux"))]
 fn main() {
-    eprintln!("shm_external_controller requires a Unix platform (fork + mmap)");
+    eprintln!("shm_external_controller requires Linux (fork + mmap + SCM_RIGHTS broker)");
 }
