@@ -1,0 +1,105 @@
+//! Measures daemon crash-recovery latency under chaos and emits
+//! `BENCH_recovery.json`: p50/p99/max time from a restarted daemon's fork
+//! to each client's first republished decision (read through its adopted
+//! segment), the slowest full-fleet recovery, and beats dropped per kill
+//! (zero on a passing run — every beat emitted during an outage survives
+//! in the ring the successor adopts).
+//!
+//! The harness (`powerdial_bench::chaos`, shared with the
+//! `chaos_recovery` integration suite) SIGKILLs the forked broker+daemon
+//! process at seeded-random points under N-application load and enforces
+//! the recovery invariants inline, so this binary doubles as a smoke of
+//! the whole recovery path at benchmark scale.
+//!
+//! Usage: `cargo run --release -p powerdial-bench --bin chaos [--quick]
+//! [--out PATH] [--seed N]`. `--quick` (or `POWERDIAL_SCALE=quick`, or a
+//! debug build) shrinks the kill count and fleet for CI.
+
+#[cfg(target_os = "linux")]
+fn main() {
+    use std::time::Duration;
+
+    use powerdial_bench::chaos::{percentile, run, ChaosConfig};
+    use powerdial_bench::Scale;
+
+    let scale = Scale::from_environment();
+    let (apps, kills) = match scale {
+        Scale::Paper => (64usize, 50usize),
+        Scale::Quick => (16, 10),
+    };
+
+    let args: Vec<String> = std::env::args().collect();
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_recovery.json".to_string());
+    let mut config = ChaosConfig::new(apps, kills);
+    if let Some(seed) = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+    {
+        config.seed = seed.parse().expect("--seed takes a decimal u64");
+    }
+
+    println!(
+        "== chaos recovery ({scale:?} scale): {kills} SIGKILLs over {apps} apps, seed {:#x} ==",
+        config.seed
+    );
+    let report = run(&config);
+
+    let per_client: Vec<Duration> = report
+        .kills
+        .iter()
+        .flat_map(|kill| kill.client_recovery.iter().copied())
+        .collect();
+    let per_fleet: Vec<Duration> = report.kills.iter().map(|k| k.all_republished).collect();
+    let dropped_max = report.kills.iter().map(|k| k.beats_dropped).max().unwrap();
+    let outage_beats: u64 = report.kills.iter().map(|k| k.outage_beats_per_app).sum();
+
+    let ms = |d: Duration| d.as_secs_f64() * 1e3;
+    let (p50, p99, max) = (
+        ms(percentile(&per_client, 50.0)),
+        ms(percentile(&per_client, 99.0)),
+        ms(*per_client.iter().max().unwrap()),
+    );
+    let (fleet_p50, fleet_p99, fleet_max) = (
+        ms(percentile(&per_fleet, 50.0)),
+        ms(percentile(&per_fleet, 99.0)),
+        ms(*per_fleet.iter().max().unwrap()),
+    );
+    println!(
+        "time-to-republished-decision: p50 {p50:.2} ms, p99 {p99:.2} ms, max {max:.2} ms per client"
+    );
+    println!(
+        "full-fleet recovery:          p50 {fleet_p50:.2} ms, p99 {fleet_p99:.2} ms, max {fleet_max:.2} ms"
+    );
+    println!(
+        "beats: {} pushed, {} emitted into dead daemons per app (total), {} dropped (max {dropped_max}/kill)",
+        report.beats_pushed, outage_beats, report.beats_dropped
+    );
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"recovery\",\n  \"scale\": \"{scale:?}\",\n  \
+         \"apps\": {apps},\n  \"kills\": {kills},\n  \"seed\": {seed},\n  \
+         \"ring_capacity\": {capacity},\n  \
+         \"client_recovery_ms\": {{ \"p50\": {p50:.3}, \"p99\": {p99:.3}, \"max\": {max:.3} }},\n  \
+         \"fleet_recovery_ms\": {{ \"p50\": {fleet_p50:.3}, \"p99\": {fleet_p99:.3}, \"max\": {fleet_max:.3} }},\n  \
+         \"beats_pushed\": {pushed},\n  \"outage_beats_per_app\": {outage_beats},\n  \
+         \"beats_dropped\": {dropped},\n  \"beats_dropped_per_kill_max\": {dropped_max},\n  \
+         \"incarnations\": {incarnations}\n}}\n",
+        seed = config.seed,
+        capacity = config.capacity,
+        pushed = report.beats_pushed,
+        dropped = report.beats_dropped,
+        incarnations = report.incarnations,
+    );
+    std::fs::write(&out_path, json).expect("write benchmark json");
+    println!("wrote {out_path}");
+}
+
+#[cfg(not(target_os = "linux"))]
+fn main() {
+    eprintln!("the chaos benchmark requires Linux (fork + SIGKILL + SCM_RIGHTS broker)");
+}

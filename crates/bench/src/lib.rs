@@ -16,6 +16,8 @@ use powerdial::experiments::sim::SimulationOptions;
 use powerdial::{PowerDialConfig, PowerDialSystem};
 use powerdial_qos::QosLossBound;
 
+#[cfg(target_os = "linux")]
+pub mod chaos;
 pub mod hotpath;
 pub mod multiapp;
 

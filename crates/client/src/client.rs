@@ -58,8 +58,15 @@ pub enum DecisionSource {
     /// the current read was torn or the daemon is gone but still within
     /// the grace window.
     LastKnownGood,
+    /// The safe state, served while the client is actively trying to hand
+    /// its segment to a restarted daemon through the attach broker: the
+    /// daemon is gone past the grace window, a reattach socket is
+    /// configured, and rate-limited (jitter-backoff) reattach handshakes
+    /// fire from [`PowerDialClient::current_decision`] polls.
+    Reattaching,
     /// The configured safe state: no decision has ever been readable, or
-    /// the daemon has been gone longer than the grace window.
+    /// the daemon has been gone longer than the grace window with no
+    /// reattach path left.
     SafeState,
 }
 
@@ -126,6 +133,14 @@ pub struct PowerDialClient {
     last_known_good: Option<Decision>,
     daemon_seen_alive: bool,
     daemon_lost_at: Option<Instant>,
+    /// Broker socket to offer this segment back to after a daemon crash.
+    /// `Some` enables the [`DecisionSource::Reattaching`] rung; cleared on
+    /// a permanent refusal (e.g. a broker that predates the protocol).
+    reattach_socket: Option<std::path::PathBuf>,
+    #[cfg_attr(not(all(feature = "broker", target_os = "linux")), allow(dead_code))]
+    reattach_attempt: u32,
+    #[cfg_attr(not(all(feature = "broker", target_os = "linux")), allow(dead_code))]
+    next_reattach_at: Option<Instant>,
 }
 
 impl PowerDialClient {
@@ -148,6 +163,9 @@ impl PowerDialClient {
             last_known_good: None,
             daemon_seen_alive: false,
             daemon_lost_at: None,
+            reattach_socket: None,
+            reattach_attempt: 0,
+            next_reattach_at: None,
         })
     }
 
@@ -178,6 +196,11 @@ impl PowerDialClient {
     /// are retried with the configured backoff; permanent refusals (ABI
     /// mismatch, protocol violations) are returned immediately.
     ///
+    /// The socket path is remembered: if the daemon later dies, the client
+    /// offers its segment back through the same socket (the
+    /// [`DecisionSource::Reattaching`] rung) so a restarted daemon can
+    /// adopt the stream with the outage's beats still in the ring.
+    ///
     /// # Errors
     ///
     /// [`ClientError::Refused`] / [`ClientError::Protocol`] for permanent
@@ -190,9 +213,11 @@ impl PowerDialClient {
         config: ClientConfig,
     ) -> Result<Self, ClientError> {
         let socket_path = socket_path.as_ref();
-        retry(&config, |config| {
+        let mut client = retry(&config, |config| {
             PowerDialClient::register_once(socket_path, config)
-        })
+        })?;
+        client.reattach_socket = Some(socket_path.to_path_buf());
+        Ok(client)
     }
 
     /// One broker handshake, no retries.
@@ -222,6 +247,101 @@ impl PowerDialClient {
                 let segment = Segment::attach_fd(std::fs::File::from(fd))?;
                 PowerDialClient::attach_segment(Arc::new(segment), config.clone())
             }
+            status => Err(ClientError::Refused(status)),
+        }
+    }
+
+    /// Enables the [`DecisionSource::Reattaching`] rung for a client that
+    /// did not come through [`PowerDialClient::register`] (a segment
+    /// inherited across `fork`, or one attached by path): after the daemon
+    /// dies, the client offers its segment back through this broker
+    /// socket.
+    #[cfg(all(feature = "broker", target_os = "linux"))]
+    pub fn set_reattach_socket(&mut self, socket_path: impl Into<std::path::PathBuf>) {
+        self.reattach_socket = Some(socket_path.into());
+    }
+
+    /// Fires one reattach handshake if one is due, returning whether a
+    /// daemon adopted the segment. Rate-limited by doubling backoff with
+    /// deterministic per-process jitter so a fleet of clients orphaned by
+    /// the same crash does not stampede the restarted broker in lockstep.
+    fn try_reattach(&mut self, now: Instant) -> bool {
+        #[cfg(all(feature = "broker", target_os = "linux"))]
+        {
+            let Some(path) = self.reattach_socket.clone() else {
+                return false;
+            };
+            if self.next_reattach_at.is_some_and(|at| now < at) {
+                return false;
+            }
+            let attempt = self.reattach_attempt;
+            self.reattach_attempt = self.reattach_attempt.saturating_add(1);
+            // Doubling base capped at 1024x so a long outage keeps polling
+            // (the daemon may restart at any time) instead of backing off
+            // into effective permanence.
+            let base = self
+                .config
+                .retry_backoff
+                .saturating_mul(1u32 << attempt.min(10));
+            self.next_reattach_at = Some(now + jittered(base, attempt));
+            match self.reattach_once(&path) {
+                Ok(()) => {
+                    self.reattach_attempt = 0;
+                    self.next_reattach_at = None;
+                    true
+                }
+                Err(err) if err.is_retryable() => false,
+                Err(_) => {
+                    // Permanent refusal — most likely a broker that
+                    // predates the reattach protocol (it reads the flag
+                    // bit as malformed). Stop asking; the ladder degrades
+                    // to the plain safe state.
+                    self.reattach_socket = None;
+                    false
+                }
+            }
+        }
+        #[cfg(not(all(feature = "broker", target_os = "linux")))]
+        {
+            let _ = now;
+            false
+        }
+    }
+
+    /// One reattach handshake, no retries: connect, send a reattach hello
+    /// carrying this segment's fd over `SCM_RIGHTS`, and expect a granted
+    /// reply (which, unlike a fresh grant, carries no fd back — this side
+    /// already holds the segment).
+    #[cfg(all(feature = "broker", target_os = "linux"))]
+    fn reattach_once(&mut self, socket_path: &std::path::Path) -> Result<(), ClientError> {
+        use powerdial_heartbeats::shm::{
+            recv_exact_with_fd, send_with_fd, HelloReply, HelloRequest, HelloStatus,
+            HELLO_REPLY_LEN,
+        };
+
+        let fd = self
+            .producer
+            .segment()
+            .as_raw_fd()
+            .ok_or(ClientError::Protocol("segment has no fd to offer back"))?;
+        let stream = std::os::unix::net::UnixStream::connect(socket_path)?;
+        stream.set_read_timeout(Some(self.config.hello_timeout))?;
+        stream.set_write_timeout(Some(self.config.hello_timeout))?;
+        let capacity = self.producer.segment().geometry().capacity();
+        send_with_fd(
+            &stream,
+            &HelloRequest::reattach(capacity).encode(),
+            Some(fd),
+        )?;
+
+        let mut reply = [0u8; HELLO_REPLY_LEN];
+        // A granted reattach carries no fd; one a confused peer smuggles
+        // anyway is harvested here and closed on drop.
+        let _smuggled = recv_exact_with_fd(&stream, &mut reply)?;
+        let reply =
+            HelloReply::decode(&reply).ok_or(ClientError::Protocol("undecodable hello reply"))?;
+        match reply.status {
+            HelloStatus::Granted => Ok(()),
             status => Err(ClientError::Refused(status)),
         }
     }
@@ -263,12 +383,22 @@ impl PowerDialClient {
     /// 2. a torn read, or a dead/gone daemon still within
     ///    [`ClientConfig::grace`], serves
     ///    [`DecisionSource::LastKnownGood`];
-    /// 3. no decision ever read, or the daemon gone past the grace
-    ///    window, serves the configured [`DecisionSource::SafeState`].
+    /// 3. past the grace window with a reattach socket configured, the
+    ///    configured safe decision is served as
+    ///    [`DecisionSource::Reattaching`] — recovery is being attempted,
+    ///    not abandoned;
+    /// 4. otherwise the safe decision is [`DecisionSource::SafeState`]:
+    ///    no decision was ever read, or no reattach path remains.
     ///
     /// The grace window opens when this call *observes* the daemon's
     /// death (liveness is polled here, not watched), and closes again if
-    /// a daemon returns.
+    /// a daemon returns. While the daemon is observed dead and a reattach
+    /// socket is configured, each poll may additionally fire one
+    /// rate-limited reattach handshake (doubling backoff with
+    /// deterministic per-process jitter) offering this segment back to a
+    /// restarted daemon — on success the very same call usually returns
+    /// [`DecisionSource::Published`] again, because the adopting daemon
+    /// seeds the decision block before the broker replies.
     pub fn current_decision(&mut self) -> CurrentDecision {
         self.current_decision_at(Instant::now())
     }
@@ -276,10 +406,15 @@ impl PowerDialClient {
     /// [`PowerDialClient::current_decision`] with an injected clock
     /// reading (tests).
     fn current_decision_at(&mut self, now: Instant) -> CurrentDecision {
-        let daemon_alive = self.producer.consumer_state().is_alive();
+        let mut daemon_alive = self.producer.consumer_state().is_alive();
+        if !daemon_alive && self.try_reattach(now) {
+            daemon_alive = self.producer.consumer_state().is_alive();
+        }
         if daemon_alive {
             self.daemon_seen_alive = true;
             self.daemon_lost_at = None;
+            self.reattach_attempt = 0;
+            self.next_reattach_at = None;
         } else if self.daemon_seen_alive && self.daemon_lost_at.is_none() {
             self.daemon_lost_at = Some(now);
         }
@@ -305,6 +440,10 @@ impl PowerDialClient {
             Some(decision) if !grace_expired => CurrentDecision {
                 decision,
                 source: DecisionSource::LastKnownGood,
+            },
+            _ if !daemon_alive && self.reattach_socket.is_some() => CurrentDecision {
+                decision: self.config.safe_decision,
+                source: DecisionSource::Reattaching,
             },
             _ => CurrentDecision {
                 decision: self.config.safe_decision,
@@ -351,8 +490,34 @@ impl PowerDialClient {
     }
 }
 
-/// Runs `attempt` up to the configured number of times with doubling
-/// backoff, stopping early on a non-retryable error.
+/// Deterministic per-process jitter in permille of a backoff interval
+/// (0..=250, i.e. up to a 25% stretch), mixed from the process identity
+/// (PID plus its kernel start-time nonce) and the attempt index — no RNG
+/// dependency, yet clients orphaned by the same daemon crash desynchronize
+/// their retry storms instead of hammering the restarted broker in phase.
+fn jitter_permille(attempt: u32) -> u128 {
+    use powerdial_heartbeats::shm::{current_pid, process_start_nonce};
+    let pid = current_pid();
+    let mut x = (u64::from(pid) << 32)
+        ^ process_start_nonce(pid).unwrap_or(0)
+        ^ u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    // splitmix64 finalizer: avalanche the structured inputs.
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    u128::from(x % 251)
+}
+
+/// `base` stretched by this process's jitter for the given attempt.
+fn jittered(base: Duration, attempt: u32) -> Duration {
+    let extra = base.as_nanos().saturating_mul(jitter_permille(attempt)) / 1000;
+    base + Duration::from_nanos(extra.min(u128::from(u64::MAX)) as u64)
+}
+
+/// Runs `attempt` up to the configured number of times with doubling,
+/// jittered backoff, stopping early on a non-retryable error.
 fn retry<T>(
     config: &ClientConfig,
     mut attempt: impl FnMut(&ClientConfig) -> Result<T, ClientError>,
@@ -362,7 +527,7 @@ fn retry<T>(
     let mut last = None;
     for index in 0..attempts {
         if index > 0 {
-            std::thread::sleep(backoff);
+            std::thread::sleep(jittered(backoff, index));
             backoff = backoff.saturating_mul(2);
         }
         match attempt(config) {
@@ -559,5 +724,113 @@ mod tests {
             }
         });
         assert_eq!(result.unwrap(), 3, "success ends the retry loop");
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let base = Duration::from_millis(100);
+        for attempt in 0..16u32 {
+            let j = jittered(base, attempt);
+            assert_eq!(j, jittered(base, attempt), "same inputs, same stretch");
+            assert!(j >= base, "jitter only extends the backoff");
+            assert!(
+                j <= base + base / 4,
+                "stretch is capped at 25% (got {j:?} for attempt {attempt})"
+            );
+        }
+        // The permille value actually varies across attempts (the mix is
+        // not degenerate): 16 attempts hitting one value is ~250^-15.
+        let first = jitter_permille(0);
+        assert!(
+            (1..16).any(|attempt| jitter_permille(attempt) != first),
+            "jitter must depend on the attempt index"
+        );
+    }
+
+    #[cfg(all(feature = "broker", target_os = "linux"))]
+    #[test]
+    fn reattaching_rung_serves_safe_decision_while_broker_is_unreachable() {
+        let segment = segment(16);
+        let consumer = ShmConsumer::attach(Arc::clone(&segment)).unwrap();
+        let mut client = PowerDialClient::attach_segment(
+            Arc::clone(&segment),
+            config_with_grace(Duration::ZERO),
+        )
+        .unwrap();
+        // A socket path nothing listens on: every handshake fails with a
+        // retryable connect error, so the rung persists.
+        client.set_reattach_socket(
+            std::env::temp_dir().join(format!("pd-no-broker-{}.sock", std::process::id())),
+        );
+        consumer.publish_decision(decision(2, 1.5));
+        assert_eq!(client.current_decision().source, DecisionSource::Published);
+
+        segment
+            .header()
+            .consumer_pid
+            .store(0x7FFF_FF00, Ordering::Release);
+        let observed = Instant::now();
+        for _ in 0..3 {
+            let current = client.current_decision_at(observed);
+            assert_eq!(current.source, DecisionSource::Reattaching);
+            assert_eq!(current.decision, Decision::IDENTITY, "safe value served");
+        }
+        assert_eq!(
+            client.reattach_attempt, 1,
+            "repeated polls inside the backoff window fire one handshake"
+        );
+        assert!(client.next_reattach_at.is_some());
+        // Past the backoff deadline the next poll fires attempt two.
+        let after = client.next_reattach_at.unwrap();
+        assert_eq!(
+            client.current_decision_at(after).source,
+            DecisionSource::Reattaching
+        );
+        assert_eq!(client.reattach_attempt, 2);
+    }
+
+    #[cfg(all(feature = "broker", target_os = "linux"))]
+    #[test]
+    fn permanent_refusal_abandons_reattach_and_degrades_to_safe_state() {
+        use powerdial_heartbeats::shm::{HelloReply, HelloStatus, HELLO_REQUEST_LEN};
+        use std::io::{Read, Write};
+
+        let path = std::env::temp_dir().join(format!("pd-old-broker-{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let listener = std::os::unix::net::UnixListener::bind(&path).unwrap();
+        // An old broker that predates the reattach flag: it reads the
+        // hello, sees an unknown flag bit, and refuses it as malformed.
+        let old_broker = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut hello = [0u8; HELLO_REQUEST_LEN];
+            stream.read_exact(&mut hello).unwrap();
+            stream
+                .write_all(&HelloReply::new(HelloStatus::Malformed).encode())
+                .unwrap();
+        });
+
+        let segment = segment(16);
+        let consumer = ShmConsumer::attach(Arc::clone(&segment)).unwrap();
+        let mut client = PowerDialClient::attach_segment(
+            Arc::clone(&segment),
+            config_with_grace(Duration::ZERO),
+        )
+        .unwrap();
+        client.set_reattach_socket(&path);
+        consumer.publish_decision(decision(1, 1.25));
+        assert_eq!(client.current_decision().source, DecisionSource::Published);
+
+        segment
+            .header()
+            .consumer_pid
+            .store(0x7FFF_FF00, Ordering::Release);
+        // The refusal is permanent: the reattach path is dropped on the
+        // spot and the ladder lands on the plain safe state, now and on
+        // every later poll.
+        assert_eq!(client.current_decision().source, DecisionSource::SafeState);
+        assert!(client.reattach_socket.is_none());
+        assert_eq!(client.current_decision().source, DecisionSource::SafeState);
+        old_broker.join().unwrap();
+        let _ = std::fs::remove_file(&path);
     }
 }

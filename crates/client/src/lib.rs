@@ -23,21 +23,57 @@
 //! # Surviving the daemon
 //!
 //! The client is built to degrade, not fail, when the control plane
-//! breaks ([`CurrentDecision::source`] says which rung it is on):
+//! breaks ([`CurrentDecision::source`] says which rung it is on), and to
+//! climb back up on its own. The recovery state machine, as driven by
+//! successive [`PowerDialClient::current_decision`] polls:
+//!
+//! ```text
+//!                 consistent read, daemon alive
+//!        +------------------------------------------------+
+//!        v                                                |
+//!  [ Published ] --daemon dead observed--> [ LastKnownGood ]
+//!        ^                                        | grace window
+//!        |                                        | expires
+//!        | reattach granted:                      v
+//!        | successor adopts the segment,   [ Reattaching ]---+
+//!        | seeds the decision block          |  ^   (serves the safe
+//!        |                                   |  |    decision; fires one
+//!        +-----------------------------------+  |    jittered-backoff
+//!                                      attempt--+    hello per due poll)
+//!                                      failed
+//!                                                 | permanent refusal
+//!                                                 | (or no socket)
+//!                                                 v
+//!                                          [ SafeState ]
+//! ```
 //!
 //! * torn decision reads (a daemon killed mid-publish) are detected by
 //!   the seqlock and served from the **last-known-good** decision;
 //! * a daemon death is observed through the segment's consumer PID; the
 //!   last-known-good decision persists for a configurable **grace
-//!   window** ([`ClientConfig::grace`]), then the client settles on the
+//!   window** ([`ClientConfig::grace`]), then the client serves the
 //!   configured **safe state** ([`ClientConfig::safe_decision`]) — the
 //!   paper's baseline configuration by default;
+//! * while the daemon is gone, a client that registered through the
+//!   broker (or opted in via
+//!   [`PowerDialClient::set_reattach_socket`](PowerDialClient)) offers
+//!   its segment *back* over the socket — **reattach** — so a restarted
+//!   daemon adopts the very same ring, with every beat emitted during
+//!   the outage still in it, and warm-starts its controller from the
+//!   state the predecessor left in the segment;
+//! * backoff between reattach (and register) attempts is stretched by a
+//!   deterministic per-process jitter derived from the PID and its
+//!   kernel start-time nonce, so a fleet of clients orphaned by one
+//!   crash does not stampede the restarted broker in phase;
 //! * a restarted daemon is noticed on the next read and decisions become
 //!   [`DecisionSource::Published`] again.
 //!
-//! `current_decision` never blocks, never fails, and never panics on any
-//! of those paths; the `client_fallback` integration suite SIGKILLs a
-//! real forked daemon to prove it.
+//! `current_decision` never fails and never panics on any of those
+//! paths (a due reattach attempt is the one case where it may block, for
+//! at most the hello timeout); the `client_fallback` integration suite
+//! SIGKILLs a real forked daemon to prove the degradation ladder, and
+//! the workspace-level `chaos_recovery` suite SIGKILLs daemons at seeded
+//! random points under multi-app load to prove the recovery loop.
 //!
 //! # Features
 //!

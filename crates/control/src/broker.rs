@@ -14,6 +14,16 @@
 //! on the socket is out of the picture: beats and decisions flow through
 //! shared memory alone.
 //!
+//! The same socket also serves **crash recovery**: a client that survived
+//! a daemon crash sends a hello with
+//! [`powerdial_heartbeats::shm::HELLO_FLAG_REATTACH`] set and its
+//! *existing* segment fd riding in the hello's own `SCM_RIGHTS` ancillary
+//! data. The broker maps and validates that segment, adopts the consumer
+//! role the dead predecessor left stale, and hands the adopted consumer to
+//! the registration callback as [`AttachRequest::Reattach`] — a granted
+//! reattach reply carries no fd back, and no beat pushed across the outage
+//! is lost beyond ring capacity.
+//!
 //! # Robustness posture
 //!
 //! Every failure is contained to the one connection that caused it:
@@ -39,15 +49,14 @@
 //!
 //! The `broker_faults` integration suite injects each of these.
 
-use std::io::{Read, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Duration;
 
 use powerdial_heartbeats::shm::{
-    send_with_fd, HelloReply, HelloRequest, HelloStatus, Segment, SegmentGeometry, ShmConsumer,
-    HELLO_REQUEST_LEN,
+    recv_exact_with_fd, send_with_fd, HelloReply, HelloRequest, HelloStatus, Segment,
+    SegmentGeometry, ShmConsumer, ShmError, HELLO_FLAGS_KNOWN, HELLO_REQUEST_LEN,
 };
 
 use crate::daemon::DecisionView;
@@ -129,6 +138,32 @@ impl BrokerConfig {
             max_apps: 1024,
             connection_timeout: Duration::from_millis(100),
             max_capacity: 4096,
+        }
+    }
+}
+
+/// One validated attach handed to the registration callback: either a
+/// fresh registration (broker-created segment) or a crash-recovery
+/// reattach (the client's surviving segment, already adopted over the
+/// dead predecessor's consumer claim).
+///
+/// The callback decides what registration means — typically
+/// `PowerDialDaemon::register_shm` for [`AttachRequest::Fresh`] and
+/// `PowerDialDaemon::register_shm_adopted` (warm start, torn-decision
+/// healing) for [`AttachRequest::Reattach`].
+#[derive(Debug)]
+pub enum AttachRequest {
+    /// A newly created segment's consumer side.
+    Fresh(ShmConsumer),
+    /// A consumer adopted from a segment a crashed daemon left behind.
+    Reattach(ShmConsumer),
+}
+
+impl AttachRequest {
+    /// The consumer side, whichever way it arrived.
+    pub fn into_consumer(self) -> ShmConsumer {
+        match self {
+            AttachRequest::Fresh(consumer) | AttachRequest::Reattach(consumer) => consumer,
         }
     }
 }
@@ -250,8 +285,10 @@ impl AttachBroker {
     ///
     /// `current_apps` is the daemon's live registration count (the Busy
     /// threshold compares it against [`BrokerConfig::max_apps`]);
-    /// `register` turns an attached consumer into a daemon registration
-    /// and is called only after the hello has been fully validated.
+    /// `register` turns a validated [`AttachRequest`] — fresh segment or
+    /// crash-recovery reattach — into a daemon registration and is called
+    /// only after the hello (and, for a reattach, the adopted segment)
+    /// has been fully validated.
     ///
     /// Returns `Ok(None)` when no connection was pending, otherwise the
     /// connection's [`AttachOutcome`]. Per-connection failures never
@@ -259,21 +296,26 @@ impl AttachBroker {
     ///
     /// # Errors
     ///
-    /// [`BrokerError::Listener`] for non-transient `accept` failures.
+    /// [`BrokerError::Listener`] for non-transient `accept` failures
+    /// (`EINTR` is retried — a signal landing on the daemon's control
+    /// thread must not read as listener breakage).
     pub fn poll_accept(
         &mut self,
         current_apps: usize,
-        register: impl FnOnce(ShmConsumer) -> Result<DecisionView, ControlError>,
+        register: impl FnOnce(AttachRequest) -> Result<DecisionView, ControlError>,
     ) -> Result<Option<AttachOutcome>, BrokerError> {
-        let stream = match self.listener.accept() {
-            Ok((stream, _addr)) => stream,
-            Err(err) if err.kind() == std::io::ErrorKind::WouldBlock => return Ok(None),
-            // A peer that connected and reset before we accepted is that
-            // peer's problem, not the listener's.
-            Err(err) if err.kind() == std::io::ErrorKind::ConnectionAborted => {
-                return Ok(Some(AttachOutcome::Disconnected))
+        let stream = loop {
+            match self.listener.accept() {
+                Ok((stream, _addr)) => break stream,
+                Err(err) if err.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(err) if err.kind() == std::io::ErrorKind::WouldBlock => return Ok(None),
+                // A peer that connected and reset before we accepted is
+                // that peer's problem, not the listener's.
+                Err(err) if err.kind() == std::io::ErrorKind::ConnectionAborted => {
+                    return Ok(Some(AttachOutcome::Disconnected))
+                }
+                Err(err) => return Err(BrokerError::Listener(err)),
             }
-            Err(err) => return Err(BrokerError::Listener(err)),
         };
         Ok(Some(self.serve(stream, current_apps, register)))
     }
@@ -281,9 +323,9 @@ impl AttachBroker {
     /// Runs one connection through hello → verdict → (maybe) fd transfer.
     fn serve(
         &mut self,
-        mut stream: UnixStream,
+        stream: UnixStream,
         current_apps: usize,
-        register: impl FnOnce(ShmConsumer) -> Result<DecisionView, ControlError>,
+        register: impl FnOnce(AttachRequest) -> Result<DecisionView, ControlError>,
     ) -> AttachOutcome {
         // Bound this peer's hold on the broker. A failure to set the
         // timeout would unbound the reads below, so it is a refusal.
@@ -297,26 +339,38 @@ impl AttachBroker {
             return AttachOutcome::Disconnected;
         }
 
+        // The hello read harvests any `SCM_RIGHTS` fd riding along: a
+        // reattach carries the client's surviving segment. (`OwnedFd`
+        // drops — and so closes — the fd on every refusal path below.)
         let mut hello = [0u8; HELLO_REQUEST_LEN];
-        if let Err(err) = stream.read_exact(&mut hello) {
+        let hello_fd = match recv_exact_with_fd(&stream, &mut hello) {
+            Ok(fd) => fd,
             // Truncated hello (EOF) or slow-loris (timeout): the peer
             // never completed its opening move; nothing to reply to.
-            let _ = err;
-            return AttachOutcome::Disconnected;
-        }
+            Err(_) => return AttachOutcome::Disconnected,
+        };
 
         let request = match HelloRequest::decode(&hello) {
             Some(request) => request,
             None => return self.refuse(stream, HelloStatus::Malformed),
         };
-        if request.flags != 0 || request.capacity == 0 {
+        if request.flags & !HELLO_FLAGS_KNOWN != 0 || request.capacity == 0 {
             return self.refuse(stream, HelloStatus::Malformed);
         }
         if request.abi_version != powerdial_heartbeats::shm::SEGMENT_ABI_VERSION {
             return self.refuse(stream, HelloStatus::WrongAbi);
         }
+        if request.is_reattach() != hello_fd.is_some() {
+            // A reattach must carry the segment; a fresh hello must not
+            // smuggle one. Either mismatch is a protocol violation.
+            return self.refuse(stream, HelloStatus::Malformed);
+        }
         if current_apps >= self.config.max_apps {
             return self.refuse(stream, HelloStatus::Busy);
+        }
+
+        if let Some(fd) = hello_fd {
+            return self.serve_reattach(stream, fd, register);
         }
 
         let capacity = request
@@ -336,7 +390,7 @@ impl AttachBroker {
             Ok(consumer) => consumer,
             Err(_) => return self.refuse(stream, HelloStatus::Resources),
         };
-        let view = match register(consumer) {
+        let view = match register(AttachRequest::Fresh(consumer)) {
             Ok(view) => view,
             Err(_) => return self.refuse(stream, HelloStatus::Resources),
         };
@@ -353,10 +407,59 @@ impl AttachBroker {
         }
     }
 
-    /// Sends a refusal (best-effort — the peer may already be gone) and
-    /// closes the connection.
-    fn refuse(&self, mut stream: UnixStream, status: HelloStatus) -> AttachOutcome {
-        let _ = stream.write_all(&HelloReply::new(status).encode());
+    /// Serves a crash-recovery reattach: maps the client's segment fd,
+    /// adopts the consumer role a dead predecessor daemon left stale, and
+    /// registers the adopted consumer through the caller's callback.
+    ///
+    /// Refusals are typed by whose fault the failure is: an fd that is not
+    /// a valid live segment is the client's ([`HelloStatus::Malformed`]);
+    /// a segment whose consumer role is held by a *live* process — this
+    /// daemon, or a racing successor that won the adoption CAS — is
+    /// transient ([`HelloStatus::Busy`], retry later); a registration
+    /// failure is the daemon's ([`HelloStatus::Resources`]).
+    fn serve_reattach(
+        &mut self,
+        stream: UnixStream,
+        fd: std::os::fd::OwnedFd,
+        register: impl FnOnce(AttachRequest) -> Result<DecisionView, ControlError>,
+    ) -> AttachOutcome {
+        let segment = match Segment::attach_fd(std::fs::File::from(fd)) {
+            Ok(segment) => Arc::new(segment),
+            // Not a segment this build understands (bad magic, wrong ABI,
+            // geometry/size mismatch): the client sent garbage.
+            Err(_) => return self.refuse(stream, HelloStatus::Malformed),
+        };
+        let consumer = match ShmConsumer::adopt(segment) {
+            Ok(consumer) => consumer,
+            Err(ShmError::RoleClaimed { .. }) => {
+                return self.refuse(stream, HelloStatus::Busy);
+            }
+            // Dead producer (nothing to resume — the reaper's business),
+            // or validation failure: refuse as malformed.
+            Err(_) => return self.refuse(stream, HelloStatus::Malformed),
+        };
+        let view = match register(AttachRequest::Reattach(consumer)) {
+            Ok(view) => view,
+            Err(_) => return self.refuse(stream, HelloStatus::Resources),
+        };
+
+        // A granted reattach reply carries no fd back — the client already
+        // holds the mapping it sent us.
+        let reply = HelloReply::new(HelloStatus::Granted).encode();
+        match send_with_fd(&stream, &reply, None) {
+            Ok(()) => {
+                self.granted += 1;
+                AttachOutcome::Granted(view)
+            }
+            Err(_) => AttachOutcome::GrantAbandoned(view),
+        }
+    }
+
+    /// Sends a refusal (best-effort — the peer may already be gone;
+    /// `MSG_NOSIGNAL` inside [`send_with_fd`] turns a vanished peer into
+    /// `EPIPE`, never `SIGPIPE`) and closes the connection.
+    fn refuse(&self, stream: UnixStream, status: HelloStatus) -> AttachOutcome {
+        let _ = send_with_fd(&stream, &HelloReply::new(status).encode(), None);
         AttachOutcome::Refused(status)
     }
 }

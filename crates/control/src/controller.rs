@@ -156,6 +156,27 @@ impl HeartRateController {
         self.updates = 0;
     }
 
+    /// Restores the integrator state from a predecessor controller's
+    /// exported speedup — the daemon-crash warm-start path. The value is
+    /// clamped to this controller's configured range; a non-finite bit
+    /// pattern (scribbled segment) is refused and the controller stays
+    /// where it is.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::InvalidSpeedupRange`] when `speedup` is not
+    /// finite.
+    pub fn restore_speedup(&mut self, speedup: f64) -> Result<(), ControlError> {
+        if !speedup.is_finite() {
+            return Err(ControlError::InvalidSpeedupRange {
+                min: speedup,
+                max: speedup,
+            });
+        }
+        self.speedup = speedup.clamp(self.config.min_speedup, self.config.max_speedup);
+        Ok(())
+    }
+
     /// Simulates the closed loop for `steps` iterations assuming the
     /// application responds exactly as the model predicts (`h(t+1) = b·s(t)`
     /// scaled by `capacity`), returning the observed heart rates. `capacity`
@@ -282,6 +303,29 @@ mod tests {
             (last - 30.0).abs() < 0.5,
             "rate {last} should approach the target"
         );
+    }
+
+    #[test]
+    fn restore_speedup_clamps_and_refuses_garbage() {
+        let config = ControllerConfig::new(30.0, 30.0)
+            .unwrap()
+            .with_speedup_range(1.0, 4.0)
+            .unwrap();
+        let mut c = HeartRateController::new(config);
+        c.restore_speedup(2.5).unwrap();
+        assert_eq!(c.speedup(), 2.5);
+        // Warm-start is bit-exact: the next on-model update matches a
+        // controller that reached 2.5 by integrating.
+        let mut reference = HeartRateController::new(config);
+        reference.restore_speedup(2.5).unwrap();
+        assert_eq!(c.update(20.0).to_bits(), reference.update(20.0).to_bits());
+        // Out-of-range values clamp; garbage bit patterns are refused.
+        c.restore_speedup(99.0).unwrap();
+        assert_eq!(c.speedup(), 4.0);
+        let before = c.speedup();
+        assert!(c.restore_speedup(f64::NAN).is_err());
+        assert!(c.restore_speedup(f64::INFINITY).is_err());
+        assert_eq!(c.speedup(), before);
     }
 
     #[test]

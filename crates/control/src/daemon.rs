@@ -43,7 +43,9 @@ use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 
 use powerdial_heartbeats::channel::{beat_channel, BeatConsumer, BeatSample, BeatTransport};
-use powerdial_heartbeats::shm::{ShmConsumer, ShmDecision, ShmPeerProbe};
+use powerdial_heartbeats::shm::{
+    DecisionRead, ShmConsumer, ShmDecision, ShmPeerProbe, ShmWarmState, WarmRead,
+};
 use powerdial_heartbeats::{BeatProducer, HeartbeatTag, SlidingWindow, Timestamp};
 use powerdial_knobs::{KnobTable, PointIdx};
 
@@ -360,6 +362,13 @@ struct ControlState {
     window: SlidingWindow,
     shared: Arc<AppShared>,
     decisions: u64,
+    /// Observed rate inherited from a crashed predecessor daemon's
+    /// warm-start block. Primes the decide-before-observe step only while
+    /// this daemon's own window is still empty (the window never empties
+    /// once a sample lands, so the seed naturally expires); without it the
+    /// first post-adoption quantum would skip its controller update and the
+    /// integrator would diverge from an uninterrupted run forever.
+    seed_rate: Option<f64>,
 }
 
 impl ControlState {
@@ -380,7 +389,11 @@ impl ControlState {
         }
         let mut last = None;
         for sample in samples {
-            let observed = self.window.rate().map(|r| r.beats_per_second());
+            let observed = self
+                .window
+                .rate()
+                .map(|r| r.beats_per_second())
+                .or(self.seed_rate);
             let decision = self.runtime.on_heartbeat_idx(observed);
             on_decision(id, decision);
             // The first beat of a stream has no predecessor; its zero
@@ -467,12 +480,14 @@ impl DaemonShard {
         match self.apps.iter().position(|slot| slot.id == id) {
             Some(index) => {
                 let slot = self.apps.swap_remove(index);
-                // A reaped/unregistered shm app's decision block is reset
-                // before the daemon lets go of the mapping, so the
-                // segment's next tenant starts from `Empty`, not from a
-                // previous app's stale knob setting.
+                // A reaped/unregistered shm app's decision and warm-start
+                // blocks are reset before the daemon lets go of the
+                // mapping, so the segment's next tenant starts from
+                // `Empty` — neither a previous app's stale knob setting
+                // nor its controller trajectory leaks into a reuse.
                 if let BeatSource::Shm(consumer) = &slot.consumer {
                     consumer.reset_decision();
+                    consumer.reset_warm_state();
                 }
                 true
             }
@@ -517,6 +532,22 @@ impl DaemonShard {
                         gain_bits: shared.gain_bits.load(Ordering::Acquire),
                         achieved_speedup_bits: shared.achieved_speedup_bits.load(Ordering::Acquire),
                         qos_loss_bits: shared.qos_loss_bits.load(Ordering::Acquire),
+                    });
+                    // Keep the segment's warm-start block current so a
+                    // successor daemon resumes from this actuation if we
+                    // die after this store. Atomics only — the quantum
+                    // loop stays allocation-free.
+                    let rate = slot
+                        .control
+                        .window
+                        .rate()
+                        .map(|r| r.beats_per_second())
+                        .unwrap_or(0.0);
+                    consumer.publish_warm_state(ShmWarmState {
+                        point_idx: shared.decision.load(Ordering::Acquire) as u32,
+                        speedup_bits: slot.control.runtime.controller().speedup().to_bits(),
+                        observed_rate_bits: rate.to_bits(),
+                        beat_in_quantum: u64::from(slot.control.runtime.beat_in_quantum()),
                     });
                 }
             }
@@ -691,8 +722,14 @@ impl PowerDialDaemon {
         table: KnobTable,
     ) -> Result<AppHandle, ControlError> {
         let (producer, consumer) = beat_channel(self.config.channel_capacity);
-        let (id, shared) =
-            self.register_source(config, table, BeatSource::Channel(consumer), None)?;
+        let (id, shared) = self.register_source(
+            config,
+            table,
+            BeatSource::Channel(consumer),
+            None,
+            None,
+            None,
+        )?;
         Ok(AppHandle {
             id,
             producer,
@@ -725,21 +762,145 @@ impl PowerDialDaemon {
         consumer: ShmConsumer,
     ) -> Result<DecisionView, ControlError> {
         let probe = consumer.probe();
-        let (id, shared) =
-            self.register_source(config, table, BeatSource::Shm(consumer), Some(probe))?;
+        let (id, shared) = self.register_source(
+            config,
+            table,
+            BeatSource::Shm(consumer),
+            Some(probe),
+            None,
+            None,
+        )?;
         Ok(DecisionView { id, shared })
     }
 
-    /// Shared registration path for both transports.
+    /// Registers an application by *adopting* a shared-memory segment left
+    /// behind by a crashed predecessor daemon (the segment arrives back over
+    /// the broker's reattach hello; the consumer role was claimed via
+    /// [`ShmConsumer::adopt`], stepping over the dead claimant).
+    ///
+    /// Recovery happens here, not in the transport layer, because only the
+    /// daemon knows the knob table needed to validate and re-synthesize
+    /// decisions:
+    ///
+    /// 1. **Warm start.** The segment's warm-start block (the predecessor's
+    ///    last actuation: point index, controller speedup, observed rate,
+    ///    beat-in-quantum) is read under its seqlock. A consistent block
+    ///    whose point index is in range and whose speedup is finite
+    ///    warm-starts this daemon's controller
+    ///    ([`PowerDialRuntime::warm_start`]); a torn, empty, or implausible
+    ///    block falls back to a cold controller — recovery never trusts
+    ///    garbage into the control law.
+    /// 2. **Torn-decision healing.** If the predecessor died *mid-publish*
+    ///    of the decision block, the application is stuck reading
+    ///    last-known-good forever. A warm point re-synthesizes the decision
+    ///    from the table (gain = achieved = `speedup_of(point)`, QoS loss
+    ///    from the table); with no warm state the block is reset to Empty so
+    ///    the app degrades cleanly instead of spinning on a torn seqlock.
+    /// 3. **Continuity.** A consistent published decision also seeds this
+    ///    daemon's [`DecisionView`]/shared state, so in-process observers of
+    ///    the successor see the predecessor's last decision immediately
+    ///    instead of `None` until the first new quantum.
+    ///
+    /// Beats the application pushed across the outage are still in the ring
+    /// (they live in the segment, not the dead process) and are drained on
+    /// the first tick — nothing is lost beyond channel capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::ZeroQuantum`] when the runtime configuration
+    /// has a zero-heartbeat quantum.
+    pub fn register_shm_adopted(
+        &mut self,
+        config: RuntimeConfig,
+        table: KnobTable,
+        consumer: ShmConsumer,
+    ) -> Result<DecisionView, ControlError> {
+        let probe = consumer.probe();
+        let warm = match consumer.read_warm_state() {
+            WarmRead::Ready(w)
+                if (w.point_idx as usize) < table.len()
+                    && f64::from_bits(w.speedup_bits).is_finite() =>
+            {
+                Some(w)
+            }
+            _ => None,
+        };
+        // Heal a decision block the predecessor tore mid-publish: re-publish
+        // from warm state when we have it, otherwise reset to Empty so the
+        // client's ladder degrades instead of retrying a torn read forever.
+        if matches!(probe.read_decision(), DecisionRead::Torn) {
+            match warm {
+                Some(w) => {
+                    let speedup = table.speedup_of(PointIdx::new(w.point_idx));
+                    consumer.publish_decision(ShmDecision {
+                        point_idx: w.point_idx,
+                        gain_bits: speedup.to_bits(),
+                        achieved_speedup_bits: speedup.to_bits(),
+                        qos_loss_bits: table
+                            .point(PointIdx::new(w.point_idx))
+                            .qos_loss
+                            .value()
+                            .to_bits(),
+                    });
+                }
+                None => consumer.reset_decision(),
+            }
+        }
+        let seed = match probe.read_decision() {
+            DecisionRead::Ready(d) if (d.point_idx as usize) < table.len() => Some(d),
+            _ => None,
+        };
+        let (id, shared) = self.register_source(
+            config,
+            table,
+            BeatSource::Shm(consumer),
+            Some(probe),
+            warm,
+            seed,
+        )?;
+        Ok(DecisionView { id, shared })
+    }
+
+    /// Shared registration path for both transports. `warm` restores the
+    /// controller's integrator and primes the first quantum's observed rate
+    /// (adoption path); `seed` pre-publishes a predecessor's decision into
+    /// the shared state so observers see it before the first quantum.
     fn register_source(
         &mut self,
         config: RuntimeConfig,
         table: KnobTable,
         consumer: BeatSource,
         probe: Option<ShmPeerProbe>,
+        warm: Option<ShmWarmState>,
+        seed: Option<ShmDecision>,
     ) -> Result<(AppId, Arc<AppShared>), ControlError> {
-        let runtime = PowerDialRuntime::new(config, table)?;
+        let mut runtime = PowerDialRuntime::new(config, table)?;
+        let mut seed_rate = None;
+        if let Some(w) = warm {
+            // Speedup finiteness was validated by the adoption path; a
+            // failure here (non-finite after a racing scribble) just means
+            // a cold start.
+            let _ = runtime.warm_start(f64::from_bits(w.speedup_bits));
+            let rate = f64::from_bits(w.observed_rate_bits);
+            if rate.is_finite() && rate > 0.0 {
+                seed_rate = Some(rate);
+            }
+        }
         let shared = Arc::new(AppShared::default());
+        let mut decisions = 0u64;
+        if let Some(d) = seed {
+            shared.gain_bits.store(d.gain_bits, Ordering::Release);
+            shared
+                .achieved_speedup_bits
+                .store(d.achieved_speedup_bits, Ordering::Release);
+            shared
+                .qos_loss_bits
+                .store(d.qos_loss_bits, Ordering::Release);
+            shared
+                .decision
+                .store((1u64 << 32) | u64::from(d.point_idx), Ordering::Release);
+            decisions = 1;
+        }
         let id = AppId(self.next_id);
         self.next_id += 1;
         let slot = AppSlot {
@@ -749,7 +910,8 @@ impl PowerDialDaemon {
                 runtime,
                 window: SlidingWindow::new(self.config.window_size),
                 shared: Arc::clone(&shared),
-                decisions: 0,
+                decisions,
+                seed_rate,
             },
         };
         let worker = if self.workers.is_empty() {
@@ -1044,6 +1206,7 @@ pub mod naive {
                     window: SlidingWindow::new(self.config.window_size),
                     shared: Arc::clone(&shared),
                     decisions: 0,
+                    seed_rate: None,
                 },
             });
             Ok(NaiveAppHandle {
@@ -1412,5 +1575,305 @@ mod tests {
         // After a drain, pushes flow again.
         now += powerdial_heartbeats::TimestampDelta::from_millis(10);
         assert!(app.beat(now).is_ok());
+    }
+
+    /// Pushes one 20-beat quantum of 50 ms-spaced beats (20 beats/s against
+    /// the 30 beats/s target) into an shm producer.
+    fn push_slow_quantum(
+        producer: &mut powerdial_heartbeats::shm::ShmProducer,
+        now: &mut Timestamp,
+        tag: &mut HeartbeatTag,
+    ) {
+        for _ in 0..20 {
+            let last = *now;
+            *now += powerdial_heartbeats::TimestampDelta::from_millis(50);
+            producer
+                .try_push(BeatSample {
+                    tag: *tag,
+                    timestamp: *now,
+                    latency: if tag.value() == 0 {
+                        powerdial_heartbeats::TimestampDelta::ZERO
+                    } else {
+                        *now - last
+                    },
+                })
+                .unwrap();
+            *tag = tag.next();
+        }
+    }
+
+    #[test]
+    fn adopted_daemon_resumes_predecessor_state_and_drains_outage_beats() {
+        use powerdial_heartbeats::shm::{Segment, SegmentGeometry, ShmConsumer, ShmProducer};
+        use std::sync::atomic::Ordering;
+
+        let segment =
+            Arc::new(Segment::create(SegmentGeometry::for_beat_samples(64).unwrap()).unwrap());
+        let mut producer = ShmProducer::attach(Arc::clone(&segment)).unwrap();
+        let consumer = ShmConsumer::attach(Arc::clone(&segment)).unwrap();
+
+        let mut daemon = inline_daemon();
+        let view = daemon
+            .register_shm(runtime_config(), test_table(), consumer)
+            .unwrap();
+
+        // Five quanta of slow beats: the predecessor daemon publishes
+        // decisions and keeps the warm-start block current.
+        let mut now = Timestamp::ZERO;
+        let mut tag = HeartbeatTag::default();
+        for _ in 0..5 {
+            push_slow_quantum(&mut producer, &mut now, &mut tag);
+            daemon.tick();
+        }
+        let last_point = view.latest_point().unwrap();
+        let last_gain = view.latest_gain().unwrap();
+        assert!(matches!(
+            segment.header().read_warm_state(),
+            WarmRead::Ready(_)
+        ));
+
+        // SIGKILL the predecessor: nothing is reset, the consumer claim
+        // goes stale. (mem::forget models the kill — Drop never runs — and
+        // the PID overwrite models the claimant process no longer existing.)
+        std::mem::forget(daemon);
+        segment
+            .header()
+            .consumer_pid
+            .store(0x7FFF_FF00, Ordering::Release);
+
+        // The application keeps beating across the outage; beats wait in
+        // the ring (they live in the segment, not the dead process).
+        push_slow_quantum(&mut producer, &mut now, &mut tag);
+
+        // A successor daemon adopts the segment.
+        let adopted = ShmConsumer::adopt(Arc::clone(&segment)).unwrap();
+        let mut successor = inline_daemon();
+        let view2 = successor
+            .register_shm_adopted(runtime_config(), test_table(), adopted)
+            .unwrap();
+
+        // The predecessor's final decision is visible *before* the first
+        // tick — observers never regress to "no decision yet".
+        assert_eq!(view2.latest_point(), Some(last_point));
+        assert_eq!(view2.latest_gain().unwrap().to_bits(), last_gain.to_bits());
+
+        // The outage quantum drains in full on the first tick.
+        assert_eq!(successor.tick(), 20);
+        assert_eq!(view2.beats_processed(), 20);
+        assert!(matches!(producer.read_decision(), DecisionRead::Ready(_)));
+    }
+
+    #[test]
+    fn adopted_daemon_matches_uninterrupted_run_bit_for_bit() {
+        use powerdial_heartbeats::shm::{Segment, SegmentGeometry, ShmConsumer, ShmProducer};
+        use std::sync::atomic::Ordering;
+
+        // Two identical slow-beat streams. Daemon A runs ten quanta
+        // uninterrupted; daemon B is killed after five and a warm-started
+        // successor finishes the rest. Warm start restores the integrator
+        // bit-exactly and seeds the first quantum's observed rate from the
+        // warm block, so the successor's decisions are bit-identical to the
+        // uninterrupted run from the first post-crash quantum onward.
+        let seg_a =
+            Arc::new(Segment::create(SegmentGeometry::for_beat_samples(64).unwrap()).unwrap());
+        let seg_b =
+            Arc::new(Segment::create(SegmentGeometry::for_beat_samples(64).unwrap()).unwrap());
+        let mut producer_a = ShmProducer::attach(Arc::clone(&seg_a)).unwrap();
+        let mut producer_b = ShmProducer::attach(Arc::clone(&seg_b)).unwrap();
+        let consumer_a = ShmConsumer::attach(Arc::clone(&seg_a)).unwrap();
+        let consumer_b = ShmConsumer::attach(Arc::clone(&seg_b)).unwrap();
+
+        let mut daemon_a = inline_daemon();
+        let mut daemon_b = inline_daemon();
+        let view_a = daemon_a
+            .register_shm(runtime_config(), test_table(), consumer_a)
+            .unwrap();
+        let view_b = daemon_b
+            .register_shm(runtime_config(), test_table(), consumer_b)
+            .unwrap();
+
+        let mut now_a = Timestamp::ZERO;
+        let mut tag_a = HeartbeatTag::default();
+        let mut now_b = Timestamp::ZERO;
+        let mut tag_b = HeartbeatTag::default();
+        for _ in 0..5 {
+            push_slow_quantum(&mut producer_a, &mut now_a, &mut tag_a);
+            push_slow_quantum(&mut producer_b, &mut now_b, &mut tag_b);
+            daemon_a.tick();
+            daemon_b.tick();
+        }
+        assert_eq!(
+            view_a.latest_gain().unwrap().to_bits(),
+            view_b.latest_gain().unwrap().to_bits()
+        );
+
+        // Kill daemon B; its app beats on through the outage.
+        std::mem::forget(daemon_b);
+        seg_b
+            .header()
+            .consumer_pid
+            .store(0x7FFF_FF00, Ordering::Release);
+        push_slow_quantum(&mut producer_b, &mut now_b, &mut tag_b);
+
+        let adopted = ShmConsumer::adopt(Arc::clone(&seg_b)).unwrap();
+        let mut successor = inline_daemon();
+        let view_b2 = successor
+            .register_shm_adopted(runtime_config(), test_table(), adopted)
+            .unwrap();
+
+        for quantum in 5..10 {
+            push_slow_quantum(&mut producer_a, &mut now_a, &mut tag_a);
+            daemon_a.tick();
+            if quantum > 5 {
+                // Quantum 5's beats were already pushed during the outage.
+                push_slow_quantum(&mut producer_b, &mut now_b, &mut tag_b);
+            }
+            successor.tick();
+            assert_eq!(view_a.latest_point(), view_b2.latest_point());
+            assert_eq!(
+                view_a.latest_gain().unwrap().to_bits(),
+                view_b2.latest_gain().unwrap().to_bits(),
+                "gain diverged at quantum {quantum}"
+            );
+            assert_eq!(
+                view_a.achieved_speedup().unwrap().to_bits(),
+                view_b2.achieved_speedup().unwrap().to_bits(),
+                "achieved speedup diverged at quantum {quantum}"
+            );
+        }
+        assert_eq!(view_b2.beats_processed(), 100);
+    }
+
+    #[test]
+    fn adoption_heals_torn_decision_block() {
+        use powerdial_heartbeats::shm::{
+            Segment, SegmentGeometry, ShmConsumer, ShmProducer, ShmWarmState,
+        };
+        use std::sync::atomic::Ordering;
+
+        // Predecessor died mid-publish (odd decision seq) but its warm
+        // block survived: adoption re-synthesizes the decision from the
+        // knob table so the app is not stuck on a torn seqlock forever.
+        let segment =
+            Arc::new(Segment::create(SegmentGeometry::for_beat_samples(16).unwrap()).unwrap());
+        let producer = ShmProducer::attach(Arc::clone(&segment)).unwrap();
+        segment.header().publish_warm_state(ShmWarmState {
+            point_idx: 2,
+            speedup_bits: 4.0f64.to_bits(),
+            observed_rate_bits: 20.0f64.to_bits(),
+            beat_in_quantum: 0,
+        });
+        segment.header().decision_seq.store(3, Ordering::Release);
+        segment
+            .header()
+            .consumer_pid
+            .store(0x7FFF_FF00, Ordering::Release);
+        assert!(matches!(producer.read_decision(), DecisionRead::Torn));
+
+        let adopted = ShmConsumer::adopt(Arc::clone(&segment)).unwrap();
+        let mut daemon = inline_daemon();
+        let view = daemon
+            .register_shm_adopted(runtime_config(), test_table(), adopted)
+            .unwrap();
+        match producer.read_decision() {
+            DecisionRead::Ready(d) => {
+                assert_eq!(d.point_idx, 2);
+                assert_eq!(f64::from_bits(d.gain_bits), 4.0);
+                assert_eq!(f64::from_bits(d.achieved_speedup_bits), 4.0);
+                assert_eq!(f64::from_bits(d.qos_loss_bits), (4.0 - 1.0) * 0.02);
+            }
+            other => panic!("expected healed decision, got {other:?}"),
+        }
+        assert_eq!(view.latest_point(), Some(PointIdx::new(2)));
+        assert_eq!(view.latest_gain(), Some(4.0));
+        drop(daemon);
+
+        // Torn decision and *no* warm state: the block is reset to Empty so
+        // the application degrades per its ladder instead of spinning.
+        let seg2 =
+            Arc::new(Segment::create(SegmentGeometry::for_beat_samples(16).unwrap()).unwrap());
+        let producer2 = ShmProducer::attach(Arc::clone(&seg2)).unwrap();
+        seg2.header().decision_seq.store(7, Ordering::Release);
+        seg2.header()
+            .consumer_pid
+            .store(0x7FFF_FF00, Ordering::Release);
+        assert!(matches!(producer2.read_decision(), DecisionRead::Torn));
+
+        let adopted2 = ShmConsumer::adopt(Arc::clone(&seg2)).unwrap();
+        let mut daemon2 = inline_daemon();
+        let view2 = daemon2
+            .register_shm_adopted(runtime_config(), test_table(), adopted2)
+            .unwrap();
+        assert!(matches!(producer2.read_decision(), DecisionRead::Empty));
+        assert!(view2.latest_point().is_none());
+    }
+
+    #[test]
+    fn reap_and_reregister_churn_resets_segment_state() {
+        use powerdial_heartbeats::shm::{Segment, SegmentGeometry, ShmConsumer, ShmProducer};
+        use std::sync::atomic::Ordering;
+
+        // Repeated register → producer death → reap → re-register cycles on
+        // one segment: every round must release the consumer claim and
+        // reset both seqlock blocks, or state from a dead tenant leaks into
+        // the next one.
+        let segment =
+            Arc::new(Segment::create(SegmentGeometry::for_beat_samples(16).unwrap()).unwrap());
+        let mut daemon = inline_daemon();
+        for round in 0..5u64 {
+            let mut producer = ShmProducer::attach(Arc::clone(&segment)).unwrap();
+            let consumer = ShmConsumer::attach(Arc::clone(&segment)).unwrap();
+            let view = daemon
+                .register_shm(runtime_config(), test_table(), consumer)
+                .unwrap();
+            assert_eq!(daemon.app_count(), 1, "round {round}");
+
+            let base = Timestamp::from_millis(round * 10_000);
+            for tag in 0..2u64 {
+                producer
+                    .try_push(BeatSample {
+                        tag: HeartbeatTag(tag),
+                        timestamp: base
+                            + powerdial_heartbeats::TimestampDelta::from_millis(tag * 40),
+                        latency: powerdial_heartbeats::TimestampDelta::from_millis(40 * tag.min(1)),
+                    })
+                    .unwrap();
+            }
+            assert_eq!(daemon.tick(), 2, "round {round}");
+            assert!(matches!(
+                segment.header().read_decision(),
+                DecisionRead::Ready(_)
+            ));
+            assert!(matches!(
+                segment.header().read_warm_state(),
+                WarmRead::Ready(_)
+            ));
+
+            // The producing process dies; tick-then-reap collects the app.
+            segment
+                .header()
+                .producer_pid
+                .store(0x7FFF_FF00, Ordering::Release);
+            assert_eq!(daemon.reap_dead(), vec![view.id()], "round {round}");
+            assert_eq!(daemon.app_count(), 0);
+
+            // Claims released and blocks reset for the segment's next tenant.
+            assert_eq!(segment.header().consumer_pid.load(Ordering::Acquire), 0);
+            assert!(matches!(
+                segment.header().read_decision(),
+                DecisionRead::Empty
+            ));
+            assert!(matches!(
+                segment.header().read_warm_state(),
+                WarmRead::Empty
+            ));
+
+            // Free the producer role for the next round (the dead-PID
+            // sentinel was stored over this process's live claim, so Drop
+            // must not run — it would CAS the wrong value).
+            std::mem::forget(producer);
+            segment.header().producer_pid.store(0, Ordering::Release);
+            segment.header().producer_nonce.store(0, Ordering::Release);
+        }
     }
 }

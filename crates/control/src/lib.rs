@@ -85,6 +85,8 @@ mod dvfs;
 mod error;
 pub mod naive;
 mod runtime;
+#[cfg(target_os = "linux")]
+pub mod supervisor;
 pub mod ztransform;
 
 pub use actuator::{
@@ -92,7 +94,7 @@ pub use actuator::{
     MAX_PLAN_SEGMENTS,
 };
 #[cfg(target_os = "linux")]
-pub use broker::{AttachBroker, AttachOutcome, BrokerConfig, BrokerError};
+pub use broker::{AttachBroker, AttachOutcome, AttachRequest, BrokerConfig, BrokerError};
 pub use controller::{ControllerConfig, HeartRateController};
 pub use daemon::{AppHandle, AppId, DaemonConfig, DaemonShard, DecisionView, PowerDialDaemon};
 pub use dvfs::DvfsActuator;
@@ -100,3 +102,5 @@ pub use error::ControlError;
 pub use runtime::{
     IndexedDecision, PowerDialRuntime, RuntimeConfig, RuntimeDecision, DEFAULT_QUANTUM_HEARTBEATS,
 };
+#[cfg(target_os = "linux")]
+pub use supervisor::{Supervisor, SupervisorConfig};

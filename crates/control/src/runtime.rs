@@ -342,6 +342,33 @@ impl PowerDialRuntime {
         self.current_schedule = None;
         self.quanta_planned = 0;
     }
+
+    /// The beat position within the current quantum (0 at a quantum
+    /// boundary). Exported alongside the controller speedup into the
+    /// segment's warm-start block so a successor daemon can measure how
+    /// far into a quantum its predecessor died.
+    pub fn beat_in_quantum(&self) -> u32 {
+        self.beat_in_quantum
+    }
+
+    /// Warm-starts this runtime from a dead predecessor's exported
+    /// integrator state: the restored speedup (clamped to the controller's
+    /// configured range) becomes the base the first post-recovery
+    /// `update` integrates from, so the successor resumes from the last
+    /// actuation instead of re-converging from a cold speedup of 1. The
+    /// next heartbeat plans a fresh quantum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::InvalidSpeedupRange`] when `speedup` is not
+    /// finite (a scribbled warm-start block); the runtime is left cold.
+    pub fn warm_start(&mut self, speedup: f64) -> Result<(), ControlError> {
+        self.controller.restore_speedup(speedup)?;
+        self.beat_in_quantum = 0;
+        self.per_beat_idx.clear();
+        self.current_schedule = None;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -487,6 +514,44 @@ mod tests {
             (tail_mean - 30.0).abs() < 3.0,
             "mean rate {tail_mean} should recover close to the 30 beats/s target"
         );
+    }
+
+    #[test]
+    fn warm_started_runtime_matches_uninterrupted_run() {
+        // An uninterrupted runtime converges somewhere; a successor that
+        // warm-starts from its exported speedup at a quantum boundary makes
+        // bit-identical decisions from the first post-recovery beat on.
+        let mut uninterrupted = runtime(4);
+        for _ in 0..12 {
+            uninterrupted.on_heartbeat_idx(Some(15.0));
+        }
+        let exported = uninterrupted.controller().speedup();
+
+        let mut successor = runtime(4);
+        successor.warm_start(exported).unwrap();
+        assert_eq!(
+            successor.controller().speedup().to_bits(),
+            exported.to_bits()
+        );
+        for _ in 0..12 {
+            let a = uninterrupted.on_heartbeat_idx(Some(15.0));
+            let b = successor.on_heartbeat_idx(Some(15.0));
+            assert_eq!(a.point_idx, b.point_idx);
+            assert_eq!(a.gain.to_bits(), b.gain.to_bits());
+            assert_eq!(a.requested_speedup.to_bits(), b.requested_speedup.to_bits());
+        }
+
+        // A cold successor diverges on its first quantum — the glitch the
+        // warm start exists to avoid.
+        let mut cold = runtime(4);
+        let warm_first = successor.current_schedule().unwrap().requested_speedup;
+        let cold_first = cold.on_heartbeat_idx(Some(15.0)).requested_speedup;
+        assert_ne!(warm_first.to_bits(), cold_first.to_bits());
+
+        // Garbage warm state is refused and leaves the runtime cold.
+        let mut refused = runtime(4);
+        assert!(refused.warm_start(f64::NAN).is_err());
+        assert_eq!(refused.controller().speedup(), 1.0);
     }
 
     #[test]

@@ -1,0 +1,198 @@
+//! A fork-based daemon supervisor for crash-recovery tests and benches.
+//!
+//! Proving recovery needs a daemon that *really* dies: an in-process
+//! "crash" cannot leave the segment in the state a SIGKILL leaves it in
+//! (a dead PID stuck in the consumer slot, a possibly torn decision
+//! block), because an in-process consumer's claim still names a live
+//! process — which adoption rightly refuses. The [`Supervisor`] therefore
+//! runs the whole daemon side — attach broker plus [`PowerDialDaemon`] —
+//! in a **forked child process**, and exposes exactly the lifecycle a
+//! chaos harness needs: [`start`](Supervisor::start),
+//! [`kill`](Supervisor::kill) (SIGKILL, no warning, no cleanup), and
+//! [`restart`](Supervisor::restart).
+//!
+//! The supervised daemon serves both attach flavors through its broker:
+//! fresh hellos get a broker-created segment
+//! ([`PowerDialDaemon::register_shm`]); reattach hellos from clients
+//! orphaned by a previous incarnation get their surviving segment adopted
+//! ([`PowerDialDaemon::register_shm_adopted`]) — stale consumer claim
+//! stepped over, torn decision block healed, controller warm-started from
+//! the segment's warm-state block. A successor incarnation rebinds the
+//! same socket path; [`AttachBroker::bind`] already knows how to reclaim
+//! the socket file a SIGKILLed predecessor left behind.
+//!
+//! This module is test/bench infrastructure, not deployment posture: a
+//! production supervisor is the init system's job. It lives in the
+//! library (not a test helper) so the chaos suite, the recovery bench,
+//! and downstream experiments drive the *same* restart logic.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use powerdial_heartbeats::shm::process::{fork_child, ChildExit, ForkedChild};
+use powerdial_heartbeats::shm::ShmError;
+use powerdial_knobs::KnobTable;
+
+use crate::broker::{AttachBroker, AttachRequest, BrokerConfig};
+use crate::daemon::{DaemonConfig, PowerDialDaemon};
+use crate::{ControllerConfig, RuntimeConfig};
+
+/// Everything a daemon incarnation needs to serve: where to listen, how
+/// to shard, and the control problem every attaching app gets.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Socket path each incarnation's broker binds (and rebinds).
+    pub socket_path: PathBuf,
+    /// Daemon sharding/channel configuration.
+    pub daemon: DaemonConfig,
+    /// Target heart rate handed to every registered app's controller.
+    pub target_rate: f64,
+    /// Baseline (uncontrolled) heart rate for the control law.
+    pub baseline_rate: f64,
+    /// Delay between the child's serve-loop iterations. Zero spins hot
+    /// (lowest recovery latency, one core burned); a few tens of
+    /// microseconds is plenty for tests.
+    pub poll_interval: Duration,
+}
+
+/// Restarts a forked broker+daemon process across SIGKILLs.
+///
+/// Dropping a supervisor with a live child kills and reaps it.
+#[derive(Debug)]
+pub struct Supervisor {
+    config: SupervisorConfig,
+    table: KnobTable,
+    child: Option<ForkedChild>,
+    incarnations: u32,
+}
+
+impl Supervisor {
+    /// A supervisor that will serve `table` to every attaching app. No
+    /// child is started yet.
+    pub fn new(config: SupervisorConfig, table: KnobTable) -> Self {
+        Supervisor {
+            config,
+            table,
+            child: None,
+            incarnations: 0,
+        }
+    }
+
+    /// Forks the next daemon incarnation and returns its PID.
+    ///
+    /// # Errors
+    ///
+    /// [`ShmError`] when the fork fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an incarnation is already running — kill it first; the
+    /// supervisor never races two children for one socket path.
+    pub fn start(&mut self) -> Result<u32, ShmError> {
+        assert!(
+            self.child.is_none(),
+            "an incarnation is already running; kill() it before start()"
+        );
+        let config = self.config.clone();
+        let table = self.table.clone();
+        let child = fork_child(move || daemon_process(&config, &table))?;
+        let pid = child.pid();
+        self.child = Some(child);
+        self.incarnations += 1;
+        Ok(pid)
+    }
+
+    /// SIGKILLs the running incarnation and reaps it — the crash under
+    /// test: no signal handler runs, no destructor, no goodbye. The
+    /// consumer claim and whatever half-written state the daemon held
+    /// stay in every client's segment exactly as the kill left them.
+    ///
+    /// # Errors
+    ///
+    /// [`ShmError`] when the signal or the reaping wait fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no incarnation is running.
+    pub fn kill(&mut self) -> Result<ChildExit, ShmError> {
+        let child = self.child.take().expect("no incarnation running");
+        child.kill()?;
+        child.wait()
+    }
+
+    /// [`kill`](Supervisor::kill) then [`start`](Supervisor::start):
+    /// returns the successor's PID.
+    ///
+    /// # Errors
+    ///
+    /// [`ShmError`] from either half.
+    pub fn restart(&mut self) -> Result<u32, ShmError> {
+        self.kill()?;
+        self.start()
+    }
+
+    /// PID of the running incarnation, if any.
+    pub fn pid(&self) -> Option<u32> {
+        self.child.as_ref().map(ForkedChild::pid)
+    }
+
+    /// How many incarnations have been started so far.
+    pub fn incarnations(&self) -> u32 {
+        self.incarnations
+    }
+
+    /// Kills and reaps the running incarnation if there is one; the
+    /// orderly way to end a test. Errors are swallowed (the child may
+    /// already be gone).
+    pub fn shutdown(&mut self) {
+        if let Some(child) = self.child.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+impl Drop for Supervisor {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The child's entire life: bind, serve attaches (fresh and reattach),
+/// tick, reap, forever — until SIGKILL does it in. Exit codes are only
+/// ever observed when setup fails (the supervisor's caller sees them via
+/// [`ChildExit::Exited`]).
+fn daemon_process(config: &SupervisorConfig, table: &KnobTable) -> i32 {
+    let Ok(mut broker) = AttachBroker::bind(BrokerConfig::new(&config.socket_path)) else {
+        return 10;
+    };
+    let Ok(mut daemon) = PowerDialDaemon::new(config.daemon) else {
+        return 11;
+    };
+    loop {
+        let served = broker.poll_accept(daemon.app_count(), |request| {
+            let runtime = RuntimeConfig::new(ControllerConfig::new(
+                config.target_rate,
+                config.baseline_rate,
+            )?);
+            match request {
+                AttachRequest::Fresh(consumer) => {
+                    daemon.register_shm(runtime, table.clone(), consumer)
+                }
+                AttachRequest::Reattach(consumer) => {
+                    daemon.register_shm_adopted(runtime, table.clone(), consumer)
+                }
+            }
+        });
+        if served.is_err() {
+            return 12;
+        }
+        daemon.tick();
+        daemon.reap_dead();
+        if config.poll_interval > Duration::ZERO {
+            std::thread::sleep(config.poll_interval);
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}

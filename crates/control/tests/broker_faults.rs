@@ -21,13 +21,13 @@ use std::time::{Duration, Instant};
 
 use powerdial_control::daemon::{DaemonConfig, DecisionView, PowerDialDaemon};
 use powerdial_control::{
-    AttachBroker, AttachOutcome, BrokerConfig, BrokerError, ControlError, ControllerConfig,
-    RuntimeConfig,
+    AttachBroker, AttachOutcome, AttachRequest, BrokerConfig, BrokerError, ControlError,
+    ControllerConfig, RuntimeConfig,
 };
 use powerdial_heartbeats::channel::BeatSample;
 use powerdial_heartbeats::shm::{
-    recv_exact_with_fd, HelloReply, HelloRequest, HelloStatus, Segment, ShmConsumer,
-    HELLO_REPLY_LEN, SEGMENT_ABI_VERSION,
+    recv_exact_with_fd, send_with_fd, HelloReply, HelloRequest, HelloStatus, Segment,
+    SegmentGeometry, ShmConsumer, ShmProducer, HELLO_REPLY_LEN, SEGMENT_ABI_VERSION,
 };
 use powerdial_heartbeats::{HeartbeatTag, Timestamp, TimestampDelta};
 use powerdial_knobs::{CalibrationPoint, ConfigParameter, KnobTable, ParameterSpace};
@@ -69,13 +69,15 @@ fn inline_daemon() -> PowerDialDaemon {
 
 fn register_with(
     daemon: &mut PowerDialDaemon,
-) -> impl FnOnce(ShmConsumer) -> Result<DecisionView, ControlError> + '_ {
-    |consumer| {
-        daemon.register_shm(
-            RuntimeConfig::new(ControllerConfig::new(30.0, 30.0)?),
-            test_table(),
-            consumer,
-        )
+) -> impl FnOnce(AttachRequest) -> Result<DecisionView, ControlError> + '_ {
+    |request| {
+        let config = RuntimeConfig::new(ControllerConfig::new(30.0, 30.0)?);
+        match request {
+            AttachRequest::Fresh(consumer) => daemon.register_shm(config, test_table(), consumer),
+            AttachRequest::Reattach(consumer) => {
+                daemon.register_shm_adopted(config, test_table(), consumer)
+            }
+        }
     }
 }
 
@@ -202,9 +204,11 @@ fn reserved_flags_and_zero_capacity_are_refused_malformed() {
     let mut broker = AttachBroker::bind(BrokerConfig::new(socket_path("flags"))).unwrap();
     let mut daemon = inline_daemon();
 
+    // An unknown flag bit (flags=1 is now HELLO_FLAG_REATTACH, a *known*
+    // bit — an unknown one must still be refused for cross-version safety).
     let mut stream = UnixStream::connect(broker.socket_path()).unwrap();
     let mut hello = HelloRequest::new(64).encode();
-    hello[12..16].copy_from_slice(&1u32.to_le_bytes()); // reserved flags
+    hello[12..16].copy_from_slice(&0x8000_0000u32.to_le_bytes()); // reserved flags
     stream.write_all(&hello).unwrap();
     let outcome = serve_one(&mut broker, &mut daemon, 0);
     assert!(matches!(
@@ -285,7 +289,7 @@ fn registration_failure_is_refused_resources() {
     let deadline = Instant::now() + Duration::from_secs(10);
     let outcome = loop {
         let polled = broker
-            .poll_accept(0, |_consumer| Err(ControlError::ZeroQuantum))
+            .poll_accept(0, |_request| Err(ControlError::ZeroQuantum))
             .unwrap();
         if let Some(outcome) = polled {
             break outcome;
@@ -383,9 +387,155 @@ fn socket_removed_mid_accept_is_detected() {
 fn idle_listener_polls_to_none() {
     let mut broker = AttachBroker::bind(BrokerConfig::new(socket_path("idle"))).unwrap();
     let polled = broker
-        .poll_accept(0, |_consumer| Err(ControlError::ZeroQuantum))
+        .poll_accept(0, |_request| Err(ControlError::ZeroQuantum))
         .unwrap();
     assert!(polled.is_none(), "no pending connection must not block");
+}
+
+#[test]
+fn reattach_hello_adopts_existing_segment_without_returning_fd() {
+    use std::sync::atomic::Ordering;
+
+    let mut broker = AttachBroker::bind(BrokerConfig::new(socket_path("reattach"))).unwrap();
+    let mut daemon = inline_daemon();
+
+    // A segment from a previous daemon lifetime: producer (the client)
+    // alive, consumer claim left stale by the dead daemon, beats pushed
+    // across the outage waiting in the ring.
+    let segment =
+        Arc::new(Segment::create(SegmentGeometry::for_beat_samples(64).unwrap()).unwrap());
+    let mut producer = ShmProducer::attach(Arc::clone(&segment)).unwrap();
+    segment
+        .header()
+        .consumer_pid
+        .store(0x7FFF_FF00, Ordering::Release);
+    for tag in 0..3u64 {
+        producer
+            .try_push(BeatSample {
+                tag: HeartbeatTag(tag),
+                timestamp: Timestamp::from_millis(tag * 40),
+                latency: TimestampDelta::from_millis(40 * tag.min(1)),
+            })
+            .unwrap();
+    }
+
+    let stream = UnixStream::connect(broker.socket_path()).unwrap();
+    send_with_fd(
+        &stream,
+        &HelloRequest::reattach(64).encode(),
+        segment.as_raw_fd(),
+    )
+    .unwrap();
+    let outcome = serve_one(&mut broker, &mut daemon, 0);
+    let AttachOutcome::Granted(view) = outcome else {
+        panic!("expected a reattach grant, got {outcome:?}");
+    };
+    assert_eq!(daemon.app_count(), 1);
+
+    // A granted reattach reply carries no fd — the client already holds
+    // the mapping.
+    let mut reply = [0u8; HELLO_REPLY_LEN];
+    let fd = recv_exact_with_fd(&stream, &mut reply).unwrap();
+    assert_eq!(read_status(&reply), HelloStatus::Granted);
+    assert!(fd.is_none(), "reattach grant must not return an fd");
+
+    // The outage beats drain on the first tick; the segment is live end
+    // to end again.
+    assert_eq!(daemon.tick(), 3);
+    assert_eq!(view.beats_processed(), 3);
+    assert_still_grants(&mut broker, &mut daemon);
+}
+
+#[test]
+fn reattach_without_fd_is_malformed() {
+    let mut broker = AttachBroker::bind(BrokerConfig::new(socket_path("reattach-nofd"))).unwrap();
+    let mut daemon = inline_daemon();
+
+    let mut stream = UnixStream::connect(broker.socket_path()).unwrap();
+    stream
+        .write_all(&HelloRequest::reattach(64).encode())
+        .unwrap();
+    let outcome = serve_one(&mut broker, &mut daemon, 0);
+    assert!(matches!(
+        outcome,
+        AttachOutcome::Refused(HelloStatus::Malformed)
+    ));
+    assert_eq!(read_reply(&mut stream).status, HelloStatus::Malformed);
+    assert_eq!(daemon.app_count(), 0);
+    assert_still_grants(&mut broker, &mut daemon);
+}
+
+#[test]
+fn fresh_hello_with_smuggled_fd_is_malformed() {
+    let mut broker = AttachBroker::bind(BrokerConfig::new(socket_path("smuggled"))).unwrap();
+    let mut daemon = inline_daemon();
+
+    let segment =
+        Arc::new(Segment::create(SegmentGeometry::for_beat_samples(16).unwrap()).unwrap());
+    let stream = UnixStream::connect(broker.socket_path()).unwrap();
+    send_with_fd(
+        &stream,
+        &HelloRequest::new(64).encode(),
+        segment.as_raw_fd(),
+    )
+    .unwrap();
+    let outcome = serve_one(&mut broker, &mut daemon, 0);
+    assert!(matches!(
+        outcome,
+        AttachOutcome::Refused(HelloStatus::Malformed)
+    ));
+    assert_eq!(daemon.app_count(), 0);
+    assert_still_grants(&mut broker, &mut daemon);
+}
+
+#[test]
+fn reattach_with_garbage_fd_is_malformed() {
+    use std::os::fd::AsRawFd;
+
+    let mut broker = AttachBroker::bind(BrokerConfig::new(socket_path("garbage-fd"))).unwrap();
+    let mut daemon = inline_daemon();
+
+    // /dev/null is a perfectly good fd and a perfectly bad segment.
+    let junk = std::fs::File::open("/dev/null").unwrap();
+    let stream = UnixStream::connect(broker.socket_path()).unwrap();
+    send_with_fd(
+        &stream,
+        &HelloRequest::reattach(64).encode(),
+        Some(junk.as_raw_fd()),
+    )
+    .unwrap();
+    let outcome = serve_one(&mut broker, &mut daemon, 0);
+    assert!(matches!(
+        outcome,
+        AttachOutcome::Refused(HelloStatus::Malformed)
+    ));
+    assert_eq!(daemon.app_count(), 0);
+    assert_still_grants(&mut broker, &mut daemon);
+}
+
+#[test]
+fn reattach_of_live_consumer_is_refused_busy() {
+    let mut broker = AttachBroker::bind(BrokerConfig::new(socket_path("live-consumer"))).unwrap();
+    let mut daemon = inline_daemon();
+
+    // The consumer role is held by a *live* process (this one): nothing
+    // to step over — a retryable Busy, not an adoption.
+    let segment =
+        Arc::new(Segment::create(SegmentGeometry::for_beat_samples(16).unwrap()).unwrap());
+    let _producer = ShmProducer::attach(Arc::clone(&segment)).unwrap();
+    let _live_consumer = ShmConsumer::attach(Arc::clone(&segment)).unwrap();
+
+    let stream = UnixStream::connect(broker.socket_path()).unwrap();
+    send_with_fd(
+        &stream,
+        &HelloRequest::reattach(16).encode(),
+        segment.as_raw_fd(),
+    )
+    .unwrap();
+    let outcome = serve_one(&mut broker, &mut daemon, 0);
+    assert!(matches!(outcome, AttachOutcome::Refused(HelloStatus::Busy)));
+    assert_eq!(daemon.app_count(), 0);
+    assert_still_grants(&mut broker, &mut daemon);
 }
 
 #[test]

@@ -18,7 +18,7 @@
 //! ```text
 //! HelloRequest (24 bytes):  magic "PDBRKHLO" (u64 LE)
 //!                           abi_version (u32 LE)   client's SEGMENT_ABI_VERSION
-//!                           flags (u32 LE)         reserved, must be 0
+//!                           flags (u32 LE)         0, or HELLO_FLAG_REATTACH
 //!                           capacity (u64 LE)      requested ring capacity
 //! HelloReply   (16 bytes):  magic "PDBRKRPY" (u64 LE)
 //!                           status (u32 LE)        HelloStatus
@@ -30,6 +30,19 @@
 //! reply is guaranteed the ancillary fd accompanied it (stream sockets
 //! deliver ancillary data with the first byte of the paired payload). Any
 //! other status carries no fd and the broker closes the connection.
+//!
+//! # Reattach (daemon crash recovery)
+//!
+//! A client that survived a daemon crash still holds its mapped segment;
+//! re-registering with a fresh segment would discard every beat pushed
+//! across the outage. Instead it sends a hello with
+//! [`HELLO_FLAG_REATTACH`] set and its *existing* segment fd riding in
+//! the hello's own `SCM_RIGHTS` ancillary data (the reverse direction of
+//! the grant). The broker validates and adopts that segment — a granted
+//! reattach reply carries **no** fd back. Brokers predating this flag
+//! refuse any nonzero flags as [`HelloStatus::Malformed`], which a
+//! reattaching client treats as "re-register from scratch": cross-version
+//! behavior degrades to the old protocol instead of wedging.
 //!
 //! Everything here is length-prefixed-free and fixed-size on purpose: a
 //! malformed, truncated, or hostile peer can produce a *decode failure*
@@ -48,6 +61,15 @@ pub const HELLO_REQUEST_LEN: usize = 24;
 /// Encoded size of a [`HelloReply`].
 pub const HELLO_REPLY_LEN: usize = 16;
 
+/// [`HelloRequest::flags`] bit: this hello is a *reattach* — the client's
+/// existing segment fd rides in the hello's own `SCM_RIGHTS` ancillary
+/// data for the broker to adopt, and a granted reply carries no fd back.
+pub const HELLO_FLAG_REATTACH: u32 = 1;
+
+/// Mask of every [`HelloRequest::flags`] bit this build understands;
+/// brokers refuse anything outside it as [`HelloStatus::Malformed`].
+pub const HELLO_FLAGS_KNOWN: u32 = HELLO_FLAG_REATTACH;
+
 /// The client's opening message: who it is (ABI) and what it wants
 /// (ring capacity).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,11 +78,14 @@ pub struct HelloRequest {
     /// mismatch ([`HelloStatus::WrongAbi`]) instead of handing over a
     /// segment the client would misinterpret.
     pub abi_version: u32,
-    /// Reserved; senders must write 0 and brokers reject anything else
-    /// (room for future capability negotiation without a magic bump).
+    /// Capability bits ([`HELLO_FLAG_REATTACH`] is the only one defined);
+    /// brokers reject unknown bits as malformed, so the field stays room
+    /// for future negotiation without a magic bump.
     pub flags: u32,
     /// Requested beat-ring capacity in records (the broker clamps to its
-    /// configured maximum and rounds to a power of two).
+    /// configured maximum and rounds to a power of two). On a reattach
+    /// the field carries the existing ring's capacity, informationally —
+    /// the broker re-derives geometry from the adopted segment itself.
     pub capacity: u64,
 }
 
@@ -72,6 +97,21 @@ impl HelloRequest {
             flags: 0,
             capacity,
         }
+    }
+
+    /// A reattach request for this build's ABI: the sender must attach
+    /// its existing segment fd to the hello via [`send_with_fd`].
+    pub fn reattach(capacity: u64) -> Self {
+        HelloRequest {
+            abi_version: SEGMENT_ABI_VERSION,
+            flags: HELLO_FLAG_REATTACH,
+            capacity,
+        }
+    }
+
+    /// True when this hello asks to reattach an existing segment.
+    pub fn is_reattach(&self) -> bool {
+        self.flags & HELLO_FLAG_REATTACH != 0
     }
 
     /// Encodes to the fixed wire form.
@@ -223,6 +263,7 @@ mod sys {
     pub const SOL_SOCKET: c_int = 1;
     pub const SCM_RIGHTS: c_int = 1;
     pub const MSG_CMSG_CLOEXEC: c_int = 0x4000_0000;
+    pub const MSG_NOSIGNAL: c_int = 0x4000;
 
     /// `CMSG_LEN(size_of::<c_int>())`: header plus one fd, unpadded.
     pub const CMSG_LEN_ONE_FD: usize = std::mem::size_of::<cmsghdr>() + 4;
@@ -248,7 +289,11 @@ mod sys {
 /// # Errors
 ///
 /// Any `sendmsg` failure (`EINTR` is retried), or `WriteZero` on a short
-/// send.
+/// send. The send is `MSG_NOSIGNAL`: a peer that vanished before the
+/// reply reached it surfaces as `EPIPE` instead of raising `SIGPIPE` —
+/// a daemon that never installed a handler (or runs outside a Rust
+/// binary's SIGPIPE-ignoring startup) must not die because one client
+/// disconnected early.
 #[cfg(target_os = "linux")]
 pub fn send_with_fd(
     socket: &std::os::unix::net::UnixStream,
@@ -285,7 +330,7 @@ pub fn send_with_fd(
     }
     loop {
         // SAFETY: `msg` and everything it points to live across the call.
-        let sent = unsafe { sys::sendmsg(socket.as_raw_fd(), &msg, 0) };
+        let sent = unsafe { sys::sendmsg(socket.as_raw_fd(), &msg, sys::MSG_NOSIGNAL) };
         if sent < 0 {
             let err = std::io::Error::last_os_error();
             if err.kind() == std::io::ErrorKind::Interrupted {
@@ -398,6 +443,17 @@ mod tests {
         let mut bad = bytes;
         bad[0] ^= 0xff;
         assert_eq!(HelloRequest::decode(&bad), None, "wrong magic");
+    }
+
+    #[test]
+    fn reattach_hello_round_trips_and_flags_decode() {
+        let request = HelloRequest::reattach(128);
+        assert!(request.is_reattach());
+        assert!(!HelloRequest::new(128).is_reattach());
+        let decoded = HelloRequest::decode(&request.encode()).unwrap();
+        assert_eq!(decoded, request);
+        assert!(decoded.is_reattach());
+        assert_eq!(HELLO_FLAGS_KNOWN & HELLO_FLAG_REATTACH, HELLO_FLAG_REATTACH);
     }
 
     #[test]

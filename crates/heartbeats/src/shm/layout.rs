@@ -47,6 +47,19 @@
 //!   explicit [`DecisionRead::Empty`], or an explicit
 //!   [`DecisionRead::Torn`] — never a half-written mixture, even when the
 //!   daemon is SIGKILLed between the two halves of a seqlock write.
+//!
+//! # Reserved-region extension: the warm-start block
+//!
+//! The tail of cache line 3 (offset 424, formerly all padding) carries the
+//! daemon's *warm-start block* ([`ShmWarmState`]): the controller state a
+//! successor daemon needs to resume from the last actuation instead of
+//! re-converging from cold after a crash — current knob point, integrator
+//! (speedup) state, and a window summary. It lives under its own seqlock
+//! (`warm_seq`), written by the same single daemon writer as the decision
+//! block and read only on the adoption path. Fields that were previously
+//! zero padding stay zero until first publish, so the extension is
+//! backward- and forward-compatible within ABI v2: old readers ignore the
+//! bytes, new readers see [`WarmRead::Empty`] on old segments.
 
 use std::sync::atomic::{fence, AtomicU32, AtomicU64, Ordering};
 
@@ -201,6 +214,52 @@ impl ShmDecision {
     pub fn expected_qos_loss(&self) -> f64 {
         f64::from_bits(self.qos_loss_bits)
     }
+}
+
+/// The controller warm-start state as published in the segment's reserved
+/// region (tail of cache line 3): everything a successor daemon needs to
+/// resume control from the last actuation after its predecessor crashed.
+/// Floats travel as raw bit patterns so a warm-started controller is
+/// *bit-identical* to the dead one at the instant of the last publish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShmWarmState {
+    /// Dense knob-table index of the last actuated setting.
+    pub point_idx: u32,
+    /// Bit pattern of the controller's integrator state — the commanded
+    /// speedup carried across updates (f64).
+    pub speedup_bits: u64,
+    /// Bit pattern of the last observed window heart rate fed to the
+    /// controller (f64); the successor's first update sees the same input
+    /// its predecessor would have.
+    pub observed_rate_bits: u64,
+    /// Beat position within the current control quantum at publish time.
+    pub beat_in_quantum: u64,
+}
+
+impl ShmWarmState {
+    /// The controller's integrator (commanded speedup) state.
+    pub fn speedup(&self) -> f64 {
+        f64::from_bits(self.speedup_bits)
+    }
+
+    /// The last observed window heart rate.
+    pub fn observed_rate(&self) -> f64 {
+        f64::from_bits(self.observed_rate_bits)
+    }
+}
+
+/// Outcome of one wait-free warm-start-block read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WarmRead {
+    /// No warm state has ever been published (or the block was reset);
+    /// the successor starts the controller cold.
+    Empty,
+    /// A bit-consistent snapshot of the latest published warm state.
+    Ready(ShmWarmState),
+    /// Every bounded retry raced a write in progress — the predecessor
+    /// died between the halves of a seqlock write. The successor starts
+    /// cold; the first publish repairs the parity.
+    Torn,
 }
 
 /// Outcome of one wait-free decision-block read.
@@ -414,7 +473,21 @@ pub struct SegmentHeader {
     pub decision_speedup_bits: AtomicU64,
     /// Bit pattern of the latest quantum's expected QoS loss (f64).
     pub decision_qos_bits: AtomicU64,
-    _pad3: [u8; 88],
+    /// Seqlock version counter of the warm-start block (reserved-region
+    /// extension). `0` = never published; odd = write in progress. Written
+    /// only by the daemon ([`SegmentHeader::publish_warm_state`]); read by
+    /// a successor daemon on the adoption path
+    /// ([`SegmentHeader::read_warm_state`]).
+    pub warm_seq: AtomicU64,
+    /// Dense knob-table index of the last actuation (low 32 bits used).
+    pub warm_point: AtomicU64,
+    /// Bit pattern of the controller integrator (speedup) state (f64).
+    pub warm_speedup_bits: AtomicU64,
+    /// Bit pattern of the last observed window heart rate (f64).
+    pub warm_rate_bits: AtomicU64,
+    /// Beat position within the control quantum at publish time.
+    pub warm_beat_in_quantum: AtomicU64,
+    _pad3: [u8; 48],
 }
 
 const _: () = assert!(std::mem::size_of::<SegmentHeader>() == SEGMENT_HEADER_LEN);
@@ -423,6 +496,7 @@ const _: () = assert!(std::mem::offset_of!(SegmentHeader, producer_nonce) == 48)
 const _: () = assert!(std::mem::offset_of!(SegmentHeader, head) == 128);
 const _: () = assert!(std::mem::offset_of!(SegmentHeader, tail) == 256);
 const _: () = assert!(std::mem::offset_of!(SegmentHeader, decision_seq) == 384);
+const _: () = assert!(std::mem::offset_of!(SegmentHeader, warm_seq) == 424);
 
 impl SegmentHeader {
     /// Writes a fresh header for `geometry` into zeroed segment memory.
@@ -446,6 +520,11 @@ impl SegmentHeader {
         self.decision_gain_bits.store(0, Ordering::Relaxed);
         self.decision_speedup_bits.store(0, Ordering::Relaxed);
         self.decision_qos_bits.store(0, Ordering::Relaxed);
+        self.warm_seq.store(0, Ordering::Relaxed);
+        self.warm_point.store(0, Ordering::Relaxed);
+        self.warm_speedup_bits.store(0, Ordering::Relaxed);
+        self.warm_rate_bits.store(0, Ordering::Relaxed);
+        self.warm_beat_in_quantum.store(0, Ordering::Relaxed);
         self.magic.store(SEGMENT_MAGIC, Ordering::Relaxed);
         self.ready.store(SEGMENT_READY, Ordering::Release);
     }
@@ -532,6 +611,70 @@ impl SegmentHeader {
             }
         }
         DecisionRead::Torn
+    }
+
+    /// Publishes the controller warm-start state under its seqlock.
+    ///
+    /// Same single-writer discipline and dead-predecessor parity repair as
+    /// [`SegmentHeader::publish_decision`]; the writer is the attached
+    /// daemon, once per actuation.
+    pub fn publish_warm_state(&self, state: ShmWarmState) {
+        let seq = self.warm_seq.load(Ordering::Relaxed);
+        let writing = seq + 1 + (seq & 1);
+        self.warm_seq.store(writing, Ordering::Relaxed);
+        fence(Ordering::Release);
+        self.warm_point
+            .store(u64::from(state.point_idx), Ordering::Relaxed);
+        self.warm_speedup_bits
+            .store(state.speedup_bits, Ordering::Relaxed);
+        self.warm_rate_bits
+            .store(state.observed_rate_bits, Ordering::Relaxed);
+        self.warm_beat_in_quantum
+            .store(state.beat_in_quantum, Ordering::Relaxed);
+        self.warm_seq.store(writing + 1, Ordering::Release);
+    }
+
+    /// Clears the warm-start block back to the never-published state (the
+    /// reap path: a reused segment must not warm-start a fresh app's
+    /// controller from a dead app's trajectory).
+    pub fn reset_warm_state(&self) {
+        let seq = self.warm_seq.load(Ordering::Relaxed);
+        let writing = seq + 1 + (seq & 1);
+        self.warm_seq.store(writing, Ordering::Relaxed);
+        fence(Ordering::Release);
+        self.warm_point.store(0, Ordering::Relaxed);
+        self.warm_speedup_bits.store(0, Ordering::Relaxed);
+        self.warm_rate_bits.store(0, Ordering::Relaxed);
+        self.warm_beat_in_quantum.store(0, Ordering::Relaxed);
+        self.warm_seq.store(0, Ordering::Release);
+    }
+
+    /// Reads the warm-start block wait-free (bounded seqlock retries,
+    /// exactly like [`SegmentHeader::read_decision`]). A torn result means
+    /// the predecessor died mid-publish; the successor starts cold.
+    pub fn read_warm_state(&self) -> WarmRead {
+        for _ in 0..DECISION_READ_RETRIES {
+            let before = self.warm_seq.load(Ordering::Acquire);
+            if before == 0 {
+                return WarmRead::Empty;
+            }
+            if before & 1 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let state = ShmWarmState {
+                point_idx: self.warm_point.load(Ordering::Relaxed) as u32,
+                speedup_bits: self.warm_speedup_bits.load(Ordering::Relaxed),
+                observed_rate_bits: self.warm_rate_bits.load(Ordering::Relaxed),
+                beat_in_quantum: self.warm_beat_in_quantum.load(Ordering::Relaxed),
+            };
+            fence(Ordering::Acquire);
+            let after = self.warm_seq.load(Ordering::Relaxed);
+            if before == after {
+                return WarmRead::Ready(state);
+            }
+        }
+        WarmRead::Torn
     }
 
     /// Validates magic, version, readiness, and geometry against a mapping
@@ -731,6 +874,48 @@ mod tests {
         header.publish_decision(repaired);
         assert_eq!(header.decision_seq.load(Ordering::Relaxed) & 1, 0);
         assert_eq!(header.read_decision(), DecisionRead::Ready(repaired));
+    }
+
+    #[test]
+    fn warm_state_publish_read_reset_round_trips() {
+        let header: SegmentHeader = unsafe { std::mem::zeroed() };
+        header.initialize(SegmentGeometry::for_beat_samples(8).unwrap());
+        assert_eq!(header.read_warm_state(), WarmRead::Empty);
+
+        let state = ShmWarmState {
+            point_idx: 5,
+            speedup_bits: 1.9f64.to_bits(),
+            observed_rate_bits: 87.5f64.to_bits(),
+            beat_in_quantum: 42,
+        };
+        header.publish_warm_state(state);
+        assert_eq!(header.read_warm_state(), WarmRead::Ready(state));
+        assert_eq!(header.warm_seq.load(Ordering::Relaxed), 2);
+        // Warm and decision blocks are independent seqlocks.
+        assert_eq!(header.read_decision(), DecisionRead::Empty);
+
+        header.reset_warm_state();
+        assert_eq!(header.read_warm_state(), WarmRead::Empty);
+    }
+
+    #[test]
+    fn warm_state_read_reports_torn_when_writer_died_mid_publish() {
+        let header: SegmentHeader = unsafe { std::mem::zeroed() };
+        header.initialize(SegmentGeometry::for_beat_samples(8).unwrap());
+        // Predecessor SIGKILLed between the seqlock write halves.
+        header.warm_seq.store(1, Ordering::Release);
+        header.warm_speedup_bits.store(0xbeef, Ordering::Relaxed);
+        assert_eq!(header.read_warm_state(), WarmRead::Torn);
+        // The successor's first publish repairs the parity.
+        let state = ShmWarmState {
+            point_idx: 1,
+            speedup_bits: 1.0f64.to_bits(),
+            observed_rate_bits: 90.0f64.to_bits(),
+            beat_in_quantum: 0,
+        };
+        header.publish_warm_state(state);
+        assert_eq!(header.warm_seq.load(Ordering::Relaxed) & 1, 0);
+        assert_eq!(header.read_warm_state(), WarmRead::Ready(state));
     }
 
     #[test]

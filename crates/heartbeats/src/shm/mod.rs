@@ -38,6 +38,9 @@
 //! offset 384  decision block (consumer-owned cache line):
 //!             decision_seq, decision_point, decision_gain_bits,
 //!             decision_speedup_bits, decision_qos_bits
+//! offset 424  warm-start block (reserved-region extension):
+//!             warm_seq, warm_point, warm_speedup_bits,
+//!             warm_rate_bits, warm_beat_in_quantum
 //! offset 512  slot[0], slot[1], …, slot[capacity-1]   (fixed stride)
 //! ```
 //!
@@ -106,9 +109,14 @@
 //!   `0700` per-user and let the socket inherit the umask.
 //! * **Liveness**: applications outliving the daemon see its death
 //!   through the consumer PID + decision staleness and degrade per their
-//!   grace policy (`powerdial-client`'s safe-state fallback); a restarted
-//!   daemon serves *new* attaches immediately — existing segments are
-//!   not re-adopted (their apps re-register).
+//!   grace policy (`powerdial-client`'s ladder); a restarted daemon
+//!   serves new attaches immediately **and** re-adopts existing segments:
+//!   a surviving client sends its mapped fd back in a reattach hello
+//!   ([`fdpass::HELLO_FLAG_REATTACH`]), the successor daemon validates it,
+//!   claims the consumer role over the dead predecessor
+//!   ([`ShmConsumer::adopt`]), and warm-starts its controller from the
+//!   segment's warm-start block — no beat pushed across the outage is
+//!   lost beyond ring capacity.
 //!
 //! # Ownership rules
 //!
@@ -184,12 +192,12 @@ pub mod transport;
 
 pub use error::{PeerRole, PeerState, ShmError};
 pub use fdpass::{
-    HelloReply, HelloRequest, HelloStatus, HELLO_REPLY_LEN, HELLO_REPLY_MAGIC, HELLO_REQUEST_LEN,
-    HELLO_REQUEST_MAGIC,
+    HelloReply, HelloRequest, HelloStatus, HELLO_FLAGS_KNOWN, HELLO_FLAG_REATTACH, HELLO_REPLY_LEN,
+    HELLO_REPLY_MAGIC, HELLO_REQUEST_LEN, HELLO_REQUEST_MAGIC,
 };
 pub use layout::{
-    DecisionRead, SegmentGeometry, SegmentHeader, ShmBeatSample, ShmDecision,
-    DECISION_READ_RETRIES, DEFAULT_SLOT_STRIDE, SEGMENT_ABI_VERSION, SEGMENT_HEADER_LEN,
+    DecisionRead, SegmentGeometry, SegmentHeader, ShmBeatSample, ShmDecision, ShmWarmState,
+    WarmRead, DECISION_READ_RETRIES, DEFAULT_SLOT_STRIDE, SEGMENT_ABI_VERSION, SEGMENT_HEADER_LEN,
     SEGMENT_MAGIC,
 };
 pub use segment::{current_pid, pid_alive, process_start_nonce, BackingKind, Segment};

@@ -19,6 +19,12 @@
 //! * the consumer additionally refuses to attach when the *producer* slot
 //!   is claimed by a dead process — the stream can never complete.
 //!
+//! One deliberate exception: [`ShmConsumer::adopt`] — the daemon-crash
+//! recovery path — *does* adopt a consumer slot whose claimant is dead,
+//! because a SIGKILLed daemon's `Drop` never ran and its stale consumer
+//! PID would otherwise wedge the segment forever. Adoption still refuses
+//! live claimants and dead producers.
+//!
 //! The **producer** PID is deliberately not cleared by `Drop`: an
 //! application that drops its handle, exits, or crashes leaves its stale
 //! PID behind, and that staleness *is* the death signal
@@ -61,7 +67,9 @@ use std::sync::Arc;
 
 use crate::channel::BeatSample;
 use crate::shm::error::{PeerRole, PeerState, ShmError};
-use crate::shm::layout::{DecisionRead, SegmentHeader, ShmBeatSample, ShmDecision};
+use crate::shm::layout::{
+    DecisionRead, SegmentHeader, ShmBeatSample, ShmDecision, ShmWarmState, WarmRead,
+};
 use crate::shm::segment::{current_pid, pid_alive, process_start_nonce, Segment};
 
 /// Validates a segment for *typed* [`ShmBeatSample`] access: on top of the
@@ -112,6 +120,38 @@ fn claim(header: &SegmentHeader, role: PeerRole) -> Result<u32, ShmError> {
                     pid: existing,
                 })
             }
+        }
+    }
+}
+
+/// Claims the *consumer* PID slot for this process, adopting over a dead
+/// claimant: the recovery path for a daemon that was SIGKILLed with its
+/// `Drop` never running. A free slot is claimed normally; a slot held by a
+/// dead process is compare-and-swapped from the observed stale PID to
+/// ours; a live claimant still refuses with [`ShmError::RoleClaimed`]
+/// (adoption never steals from a running daemon). The CAS from the
+/// *observed* stale value makes racing successor daemons safe: exactly one
+/// wins, the losers see the winner's live PID.
+fn claim_consumer_adopting(header: &SegmentHeader) -> Result<u32, ShmError> {
+    let pid = current_pid();
+    let slot = &header.consumer_pid;
+    loop {
+        let existing = slot.load(Ordering::Acquire);
+        if existing == 0 {
+            match slot.compare_exchange(0, pid, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => return Ok(pid),
+                Err(_) => continue,
+            }
+        }
+        if pid_alive(existing) {
+            return Err(ShmError::RoleClaimed {
+                role: PeerRole::Consumer,
+                pid: existing,
+            });
+        }
+        match slot.compare_exchange(existing, pid, Ordering::AcqRel, Ordering::Acquire) {
+            Ok(_) => return Ok(pid),
+            Err(_) => continue,
         }
     }
 }
@@ -385,6 +425,48 @@ impl ShmConsumer {
         })
     }
 
+    /// Validates a *foreign* segment (handed back by a surviving client)
+    /// and claims the consumer role **over a dead predecessor**: the
+    /// recovery path for a daemon that crashed without its `Drop` ever
+    /// releasing the claim.
+    ///
+    /// Differs from [`ShmConsumer::attach`] in exactly one rule: a
+    /// consumer slot held by a *dead* PID is adopted (CAS from the
+    /// observed stale value to ours) instead of refused. Everything else
+    /// is unchanged — a live consumer still refuses with
+    /// [`ShmError::RoleClaimed`], a dead *producer* still refuses with
+    /// [`ShmError::DeadPeer`] (a stream that can never complete is reaped,
+    /// not adopted), and the head resumes from the header so every beat
+    /// the client pushed across the outage — up to ring capacity — is
+    /// drained by the successor.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SegmentHeader::validate`] error,
+    /// [`ShmError::GeometryMismatch`], [`ShmError::DeadPeer`] (producer),
+    /// or [`ShmError::RoleClaimed`] when the consumer claimant is alive.
+    ///
+    /// [`SegmentHeader::validate`]: crate::shm::layout::SegmentHeader::validate
+    pub fn adopt(segment: Arc<Segment>) -> Result<Self, ShmError> {
+        let geometry = validate_for_beat_samples(&segment)?;
+        let header = segment.header();
+        if let PeerState::Dead(pid) = producer_state_of(header) {
+            return Err(ShmError::DeadPeer {
+                role: PeerRole::Producer,
+                pid,
+            });
+        }
+        let pid = claim_consumer_adopting(header)?;
+        let head = header.head.load(Ordering::Acquire);
+        Ok(ShmConsumer {
+            pid,
+            head,
+            capacity: geometry.capacity(),
+            mask: geometry.mask(),
+            segment,
+        })
+    }
+
     /// Drains every pending beat into `out` (cleared first), oldest first,
     /// and returns how many were drained.
     ///
@@ -476,6 +558,27 @@ impl ShmConsumer {
         self.segment.header().reset_decision();
     }
 
+    /// Publishes the controller warm-start state (reserved-region seqlock
+    /// block) for a successor daemon to resume from after a crash.
+    pub fn publish_warm_state(&self, state: ShmWarmState) {
+        self.segment.header().publish_warm_state(state);
+    }
+
+    /// Reads the warm-start state a dead predecessor left behind. Wait-free;
+    /// [`WarmRead::Torn`] means the predecessor died mid-publish and the
+    /// successor starts cold.
+    pub fn read_warm_state(&self) -> WarmRead {
+        self.segment.header().read_warm_state()
+    }
+
+    /// Resets the warm-start block to the never-published state. Part of
+    /// the reap protocol, like [`ShmConsumer::reset_decision`]: a reused
+    /// segment must not warm-start a fresh app's controller from a dead
+    /// app's trajectory.
+    pub fn reset_warm_state(&self) {
+        self.segment.header().reset_warm_state();
+    }
+
     /// The underlying segment.
     pub fn segment(&self) -> &Arc<Segment> {
         &self.segment
@@ -545,6 +648,11 @@ impl ShmPeerProbe {
     /// Reads the currently published decision (ABI v2 decision block).
     pub fn read_decision(&self) -> DecisionRead {
         self.segment.header().read_decision()
+    }
+
+    /// Reads the currently published warm-start state.
+    pub fn read_warm_state(&self) -> WarmRead {
+        self.segment.header().read_warm_state()
     }
 
     /// Liveness of the consumer side.
@@ -786,6 +894,85 @@ mod tests {
         let header = segment.header();
         assert_eq!(header.producer_nonce.load(Ordering::Acquire), 0);
         assert_eq!(header.producer_pid.load(Ordering::Acquire), 0);
+    }
+
+    #[test]
+    fn adopt_takes_over_dead_consumer_and_resumes_head() {
+        let segment = segment(8);
+        let mut tx = ShmProducer::attach(Arc::clone(&segment)).unwrap();
+        let mut rx = ShmConsumer::attach(Arc::clone(&segment)).unwrap();
+        tx.try_push(sample(0)).unwrap();
+        tx.try_push(sample(1)).unwrap();
+        let mut out = Vec::new();
+        assert_eq!(rx.drain_into(&mut out), 2);
+        // The daemon is SIGKILLed: its Drop never runs. Simulate by
+        // forgetting the handle and injecting an impossible (dead) PID.
+        std::mem::forget(rx);
+        segment
+            .header()
+            .consumer_pid
+            .store(0x7FFF_FF00, Ordering::Release);
+
+        // Plain attach refuses the stale claim; adopt takes it over.
+        assert!(matches!(
+            ShmConsumer::attach(Arc::clone(&segment)),
+            Err(ShmError::DeadPeer {
+                role: PeerRole::Consumer,
+                ..
+            })
+        ));
+        tx.try_push(sample(2)).unwrap();
+        let mut rx = ShmConsumer::adopt(Arc::clone(&segment)).unwrap();
+        assert_eq!(rx.drained(), 2, "resumes from the segment head");
+        assert_eq!(rx.drain_into(&mut out), 1, "no beat lost, none replayed");
+        assert_eq!(out[0].tag, HeartbeatTag(2));
+    }
+
+    #[test]
+    fn adopt_claims_free_slot_but_refuses_live_claimant_and_dead_producer() {
+        let segment = segment(8);
+        let _tx = ShmProducer::attach(Arc::clone(&segment)).unwrap();
+        // Free slot: adoption degenerates to a normal claim.
+        let rx = ShmConsumer::adopt(Arc::clone(&segment)).unwrap();
+        // Live claimant (ourselves): never stolen.
+        assert!(matches!(
+            ShmConsumer::adopt(Arc::clone(&segment)),
+            Err(ShmError::RoleClaimed {
+                role: PeerRole::Consumer,
+                ..
+            })
+        ));
+        drop(rx);
+        // Dead producer: the stream can never complete — reap, not adopt.
+        segment
+            .header()
+            .producer_pid
+            .store(0x7FFF_FF00, Ordering::Release);
+        assert!(matches!(
+            ShmConsumer::adopt(Arc::clone(&segment)),
+            Err(ShmError::DeadPeer {
+                role: PeerRole::Producer,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn warm_state_round_trips_through_consumer_and_probe() {
+        let segment = segment(8);
+        let rx = ShmConsumer::attach(Arc::clone(&segment)).unwrap();
+        assert_eq!(rx.read_warm_state(), WarmRead::Empty);
+        let state = ShmWarmState {
+            point_idx: 4,
+            speedup_bits: 1.25f64.to_bits(),
+            observed_rate_bits: 92.0f64.to_bits(),
+            beat_in_quantum: 17,
+        };
+        rx.publish_warm_state(state);
+        assert_eq!(rx.read_warm_state(), WarmRead::Ready(state));
+        assert_eq!(rx.probe().read_warm_state(), WarmRead::Ready(state));
+        rx.reset_warm_state();
+        assert_eq!(rx.read_warm_state(), WarmRead::Empty);
     }
 
     #[test]

@@ -136,12 +136,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .is_none_or(|app| app.beats_processed() < CHILD_BEATS)
         && reaped.is_empty()
     {
-        if let Some(outcome) = broker.poll_accept(daemon.app_count(), |consumer| {
-            daemon.register_shm(
-                RuntimeConfig::new(ControllerConfig::new(30.0, 30.0)?),
-                table.clone(),
-                consumer,
-            )
+        if let Some(outcome) = broker.poll_accept(daemon.app_count(), |request| {
+            let config = RuntimeConfig::new(ControllerConfig::new(30.0, 30.0)?);
+            match request {
+                powerdial::control::AttachRequest::Fresh(consumer) => {
+                    daemon.register_shm(config, table.clone(), consumer)
+                }
+                powerdial::control::AttachRequest::Reattach(consumer) => {
+                    daemon.register_shm_adopted(config, table.clone(), consumer)
+                }
+            }
         })? {
             match outcome {
                 AttachOutcome::Granted(granted) => {

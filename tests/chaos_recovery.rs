@@ -1,0 +1,95 @@
+//! Daemon crash recovery under chaos: the PR's acceptance suite.
+//!
+//! The whole daemon side — attach broker plus sharded [`PowerDialDaemon`]
+//! — runs in a forked child under a `Supervisor`; this test SIGKILLs it
+//! at 50 seeded-random points in a 64-application beat stream and
+//! restarts it, while every application keeps beating into its mapped
+//! segment. The harness (shared with the `chaos` benchmark binary, see
+//! `powerdial_bench::chaos`) enforces the recovery invariants inline:
+//!
+//! * no client ever reads a `Published` decision from a dead daemon;
+//! * every served decision is sane (finite, in-table) — torn decision
+//!   blocks are healed or masked, never leaked;
+//! * zero beats are lost: everything emitted during each outage is still
+//!   in the ring the successor adopts, and drains to it;
+//! * every client reads a republished decision within a hard deadline of
+//!   each restart.
+//!
+//! A failure names the seed, so the schedule can be replayed with
+//! `POWERDIAL_CHAOS_SEED`.
+//!
+//! [`PowerDialDaemon`]: powerdial::control::daemon::PowerDialDaemon
+
+#![cfg(target_os = "linux")]
+
+use powerdial_bench::chaos::{percentile, run, ChaosConfig};
+
+/// Concurrent instrumented applications (acceptance floor: 64).
+const APPS: usize = 64;
+
+/// SIGKILL/restart cycles (acceptance floor: 50).
+const KILLS: usize = 50;
+
+#[test]
+fn fifty_seeded_daemon_kills_recover_with_zero_invariant_violations() {
+    let mut config = ChaosConfig::new(APPS, KILLS);
+    if let Ok(seed) = std::env::var("POWERDIAL_CHAOS_SEED") {
+        config.seed = seed
+            .trim()
+            .parse()
+            .or_else(|_| u64::from_str_radix(seed.trim().trim_start_matches("0x"), 16))
+            .expect("POWERDIAL_CHAOS_SEED must be a u64 (decimal or 0x-hex)");
+    }
+
+    // `run` panics on any invariant violation; what comes back is a
+    // passing run's shape, which the assertions below pin down.
+    let report = run(&config);
+
+    assert_eq!(report.kills.len(), KILLS);
+    assert_eq!(
+        report.incarnations,
+        KILLS as u32 + 1,
+        "every kill answered by exactly one restart"
+    );
+    assert_eq!(report.beats_dropped, 0, "zero beat loss across all kills");
+    assert!(
+        report.kills.iter().all(|kill| kill.beats_dropped == 0),
+        "zero beat loss in every individual cycle"
+    );
+    assert!(
+        report
+            .kills
+            .iter()
+            .all(|kill| kill.client_recovery.len() == APPS),
+        "every cycle measured every client's recovery"
+    );
+
+    // Bounded recovery, reported so a failing-trend run is diagnosable
+    // from the test log alone.
+    let samples: Vec<_> = report
+        .kills
+        .iter()
+        .flat_map(|kill| kill.client_recovery.iter().copied())
+        .collect();
+    let worst_cycle = report
+        .kills
+        .iter()
+        .map(|kill| kill.all_republished)
+        .max()
+        .unwrap();
+    println!(
+        "chaos: seed {:#x}, {} kills x {} apps, recovery p50 {:?} p99 {:?}, \
+         slowest full-fleet recovery {:?}, {} beats pushed, 0 dropped",
+        config.seed,
+        KILLS,
+        APPS,
+        percentile(&samples, 50.0),
+        percentile(&samples, 99.0),
+        worst_cycle,
+        report.beats_pushed,
+    );
+    assert!(
+        worst_cycle < config.recovery_deadline,
+        "recovery must stay within the configured bound"
+    );
+}
