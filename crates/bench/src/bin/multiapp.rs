@@ -12,7 +12,7 @@
 use std::time::Instant;
 
 use powerdial_bench::multiapp::{
-    DaemonMultiAppLoop, NaiveMultiAppLoop, ShmMultiAppLoop, BEATS_PER_QUANTUM,
+    DaemonMultiAppLoop, IdleFleetLoop, NaiveMultiAppLoop, ShmMultiAppLoop, BEATS_PER_QUANTUM,
 };
 use powerdial_bench::Scale;
 
@@ -22,6 +22,12 @@ const APP_COUNTS: [usize; 5] = [1, 8, 64, 512, 4096];
 /// Application counts swept over the shared-memory transport (one mapped
 /// segment — one fd — per app, so the sweep respects default fd limits).
 const SHM_APP_COUNTS: [usize; 4] = [1, 8, 64, 512];
+
+/// Fleet size for the idle-channel measurement.
+const IDLE_APPS: usize = 1000;
+
+/// Idle-skip threshold measured against the poll-everything default.
+const IDLE_SKIP_LIMIT: u32 = 8;
 
 struct Measurement {
     beats: u64,
@@ -130,10 +136,44 @@ fn main() {
         ));
     }
 
+    // Idle fleet: N silent apps, ticked with and without the silent-streak
+    // skip. The interesting number is the fixed per-quantum cost of doing
+    // *nothing* — what a mostly-idle consolidation host pays forever.
+    println!("== idle fleet (N = {IDLE_APPS}, silent channels) ==");
+    let idle_ticks = match scale {
+        Scale::Paper => 200_000u64,
+        Scale::Quick => 20_000,
+    };
+    let idle_ns = |skip: u32| {
+        let mut fleet = IdleFleetLoop::new(IDLE_APPS, workers, skip);
+        // Warm: build every channel's silent streak past the threshold so
+        // the measured region is the steady skipping state.
+        for _ in 0..(u64::from(IDLE_SKIP_LIMIT) * 4).max(64) {
+            fleet.tick();
+        }
+        let start = Instant::now();
+        for _ in 0..idle_ticks {
+            fleet.tick();
+        }
+        start.elapsed().as_nanos() as f64 / idle_ticks as f64
+    };
+    let poll_all_ns = idle_ns(0);
+    let skipping_ns = idle_ns(IDLE_SKIP_LIMIT);
+    let idle_gain = poll_all_ns / skipping_ns;
+    println!(
+        "poll-all: {poll_all_ns:7.1} ns/tick; skip({IDLE_SKIP_LIMIT}): \
+         {skipping_ns:7.1} ns/tick ({idle_gain:.2}x cheaper idle quantum)"
+    );
+
     let json = format!(
         "{{\n  \"benchmark\": \"multiapp\",\n  \"scale\": \"{scale:?}\",\n  \
          \"workers\": {workers},\n  \"beats_per_quantum\": {BEATS_PER_QUANTUM},\n  \
-         \"points\": [\n{}\n  ],\n  \"shm_points\": [\n{}\n  ]\n}}\n",
+         \"points\": [\n{}\n  ],\n  \"shm_points\": [\n{}\n  ],\n  \
+         \"idle_fleet\": {{\n    \"apps\": {IDLE_APPS},\n    \
+         \"ns_per_tick_poll_all\": {poll_all_ns:.2},\n    \
+         \"idle_skip_limit\": {IDLE_SKIP_LIMIT},\n    \
+         \"ns_per_tick_skipping\": {skipping_ns:.2},\n    \
+         \"skip_gain\": {idle_gain:.2}\n  }}\n}}\n",
         rows.join(",\n"),
         shm_rows.join(",\n"),
     );

@@ -1,0 +1,101 @@
+//! CI performance gate: fails when a fresh benchmark run regresses more
+//! than the tolerance against the committed baseline.
+//!
+//! Usage:
+//!   perf_gate <baseline.json> <current.json> [<baseline2> <current2> ...]
+//!             [--tolerance FRACTION]
+//!
+//! Each pair is one benchmark (`BENCH_hotpath.json`, `BENCH_multiapp.json`);
+//! the documents carry a `benchmark` field and the gate dispatches on it.
+//! Only relative metrics (speedups, gains) are compared — see
+//! [`powerdial_bench::gate`] — so reruns on a different machine than the
+//! baseline's are still meaningful.
+//!
+//! Exit status: 0 when every metric clears `baseline * (1 - tolerance)`,
+//! 1 on any regression, 2 on usage or parse errors.
+//!
+//! Skipping: set `POWERDIAL_SKIP_PERF_GATE=1` to turn the gate into a
+//! no-op (exit 0). Legitimate reasons to skip are a PR that intentionally
+//! trades throughput for a feature (commit refreshed baselines in the same
+//! PR and say so), or a CI runner known to be timing-hostile. The variable
+//! is checked first so skipping never hides a parse error in freshly
+//! written baselines.
+
+use std::process::ExitCode;
+
+use powerdial_bench::gate::{gate, Json, DEFAULT_TOLERANCE};
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    if std::env::var("POWERDIAL_SKIP_PERF_GATE").is_ok_and(|v| v == "1") {
+        println!("perf gate skipped (POWERDIAL_SKIP_PERF_GATE=1)");
+        return ExitCode::SUCCESS;
+    }
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut tolerance = DEFAULT_TOLERANCE;
+    let mut paths = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--tolerance" {
+            match iter.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(t) if (0.0..1.0).contains(&t) => tolerance = t,
+                _ => {
+                    eprintln!("--tolerance needs a fraction in [0, 1)");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            paths.push(arg.clone());
+        }
+    }
+    if paths.is_empty() || paths.len() % 2 != 0 {
+        eprintln!("usage: perf_gate <baseline.json> <current.json> [...] [--tolerance FRACTION]");
+        return ExitCode::from(2);
+    }
+
+    let mut failures = 0usize;
+    for pair in paths.chunks(2) {
+        let (baseline_path, current_path) = (&pair[0], &pair[1]);
+        let checks = load(baseline_path)
+            .and_then(|b| load(current_path).map(|c| (b, c)))
+            .and_then(|(b, c)| gate(&b, &c, tolerance));
+        let checks = match checks {
+            Ok(checks) => checks,
+            Err(error) => {
+                eprintln!("gate error for {baseline_path} vs {current_path}: {error}");
+                return ExitCode::from(2);
+            }
+        };
+        println!(
+            "== {baseline_path} vs {current_path} (tolerance {:.0}%) ==",
+            tolerance * 100.0
+        );
+        for check in &checks {
+            println!("{check}");
+            if !check.passed() {
+                failures += 1;
+            }
+        }
+    }
+
+    if failures > 0 {
+        eprintln!(
+            "\nperf gate FAILED: {failures} metric(s) regressed more than {:.0}% \
+             below the committed baseline",
+            tolerance * 100.0
+        );
+        eprintln!(
+            "if the regression is intentional, refresh the BENCH_*.json baselines \
+             in this PR (cargo run --release -p powerdial-bench --bin <bench>)"
+        );
+        ExitCode::FAILURE
+    } else {
+        println!("\nperf gate passed");
+        ExitCode::SUCCESS
+    }
+}

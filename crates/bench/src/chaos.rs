@@ -170,6 +170,11 @@ pub fn run(config: &ChaosConfig) -> ChaosReport {
                 workers: 0,
                 channel_capacity: config.capacity as usize,
                 window_size: 20,
+                inline_apps: 0,
+                // Idle-skip stays off under chaos: the recovery-latency
+                // assertions demand every quantum polls every channel.
+                idle_skip_limit: 0,
+                drain_cap: 0,
             },
             target_rate: TARGET_RATE_BPS,
             baseline_rate: TARGET_RATE_BPS,

@@ -1,0 +1,498 @@
+//! Performance gate: compares a freshly measured benchmark JSON against the
+//! committed baseline and fails on regressions beyond a tolerance.
+//!
+//! The gate only compares *relative* metrics — `speedup_vs_naive` per point
+//! and the idle fleet's `skip_gain` — never absolute nanoseconds. Both sides
+//! of a ratio are measured on the same machine in the same run, so the
+//! ratios transfer between the machine that committed the baseline and the
+//! CI runner, while raw ns/beat figures do not.
+//!
+//! A check passes when `current >= baseline * (1 - tolerance)`. The default
+//! tolerance is [`DEFAULT_TOLERANCE`] (15%): wide enough that shared-runner
+//! jitter does not flake the gate, narrow enough that the regressions this
+//! PR fixed (a 4x cliff at N = 1) could never slip through.
+//!
+//! The workspace vendors a no-op `serde`, so the parser below is a minimal
+//! hand-rolled recursive-descent JSON reader. It supports exactly what the
+//! benchmark binaries emit: objects, arrays, strings without escapes beyond
+//! `\"` and `\\`, numbers, booleans, and null.
+
+use std::fmt;
+
+/// Default relative tolerance for the gate: a metric may be up to 15%
+/// below its committed baseline before the gate fails.
+pub const DEFAULT_TOLERANCE: f64 = 0.15;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (parsed as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in document order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses a complete JSON document, rejecting trailing garbage.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Member lookup on an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn expect_byte(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&byte) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "expected '{}' at byte {}, found {:?}",
+            byte as char,
+            *pos,
+            bytes.get(*pos).map(|&b| b as char)
+        ))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_keyword(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_keyword(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_keyword(bytes, pos, "null", Json::Null),
+        Some(b'-' | b'0'..=b'9') => parse_number(bytes, pos),
+        other => Err(format!(
+            "unexpected {:?} at byte {}",
+            other.map(|&b| b as char),
+            *pos
+        )),
+    }
+}
+
+fn parse_keyword(bytes: &[u8], pos: &mut usize, word: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(format!("expected '{word}' at byte {}", *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while matches!(
+        bytes.get(*pos),
+        Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    ) {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|e| format!("bad number '{text}' at byte {start}: {e}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect_byte(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    other => {
+                        return Err(format!(
+                            "unsupported escape {:?} at byte {}",
+                            other.map(|&b| b as char),
+                            *pos
+                        ))
+                    }
+                }
+                *pos += 1;
+            }
+            Some(&b) => {
+                // The benchmark emitters write plain ASCII; pass through
+                // whatever UTF-8 continuation bytes arrive regardless.
+                out.push(b as char);
+                *pos += 1;
+            }
+            None => return Err("unterminated string".to_string()),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect_byte(bytes, pos, b'{')?;
+    let mut members = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(members));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect_byte(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        members.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            other => {
+                return Err(format!(
+                    "expected ',' or '}}' at byte {}, found {:?}",
+                    *pos,
+                    other.map(|&b| b as char)
+                ))
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect_byte(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            other => {
+                return Err(format!(
+                    "expected ',' or ']' at byte {}, found {:?}",
+                    *pos,
+                    other.map(|&b| b as char)
+                ))
+            }
+        }
+    }
+}
+
+/// One gated metric: its baseline value, freshly measured value, and
+/// pass/fail under the tolerance.
+#[derive(Debug, Clone)]
+pub struct GateCheck {
+    /// Human-readable metric path, e.g. `points[apps=64].speedup_vs_naive`.
+    pub metric: String,
+    /// The committed baseline value.
+    pub baseline: f64,
+    /// The freshly measured value.
+    pub current: f64,
+    /// Minimum acceptable current value (`baseline * (1 - tolerance)`).
+    pub floor: f64,
+}
+
+impl GateCheck {
+    /// Whether the current measurement clears the floor.
+    pub fn passed(&self) -> bool {
+        self.current >= self.floor
+    }
+}
+
+impl fmt::Display for GateCheck {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:4} {:44} baseline {:7.2}  current {:7.2}  floor {:7.2}",
+            if self.passed() { "ok" } else { "FAIL" },
+            self.metric,
+            self.baseline,
+            self.current,
+            self.floor,
+        )
+    }
+}
+
+fn check(metric: String, baseline: f64, current: f64, tolerance: f64) -> GateCheck {
+    GateCheck {
+        metric,
+        baseline,
+        current,
+        floor: baseline * (1.0 - tolerance),
+    }
+}
+
+fn require_f64(doc: &Json, path: &[&str]) -> Result<f64, String> {
+    let mut node = doc;
+    for key in path {
+        node = node
+            .get(key)
+            .ok_or_else(|| format!("missing field '{}'", path.join(".")))?;
+    }
+    node.as_f64()
+        .ok_or_else(|| format!("field '{}' is not a number", path.join(".")))
+}
+
+/// Compares a freshly measured benchmark document against its committed
+/// baseline. Dispatches on the `benchmark` field; the two documents must
+/// be the same benchmark. Returns every checked metric (passes included)
+/// so callers can print the full table.
+pub fn gate(baseline: &Json, current: &Json, tolerance: f64) -> Result<Vec<GateCheck>, String> {
+    let name = baseline
+        .get("benchmark")
+        .and_then(Json::as_str)
+        .ok_or("baseline has no 'benchmark' field")?;
+    let current_name = current
+        .get("benchmark")
+        .and_then(Json::as_str)
+        .ok_or("current run has no 'benchmark' field")?;
+    if name != current_name {
+        return Err(format!(
+            "benchmark mismatch: baseline is '{name}', current is '{current_name}'"
+        ));
+    }
+    match name {
+        "hotpath" => gate_hotpath(baseline, current, tolerance),
+        "multiapp" => gate_multiapp(baseline, current, tolerance),
+        other => Err(format!("unknown benchmark '{other}'")),
+    }
+}
+
+fn gate_hotpath(baseline: &Json, current: &Json, tolerance: f64) -> Result<Vec<GateCheck>, String> {
+    let mut checks = Vec::new();
+    for section in ["full_loop", "window_queries"] {
+        let path = [section, "speedup_vs_naive"];
+        checks.push(check(
+            format!("{section}.speedup_vs_naive"),
+            require_f64(baseline, &path)?,
+            require_f64(current, &path)?,
+            tolerance,
+        ));
+    }
+    Ok(checks)
+}
+
+fn gate_multiapp(
+    baseline: &Json,
+    current: &Json,
+    tolerance: f64,
+) -> Result<Vec<GateCheck>, String> {
+    let mut checks = Vec::new();
+    let base_points = baseline
+        .get("points")
+        .and_then(Json::as_array)
+        .ok_or("baseline has no 'points' array")?;
+    let cur_points = current
+        .get("points")
+        .and_then(Json::as_array)
+        .ok_or("current run has no 'points' array")?;
+    for point in base_points {
+        let apps = require_f64(point, &["apps"])?;
+        // A baseline point missing from the current sweep (e.g. a trimmed
+        // quick run) is a gate error, not a silent skip.
+        let matching = cur_points
+            .iter()
+            .find(|p| p.get("apps").and_then(Json::as_f64) == Some(apps))
+            .ok_or_else(|| format!("current run has no point for apps={apps}"))?;
+        checks.push(check(
+            format!("points[apps={apps}].speedup_vs_naive"),
+            require_f64(point, &["speedup_vs_naive"])?,
+            require_f64(matching, &["speedup_vs_naive"])?,
+            tolerance,
+        ));
+    }
+    // The idle-fleet section is gated only when the baseline has it, so a
+    // baseline committed before the section existed still gates cleanly.
+    if baseline.get("idle_fleet").is_some() {
+        let path = ["idle_fleet", "skip_gain"];
+        checks.push(check(
+            "idle_fleet.skip_gain".to_string(),
+            require_f64(baseline, &path)?,
+            require_f64(current, &path)?,
+            tolerance,
+        ));
+    }
+    Ok(checks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HOTPATH: &str = r#"{
+      "benchmark": "hotpath",
+      "full_loop": { "ns_per_beat": 44.0, "speedup_vs_naive": 4.90 },
+      "window_queries": { "speedup_vs_naive": 67.0 }
+    }"#;
+
+    fn multiapp_doc(n1: f64, n64: f64, skip_gain: f64) -> String {
+        format!(
+            r#"{{
+              "benchmark": "multiapp",
+              "points": [
+                {{ "apps": 1, "speedup_vs_naive": {n1} }},
+                {{ "apps": 64, "speedup_vs_naive": {n64} }}
+              ],
+              "idle_fleet": {{ "apps": 1000, "skip_gain": {skip_gain} }}
+            }}"#
+        )
+    }
+
+    #[test]
+    fn parser_round_trips_benchmark_shapes() {
+        let doc = Json::parse(HOTPATH).unwrap();
+        assert_eq!(doc.get("benchmark").and_then(Json::as_str), Some("hotpath"));
+        assert_eq!(
+            doc.get("full_loop")
+                .and_then(|s| s.get("speedup_vs_naive"))
+                .and_then(Json::as_f64),
+            Some(4.90)
+        );
+        let arr = Json::parse("[1, -2.5, 3e2, true, false, null, \"a\\\"b\"]").unwrap();
+        let items = arr.as_array().unwrap();
+        assert_eq!(items[0].as_f64(), Some(1.0));
+        assert_eq!(items[1].as_f64(), Some(-2.5));
+        assert_eq!(items[2].as_f64(), Some(300.0));
+        assert_eq!(items[3], Json::Bool(true));
+        assert_eq!(items[5], Json::Null);
+        assert_eq!(items[6].as_str(), Some("a\"b"));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("{} junk").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("\"open").is_err());
+    }
+
+    #[test]
+    fn hotpath_gate_passes_within_tolerance_and_fails_beyond() {
+        let baseline = Json::parse(HOTPATH).unwrap();
+        // 10% down on one metric: inside the 15% tolerance.
+        let ok = Json::parse(&HOTPATH.replace("4.90", "4.41")).unwrap();
+        let checks = gate(&baseline, &ok, DEFAULT_TOLERANCE).unwrap();
+        assert_eq!(checks.len(), 2);
+        assert!(checks.iter().all(GateCheck::passed));
+        // 20% down: outside.
+        let bad = Json::parse(&HOTPATH.replace("4.90", "3.92")).unwrap();
+        let checks = gate(&baseline, &bad, DEFAULT_TOLERANCE).unwrap();
+        assert!(!checks[0].passed());
+        assert!(checks[1].passed());
+    }
+
+    #[test]
+    fn multiapp_gate_matches_points_by_app_count_and_gates_skip_gain() {
+        let baseline = Json::parse(&multiapp_doc(2.0, 1.3, 1.6)).unwrap();
+        let current = Json::parse(&multiapp_doc(1.9, 1.2, 1.5)).unwrap();
+        let checks = gate(&baseline, &current, DEFAULT_TOLERANCE).unwrap();
+        assert_eq!(checks.len(), 3);
+        assert!(checks.iter().all(GateCheck::passed));
+
+        // N=1 collapsing back to 0.24x is exactly what must fail.
+        let regressed = Json::parse(&multiapp_doc(0.24, 1.3, 1.6)).unwrap();
+        let checks = gate(&baseline, &regressed, DEFAULT_TOLERANCE).unwrap();
+        assert!(!checks[0].passed());
+        assert!(checks[0].metric.contains("apps=1"));
+        assert!(checks[1].passed());
+    }
+
+    #[test]
+    fn multiapp_gate_errors_on_missing_point_and_mismatched_benchmarks() {
+        let baseline = Json::parse(&multiapp_doc(2.0, 1.3, 1.6)).unwrap();
+        let trimmed = Json::parse(
+            r#"{ "benchmark": "multiapp",
+                 "points": [ { "apps": 1, "speedup_vs_naive": 2.0 } ] }"#,
+        )
+        .unwrap();
+        assert!(gate(&baseline, &trimmed, DEFAULT_TOLERANCE)
+            .unwrap_err()
+            .contains("apps=64"));
+        let hotpath = Json::parse(HOTPATH).unwrap();
+        assert!(gate(&baseline, &hotpath, DEFAULT_TOLERANCE)
+            .unwrap_err()
+            .contains("mismatch"));
+    }
+
+    #[test]
+    fn baseline_without_idle_fleet_skips_that_check() {
+        let old = Json::parse(
+            r#"{ "benchmark": "multiapp",
+                 "points": [ { "apps": 1, "speedup_vs_naive": 2.0 } ] }"#,
+        )
+        .unwrap();
+        let new = Json::parse(&multiapp_doc(2.0, 1.3, 1.6)).unwrap();
+        let checks = gate(&old, &new, DEFAULT_TOLERANCE).unwrap();
+        assert_eq!(checks.len(), 1);
+    }
+}

@@ -18,6 +18,7 @@ use powerdial_qos::QosLossBound;
 
 #[cfg(target_os = "linux")]
 pub mod chaos;
+pub mod gate;
 pub mod hotpath;
 pub mod multiapp;
 

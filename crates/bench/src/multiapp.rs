@@ -101,6 +101,9 @@ impl DaemonMultiAppLoop {
             workers,
             channel_capacity: CHANNEL_CAPACITY,
             window_size: BEATS_PER_QUANTUM,
+            inline_apps: DaemonConfig::DEFAULT_INLINE_APPS,
+            idle_skip_limit: 0,
+            drain_cap: 0,
         })
         .expect("valid daemon config");
         let apps = (0..app_count)
@@ -180,6 +183,9 @@ impl ShmMultiAppLoop {
             workers,
             channel_capacity: CHANNEL_CAPACITY,
             window_size: BEATS_PER_QUANTUM,
+            inline_apps: DaemonConfig::DEFAULT_INLINE_APPS,
+            idle_skip_limit: 0,
+            drain_cap: 0,
         })
         .expect("valid daemon config");
         let geometry = SegmentGeometry::for_beat_samples(CHANNEL_CAPACITY)?;
@@ -250,6 +256,50 @@ impl ShmMultiAppLoop {
     }
 }
 
+/// An idle fleet: `app_count` registered applications that never emit a
+/// beat. Ticking it measures the daemon's fixed per-quantum cost over
+/// silent channels — the regime the silent-streak skip
+/// (`DaemonConfig::idle_skip_limit`) targets: a consolidation host where
+/// most tenants are between requests.
+pub struct IdleFleetLoop {
+    daemon: PowerDialDaemon,
+    /// Handles kept alive so the channels stay registered (a dropped
+    /// producer half would make the fleet "dead", not "idle").
+    _apps: Vec<AppHandle>,
+}
+
+impl IdleFleetLoop {
+    /// Builds the fleet with the given idle-skip threshold (0 = every tick
+    /// polls every channel).
+    pub fn new(app_count: usize, workers: usize, idle_skip_limit: u32) -> Self {
+        let mut daemon = PowerDialDaemon::new(DaemonConfig {
+            workers,
+            channel_capacity: CHANNEL_CAPACITY,
+            window_size: BEATS_PER_QUANTUM,
+            inline_apps: DaemonConfig::DEFAULT_INLINE_APPS,
+            idle_skip_limit,
+            drain_cap: 0,
+        })
+        .expect("valid daemon config");
+        let apps = (0..app_count)
+            .map(|_| {
+                daemon
+                    .register(runtime_config(), synthetic_knob_table(SETTINGS))
+                    .expect("valid runtime config")
+            })
+            .collect();
+        IdleFleetLoop {
+            daemon,
+            _apps: apps,
+        }
+    }
+
+    /// One quantum over the silent fleet.
+    pub fn tick(&mut self) {
+        self.daemon.tick();
+    }
+}
+
 /// The baseline closed loop: N apps → mutex channels → serial daemon.
 pub struct NaiveMultiAppLoop {
     daemon: SerialMutexDaemon,
@@ -264,6 +314,9 @@ impl NaiveMultiAppLoop {
             workers: 0,
             channel_capacity: CHANNEL_CAPACITY,
             window_size: BEATS_PER_QUANTUM,
+            inline_apps: 0,
+            idle_skip_limit: 0,
+            drain_cap: 0,
         })
         .expect("valid daemon config");
         let apps = (0..app_count)

@@ -56,6 +56,9 @@ fn fork_daemon(segment: &Arc<Segment>) -> powerdial_heartbeats::shm::process::Fo
                 workers: 0,
                 channel_capacity: 64,
                 window_size: 20,
+                inline_apps: 0,
+                idle_skip_limit: 0,
+                drain_cap: 0,
             }) else {
                 return 2;
             };

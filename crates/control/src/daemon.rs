@@ -16,26 +16,79 @@
 //!   [`powerdial_heartbeats::channel`] SPSC ring; the application side
 //!   ([`AppHandle`]) pushes one `Copy` beat record per unit of work —
 //!   wait-free, allocation-free, no syscalls.
-//! * Applications are **sharded** across worker threads round-robin. Once
-//!   per actuation quantum ([`PowerDialDaemon::tick`]) every shard drains
-//!   each of its channels in one batch into a reused scratch buffer and
-//!   steps the existing O(1) [`PowerDialRuntime`] once per drained beat, so
-//!   control decisions are batched per quantum exactly as the paper's
-//!   actuator prescribes.
+//! * Applications are **sharded** across worker threads round-robin (the
+//!   first [`DaemonConfig::inline_apps`] land on the caller's inline shard,
+//!   so tiny fleets skip the cross-thread round trip entirely). Once per
+//!   actuation quantum ([`PowerDialDaemon::tick`]) every shard drains each
+//!   of its channels in one batch into a reused scratch buffer and steps
+//!   the existing O(1) [`PowerDialRuntime`] through the **batched decision
+//!   kernel**, so control decisions are batched per quantum exactly as the
+//!   paper's actuator prescribes.
 //! * Decisions flow back through a handful of per-app atomics (latest knob
 //!   setting, gain, achieved speedup, expected QoS loss), read by the
 //!   application without any lock.
 //!
+//! # The batched decision kernel
+//!
+//! The runtime's decide-before-observe ordering only *consumes* an
+//! observed rate at a quantum boundary (`beat_in_quantum == 0`); interior
+//! beats walk the already-planned per-beat schedule and ignore their
+//! observation. [`DaemonShard::run_quantum`] exploits that: boundary beats
+//! are stepped individually, and each maximal run of interior beats is
+//! folded in one pass — [`PowerDialRuntime::advance_in_quantum`] skips the
+//! schedule walk, `SlidingWindow::push_slice` folds the span's latencies.
+//! The result is **bit-identical** to the per-beat walk (which
+//! [`DaemonShard::run_quantum_with`] and [`naive::SerialMutexDaemon`]
+//! preserve); the `daemon_batch_equivalence` suite pins the relationship
+//! under ragged drains, idle-skip, and the drain cap.
+//!
+//! # Fairness: the per-quantum drain cap
+//!
+//! With [`DaemonConfig::drain_cap`] set, a shard drains at most that many
+//! beats from one app per quantum; the rest stay in the ring for the next
+//! quantum. One flooded ring therefore delays its shard-mates by a bounded
+//! amount of work instead of an entire backlog. Beats are never dropped by
+//! the cap — they are deferred (the ring's own backpressure still applies
+//! to the producer). `0` disables the cap.
+//!
+//! # Idle channels: the silent-streak skip
+//!
+//! With [`DaemonConfig::idle_skip_limit`] set to `k`, an app whose drain
+//! has come up empty `k` quanta in a row is polled only every `k + 1`
+//! quanta afterwards (the skipped quanta never touch the app's transport —
+//! no cache line, no shm page). The first non-empty drain resets the
+//! streak. Worst-case added decision latency for a waking app is `k`
+//! quanta; `0` (the default) disables skipping, which is the right call
+//! whenever bounded reaction latency matters more than idle cost (e.g. the
+//! chaos harness's recovery-latency assertions).
+//!
+//! # The spin→yield→park ladder
+//!
+//! Driver loops that tick continuously (the supervisor's serve loop, a
+//! dedicated daemon process) burn a core even when every channel is idle.
+//! [`IdleLadder`] encodes the standard escalation: a few empty iterations
+//! **spin** (lowest wake latency), further emptiness **yields** the core,
+//! and a persistently idle daemon **parks** in bounded, exponentially
+//! growing sleeps (capped at 1 ms so a waking fleet is never more than a
+//! millisecond away). Any work resets the ladder to spinning.
+//!
 //! The per-quantum drain loop ([`DaemonShard::run_quantum`]) is
 //! steady-state allocation-free — the `no_alloc` integration test steps a
-//! shard under a counting allocator to prove it. The serial, mutex-guarded
-//! baseline the benchmarks compare against is [`naive::SerialMutexDaemon`].
+//! shard under a counting allocator to prove it — and a shard whose
+//! scratch buffer was grown by a flood shrinks it back on an amortized
+//! cold path (every [`SHRINK_EPOCH_QUANTA`] quanta) once the flood
+//! subsides. The serial, mutex-guarded baseline the benchmarks compare
+//! against is [`naive::SerialMutexDaemon`].
 //!
 //! With `workers: 0` the daemon runs **inline**: no threads are spawned and
 //! [`PowerDialDaemon::tick`] processes every shard on the calling thread.
 //! This mode is deterministic (used by the consolidation experiments and
 //! the equivalence tests); threaded mode has the same per-app semantics but
-//! interleaves beat arrival with draining.
+//! interleaves beat arrival with draining. A worker thread that dies
+//! mid-quantum (a panic in control code) no longer takes the daemon down:
+//! the dead shard's apps are orphaned, every other shard stays serviceable,
+//! and [`PowerDialDaemon::try_tick`] surfaces the death once as
+//! [`ControlError::ShardDead`].
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -76,12 +129,31 @@ pub struct DaemonConfig {
     /// Sliding-window size, in heartbeats, for the daemon-side rate
     /// estimate fed to each application's controller (the paper uses 20).
     pub window_size: usize,
+    /// In threaded mode, the first `inline_apps` registered applications
+    /// are placed on the caller's inline shard instead of a worker, so a
+    /// small fleet pays zero cross-thread round trips per tick. Decisions
+    /// are placement-independent (the shards run identical control code);
+    /// only which thread does the work changes. Ignored in inline mode
+    /// (`workers: 0`), where everything is inline anyway.
+    pub inline_apps: usize,
+    /// Silent-streak threshold for skipping idle channels: after this many
+    /// consecutive empty drains an app is polled only every
+    /// `idle_skip_limit + 1` quanta (worst-case added decision latency for
+    /// a waking app: `idle_skip_limit` quanta). `0` disables skipping.
+    pub idle_skip_limit: u32,
+    /// Maximum beats drained from one app per quantum (the fairness cap);
+    /// excess beats stay queued for the next quantum. `0` means uncapped.
+    pub drain_cap: usize,
 }
 
 impl DaemonConfig {
     /// Default channel capacity: several quanta of the paper's default
     /// 20-beat quantum.
     pub const DEFAULT_CHANNEL_CAPACITY: usize = 256;
+
+    /// Default [`DaemonConfig::inline_apps`]: fleets up to this size never
+    /// pay a cross-thread round trip per tick.
+    pub const DEFAULT_INLINE_APPS: usize = 4;
 
     /// A configuration with `workers` worker threads and the default
     /// channel capacity and window size.
@@ -116,6 +188,9 @@ impl Default for DaemonConfig {
             workers,
             channel_capacity: DaemonConfig::DEFAULT_CHANNEL_CAPACITY,
             window_size: 20,
+            inline_apps: DaemonConfig::DEFAULT_INLINE_APPS,
+            idle_skip_limit: 0,
+            drain_cap: 0,
         }
     }
 }
@@ -347,8 +422,8 @@ impl BeatSource {
         }
     }
 
-    fn drain_into(&mut self, out: &mut Vec<BeatSample>) -> usize {
-        self.transport().drain_into(out)
+    fn drain_into_capped(&mut self, out: &mut Vec<BeatSample>, cap: usize) -> usize {
+        self.transport().drain_into_capped(out, cap)
     }
 }
 
@@ -405,6 +480,77 @@ impl ControlState {
             last = Some(decision);
         }
         let decision = last.expect("non-empty batch");
+        self.publish_batch(decision, samples.len());
+        samples.len() as u64
+    }
+
+    /// The batched counterpart of [`ControlState::process_drained`]:
+    /// boundary beats (where the runtime consumes an observation and
+    /// replans) are stepped individually, and every maximal run of
+    /// interior beats is folded in one pass —
+    /// [`PowerDialRuntime::advance_in_quantum`] advances the schedule
+    /// walk, [`SlidingWindow::push_slice`] folds the latencies. Interior
+    /// beats never consult the window's rate, because the per-beat path
+    /// computes and then *ignores* it for them; skipping the computation
+    /// is therefore exact, and the published decision sequence is
+    /// bit-identical to the per-beat path's (pinned by the
+    /// `daemon_batch_equivalence` suite).
+    ///
+    /// `lat_scratch` is the caller's reused latency buffer (grows to at
+    /// most one drain's worth of beats; steady-state allocation-free).
+    fn process_drained_batched(
+        &mut self,
+        samples: &[BeatSample],
+        lat_scratch: &mut Vec<powerdial_heartbeats::TimestampDelta>,
+    ) -> u64 {
+        if samples.is_empty() {
+            return 0;
+        }
+        let quantum = self.runtime.quantum_heartbeats();
+        let mut last = None;
+        let mut i = 0usize;
+        while i < samples.len() {
+            let beat_in_quantum = self.runtime.beat_in_quantum();
+            if beat_in_quantum == 0 {
+                // Boundary beat: decide before observing, exactly as the
+                // per-beat path does.
+                let observed = self
+                    .window
+                    .rate()
+                    .map(|r| r.beats_per_second())
+                    .or(self.seed_rate);
+                let decision = self.runtime.on_heartbeat_idx(observed);
+                if samples[i].tag.value() != 0 {
+                    self.window.push(samples[i].latency);
+                }
+                last = Some(decision);
+                i += 1;
+            } else {
+                // Interior span: everything up to the next boundary (or the
+                // end of the drain), folded in one step.
+                let span = ((quantum - beat_in_quantum) as usize).min(samples.len() - i);
+                let decision = self.runtime.advance_in_quantum(span as u32);
+                lat_scratch.clear();
+                lat_scratch.extend(
+                    samples[i..i + span]
+                        .iter()
+                        .filter(|s| s.tag.value() != 0)
+                        .map(|s| s.latency),
+                );
+                self.window.push_slice(lat_scratch);
+                last = Some(decision);
+                i += span;
+            }
+        }
+        let decision = last.expect("non-empty batch");
+        self.publish_batch(decision, samples.len());
+        samples.len() as u64
+    }
+
+    /// Publication tail shared by the per-beat and batched kernels: store
+    /// the batch's final decision and the current schedule's aggregates
+    /// into the shared atomics.
+    fn publish_batch(&mut self, decision: IndexedDecision, batch_len: usize) {
         let schedule = self
             .runtime
             .current_schedule()
@@ -431,8 +577,7 @@ impl ControlState {
         );
         self.shared
             .beats_processed
-            .fetch_add(samples.len() as u64, Ordering::AcqRel);
-        samples.len() as u64
+            .fetch_add(batch_len as u64, Ordering::AcqRel);
     }
 }
 
@@ -442,10 +587,22 @@ struct AppSlot {
     id: AppId,
     consumer: BeatSource,
     control: ControlState,
+    /// Consecutive quanta whose drain came up empty (the silent streak).
+    silent_streak: u32,
+    /// Quanta left to skip before the next poll of an idle app.
+    skip_countdown: u32,
 }
 
+/// Quanta per scratch-shrink epoch: the amortization period of the
+/// cold-path check that returns flood-grown scratch capacity to the
+/// steady-state working set.
+pub const SHRINK_EPOCH_QUANTA: u32 = 64;
+
+/// Floor below which scratch capacity is never shrunk (pointless churn).
+const SHRINK_FLOOR: usize = 64;
+
 /// A shard of the daemon: the set of applications one worker owns, plus
-/// the scratch buffer their channels drain into.
+/// the scratch buffers their channels drain into.
 ///
 /// Exposed publicly so tests and benchmarks can drive the exact per-quantum
 /// drain loop the worker threads run — on the calling thread, under a
@@ -454,12 +611,41 @@ struct AppSlot {
 pub struct DaemonShard {
     apps: Vec<AppSlot>,
     scratch: Vec<BeatSample>,
+    /// Latency buffer of the batched kernel (one interior span at a time).
+    lat_scratch: Vec<powerdial_heartbeats::TimestampDelta>,
+    /// Silent-streak threshold for skipping idle apps (0 = disabled).
+    idle_skip_limit: u32,
+    /// Per-app, per-quantum drain cap (0 = uncapped).
+    drain_cap: usize,
+    /// Largest single drain observed in the current shrink epoch.
+    epoch_peak: usize,
+    /// Quanta run in the current shrink epoch.
+    epoch_quanta: u32,
 }
 
 impl DaemonShard {
-    /// Creates an empty shard.
+    /// Creates an empty shard with default tuning (no idle skipping, no
+    /// drain cap).
     pub fn new() -> Self {
         DaemonShard::default()
+    }
+
+    /// Creates an empty shard with the given idle-skip threshold and drain
+    /// cap (see [`DaemonConfig::idle_skip_limit`] and
+    /// [`DaemonConfig::drain_cap`]).
+    pub fn with_tuning(idle_skip_limit: u32, drain_cap: usize) -> Self {
+        DaemonShard {
+            idle_skip_limit,
+            drain_cap,
+            ..DaemonShard::default()
+        }
+    }
+
+    /// Current capacity of the shard's drain scratch buffer, in beat
+    /// records — observable so tests can pin the flood-then-shrink
+    /// behavior.
+    pub fn scratch_capacity(&self) -> usize {
+        self.scratch.capacity()
     }
 
     /// Number of applications this shard owns.
@@ -495,24 +681,145 @@ impl DaemonShard {
         }
     }
 
-    /// Runs one actuation quantum: drains every app's channel in one batch
-    /// and steps its controller once per drained beat. Returns the total
-    /// beats processed. Steady-state allocation-free: the scratch buffer
-    /// and every runtime's planning buffer are reused in place.
-    pub fn run_quantum(&mut self) -> u64 {
-        self.run_quantum_with(&mut |_, _| {})
+    /// Drains one app's transport, honoring the idle-skip streak and the
+    /// drain cap. Returns `None` when the app was skipped without touching
+    /// its transport, `Some(drained)` otherwise. Shared by the batched and
+    /// per-beat quantum loops so both see identical drains.
+    fn drain_slot(
+        slot: &mut AppSlot,
+        scratch: &mut Vec<BeatSample>,
+        idle_skip_limit: u32,
+        drain_cap: usize,
+    ) -> Option<usize> {
+        if idle_skip_limit > 0 && slot.silent_streak >= idle_skip_limit {
+            if slot.skip_countdown > 0 {
+                slot.skip_countdown -= 1;
+                return None;
+            }
+            slot.skip_countdown = idle_skip_limit;
+        }
+        let cap = if drain_cap == 0 {
+            usize::MAX
+        } else {
+            drain_cap
+        };
+        let drained = slot.consumer.drain_into_capped(scratch, cap);
+        if drained == 0 {
+            slot.silent_streak = slot.silent_streak.saturating_add(1);
+        } else {
+            slot.silent_streak = 0;
+            slot.skip_countdown = 0;
+        }
+        Some(drained)
     }
 
-    /// [`DaemonShard::run_quantum`], invoking `on_decision` for every
-    /// per-beat decision (tests and diagnostics; the callback runs on the
-    /// shard's thread).
+    /// Amortized cold-path scratch maintenance: once per
+    /// [`SHRINK_EPOCH_QUANTA`] quanta, if the scratch capacity exceeds
+    /// four times the epoch's largest drain, shrink it to twice that peak.
+    /// In steady state the capacity tracks the working set and the check
+    /// never fires (`shrink_to` counts as a realloc, and the `no_alloc`
+    /// suites must stay green); after a flood subsides, one epoch later
+    /// the burst-sized buffer is returned.
+    fn maintain_scratch(&mut self, quantum_peak: usize) {
+        self.epoch_peak = self.epoch_peak.max(quantum_peak);
+        self.epoch_quanta += 1;
+        if self.epoch_quanta < SHRINK_EPOCH_QUANTA {
+            return;
+        }
+        let watermark = self.epoch_peak.max(SHRINK_FLOOR) * 2;
+        if self.scratch.capacity() > watermark * 2 {
+            self.scratch.shrink_to(watermark);
+        }
+        if self.lat_scratch.capacity() > watermark * 2 {
+            self.lat_scratch.shrink_to(watermark);
+        }
+        self.epoch_peak = 0;
+        self.epoch_quanta = 0;
+    }
+
+    /// Runs one actuation quantum: drains every app's channel in one batch
+    /// (at most [`DaemonConfig::drain_cap`] beats, skipping apps deep in a
+    /// silent streak) and steps its controller through the batched
+    /// decision kernel. Returns the total beats processed. Steady-state
+    /// allocation-free: the scratch buffers and every runtime's planning
+    /// buffer are reused in place.
+    pub fn run_quantum(&mut self) -> u64 {
+        let mut beats = 0;
+        let mut peak = 0usize;
+        for slot in &mut self.apps {
+            let Some(drained) = Self::drain_slot(
+                slot,
+                &mut self.scratch,
+                self.idle_skip_limit,
+                self.drain_cap,
+            ) else {
+                continue;
+            };
+            peak = peak.max(drained);
+            let processed = slot
+                .control
+                .process_drained_batched(&self.scratch, &mut self.lat_scratch);
+            beats += processed;
+            Self::publish_shm(slot, processed);
+        }
+        self.maintain_scratch(peak);
+        beats
+    }
+
+    /// Re-publication of a processed quantum's decision through an shm
+    /// app's segment (atomics only — the quantum loop stays
+    /// allocation-free). No-op for in-heap channels or empty drains.
+    fn publish_shm(slot: &AppSlot, processed: u64) {
+        if processed > 0 {
+            if let BeatSource::Shm(consumer) = &slot.consumer {
+                let shared = &slot.control.shared;
+                consumer.publish_decision(ShmDecision {
+                    point_idx: shared.decision.load(Ordering::Acquire) as u32,
+                    gain_bits: shared.gain_bits.load(Ordering::Acquire),
+                    achieved_speedup_bits: shared.achieved_speedup_bits.load(Ordering::Acquire),
+                    qos_loss_bits: shared.qos_loss_bits.load(Ordering::Acquire),
+                });
+                // Keep the segment's warm-start block current so a
+                // successor daemon resumes from this actuation if we die
+                // after this store.
+                let rate = slot
+                    .control
+                    .window
+                    .rate()
+                    .map(|r| r.beats_per_second())
+                    .unwrap_or(0.0);
+                consumer.publish_warm_state(ShmWarmState {
+                    point_idx: shared.decision.load(Ordering::Acquire) as u32,
+                    speedup_bits: slot.control.runtime.controller().speedup().to_bits(),
+                    observed_rate_bits: rate.to_bits(),
+                    beat_in_quantum: u64::from(slot.control.runtime.beat_in_quantum()),
+                });
+            }
+        }
+    }
+
+    /// The per-beat reference path: identical drains (idle-skip, drain
+    /// cap) and identical decisions to [`DaemonShard::run_quantum`], but
+    /// every beat steps the runtime individually and `on_decision` sees
+    /// every per-beat decision (tests and diagnostics; the callback runs
+    /// on the shard's thread). The batched kernel is property-tested
+    /// against this path.
     pub fn run_quantum_with(
         &mut self,
         on_decision: &mut impl FnMut(AppId, IndexedDecision),
     ) -> u64 {
         let mut beats = 0;
+        let mut peak = 0usize;
         for slot in &mut self.apps {
-            slot.consumer.drain_into(&mut self.scratch);
+            let Some(drained) = Self::drain_slot(
+                slot,
+                &mut self.scratch,
+                self.idle_skip_limit,
+                self.drain_cap,
+            ) else {
+                continue;
+            };
+            peak = peak.max(drained);
             let processed = slot
                 .control
                 .process_drained(slot.id, &self.scratch, on_decision);
@@ -522,36 +829,10 @@ impl DaemonShard {
             // the bits `process_drained` just stored into the shared
             // atomics — the same words `DecisionView` serves — so a
             // decision seen via shm is bit-identical to the in-process
-            // view by construction. Atomics only: the quantum loop stays
-            // allocation-free.
-            if processed > 0 {
-                if let BeatSource::Shm(consumer) = &slot.consumer {
-                    let shared = &slot.control.shared;
-                    consumer.publish_decision(ShmDecision {
-                        point_idx: shared.decision.load(Ordering::Acquire) as u32,
-                        gain_bits: shared.gain_bits.load(Ordering::Acquire),
-                        achieved_speedup_bits: shared.achieved_speedup_bits.load(Ordering::Acquire),
-                        qos_loss_bits: shared.qos_loss_bits.load(Ordering::Acquire),
-                    });
-                    // Keep the segment's warm-start block current so a
-                    // successor daemon resumes from this actuation if we
-                    // die after this store. Atomics only — the quantum
-                    // loop stays allocation-free.
-                    let rate = slot
-                        .control
-                        .window
-                        .rate()
-                        .map(|r| r.beats_per_second())
-                        .unwrap_or(0.0);
-                    consumer.publish_warm_state(ShmWarmState {
-                        point_idx: shared.decision.load(Ordering::Acquire) as u32,
-                        speedup_bits: slot.control.runtime.controller().speedup().to_bits(),
-                        observed_rate_bits: rate.to_bits(),
-                        beat_in_quantum: u64::from(slot.control.runtime.beat_in_quantum()),
-                    });
-                }
-            }
+            // view by construction.
+            Self::publish_shm(slot, processed);
         }
+        self.maintain_scratch(peak);
         beats
     }
 
@@ -587,6 +868,13 @@ struct Worker {
     commands: mpsc::Sender<Command>,
     acks: mpsc::Receiver<u64>,
     thread: Option<JoinHandle<()>>,
+    /// Set when a send or receive on the worker's channels fails — the
+    /// thread panicked and is gone. A dead worker is never commanded
+    /// again; its apps are orphaned, the rest of the daemon keeps going.
+    dead: bool,
+    /// Applications currently placed on this worker. Workers with zero
+    /// apps are not ticked (no cross-thread round trip for empty shards).
+    apps: usize,
 }
 
 /// The sharded multi-application PowerDial daemon.
@@ -642,6 +930,12 @@ pub struct PowerDialDaemon {
     next_worker: usize,
     total_beats: u64,
     ticks: u64,
+    /// Worker indices awaiting a tick ack (reused across ticks so the tick
+    /// loop never allocates).
+    tick_pending: Vec<usize>,
+    /// Reused buffer for [`PowerDialDaemon::reap_dead`]'s dead-app scan —
+    /// the every-supervision-cycle empty case touches no allocator.
+    reap_scratch: Vec<AppId>,
 }
 
 /// Facade-side record of one registered app: which shard owns it, plus —
@@ -676,30 +970,36 @@ impl PowerDialDaemon {
     /// [`ControlError::ZeroWindowSize`] for an invalid configuration.
     pub fn new(config: DaemonConfig) -> Result<Self, ControlError> {
         config.validate()?;
-        let workers = (0..config.workers)
+        let workers: Vec<Worker> = (0..config.workers)
             .map(|index| {
                 let (command_tx, command_rx) = mpsc::channel::<Command>();
                 let (ack_tx, ack_rx) = mpsc::channel::<u64>();
+                let (idle_skip_limit, drain_cap) = (config.idle_skip_limit, config.drain_cap);
                 let thread = std::thread::Builder::new()
                     .name(format!("powerdial-shard-{index}"))
-                    .spawn(move || worker_main(command_rx, ack_tx))
+                    .spawn(move || worker_main(command_rx, ack_tx, idle_skip_limit, drain_cap))
                     .expect("spawn daemon worker");
                 Worker {
                     commands: command_tx,
                     acks: ack_rx,
                     thread: Some(thread),
+                    dead: false,
+                    apps: 0,
                 }
             })
             .collect();
+        let tick_pending = Vec::with_capacity(workers.len());
         Ok(PowerDialDaemon {
             config,
             workers,
-            inline_shard: DaemonShard::new(),
+            inline_shard: DaemonShard::with_tuning(config.idle_skip_limit, config.drain_cap),
             placements: HashMap::new(),
             next_id: 0,
             next_worker: 0,
             total_beats: 0,
             ticks: 0,
+            tick_pending,
+            reap_scratch: Vec::new(),
         })
     }
 
@@ -913,18 +1213,61 @@ impl PowerDialDaemon {
                 decisions,
                 seed_rate,
             },
+            silent_streak: 0,
+            skip_countdown: 0,
         };
-        let worker = if self.workers.is_empty() {
-            self.inline_shard.push_slot(slot);
-            usize::MAX
-        } else {
-            let worker = self.next_worker;
-            self.next_worker = (self.next_worker + 1) % self.workers.len();
-            self.command(worker, Command::Register(Box::new(slot)));
-            worker
+        let worker = match self.pick_worker() {
+            None => {
+                self.inline_shard.push_slot(slot);
+                usize::MAX
+            }
+            Some(index) => {
+                match self.workers[index]
+                    .commands
+                    .send(Command::Register(Box::new(slot)))
+                {
+                    Err(mpsc::SendError(Command::Register(slot))) => {
+                        // The worker died between the liveness check and the
+                        // send: the slot came back, fall back to inline.
+                        self.workers[index].dead = true;
+                        self.inline_shard.push_slot(*slot);
+                        usize::MAX
+                    }
+                    Err(_) => unreachable!("a failed send returns the sent command"),
+                    Ok(()) => {
+                        if self.workers[index].acks.recv().is_err() {
+                            // Died holding the slot; the app is orphaned on
+                            // the dead shard (same degraded contract as a
+                            // death mid-quantum).
+                            self.workers[index].dead = true;
+                        }
+                        self.workers[index].apps += 1;
+                        index
+                    }
+                }
+            }
         };
         self.placements.insert(id.0, Placement { worker, probe });
         Ok((id, shared))
+    }
+
+    /// Chooses the worker for a new app: `None` places it on the inline
+    /// shard — always in inline mode, for the first
+    /// [`DaemonConfig::inline_apps`] registrations in threaded mode (small
+    /// fleets skip the cross-thread round trip), and whenever every worker
+    /// is dead. Otherwise round-robin over live workers.
+    fn pick_worker(&mut self) -> Option<usize> {
+        if self.workers.is_empty() || self.inline_shard.len() < self.config.inline_apps {
+            return None;
+        }
+        for _ in 0..self.workers.len() {
+            let index = self.next_worker;
+            self.next_worker = (self.next_worker + 1) % self.workers.len();
+            if !self.workers[index].dead {
+                return Some(index);
+            }
+        }
+        None
     }
 
     /// Removes an application from its shard. Beats still in its channel
@@ -938,7 +1281,13 @@ impl PowerDialDaemon {
             Some(Placement {
                 worker: usize::MAX, ..
             }) => self.inline_shard.remove(id),
-            Some(Placement { worker, .. }) => self.command(worker, Command::Unregister(id)) != 0,
+            Some(Placement { worker, .. }) => {
+                let removed = self.command(worker, Command::Unregister(id)) == Some(1);
+                if removed {
+                    self.workers[worker].apps -= 1;
+                }
+                removed
+            }
             None => false,
         }
     }
@@ -952,19 +1301,25 @@ impl PowerDialDaemon {
     /// (collect the stragglers), then `reap_dead`. An app with a dead
     /// producer but pending beats is deliberately left for the next
     /// tick+reap round rather than losing its tail.
+    /// Called every supervision cycle, so the overwhelmingly common
+    /// nothing-is-dead case is allocation-free: the scan reuses an
+    /// internal scratch buffer and returns an empty `Vec` (which holds no
+    /// heap block) when it found nothing. Only a cycle that actually reaps
+    /// — rare by definition — pays for the returned list (the scratch's
+    /// allocation is handed to the caller).
     pub fn reap_dead(&mut self) -> Vec<AppId> {
-        let dead: Vec<AppId> = self
-            .placements
-            .iter()
-            .filter_map(|(id, placement)| {
-                let probe = placement.probe.as_ref()?;
+        self.reap_scratch.clear();
+        for (id, placement) in &self.placements {
+            if let Some(probe) = placement.probe.as_ref() {
                 if probe.producer_state().is_dead() && probe.pending() == 0 {
-                    Some(AppId(*id))
-                } else {
-                    None
+                    self.reap_scratch.push(AppId(*id));
                 }
-            })
-            .collect();
+            }
+        }
+        if self.reap_scratch.is_empty() {
+            return Vec::new();
+        }
+        let dead = std::mem::take(&mut self.reap_scratch);
         for id in &dead {
             self.unregister(*id);
         }
@@ -973,25 +1328,67 @@ impl PowerDialDaemon {
 
     /// Runs one actuation quantum across every shard (in parallel in
     /// threaded mode) and returns the total beats processed. Blocks until
-    /// every shard has finished its quantum.
+    /// every live shard has finished its quantum.
+    ///
+    /// Degraded, never panicking: a worker found dead (its thread
+    /// panicked) is skipped from then on and its beats are simply absent
+    /// from the count — the other shards keep being served. Use
+    /// [`PowerDialDaemon::try_tick`] to observe a death when it happens.
     pub fn tick(&mut self) -> u64 {
-        let mut beats = self.inline_shard.run_quantum();
-        // Broadcast first so shards run concurrently, then collect.
-        for worker in &self.workers {
-            worker
-                .commands
-                .send(Command::Tick)
-                .expect("daemon worker exited prematurely");
+        self.tick_impl().0
+    }
+
+    /// [`PowerDialDaemon::tick`] that surfaces a worker death: returns
+    /// [`ControlError::ShardDead`] (naming the first dead shard) on the
+    /// tick that *detects* the death, after still collecting every live
+    /// shard's quantum. Subsequent ticks skip the dead shard silently and
+    /// return `Ok` again, so a supervision loop can log the event once and
+    /// keep serving the surviving shards.
+    ///
+    /// # Errors
+    ///
+    /// [`ControlError::ShardDead`] when a worker thread was newly found
+    /// dead during this tick.
+    pub fn try_tick(&mut self) -> Result<u64, ControlError> {
+        match self.tick_impl() {
+            (_, Some(shard)) => Err(ControlError::ShardDead { shard }),
+            (beats, None) => Ok(beats),
         }
-        for worker in &self.workers {
-            beats += worker
-                .acks
-                .recv()
-                .expect("daemon worker exited prematurely");
+    }
+
+    /// Shared tick body: broadcast to live, non-empty workers first (so
+    /// their shards run concurrently with the inline shard), run the
+    /// inline shard, then collect acks. Returns the beats processed by the
+    /// shards that answered plus the first worker newly discovered dead,
+    /// if any. Allocation-free: the pending list is a reused buffer.
+    fn tick_impl(&mut self) -> (u64, Option<usize>) {
+        let mut newly_dead = None;
+        self.tick_pending.clear();
+        for (index, worker) in self.workers.iter_mut().enumerate() {
+            if worker.dead || worker.apps == 0 {
+                continue;
+            }
+            match worker.commands.send(Command::Tick) {
+                Ok(()) => self.tick_pending.push(index),
+                Err(_) => {
+                    worker.dead = true;
+                    newly_dead.get_or_insert(index);
+                }
+            }
+        }
+        let mut beats = self.inline_shard.run_quantum();
+        for &index in &self.tick_pending {
+            match self.workers[index].acks.recv() {
+                Ok(shard_beats) => beats += shard_beats,
+                Err(_) => {
+                    self.workers[index].dead = true;
+                    newly_dead.get_or_insert(index);
+                }
+            }
         }
         self.total_beats += beats;
         self.ticks += 1;
-        beats
+        (beats, newly_dead)
     }
 
     /// Number of applications currently registered.
@@ -1014,6 +1411,12 @@ impl PowerDialDaemon {
         self.workers.len()
     }
 
+    /// Worker threads still alive (dead = panicked mid-quantum). Equals
+    /// [`PowerDialDaemon::workers`] until a shard dies.
+    pub fn live_workers(&self) -> usize {
+        self.workers.iter().filter(|w| !w.dead).count()
+    }
+
     /// In inline mode (`workers: 0`), the daemon's single shard, for tests
     /// and diagnostics that need to observe per-beat decisions via
     /// [`DaemonShard::run_quantum_with`]. `None` in threaded mode.
@@ -1030,15 +1433,23 @@ impl PowerDialDaemon {
     }
 
     /// Sends a command to a worker and waits for its acknowledgement.
-    fn command(&self, worker: usize, command: Command) -> u64 {
-        self.workers[worker]
-            .commands
-            .send(command)
-            .expect("daemon worker exited prematurely");
-        self.workers[worker]
-            .acks
-            .recv()
-            .expect("daemon worker exited prematurely")
+    /// `None` when the worker is (or is discovered to be) dead — the
+    /// command had no effect.
+    fn command(&mut self, worker: usize, command: Command) -> Option<u64> {
+        if self.workers[worker].dead {
+            return None;
+        }
+        if self.workers[worker].commands.send(command).is_err() {
+            self.workers[worker].dead = true;
+            return None;
+        }
+        match self.workers[worker].acks.recv() {
+            Ok(ack) => Some(ack),
+            Err(_) => {
+                self.workers[worker].dead = true;
+                None
+            }
+        }
     }
 }
 
@@ -1057,8 +1468,13 @@ impl Drop for PowerDialDaemon {
 }
 
 /// Worker thread body: own a shard, obey commands, acknowledge each one.
-fn worker_main(commands: mpsc::Receiver<Command>, acks: mpsc::Sender<u64>) {
-    let mut shard = DaemonShard::new();
+fn worker_main(
+    commands: mpsc::Receiver<Command>,
+    acks: mpsc::Sender<u64>,
+    idle_skip_limit: u32,
+    drain_cap: usize,
+) {
+    let mut shard = DaemonShard::with_tuning(idle_skip_limit, drain_cap);
     while let Ok(command) = commands.recv() {
         let ack = match command {
             Command::Register(slot) => {
@@ -1072,6 +1488,93 @@ fn worker_main(commands: mpsc::Receiver<Command>, acks: mpsc::Sender<u64>) {
         if acks.send(ack).is_err() {
             break;
         }
+    }
+}
+
+/// Where an [`IdleLadder`] currently sits: the escalation stage an idle
+/// driver loop is in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LadderRung {
+    /// Busy-spin with [`std::hint::spin_loop`]: lowest wake latency, one
+    /// core burned. The first rung after any work.
+    Spin,
+    /// Yield the core to the scheduler each iteration.
+    Yield,
+    /// Sleep in exponentially growing, bounded naps (up to
+    /// [`IdleLadder::MAX_PARK`]): a persistently idle daemon stops burning
+    /// a core, yet a waking fleet is never more than one nap away.
+    Park,
+}
+
+/// The spin→yield→park escalation for driver loops that tick a daemon
+/// continuously (the supervisor's serve loop, a dedicated daemon process).
+///
+/// Call [`IdleLadder::idle`] after an iteration that found no work — it
+/// spins, yields, or naps according to the current rung and escalates.
+/// Call [`IdleLadder::reset`] after an iteration that *did* work (beats
+/// drained, an attach served) to drop back to spinning. The ladder is
+/// pure policy over `std` primitives; it holds no handle to the daemon.
+#[derive(Debug)]
+pub struct IdleLadder {
+    idle_streak: u32,
+    park: std::time::Duration,
+}
+
+impl IdleLadder {
+    /// Idle iterations spent spinning before the ladder yields.
+    pub const SPIN_LIMIT: u32 = 64;
+    /// Idle iterations spent yielding before the ladder parks.
+    pub const YIELD_LIMIT: u32 = 64;
+    /// First nap length once the ladder parks.
+    pub const INITIAL_PARK: std::time::Duration = std::time::Duration::from_micros(50);
+    /// Nap length cap: the worst-case extra latency a waking fleet sees.
+    pub const MAX_PARK: std::time::Duration = std::time::Duration::from_millis(1);
+
+    /// A ladder at its lowest rung (spinning).
+    pub fn new() -> Self {
+        IdleLadder {
+            idle_streak: 0,
+            park: IdleLadder::INITIAL_PARK,
+        }
+    }
+
+    /// The rung the next [`IdleLadder::idle`] call will act on.
+    pub fn rung(&self) -> LadderRung {
+        if self.idle_streak < IdleLadder::SPIN_LIMIT {
+            LadderRung::Spin
+        } else if self.idle_streak < IdleLadder::SPIN_LIMIT + IdleLadder::YIELD_LIMIT {
+            LadderRung::Yield
+        } else {
+            LadderRung::Park
+        }
+    }
+
+    /// Records an idle iteration: spin, yield, or nap according to the
+    /// current rung, escalate, and return the rung that was acted on.
+    pub fn idle(&mut self) -> LadderRung {
+        let rung = self.rung();
+        match rung {
+            LadderRung::Spin => std::hint::spin_loop(),
+            LadderRung::Yield => std::thread::yield_now(),
+            LadderRung::Park => {
+                std::thread::sleep(self.park);
+                self.park = (self.park * 2).min(IdleLadder::MAX_PARK);
+            }
+        }
+        self.idle_streak = self.idle_streak.saturating_add(1);
+        rung
+    }
+
+    /// Records a productive iteration: back to spinning, nap length reset.
+    pub fn reset(&mut self) {
+        self.idle_streak = 0;
+        self.park = IdleLadder::INITIAL_PARK;
+    }
+}
+
+impl Default for IdleLadder {
+    fn default() -> Self {
+        IdleLadder::new()
     }
 }
 
@@ -1281,6 +1784,9 @@ mod tests {
             workers: 0,
             channel_capacity: 64,
             window_size: 20,
+            inline_apps: 0,
+            idle_skip_limit: 0,
+            drain_cap: 0,
         })
         .unwrap()
     }
@@ -1292,6 +1798,9 @@ mod tests {
                 workers: 0,
                 channel_capacity: 0,
                 window_size: 20,
+                inline_apps: 0,
+                idle_skip_limit: 0,
+                drain_cap: 0,
             }),
             Err(ControlError::ZeroChannelCapacity)
         ));
@@ -1300,6 +1809,9 @@ mod tests {
                 workers: 0,
                 channel_capacity: 8,
                 window_size: 0,
+                inline_apps: 0,
+                idle_skip_limit: 0,
+                drain_cap: 0,
             }),
             Err(ControlError::ZeroWindowSize)
         ));
@@ -1347,6 +1859,9 @@ mod tests {
             workers: 2,
             channel_capacity: 64,
             window_size: 20,
+            inline_apps: 0,
+            idle_skip_limit: 0,
+            drain_cap: 0,
         })
         .unwrap();
         let mut inline = inline_daemon();
@@ -1400,6 +1915,9 @@ mod tests {
                 workers,
                 channel_capacity: 16,
                 window_size: 4,
+                inline_apps: 0,
+                idle_skip_limit: 0,
+                drain_cap: 0,
             })
             .unwrap();
             let mut a = daemon.register(runtime_config(), test_table()).unwrap();
@@ -1430,6 +1948,9 @@ mod tests {
             workers: 0,
             channel_capacity: 64,
             window_size: 20,
+            inline_apps: 0,
+            idle_skip_limit: 0,
+            drain_cap: 0,
         })
         .unwrap();
 
@@ -1558,6 +2079,9 @@ mod tests {
             workers: 0,
             channel_capacity: 4,
             window_size: 4,
+            inline_apps: 0,
+            idle_skip_limit: 0,
+            drain_cap: 0,
         })
         .unwrap();
         let mut app = daemon.register(runtime_config(), test_table()).unwrap();

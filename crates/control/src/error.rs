@@ -41,6 +41,13 @@ pub enum ControlError {
     ZeroWindowSize,
     /// The platform's DVFS backend rejected an actuation.
     Platform(powerdial_platform::PlatformError),
+    /// A daemon worker thread died (panicked mid-quantum). The daemon
+    /// stays serviceable in degraded form: the dead shard's applications
+    /// stop receiving fresh decisions, every other shard keeps ticking.
+    ShardDead {
+        /// Index of the dead worker shard.
+        shard: usize,
+    },
 }
 
 impl fmt::Display for ControlError {
@@ -70,6 +77,13 @@ impl fmt::Display for ControlError {
                 write!(f, "daemon window size must be at least one heartbeat")
             }
             ControlError::Platform(inner) => write!(f, "dvfs backend: {inner}"),
+            ControlError::ShardDead { shard } => {
+                write!(
+                    f,
+                    "daemon worker shard {shard} died; its apps are orphaned, \
+                     other shards remain serviceable"
+                )
+            }
         }
     }
 }
@@ -106,6 +120,7 @@ mod tests {
             },
             ControlError::ZeroChannelCapacity,
             ControlError::ZeroWindowSize,
+            ControlError::ShardDead { shard: 3 },
             ControlError::Platform(powerdial_platform::PlatformError::StateNotInTable {
                 khz: 3_000_000,
             }),

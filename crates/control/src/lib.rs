@@ -96,7 +96,10 @@ pub use actuator::{
 #[cfg(target_os = "linux")]
 pub use broker::{AttachBroker, AttachOutcome, AttachRequest, BrokerConfig, BrokerError};
 pub use controller::{ControllerConfig, HeartRateController};
-pub use daemon::{AppHandle, AppId, DaemonConfig, DaemonShard, DecisionView, PowerDialDaemon};
+pub use daemon::{
+    AppHandle, AppId, DaemonConfig, DaemonShard, DecisionView, IdleLadder, LadderRung,
+    PowerDialDaemon,
+};
 pub use dvfs::DvfsActuator;
 pub use error::ControlError;
 pub use runtime::{

@@ -268,6 +268,64 @@ impl PowerDialRuntime {
         }
     }
 
+    /// Advances `span` heartbeats *inside* the current quantum in one step
+    /// and returns the decision for the span's **last** beat — the batched
+    /// counterpart of calling [`on_heartbeat_idx`](Self::on_heartbeat_idx)
+    /// `span` times for beats that are not at a quantum boundary.
+    ///
+    /// Within a quantum the runtime only walks the already-planned
+    /// `per_beat_idx` buffer: the observed rate is not consulted until the
+    /// next boundary beat replans. That makes this skip exactly — bit for
+    /// bit — what the per-beat walk would have computed and discarded, so
+    /// callers batching whole drains (the daemon's batched kernel) remain
+    /// decision-equivalent to the per-beat path. The intermediate beats'
+    /// decisions are *not* materialized; callers that publish only the
+    /// last decision of a drain (as the daemon does) lose nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `span` is zero, if no quantum is in progress
+    /// (`beat_in_quantum() == 0` — the next beat must replan, so it has to
+    /// go through `on_heartbeat_idx`), or if the span would cross the next
+    /// quantum boundary (`beat_in_quantum() + span > quantum`): boundary
+    /// beats consume an observation and must be stepped individually.
+    pub fn advance_in_quantum(&mut self, span: u32) -> IndexedDecision {
+        assert!(span > 0, "span must be at least one beat");
+        assert!(
+            self.beat_in_quantum != 0,
+            "advance_in_quantum requires a quantum in progress; \
+             step the boundary beat through on_heartbeat_idx first"
+        );
+        assert!(
+            self.beat_in_quantum + span <= self.quantum,
+            "span of {span} from beat {} would cross the {}-beat quantum boundary",
+            self.beat_in_quantum,
+            self.quantum
+        );
+        let last = (self.beat_in_quantum + span - 1) as usize;
+        let point_idx = self
+            .per_beat_idx
+            .get(last)
+            .copied()
+            .unwrap_or_else(|| self.table.baseline_idx());
+
+        self.beat_in_quantum += span;
+        if self.beat_in_quantum >= self.quantum {
+            self.beat_in_quantum = 0;
+        }
+
+        let schedule = self
+            .current_schedule
+            .as_ref()
+            .expect("schedule exists while a quantum is in progress");
+        IndexedDecision {
+            point_idx,
+            gain: self.table.speedup_of(point_idx),
+            planned_idle_fraction: schedule.idle_fraction,
+            requested_speedup: schedule.requested_speedup,
+        }
+    }
+
     fn plan_quantum(&mut self, observed_rate: Option<f64>) {
         let observed = observed_rate.unwrap_or_else(|| self.controller.config().target_rate());
         let requested = self.controller.update(observed);
@@ -552,6 +610,56 @@ mod tests {
         let mut refused = runtime(4);
         assert!(refused.warm_start(f64::NAN).is_err());
         assert_eq!(refused.controller().speedup(), 1.0);
+    }
+
+    #[test]
+    fn advance_in_quantum_matches_per_beat_walk() {
+        // Walk two identical runtimes through several quanta: one per-beat,
+        // one stepping the boundary beat then batching the interior in
+        // ragged spans. Every decision the batched walk *does* surface must
+        // be bit-identical to the per-beat walk's decision for that beat.
+        let mut per_beat = runtime(7);
+        let mut batched = runtime(7);
+        let rates = [10.0, 15.0, 30.0, 45.0, 5.0, 30.0];
+        for (q, rate) in rates.iter().enumerate() {
+            // Boundary beat: consumes the observation on both sides.
+            let a = per_beat.on_heartbeat_idx(Some(*rate));
+            let b = batched.on_heartbeat_idx(Some(*rate));
+            assert_eq!(a.point_idx, b.point_idx, "boundary of quantum {q}");
+            // Interior: 6 beats, split into ragged spans 2 + 1 + 3.
+            let mut last_per_beat = None;
+            for _ in 0..6 {
+                last_per_beat = Some(per_beat.on_heartbeat_idx(Some(*rate)));
+            }
+            batched.advance_in_quantum(2);
+            batched.advance_in_quantum(1);
+            let last_batched = batched.advance_in_quantum(3);
+            let last_per_beat = last_per_beat.unwrap();
+            assert_eq!(last_per_beat.point_idx, last_batched.point_idx);
+            assert_eq!(last_per_beat.gain.to_bits(), last_batched.gain.to_bits());
+            assert_eq!(
+                last_per_beat.requested_speedup.to_bits(),
+                last_batched.requested_speedup.to_bits()
+            );
+            assert_eq!(per_beat.beat_in_quantum(), 0);
+            assert_eq!(batched.beat_in_quantum(), 0);
+            assert_eq!(per_beat.quanta_planned(), batched.quanta_planned());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "quantum in progress")]
+    fn advance_at_boundary_panics() {
+        let mut rt = runtime(4);
+        rt.advance_in_quantum(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cross the")]
+    fn advance_across_boundary_panics() {
+        let mut rt = runtime(4);
+        rt.on_heartbeat_idx(Some(30.0));
+        rt.advance_in_quantum(4);
     }
 
     #[test]

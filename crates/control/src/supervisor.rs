@@ -34,7 +34,7 @@ use powerdial_heartbeats::shm::ShmError;
 use powerdial_knobs::KnobTable;
 
 use crate::broker::{AttachBroker, AttachRequest, BrokerConfig};
-use crate::daemon::{DaemonConfig, PowerDialDaemon};
+use crate::daemon::{DaemonConfig, IdleLadder, PowerDialDaemon};
 use crate::{ControllerConfig, RuntimeConfig};
 
 /// Everything a daemon incarnation needs to serve: where to listen, how
@@ -169,6 +169,7 @@ fn daemon_process(config: &SupervisorConfig, table: &KnobTable) -> i32 {
     let Ok(mut daemon) = PowerDialDaemon::new(config.daemon) else {
         return 11;
     };
+    let mut ladder = IdleLadder::new();
     loop {
         let served = broker.poll_accept(daemon.app_count(), |request| {
             let runtime = RuntimeConfig::new(ControllerConfig::new(
@@ -184,15 +185,21 @@ fn daemon_process(config: &SupervisorConfig, table: &KnobTable) -> i32 {
                 }
             }
         });
-        if served.is_err() {
-            return 12;
-        }
-        daemon.tick();
+        let served = match served {
+            Ok(outcome) => outcome.is_some(),
+            Err(_) => return 12,
+        };
+        let beats = daemon.tick();
         daemon.reap_dead();
         if config.poll_interval > Duration::ZERO {
             std::thread::sleep(config.poll_interval);
+        } else if served || beats > 0 {
+            // Work arrived this iteration: stay hot for the next one.
+            ladder.reset();
         } else {
-            std::hint::spin_loop();
+            // Escalate spin → yield → park so an idle daemon stops
+            // burning the core while staying quick to re-engage.
+            ladder.idle();
         }
     }
 }

@@ -65,6 +65,9 @@ fn daemon_matches_serial_simulation_beat_for_beat() {
             workers: 0,
             channel_capacity: 64,
             window_size,
+            inline_apps: 0,
+            idle_skip_limit: 0,
+            drain_cap: 0,
         })
         .unwrap();
         let mut app = daemon.register(runtime_config, test_table()).unwrap();

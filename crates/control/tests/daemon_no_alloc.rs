@@ -88,7 +88,11 @@ fn run_quantum(
             app.beat(*now).expect("channel sized for a full quantum");
         }
     }
-    daemon.tick()
+    let beats = daemon.tick();
+    // A supervision cycle reaps after every tick; the nothing-is-dead scan
+    // is part of the steady state and must stay allocation-free too.
+    assert!(daemon.reap_dead().is_empty());
+    beats
 }
 
 #[test]
@@ -98,6 +102,9 @@ fn per_quantum_drain_loop_does_not_allocate() {
             workers: 0, // inline: the drain loop runs on this thread
             channel_capacity: 64,
             window_size: 20,
+            inline_apps: 0,
+            idle_skip_limit: 0,
+            drain_cap: 0,
         })
         .unwrap();
         let config = RuntimeConfig::new(ControllerConfig::new(30.0, 30.0).unwrap())
@@ -146,6 +153,9 @@ fn per_quantum_shm_drain_loop_does_not_allocate() {
         workers: 0, // inline: the drain loop runs on this thread
         channel_capacity: 64,
         window_size: 20,
+        inline_apps: 0,
+        idle_skip_limit: 0,
+        drain_cap: 0,
     })
     .unwrap();
     let config = RuntimeConfig::new(ControllerConfig::new(30.0, 30.0).unwrap())
@@ -185,7 +195,11 @@ fn per_quantum_shm_drain_loop_does_not_allocate() {
                 *tag = tag.next();
             }
         }
-        daemon.tick()
+        let beats = daemon.tick();
+        // The reap scan probes every live shm segment and finds nothing
+        // dead — the every-cycle case, which must not allocate.
+        assert!(daemon.reap_dead().is_empty());
+        beats
     };
 
     // Warm scratch and planning buffers.

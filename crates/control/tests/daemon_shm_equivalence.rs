@@ -60,6 +60,9 @@ fn inline_daemon() -> PowerDialDaemon {
         workers: 0,
         channel_capacity: CAPACITY,
         window_size: 20,
+        inline_apps: 0,
+        idle_skip_limit: 0,
+        drain_cap: 0,
     })
     .unwrap()
 }

@@ -55,6 +55,9 @@ fn concurrent_producers_lose_no_accepted_beats() {
         workers: 2,
         channel_capacity: 256,
         window_size: 20,
+        inline_apps: 0,
+        idle_skip_limit: 0,
+        drain_cap: 0,
     })
     .unwrap();
 
@@ -110,6 +113,9 @@ fn unregister_mid_stream_keeps_other_apps_alive() {
         workers: 2,
         channel_capacity: 32,
         window_size: 10,
+        inline_apps: 0,
+        idle_skip_limit: 0,
+        drain_cap: 0,
     })
     .unwrap();
 

@@ -277,6 +277,9 @@ pub fn consolidation_study_live(
         workers: options.workers,
         channel_capacity: (quantum * 2).max(DaemonConfig::DEFAULT_CHANNEL_CAPACITY),
         window_size: quantum,
+        inline_apps: DaemonConfig::DEFAULT_INLINE_APPS,
+        idle_skip_limit: 0,
+        drain_cap: 0,
     })?;
     let mut registry = HeartbeatRegistry::new();
     let mut machines = Vec::with_capacity(consolidated_machines);

@@ -177,6 +177,12 @@ pub trait BeatTransport {
     /// returning how many were drained.
     fn drain_into(&mut self, out: &mut Vec<BeatSample>) -> usize;
 
+    /// Drains at most `cap` pending beats into `out` (cleared first),
+    /// oldest first, returning how many were drained. Beats beyond the cap
+    /// stay queued for the next drain; callers wanting everything pass
+    /// `usize::MAX` (or use [`drain_into`](BeatTransport::drain_into)).
+    fn drain_into_capped(&mut self, out: &mut Vec<BeatSample>, cap: usize) -> usize;
+
     /// Beats currently pending.
     fn pending(&self) -> usize;
 
@@ -188,6 +194,10 @@ pub trait BeatTransport {
 impl BeatTransport for Consumer<BeatSample> {
     fn drain_into(&mut self, out: &mut Vec<BeatSample>) -> usize {
         Consumer::drain_into(self, out)
+    }
+
+    fn drain_into_capped(&mut self, out: &mut Vec<BeatSample>, cap: usize) -> usize {
+        Consumer::drain_into_capped(self, out, cap)
     }
 
     fn pending(&self) -> usize {
@@ -299,24 +309,35 @@ impl<T: Copy + Send> Consumer<T> {
     /// capacity on early calls and is never reallocated after that, so the
     /// steady-state drain performs no heap allocation.
     pub fn drain_into(&mut self, out: &mut Vec<T>) -> usize {
+        self.drain_into_capped(out, usize::MAX)
+    }
+
+    /// Drains at most `cap` pending records into `out` (cleared first),
+    /// oldest first, and returns how many were drained. Records beyond the
+    /// cap stay in the ring for the next drain — the daemon's fairness
+    /// valve: one flooded ring cannot monopolize a shard's quantum.
+    ///
+    /// Same allocation contract as [`drain_into`](Consumer::drain_into).
+    pub fn drain_into_capped(&mut self, out: &mut Vec<T>, cap: usize) -> usize {
         out.clear();
         let tail = self.shared.tail.0.load(Ordering::Acquire);
-        let available = (tail - self.head) as usize;
-        if available == 0 {
+        let take = ((tail - self.head) as usize).min(cap);
+        if take == 0 {
             return 0;
         }
-        out.reserve(available);
-        for position in self.head..tail {
+        out.reserve(take);
+        let end = self.head + take as u64;
+        for position in self.head..end {
             let slot = &self.shared.slots[(position & self.shared.mask) as usize];
-            // SAFETY: positions in [head, tail) were published by the
-            // producer's release store, which the acquire load above
+            // SAFETY: positions in [head, tail) ⊇ [head, end) were published
+            // by the producer's release store, which the acquire load above
             // synchronized with; the producer will not overwrite them until
             // the release store of `head` below frees them.
             out.push(unsafe { (*slot.get()).assume_init_read() });
         }
-        self.head = tail;
-        self.shared.head.0.store(tail, Ordering::Release);
-        available
+        self.head = end;
+        self.shared.head.0.store(end, Ordering::Release);
+        take
     }
 
     /// Pops a single pending record, oldest first.
@@ -378,6 +399,25 @@ mod tests {
         assert_eq!(tags, (0..10).collect::<Vec<_>>());
         assert_eq!(rx.drain_into(&mut out), 0);
         assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn capped_drain_leaves_the_rest_queued() {
+        let (mut tx, mut rx) = spsc_channel::<u64>(16);
+        for i in 0..10 {
+            tx.try_push(i).unwrap();
+        }
+        let mut out = Vec::new();
+        assert_eq!(rx.drain_into_capped(&mut out, 4), 4);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        assert_eq!(rx.pending(), 6);
+        // The freed slots are immediately reusable by the producer.
+        for i in 10..14 {
+            tx.try_push(i).unwrap();
+        }
+        assert_eq!(rx.drain_into_capped(&mut out, usize::MAX), 10);
+        assert_eq!(out, (4..14).collect::<Vec<_>>());
+        assert_eq!(rx.drain_into_capped(&mut out, 0), 0);
     }
 
     #[test]

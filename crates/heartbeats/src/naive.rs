@@ -158,6 +158,17 @@ impl<T: Copy> MutexChannel<T> {
         out.len()
     }
 
+    /// Drains at most `cap` pending records into `out` (cleared first),
+    /// oldest first, and returns how many were drained; the rest stay
+    /// queued for the next drain.
+    pub fn drain_into_capped(&self, out: &mut Vec<T>, cap: usize) -> usize {
+        out.clear();
+        let mut state = self.inner.lock().expect("channel mutex poisoned");
+        let take = state.queue.len().min(cap);
+        out.extend(state.queue.drain(..take));
+        take
+    }
+
     /// Number of records currently pending.
     pub fn pending(&self) -> usize {
         self.inner
@@ -186,6 +197,14 @@ impl<T: Copy> MutexChannel<T> {
 impl crate::channel::BeatTransport for MutexChannel<crate::channel::BeatSample> {
     fn drain_into(&mut self, out: &mut Vec<crate::channel::BeatSample>) -> usize {
         MutexChannel::drain_into(self, out)
+    }
+
+    fn drain_into_capped(
+        &mut self,
+        out: &mut Vec<crate::channel::BeatSample>,
+        cap: usize,
+    ) -> usize {
+        MutexChannel::drain_into_capped(self, out, cap)
     }
 
     fn pending(&self) -> usize {

@@ -477,10 +477,18 @@ impl ShmConsumer {
     /// records, never drive reads out of bounds or force unbounded
     /// allocation.
     pub fn drain_into(&mut self, out: &mut Vec<BeatSample>) -> usize {
+        self.drain_into_capped(out, usize::MAX)
+    }
+
+    /// Drains at most `cap` pending beats into `out` (cleared first),
+    /// oldest first, and returns how many were drained; the rest stay in
+    /// the ring for the next drain. Same safety and allocation contract
+    /// as [`drain_into`](ShmConsumer::drain_into).
+    pub fn drain_into_capped(&mut self, out: &mut Vec<BeatSample>, cap: usize) -> usize {
         out.clear();
         let header = self.segment.header();
         let tail = header.tail.load(Ordering::Acquire);
-        let available = clamped_distance(self.head, tail, self.capacity) as usize;
+        let available = (clamped_distance(self.head, tail, self.capacity) as usize).min(cap);
         if available == 0 {
             return 0;
         }
@@ -622,6 +630,10 @@ impl crate::channel::BeatTransport for ShmConsumer {
         ShmConsumer::drain_into(self, out)
     }
 
+    fn drain_into_capped(&mut self, out: &mut Vec<BeatSample>, cap: usize) -> usize {
+        ShmConsumer::drain_into_capped(self, out, cap)
+    }
+
     fn pending(&self) -> usize {
         ShmConsumer::pending(self)
     }
@@ -702,6 +714,23 @@ mod tests {
             assert_eq!(*record, sample(tag as u64));
         }
         assert_eq!(rx.drain_into(&mut out), 0);
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn capped_drain_leaves_the_rest_queued() {
+        let segment = segment(16);
+        let mut tx = ShmProducer::attach(Arc::clone(&segment)).unwrap();
+        let mut rx = ShmConsumer::attach(Arc::clone(&segment)).unwrap();
+        for tag in 0..10 {
+            tx.try_push(sample(tag)).unwrap();
+        }
+        let mut out = Vec::new();
+        assert_eq!(rx.drain_into_capped(&mut out, 3), 3);
+        assert_eq!(out.last().unwrap().tag, HeartbeatTag(2));
+        assert_eq!(rx.pending(), 7);
+        assert_eq!(rx.drain_into_capped(&mut out, usize::MAX), 7);
+        assert_eq!(out.first().unwrap().tag, HeartbeatTag(3));
         assert!(rx.is_empty());
     }
 

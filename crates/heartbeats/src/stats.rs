@@ -155,6 +155,56 @@ impl SlidingWindow {
         self.push_count += 1;
     }
 
+    /// Pushes every latency in `latencies`, oldest first — exactly
+    /// equivalent to calling [`push`](Self::push) once per element, but
+    /// written for the batched decision kernel's hot path.
+    ///
+    /// When the slice is at least as long as the window's capacity, none
+    /// of the pre-existing contents survive, so the window is rebuilt
+    /// from the slice's tail in one pass instead of churning through
+    /// `len` evictions. The rebuild is **bit-identical** to the
+    /// sequential pushes: the integer nanosecond sums are exact under
+    /// both orders, and the monotonic deques end up holding the same
+    /// `(index, value)` suffix extrema either way (sequential eviction
+    /// would have popped every entry that predates the surviving
+    /// window). The property test `push_slice_matches_sequential_push`
+    /// pins this, including queries after further singleton pushes.
+    ///
+    /// Allocation-free: both paths reuse the storage sized at
+    /// construction.
+    pub fn push_slice(&mut self, latencies: &[TimestampDelta]) {
+        if latencies.len() >= self.capacity {
+            // Full replacement: only the slice's last `capacity` entries
+            // can survive, so skip straight to them.
+            let skipped = latencies.len() - self.capacity;
+            self.latencies.clear();
+            self.min_deque.clear();
+            self.max_deque.clear();
+            self.sum_nanos = 0;
+            self.sum_sq_nanos = 0;
+            self.push_count += skipped as u64;
+            for &latency in &latencies[skipped..] {
+                let nanos = latency.as_nanos();
+                self.latencies.push_back(latency);
+                self.sum_nanos += u128::from(nanos);
+                self.sum_sq_nanos += u128::from(nanos) * u128::from(nanos);
+                while self.min_deque.back().is_some_and(|&(_, v)| v >= nanos) {
+                    self.min_deque.pop_back();
+                }
+                self.min_deque.push_back((self.push_count, nanos));
+                while self.max_deque.back().is_some_and(|&(_, v)| v <= nanos) {
+                    self.max_deque.pop_back();
+                }
+                self.max_deque.push_back((self.push_count, nanos));
+                self.push_count += 1;
+            }
+        } else {
+            for &latency in latencies {
+                self.push(latency);
+            }
+        }
+    }
+
     /// Removes all stored latencies, keeping the allocated capacity.
     pub fn clear(&mut self) {
         self.latencies.clear();
@@ -441,6 +491,54 @@ mod proptests {
             prop_assert!(stats.mean_latency_secs >= stats.min_latency_secs - 1e-12);
             prop_assert!(stats.mean_latency_secs <= stats.max_latency_secs + 1e-12);
             prop_assert!(stats.latency_variance >= 0.0);
+        }
+
+        /// `push_slice` is bit-equivalent to element-wise `push` across
+        /// arbitrary chunkings — including chunks larger than the window
+        /// (the full-replacement fast path), empty chunks, and singleton
+        /// pushes interleaved after batches.
+        #[test]
+        fn push_slice_matches_sequential_push(
+            capacity in 1usize..24,
+            chunks in proptest::collection::vec(
+                proptest::collection::vec(1u64..1_000_000_000_000u64, 0..64),
+                0..16,
+            ),
+        ) {
+            let mut batched = SlidingWindow::new(capacity);
+            let mut sequential = SlidingWindow::new(capacity);
+            for chunk in &chunks {
+                let deltas: Vec<TimestampDelta> =
+                    chunk.iter().map(|&l| TimestampDelta::from_nanos(l)).collect();
+                batched.push_slice(&deltas);
+                for &d in &deltas {
+                    sequential.push(d);
+                }
+                prop_assert_eq!(&batched, &sequential);
+                prop_assert_eq!(batched.len(), sequential.len());
+                if !batched.is_empty() {
+                    prop_assert_eq!(batched.total(), sequential.total());
+                    let (a, b) = (batched.rate().unwrap(), sequential.rate().unwrap());
+                    prop_assert_eq!(
+                        a.beats_per_second().to_bits(),
+                        b.beats_per_second().to_bits()
+                    );
+                    let (fast, slow) =
+                        (batched.statistics().unwrap(), sequential.statistics().unwrap());
+                    prop_assert_eq!(fast.mean_latency_secs.to_bits(), slow.mean_latency_secs.to_bits());
+                    prop_assert_eq!(fast.latency_variance.to_bits(), slow.latency_variance.to_bits());
+                    prop_assert_eq!(fast.min_latency_secs.to_bits(), slow.min_latency_secs.to_bits());
+                    prop_assert_eq!(fast.max_latency_secs.to_bits(), slow.max_latency_secs.to_bits());
+                }
+                // A singleton push after a batch must keep agreeing: the
+                // extremum deques' internal indices line up too.
+                batched.push(TimestampDelta::from_nanos(7));
+                sequential.push(TimestampDelta::from_nanos(7));
+                prop_assert_eq!(&batched, &sequential);
+                let (fa, sl) = (batched.statistics().unwrap(), sequential.statistics().unwrap());
+                prop_assert_eq!(fa.min_latency_secs.to_bits(), sl.min_latency_secs.to_bits());
+                prop_assert_eq!(fa.max_latency_secs.to_bits(), sl.max_latency_secs.to_bits());
+            }
         }
 
         /// The incremental statistics match a naive recompute to within 1e-9

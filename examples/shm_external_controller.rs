@@ -64,6 +64,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         workers: 0,
         channel_capacity: 256,
         window_size: 20,
+        inline_apps: 0,
+        idle_skip_limit: 0,
+        drain_cap: 0,
     })?;
     println!(
         "controller: broker listening on {} (target 30 beats/s)\n",
