@@ -68,35 +68,53 @@ fn main() {
             .unwrap_or_else(|| "BENCH_hotpath.json".to_string())
     };
 
-    // Full loop, optimized: warm past the history ring's growth phase so
-    // the measured region is the allocation-free steady state.
+    // Full loop, optimized vs pre-optimization baseline. The gate pins
+    // speedup_vs_naive, so both arms are warmed up front and measured
+    // alternately, each keeping its best pass — noise that lands on one
+    // arm's turn (scheduler, frequency) must not skew the committed
+    // ratio.
     let mut optimized = HotPathLoop::new(SETTINGS, WINDOW, WINDOW);
-    time_loop(warmup, || optimized.step());
-    let fast = time_loop(loop_beats, || optimized.step());
-
-    // Full loop, pre-optimization baseline.
     let mut naive_loop = NaiveHotPathLoop::new(SETTINGS, WINDOW);
+    // Warm past the history ring's growth phase so the measured region
+    // is the allocation-free steady state.
+    time_loop(warmup, || optimized.step());
     time_loop(warmup, || naive_loop.step());
-    let slow = time_loop(loop_beats.min(1_000_000), || naive_loop.step());
+    let mut fast = time_loop(loop_beats, || optimized.step());
+    let mut slow = time_loop(loop_beats.min(1_000_000), || naive_loop.step());
+    for _ in 0..2 {
+        let pass = time_loop(loop_beats, || optimized.step());
+        if pass.ns_per_beat < fast.ns_per_beat {
+            fast = pass;
+        }
+        let pass = time_loop(loop_beats.min(1_000_000), || naive_loop.step());
+        if pass.ns_per_beat < slow.ns_per_beat {
+            slow = pass;
+        }
+    }
 
-    // Window-query kernels: statistics() + rate() per call.
+    // Window-query kernels: statistics() + rate() per call, alternated
+    // best-of-3 like the loop arms.
     let (incremental, naive_window) = warmed_windows(QUERY_WINDOW);
-    let fast_query_ns = time_queries(query_iters, || {
-        let stats = incremental.statistics().expect("warmed window");
-        stats.mean_latency_secs
-            + incremental
-                .rate()
-                .expect("warmed window")
-                .beats_per_second()
-    });
-    let slow_query_ns = time_queries(query_iters.min(200_000), || {
-        let stats = naive_window.statistics().expect("warmed window");
-        stats.mean_latency_secs
-            + naive_window
-                .rate()
-                .expect("warmed window")
-                .beats_per_second()
-    });
+    let mut fast_query_ns = f64::INFINITY;
+    let mut slow_query_ns = f64::INFINITY;
+    for _ in 0..3 {
+        fast_query_ns = fast_query_ns.min(time_queries(query_iters, || {
+            let stats = incremental.statistics().expect("warmed window");
+            stats.mean_latency_secs
+                + incremental
+                    .rate()
+                    .expect("warmed window")
+                    .beats_per_second()
+        }));
+        slow_query_ns = slow_query_ns.min(time_queries(query_iters.min(200_000), || {
+            let stats = naive_window.statistics().expect("warmed window");
+            stats.mean_latency_secs
+                + naive_window
+                    .rate()
+                    .expect("warmed window")
+                    .beats_per_second()
+        }));
+    }
 
     let loop_speedup = slow.ns_per_beat / fast.ns_per_beat;
     let query_speedup = slow_query_ns / fast_query_ns;

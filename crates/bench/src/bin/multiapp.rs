@@ -29,6 +29,11 @@ const IDLE_APPS: usize = 1000;
 /// Idle-skip threshold measured against the poll-everything default.
 const IDLE_SKIP_LIMIT: u32 = 8;
 
+/// Fleet size for the telemetry-overhead (instrumented vs uninstrumented)
+/// measurement: the paper-scale consolidation point the acceptance
+/// criterion pins (<5% ns/beat overhead).
+const TELEMETRY_APPS: usize = 512;
+
 struct Measurement {
     beats: u64,
     ns_per_beat: f64,
@@ -77,18 +82,29 @@ fn main() {
         let beats_per_quantum = (apps * BEATS_PER_QUANTUM) as u64;
 
         let mut fast = DaemonMultiAppLoop::new(apps, workers);
+        let mut slow = NaiveMultiAppLoop::new(apps);
         // Warm: fill scratch buffers and planning buffers, settle shards.
         let warm = warm_quanta.min(fast_target / beats_per_quantum / 2).max(2);
         for _ in 0..warm {
             fast.step();
-        }
-        let sharded = measure(fast_target.max(beats_per_quantum), || fast.step());
-
-        let mut slow = NaiveMultiAppLoop::new(apps);
-        for _ in 0..warm {
             slow.step();
         }
-        let naive = measure(naive_target.max(beats_per_quantum), || slow.step());
+        // The gate pins speedup_vs_naive, so both arms of the ratio are
+        // measured alternately and keep their best pass — noise that hits
+        // one arm's turn (scheduler, frequency) must not skew the ratio
+        // the baseline commits (see the telemetry section below).
+        let mut sharded = measure(fast_target.max(beats_per_quantum), || fast.step());
+        let mut naive = measure(naive_target.max(beats_per_quantum), || slow.step());
+        for _ in 0..2 {
+            let pass = measure(fast_target.max(beats_per_quantum), || fast.step());
+            if pass.ns_per_beat < sharded.ns_per_beat {
+                sharded = pass;
+            }
+            let pass = measure(naive_target.max(beats_per_quantum), || slow.step());
+            if pass.ns_per_beat < naive.ns_per_beat {
+                naive = pass;
+            }
+        }
 
         let speedup = naive.ns_per_beat / sharded.ns_per_beat;
         println!(
@@ -144,25 +160,76 @@ fn main() {
         Scale::Paper => 200_000u64,
         Scale::Quick => 20_000,
     };
-    let idle_ns = |skip: u32| {
-        let mut fleet = IdleFleetLoop::new(IDLE_APPS, workers, skip);
+    let (poll_all_ns, skipping_ns) = {
+        let mut polling = IdleFleetLoop::new(IDLE_APPS, workers, 0);
+        let mut skipping = IdleFleetLoop::new(IDLE_APPS, workers, IDLE_SKIP_LIMIT);
         // Warm: build every channel's silent streak past the threshold so
         // the measured region is the steady skipping state.
         for _ in 0..(u64::from(IDLE_SKIP_LIMIT) * 4).max(64) {
-            fleet.tick();
+            polling.tick();
+            skipping.tick();
         }
-        let start = Instant::now();
-        for _ in 0..idle_ticks {
-            fleet.tick();
+        let idle_ns = |fleet: &mut IdleFleetLoop| {
+            let start = Instant::now();
+            for _ in 0..idle_ticks {
+                fleet.tick();
+            }
+            start.elapsed().as_nanos() as f64 / idle_ticks as f64
+        };
+        // skip_gain is a gated ratio: alternate arms, keep each one's
+        // best pass (same noise defense as the points sweep above).
+        let mut poll_all = f64::INFINITY;
+        let mut skip = f64::INFINITY;
+        for _ in 0..3 {
+            poll_all = poll_all.min(idle_ns(&mut polling));
+            skip = skip.min(idle_ns(&mut skipping));
         }
-        start.elapsed().as_nanos() as f64 / idle_ticks as f64
+        (poll_all, skip)
     };
-    let poll_all_ns = idle_ns(0);
-    let skipping_ns = idle_ns(IDLE_SKIP_LIMIT);
     let idle_gain = poll_all_ns / skipping_ns;
     println!(
         "poll-all: {poll_all_ns:7.1} ns/tick; skip({IDLE_SKIP_LIMIT}): \
          {skipping_ns:7.1} ns/tick ({idle_gain:.2}x cheaper idle quantum)"
+    );
+
+    // Telemetry overhead: the sharded loop at N = TELEMETRY_APPS with the
+    // telemetry plane on (the production default) vs off. The histogram
+    // records ride the drain loop, so this prices exactly what every
+    // deployment pays for observability; the gate pins the ratio.
+    //
+    // Scheduler/frequency noise on a shared box dwarfs the handful of ALU
+    // ops a record costs, so a single pass per arm measures the machine,
+    // not the instrumentation. Two defenses: the arms run on the inline
+    // shard (workers = 0 — no cross-thread handoff in the loop, so the
+    // delta is purely the drain-path records), and both are built and
+    // warmed up front, then measured alternately with each keeping its
+    // best pass. The min filters noise that hits one arm's turn without
+    // biasing the on/off ratio.
+    println!("== telemetry overhead (N = {TELEMETRY_APPS}, inline shard) ==");
+    let (instrumented_ns, uninstrumented_ns) = {
+        let beats_per_quantum = (TELEMETRY_APPS * BEATS_PER_QUANTUM) as u64;
+        let mut on = DaemonMultiAppLoop::with_telemetry(TELEMETRY_APPS, 0, true);
+        let mut off = DaemonMultiAppLoop::with_telemetry(TELEMETRY_APPS, 0, false);
+        let warm = warm_quanta.min(fast_target / beats_per_quantum / 2).max(2);
+        for _ in 0..warm {
+            on.step();
+            off.step();
+        }
+        let target = fast_target.max(beats_per_quantum);
+        let mut best_on = f64::INFINITY;
+        let mut best_off = f64::INFINITY;
+        for _ in 0..5 {
+            best_on = best_on.min(measure(target, || on.step()).ns_per_beat);
+            best_off = best_off.min(measure(target, || off.step()).ns_per_beat);
+        }
+        (best_on, best_off)
+    };
+    // Higher-is-better form for the gate (current >= baseline * (1 - tol)).
+    let telemetry_efficiency = uninstrumented_ns / instrumented_ns;
+    let telemetry_overhead_pct = (instrumented_ns / uninstrumented_ns - 1.0) * 100.0;
+    println!(
+        "on: {instrumented_ns:6.1} ns/beat; off: {uninstrumented_ns:6.1} ns/beat \
+         ({telemetry_overhead_pct:+.1}% overhead, efficiency {telemetry_efficiency:.3})"
     );
 
     let json = format!(
@@ -173,7 +240,12 @@ fn main() {
          \"ns_per_tick_poll_all\": {poll_all_ns:.2},\n    \
          \"idle_skip_limit\": {IDLE_SKIP_LIMIT},\n    \
          \"ns_per_tick_skipping\": {skipping_ns:.2},\n    \
-         \"skip_gain\": {idle_gain:.2}\n  }}\n}}\n",
+         \"skip_gain\": {idle_gain:.2}\n  }},\n  \
+         \"telemetry\": {{\n    \"apps\": {TELEMETRY_APPS},\n    \
+         \"ns_per_beat_instrumented\": {instrumented_ns:.2},\n    \
+         \"ns_per_beat_uninstrumented\": {uninstrumented_ns:.2},\n    \
+         \"overhead_pct\": {telemetry_overhead_pct:.2},\n    \
+         \"efficiency\": {telemetry_efficiency:.4}\n  }}\n}}\n",
         rows.join(",\n"),
         shm_rows.join(",\n"),
     );

@@ -175,6 +175,8 @@ pub fn run(config: &ChaosConfig) -> ChaosReport {
                 // assertions demand every quantum polls every channel.
                 idle_skip_limit: 0,
                 drain_cap: 0,
+                telemetry: true,
+                trace_capacity: DaemonConfig::DEFAULT_TRACE_CAPACITY,
             },
             target_rate: TARGET_RATE_BPS,
             baseline_rate: TARGET_RATE_BPS,

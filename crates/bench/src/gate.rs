@@ -133,18 +133,50 @@ fn parse_keyword(bytes: &[u8], pos: &mut usize, word: &str, value: Json) -> Resu
     }
 }
 
+/// Parses exactly the JSON number grammar,
+/// `-? (0 | [1-9][0-9]*) (\.[0-9]+)? ([eE][+-]?[0-9]+)?`, consuming no
+/// byte past the match. Anything looser (the previous version slurped
+/// every sign/dot/exponent byte in sight and let `f64::parse` arbitrate)
+/// quietly accepts non-JSON forms `f64::parse` happens to like — `1.`,
+/// `01` — and turns digit soup like `1.2.3` into confusing
+/// whole-token errors instead of a clean stop at the first bad byte.
 fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
     let start = *pos;
+    let digits = |pos: &mut usize| {
+        let first = *pos;
+        while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            *pos += 1;
+        }
+        *pos > first
+    };
     if bytes.get(*pos) == Some(&b'-') {
         *pos += 1;
     }
-    while matches!(
-        bytes.get(*pos),
-        Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
-    ) {
-        *pos += 1;
+    // Integer part: a lone 0, or a nonzero digit then any digits —
+    // leading zeros are not JSON.
+    match bytes.get(*pos) {
+        Some(b'0') => *pos += 1,
+        Some(b'1'..=b'9') => {
+            digits(pos);
+        }
+        _ => return Err(format!("bad number at byte {start}: no integer digits")),
     }
-    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    if bytes.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !digits(pos) {
+            return Err(format!("bad number at byte {start}: no fraction digits"));
+        }
+    }
+    if matches!(bytes.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(bytes.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !digits(pos) {
+            return Err(format!("bad number at byte {start}: no exponent digits"));
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("number bytes are ASCII");
     text.parse::<f64>()
         .map(Json::Num)
         .map_err(|e| format!("bad number '{text}' at byte {start}: {e}"))
@@ -382,6 +414,19 @@ fn gate_multiapp(
             tolerance,
         ));
     }
+    // Telemetry overhead, same pattern: `efficiency` is the
+    // uninstrumented/instrumented ns-per-beat ratio (1.0 = free
+    // telemetry, higher is better), so the standard lower-bound check
+    // fails the gate when instrumentation gets relatively more expensive.
+    if baseline.get("telemetry").is_some() {
+        let path = ["telemetry", "efficiency"];
+        checks.push(check(
+            "telemetry.efficiency".to_string(),
+            require_f64(baseline, &path)?,
+            require_f64(current, &path)?,
+            tolerance,
+        ));
+    }
     Ok(checks)
 }
 
@@ -434,6 +479,46 @@ mod tests {
         assert!(Json::parse("{} junk").is_err());
         assert!(Json::parse("[1,]").is_err());
         assert!(Json::parse("\"open").is_err());
+    }
+
+    /// Regression: `parse_number` used to slurp every sign/dot/exponent
+    /// byte and let `f64::parse` arbitrate, accepting non-JSON forms and
+    /// mangling digit soup. Only the JSON number grammar passes now.
+    #[test]
+    fn malformed_number_rejection() {
+        for soup in [
+            "--1", "1.2.3", "1e", "1.", "01", "-01", "1e+", "1e-", "1..2", "1e5e5", "-.5", "-",
+            "0x10", "1 2",
+        ] {
+            assert!(
+                Json::parse(soup).is_err(),
+                "digit soup {soup:?} must be rejected"
+            );
+            assert!(
+                Json::parse(&format!("[{soup}]")).is_err(),
+                "digit soup {soup:?} must be rejected inside a document"
+            );
+        }
+        // The grammar still admits everything the benchmark emitters (and
+        // JSON) produce.
+        for (text, value) in [
+            ("0", 0.0),
+            ("-0", -0.0),
+            ("42", 42.0),
+            ("-17", -17.0),
+            ("41.45", 41.45),
+            ("0.001", 0.001),
+            ("1e5", 1e5),
+            ("1E5", 1e5),
+            ("1.5e-3", 1.5e-3),
+            ("-2.25E+2", -225.0),
+        ] {
+            assert_eq!(
+                Json::parse(text).unwrap().as_f64(),
+                Some(value),
+                "valid JSON number {text:?} must parse"
+            );
+        }
     }
 
     #[test]
@@ -493,6 +578,43 @@ mod tests {
         .unwrap();
         let new = Json::parse(&multiapp_doc(2.0, 1.3, 1.6)).unwrap();
         let checks = gate(&old, &new, DEFAULT_TOLERANCE).unwrap();
+        assert_eq!(checks.len(), 1);
+    }
+
+    fn multiapp_doc_with_telemetry(efficiency: f64) -> String {
+        format!(
+            r#"{{
+              "benchmark": "multiapp",
+              "points": [ {{ "apps": 1, "speedup_vs_naive": 2.0 }} ],
+              "telemetry": {{ "apps": 512, "overhead_pct": 2.0, "efficiency": {efficiency} }}
+            }}"#
+        )
+    }
+
+    #[test]
+    fn telemetry_efficiency_is_gated_when_the_baseline_has_it() {
+        let baseline = Json::parse(&multiapp_doc_with_telemetry(0.98)).unwrap();
+        // Within tolerance: telemetry 10% relatively more expensive.
+        let ok = Json::parse(&multiapp_doc_with_telemetry(0.89)).unwrap();
+        let checks = gate(&baseline, &ok, DEFAULT_TOLERANCE).unwrap();
+        assert_eq!(checks.len(), 2);
+        assert!(checks.iter().all(GateCheck::passed));
+        // Instrumentation suddenly costing ~40% fails the gate.
+        let bad = Json::parse(&multiapp_doc_with_telemetry(0.70)).unwrap();
+        let checks = gate(&baseline, &bad, DEFAULT_TOLERANCE).unwrap();
+        let telemetry = checks
+            .iter()
+            .find(|c| c.metric == "telemetry.efficiency")
+            .unwrap();
+        assert!(!telemetry.passed());
+        // And a pre-telemetry baseline skips the check entirely.
+        let old = Json::parse(
+            r#"{ "benchmark": "multiapp",
+                 "points": [ { "apps": 1, "speedup_vs_naive": 2.0 } ] }"#,
+        )
+        .unwrap();
+        let current = Json::parse(&multiapp_doc_with_telemetry(0.98)).unwrap();
+        let checks = gate(&old, &current, DEFAULT_TOLERANCE).unwrap();
         assert_eq!(checks.len(), 1);
     }
 }

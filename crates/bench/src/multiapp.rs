@@ -95,8 +95,16 @@ pub struct DaemonMultiAppLoop {
 
 impl DaemonMultiAppLoop {
     /// Builds the loop with `app_count` registered applications and
-    /// `workers` shard threads (0 = inline on the caller).
+    /// `workers` shard threads (0 = inline on the caller), telemetry on
+    /// (the production default).
     pub fn new(app_count: usize, workers: usize) -> Self {
+        Self::with_telemetry(app_count, workers, true)
+    }
+
+    /// [`DaemonMultiAppLoop::new`] with the telemetry plane switchable,
+    /// so the benchmark can price instrumented vs uninstrumented drains
+    /// (the `telemetry` section of `BENCH_multiapp.json`).
+    pub fn with_telemetry(app_count: usize, workers: usize, telemetry: bool) -> Self {
         let mut daemon = PowerDialDaemon::new(DaemonConfig {
             workers,
             channel_capacity: CHANNEL_CAPACITY,
@@ -104,6 +112,8 @@ impl DaemonMultiAppLoop {
             inline_apps: DaemonConfig::DEFAULT_INLINE_APPS,
             idle_skip_limit: 0,
             drain_cap: 0,
+            telemetry,
+            trace_capacity: DaemonConfig::DEFAULT_TRACE_CAPACITY,
         })
         .expect("valid daemon config");
         let apps = (0..app_count)
@@ -144,6 +154,12 @@ impl DaemonMultiAppLoop {
     /// Total beats processed by the daemon so far.
     pub fn total_beats(&self) -> u64 {
         self.daemon.total_beats()
+    }
+
+    /// The daemon's cold-path telemetry snapshot (empty with telemetry
+    /// off).
+    pub fn telemetry_snapshot(&mut self) -> powerdial::control::telemetry::TelemetrySnapshot {
+        self.daemon.telemetry_snapshot()
     }
 }
 
@@ -186,6 +202,8 @@ impl ShmMultiAppLoop {
             inline_apps: DaemonConfig::DEFAULT_INLINE_APPS,
             idle_skip_limit: 0,
             drain_cap: 0,
+            telemetry: true,
+            trace_capacity: DaemonConfig::DEFAULT_TRACE_CAPACITY,
         })
         .expect("valid daemon config");
         let geometry = SegmentGeometry::for_beat_samples(CHANNEL_CAPACITY)?;
@@ -279,6 +297,8 @@ impl IdleFleetLoop {
             inline_apps: DaemonConfig::DEFAULT_INLINE_APPS,
             idle_skip_limit,
             drain_cap: 0,
+            telemetry: true,
+            trace_capacity: DaemonConfig::DEFAULT_TRACE_CAPACITY,
         })
         .expect("valid daemon config");
         let apps = (0..app_count)
@@ -317,6 +337,8 @@ impl NaiveMultiAppLoop {
             inline_apps: 0,
             idle_skip_limit: 0,
             drain_cap: 0,
+            telemetry: true,
+            trace_capacity: DaemonConfig::DEFAULT_TRACE_CAPACITY,
         })
         .expect("valid daemon config");
         let apps = (0..app_count)

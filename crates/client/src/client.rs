@@ -8,6 +8,16 @@ use powerdial_heartbeats::shm::{DecisionRead, PeerState, Segment, ShmDecision, S
 use powerdial_heartbeats::{HeartbeatTag, Timestamp, TimestampDelta};
 
 use crate::error::ClientError;
+use crate::telemetry::LadderTelemetry;
+
+/// Beats between daemon-liveness probes on the beat path. A probe is one
+/// atomic load plus (while a daemon is claimed) one `kill(pid, 0)`, so
+/// probing every beat would put a syscall on a path documented as
+/// syscall-free; probing every 32nd beat bounds the cost at ~3% of beats
+/// while still opening the grace window within a fraction of any
+/// realistic [`ClientConfig::grace`] for a client that beats but rarely
+/// polls.
+const BEAT_LIVENESS_STRIDE: u32 = 32;
 
 /// One control decision, decoded from the segment's decision block.
 ///
@@ -141,6 +151,8 @@ pub struct PowerDialClient {
     reattach_attempt: u32,
     #[cfg_attr(not(all(feature = "broker", target_os = "linux")), allow(dead_code))]
     next_reattach_at: Option<Instant>,
+    beats_until_liveness_probe: u32,
+    ladder: LadderTelemetry,
 }
 
 impl PowerDialClient {
@@ -166,6 +178,8 @@ impl PowerDialClient {
             reattach_socket: None,
             reattach_attempt: 0,
             next_reattach_at: None,
+            beats_until_liveness_probe: 0,
+            ladder: LadderTelemetry::new(),
         })
     }
 
@@ -349,6 +363,14 @@ impl PowerDialClient {
     /// Emits one heartbeat at `now` (sequence tag and latency since the
     /// previous beat). Wait-free.
     ///
+    /// Every [`BEAT_LIVENESS_STRIDE`]th beat (including the first) also
+    /// probes the daemon's liveness, so a client that beats frequently
+    /// but polls [`PowerDialClient::current_decision`] rarely still
+    /// starts its grace window from roughly when the daemon died, not
+    /// from whenever the next poll happens to look. The probe is skipped
+    /// once a loss is already on record — nothing further to learn on
+    /// this path; recovery is observed by the decision polls.
+    ///
     /// # Errors
     ///
     /// Returns the rejected record when the ring is full (backpressure —
@@ -360,6 +382,17 @@ impl PowerDialClient {
     ///
     /// Panics if `now` precedes the previous beat.
     pub fn beat(&mut self, now: Timestamp) -> Result<(), BeatSample> {
+        self.beat_at(now, Instant::now)
+    }
+
+    /// [`PowerDialClient::beat`] with an injected clock for the liveness
+    /// observation (tests). The clock is only consulted when a daemon
+    /// loss must be stamped.
+    fn beat_at(
+        &mut self,
+        now: Timestamp,
+        clock: impl FnOnce() -> Instant,
+    ) -> Result<(), BeatSample> {
         let latency = match self.last_timestamp {
             Some(last) => now - last,
             None => TimestampDelta::ZERO,
@@ -371,7 +404,31 @@ impl PowerDialClient {
         };
         self.next_tag = self.next_tag.next();
         self.last_timestamp = Some(now);
+        if self.daemon_lost_at.is_none() {
+            if self.beats_until_liveness_probe == 0 {
+                self.beats_until_liveness_probe = BEAT_LIVENESS_STRIDE - 1;
+                let daemon_alive = self.producer.consumer_state().is_alive();
+                self.note_liveness(daemon_alive, clock);
+            } else {
+                self.beats_until_liveness_probe -= 1;
+            }
+        }
         self.producer.try_push(sample)
+    }
+
+    /// Folds one liveness observation into the grace-window state: a live
+    /// daemon arms (or re-arms) the window and closes any open loss; the
+    /// first dead observation after life stamps [`Self::daemon_lost_at`],
+    /// from which [`ClientConfig::grace`] is measured. Shared by the beat
+    /// and decision-poll paths so the window opens from the *first*
+    /// observation of the death, whichever path makes it.
+    fn note_liveness(&mut self, daemon_alive: bool, clock: impl FnOnce() -> Instant) {
+        if daemon_alive {
+            self.daemon_seen_alive = true;
+            self.daemon_lost_at = None;
+        } else if self.daemon_seen_alive && self.daemon_lost_at.is_none() {
+            self.daemon_lost_at = Some(clock());
+        }
     }
 
     /// The decision the application should apply *right now*, with its
@@ -390,9 +447,11 @@ impl PowerDialClient {
     /// 4. otherwise the safe decision is [`DecisionSource::SafeState`]:
     ///    no decision was ever read, or no reattach path remains.
     ///
-    /// The grace window opens when this call *observes* the daemon's
-    /// death (liveness is polled here, not watched), and closes again if
-    /// a daemon returns. While the daemon is observed dead and a reattach
+    /// The grace window opens at the first *observation* of the daemon's
+    /// death — by this call or by a liveness probe on the
+    /// [`PowerDialClient::beat`] path (liveness is polled, not watched) —
+    /// and closes again if a daemon returns. While the daemon is observed
+    /// dead and a reattach
     /// socket is configured, each poll may additionally fire one
     /// rate-limited reattach handshake (doubling backoff with
     /// deterministic per-process jitter) offering this segment back to a
@@ -410,15 +469,19 @@ impl PowerDialClient {
         if !daemon_alive && self.try_reattach(now) {
             daemon_alive = self.producer.consumer_state().is_alive();
         }
+        self.note_liveness(daemon_alive, || now);
         if daemon_alive {
-            self.daemon_seen_alive = true;
-            self.daemon_lost_at = None;
             self.reattach_attempt = 0;
             self.next_reattach_at = None;
-        } else if self.daemon_seen_alive && self.daemon_lost_at.is_none() {
-            self.daemon_lost_at = Some(now);
         }
 
+        let current = self.decide(daemon_alive, now);
+        self.ladder.observe(current.source, now);
+        current
+    }
+
+    /// The ladder walk proper, given this poll's liveness verdict.
+    fn decide(&mut self, daemon_alive: bool, now: Instant) -> CurrentDecision {
         if let DecisionRead::Ready(shm) = self.producer.read_decision() {
             let decision = Decision::from_shm(&shm);
             self.last_known_good = Some(decision);
@@ -450,6 +513,14 @@ impl PowerDialClient {
                 source: DecisionSource::SafeState,
             },
         }
+    }
+
+    /// Poll counters and rung-transition history for this client's
+    /// degradation ladder, maintained by
+    /// [`PowerDialClient::current_decision`]. Allocation-free to read;
+    /// see [`crate::telemetry`].
+    pub fn ladder_telemetry(&self) -> &LadderTelemetry {
+        &self.ladder
     }
 
     /// Liveness of the daemon (consumer) side of the segment.
@@ -631,6 +702,120 @@ mod tests {
         let current = client.current_decision_at(observed + grace);
         assert_eq!(current.source, DecisionSource::SafeState);
         assert_eq!(current.decision, Decision::IDENTITY);
+    }
+
+    /// Regression: the grace window used to open only when
+    /// `current_decision()` happened to observe the death, so a client
+    /// that beat frequently but polled rarely served `LastKnownGood` far
+    /// beyond `config.grace`. The beat path now probes liveness too, so
+    /// the window is measured from the beat that saw the daemon dead.
+    #[test]
+    fn beat_only_grace_expiry() {
+        let segment = segment(16);
+        let consumer = ShmConsumer::attach(Arc::clone(&segment)).unwrap();
+        let grace = Duration::from_secs(3600);
+        let mut client =
+            PowerDialClient::attach_segment(Arc::clone(&segment), config_with_grace(grace))
+                .unwrap();
+        consumer.publish_decision(decision(5, 1.75));
+        assert_eq!(client.current_decision().source, DecisionSource::Published);
+
+        // The daemon is SIGKILLed; the application keeps beating but does
+        // not poll for a long time.
+        segment
+            .header()
+            .consumer_pid
+            .store(0x7FFF_FF00, Ordering::Release);
+        let outage_observed = Instant::now();
+        client
+            .beat_at(Timestamp::from_millis(40), || outage_observed)
+            .unwrap();
+        assert_eq!(
+            client.daemon_lost_at,
+            Some(outage_observed),
+            "the beat's liveness probe must open the grace window"
+        );
+
+        // The first poll lands a full grace window after that beat: the
+        // stale decision must NOT be served (pre-fix, this poll was the
+        // first observation, so the window opened here and the client
+        // served LastKnownGood for another `grace`).
+        let late = client.current_decision_at(outage_observed + grace);
+        assert_eq!(late.source, DecisionSource::SafeState);
+        assert_eq!(late.decision, Decision::IDENTITY);
+
+        // Within the window (clock injected earlier than the poll above,
+        // which is fine — `daemon_lost_at` is already pinned) the stale
+        // decision is still served, i.e. the window really started at the
+        // beat, it did not slam shut.
+        let mid = client.current_decision_at(outage_observed + grace / 2);
+        assert_eq!(mid.source, DecisionSource::LastKnownGood);
+        assert_eq!(mid.decision.point_idx, 5);
+    }
+
+    /// The beat-path probe runs on a stride: beats between probes must
+    /// not touch liveness state (and must not pay the probe's syscall).
+    #[test]
+    fn beat_liveness_probe_is_strided() {
+        let segment = segment(256);
+        let consumer = ShmConsumer::attach(Arc::clone(&segment)).unwrap();
+        let grace = Duration::from_secs(3600);
+        let mut client =
+            PowerDialClient::attach_segment(Arc::clone(&segment), config_with_grace(grace))
+                .unwrap();
+        consumer.publish_decision(decision(1, 1.5));
+        assert_eq!(client.current_decision().source, DecisionSource::Published);
+
+        // Beat 0 probes (counter starts at 0) while the daemon lives.
+        client.beat(Timestamp::from_millis(0)).unwrap();
+        segment
+            .header()
+            .consumer_pid
+            .store(0x7FFF_FF00, Ordering::Release);
+        // Beats 1..BEAT_LIVENESS_STRIDE-1 are between probes: the death
+        // goes unobserved.
+        for beat in 1..u64::from(BEAT_LIVENESS_STRIDE) {
+            client.beat(Timestamp::from_millis(beat * 10)).unwrap();
+            assert_eq!(client.daemon_lost_at, None, "beat {beat} must not probe");
+        }
+        // The next beat is the stride boundary: the probe fires and the
+        // grace window opens.
+        client
+            .beat(Timestamp::from_millis(u64::from(BEAT_LIVENESS_STRIDE) * 10))
+            .unwrap();
+        assert!(
+            client.daemon_lost_at.is_some(),
+            "stride-boundary beat must probe and observe the death"
+        );
+    }
+
+    #[test]
+    fn ladder_telemetry_records_poll_outcomes_and_transitions() {
+        let segment = segment(16);
+        let consumer = ShmConsumer::attach(Arc::clone(&segment)).unwrap();
+        let mut client = PowerDialClient::attach_segment(
+            Arc::clone(&segment),
+            config_with_grace(Duration::ZERO),
+        )
+        .unwrap();
+        consumer.publish_decision(decision(2, 1.25));
+        client.current_decision();
+        client.current_decision();
+        segment
+            .header()
+            .consumer_pid
+            .store(0x7FFF_FF00, Ordering::Release);
+        client.current_decision();
+
+        let ladder = client.ladder_telemetry();
+        assert_eq!(ladder.polls(DecisionSource::Published), 2);
+        assert_eq!(ladder.polls(DecisionSource::SafeState), 1);
+        assert_eq!(ladder.total_polls(), 3);
+        assert_eq!(ladder.current_rung(), Some(DecisionSource::SafeState));
+        let transitions: Vec<_> = ladder.transitions().collect();
+        assert_eq!(transitions.len(), 1);
+        assert_eq!(transitions[0].from, DecisionSource::Published);
+        assert_eq!(transitions[0].to, DecisionSource::SafeState);
     }
 
     #[test]

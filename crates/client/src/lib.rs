@@ -53,7 +53,15 @@
 //!   last-known-good decision persists for a configurable **grace
 //!   window** ([`ClientConfig::grace`]), then the client serves the
 //!   configured **safe state** ([`ClientConfig::safe_decision`]) — the
-//!   paper's baseline configuration by default;
+//!   paper's baseline configuration by default. The window is measured
+//!   from the *first* observation of the death on **any** client path:
+//!   decision polls observe liveness directly, and the beat path probes
+//!   it on a stride, so a client that beats frequently but polls rarely
+//!   still ages out its stale decision on schedule instead of serving it
+//!   for up to a full poll interval past the grace deadline;
+//! * every poll also feeds an allocation-free ladder record
+//!   ([`LadderTelemetry`]): per-rung poll counters plus a ring of the
+//!   recent rung transitions, for post-hoc outage timelines;
 //! * while the daemon is gone, a client that registered through the
 //!   broker (or opted in via
 //!   [`PowerDialClient::set_reattach_socket`](PowerDialClient)) offers
@@ -85,6 +93,8 @@
 
 mod client;
 mod error;
+pub mod telemetry;
 
 pub use client::{ClientConfig, CurrentDecision, Decision, DecisionSource, PowerDialClient};
 pub use error::ClientError;
+pub use telemetry::{LadderTelemetry, LadderTransition, LADDER_TRANSITION_CAPACITY};

@@ -52,6 +52,8 @@ fn inline_daemon() -> PowerDialDaemon {
         inline_apps: 0,
         idle_skip_limit: 0,
         drain_cap: 0,
+        telemetry: true,
+        trace_capacity: DaemonConfig::DEFAULT_TRACE_CAPACITY,
     })
     .unwrap()
 }

@@ -59,6 +59,8 @@ fn fork_daemon(segment: &Arc<Segment>) -> powerdial_heartbeats::shm::process::Fo
                 inline_apps: 0,
                 idle_skip_limit: 0,
                 drain_cap: 0,
+                telemetry: true,
+                trace_capacity: DaemonConfig::DEFAULT_TRACE_CAPACITY,
             }) else {
                 return 2;
             };

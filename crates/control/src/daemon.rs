@@ -99,11 +99,15 @@ use powerdial_heartbeats::channel::{beat_channel, BeatConsumer, BeatSample, Beat
 use powerdial_heartbeats::shm::{
     DecisionRead, ShmConsumer, ShmDecision, ShmPeerProbe, ShmWarmState, WarmRead,
 };
+use powerdial_heartbeats::telemetry::{
+    DecisionTraceRecord, DecisionTraceRing, LatencyHistogram, TraceReason,
+};
 use powerdial_heartbeats::{BeatProducer, HeartbeatTag, SlidingWindow, Timestamp};
 use powerdial_knobs::{KnobTable, PointIdx};
 
 use crate::error::ControlError;
 use crate::runtime::{IndexedDecision, PowerDialRuntime, RuntimeConfig};
+use crate::telemetry::{AppTelemetryReport, ShardTelemetry, TelemetrySnapshot, QOS_PPM_SCALE};
 
 /// Identifier of an application registered with a [`PowerDialDaemon`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -113,6 +117,12 @@ impl AppId {
     /// Returns the raw identifier value.
     pub const fn value(self) -> u64 {
         self.0
+    }
+
+    /// Rebuilds an id from its raw value (for the telemetry tests).
+    #[cfg(test)]
+    pub(crate) const fn from_raw(value: u64) -> Self {
+        AppId(value)
     }
 }
 
@@ -144,6 +154,17 @@ pub struct DaemonConfig {
     /// Maximum beats drained from one app per quantum (the fairness cap);
     /// excess beats stay queued for the next quantum. `0` means uncapped.
     pub drain_cap: usize,
+    /// Telemetry instrumentation (on by default): per-app beat-latency
+    /// and QoS-loss histograms recorded on the drain path (allocation-
+    /// free; see [`powerdial_heartbeats::telemetry`]) plus a per-shard
+    /// decision trace, exported off the drain path by
+    /// [`PowerDialDaemon::telemetry_snapshot`]. Disable only when the
+    /// last few ns/beat matter more than observability.
+    pub telemetry: bool,
+    /// Capacity, in records, of each shard's [`DecisionTraceRing`].
+    /// Ignored (no ring) when `telemetry` is off; `0` keeps histograms
+    /// but disables tracing.
+    pub trace_capacity: usize,
 }
 
 impl DaemonConfig {
@@ -154,6 +175,10 @@ impl DaemonConfig {
     /// Default [`DaemonConfig::inline_apps`]: fleets up to this size never
     /// pay a cross-thread round trip per tick.
     pub const DEFAULT_INLINE_APPS: usize = 4;
+
+    /// Default [`DaemonConfig::trace_capacity`]: a few dozen quanta of
+    /// history per shard at fleet scale, a few KiB of fixed storage.
+    pub const DEFAULT_TRACE_CAPACITY: usize = 256;
 
     /// A configuration with `workers` worker threads and the default
     /// channel capacity and window size.
@@ -191,6 +216,8 @@ impl Default for DaemonConfig {
             inline_apps: DaemonConfig::DEFAULT_INLINE_APPS,
             idle_skip_limit: 0,
             drain_cap: 0,
+            telemetry: true,
+            trace_capacity: DaemonConfig::DEFAULT_TRACE_CAPACITY,
         }
     }
 }
@@ -581,6 +608,46 @@ impl ControlState {
     }
 }
 
+/// Per-app hot-path telemetry: the two fixed-footprint histograms the
+/// drain loop records into, boxed so an `AppSlot` stays small for the
+/// shard's slot-scan locality (the box is one pointer; the histograms
+/// are ~8 KiB that only the owning app's drain touches).
+#[derive(Debug)]
+struct SlotTelemetry {
+    /// Per-beat latency distribution, nanoseconds.
+    beat_latency_ns: LatencyHistogram,
+    /// Per-quantum expected QoS loss, parts per million.
+    qos_loss_ppm: LatencyHistogram,
+    /// Timestamp of the last beat folded into a decision (stamps the
+    /// trace record of a reap/unregister, which has no beat of its own).
+    last_beat: Timestamp,
+    /// Set for an adopted app until its first processed quantum, whose
+    /// trace record is tagged [`TraceReason::WarmStart`].
+    warm_start_pending: bool,
+}
+
+impl SlotTelemetry {
+    fn new(warm_start_pending: bool) -> Box<SlotTelemetry> {
+        Box::new(SlotTelemetry {
+            beat_latency_ns: LatencyHistogram::new(),
+            qos_loss_ppm: LatencyHistogram::new(),
+            last_beat: Timestamp::from_nanos(0),
+            warm_start_pending,
+        })
+    }
+
+    /// Warms the histogram cache lines `record_telemetry` will touch.
+    /// At fleet scale the per-app histograms exceed L2, so the drain
+    /// loop issues this right after draining — the decision kernel's
+    /// work then overlaps the line fills instead of the record path
+    /// stalling on them.
+    #[inline]
+    fn prefetch(&self) {
+        self.beat_latency_ns.prefetch();
+        self.qos_loss_ppm.prefetch();
+    }
+}
+
 /// One application owned by a shard: its beat source plus control state.
 #[derive(Debug)]
 struct AppSlot {
@@ -591,6 +658,8 @@ struct AppSlot {
     silent_streak: u32,
     /// Quanta left to skip before the next poll of an idle app.
     skip_countdown: u32,
+    /// Hot-path metric state; `None` when telemetry is disabled.
+    telemetry: Option<Box<SlotTelemetry>>,
 }
 
 /// Quanta per scratch-shrink epoch: the amortization period of the
@@ -621,6 +690,8 @@ pub struct DaemonShard {
     epoch_peak: usize,
     /// Quanta run in the current shrink epoch.
     epoch_quanta: u32,
+    /// Decision trace of this shard's apps (capacity 0 = disabled).
+    trace: DecisionTraceRing,
 }
 
 impl DaemonShard {
@@ -632,11 +703,22 @@ impl DaemonShard {
 
     /// Creates an empty shard with the given idle-skip threshold and drain
     /// cap (see [`DaemonConfig::idle_skip_limit`] and
-    /// [`DaemonConfig::drain_cap`]).
+    /// [`DaemonConfig::drain_cap`]), without a decision trace.
     pub fn with_tuning(idle_skip_limit: u32, drain_cap: usize) -> Self {
         DaemonShard {
             idle_skip_limit,
             drain_cap,
+            ..DaemonShard::default()
+        }
+    }
+
+    /// [`DaemonShard::with_tuning`] plus a decision-trace ring of
+    /// `trace_capacity` records (see [`DaemonConfig::trace_capacity`]).
+    pub fn with_telemetry(idle_skip_limit: u32, drain_cap: usize, trace_capacity: usize) -> Self {
+        DaemonShard {
+            idle_skip_limit,
+            drain_cap,
+            trace: DecisionTraceRing::with_capacity(trace_capacity),
             ..DaemonShard::default()
         }
     }
@@ -675,6 +757,37 @@ impl DaemonShard {
                     consumer.reset_decision();
                     consumer.reset_warm_state();
                 }
+                if let Some(telemetry) = &slot.telemetry {
+                    let shared = &slot.control.shared;
+                    self.trace.push(DecisionTraceRecord {
+                        seq: 0,
+                        timestamp: telemetry.last_beat,
+                        app: slot.id.value(),
+                        point_idx: shared.decision.load(Ordering::Acquire) as u32,
+                        reason: TraceReason::SafeReset,
+                        gain: f64::from_bits(shared.gain_bits.load(Ordering::Acquire)),
+                        achieved_speedup: f64::from_bits(
+                            shared.achieved_speedup_bits.load(Ordering::Acquire),
+                        ),
+                        qos_loss: f64::from_bits(shared.qos_loss_bits.load(Ordering::Acquire)),
+                    });
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Resets an app's idle-skip bookkeeping so the next quantum polls
+    /// its transport unconditionally. Used by the reaper when a skipped
+    /// slot's producer died with beats still pending — the countdown
+    /// must not delay draining (and thus reaping) the corpse. Returns
+    /// `false` when the shard does not own `id`.
+    fn wake(&mut self, id: AppId) -> bool {
+        match self.apps.iter_mut().find(|slot| slot.id == id) {
+            Some(slot) => {
+                slot.silent_streak = 0;
+                slot.skip_countdown = 0;
                 true
             }
             None => false,
@@ -756,14 +869,98 @@ impl DaemonShard {
                 continue;
             };
             peak = peak.max(drained);
+            if drained > 0 {
+                if let Some(telemetry) = &slot.telemetry {
+                    telemetry.prefetch();
+                }
+            }
             let processed = slot
                 .control
                 .process_drained_batched(&self.scratch, &mut self.lat_scratch);
             beats += processed;
             Self::publish_shm(slot, processed);
+            Self::record_telemetry(slot, &self.scratch, &mut self.trace, processed);
         }
         self.maintain_scratch(peak);
         beats
+    }
+
+    /// Hot-path telemetry tail of a processed drain: fold each observed
+    /// beat latency and the quantum's QoS loss into the slot's
+    /// histograms, and append one decision-trace record. Histogram
+    /// records and the ring push are allocation-free (the `no_alloc`
+    /// suites run with telemetry enabled); a disabled slot costs one
+    /// `None` check.
+    #[inline]
+    fn record_telemetry(
+        slot: &mut AppSlot,
+        samples: &[BeatSample],
+        trace: &mut DecisionTraceRing,
+        processed: u64,
+    ) {
+        let Some(telemetry) = slot.telemetry.as_deref_mut() else {
+            return;
+        };
+        if processed == 0 {
+            return;
+        }
+        // First-beat zero latency is a convention, not an observation
+        // (the same tag-0 rule the control window applies).
+        telemetry.beat_latency_ns.record_all(
+            samples
+                .iter()
+                .filter(|sample| sample.tag.value() != 0)
+                .map(|sample| sample.latency.as_nanos()),
+        );
+        let shared = &slot.control.shared;
+        let qos_loss = f64::from_bits(shared.qos_loss_bits.load(Ordering::Acquire));
+        let qos_ppm = if qos_loss.is_finite() && qos_loss > 0.0 {
+            (qos_loss * QOS_PPM_SCALE) as u64
+        } else {
+            0
+        };
+        telemetry.qos_loss_ppm.record(qos_ppm);
+        if let Some(last) = samples.last() {
+            telemetry.last_beat = last.timestamp;
+        }
+        let reason = if telemetry.warm_start_pending {
+            telemetry.warm_start_pending = false;
+            TraceReason::WarmStart
+        } else {
+            TraceReason::Boundary
+        };
+        trace.push(DecisionTraceRecord {
+            seq: 0,
+            timestamp: telemetry.last_beat,
+            app: slot.id.value(),
+            point_idx: shared.decision.load(Ordering::Acquire) as u32,
+            reason,
+            gain: f64::from_bits(shared.gain_bits.load(Ordering::Acquire)),
+            achieved_speedup: f64::from_bits(shared.achieved_speedup_bits.load(Ordering::Acquire)),
+            qos_loss,
+        });
+    }
+
+    /// Clones this shard's telemetry (per-app histograms + trace) for a
+    /// snapshot. Cold path: runs between quanta, allocates freely, and
+    /// never perturbs the histograms it copies.
+    pub fn telemetry(&self) -> ShardTelemetry {
+        ShardTelemetry {
+            apps: self
+                .apps
+                .iter()
+                .filter_map(|slot| {
+                    let telemetry = slot.telemetry.as_deref()?;
+                    Some(AppTelemetryReport {
+                        app: slot.id,
+                        beats: slot.control.shared.beats_processed.load(Ordering::Acquire),
+                        beat_latency_ns: telemetry.beat_latency_ns.clone(),
+                        qos_loss_ppm: telemetry.qos_loss_ppm.clone(),
+                    })
+                })
+                .collect(),
+            trace: self.trace.to_vec(),
+        }
     }
 
     /// Re-publication of a processed quantum's decision through an shm
@@ -820,6 +1017,11 @@ impl DaemonShard {
                 continue;
             };
             peak = peak.max(drained);
+            if drained > 0 {
+                if let Some(telemetry) = &slot.telemetry {
+                    telemetry.prefetch();
+                }
+            }
             let processed = slot
                 .control
                 .process_drained(slot.id, &self.scratch, on_decision);
@@ -831,6 +1033,7 @@ impl DaemonShard {
             // decision seen via shm is bit-identical to the in-process
             // view by construction.
             Self::publish_shm(slot, processed);
+            Self::record_telemetry(slot, &self.scratch, &mut self.trace, processed);
         }
         self.maintain_scratch(peak);
         beats
@@ -859,6 +1062,11 @@ impl DaemonShard {
 enum Command {
     Register(Box<AppSlot>),
     Unregister(AppId),
+    /// Reset an app's idle-skip state so the next tick polls it.
+    Wake(AppId),
+    /// Send the shard's telemetry back on the provided channel (the ack
+    /// still follows, as for every command).
+    Telemetry(mpsc::Sender<ShardTelemetry>),
     Tick,
     Shutdown,
 }
@@ -936,6 +1144,10 @@ pub struct PowerDialDaemon {
     /// Reused buffer for [`PowerDialDaemon::reap_dead`]'s dead-app scan —
     /// the every-supervision-cycle empty case touches no allocator.
     reap_scratch: Vec<AppId>,
+    /// Reused buffer for the reaper's wake pass (dead producer, beats
+    /// still pending, slot possibly idle-skipped): `(app, worker)` pairs
+    /// whose skip state must be cleared so the next tick drains them.
+    wake_scratch: Vec<(AppId, usize)>,
 }
 
 /// Facade-side record of one registered app: which shard owns it, plus —
@@ -975,9 +1187,22 @@ impl PowerDialDaemon {
                 let (command_tx, command_rx) = mpsc::channel::<Command>();
                 let (ack_tx, ack_rx) = mpsc::channel::<u64>();
                 let (idle_skip_limit, drain_cap) = (config.idle_skip_limit, config.drain_cap);
+                let trace_capacity = if config.telemetry {
+                    config.trace_capacity
+                } else {
+                    0
+                };
                 let thread = std::thread::Builder::new()
                     .name(format!("powerdial-shard-{index}"))
-                    .spawn(move || worker_main(command_rx, ack_tx, idle_skip_limit, drain_cap))
+                    .spawn(move || {
+                        worker_main(
+                            command_rx,
+                            ack_tx,
+                            idle_skip_limit,
+                            drain_cap,
+                            trace_capacity,
+                        )
+                    })
                     .expect("spawn daemon worker");
                 Worker {
                     commands: command_tx,
@@ -992,7 +1217,15 @@ impl PowerDialDaemon {
         Ok(PowerDialDaemon {
             config,
             workers,
-            inline_shard: DaemonShard::with_tuning(config.idle_skip_limit, config.drain_cap),
+            inline_shard: DaemonShard::with_telemetry(
+                config.idle_skip_limit,
+                config.drain_cap,
+                if config.telemetry {
+                    config.trace_capacity
+                } else {
+                    0
+                },
+            ),
             placements: HashMap::new(),
             next_id: 0,
             next_worker: 0,
@@ -1000,6 +1233,7 @@ impl PowerDialDaemon {
             ticks: 0,
             tick_pending,
             reap_scratch: Vec::new(),
+            wake_scratch: Vec::new(),
         })
     }
 
@@ -1213,8 +1447,16 @@ impl PowerDialDaemon {
                 decisions,
                 seed_rate,
             },
+            // Fresh slots always start with cleared idle-skip bookkeeping
+            // — in particular an *adopted* segment must not inherit a
+            // predecessor's skip streak, or its backlog of outage beats
+            // would wait out a countdown it never earned.
             silent_streak: 0,
             skip_countdown: 0,
+            telemetry: self
+                .config
+                .telemetry
+                .then(|| SlotTelemetry::new(warm.is_some())),
         };
         let worker = match self.pick_worker() {
             None => {
@@ -1300,7 +1542,12 @@ impl PowerDialDaemon {
     /// segment, so the reap protocol is: [`PowerDialDaemon::tick`] first
     /// (collect the stragglers), then `reap_dead`. An app with a dead
     /// producer but pending beats is deliberately left for the next
-    /// tick+reap round rather than losing its tail.
+    /// tick+reap round rather than losing its tail — but its idle-skip
+    /// state is cleared here, so that next tick is guaranteed to drain
+    /// it even if the slot was deep in a skip countdown (liveness is
+    /// probed from the façade and is independent of skip state; without
+    /// the wake, a SIGKILLed producer behind an idle-skipped segment
+    /// would sit unreaped for up to `idle_skip_limit` extra quanta).
     /// Called every supervision cycle, so the overwhelmingly common
     /// nothing-is-dead case is allocation-free: the scan reuses an
     /// internal scratch buffer and returns an empty `Vec` (which holds no
@@ -1309,11 +1556,32 @@ impl PowerDialDaemon {
     /// allocation is handed to the caller).
     pub fn reap_dead(&mut self) -> Vec<AppId> {
         self.reap_scratch.clear();
+        self.wake_scratch.clear();
         for (id, placement) in &self.placements {
             if let Some(probe) = placement.probe.as_ref() {
-                if probe.producer_state().is_dead() && probe.pending() == 0 {
-                    self.reap_scratch.push(AppId(*id));
+                // Liveness is probed from the façade, so a slot deep in
+                // an idle-skip streak is judged exactly like any other —
+                // skipping a poll must never postpone noticing a death.
+                if probe.producer_state().is_dead() {
+                    if probe.pending() == 0 {
+                        self.reap_scratch.push(AppId(*id));
+                    } else {
+                        // The producer died with beats still in the ring.
+                        // Clear the slot's skip countdown so the *next*
+                        // tick drains the stragglers and the reap after
+                        // it collects the corpse — instead of idling out
+                        // up to `idle_skip_limit` quanta first.
+                        self.wake_scratch.push((AppId(*id), placement.worker));
+                    }
                 }
+            }
+        }
+        for index in 0..self.wake_scratch.len() {
+            let (id, worker) = self.wake_scratch[index];
+            if worker == usize::MAX {
+                self.inline_shard.wake(id);
+            } else {
+                self.command(worker, Command::Wake(id));
             }
         }
         if self.reap_scratch.is_empty() {
@@ -1406,6 +1674,40 @@ impl PowerDialDaemon {
         self.ticks
     }
 
+    /// Collects a [`TelemetrySnapshot`] across every shard: per-app
+    /// beat-latency and QoS-loss histograms, exact fleet-wide rollups,
+    /// and the merged decision trace. Render it with
+    /// [`TelemetrySnapshot::to_json`].
+    ///
+    /// Cold path by design: the walk runs between quanta (worker shards
+    /// answer a `Telemetry` command from their command loop, the inline
+    /// shard is read directly), clones histogram state rather than
+    /// draining it, and is the one telemetry operation allowed to
+    /// allocate. Dead workers are skipped — their apps' metrics are
+    /// absent from the snapshot, matching the daemon's degraded-shard
+    /// contract. With [`DaemonConfig::telemetry`] off the snapshot is
+    /// empty (no apps, no trace).
+    pub fn telemetry_snapshot(&mut self) -> TelemetrySnapshot {
+        let mut shards = Vec::with_capacity(self.workers.len() + 1);
+        shards.push(self.inline_shard.telemetry());
+        for index in 0..self.workers.len() {
+            if self.workers[index].dead || self.workers[index].apps == 0 {
+                continue;
+            }
+            let (reply_tx, reply_rx) = mpsc::channel();
+            if self.command(index, Command::Telemetry(reply_tx)).is_none() {
+                continue;
+            }
+            // The ack arrived, so the worker's send preceded it; a recv
+            // failure here means the receiver outlived a poisoned send
+            // and the shard contributed nothing.
+            if let Ok(shard) = reply_rx.try_recv() {
+                shards.push(shard);
+            }
+        }
+        TelemetrySnapshot::from_shards(self.ticks, self.total_beats, shards)
+    }
+
     /// Worker threads in use (0 = inline mode).
     pub fn workers(&self) -> usize {
         self.workers.len()
@@ -1473,8 +1775,9 @@ fn worker_main(
     acks: mpsc::Sender<u64>,
     idle_skip_limit: u32,
     drain_cap: usize,
+    trace_capacity: usize,
 ) {
-    let mut shard = DaemonShard::with_tuning(idle_skip_limit, drain_cap);
+    let mut shard = DaemonShard::with_telemetry(idle_skip_limit, drain_cap, trace_capacity);
     while let Ok(command) = commands.recv() {
         let ack = match command {
             Command::Register(slot) => {
@@ -1482,6 +1785,14 @@ fn worker_main(
                 0
             }
             Command::Unregister(id) => u64::from(shard.remove(id)),
+            Command::Wake(id) => u64::from(shard.wake(id)),
+            Command::Telemetry(reply) => {
+                // A dropped receiver just means the façade gave up on
+                // the snapshot; the ack below keeps the protocol in
+                // lockstep either way.
+                let _ = reply.send(shard.telemetry());
+                0
+            }
             Command::Tick => shard.run_quantum(),
             Command::Shutdown => break,
         };
@@ -1787,6 +2098,8 @@ mod tests {
             inline_apps: 0,
             idle_skip_limit: 0,
             drain_cap: 0,
+            telemetry: true,
+            trace_capacity: DaemonConfig::DEFAULT_TRACE_CAPACITY,
         })
         .unwrap()
     }
@@ -1801,6 +2114,8 @@ mod tests {
                 inline_apps: 0,
                 idle_skip_limit: 0,
                 drain_cap: 0,
+                telemetry: true,
+                trace_capacity: DaemonConfig::DEFAULT_TRACE_CAPACITY,
             }),
             Err(ControlError::ZeroChannelCapacity)
         ));
@@ -1812,6 +2127,8 @@ mod tests {
                 inline_apps: 0,
                 idle_skip_limit: 0,
                 drain_cap: 0,
+                telemetry: true,
+                trace_capacity: DaemonConfig::DEFAULT_TRACE_CAPACITY,
             }),
             Err(ControlError::ZeroWindowSize)
         ));
@@ -1862,6 +2179,8 @@ mod tests {
             inline_apps: 0,
             idle_skip_limit: 0,
             drain_cap: 0,
+            telemetry: true,
+            trace_capacity: DaemonConfig::DEFAULT_TRACE_CAPACITY,
         })
         .unwrap();
         let mut inline = inline_daemon();
@@ -1918,6 +2237,8 @@ mod tests {
                 inline_apps: 0,
                 idle_skip_limit: 0,
                 drain_cap: 0,
+                telemetry: true,
+                trace_capacity: DaemonConfig::DEFAULT_TRACE_CAPACITY,
             })
             .unwrap();
             let mut a = daemon.register(runtime_config(), test_table()).unwrap();
@@ -1951,6 +2272,8 @@ mod tests {
             inline_apps: 0,
             idle_skip_limit: 0,
             drain_cap: 0,
+            telemetry: true,
+            trace_capacity: DaemonConfig::DEFAULT_TRACE_CAPACITY,
         })
         .unwrap();
 
@@ -2073,6 +2396,73 @@ mod tests {
         assert!(daemon.reap_dead().is_empty(), "reap is idempotent");
     }
 
+    /// Regression: idle-skip used to starve death detection. A producer
+    /// SIGKILLed while its slot was deep in a skip countdown left its
+    /// final beats undrained for up to `idle_skip_limit` further quanta
+    /// (the skipped drains never touched the transport), postponing the
+    /// reap by the same amount. `reap_dead` now probes liveness
+    /// independently of skip state and wakes the slot, so the next
+    /// tick+reap round collects the corpse.
+    #[test]
+    fn killed_producer_behind_idle_skipped_slot_is_reaped_promptly() {
+        use powerdial_heartbeats::shm::{Segment, SegmentGeometry, ShmConsumer, ShmProducer};
+        use std::sync::atomic::Ordering;
+
+        let limit = 8u32;
+        let mut daemon = PowerDialDaemon::new(DaemonConfig {
+            workers: 0,
+            channel_capacity: 64,
+            window_size: 20,
+            inline_apps: 0,
+            idle_skip_limit: limit,
+            drain_cap: 0,
+            telemetry: true,
+            trace_capacity: DaemonConfig::DEFAULT_TRACE_CAPACITY,
+        })
+        .unwrap();
+
+        let segment =
+            Arc::new(Segment::create(SegmentGeometry::for_beat_samples(16).unwrap()).unwrap());
+        let mut producer = ShmProducer::attach(Arc::clone(&segment)).unwrap();
+        let consumer = ShmConsumer::attach(Arc::clone(&segment)).unwrap();
+        let view = daemon
+            .register_shm(runtime_config(), test_table(), consumer)
+            .unwrap();
+
+        // Idle the app until its slot is mid skip-countdown: `limit` empty
+        // polls build the streak, one more arms the countdown, one more
+        // starts consuming it.
+        for _ in 0..limit + 2 {
+            assert_eq!(daemon.tick(), 0);
+        }
+
+        // The producer publishes two last beats and is SIGKILLed.
+        for tag in 0..2u64 {
+            producer
+                .try_push(BeatSample {
+                    tag: HeartbeatTag(tag),
+                    timestamp: Timestamp::from_millis(tag * 40),
+                    latency: powerdial_heartbeats::TimestampDelta::from_millis(40 * tag.min(1)),
+                })
+                .unwrap();
+        }
+        segment
+            .header()
+            .producer_pid
+            .store(0x7FFF_FF00, Ordering::Release);
+
+        // The reaper sees the death through the skip state. No reap yet —
+        // the tail is pending — but the slot is woken.
+        assert!(daemon.reap_dead().is_empty());
+        // The very next tick drains the stragglers despite the countdown
+        // (pre-fix: up to `limit` zero-beat quanta first)...
+        assert_eq!(daemon.tick(), 2, "wake must defeat the skip countdown");
+        assert_eq!(view.beats_processed(), 2);
+        // ...and the reap right after it collects the corpse.
+        assert_eq!(daemon.reap_dead(), vec![view.id()]);
+        assert_eq!(daemon.app_count(), 0);
+    }
+
     #[test]
     fn backpressure_surfaces_on_full_channel() {
         let mut daemon = PowerDialDaemon::new(DaemonConfig {
@@ -2082,6 +2472,8 @@ mod tests {
             inline_apps: 0,
             idle_skip_limit: 0,
             drain_cap: 0,
+            telemetry: true,
+            trace_capacity: DaemonConfig::DEFAULT_TRACE_CAPACITY,
         })
         .unwrap();
         let mut app = daemon.register(runtime_config(), test_table()).unwrap();

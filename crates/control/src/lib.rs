@@ -87,6 +87,7 @@ pub mod naive;
 mod runtime;
 #[cfg(target_os = "linux")]
 pub mod supervisor;
+pub mod telemetry;
 pub mod ztransform;
 
 pub use actuator::{
@@ -107,3 +108,4 @@ pub use runtime::{
 };
 #[cfg(target_os = "linux")]
 pub use supervisor::{Supervisor, SupervisorConfig};
+pub use telemetry::{AppTelemetryReport, ShardTelemetry, TelemetrySnapshot};

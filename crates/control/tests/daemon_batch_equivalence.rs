@@ -177,6 +177,8 @@ fn inline_config() -> DaemonConfig {
         inline_apps: 0,
         idle_skip_limit: 0,
         drain_cap: 0,
+        telemetry: true,
+        trace_capacity: DaemonConfig::DEFAULT_TRACE_CAPACITY,
     }
 }
 
@@ -207,6 +209,8 @@ fn batched_kernel_matches_per_beat_walk_under_drain_cap() {
     // quantum, so capped drains straddle planning boundaries.
     let config = DaemonConfig {
         drain_cap: 7,
+        telemetry: true,
+        trace_capacity: DaemonConfig::DEFAULT_TRACE_CAPACITY,
         ..inline_config()
     };
     let runtime = RuntimeConfig::new(ControllerConfig::new(30.0, 30.0).unwrap())
@@ -311,6 +315,8 @@ fn flood_grown_scratch_shrinks_after_the_flood_subsides() {
         inline_apps: 0,
         idle_skip_limit: 0,
         drain_cap: 0,
+        telemetry: true,
+        trace_capacity: DaemonConfig::DEFAULT_TRACE_CAPACITY,
     };
     let runtime = RuntimeConfig::new(ControllerConfig::new(30.0, 30.0).unwrap())
         .with_quantum_heartbeats(20)

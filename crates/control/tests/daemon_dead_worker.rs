@@ -81,6 +81,8 @@ fn panicking_app_degrades_its_shard_and_spares_the_rest() {
         inline_apps: 0, // force both apps onto workers
         idle_skip_limit: 0,
         drain_cap: 0,
+        telemetry: true,
+        trace_capacity: DaemonConfig::DEFAULT_TRACE_CAPACITY,
     })
     .unwrap();
     // Round-robin placement: poisoned on worker 0, healthy on worker 1.
@@ -140,6 +142,8 @@ fn registration_routes_around_a_dead_worker() {
         inline_apps: 0,
         idle_skip_limit: 0,
         drain_cap: 0,
+        telemetry: true,
+        trace_capacity: DaemonConfig::DEFAULT_TRACE_CAPACITY,
     })
     .unwrap();
     let mut poisoned = daemon.register(runtime_config(), test_table()).unwrap();

@@ -68,6 +68,8 @@ fn daemon_matches_serial_simulation_beat_for_beat() {
             inline_apps: 0,
             idle_skip_limit: 0,
             drain_cap: 0,
+            telemetry: true,
+            trace_capacity: DaemonConfig::DEFAULT_TRACE_CAPACITY,
         })
         .unwrap();
         let mut app = daemon.register(runtime_config, test_table()).unwrap();

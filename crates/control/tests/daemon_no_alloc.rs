@@ -105,6 +105,8 @@ fn per_quantum_drain_loop_does_not_allocate() {
             inline_apps: 0,
             idle_skip_limit: 0,
             drain_cap: 0,
+            telemetry: true,
+            trace_capacity: DaemonConfig::DEFAULT_TRACE_CAPACITY,
         })
         .unwrap();
         let config = RuntimeConfig::new(ControllerConfig::new(30.0, 30.0).unwrap())
@@ -156,6 +158,8 @@ fn per_quantum_shm_drain_loop_does_not_allocate() {
         inline_apps: 0,
         idle_skip_limit: 0,
         drain_cap: 0,
+        telemetry: true,
+        trace_capacity: DaemonConfig::DEFAULT_TRACE_CAPACITY,
     })
     .unwrap();
     let config = RuntimeConfig::new(ControllerConfig::new(30.0, 30.0).unwrap())

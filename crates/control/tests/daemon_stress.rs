@@ -58,6 +58,8 @@ fn concurrent_producers_lose_no_accepted_beats() {
         inline_apps: 0,
         idle_skip_limit: 0,
         drain_cap: 0,
+        telemetry: true,
+        trace_capacity: DaemonConfig::DEFAULT_TRACE_CAPACITY,
     })
     .unwrap();
 
@@ -116,6 +118,8 @@ fn unregister_mid_stream_keeps_other_apps_alive() {
         inline_apps: 0,
         idle_skip_limit: 0,
         drain_cap: 0,
+        telemetry: true,
+        trace_capacity: DaemonConfig::DEFAULT_TRACE_CAPACITY,
     })
     .unwrap();
 

@@ -280,6 +280,8 @@ pub fn consolidation_study_live(
         inline_apps: DaemonConfig::DEFAULT_INLINE_APPS,
         idle_skip_limit: 0,
         drain_cap: 0,
+        telemetry: true,
+        trace_capacity: DaemonConfig::DEFAULT_TRACE_CAPACITY,
     })?;
     let mut registry = HeartbeatRegistry::new();
     let mut machines = Vec::with_capacity(consolidated_machines);

@@ -50,6 +50,7 @@ mod registry;
 mod ring;
 pub mod shm;
 mod stats;
+pub mod telemetry;
 mod time;
 
 pub use channel::{beat_channel, BeatConsumer, BeatProducer, BeatSample, BeatTransport};
@@ -59,4 +60,7 @@ pub use record::{HeartRate, HeartbeatRecord, HeartbeatTag};
 pub use registry::{HeartbeatRegistry, MonitorId};
 pub use ring::{HistoryIter, HistoryRing};
 pub use stats::{RateStatistics, SlidingWindow};
+pub use telemetry::{
+    DecisionTraceRecord, DecisionTraceRing, HistogramSummary, LatencyHistogram, TraceReason,
+};
 pub use time::{Timestamp, TimestampDelta};

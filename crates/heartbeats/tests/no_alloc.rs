@@ -17,6 +17,9 @@ use std::sync::Arc;
 
 use powerdial_heartbeats::channel::BeatSample;
 use powerdial_heartbeats::shm::{Segment, SegmentGeometry, ShmConsumer, ShmProducer};
+use powerdial_heartbeats::telemetry::{
+    DecisionTraceRecord, DecisionTraceRing, LatencyHistogram, TraceReason,
+};
 use powerdial_heartbeats::{
     HeartbeatMonitor, HeartbeatTag, MonitorConfig, SlidingWindow, Timestamp, TimestampDelta,
 };
@@ -110,6 +113,46 @@ fn steady_state_heartbeat_path_does_not_allocate() {
         allocations() - before,
         0,
         "monitor heartbeat steady state must not allocate"
+    );
+}
+
+#[test]
+fn telemetry_record_trace_and_summary_do_not_allocate() {
+    // The telemetry plane rides the daemon's drain loop, so it inherits
+    // the loop's allocation-freedom contract: histogram records are two
+    // shifts and an array increment, trace pushes write into a
+    // pre-allocated ring, and even the cold-path summary/quantile reads
+    // only walk the inline bucket array.
+    let mut latency = LatencyHistogram::new();
+    let mut rollup = LatencyHistogram::new();
+    let mut ring = DecisionTraceRing::with_capacity(256);
+
+    let before = allocations();
+    let mut sink = 0u64;
+    for i in 0..10_000u64 {
+        latency.record(20_000_000 + (i * 7_919) % 10_000_000);
+        if i % 20 == 0 {
+            ring.push(DecisionTraceRecord {
+                seq: 0,
+                timestamp: Timestamp::from_nanos(i),
+                app: i,
+                point_idx: (i % 3) as u32,
+                reason: TraceReason::Boundary,
+                gain: 1.5,
+                achieved_speedup: 1.4,
+                qos_loss: 0.01,
+            });
+        }
+    }
+    rollup.merge_from(&latency);
+    let summary = rollup.summary();
+    sink += summary.count + summary.max + rollup.value_at_quantile(0.99);
+    sink += ring.iter().map(|record| record.seq).sum::<u64>();
+    std::hint::black_box(sink);
+    assert_eq!(
+        allocations() - before,
+        0,
+        "telemetry record/trace/summary must not allocate"
     );
 }
 

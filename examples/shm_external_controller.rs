@@ -67,6 +67,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         inline_apps: 0,
         idle_skip_limit: 0,
         drain_cap: 0,
+        telemetry: true,
+        trace_capacity: DaemonConfig::DEFAULT_TRACE_CAPACITY,
     })?;
     println!(
         "controller: broker listening on {} (target 30 beats/s)\n",
