@@ -103,6 +103,7 @@ fn main() {
             stats.mean_latency_secs
                 + incremental
                     .rate()
+                    .expect("no overflow")
                     .expect("warmed window")
                     .beats_per_second()
         }));
@@ -111,6 +112,7 @@ fn main() {
             stats.mean_latency_secs
                 + naive_window
                     .rate()
+                    .expect("no overflow")
                     .expect("warmed window")
                     .beats_per_second()
         }));

@@ -177,10 +177,15 @@ pub fn run(config: &ChaosConfig) -> ChaosReport {
                 drain_cap: 0,
                 telemetry: true,
                 trace_capacity: DaemonConfig::DEFAULT_TRACE_CAPACITY,
+                safe_point: 0,
             },
             target_rate: TARGET_RATE_BPS,
             baseline_rate: TARGET_RATE_BPS,
             poll_interval: Duration::from_micros(20),
+            // Chaos restarts on purpose; the crash-loop guard would only
+            // slow the schedule down.
+            restart_backoff: Duration::ZERO,
+            restart_backoff_cap: Duration::ZERO,
         },
         synthetic_knob_table(SETTINGS),
     );

@@ -153,7 +153,11 @@ impl NaiveHotPathLoop {
     /// One full iteration of the baseline loop; returns the decided gain.
     #[inline]
     pub fn step(&mut self) -> f64 {
-        let observed = self.window.rate().map(|r| r.beats_per_second());
+        let observed = self
+            .window
+            .rate()
+            .expect("no overflow")
+            .map(|r| r.beats_per_second());
         let decision = self.runtime.on_heartbeat(observed);
         let capacity = capacity_at(self.beat);
         self.last_latency_secs = 1.0 / (TARGET_RATE_BPS * capacity * decision.gain);

@@ -17,6 +17,8 @@ use powerdial::{PowerDialConfig, PowerDialSystem};
 use powerdial_qos::QosLossBound;
 
 #[cfg(target_os = "linux")]
+pub mod adversarial;
+#[cfg(target_os = "linux")]
 pub mod chaos;
 pub mod gate;
 pub mod hotpath;

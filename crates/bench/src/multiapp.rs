@@ -114,6 +114,7 @@ impl DaemonMultiAppLoop {
             drain_cap: 0,
             telemetry,
             trace_capacity: DaemonConfig::DEFAULT_TRACE_CAPACITY,
+            safe_point: 0,
         })
         .expect("valid daemon config");
         let apps = (0..app_count)
@@ -204,6 +205,7 @@ impl ShmMultiAppLoop {
             drain_cap: 0,
             telemetry: true,
             trace_capacity: DaemonConfig::DEFAULT_TRACE_CAPACITY,
+            safe_point: 0,
         })
         .expect("valid daemon config");
         let geometry = SegmentGeometry::for_beat_samples(CHANNEL_CAPACITY)?;
@@ -299,6 +301,7 @@ impl IdleFleetLoop {
             drain_cap: 0,
             telemetry: true,
             trace_capacity: DaemonConfig::DEFAULT_TRACE_CAPACITY,
+            safe_point: 0,
         })
         .expect("valid daemon config");
         let apps = (0..app_count)
@@ -339,6 +342,7 @@ impl NaiveMultiAppLoop {
             drain_cap: 0,
             telemetry: true,
             trace_capacity: DaemonConfig::DEFAULT_TRACE_CAPACITY,
+            safe_point: 0,
         })
         .expect("valid daemon config");
         let apps = (0..app_count)

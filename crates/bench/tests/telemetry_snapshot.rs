@@ -132,6 +132,7 @@ fn snapshot_stays_sane_after_producer_sigkill_and_reap() {
         drain_cap: 0,
         telemetry: true,
         trace_capacity: DaemonConfig::DEFAULT_TRACE_CAPACITY,
+        safe_point: 0,
     })
     .unwrap();
     let runtime = RuntimeConfig::new(ControllerConfig::new(30.0, 30.0).unwrap())

@@ -54,6 +54,7 @@ fn inline_daemon() -> PowerDialDaemon {
         drain_cap: 0,
         telemetry: true,
         trace_capacity: DaemonConfig::DEFAULT_TRACE_CAPACITY,
+        safe_point: 0,
     })
     .unwrap()
 }

@@ -61,6 +61,7 @@ fn fork_daemon(segment: &Arc<Segment>) -> powerdial_heartbeats::shm::process::Fo
                 drain_cap: 0,
                 telemetry: true,
                 trace_capacity: DaemonConfig::DEFAULT_TRACE_CAPACITY,
+                safe_point: 0,
             }) else {
                 return 2;
             };

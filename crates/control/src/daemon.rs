@@ -84,15 +84,65 @@
 //! [`PowerDialDaemon::tick`] processes every shard on the calling thread.
 //! This mode is deterministic (used by the consolidation experiments and
 //! the equivalence tests); threaded mode has the same per-app semantics but
-//! interleaves beat arrival with draining. A worker thread that dies
-//! mid-quantum (a panic in control code) no longer takes the daemon down:
-//! the dead shard's apps are orphaned, every other shard stays serviceable,
-//! and [`PowerDialDaemon::try_tick`] surfaces the death once as
-//! [`ControlError::ShardDead`].
+//! interleaves beat arrival with draining.
+//!
+//! # Fault containment and self-healing
+//!
+//! The daemon extends the paper's "keep applications responsive while the
+//! environment misbehaves" guarantee to its own tenants. Faults are
+//! contained at two nested perimeters, each with an explicit state
+//! machine:
+//!
+//! ```text
+//!  app:    Healthy ──panic / poisoned window──► Quarantined ──reap──► Evicted
+//!            │  ▲                                   │
+//!            │  └──── (never: quarantine is         └─ channel parked,
+//!            │         one-way until eviction)         safe-state published
+//!            ▼
+//!          served every quantum
+//!
+//!  shard:  Live ──panic escaping containment / injected kill──► Dead
+//!            ▲                                                    │
+//!            └──────── respawn_dead(): fresh thread, ◄────────────┘
+//!                      surviving slots migrated intact
+//!                      (state: Respawned ≡ Live)
+//! ```
+//!
+//! * **Per-app isolation.** Each app's per-quantum drain+decision step
+//!   runs under a [`std::panic::catch_unwind`] guard (one guard per fleet
+//!   *sweep*, with a cursor naming the slot mid-step, so blame stays
+//!   per-app while the hot path stays batched and pays no per-slot
+//!   landing pad). A panic, or a typed
+//!   [`powerdial_heartbeats::WindowOverflow`] from a poisoned latency
+//!   stream, blames exactly one app: it transitions to
+//!   [`QuarantineReason`]-typed quarantine — its channel is parked (never
+//!   drained or stepped again), its decision block publishes the
+//!   configured safe state ([`DaemonConfig::safe_point`]) so the client
+//!   ladder degrades cleanly, and the shard keeps serving its neighbors
+//!   in the same quantum. Quarantine is one-way: the slot stays parked
+//!   until [`PowerDialDaemon::unregister`]/[`PowerDialDaemon::reap_dead`]
+//!   evicts it (a reaper treats a quarantined app's undrained backlog as
+//!   forfeit — it would never be processed anyway).
+//! * **Shard resurrection.** When a worker thread does die (a panic
+//!   escaping containment, an injected kill), the facade marks the shard
+//!   dead — [`PowerDialDaemon::try_tick`] surfaces the death once as
+//!   [`ControlError::ShardDead`], registration routes around the corpse —
+//!   and [`PowerDialDaemon::respawn_dead`] resurrects it: the worker's
+//!   shard state is recovered through the poisoned mutex, the slot that
+//!   was mid-step (if any) is quarantined, and a fresh thread is spawned
+//!   *at the same shard index* with every surviving app's
+//!   `AppShared`/segment binding migrated intact — runtimes, windows, and
+//!   undrained transports included, so decisions resume bit-identically
+//!   and no beat is lost beyond channel capacity. (The PR 6 shm
+//!   warm-start block stays current throughout and remains the recovery
+//!   path for *daemon-process* death, where in-heap state cannot
+//!   survive.) Incidents are counted on the facade and traced as
+//!   `shard_dead`/`shard_respawned`/`migrated` records.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 
 use powerdial_heartbeats::channel::{beat_channel, BeatConsumer, BeatSample, BeatTransport};
@@ -102,12 +152,14 @@ use powerdial_heartbeats::shm::{
 use powerdial_heartbeats::telemetry::{
     DecisionTraceRecord, DecisionTraceRing, LatencyHistogram, TraceReason,
 };
-use powerdial_heartbeats::{BeatProducer, HeartbeatTag, SlidingWindow, Timestamp};
+use powerdial_heartbeats::{BeatProducer, HeartbeatTag, SlidingWindow, Timestamp, WindowOverflow};
 use powerdial_knobs::{KnobTable, PointIdx};
 
 use crate::error::ControlError;
 use crate::runtime::{IndexedDecision, PowerDialRuntime, RuntimeConfig};
-use crate::telemetry::{AppTelemetryReport, ShardTelemetry, TelemetrySnapshot, QOS_PPM_SCALE};
+use crate::telemetry::{
+    AppTelemetryReport, IncidentCounts, ShardTelemetry, TelemetrySnapshot, QOS_PPM_SCALE,
+};
 
 /// Identifier of an application registered with a [`PowerDialDaemon`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -165,6 +217,12 @@ pub struct DaemonConfig {
     /// Ignored (no ring) when `telemetry` is off; `0` keeps histograms
     /// but disables tracing.
     pub trace_capacity: usize,
+    /// Knob-table point index published for a quarantined application —
+    /// the configured safe state its clients degrade to. The default `0`
+    /// is the baseline (speedup 1.0, zero QoS loss) point of every table
+    /// the calibrator emits; an out-of-range index is clamped to the
+    /// app's table at quarantine time.
+    pub safe_point: u32,
 }
 
 impl DaemonConfig {
@@ -218,6 +276,50 @@ impl Default for DaemonConfig {
             drain_cap: 0,
             telemetry: true,
             trace_capacity: DaemonConfig::DEFAULT_TRACE_CAPACITY,
+            safe_point: 0,
+        }
+    }
+}
+
+/// Why an application was quarantined (the typed `Quarantined { reason }`
+/// state of the fault-containment machine — see the module docs).
+///
+/// Readable lock-free from the app side via
+/// [`DecisionView::quarantine_reason`]/[`AppHandle::quarantine_reason`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum QuarantineReason {
+    /// A panic unwound out of the app's drain+decision step and was
+    /// caught by the per-app containment guard.
+    Panic,
+    /// The app's latency stream overflowed its sliding window's summed
+    /// nanoseconds ([`powerdial_heartbeats::WindowOverflow`]) — a poison
+    /// producer, not an organic workload.
+    WindowOverflow,
+}
+
+impl QuarantineReason {
+    /// Stable lowercase name (used in diagnostics).
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            QuarantineReason::Panic => "panic",
+            QuarantineReason::WindowOverflow => "window_overflow",
+        }
+    }
+
+    /// Encoding stored in the shared atomic (0 = healthy).
+    const fn code(self) -> u64 {
+        match self {
+            QuarantineReason::Panic => 1,
+            QuarantineReason::WindowOverflow => 2,
+        }
+    }
+
+    const fn from_code(code: u64) -> Option<Self> {
+        match code {
+            1 => Some(QuarantineReason::Panic),
+            2 => Some(QuarantineReason::WindowOverflow),
+            _ => None,
         }
     }
 }
@@ -238,6 +340,9 @@ struct AppShared {
     qos_loss_bits: AtomicU64,
     /// Total beats the daemon has processed for this application.
     beats_processed: AtomicU64,
+    /// [`QuarantineReason::code`] once the app is quarantined (0 =
+    /// healthy). Written exactly once, by the owning shard.
+    quarantined: AtomicU64,
 }
 
 impl AppShared {
@@ -267,6 +372,10 @@ impl AppShared {
 
     fn beats_processed(&self) -> u64 {
         self.beats_processed.load(Ordering::Acquire)
+    }
+
+    fn quarantine_reason(&self) -> Option<QuarantineReason> {
+        QuarantineReason::from_code(self.quarantined.load(Ordering::Acquire))
     }
 }
 
@@ -317,6 +426,13 @@ impl DecisionView {
     /// Total beats the daemon has processed for this application.
     pub fn beats_processed(&self) -> u64 {
         self.shared.beats_processed()
+    }
+
+    /// Why this application was quarantined, or `None` while it is
+    /// healthy. Once `Some`, the decision accessors serve the configured
+    /// safe state and no further beats will ever be processed.
+    pub fn quarantine_reason(&self) -> Option<QuarantineReason> {
+        self.shared.quarantine_reason()
     }
 }
 
@@ -416,6 +532,13 @@ impl AppHandle {
         self.producer.rejected()
     }
 
+    /// Why this application was quarantined, or `None` while it is
+    /// healthy. A quarantined app's beats are never drained again; its
+    /// decision accessors serve the configured safe state.
+    pub fn quarantine_reason(&self) -> Option<QuarantineReason> {
+        self.shared.quarantine_reason()
+    }
+
     /// A standalone view of this app's decision state (what
     /// [`PowerDialDaemon::register_shm`] returns for cross-process apps).
     pub fn decision_view(&self) -> DecisionView {
@@ -473,6 +596,11 @@ struct ControlState {
     seed_rate: Option<f64>,
 }
 
+/// The decision kernels are the daemon's per-beat hot path: implicit
+/// overflow semantics are banned here (clippy `arithmetic_side_effects`);
+/// every index/counter op is an explicit `wrapping_*` with its bound
+/// argued in place.
+#[deny(clippy::arithmetic_side_effects)]
 impl ControlState {
     /// Processes one batch of drained beats: for each beat, read the
     /// current windowed rate, step the runtime (decide *before* observing
@@ -480,20 +608,26 @@ impl ControlState {
     /// loop, so decision sequences are beat-for-beat identical), then fold
     /// the latency into the window. Publishes the final decision of the
     /// batch to the shared atomics.
+    ///
+    /// # Errors
+    ///
+    /// A poisoned latency stream that overflows the window's summed
+    /// nanoseconds surfaces as [`WindowOverflow`]; nothing is published
+    /// for the batch and the caller quarantines the app.
     fn process_drained(
         &mut self,
         id: AppId,
         samples: &[BeatSample],
         on_decision: &mut impl FnMut(AppId, IndexedDecision),
-    ) -> u64 {
+    ) -> Result<u64, WindowOverflow> {
         if samples.is_empty() {
-            return 0;
+            return Ok(0);
         }
         let mut last = None;
         for sample in samples {
             let observed = self
                 .window
-                .rate()
+                .rate()?
                 .map(|r| r.beats_per_second())
                 .or(self.seed_rate);
             let decision = self.runtime.on_heartbeat_idx(observed);
@@ -508,7 +642,7 @@ impl ControlState {
         }
         let decision = last.expect("non-empty batch");
         self.publish_batch(decision, samples.len());
-        samples.len() as u64
+        Ok(samples.len() as u64)
     }
 
     /// The batched counterpart of [`ControlState::process_drained`]:
@@ -525,13 +659,21 @@ impl ControlState {
     ///
     /// `lat_scratch` is the caller's reused latency buffer (grows to at
     /// most one drain's worth of beats; steady-state allocation-free).
+    ///
+    /// # Errors
+    ///
+    /// [`WindowOverflow`] under the same poisoned-stream condition as
+    /// [`ControlState::process_drained`] — the overflow is only *observed*
+    /// at a boundary beat's rate read, so the batched and per-beat paths
+    /// blame the same drain (both quarantine within the quantum that
+    /// drained the poison).
     fn process_drained_batched(
         &mut self,
         samples: &[BeatSample],
         lat_scratch: &mut Vec<powerdial_heartbeats::TimestampDelta>,
-    ) -> u64 {
+    ) -> Result<u64, WindowOverflow> {
         if samples.is_empty() {
-            return 0;
+            return Ok(0);
         }
         let quantum = self.runtime.quantum_heartbeats();
         let mut last = None;
@@ -543,7 +685,7 @@ impl ControlState {
                 // per-beat path does.
                 let observed = self
                     .window
-                    .rate()
+                    .rate()?
                     .map(|r| r.beats_per_second())
                     .or(self.seed_rate);
                 let decision = self.runtime.on_heartbeat_idx(observed);
@@ -551,27 +693,32 @@ impl ControlState {
                     self.window.push(samples[i].latency);
                 }
                 last = Some(decision);
-                i += 1;
+                // `i < samples.len()` (loop guard), so the increment
+                // cannot wrap.
+                i = i.wrapping_add(1);
             } else {
                 // Interior span: everything up to the next boundary (or the
-                // end of the drain), folded in one step.
-                let span = ((quantum - beat_in_quantum) as usize).min(samples.len() - i);
+                // end of the drain), folded in one step. The runtime keeps
+                // `beat_in_quantum < quantum`, and `i < samples.len()` by
+                // the loop guard, so neither subtraction underflows.
+                let span = (quantum.wrapping_sub(beat_in_quantum) as usize)
+                    .min(samples.len().wrapping_sub(i));
                 let decision = self.runtime.advance_in_quantum(span as u32);
                 lat_scratch.clear();
                 lat_scratch.extend(
-                    samples[i..i + span]
+                    samples[i..i.wrapping_add(span)]
                         .iter()
                         .filter(|s| s.tag.value() != 0)
                         .map(|s| s.latency),
                 );
                 self.window.push_slice(lat_scratch);
                 last = Some(decision);
-                i += span;
+                i = i.wrapping_add(span);
             }
         }
         let decision = last.expect("non-empty batch");
         self.publish_batch(decision, samples.len());
-        samples.len() as u64
+        Ok(samples.len() as u64)
     }
 
     /// Publication tail shared by the per-beat and batched kernels: store
@@ -660,6 +807,14 @@ struct AppSlot {
     skip_countdown: u32,
     /// Hot-path metric state; `None` when telemetry is disabled.
     telemetry: Option<Box<SlotTelemetry>>,
+    /// `Some` once the app is quarantined: the slot is parked (its
+    /// transport is never drained and its runtime never stepped again)
+    /// until eviction. One-way — see the module's containment diagram.
+    quarantined: Option<QuarantineReason>,
+    /// Fault-injection hook ([`PowerDialDaemon::inject_app_panic`] /
+    /// [`DaemonShard::arm_panic`]): the next processing step panics
+    /// inside the containment guard.
+    panic_armed: bool,
 }
 
 /// Quanta per scratch-shrink epoch: the amortization period of the
@@ -692,6 +847,17 @@ pub struct DaemonShard {
     epoch_quanta: u32,
     /// Decision trace of this shard's apps (capacity 0 = disabled).
     trace: DecisionTraceRing,
+    /// Knob-table point published for quarantined apps (see
+    /// [`DaemonConfig::safe_point`]); clamped to each app's table at
+    /// quarantine time.
+    safe_point: u32,
+    /// The app whose drain+decision step is currently executing, recorded
+    /// before the containment guard runs it. A panic *inside* the guard
+    /// quarantines the app and clears this; a panic that somehow escapes
+    /// (or an injected worker crash) leaves it set, so the façade's
+    /// resurrection path can blame exactly one app when it recovers the
+    /// shard from the dead worker.
+    in_flight: Option<u64>,
 }
 
 impl DaemonShard {
@@ -721,6 +887,14 @@ impl DaemonShard {
             trace: DecisionTraceRing::with_capacity(trace_capacity),
             ..DaemonShard::default()
         }
+    }
+
+    /// Sets the knob point published for quarantined apps (builder form;
+    /// see [`DaemonConfig::safe_point`]).
+    #[must_use]
+    pub fn with_safe_point(mut self, safe_point: u32) -> Self {
+        self.safe_point = safe_point;
+        self
     }
 
     /// Current capacity of the shard's drain scratch buffer, in beat
@@ -794,6 +968,116 @@ impl DaemonShard {
         }
     }
 
+    /// Arms the explicit fault-injection hook: `id`'s next processing
+    /// step panics *inside* the containment guard, exercising the
+    /// quarantine path end to end. Test-only by convention — production
+    /// code has no reason to call it. Returns `false` when the shard does
+    /// not own `id`.
+    pub fn arm_panic(&mut self, id: AppId) -> bool {
+        match self.apps.iter_mut().find(|slot| slot.id == id) {
+            Some(slot) => {
+                slot.panic_armed = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Quarantine state of `id`: `Some(reason)` once the app has been
+    /// quarantined, `None` while healthy (or when the shard does not own
+    /// `id`).
+    pub fn quarantine_reason(&self, id: AppId) -> Option<QuarantineReason> {
+        self.apps
+            .iter()
+            .find(|slot| slot.id == id)
+            .and_then(|slot| slot.quarantined)
+    }
+
+    /// Number of quarantined apps currently parked on this shard.
+    pub fn quarantined_count(&self) -> usize {
+        self.apps
+            .iter()
+            .filter(|slot| slot.quarantined.is_some())
+            .count()
+    }
+
+    /// True when this shard owns `id`.
+    fn contains(&self, id: AppId) -> bool {
+        self.apps.iter().any(|slot| slot.id == id)
+    }
+
+    /// Parks a faulty app: records the blame, publishes the configured
+    /// safe-state so the app (and, for shm apps, its client-side ladder)
+    /// lands on a known-good knob setting instead of whatever the fault
+    /// left behind, and resets the shm warm-start block so a successor
+    /// daemon cold-starts this app rather than warm-starting from
+    /// possibly-poisoned controller state. One-way: the slot is skipped by
+    /// every subsequent quantum until it is evicted (unregister/reap).
+    ///
+    /// Runs *outside* the containment guard on state the guard protects
+    /// (shared atomics, the knob table, the segment's seqlocked blocks) —
+    /// all of which stay structurally valid across an unwind out of the
+    /// control kernels.
+    fn quarantine_slot(
+        slot: &mut AppSlot,
+        safe_point: u32,
+        trace: &mut DecisionTraceRing,
+        reason: QuarantineReason,
+    ) {
+        slot.quarantined = Some(reason);
+        let table = slot.control.runtime.table();
+        let point = PointIdx::new(safe_point.min(table.len().saturating_sub(1) as u32));
+        let speedup = table.speedup_of(point);
+        let qos_loss = table.point(point).qos_loss.value();
+        let shared = &slot.control.shared;
+        shared.gain_bits.store(speedup.to_bits(), Ordering::Release);
+        shared
+            .achieved_speedup_bits
+            .store(speedup.to_bits(), Ordering::Release);
+        shared
+            .qos_loss_bits
+            .store(qos_loss.to_bits(), Ordering::Release);
+        // Publish through the same packed-sequence word as a healthy
+        // decision so `latest_point` observers see a *fresh* safe decision
+        // rather than the fault's leftovers (skip the masked value 0, as
+        // `publish_batch` does).
+        slot.control.decisions = slot.control.decisions.wrapping_add(1);
+        if slot.control.decisions & 0xFFFF_FFFF == 0 {
+            slot.control.decisions = slot.control.decisions.wrapping_add(1);
+        }
+        shared.decision.store(
+            (slot.control.decisions & 0xFFFF_FFFF) << 32 | u64::from(point.as_usize() as u32),
+            Ordering::Release,
+        );
+        shared.quarantined.store(reason.code(), Ordering::Release);
+        if let BeatSource::Shm(consumer) = &slot.consumer {
+            // The client reads a *published* safe decision (its ladder
+            // serves it as `Published`, not a fallback) within its next
+            // decision poll.
+            consumer.publish_decision(ShmDecision {
+                point_idx: point.as_usize() as u32,
+                gain_bits: speedup.to_bits(),
+                achieved_speedup_bits: speedup.to_bits(),
+                qos_loss_bits: qos_loss.to_bits(),
+            });
+            consumer.reset_warm_state();
+        }
+        trace.push(DecisionTraceRecord {
+            seq: 0,
+            timestamp: slot
+                .telemetry
+                .as_deref()
+                .map(|t| t.last_beat)
+                .unwrap_or(Timestamp::from_nanos(0)),
+            app: slot.id.value(),
+            point_idx: point.as_usize() as u32,
+            reason: TraceReason::Quarantined,
+            gain: speedup,
+            achieved_speedup: speedup,
+            qos_loss,
+        });
+    }
+
     /// Drains one app's transport, honoring the idle-skip streak and the
     /// drain cap. Returns `None` when the app was skipped without touching
     /// its transport, `Some(drained)` otherwise. Shared by the batched and
@@ -856,30 +1140,104 @@ impl DaemonShard {
     /// decision kernel. Returns the total beats processed. Steady-state
     /// allocation-free: the scratch buffers and every runtime's planning
     /// buffer are reused in place.
+    ///
+    /// **Fault containment.** The sweep over the fleet runs under a
+    /// `catch_unwind` guard — one guard per *sweep*, not per app, so at
+    /// fleet scale the landing-pad setup amortizes to nothing and the
+    /// only per-slot cost is keeping the sweep cursor current. A panic
+    /// (or a poisoned latency stream overflowing the rate window) blames
+    /// exactly one app — the cursor names the slot that was mid-step
+    /// when the guard tripped — that app is
+    /// [quarantined](DaemonShard::quarantine_reason) and the sweep
+    /// *resumes with its neighbor*, so every other app in the same
+    /// quantum keeps being served; their decision sequences are
+    /// bit-identical to a no-fault run, because the faulty slot's step
+    /// shares no control state with its neighbors (the scratch buffers
+    /// are refilled per slot).
     pub fn run_quantum(&mut self) -> u64 {
-        let mut beats = 0;
+        let DaemonShard {
+            apps,
+            scratch,
+            lat_scratch,
+            idle_skip_limit,
+            drain_cap,
+            trace,
+            safe_point,
+            in_flight,
+            ..
+        } = self;
+        let mut beats = 0u64;
         let mut peak = 0usize;
-        for slot in &mut self.apps {
-            let Some(drained) = Self::drain_slot(
-                slot,
-                &mut self.scratch,
-                self.idle_skip_limit,
-                self.drain_cap,
-            ) else {
-                continue;
-            };
-            peak = peak.max(drained);
-            if drained > 0 {
-                if let Some(telemetry) = &slot.telemetry {
-                    telemetry.prefetch();
+        let mut idx = 0usize;
+        while idx < apps.len() {
+            // Everything the guarded sweep mutates lives in plain memory
+            // the outer frame still owns, so the values written before a
+            // panic (processed counts, the cursor, `in_flight`) survive
+            // the unwind and the culprit is `apps[idx]`.
+            let sweep = catch_unwind(AssertUnwindSafe(|| {
+                while idx < apps.len() {
+                    let slot = &mut apps[idx];
+                    if slot.quarantined.is_some() {
+                        idx += 1;
+                        continue;
+                    }
+                    // Idle-skip fast path — the `None` branch of
+                    // `drain_slot`, hoisted: pure slot-field arithmetic
+                    // that cannot panic, so a parked fleet pays no blame
+                    // bookkeeping at all.
+                    if *idle_skip_limit > 0
+                        && slot.silent_streak >= *idle_skip_limit
+                        && slot.skip_countdown > 0
+                    {
+                        slot.skip_countdown -= 1;
+                        idx += 1;
+                        continue;
+                    }
+                    // From here a step can genuinely panic: record which
+                    // slot, so an *escaped* panic (worker death) still
+                    // blames the app mid-step. Cleared once per sweep —
+                    // nothing between slots can trip the guard.
+                    *in_flight = Some(slot.id.value());
+                    if slot.panic_armed {
+                        slot.panic_armed = false;
+                        panic!("injected app panic (fault-injection hook)");
+                    }
+                    if let Some(drained) =
+                        Self::drain_slot(slot, scratch, *idle_skip_limit, *drain_cap)
+                    {
+                        if drained > 0 {
+                            if let Some(telemetry) = &slot.telemetry {
+                                telemetry.prefetch();
+                            }
+                        }
+                        match slot.control.process_drained_batched(scratch, lat_scratch) {
+                            Ok(processed) => {
+                                Self::publish_shm(slot, processed);
+                                Self::record_telemetry(slot, scratch, trace, processed);
+                                peak = peak.max(drained);
+                                beats += processed;
+                            }
+                            Err(WindowOverflow) => {
+                                Self::quarantine_slot(
+                                    slot,
+                                    *safe_point,
+                                    trace,
+                                    QuarantineReason::WindowOverflow,
+                                );
+                            }
+                        }
+                    }
+                    idx += 1;
                 }
+                *in_flight = None;
+            }));
+            if sweep.is_err() {
+                // The slot the cursor names panicked mid-step: contain
+                // the blast there and resume the sweep with its neighbor.
+                *in_flight = None;
+                Self::quarantine_slot(&mut apps[idx], *safe_point, trace, QuarantineReason::Panic);
+                idx += 1;
             }
-            let processed = slot
-                .control
-                .process_drained_batched(&self.scratch, &mut self.lat_scratch);
-            beats += processed;
-            Self::publish_shm(slot, processed);
-            Self::record_telemetry(slot, &self.scratch, &mut self.trace, processed);
         }
         self.maintain_scratch(peak);
         beats
@@ -979,10 +1337,15 @@ impl DaemonShard {
                 // Keep the segment's warm-start block current so a
                 // successor daemon resumes from this actuation if we die
                 // after this store.
+                // `publish_shm` only runs after a successfully processed
+                // batch, so the window cannot be in overflow here; treat
+                // the impossible case as "no rate yet".
                 let rate = slot
                     .control
                     .window
                     .rate()
+                    .ok()
+                    .flatten()
                     .map(|r| r.beats_per_second())
                     .unwrap_or(0.0);
                 consumer.publish_warm_state(ShmWarmState {
@@ -1005,35 +1368,73 @@ impl DaemonShard {
         &mut self,
         on_decision: &mut impl FnMut(AppId, IndexedDecision),
     ) -> u64 {
+        let DaemonShard {
+            apps,
+            scratch,
+            lat_scratch: _,
+            idle_skip_limit,
+            drain_cap,
+            trace,
+            safe_point,
+            in_flight,
+            ..
+        } = self;
         let mut beats = 0;
         let mut peak = 0usize;
-        for slot in &mut self.apps {
-            let Some(drained) = Self::drain_slot(
-                slot,
-                &mut self.scratch,
-                self.idle_skip_limit,
-                self.drain_cap,
-            ) else {
+        for slot in apps.iter_mut() {
+            if slot.quarantined.is_some() {
                 continue;
-            };
-            peak = peak.max(drained);
-            if drained > 0 {
-                if let Some(telemetry) = &slot.telemetry {
-                    telemetry.prefetch();
+            }
+            *in_flight = Some(slot.id.value());
+            let step = catch_unwind(AssertUnwindSafe(
+                || -> Result<Option<(usize, u64)>, WindowOverflow> {
+                    if slot.panic_armed {
+                        slot.panic_armed = false;
+                        panic!("injected app panic (fault-injection hook)");
+                    }
+                    let Some(drained) =
+                        Self::drain_slot(slot, scratch, *idle_skip_limit, *drain_cap)
+                    else {
+                        return Ok(None);
+                    };
+                    if drained > 0 {
+                        if let Some(telemetry) = &slot.telemetry {
+                            telemetry.prefetch();
+                        }
+                    }
+                    let processed = slot
+                        .control
+                        .process_drained(slot.id, scratch, on_decision)?;
+                    // Cross-process apps read decisions back through the
+                    // segment's seqlock-protected decision block. Publish by
+                    // *re-reading* the bits `process_drained` just stored
+                    // into the shared atomics — the same words
+                    // `DecisionView` serves — so a decision seen via shm is
+                    // bit-identical to the in-process view by construction.
+                    Self::publish_shm(slot, processed);
+                    Self::record_telemetry(slot, scratch, trace, processed);
+                    Ok(Some((drained, processed)))
+                },
+            ));
+            *in_flight = None;
+            match step {
+                Ok(Ok(None)) => {}
+                Ok(Ok(Some((drained, processed)))) => {
+                    peak = peak.max(drained);
+                    beats += processed;
+                }
+                Ok(Err(WindowOverflow)) => {
+                    Self::quarantine_slot(
+                        slot,
+                        *safe_point,
+                        trace,
+                        QuarantineReason::WindowOverflow,
+                    );
+                }
+                Err(_panic) => {
+                    Self::quarantine_slot(slot, *safe_point, trace, QuarantineReason::Panic);
                 }
             }
-            let processed = slot
-                .control
-                .process_drained(slot.id, &self.scratch, on_decision);
-            beats += processed;
-            // Cross-process apps read decisions back through the segment's
-            // seqlock-protected decision block. Publish by *re-reading*
-            // the bits `process_drained` just stored into the shared
-            // atomics — the same words `DecisionView` serves — so a
-            // decision seen via shm is bit-identical to the in-process
-            // view by construction.
-            Self::publish_shm(slot, processed);
-            Self::record_telemetry(slot, &self.scratch, &mut self.trace, processed);
         }
         self.maintain_scratch(peak);
         beats
@@ -1068,17 +1469,33 @@ enum Command {
     /// still follows, as for every command).
     Telemetry(mpsc::Sender<ShardTelemetry>),
     Tick,
+    /// Arm the explicit fault-injection hook: `id`'s next processing step
+    /// panics inside the containment guard (test-only by convention).
+    ArmPanic(AppId),
+    /// Panic the worker thread itself, simulating a shard death whose
+    /// panic escaped containment (test-only by convention). Never
+    /// acknowledged — the sender observes the death on the ack channel.
+    Crash,
     Shutdown,
 }
 
-/// One spawned worker: its command/ack channels and join handle.
+/// One spawned worker: its command/ack channels, join handle, and a
+/// façade-side handle on the shard itself.
 struct Worker {
     commands: mpsc::Sender<Command>,
     acks: mpsc::Receiver<u64>,
     thread: Option<JoinHandle<()>>,
+    /// The worker's shard. In steady state only the worker thread touches
+    /// it (one uncontended lock per command); the façade's clone exists so
+    /// that when the thread dies, [`PowerDialDaemon::respawn_dead`] can
+    /// recover the surviving apps' live state and migrate them onto a
+    /// fresh worker instead of orphaning them.
+    shard: Arc<Mutex<DaemonShard>>,
     /// Set when a send or receive on the worker's channels fails — the
     /// thread panicked and is gone. A dead worker is never commanded
-    /// again; its apps are orphaned, the rest of the daemon keeps going.
+    /// again; its apps stay parked on the dead shard until
+    /// [`PowerDialDaemon::respawn_dead`] migrates them, and the rest of
+    /// the daemon keeps going.
     dead: bool,
     /// Applications currently placed on this worker. Workers with zero
     /// apps are not ticked (no cross-thread round trip for empty shards).
@@ -1148,6 +1565,12 @@ pub struct PowerDialDaemon {
     /// still pending, slot possibly idle-skipped): `(app, worker)` pairs
     /// whose skip state must be cleared so the next tick drains them.
     wake_scratch: Vec<(AppId, usize)>,
+    /// Worker threads found dead so far (lifetime count; monotonic).
+    shard_deaths: u64,
+    /// Dead workers respawned by [`PowerDialDaemon::respawn_dead`].
+    shard_respawns: u64,
+    /// Apps migrated off dead shards onto their replacements.
+    apps_migrated: u64,
 }
 
 /// Facade-side record of one registered app: which shard owns it, plus —
@@ -1159,6 +1582,10 @@ struct Placement {
     worker: usize,
     /// Segment probe for shm-backed apps; `None` for in-heap channels.
     probe: Option<ShmPeerProbe>,
+    /// The app's shared decision state, mirrored here so the façade can
+    /// observe quarantine without a round-trip to the owning worker (the
+    /// reaper and the incident counters both read it).
+    shared: Arc<AppShared>,
 }
 
 impl std::fmt::Debug for PowerDialDaemon {
@@ -1183,35 +1610,7 @@ impl PowerDialDaemon {
     pub fn new(config: DaemonConfig) -> Result<Self, ControlError> {
         config.validate()?;
         let workers: Vec<Worker> = (0..config.workers)
-            .map(|index| {
-                let (command_tx, command_rx) = mpsc::channel::<Command>();
-                let (ack_tx, ack_rx) = mpsc::channel::<u64>();
-                let (idle_skip_limit, drain_cap) = (config.idle_skip_limit, config.drain_cap);
-                let trace_capacity = if config.telemetry {
-                    config.trace_capacity
-                } else {
-                    0
-                };
-                let thread = std::thread::Builder::new()
-                    .name(format!("powerdial-shard-{index}"))
-                    .spawn(move || {
-                        worker_main(
-                            command_rx,
-                            ack_tx,
-                            idle_skip_limit,
-                            drain_cap,
-                            trace_capacity,
-                        )
-                    })
-                    .expect("spawn daemon worker");
-                Worker {
-                    commands: command_tx,
-                    acks: ack_rx,
-                    thread: Some(thread),
-                    dead: false,
-                    apps: 0,
-                }
-            })
+            .map(|index| Self::spawn_worker(index, &config).expect("spawn daemon worker"))
             .collect();
         let tick_pending = Vec::with_capacity(workers.len());
         Ok(PowerDialDaemon {
@@ -1225,7 +1624,8 @@ impl PowerDialDaemon {
                 } else {
                     0
                 },
-            ),
+            )
+            .with_safe_point(config.safe_point),
             placements: HashMap::new(),
             next_id: 0,
             next_worker: 0,
@@ -1234,6 +1634,43 @@ impl PowerDialDaemon {
             tick_pending,
             reap_scratch: Vec::new(),
             wake_scratch: Vec::new(),
+            shard_deaths: 0,
+            shard_respawns: 0,
+            apps_migrated: 0,
+        })
+    }
+
+    /// Builds one worker: its shard (shared with the façade through an
+    /// `Arc<Mutex>` for post-mortem recovery), channels, and thread. Used
+    /// both at construction and by [`PowerDialDaemon::respawn_dead`];
+    /// spawn failure is fatal at construction but survivable during
+    /// resurrection (the recovered apps fall back to the inline shard).
+    fn spawn_worker(index: usize, config: &DaemonConfig) -> std::io::Result<Worker> {
+        let (command_tx, command_rx) = mpsc::channel::<Command>();
+        let (ack_tx, ack_rx) = mpsc::channel::<u64>();
+        let shard = Arc::new(Mutex::new(
+            DaemonShard::with_telemetry(
+                config.idle_skip_limit,
+                config.drain_cap,
+                if config.telemetry {
+                    config.trace_capacity
+                } else {
+                    0
+                },
+            )
+            .with_safe_point(config.safe_point),
+        ));
+        let thread_shard = Arc::clone(&shard);
+        let thread = std::thread::Builder::new()
+            .name(format!("powerdial-shard-{index}"))
+            .spawn(move || worker_main(thread_shard, command_rx, ack_tx))?;
+        Ok(Worker {
+            commands: command_tx,
+            acks: ack_rx,
+            thread: Some(thread),
+            shard,
+            dead: false,
+            apps: 0,
         })
     }
 
@@ -1457,6 +1894,8 @@ impl PowerDialDaemon {
                 .config
                 .telemetry
                 .then(|| SlotTelemetry::new(warm.is_some())),
+            quarantined: None,
+            panic_armed: false,
         };
         let worker = match self.pick_worker() {
             None => {
@@ -1471,17 +1910,18 @@ impl PowerDialDaemon {
                     Err(mpsc::SendError(Command::Register(slot))) => {
                         // The worker died between the liveness check and the
                         // send: the slot came back, fall back to inline.
-                        self.workers[index].dead = true;
+                        self.mark_dead(index);
                         self.inline_shard.push_slot(*slot);
                         usize::MAX
                     }
                     Err(_) => unreachable!("a failed send returns the sent command"),
                     Ok(()) => {
                         if self.workers[index].acks.recv().is_err() {
-                            // Died holding the slot; the app is orphaned on
-                            // the dead shard (same degraded contract as a
+                            // Died holding the slot; the app stays parked
+                            // on the dead shard until `respawn_dead`
+                            // migrates it (same degraded contract as a
                             // death mid-quantum).
-                            self.workers[index].dead = true;
+                            self.mark_dead(index);
                         }
                         self.workers[index].apps += 1;
                         index
@@ -1489,8 +1929,24 @@ impl PowerDialDaemon {
                 }
             }
         };
-        self.placements.insert(id.0, Placement { worker, probe });
+        self.placements.insert(
+            id.0,
+            Placement {
+                worker,
+                probe,
+                shared: Arc::clone(&shared),
+            },
+        );
         Ok((id, shared))
+    }
+
+    /// Records a worker-death transition exactly once (idempotent), so
+    /// the incident counter matches the number of distinct shard deaths.
+    fn mark_dead(&mut self, worker: usize) {
+        if !self.workers[worker].dead {
+            self.workers[worker].dead = true;
+            self.shard_deaths += 1;
+        }
     }
 
     /// Chooses the worker for a new app: `None` places it on the inline
@@ -1563,7 +2019,11 @@ impl PowerDialDaemon {
                 // an idle-skip streak is judged exactly like any other —
                 // skipping a poll must never postpone noticing a death.
                 if probe.producer_state().is_dead() {
-                    if probe.pending() == 0 {
+                    // A quarantined app's ring is never drained again, so
+                    // waiting for `pending() == 0` would park the corpse
+                    // forever: its backlog is forfeit, reap immediately
+                    // (freeing the slot — and the segment — for reuse).
+                    if probe.pending() == 0 || placement.shared.quarantine_reason().is_some() {
                         self.reap_scratch.push(AppId(*id));
                     } else {
                         // The producer died with beats still in the ring.
@@ -1632,24 +2092,25 @@ impl PowerDialDaemon {
     fn tick_impl(&mut self) -> (u64, Option<usize>) {
         let mut newly_dead = None;
         self.tick_pending.clear();
-        for (index, worker) in self.workers.iter_mut().enumerate() {
-            if worker.dead || worker.apps == 0 {
+        for index in 0..self.workers.len() {
+            if self.workers[index].dead || self.workers[index].apps == 0 {
                 continue;
             }
-            match worker.commands.send(Command::Tick) {
+            match self.workers[index].commands.send(Command::Tick) {
                 Ok(()) => self.tick_pending.push(index),
                 Err(_) => {
-                    worker.dead = true;
+                    self.mark_dead(index);
                     newly_dead.get_or_insert(index);
                 }
             }
         }
         let mut beats = self.inline_shard.run_quantum();
-        for &index in &self.tick_pending {
+        for pending in 0..self.tick_pending.len() {
+            let index = self.tick_pending[pending];
             match self.workers[index].acks.recv() {
                 Ok(shard_beats) => beats += shard_beats,
                 Err(_) => {
-                    self.workers[index].dead = true;
+                    self.mark_dead(index);
                     newly_dead.get_or_insert(index);
                 }
             }
@@ -1691,7 +2152,19 @@ impl PowerDialDaemon {
         let mut shards = Vec::with_capacity(self.workers.len() + 1);
         shards.push(self.inline_shard.telemetry());
         for index in 0..self.workers.len() {
-            if self.workers[index].dead || self.workers[index].apps == 0 {
+            if self.workers[index].apps == 0 {
+                continue;
+            }
+            if self.workers[index].dead {
+                // The worker can't answer a command, but its shard
+                // outlives it: read the telemetry post-mortem through the
+                // façade's handle (the corpse's apps stay visible until
+                // `respawn_dead` migrates them).
+                let guard = self.workers[index]
+                    .shard
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                shards.push(guard.telemetry());
                 continue;
             }
             let (reply_tx, reply_rx) = mpsc::channel();
@@ -1705,7 +2178,7 @@ impl PowerDialDaemon {
                 shards.push(shard);
             }
         }
-        TelemetrySnapshot::from_shards(self.ticks, self.total_beats, shards)
+        TelemetrySnapshot::from_shards(self.ticks, self.total_beats, shards, self.incident_counts())
     }
 
     /// Worker threads in use (0 = inline mode).
@@ -1717,6 +2190,231 @@ impl PowerDialDaemon {
     /// [`PowerDialDaemon::workers`] until a shard dies.
     pub fn live_workers(&self) -> usize {
         self.workers.iter().filter(|w| !w.dead).count()
+    }
+
+    /// Resurrects every dead worker: joins the corpse, recovers its shard
+    /// post-mortem, blames (quarantines) the app whose step was in flight
+    /// when the thread died, reconciles the shard's slots against the
+    /// façade's placements, and migrates the surviving apps — *live*
+    /// control state, not a warm-start rebuild — onto a freshly spawned
+    /// thread at the same worker index, so every placement stays valid.
+    /// Returns the number of shards respawned.
+    ///
+    /// Call it from the supervision loop next to
+    /// [`PowerDialDaemon::reap_dead`]; a fleet then resumes full service
+    /// within one supervision cycle of a shard death, losing nothing
+    /// beyond what died mid-quantum (beats still in the survivors'
+    /// channels are drained by the next tick — they live in the channels,
+    /// not the dead thread).
+    ///
+    /// If spawning the replacement thread fails, the recovered apps fall
+    /// back onto the inline shard instead (service continuity over
+    /// parallelism); the worker then stays dead.
+    pub fn respawn_dead(&mut self) -> usize {
+        let mut respawned = 0;
+        for index in 0..self.workers.len() {
+            if self.workers[index].dead {
+                respawned += usize::from(self.respawn_worker(index));
+            }
+        }
+        respawned
+    }
+
+    /// Resurrects one dead worker (see [`PowerDialDaemon::respawn_dead`]).
+    /// Returns `true` when a replacement thread now serves the shard's
+    /// surviving apps at the same index.
+    fn respawn_worker(&mut self, index: usize) -> bool {
+        // Join the corpse first: afterwards no other thread can hold a
+        // clone of the shard handle, so the unwrap below cannot race.
+        if let Some(thread) = self.workers[index].thread.take() {
+            let _ = thread.join();
+        }
+        let placeholder = Arc::new(Mutex::new(DaemonShard::new()));
+        let old_arc = std::mem::replace(&mut self.workers[index].shard, placeholder);
+        let mut shard = match Arc::try_unwrap(old_arc) {
+            // An injected `Crash` panics while holding the lock, so the
+            // mutex is typically poisoned — the state under it is exactly
+            // what the dead worker last saw, and recovery wants it.
+            Ok(mutex) => mutex
+                .into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+            Err(arc) => {
+                // Unreachable after the join; put the handle back and
+                // leave the worker parked rather than lose its apps.
+                self.workers[index].shard = arc;
+                return false;
+            }
+        };
+        // Blame exactly one app: the step that was executing when the
+        // thread died. Contained faults never reach this path (the
+        // quantum loop clears `in_flight` after each guard); only a panic
+        // that escaped containment — e.g. an injected worker crash —
+        // leaves it set.
+        if let Some(blamed) = shard.in_flight.take() {
+            let DaemonShard {
+                apps,
+                trace,
+                safe_point,
+                ..
+            } = &mut shard;
+            if let Some(slot) = apps.iter_mut().find(|slot| slot.id.value() == blamed) {
+                if slot.quarantined.is_none() {
+                    DaemonShard::quarantine_slot(slot, *safe_point, trace, QuarantineReason::Panic);
+                }
+            }
+        }
+        // Reconcile both directions. Apps unregistered while the worker
+        // was dead lost their placement but kept their slot: evict them
+        // now (resetting their segments, as a live unregister would).
+        let stale: Vec<AppId> = shard
+            .apps
+            .iter()
+            .map(|slot| slot.id)
+            .filter(|id| !self.placements.contains_key(&id.value()))
+            .collect();
+        for id in stale {
+            shard.remove(id);
+        }
+        // Apps registered toward the dead worker whose `Register` command
+        // died in the channel never reached the shard: their slot (and
+        // channel) is gone, so the registration is void.
+        self.placements
+            .retain(|id, placement| placement.worker != index || shard.contains(AppId(*id)));
+        // Incident trace: the death, the respawn, and one record per
+        // migrated app (records materialize when the shard is recovered,
+        // which is also the only point the façade can touch its trace).
+        let incident = |reason: TraceReason, app: u64| DecisionTraceRecord {
+            seq: 0,
+            timestamp: Timestamp::from_nanos(0),
+            app,
+            point_idx: 0,
+            reason,
+            gain: 0.0,
+            achieved_speedup: 0.0,
+            qos_loss: 0.0,
+        };
+        shard
+            .trace
+            .push(incident(TraceReason::ShardDead, index as u64));
+        let survivors = shard.apps.len() as u64;
+        match Self::spawn_worker(index, &self.config) {
+            Ok(replacement) => {
+                shard
+                    .trace
+                    .push(incident(TraceReason::ShardRespawned, index as u64));
+                {
+                    let DaemonShard { apps, trace, .. } = &mut shard;
+                    for slot in apps.iter() {
+                        trace.push(incident(TraceReason::Migrated, slot.id.value()));
+                    }
+                }
+                let old = std::mem::replace(&mut self.workers[index], replacement);
+                drop(old);
+                // Move the recovered shard — apps, trace, scratch — into
+                // the replacement wholesale: migration preserves live
+                // controller state bit-for-bit, which is strictly stronger
+                // than the warm-start block a cross-process successor
+                // would rebuild from.
+                *self.workers[index]
+                    .shard
+                    .lock()
+                    .expect("fresh shard mutex cannot be poisoned") = shard;
+                self.workers[index].apps = survivors as usize;
+                self.shard_respawns += 1;
+                self.apps_migrated += survivors;
+                true
+            }
+            Err(_) => {
+                // No replacement thread: fall back to the inline shard so
+                // the survivors keep being served, just not in parallel.
+                for record in shard.trace.iter() {
+                    self.inline_shard.trace.push(*record);
+                }
+                for slot in shard.apps.drain(..) {
+                    if let Some(placement) = self.placements.get_mut(&slot.id.value()) {
+                        placement.worker = usize::MAX;
+                    }
+                    self.inline_shard
+                        .trace
+                        .push(incident(TraceReason::Migrated, slot.id.value()));
+                    self.inline_shard.push_slot(slot);
+                }
+                self.workers[index].apps = 0;
+                self.apps_migrated += survivors;
+                false
+            }
+        }
+    }
+
+    /// Fault-injection hook (test-only by convention): arms `id` so its
+    /// next processing step panics *inside* the per-app containment
+    /// guard. Returns `false` for an unknown app or one parked on a dead
+    /// shard.
+    pub fn inject_app_panic(&mut self, id: AppId) -> bool {
+        match self.placements.get(&id.0).map(|placement| placement.worker) {
+            None => false,
+            Some(usize::MAX) => self.inline_shard.arm_panic(id),
+            Some(worker) => self.command(worker, Command::ArmPanic(id)) == Some(1),
+        }
+    }
+
+    /// Fault-injection hook (test-only by convention): kills worker
+    /// `worker`'s thread with a panic that escapes containment — the
+    /// thread dies holding its shard lock, the worst case resurrection
+    /// must handle. Returns `true` once the worker is observed dead.
+    pub fn inject_worker_panic(&mut self, worker: usize) -> bool {
+        if worker >= self.workers.len() || self.workers[worker].dead {
+            return false;
+        }
+        // `Crash` is never acknowledged: `command` observes the death on
+        // the ack channel and marks the worker dead.
+        let _ = self.command(worker, Command::Crash);
+        self.workers[worker].dead
+    }
+
+    /// Quarantine state of `id` as the façade observes it (through the
+    /// app's shared decision atomics — no round-trip to the owning
+    /// worker). `None` while healthy or for an unknown id.
+    pub fn quarantine_reason(&self, id: AppId) -> Option<QuarantineReason> {
+        self.placements
+            .get(&id.0)
+            .and_then(|placement| placement.shared.quarantine_reason())
+    }
+
+    /// Number of currently quarantined (parked but not yet evicted) apps.
+    pub fn quarantined_apps(&self) -> usize {
+        self.placements
+            .values()
+            .filter(|placement| placement.shared.quarantine_reason().is_some())
+            .count()
+    }
+
+    /// Worker-thread deaths observed so far (lifetime count).
+    pub fn shard_deaths(&self) -> u64 {
+        self.shard_deaths
+    }
+
+    /// Dead workers successfully resurrected by
+    /// [`PowerDialDaemon::respawn_dead`].
+    pub fn shard_respawns(&self) -> u64 {
+        self.shard_respawns
+    }
+
+    /// Apps migrated off dead shards (onto replacements or the inline
+    /// shard).
+    pub fn apps_migrated(&self) -> u64 {
+        self.apps_migrated
+    }
+
+    /// The fault-containment incident counters, as embedded in
+    /// [`PowerDialDaemon::telemetry_snapshot`]'s `incidents` section.
+    pub fn incident_counts(&self) -> IncidentCounts {
+        IncidentCounts {
+            shard_deaths: self.shard_deaths,
+            shard_respawns: self.shard_respawns,
+            apps_migrated: self.apps_migrated,
+            quarantined_apps: self.quarantined_apps() as u64,
+        }
     }
 
     /// In inline mode (`workers: 0`), the daemon's single shard, for tests
@@ -1742,13 +2440,13 @@ impl PowerDialDaemon {
             return None;
         }
         if self.workers[worker].commands.send(command).is_err() {
-            self.workers[worker].dead = true;
+            self.mark_dead(worker);
             return None;
         }
         match self.workers[worker].acks.recv() {
             Ok(ack) => Some(ack),
             Err(_) => {
-                self.workers[worker].dead = true;
+                self.mark_dead(worker);
                 None
             }
         }
@@ -1769,33 +2467,46 @@ impl Drop for PowerDialDaemon {
     }
 }
 
-/// Worker thread body: own a shard, obey commands, acknowledge each one.
+/// Worker thread body: obey commands against the shared shard (one
+/// uncontended lock per command — the façade only contends for it during
+/// post-mortem recovery, when this thread is already gone), acknowledging
+/// each one.
 fn worker_main(
+    shard: Arc<Mutex<DaemonShard>>,
     commands: mpsc::Receiver<Command>,
     acks: mpsc::Sender<u64>,
-    idle_skip_limit: u32,
-    drain_cap: usize,
-    trace_capacity: usize,
 ) {
-    let mut shard = DaemonShard::with_telemetry(idle_skip_limit, drain_cap, trace_capacity);
     while let Ok(command) = commands.recv() {
+        // A poisoned mutex here would mean a previous command's panic
+        // escaped — unreachable today (the quantum loop contains panics
+        // and a `Crash` kills the thread for good), but recovering the
+        // guard is the conservative choice either way.
+        let mut guard = shard
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let ack = match command {
             Command::Register(slot) => {
-                shard.push_slot(*slot);
+                guard.push_slot(*slot);
                 0
             }
-            Command::Unregister(id) => u64::from(shard.remove(id)),
-            Command::Wake(id) => u64::from(shard.wake(id)),
+            Command::Unregister(id) => u64::from(guard.remove(id)),
+            Command::Wake(id) => u64::from(guard.wake(id)),
             Command::Telemetry(reply) => {
                 // A dropped receiver just means the façade gave up on
                 // the snapshot; the ack below keeps the protocol in
                 // lockstep either way.
-                let _ = reply.send(shard.telemetry());
+                let _ = reply.send(guard.telemetry());
                 0
             }
-            Command::Tick => shard.run_quantum(),
+            Command::Tick => guard.run_quantum(),
+            Command::ArmPanic(id) => u64::from(guard.arm_panic(id)),
+            // Deliberately panics while *holding the lock*: the façade's
+            // resurrection path must cope with a poisoned shard mutex,
+            // the worst-case a real escaped panic would leave behind.
+            Command::Crash => panic!("injected worker crash (fault-injection hook)"),
             Command::Shutdown => break,
         };
+        drop(guard);
         if acks.send(ack).is_err() {
             break;
         }
@@ -2034,13 +2745,20 @@ pub mod naive {
 
         /// Runs one actuation quantum over every app, serially, on the
         /// calling thread. Returns the total beats processed.
+        ///
+        /// # Panics
+        ///
+        /// On a poisoned latency stream whose summed nanoseconds overflow
+        /// the rate window — the baseline has no quarantine machinery (the
+        /// sharded daemon parks such an app instead).
         pub fn tick(&mut self) -> u64 {
             let mut beats = 0;
             for slot in &mut self.apps {
                 slot.channel.drain_into(&mut self.scratch);
                 beats += slot
                     .control
-                    .process_drained(slot.id, &self.scratch, &mut |_, _| {});
+                    .process_drained(slot.id, &self.scratch, &mut |_, _| {})
+                    .expect("window latency sum overflow in serial baseline");
             }
             self.total_beats += beats;
             beats
@@ -2100,6 +2818,7 @@ mod tests {
             drain_cap: 0,
             telemetry: true,
             trace_capacity: DaemonConfig::DEFAULT_TRACE_CAPACITY,
+            safe_point: 0,
         })
         .unwrap()
     }
@@ -2116,6 +2835,7 @@ mod tests {
                 drain_cap: 0,
                 telemetry: true,
                 trace_capacity: DaemonConfig::DEFAULT_TRACE_CAPACITY,
+                safe_point: 0,
             }),
             Err(ControlError::ZeroChannelCapacity)
         ));
@@ -2129,6 +2849,7 @@ mod tests {
                 drain_cap: 0,
                 telemetry: true,
                 trace_capacity: DaemonConfig::DEFAULT_TRACE_CAPACITY,
+                safe_point: 0,
             }),
             Err(ControlError::ZeroWindowSize)
         ));
@@ -2181,6 +2902,7 @@ mod tests {
             drain_cap: 0,
             telemetry: true,
             trace_capacity: DaemonConfig::DEFAULT_TRACE_CAPACITY,
+            safe_point: 0,
         })
         .unwrap();
         let mut inline = inline_daemon();
@@ -2239,6 +2961,7 @@ mod tests {
                 drain_cap: 0,
                 telemetry: true,
                 trace_capacity: DaemonConfig::DEFAULT_TRACE_CAPACITY,
+                safe_point: 0,
             })
             .unwrap();
             let mut a = daemon.register(runtime_config(), test_table()).unwrap();
@@ -2274,6 +2997,7 @@ mod tests {
             drain_cap: 0,
             telemetry: true,
             trace_capacity: DaemonConfig::DEFAULT_TRACE_CAPACITY,
+            safe_point: 0,
         })
         .unwrap();
 
@@ -2418,6 +3142,7 @@ mod tests {
             drain_cap: 0,
             telemetry: true,
             trace_capacity: DaemonConfig::DEFAULT_TRACE_CAPACITY,
+            safe_point: 0,
         })
         .unwrap();
 
@@ -2474,6 +3199,7 @@ mod tests {
             drain_cap: 0,
             telemetry: true,
             trace_capacity: DaemonConfig::DEFAULT_TRACE_CAPACITY,
+            safe_point: 0,
         })
         .unwrap();
         let mut app = daemon.register(runtime_config(), test_table()).unwrap();

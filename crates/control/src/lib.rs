@@ -99,7 +99,7 @@ pub use broker::{AttachBroker, AttachOutcome, AttachRequest, BrokerConfig, Broke
 pub use controller::{ControllerConfig, HeartRateController};
 pub use daemon::{
     AppHandle, AppId, DaemonConfig, DaemonShard, DecisionView, IdleLadder, LadderRung,
-    PowerDialDaemon,
+    PowerDialDaemon, QuarantineReason,
 };
 pub use dvfs::DvfsActuator;
 pub use error::ControlError;
@@ -108,4 +108,4 @@ pub use runtime::{
 };
 #[cfg(target_os = "linux")]
 pub use supervisor::{Supervisor, SupervisorConfig};
-pub use telemetry::{AppTelemetryReport, ShardTelemetry, TelemetrySnapshot};
+pub use telemetry::{AppTelemetryReport, IncidentCounts, ShardTelemetry, TelemetrySnapshot};

@@ -53,6 +53,17 @@ pub struct SupervisorConfig {
     /// (lowest recovery latency, one core burned); a few tens of
     /// microseconds is plenty for tests.
     pub poll_interval: Duration,
+    /// Base crash-loop backoff: [`restart`](Supervisor::restart) sleeps a
+    /// deterministically jittered multiple of this before forking the
+    /// successor, doubling per consecutive restart. [`Duration::ZERO`]
+    /// disables the guard (chaos harnesses that restart on purpose want
+    /// no artificial delay).
+    pub restart_backoff: Duration,
+    /// Rate cap for the crash-loop guard: the pre-jitter backoff never
+    /// exceeds this, so a daemon stuck in a crash loop converges to at
+    /// most one fork per `restart_backoff_cap` (plus jitter) instead of
+    /// forking as fast as the kernel can reap.
+    pub restart_backoff_cap: Duration,
 }
 
 /// Restarts a forked broker+daemon process across SIGKILLs.
@@ -64,6 +75,8 @@ pub struct Supervisor {
     table: KnobTable,
     child: Option<ForkedChild>,
     incarnations: u32,
+    crash_streak: u32,
+    last_exit: Option<ChildExit>,
 }
 
 impl Supervisor {
@@ -75,6 +88,8 @@ impl Supervisor {
             table,
             child: None,
             incarnations: 0,
+            crash_streak: 0,
+            last_exit: None,
         }
     }
 
@@ -117,18 +132,73 @@ impl Supervisor {
     pub fn kill(&mut self) -> Result<ChildExit, ShmError> {
         let child = self.child.take().expect("no incarnation running");
         child.kill()?;
-        child.wait()
+        let exit = child.wait()?;
+        self.last_exit = Some(exit);
+        Ok(exit)
     }
 
     /// [`kill`](Supervisor::kill) then [`start`](Supervisor::start):
     /// returns the successor's PID.
+    ///
+    /// Between the two halves the crash-loop guard runs: when
+    /// [`SupervisorConfig::restart_backoff`] is non-zero, the supervisor
+    /// sleeps a deterministically jittered backoff that doubles with each
+    /// consecutive restart, capped at
+    /// [`SupervisorConfig::restart_backoff_cap`]. The jitter reuses the
+    /// client's splitmix64 mix over the process identity and the streak
+    /// index, so the delay schedule is replayable yet two supervisors
+    /// restarting off the same incident desynchronize. Call
+    /// [`note_healthy`](Supervisor::note_healthy) after observing real
+    /// service to reset the streak.
     ///
     /// # Errors
     ///
     /// [`ShmError`] from either half.
     pub fn restart(&mut self) -> Result<u32, ShmError> {
         self.kill()?;
+        let delay = self.next_backoff();
+        self.crash_streak = self.crash_streak.saturating_add(1);
+        if delay > Duration::ZERO {
+            std::thread::sleep(delay);
+        }
         self.start()
+    }
+
+    /// The pre-sleep the *next* restart would impose: the base backoff
+    /// doubled once per prior consecutive restart, capped, then jittered.
+    /// Exposed so harnesses can assert the schedule without sleeping it.
+    pub fn next_backoff(&self) -> Duration {
+        let base = self.config.restart_backoff;
+        if base == Duration::ZERO {
+            return Duration::ZERO;
+        }
+        let factor = 1u32
+            .checked_shl(self.crash_streak.min(16))
+            .unwrap_or(u32::MAX);
+        let capped = base
+            .saturating_mul(factor)
+            .min(self.config.restart_backoff_cap.max(base));
+        jittered(capped, self.crash_streak)
+    }
+
+    /// Resets the crash-loop streak — call after the incarnation has
+    /// demonstrably served (attached a client, ticked beats), so one
+    /// later crash starts the backoff ladder from its base again.
+    pub fn note_healthy(&mut self) {
+        self.crash_streak = 0;
+    }
+
+    /// Consecutive restarts since the last
+    /// [`note_healthy`](Supervisor::note_healthy) (or construction).
+    pub fn crash_streak(&self) -> u32 {
+        self.crash_streak
+    }
+
+    /// How the most recently reaped incarnation died, if any has been
+    /// reaped: `Signaled(SIGKILL)` for supervisor-initiated kills,
+    /// `Exited(code)` when the child beat the signal to the exit.
+    pub fn last_exit_reason(&self) -> Option<ChildExit> {
+        self.last_exit
     }
 
     /// PID of the running incarnation, if any.
@@ -147,7 +217,9 @@ impl Supervisor {
     pub fn shutdown(&mut self) {
         if let Some(child) = self.child.take() {
             let _ = child.kill();
-            let _ = child.wait();
+            if let Ok(exit) = child.wait() {
+                self.last_exit = Some(exit);
+            }
         }
     }
 }
@@ -156,6 +228,33 @@ impl Drop for Supervisor {
     fn drop(&mut self) {
         self.shutdown();
     }
+}
+
+/// Deterministic jitter in permille of a backoff interval (0..=250), the
+/// same splitmix64 mix the client uses for its attach retries: PID plus
+/// kernel start-time nonce plus the attempt index, avalanched. The
+/// supervisor cannot depend on the client crate (the dependency points
+/// the other way), so the mix is replicated here; the
+/// `jitter_is_deterministic_and_bounded` tests on both sides pin the
+/// shared contract.
+fn jitter_permille(attempt: u32) -> u128 {
+    use powerdial_heartbeats::shm::{current_pid, process_start_nonce};
+    let pid = current_pid();
+    let mut x = (u64::from(pid) << 32)
+        ^ process_start_nonce(pid).unwrap_or(0)
+        ^ u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    u128::from(x % 251)
+}
+
+/// `base` stretched by this process's jitter for the given attempt.
+fn jittered(base: Duration, attempt: u32) -> Duration {
+    let extra = base.as_nanos().saturating_mul(jitter_permille(attempt)) / 1000;
+    base + Duration::from_nanos(extra.min(u128::from(u64::MAX)) as u64)
 }
 
 /// The child's entire life: bind, serve attaches (fresh and reattach),
@@ -191,6 +290,11 @@ fn daemon_process(config: &SupervisorConfig, table: &KnobTable) -> i32 {
         };
         let beats = daemon.tick();
         daemon.reap_dead();
+        // Self-heal within the incarnation: a worker thread lost to a
+        // contained-but-fatal fault is respawned at the same index with
+        // its survivors migrated, so shard death never requires the
+        // (much costlier) process-level restart above us.
+        daemon.respawn_dead();
         if config.poll_interval > Duration::ZERO {
             std::thread::sleep(config.poll_interval);
         } else if served || beats > 0 {
@@ -201,5 +305,99 @@ fn daemon_process(config: &SupervisorConfig, table: &KnobTable) -> i32 {
             // burning the core while staying quick to re-engage.
             ladder.idle();
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powerdial_knobs::{CalibrationPoint, ConfigParameter, ParameterSpace};
+    use powerdial_qos::{QosLoss, QosLossBound};
+
+    fn test_table() -> KnobTable {
+        let speedups = [1.0, 2.0];
+        let values: Vec<f64> = (0..speedups.len()).map(|i| i as f64).collect();
+        let space = ParameterSpace::builder()
+            .parameter(ConfigParameter::new("k", values, 0.0).unwrap())
+            .build()
+            .unwrap();
+        let points = speedups
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| CalibrationPoint {
+                setting_index: i,
+                setting: space.setting(i).unwrap(),
+                speedup: s,
+                qos_loss: QosLoss::new((s - 1.0) * 0.02),
+            })
+            .collect();
+        KnobTable::from_points(points, 0, QosLossBound::UNBOUNDED).unwrap()
+    }
+
+    fn supervisor(base_ms: u64, cap_ms: u64) -> Supervisor {
+        Supervisor::new(
+            SupervisorConfig {
+                socket_path: std::env::temp_dir().join("pd-supervisor-backoff-test.sock"),
+                daemon: DaemonConfig {
+                    workers: 0,
+                    channel_capacity: 8,
+                    window_size: 4,
+                    inline_apps: 0,
+                    idle_skip_limit: 0,
+                    drain_cap: 0,
+                    telemetry: false,
+                    trace_capacity: DaemonConfig::DEFAULT_TRACE_CAPACITY,
+                    safe_point: 0,
+                },
+                target_rate: 30.0,
+                baseline_rate: 30.0,
+                poll_interval: Duration::ZERO,
+                restart_backoff: Duration::from_millis(base_ms),
+                restart_backoff_cap: Duration::from_millis(cap_ms),
+            },
+            test_table(),
+        )
+    }
+
+    /// `base + base/4` is the exact ceiling: permille tops out at 250.
+    fn within_jitter(actual: Duration, base_ms: u64) -> bool {
+        let base = Duration::from_millis(base_ms);
+        actual >= base && actual <= base + base / 4
+    }
+
+    // Pins the contract shared with the client's attach-retry jitter
+    // (see `jitter_is_deterministic_and_bounded` in the client crate).
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        for attempt in 0..64 {
+            let permille = jitter_permille(attempt);
+            assert!(permille <= 250, "attempt {attempt}: {permille} > 250");
+            assert_eq!(permille, jitter_permille(attempt), "must be replayable");
+        }
+        let base = Duration::from_millis(100);
+        assert!(within_jitter(jittered(base, 3), 100));
+    }
+
+    #[test]
+    fn restart_backoff_doubles_then_caps() {
+        let mut sup = supervisor(10, 40);
+        assert!(within_jitter(sup.next_backoff(), 10));
+        sup.crash_streak = 1;
+        assert!(within_jitter(sup.next_backoff(), 20));
+        sup.crash_streak = 2;
+        assert!(within_jitter(sup.next_backoff(), 40));
+        sup.crash_streak = 9;
+        assert!(within_jitter(sup.next_backoff(), 40), "rate cap holds");
+        sup.note_healthy();
+        assert_eq!(sup.crash_streak(), 0);
+        assert!(within_jitter(sup.next_backoff(), 10));
+    }
+
+    #[test]
+    fn zero_base_disables_the_guard() {
+        let mut sup = supervisor(0, 0);
+        sup.crash_streak = 7;
+        assert_eq!(sup.next_backoff(), Duration::ZERO);
+        assert!(sup.last_exit_reason().is_none());
     }
 }

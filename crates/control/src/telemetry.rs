@@ -42,6 +42,10 @@
 //!     "beat_latency_ns": { "count": 4560, "...": "merged rollup" },
 //!     "qos_loss_ppm": { "count": 240, "...": "merged rollup" }
 //!   },
+//!   "incidents": {
+//!     "shard_deaths": 0, "shard_respawns": 0,
+//!     "apps_migrated": 0, "quarantined_apps": 0
+//!   },
 //!   "decision_trace": [
 //!     {
 //!       "seq": 0, "timestamp_ns": 50000000, "app": 0, "point_idx": 1,
@@ -106,6 +110,22 @@ impl ShardTelemetry {
     }
 }
 
+/// Fault-containment incident counters, embedded in the snapshot's
+/// `incidents` section. All lifetime counts except `quarantined_apps`,
+/// which is the *current* number of parked-but-not-evicted apps (it
+/// drops back as quarantined corpses are reaped).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IncidentCounts {
+    /// Worker-thread deaths observed.
+    pub shard_deaths: u64,
+    /// Dead workers successfully resurrected.
+    pub shard_respawns: u64,
+    /// Apps migrated off dead shards.
+    pub apps_migrated: u64,
+    /// Apps currently quarantined.
+    pub quarantined_apps: u64,
+}
+
 /// A complete telemetry snapshot of a daemon: per-app reports, exact
 /// fleet-wide rollups, and the merged decision trace.
 #[derive(Debug, Clone)]
@@ -123,13 +143,20 @@ pub struct TelemetrySnapshot {
     pub fleet_qos_loss_ppm: LatencyHistogram,
     /// Decision trace across all shards, ordered by beat timestamp.
     pub trace: Vec<DecisionTraceRecord>,
+    /// Fault-containment incident counters.
+    pub incidents: IncidentCounts,
 }
 
 impl TelemetrySnapshot {
     /// Assembles a snapshot from per-shard contributions: sorts apps by
     /// id, merges the fleet rollups, and orders the combined trace by
     /// beat timestamp (sequence numbers only order within one shard).
-    pub fn from_shards(ticks: u64, total_beats: u64, shards: Vec<ShardTelemetry>) -> Self {
+    pub fn from_shards(
+        ticks: u64,
+        total_beats: u64,
+        shards: Vec<ShardTelemetry>,
+        incidents: IncidentCounts,
+    ) -> Self {
         let mut apps = Vec::new();
         let mut trace = Vec::new();
         for shard in shards {
@@ -151,6 +178,7 @@ impl TelemetrySnapshot {
             fleet_latency_ns,
             fleet_qos_loss_ppm,
             trace,
+            incidents,
         }
     }
 
@@ -195,6 +223,18 @@ impl TelemetrySnapshot {
         out.push_str(",\n");
         write_histogram(&mut out, "    ", "qos_loss_ppm", &self.fleet_qos_loss_ppm);
         out.push_str("\n  },\n");
+        let IncidentCounts {
+            shard_deaths,
+            shard_respawns,
+            apps_migrated,
+            quarantined_apps,
+        } = self.incidents;
+        out.push_str(&format!(
+            "  \"incidents\": {{ \"shard_deaths\": {shard_deaths}, \
+             \"shard_respawns\": {shard_respawns}, \
+             \"apps_migrated\": {apps_migrated}, \
+             \"quarantined_apps\": {quarantined_apps} }},\n"
+        ));
         out.push_str("  \"decision_trace\": [");
         for (index, record) in self.trace.iter().enumerate() {
             if index > 0 {
@@ -297,7 +337,7 @@ mod tests {
                 trace: Vec::new(),
             },
         ];
-        let snapshot = TelemetrySnapshot::from_shards(3, 3, shards);
+        let snapshot = TelemetrySnapshot::from_shards(3, 3, shards, IncidentCounts::default());
         // Sorted by app id.
         assert_eq!(snapshot.apps[0].app.value(), 0);
         assert_eq!(snapshot.apps[1].app.value(), 1);
@@ -327,7 +367,7 @@ mod tests {
                 trace: vec![rec(100, 0)],
             },
         ];
-        let snapshot = TelemetrySnapshot::from_shards(0, 0, shards);
+        let snapshot = TelemetrySnapshot::from_shards(0, 0, shards, IncidentCounts::default());
         let order: Vec<u64> = snapshot
             .trace
             .iter()
@@ -346,7 +386,7 @@ mod tests {
 
     #[test]
     fn empty_snapshot_renders_empty_arrays() {
-        let snapshot = TelemetrySnapshot::from_shards(0, 0, Vec::new());
+        let snapshot = TelemetrySnapshot::from_shards(0, 0, Vec::new(), IncidentCounts::default());
         let json = snapshot.to_json();
         assert!(json.contains("\"apps\": []"));
         assert!(json.contains("\"decision_trace\": []"));

@@ -179,6 +179,7 @@ fn inline_config() -> DaemonConfig {
         drain_cap: 0,
         telemetry: true,
         trace_capacity: DaemonConfig::DEFAULT_TRACE_CAPACITY,
+        safe_point: 0,
     }
 }
 
@@ -211,6 +212,7 @@ fn batched_kernel_matches_per_beat_walk_under_drain_cap() {
         drain_cap: 7,
         telemetry: true,
         trace_capacity: DaemonConfig::DEFAULT_TRACE_CAPACITY,
+        safe_point: 0,
         ..inline_config()
     };
     let runtime = RuntimeConfig::new(ControllerConfig::new(30.0, 30.0).unwrap())
@@ -317,6 +319,7 @@ fn flood_grown_scratch_shrinks_after_the_flood_subsides() {
         drain_cap: 0,
         telemetry: true,
         trace_capacity: DaemonConfig::DEFAULT_TRACE_CAPACITY,
+        safe_point: 0,
     };
     let runtime = RuntimeConfig::new(ControllerConfig::new(30.0, 30.0).unwrap())
         .with_quantum_heartbeats(20)

@@ -2,19 +2,21 @@
 //!
 //! A panic inside control code used to abort the whole daemon (the tick
 //! path `expect`ed worker acks). Now a dead worker orphans only its own
-//! apps: [`PowerDialDaemon::try_tick`] names the dead shard exactly once,
-//! plain ticks keep serving every surviving shard, and registration routes
-//! around the corpse.
+//! apps until resurrection: plain ticks keep serving every surviving
+//! shard, and registration routes around the corpse.
 //!
-//! The panic is injected through real control arithmetic, not a test hook:
-//! two `u64::MAX`-nanosecond beat latencies push the sliding window's sum
-//! past `u64` range, so the *next* quantum-boundary `rate()` call panics
-//! inside the worker thread mid-quantum — the worst spot.
+//! Worker death is injected through the explicit test-only hook
+//! ([`PowerDialDaemon::inject_worker_panic`]), which panics the thread
+//! *while it holds its shard lock* — the worst case. The historic
+//! "poisoned latency sum" vector no longer kills a worker at all: the
+//! overflow surfaces as a typed error and quarantines exactly one app
+//! (see the `daemon_containment` suite), which is the point of the
+//! containment work.
 
-use powerdial_control::daemon::{AppHandle, DaemonConfig, PowerDialDaemon};
-use powerdial_control::{ControlError, ControllerConfig, RuntimeConfig};
-use powerdial_heartbeats::channel::BeatSample;
-use powerdial_heartbeats::{HeartbeatTag, Timestamp, TimestampDelta};
+use powerdial_control::daemon::AppHandle;
+use powerdial_control::daemon::{DaemonConfig, PowerDialDaemon};
+use powerdial_control::{ControllerConfig, RuntimeConfig};
+use powerdial_heartbeats::{Timestamp, TimestampDelta};
 use powerdial_knobs::{CalibrationPoint, ConfigParameter, KnobTable, ParameterSpace};
 use powerdial_qos::{QosLoss, QosLossBound};
 
@@ -38,30 +40,10 @@ fn test_table() -> KnobTable {
     KnobTable::from_points(points, 0, QosLossBound::UNBOUNDED).unwrap()
 }
 
-/// A 2-beat quantum so the overflow-triggering boundary `rate()` call
-/// arrives on the second tick, proving the daemon was healthy first.
 fn runtime_config() -> RuntimeConfig {
     RuntimeConfig::new(ControllerConfig::new(30.0, 30.0).unwrap())
         .with_quantum_heartbeats(2)
         .unwrap()
-}
-
-/// Queues the poison: two beats whose latencies sum past `u64::MAX`
-/// nanoseconds (2⁶³ each, so the window's u128 running sums stay exact
-/// and the drain itself succeeds in every build mode). The next boundary
-/// beat's `rate()` reads the overflowed total and panics the draining
-/// thread.
-fn push_overflowing_beats(app: &mut AppHandle) {
-    let mut tag = HeartbeatTag::default().next(); // non-zero: latencies count
-    for _ in 0..2 {
-        app.push_sample(BeatSample {
-            tag,
-            timestamp: Timestamp::ZERO,
-            latency: TimestampDelta::from_nanos(1u64 << 63),
-        })
-        .unwrap();
-        tag = tag.next();
-    }
 }
 
 /// Emits one healthy 2-beat quantum.
@@ -72,90 +54,69 @@ fn push_healthy_quantum(app: &mut AppHandle, now: &mut Timestamp) {
     }
 }
 
-#[test]
-fn panicking_app_degrades_its_shard_and_spares_the_rest() {
-    let mut daemon = PowerDialDaemon::new(DaemonConfig {
+fn two_worker_daemon() -> PowerDialDaemon {
+    PowerDialDaemon::new(DaemonConfig {
         workers: 2,
         channel_capacity: 64,
         window_size: 4,
-        inline_apps: 0, // force both apps onto workers
+        inline_apps: 0, // force apps onto workers
         idle_skip_limit: 0,
         drain_cap: 0,
         telemetry: true,
         trace_capacity: DaemonConfig::DEFAULT_TRACE_CAPACITY,
+        safe_point: 0,
     })
-    .unwrap();
-    // Round-robin placement: poisoned on worker 0, healthy on worker 1.
-    let mut poisoned = daemon.register(runtime_config(), test_table()).unwrap();
+    .unwrap()
+}
+
+#[test]
+fn dead_worker_degrades_its_shard_and_spares_the_rest() {
+    let mut daemon = two_worker_daemon();
+    // Round-robin placement: orphan-to-be on worker 0, healthy on 1.
+    let mut orphan = daemon.register(runtime_config(), test_table()).unwrap();
     let mut healthy = daemon.register(runtime_config(), test_table()).unwrap();
     assert_eq!(daemon.live_workers(), 2);
 
     let mut now = Timestamp::ZERO;
-    push_overflowing_beats(&mut poisoned);
+    push_healthy_quantum(&mut orphan, &mut now);
     push_healthy_quantum(&mut healthy, &mut now);
-    // The poison quantum itself drains fine (no boundary rate read yet).
     assert_eq!(daemon.try_tick().unwrap(), 4);
-    assert_eq!(poisoned.beats_processed(), 2);
 
-    // The next quantum's boundary beat reads the overflowed window:
-    // worker 0 panics mid-quantum. The tick still collects worker 1 and
-    // names the dead shard exactly once.
-    push_overflowing_beats(&mut poisoned);
-    push_healthy_quantum(&mut healthy, &mut now);
-    match daemon.try_tick() {
-        Err(ControlError::ShardDead { shard: 0 }) => {}
-        other => panic!("expected ShardDead {{ shard: 0 }}, got {other:?}"),
-    }
+    // Kill worker 0's thread mid-protocol (it dies holding its shard
+    // lock). The death is observed immediately on the ack channel.
+    assert!(daemon.inject_worker_panic(0));
     assert_eq!(daemon.live_workers(), 1);
-    assert_eq!(
-        healthy.beats_processed(),
-        4,
-        "the healthy shard kept serving"
-    );
-    assert_eq!(
-        poisoned.beats_processed(),
-        2,
-        "the dead shard's app is orphaned"
-    );
+    assert_eq!(daemon.shard_deaths(), 1);
 
-    // Subsequent ticks skip the corpse silently and keep working.
+    // Ticks keep serving the surviving shard; the corpse's app gets
+    // nothing until resurrection migrates it.
     for _ in 0..3 {
+        push_healthy_quantum(&mut orphan, &mut now);
         push_healthy_quantum(&mut healthy, &mut now);
-        assert_eq!(daemon.try_tick().unwrap(), 2);
+        assert_eq!(daemon.try_tick().unwrap(), 2, "only the live shard beats");
     }
-    assert_eq!(healthy.beats_processed(), 10);
+    assert_eq!(healthy.beats_processed(), 8);
+    assert_eq!(
+        orphan.beats_processed(),
+        2,
+        "the dead shard's app is parked"
+    );
     assert!(healthy.latest_gain().is_some());
 
     // Unregistering the orphan reports failure (the owning shard cannot
     // confirm) but the daemon forgets the placement either way.
     let before = daemon.app_count();
-    assert!(!daemon.unregister(poisoned.id()));
+    assert!(!daemon.unregister(orphan.id()));
     assert_eq!(daemon.app_count(), before - 1);
 }
 
 #[test]
 fn registration_routes_around_a_dead_worker() {
-    let mut daemon = PowerDialDaemon::new(DaemonConfig {
-        workers: 2,
-        channel_capacity: 64,
-        window_size: 4,
-        inline_apps: 0,
-        idle_skip_limit: 0,
-        drain_cap: 0,
-        telemetry: true,
-        trace_capacity: DaemonConfig::DEFAULT_TRACE_CAPACITY,
-    })
-    .unwrap();
-    let mut poisoned = daemon.register(runtime_config(), test_table()).unwrap();
-
-    // Kill worker 0 through the overflow vector.
-    push_overflowing_beats(&mut poisoned);
-    daemon.tick();
-    push_overflowing_beats(&mut poisoned);
-    assert!(matches!(
-        daemon.try_tick(),
-        Err(ControlError::ShardDead { shard: 0 })
-    ));
+    let mut daemon = two_worker_daemon();
+    let orphan = daemon.register(runtime_config(), test_table()).unwrap();
+    assert!(daemon.inject_worker_panic(0));
+    assert_eq!(daemon.live_workers(), 1);
+    drop(orphan);
 
     // New registrations land on the surviving worker and get controlled.
     let mut late = daemon.register(runtime_config(), test_table()).unwrap();

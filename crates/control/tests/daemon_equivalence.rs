@@ -70,6 +70,7 @@ fn daemon_matches_serial_simulation_beat_for_beat() {
             drain_cap: 0,
             telemetry: true,
             trace_capacity: DaemonConfig::DEFAULT_TRACE_CAPACITY,
+            safe_point: 0,
         })
         .unwrap();
         let mut app = daemon.register(runtime_config, test_table()).unwrap();
@@ -93,7 +94,10 @@ fn daemon_matches_serial_simulation_beat_for_beat() {
                 app.beat(now).unwrap();
 
                 // ...and the serial reference decides for each, inline.
-                let observed = serial_window.rate().map(|r| r.beats_per_second());
+                let observed = serial_window
+                    .rate()
+                    .expect("no overflow")
+                    .map(|r| r.beats_per_second());
                 serial_decisions.push(serial_runtime.on_heartbeat_idx(observed));
                 if beat > 0 {
                     serial_window.push(latency);

@@ -107,6 +107,7 @@ fn per_quantum_drain_loop_does_not_allocate() {
             drain_cap: 0,
             telemetry: true,
             trace_capacity: DaemonConfig::DEFAULT_TRACE_CAPACITY,
+            safe_point: 0,
         })
         .unwrap();
         let config = RuntimeConfig::new(ControllerConfig::new(30.0, 30.0).unwrap())
@@ -160,6 +161,7 @@ fn per_quantum_shm_drain_loop_does_not_allocate() {
         drain_cap: 0,
         telemetry: true,
         trace_capacity: DaemonConfig::DEFAULT_TRACE_CAPACITY,
+        safe_point: 0,
     })
     .unwrap();
     let config = RuntimeConfig::new(ControllerConfig::new(30.0, 30.0).unwrap())

@@ -60,6 +60,7 @@ fn concurrent_producers_lose_no_accepted_beats() {
         drain_cap: 0,
         telemetry: true,
         trace_capacity: DaemonConfig::DEFAULT_TRACE_CAPACITY,
+        safe_point: 0,
     })
     .unwrap();
 
@@ -120,6 +121,7 @@ fn unregister_mid_stream_keeps_other_apps_alive() {
         drain_cap: 0,
         telemetry: true,
         trace_capacity: DaemonConfig::DEFAULT_TRACE_CAPACITY,
+        safe_point: 0,
     })
     .unwrap();
 

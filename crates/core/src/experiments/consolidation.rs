@@ -282,6 +282,7 @@ pub fn consolidation_study_live(
         drain_cap: 0,
         telemetry: true,
         trace_capacity: DaemonConfig::DEFAULT_TRACE_CAPACITY,
+        safe_point: 0,
     })?;
     let mut registry = HeartbeatRegistry::new();
     let mut machines = Vec::with_capacity(consolidated_machines);

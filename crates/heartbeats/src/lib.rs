@@ -59,7 +59,7 @@ pub use monitor::{HeartbeatMonitor, MonitorConfig, TargetRate, DEFAULT_HISTORY_C
 pub use record::{HeartRate, HeartbeatRecord, HeartbeatTag};
 pub use registry::{HeartbeatRegistry, MonitorId};
 pub use ring::{HistoryIter, HistoryRing};
-pub use stats::{RateStatistics, SlidingWindow};
+pub use stats::{RateStatistics, SlidingWindow, WindowOverflow};
 pub use telemetry::{
     DecisionTraceRecord, DecisionTraceRing, HistogramSummary, LatencyHistogram, TraceReason,
 };

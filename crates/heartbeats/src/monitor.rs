@@ -295,7 +295,7 @@ impl HeartbeatMonitor {
             timestamp: now,
             latency,
             instant_rate: HeartRate::from_latency(latency),
-            window_rate: self.window.rate(),
+            window_rate: self.window.rate().unwrap_or(None),
             global_rate: self.global_rate(),
         };
 
@@ -330,9 +330,11 @@ impl HeartbeatMonitor {
     }
 
     /// The heart rate over the sliding window, if at least two beats have
-    /// been emitted.
+    /// been emitted. Monitor-side latencies come from monotonic timestamp
+    /// differences, so a summed-latency overflow (more than five centuries
+    /// in one window) is treated as "no rate" rather than surfaced.
     pub fn window_rate(&self) -> Option<HeartRate> {
-        self.window.rate()
+        self.window.rate().unwrap_or(None)
     }
 
     /// The heart rate over the whole execution (total beats minus one divided

@@ -16,7 +16,7 @@
 use std::collections::VecDeque;
 
 use crate::record::HeartRate;
-use crate::stats::RateStatistics;
+use crate::stats::{RateStatistics, WindowOverflow};
 use crate::time::TimestampDelta;
 
 /// The O(n)-per-query sliding window (pre-optimization reference).
@@ -65,9 +65,27 @@ impl NaiveSlidingWindow {
             .fold(TimestampDelta::ZERO, |acc, &l| acc + l)
     }
 
-    /// Returns the windowed heart rate (O(n): folds the window).
-    pub fn rate(&self) -> Option<HeartRate> {
-        HeartRate::from_beats_over(self.latencies.len() as u64, self.total())
+    /// Returns the total time spanned by the stored latencies, or a typed
+    /// [`WindowOverflow`] when the fold exceeds `u64::MAX` nanoseconds —
+    /// the same contract as [`crate::SlidingWindow::try_total`], so the
+    /// equivalence proptests can compare the overflow edge too.
+    pub fn try_total(&self) -> Result<TimestampDelta, WindowOverflow> {
+        let mut nanos: u64 = 0;
+        for latency in &self.latencies {
+            nanos = nanos
+                .checked_add(latency.as_nanos())
+                .ok_or(WindowOverflow)?;
+        }
+        Ok(TimestampDelta::from_nanos(nanos))
+    }
+
+    /// Returns the windowed heart rate (O(n): folds the window), mirroring
+    /// [`crate::SlidingWindow::rate`]'s typed-overflow contract.
+    pub fn rate(&self) -> Result<Option<HeartRate>, WindowOverflow> {
+        Ok(HeartRate::from_beats_over(
+            self.latencies.len() as u64,
+            self.try_total()?,
+        ))
     }
 
     /// Returns summary statistics (O(n) with a scratch allocation per call).

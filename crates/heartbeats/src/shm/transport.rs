@@ -164,9 +164,10 @@ fn claim_consumer_adopting(header: &SegmentHeader) -> Result<u32, ShmError> {
 /// `from` reads as empty, a `to` absurdly far ahead reads as a full ring.
 /// Either way the result bounds every subsequent slot access and
 /// allocation.
+#[deny(clippy::arithmetic_side_effects)]
 fn clamped_distance(from: u64, to: u64, capacity: u64) -> u64 {
     if to >= from {
-        (to - from).min(capacity)
+        to.wrapping_sub(from).min(capacity)
     } else {
         0
     }
@@ -281,12 +282,13 @@ impl ShmProducer {
     ///
     /// Returns the record back when the ring is full.
     #[inline]
+    #[deny(clippy::arithmetic_side_effects)]
     pub fn try_push(&mut self, sample: BeatSample) -> Result<(), BeatSample> {
         let header = self.segment.header();
         if self.tail.wrapping_sub(self.cached_head) >= self.capacity {
             self.cached_head = header.head.load(Ordering::Acquire);
             if self.tail.wrapping_sub(self.cached_head) >= self.capacity {
-                self.rejected += 1;
+                self.rejected = self.rejected.saturating_add(1);
                 return Err(sample);
             }
         }
@@ -484,6 +486,7 @@ impl ShmConsumer {
     /// oldest first, and returns how many were drained; the rest stay in
     /// the ring for the next drain. Same safety and allocation contract
     /// as [`drain_into`](ShmConsumer::drain_into).
+    #[deny(clippy::arithmetic_side_effects)]
     pub fn drain_into_capped(&mut self, out: &mut Vec<BeatSample>, cap: usize) -> usize {
         out.clear();
         let header = self.segment.header();
@@ -493,7 +496,8 @@ impl ShmConsumer {
             return 0;
         }
         out.reserve(available);
-        for position in self.head..self.head + available as u64 {
+        for offset in 0..available as u64 {
+            let position = self.head.wrapping_add(offset);
             let slot = self.segment.slot_ptr(position & self.mask);
             // SAFETY: slot pointer in bounds and 8-aligned by validated
             // geometry; positions in [head, tail) were published by the
@@ -503,12 +507,13 @@ impl ShmConsumer {
             let record = unsafe { ShmBeatSample::load_from(slot) };
             out.push(record.to_sample());
         }
-        self.head += available as u64;
+        self.head = self.head.wrapping_add(available as u64);
         header.head.store(self.head, Ordering::Release);
         available
     }
 
     /// Pops a single pending beat, oldest first.
+    #[deny(clippy::arithmetic_side_effects)]
     pub fn try_pop(&mut self) -> Option<BeatSample> {
         let header = self.segment.header();
         let tail = header.tail.load(Ordering::Acquire);
@@ -518,7 +523,7 @@ impl ShmConsumer {
         let slot = self.segment.slot_ptr(self.head & self.mask);
         // SAFETY: as in `drain_into`.
         let record = unsafe { ShmBeatSample::load_from(slot) };
-        self.head += 1;
+        self.head = self.head.wrapping_add(1);
         header.head.store(self.head, Ordering::Release);
         Some(record.to_sample())
     }

@@ -18,6 +18,7 @@
 //! one (and benchmarked, in `powerdial-bench`).
 
 use std::collections::VecDeque;
+use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
@@ -26,6 +27,25 @@ use crate::time::TimestampDelta;
 
 /// Nanoseconds per second, as used when converting aggregates to seconds.
 const NANOS_PER_SEC_F64: f64 = 1e9;
+
+/// The summed window latencies exceed `u64::MAX` nanoseconds (more than
+/// five centuries of latency in one window).
+///
+/// No organic heartbeat stream gets here — only a hostile or corrupted
+/// producer pushing near-`u64::MAX` latencies. [`SlidingWindow::rate`] and
+/// [`SlidingWindow::try_total`] surface it as this typed error so a control
+/// loop can blame and quarantine the one poisoned app instead of unwinding
+/// through the shard that serves its neighbors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowOverflow;
+
+impl fmt::Display for WindowOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "window latency sum overflows u64 nanoseconds")
+    }
+}
+
+impl std::error::Error for WindowOverflow {}
 
 /// A fixed-capacity sliding window of heartbeat latencies.
 ///
@@ -45,7 +65,8 @@ const NANOS_PER_SEC_F64: f64 = 1e9;
 ///     window.push(TimestampDelta::from_millis(50));
 /// }
 /// assert_eq!(window.len(), 3);
-/// assert!((window.rate().unwrap().beats_per_second() - 20.0).abs() < 1e-9);
+/// let rate = window.rate().expect("no overflow").expect("non-empty");
+/// assert!((rate.beats_per_second() - 20.0).abs() < 1e-9);
 /// ```
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SlidingWindow {
@@ -65,6 +86,12 @@ pub struct SlidingWindow {
     max_deque: VecDeque<(u64, u64)>,
 }
 
+/// Every arithmetic op in this impl is on the controller's per-beat hot
+/// path and feeds exact integer aggregates, so implicit overflow semantics
+/// (panic in debug, wrap in release) are banned: each op is an explicit
+/// `wrapping_*`/`checked_*` with its no-overflow argument, or a documented
+/// adversarial-input concession.
+#[deny(clippy::arithmetic_side_effects)]
 impl SlidingWindow {
     /// Creates a window holding at most `capacity` latencies.
     ///
@@ -119,11 +146,16 @@ impl SlidingWindow {
                 .pop_front()
                 .expect("full window has a front element");
             let nanos = u128::from(evicted.as_nanos());
-            self.sum_nanos -= nanos;
-            self.sum_sq_nanos -= nanos * nanos;
+            // Eviction subtracts exactly what insertion added (same wrapping
+            // group), so the running sums are exact whenever insertion never
+            // wrapped — see the insertion-side bounds below.
+            self.sum_nanos = self.sum_nanos.wrapping_sub(nanos);
+            self.sum_sq_nanos = self.sum_sq_nanos.wrapping_sub(nanos.wrapping_mul(nanos));
             // The evicted element can only sit at the front of a deque: the
-            // deques hold indices in increasing order.
-            let evicted_index = self.push_count - self.capacity as u64;
+            // deques hold indices in increasing order. `push_count` counts at
+            // least `capacity` pushes here (the window is full), in the same
+            // wrapping index space the deques store.
+            let evicted_index = self.push_count.wrapping_sub(self.capacity as u64);
             if self
                 .min_deque
                 .front()
@@ -142,8 +174,17 @@ impl SlidingWindow {
 
         let nanos = latency.as_nanos();
         self.latencies.push_back(latency);
-        self.sum_nanos += u128::from(nanos);
-        self.sum_sq_nanos += u128::from(nanos) * u128::from(nanos);
+        // `sum_nanos` holds at most `capacity` u64 values, so it fits u128
+        // for any allocatable capacity and the add is exact. `sum_sq_nanos`
+        // can genuinely wrap under adversarial near-`u64::MAX` latencies
+        // (each square is up to ~2¹²⁸); that only garbles the variance —
+        // rate/total/min/max/mean never read it, and the overflow that
+        // matters (`sum_nanos > u64::MAX`) is caught as a typed
+        // [`WindowOverflow`] at the rate read.
+        self.sum_nanos = self.sum_nanos.wrapping_add(u128::from(nanos));
+        self.sum_sq_nanos = self
+            .sum_sq_nanos
+            .wrapping_add(u128::from(nanos).wrapping_mul(u128::from(nanos)));
         while self.min_deque.back().is_some_and(|&(_, v)| v >= nanos) {
             self.min_deque.pop_back();
         }
@@ -152,7 +193,9 @@ impl SlidingWindow {
             self.max_deque.pop_back();
         }
         self.max_deque.push_back((self.push_count, nanos));
-        self.push_count += 1;
+        // Wrapping: the index space the extremum deques key on is compared
+        // by equality only, which stays consistent across a wrap.
+        self.push_count = self.push_count.wrapping_add(1);
     }
 
     /// Pushes every latency in `latencies`, oldest first — exactly
@@ -175,19 +218,23 @@ impl SlidingWindow {
     pub fn push_slice(&mut self, latencies: &[TimestampDelta]) {
         if latencies.len() >= self.capacity {
             // Full replacement: only the slice's last `capacity` entries
-            // can survive, so skip straight to them.
-            let skipped = latencies.len() - self.capacity;
+            // can survive, so skip straight to them. (`len >= capacity`
+            // here, so the subtraction cannot underflow.)
+            let skipped = latencies.len().wrapping_sub(self.capacity);
             self.latencies.clear();
             self.min_deque.clear();
             self.max_deque.clear();
             self.sum_nanos = 0;
             self.sum_sq_nanos = 0;
-            self.push_count += skipped as u64;
+            self.push_count = self.push_count.wrapping_add(skipped as u64);
             for &latency in &latencies[skipped..] {
                 let nanos = latency.as_nanos();
                 self.latencies.push_back(latency);
-                self.sum_nanos += u128::from(nanos);
-                self.sum_sq_nanos += u128::from(nanos) * u128::from(nanos);
+                // Same exactness argument as in `push`.
+                self.sum_nanos = self.sum_nanos.wrapping_add(u128::from(nanos));
+                self.sum_sq_nanos = self
+                    .sum_sq_nanos
+                    .wrapping_add(u128::from(nanos).wrapping_mul(u128::from(nanos)));
                 while self.min_deque.back().is_some_and(|&(_, v)| v >= nanos) {
                     self.min_deque.pop_back();
                 }
@@ -196,7 +243,7 @@ impl SlidingWindow {
                     self.max_deque.pop_back();
                 }
                 self.max_deque.push_back((self.push_count, nanos));
-                self.push_count += 1;
+                self.push_count = self.push_count.wrapping_add(1);
             }
         } else {
             for &latency in latencies {
@@ -220,6 +267,14 @@ impl SlidingWindow {
         self.latencies.iter().copied()
     }
 
+    /// Returns the total time spanned by the stored latencies, or a typed
+    /// [`WindowOverflow`] when the sum exceeds `u64::MAX` nanoseconds.
+    /// O(1): read from the running sum.
+    pub fn try_total(&self) -> Result<TimestampDelta, WindowOverflow> {
+        let nanos = u64::try_from(self.sum_nanos).map_err(|_| WindowOverflow)?;
+        Ok(TimestampDelta::from_nanos(nanos))
+    }
+
     /// Returns the total time spanned by the stored latencies. O(1): read
     /// from the running sum.
     ///
@@ -227,16 +282,22 @@ impl SlidingWindow {
     ///
     /// Panics if the summed latencies exceed `u64::MAX` nanoseconds (more
     /// than five centuries; the pre-optimization fold overflowed there too).
+    /// Poison-tolerant callers use [`try_total`](Self::try_total) instead.
     pub fn total(&self) -> TimestampDelta {
-        let nanos = u64::try_from(self.sum_nanos).expect("window total overflows u64 nanoseconds");
-        TimestampDelta::from_nanos(nanos)
+        self.try_total()
+            .expect("window total overflows u64 nanoseconds")
     }
 
     /// Returns the windowed heart rate: stored beats divided by their summed
-    /// latency. `None` if the window is empty or the summed latency is zero.
-    /// O(1).
-    pub fn rate(&self) -> Option<HeartRate> {
-        HeartRate::from_beats_over(self.latencies.len() as u64, self.total())
+    /// latency. `Ok(None)` if the window is empty or the summed latency is
+    /// zero; a typed [`WindowOverflow`] (instead of a panic unwinding
+    /// through whoever hosts the window) when a poisoned stream pushed the
+    /// latency sum past `u64::MAX` nanoseconds. O(1).
+    pub fn rate(&self) -> Result<Option<HeartRate>, WindowOverflow> {
+        Ok(HeartRate::from_beats_over(
+            self.latencies.len() as u64,
+            self.try_total()?,
+        ))
     }
 
     /// Returns summary statistics for the stored latencies, or `None` when
@@ -254,8 +315,13 @@ impl SlidingWindow {
         }
         let n_f64 = n as f64;
         let mean_nanos = self.sum_nanos as f64 / n_f64;
-        // Cauchy–Schwarz guarantees n·Σx² ≥ (Σx)², so this cannot underflow.
-        let variance_numerator = (n as u128) * self.sum_sq_nanos - self.sum_nanos * self.sum_nanos;
+        // Cauchy–Schwarz guarantees n·Σx² ≥ (Σx)², so this cannot underflow
+        // for any stream whose squared sums fit u128; under adversarial
+        // near-`u64::MAX` latencies the wrapped `sum_sq_nanos` only garbles
+        // the variance (documented in `push`), never panics.
+        let variance_numerator = (n as u128)
+            .wrapping_mul(self.sum_sq_nanos)
+            .wrapping_sub(self.sum_nanos.wrapping_mul(self.sum_nanos));
         let variance_nanos2 = variance_numerator as f64 / (n_f64 * n_f64);
         let min_nanos = self
             .min_deque
@@ -360,13 +426,13 @@ mod tests {
         w.push(ms(100));
         w.push(ms(200));
         // 3 beats over 0.4 seconds = 7.5 beats/s.
-        assert!((w.rate().unwrap().beats_per_second() - 7.5).abs() < 1e-9);
+        assert!((w.rate().unwrap().unwrap().beats_per_second() - 7.5).abs() < 1e-9);
     }
 
     #[test]
     fn empty_window_has_no_rate_or_statistics() {
         let w = SlidingWindow::new(3);
-        assert!(w.rate().is_none());
+        assert!(w.rate().unwrap().is_none());
         assert!(w.statistics().is_none());
         assert!(w.is_empty());
     }
@@ -413,6 +479,39 @@ mod tests {
         let stats = w.statistics().unwrap();
         assert!((stats.max_latency_secs - 0.03).abs() < 1e-12);
         assert!((stats.min_latency_secs - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn poisoned_sum_surfaces_typed_overflow_instead_of_panicking() {
+        let mut w = SlidingWindow::new(2);
+        let poison = TimestampDelta::from_nanos(u64::MAX / 2 + 1);
+        w.push(poison);
+        w.push(poison);
+        assert_eq!(w.rate(), Err(WindowOverflow));
+        assert_eq!(w.try_total(), Err(WindowOverflow));
+        // Min/max/mean still answer; only the variance is a documented
+        // casualty of adversarial inputs.
+        assert!(w.statistics().is_some());
+        // The naive reference agrees on the overflow verdict.
+        let mut naive = crate::naive::NaiveSlidingWindow::new(2);
+        naive.push(poison);
+        naive.push(poison);
+        assert_eq!(naive.rate(), Err(WindowOverflow));
+        // Evicting the poison heals the window: no sticky state.
+        w.push(ms(10));
+        w.push(ms(10));
+        let healed = w.rate().expect("poison evicted").expect("non-empty");
+        assert!(healed.beats_per_second() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows u64")]
+    fn total_still_panics_on_overflow_for_compat() {
+        let mut w = SlidingWindow::new(2);
+        let poison = TimestampDelta::from_nanos(u64::MAX / 2 + 1);
+        w.push(poison);
+        w.push(poison);
+        let _ = w.total();
     }
 
     #[test]
@@ -473,7 +572,7 @@ mod proptests {
             for l in &latencies {
                 w.push(TimestampDelta::from_nanos(*l));
             }
-            let rate = w.rate().unwrap().beats_per_second();
+            let rate = w.rate().unwrap().unwrap().beats_per_second();
             let expected = w.len() as f64 / w.total().as_secs_f64();
             prop_assert!((rate - expected).abs() <= 1e-9 * expected.max(1.0));
         }
@@ -518,7 +617,7 @@ mod proptests {
                 prop_assert_eq!(batched.len(), sequential.len());
                 if !batched.is_empty() {
                     prop_assert_eq!(batched.total(), sequential.total());
-                    let (a, b) = (batched.rate().unwrap(), sequential.rate().unwrap());
+                    let (a, b) = (batched.rate().unwrap().unwrap(), sequential.rate().unwrap().unwrap());
                     prop_assert_eq!(
                         a.beats_per_second().to_bits(),
                         b.beats_per_second().to_bits()
@@ -560,7 +659,7 @@ mod proptests {
                 // Rate and total are bit-identical: both divide the same
                 // integer-exact totals.
                 prop_assert_eq!(incremental.total(), naive.total());
-                let (a, b) = (incremental.rate().unwrap(), naive.rate().unwrap());
+                let (a, b) = (incremental.rate().unwrap().unwrap(), naive.rate().unwrap().unwrap());
                 prop_assert_eq!(a.beats_per_second().to_bits(), b.beats_per_second().to_bits());
 
                 let fast = incremental.statistics().unwrap();

@@ -388,6 +388,20 @@ pub enum TraceReason {
     /// state (unregistered or reaped; its segment's next tenant starts
     /// clean).
     SafeReset,
+    /// The application was blamed for a fault (panic or poisoned window)
+    /// and quarantined: its channel is parked and its decision block
+    /// holds the configured safe-state until it is reaped.
+    Quarantined,
+    /// A worker shard's thread died (panic escaping per-app containment
+    /// or an injected kill). The record's `app` field carries the shard
+    /// index, not an application id.
+    ShardDead,
+    /// A dead worker shard was respawned on a fresh thread. The record's
+    /// `app` field carries the shard index.
+    ShardRespawned,
+    /// A surviving application was migrated onto a respawned shard with
+    /// its control state intact.
+    Migrated,
 }
 
 impl TraceReason {
@@ -397,6 +411,10 @@ impl TraceReason {
             TraceReason::Boundary => "boundary",
             TraceReason::WarmStart => "warm_start",
             TraceReason::SafeReset => "safe_reset",
+            TraceReason::Quarantined => "quarantined",
+            TraceReason::ShardDead => "shard_dead",
+            TraceReason::ShardRespawned => "shard_respawned",
+            TraceReason::Migrated => "migrated",
         }
     }
 }

@@ -75,7 +75,11 @@ fn steady_state_heartbeat_path_does_not_allocate() {
         window.push(TimestampDelta::from_nanos(
             20_000_000 + (i * 104_729) % 10_000_000,
         ));
-        sink += window.rate().expect("warm window").beats_per_second();
+        sink += window
+            .rate()
+            .expect("no overflow")
+            .expect("warm window")
+            .beats_per_second();
         let stats = window.statistics().expect("warm window");
         sink += stats.mean_latency_secs + stats.latency_variance + stats.max_latency_secs;
     }
